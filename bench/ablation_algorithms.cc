@@ -1,0 +1,101 @@
+// Ablation: algorithm choice (DESIGN.md §5 choice 3). Pits SFS, BNL, the
+// in-memory divide & conquer, and the naive O(n^2) nested loop (the
+// paper's Figure 5 SQL-except semantics) against each other at increasing
+// input sizes on a 4-dimensional skyline. Naive is capped at small n.
+// Expected shape: naive quadratic blow-up; D&C competitive in memory; SFS
+// and BNL close at generous windows with SFS ahead once windows shrink.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+constexpr int kDims = 4;
+
+const Table& SizedTable(uint64_t rows) {
+  static auto* const kCache = new std::map<uint64_t, std::unique_ptr<Table>>;
+  auto it = kCache->find(rows);
+  if (it == kCache->end()) {
+    GeneratorOptions options;
+    options.num_rows = rows;
+    options.seed = 2003;
+    auto result =
+        GenerateTable(BenchEnv(), "abl_algo_" + std::to_string(rows), options);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+    it = kCache
+             ->emplace(rows,
+                       std::make_unique<Table>(std::move(result).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_Sfs(::benchmark::State& state) {
+  const Table& table = SizedTable(static_cast<uint64_t>(state.range(0)));
+  SkylineSpec spec = MaxSpec(table, kDims);
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, SfsOptions{}, "abl_algo_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_Bnl(::benchmark::State& state) {
+  const Table& table = SizedTable(static_cast<uint64_t>(state.range(0)));
+  SkylineSpec spec = MaxSpec(table, kDims);
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineBnl(table, spec, BnlOptions{}, "abl_algo_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_DivideConquer(::benchmark::State& state) {
+  const Table& table = SizedTable(static_cast<uint64_t>(state.range(0)));
+  SkylineSpec spec = MaxSpec(table, kDims);
+  uint64_t size = 0;
+  for (auto _ : state) {
+    auto result = DivideConquerSkylineRows(table, spec);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+    size = result->size() / table.schema().row_width();
+  }
+  state.counters["skyline"] = static_cast<double>(size);
+}
+
+void BM_Naive(::benchmark::State& state) {
+  const Table& table = SizedTable(static_cast<uint64_t>(state.range(0)));
+  SkylineSpec spec = MaxSpec(table, kDims);
+  uint64_t size = 0;
+  for (auto _ : state) {
+    auto result = NaiveSkylineRows(table, spec);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+    size = result->size() / table.schema().row_width();
+  }
+  state.counters["skyline"] = static_cast<double>(size);
+}
+
+void FullRange(::benchmark::internal::Benchmark* b) {
+  for (int64_t n : {1'000, 10'000, 100'000}) b->Arg(n);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+void NaiveRange(::benchmark::internal::Benchmark* b) {
+  for (int64_t n : {1'000, 10'000}) b->Arg(n);  // quadratic: capped
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Sfs)->Apply(FullRange);
+BENCHMARK(BM_Bnl)->Apply(FullRange);
+BENCHMARK(BM_DivideConquer)->Apply(FullRange);
+BENCHMARK(BM_Naive)->Apply(NaiveRange);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Ablation: data correlation (DESIGN.md §5 choice 4; paper Section 6).
+// Correlated criteria shrink skylines to near-nothing; anti-correlated
+// criteria blow them up until SFS (and BNL) degenerate toward
+// |R| / |window| passes — the open problem the paper flags. This bench
+// measures skyline size, passes, and extra pages for the three
+// distributions at a fixed small window across dimensionalities.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+void RunDistribution(::benchmark::State& state, Distribution distribution) {
+  const int dims = static_cast<int>(state.range(0));
+  const Table& table = DistributionTableDims(distribution, dims);
+  SkylineSpec spec = MaxSpec(table, dims);
+  SfsOptions options;
+  options.window_pages = static_cast<size_t>(state.range(1));
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, options, "abl_corr_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+  state.counters["sky_fraction"] =
+      static_cast<double>(stats.output_rows) /
+      static_cast<double>(stats.input_rows);
+}
+
+void BM_Independent(::benchmark::State& state) {
+  RunDistribution(state, Distribution::kIndependent);
+}
+void BM_Correlated(::benchmark::State& state) {
+  RunDistribution(state, Distribution::kCorrelated);
+}
+void BM_AntiCorrelated(::benchmark::State& state) {
+  RunDistribution(state, Distribution::kAntiCorrelated);
+}
+
+void Args(::benchmark::internal::Benchmark* b) {
+  for (int dims : {2, 3, 4}) b->Args({dims, 8});
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_Independent)->Apply(Args);
+BENCHMARK(BM_Correlated)->Apply(Args);
+BENCHMARK(BM_AntiCorrelated)->Apply(Args);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

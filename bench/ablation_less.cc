@@ -1,0 +1,64 @@
+// Ablation: sort-phase elimination (the paper's Section 6 future-work item
+// "removal of non-skyline tuples could be done during the external sort
+// passes", realized by core/less.h). Compares plain SFS with LESS-style
+// elimination at the same filter window across dimensionalities. Expected
+// shape: LESS drops the large majority of tuples before they ever enter a
+// sort run — sort I/O falls sharply at low dimensionality (small skylines,
+// near-total elimination) and the advantage narrows as dimensionality
+// (and skyline size) grows.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+void BM_PlainSfs(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  const int dims = static_cast<int>(state.range(0));
+  SkylineSpec spec = MaxSpec(table, dims);
+  SfsOptions options;
+  options.window_pages = 32;
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, options, "abl_less_sfs", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+  state.counters["sort_io_pages"] =
+      static_cast<double>(stats.sort_stats.io.TotalPages());
+}
+
+void BM_Less(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  const int dims = static_cast<int>(state.range(0));
+  SkylineSpec spec = MaxSpec(table, dims);
+  LessOptions options;
+  options.window_pages = 32;
+  LessStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineLess(table, spec, options, "abl_less_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats.run);
+  state.counters["sort_io_pages"] =
+      static_cast<double>(stats.run.sort_stats.io.TotalPages());
+  state.counters["ef_dropped"] = static_cast<double>(stats.ef_dropped);
+  state.counters["ef_cmp"] = static_cast<double>(stats.ef_comparisons);
+}
+
+void Args(::benchmark::internal::Benchmark* b) {
+  for (int dims : {2, 3, 4, 5, 6, 7}) b->Arg(dims);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_PlainSfs)->Apply(Args);
+BENCHMARK(BM_Less)->Apply(Args);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

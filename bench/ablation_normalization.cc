@@ -1,0 +1,89 @@
+// Ablation: entropy normalization strategy under marginal skew. The
+// paper's E normalizes by min/max and assumes uniform values, arguing
+// (§4.3) that other distributions "would not effect this relative
+// ordering much". This bench *tests* that claim against equi-depth-
+// histogram rank normalization, which computes the dominance probability
+// exactly for any marginal distribution. Measured outcome: the claim
+// holds — even at skew exponent 10 the min-max order spills essentially
+// the same number of tuples as the exact rank order (a uniform monotone
+// transform of every marginal barely perturbs the relative order), at a
+// fraction of the presort cost (no histogram build, scalar-key sort).
+// The rank ordering remains valuable when marginals are *heterogeneous*
+// or when histogram statistics already exist in the catalog.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+constexpr int kDims = 6;
+
+const Table& SkewedTable(double skew) {
+  static auto* const kCache = new std::map<double, std::unique_ptr<Table>>;
+  auto it = kCache->find(skew);
+  if (it == kCache->end()) {
+    GeneratorOptions options;
+    options.num_rows = BenchRows();
+    options.num_attributes = kDims;
+    options.payload_bytes = 100 - kDims * 4;
+    options.skew_exponent = skew;
+    options.seed = 2003;
+    auto result = GenerateTable(BenchEnv(),
+                                "abl_norm_" + std::to_string(skew), options);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+    it = kCache
+             ->emplace(skew,
+                       std::make_unique<Table>(std::move(result).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+void BM_MinMaxEntropy(::benchmark::State& state) {
+  const Table& table = SkewedTable(static_cast<double>(state.range(0)));
+  SkylineSpec spec = MaxSpec(table, kDims);
+  SfsOptions options;
+  options.window_pages = 2;
+  options.use_projection = false;
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, options, "abl_norm_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_RankEntropy(::benchmark::State& state) {
+  const Table& table = SkewedTable(static_cast<double>(state.range(0)));
+  SkylineSpec spec = MaxSpec(table, kDims);
+  auto ordering = RankEntropyOrdering::Build(&spec, table, 64);
+  SKYLINE_CHECK(ordering.ok()) << ordering.status().ToString();
+  SfsOptions options;
+  options.presort = Presort::kCustom;
+  options.custom_ordering = &*ordering;
+  options.window_pages = 2;
+  options.use_projection = false;
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, options, "abl_norm_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void Args(::benchmark::internal::Benchmark* b) {
+  for (int skew : {1, 4, 10}) b->Arg(skew);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_MinMaxEntropy)->Apply(Args);
+BENCHMARK(BM_RankEntropy)->Apply(Args);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+// Ablation: presort order (DESIGN.md §5 choice 1). The paper's key insight
+// for the w/E optimization is that the nested sort floods the window with
+// low-dominance-number skyline tuples while the entropy order front-loads
+// great dominators, maximizing the reduction factor. This bench fixes a
+// small window and measures, per ordering: spilled tuples (the direct
+// reduction-factor readout), passes, extra pages, and dominance
+// comparisons (CPU). Expected shape: entropy strictly better on spills and
+// comparisons across dimensionalities.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+void RunOrdering(::benchmark::State& state, Presort presort) {
+  const Table& table = PaperTable();
+  const int dims = static_cast<int>(state.range(0));
+  SkylineSpec spec = MaxSpec(table, dims);
+  SfsOptions options;
+  options.window_pages = static_cast<size_t>(state.range(1));
+  options.use_projection = false;  // isolate the ordering effect
+  options.presort = presort;
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, options, "abl_order_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_NestedOrder(::benchmark::State& state) {
+  RunOrdering(state, Presort::kNested);
+}
+void BM_EntropyOrder(::benchmark::State& state) {
+  RunOrdering(state, Presort::kEntropy);
+}
+
+void Args(::benchmark::internal::Benchmark* b) {
+  for (int dims : {5, 6, 7}) {
+    for (int pages : {2, 8, 32}) b->Args({dims, pages});
+  }
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_NestedOrder)->Apply(Args);
+BENCHMARK(BM_EntropyOrder)->Apply(Args);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

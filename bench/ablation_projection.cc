@@ -1,0 +1,55 @@
+// Ablation: window representation (DESIGN.md §5 choice 2). Projection
+// stores only the skyline attributes in the window (with dedup): for the
+// paper's tuple shape a page holds ~2.5x more entries (40-byte projections
+// vs 100-byte tuples), so the one-pass point arrives at a smaller window.
+// Expected shape: with projection, fewer passes/spills at every window
+// size, and the extra-pages drop-off to zero happens ~2.5x earlier.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+constexpr int kDims = 7;
+
+void RunProjection(::benchmark::State& state, bool projection) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, kDims);
+  SfsOptions options;
+  options.window_pages = static_cast<size_t>(state.range(0));
+  options.use_projection = projection;
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, options, "abl_proj_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+  // Entries per window page, to make the capacity difference visible.
+  const size_t entry = projection ? spec.projected_schema().row_width()
+                                  : spec.schema().row_width();
+  state.counters["entries_per_page"] =
+      static_cast<double>(RecordsPerPage(entry));
+}
+
+void BM_FullTupleWindow(::benchmark::State& state) {
+  RunProjection(state, false);
+}
+void BM_ProjectedWindow(::benchmark::State& state) {
+  RunProjection(state, true);
+}
+
+void Args(::benchmark::internal::Benchmark* b) {
+  for (int pages : {2, 4, 8, 16, 32, 64, 128, 256}) b->Arg(pages);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_FullTupleWindow)->Apply(Args);
+BENCHMARK(BM_ProjectedWindow)->Apply(Args);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

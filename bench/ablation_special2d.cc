@@ -1,0 +1,103 @@
+// Ablation: the low-dimensional special cases (paper Section 6: "special
+// cases of skyline are known to have good solutions, as for two- and
+// three-dimensional skylines"). Compares the O(1)-state 2-dim scan and
+// the 3-dim staircase sweep against full SFS and BNL. Expected shape: the
+// special cases need no window at all (zero extra pages at any
+// allocation) and spend O(n) dominance tests; general SFS matches their
+// I/O once the window holds the skyline but pays window-scan CPU.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+void BM_Special2D(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, 2);
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkyline2D(table, spec, SortOptions{}, "abl_2d_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_Special3D(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, 3);
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkyline3D(table, spec, SortOptions{}, "abl_3d_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_GeneralSfs2D(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, 2);
+  SfsOptions options;
+  options.window_pages = static_cast<size_t>(state.range(0));
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, options, "abl_2d_sfs", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_GeneralSfs3D(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, 3);
+  SfsOptions options;
+  options.window_pages = static_cast<size_t>(state.range(0));
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, options, "abl_3d_sfs", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_GeneralBnl2D(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, 2);
+  BnlOptions options;
+  options.window_pages = static_cast<size_t>(state.range(0));
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineBnl(table, spec, options, "abl_2d_bnl", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+BENCHMARK(BM_Special2D)->Unit(::benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Special3D)->Unit(::benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_GeneralSfs2D)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_GeneralSfs3D)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_GeneralBnl2D)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

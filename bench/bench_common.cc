@@ -1,0 +1,108 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+
+#include "common/logging.h"
+
+namespace skyline {
+namespace bench {
+
+uint64_t BenchRows() {
+  static const uint64_t kRows = [] {
+    double scale = 1.0;
+    if (const char* s = std::getenv("SKYLINE_BENCH_SCALE")) {
+      scale = std::atof(s);
+      if (scale <= 0) scale = 1.0;
+    }
+    return static_cast<uint64_t>(100'000 * scale);
+  }();
+  return kRows;
+}
+
+Env* BenchEnv() {
+  static Env* const kEnv = NewMemEnv().release();
+  return kEnv;
+}
+
+namespace {
+
+const Table& CachedTable(const std::string& key,
+                         const GeneratorOptions& options) {
+  static auto* const kCache = new std::map<std::string, std::unique_ptr<Table>>;
+  auto it = kCache->find(key);
+  if (it == kCache->end()) {
+    auto result = GenerateTable(BenchEnv(), "bench_" + key, options);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+    it = kCache
+             ->emplace(key,
+                       std::make_unique<Table>(std::move(result).value()))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+const Table& PaperTable() {
+  GeneratorOptions options;
+  options.num_rows = BenchRows();
+  options.seed = 2003;  // fixed for reproducibility
+  return CachedTable("paper", options);
+}
+
+const Table& DistributionTable(Distribution distribution) {
+  GeneratorOptions options;
+  options.num_rows = BenchRows();
+  options.distribution = distribution;
+  options.seed = 2003;
+  return CachedTable("dist_" + std::to_string(static_cast<int>(distribution)),
+                     options);
+}
+
+const Table& DistributionTableDims(Distribution distribution, int dims) {
+  GeneratorOptions options;
+  options.num_rows = BenchRows();
+  options.num_attributes = dims;
+  options.payload_bytes = 100 - static_cast<size_t>(dims) * 4;
+  options.distribution = distribution;
+  options.seed = 2003;
+  return CachedTable("dist" + std::to_string(static_cast<int>(distribution)) +
+                         "_d" + std::to_string(dims),
+                     options);
+}
+
+const Table& SmallDomainTable(int dims) {
+  GeneratorOptions options;
+  options.num_rows = BenchRows();
+  options.num_attributes = dims;
+  options.small_domain = true;
+  options.domain_lo = 0;
+  options.domain_hi = 9;
+  options.seed = 2003;
+  return CachedTable("small" + std::to_string(dims), options);
+}
+
+SkylineSpec MaxSpec(const Table& table, int dims) {
+  std::vector<Criterion> criteria;
+  for (int i = 0; i < dims; ++i) {
+    criteria.push_back({"a" + std::to_string(i), Directive::kMax});
+  }
+  auto result = SkylineSpec::Make(table.schema(), std::move(criteria));
+  SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+void ReportRunStats(::benchmark::State& state, const SkylineRunStats& stats) {
+  state.counters["skyline"] = static_cast<double>(stats.output_rows);
+  state.counters["passes"] = static_cast<double>(stats.passes);
+  state.counters["extra_pages"] = static_cast<double>(stats.ExtraPages());
+  state.counters["spilled"] = static_cast<double>(stats.spilled_tuples);
+  state.counters["dom_cmp"] = static_cast<double>(stats.window_comparisons);
+  state.counters["sort_s"] = stats.sort_seconds;
+  state.counters["filter_s"] = stats.filter_seconds;
+}
+
+}  // namespace bench
+}  // namespace skyline

@@ -1,0 +1,50 @@
+#ifndef SKYLINE_BENCH_BENCH_COMMON_H_
+#define SKYLINE_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/skyline.h"
+#include "env/env.h"
+
+namespace skyline {
+namespace bench {
+
+/// Base table size. The paper uses 1M tuples; the default here is 100k so
+/// every figure regenerates in seconds. Set SKYLINE_BENCH_SCALE=10 to run
+/// at full paper scale.
+uint64_t BenchRows();
+
+/// Returns the process-wide bench Env (in-memory).
+Env* BenchEnv();
+
+/// Returns (building and caching on first use) the paper-shaped table:
+/// BenchRows() 100-byte tuples, ten int32 attributes uniform over the full
+/// int32 range, pairwise independent, plus a 60-byte string.
+const Table& PaperTable();
+
+/// Cached table with the given distribution (same shape otherwise).
+const Table& DistributionTable(Distribution distribution);
+
+/// Cached table whose attribute count equals the skyline dimensionality,
+/// so correlation/anti-correlation acts on exactly the criteria in use
+/// (a 10-attribute anti-correlated table is nearly independent on any
+/// 3-attribute projection).
+const Table& DistributionTableDims(Distribution distribution, int dims);
+
+/// Cached small-domain table (domains [0,9], `dims` attributes, 60-byte
+/// payload) for the dimensional-reduction experiment.
+const Table& SmallDomainTable(int dims);
+
+/// Skyline spec over the first `dims` attributes of `table`, all MAX.
+SkylineSpec MaxSpec(const Table& table, int dims);
+
+/// Publishes the standard counters from a run onto a benchmark state.
+void ReportRunStats(::benchmark::State& state, const SkylineRunStats& stats);
+
+}  // namespace bench
+}  // namespace skyline
+
+#endif  // SKYLINE_BENCH_BENCH_COMMON_H_

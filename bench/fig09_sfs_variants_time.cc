@@ -1,0 +1,55 @@
+// Figure 9: elapsed time vs window size for the three SFS variants over a
+// 7-dimensional skyline — basic SFS (nested presort), SFS w/E (entropy
+// presort), and SFS w/E,P (entropy presort + window projection). Times
+// include the presort, as in the paper. Expected shape: w/E below basic at
+// small windows (better reduction factor, cheaper single-key sort); w/E,P
+// flattens out at a smaller window (denser window entries).
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+constexpr int kDims = 7;
+
+void RunSfs(::benchmark::State& state, Presort presort, bool projection) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, kDims);
+  SfsOptions options;
+  options.window_pages = static_cast<size_t>(state.range(0));
+  options.presort = presort;
+  options.use_projection = projection;
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result = ComputeSkylineSfs(table, spec, options, "fig09_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+    ::benchmark::DoNotOptimize(result->row_count());
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_SFS_Basic(::benchmark::State& state) {
+  RunSfs(state, Presort::kNested, false);
+}
+void BM_SFS_Entropy(::benchmark::State& state) {
+  RunSfs(state, Presort::kEntropy, false);
+}
+void BM_SFS_EntropyProj(::benchmark::State& state) {
+  RunSfs(state, Presort::kEntropy, true);
+}
+
+void WindowArgs(::benchmark::internal::Benchmark* b) {
+  for (int pages : {2, 4, 8, 16, 32, 64, 128, 256, 512}) b->Arg(pages);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_SFS_Basic)->Apply(WindowArgs);
+BENCHMARK(BM_SFS_Entropy)->Apply(WindowArgs);
+BENCHMARK(BM_SFS_EntropyProj)->Apply(WindowArgs);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Figure 10: extra-page I/O vs window size for the three SFS variants
+// (7-dim skyline). "Extra pages" counts temp pages written across all
+// filter passes plus their re-reads, excluding the initial scan — exactly
+// the paper's measure. Expected shape: w/E well below basic before the
+// one-pass point; w/E,P drops to zero at a smaller window; all reach zero
+// once the window holds the (projected) skyline.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+constexpr int kDims = 7;
+
+void RunSfsIo(::benchmark::State& state, Presort presort, bool projection) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, kDims);
+  SfsOptions options;
+  options.window_pages = static_cast<size_t>(state.range(0));
+  options.presort = presort;
+  options.use_projection = projection;
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result = ComputeSkylineSfs(table, spec, options, "fig10_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+  state.counters["pages_written"] =
+      static_cast<double>(stats.temp_io.pages_written);
+  state.counters["pages_reread"] =
+      static_cast<double>(stats.temp_io.pages_read);
+}
+
+void BM_IO_SFS_Basic(::benchmark::State& state) {
+  RunSfsIo(state, Presort::kNested, false);
+}
+void BM_IO_SFS_Entropy(::benchmark::State& state) {
+  RunSfsIo(state, Presort::kEntropy, false);
+}
+void BM_IO_SFS_EntropyProj(::benchmark::State& state) {
+  RunSfsIo(state, Presort::kEntropy, true);
+}
+
+void WindowArgs(::benchmark::internal::Benchmark* b) {
+  for (int pages : {2, 4, 8, 16, 32, 64, 128, 256, 512}) b->Arg(pages);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_IO_SFS_Basic)->Apply(WindowArgs);
+BENCHMARK(BM_IO_SFS_Entropy)->Apply(WindowArgs);
+BENCHMARK(BM_IO_SFS_EntropyProj)->Apply(WindowArgs);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Figure 11: BNL elapsed time vs window size at 5, 6, and 7 skyline
+// dimensions, for random input order and reverse-entropy (w/RE) input
+// order. Expected shape: times rise with dimensionality (larger skylines,
+// weaker window replacement); w/RE is pathological; past a point, larger
+// windows make BNL *slower* (CPU-bound window scans) — the behaviour that
+// makes BNL hard to cost in an optimizer. As in the paper, the w/RE sweep
+// is curtailed (fewer points) because those runs are very slow.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+void RunBnl(::benchmark::State& state, bool reverse_entropy) {
+  const Table& table = PaperTable();
+  const int dims = static_cast<int>(state.range(0));
+  SkylineSpec spec = MaxSpec(table, dims);
+  EntropyOrdering entropy(&spec, table);
+  ReverseOrdering reversed(&entropy);
+  BnlOptions options;
+  options.window_pages = static_cast<size_t>(state.range(1));
+  if (reverse_entropy) options.input_ordering = &reversed;
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result = ComputeSkylineBnl(table, spec, options, "fig11_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+  state.counters["replacements"] =
+      static_cast<double>(stats.window_replacements);
+}
+
+void BM_BNL_Random(::benchmark::State& state) { RunBnl(state, false); }
+void BM_BNL_ReverseEntropy(::benchmark::State& state) { RunBnl(state, true); }
+
+void BnlArgs(::benchmark::internal::Benchmark* b) {
+  for (int dims : {5, 6, 7}) {
+    for (int pages : {2, 8, 32, 128, 512}) b->Args({dims, pages});
+  }
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+void BnlReArgs(::benchmark::internal::Benchmark* b) {
+  // Curtailed, as in the paper: w/RE runs are extremely slow.
+  for (int dims : {5, 6}) {
+    for (int pages : {2, 8, 32}) b->Args({dims, pages});
+  }
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_BNL_Random)->Apply(BnlArgs);
+BENCHMARK(BM_BNL_ReverseEntropy)->Apply(BnlReArgs);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Figure 13: elapsed time, SFS vs BNL vs BNL w/RE, 7-dimensional skyline,
+// across window sizes. SFS here is the full w/E,P variant (as the paper
+// uses from this figure on) and its time includes the presort. Expected
+// shape: SFS below BNL across the sweep and stable as the window grows;
+// BNL w/RE far above both.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+constexpr int kDims = 7;
+
+void BM_SFS(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, kDims);
+  SfsOptions options;
+  options.window_pages = static_cast<size_t>(state.range(0));
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result = ComputeSkylineSfs(table, spec, options, "fig13_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void RunBnl(::benchmark::State& state, bool reverse_entropy) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, kDims);
+  EntropyOrdering entropy(&spec, table);
+  ReverseOrdering reversed(&entropy);
+  BnlOptions options;
+  options.window_pages = static_cast<size_t>(state.range(0));
+  if (reverse_entropy) options.input_ordering = &reversed;
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result = ComputeSkylineBnl(table, spec, options, "fig13_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_BNL(::benchmark::State& state) { RunBnl(state, false); }
+void BM_BNL_RE(::benchmark::State& state) { RunBnl(state, true); }
+
+void WindowArgs(::benchmark::internal::Benchmark* b) {
+  for (int pages : {2, 8, 32, 128, 512}) b->Arg(pages);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+void CurtailedArgs(::benchmark::internal::Benchmark* b) {
+  for (int pages : {2, 8, 32}) b->Arg(pages);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_SFS)->Apply(WindowArgs);
+BENCHMARK(BM_BNL)->Apply(WindowArgs);
+BENCHMARK(BM_BNL_RE)->Apply(CurtailedArgs);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

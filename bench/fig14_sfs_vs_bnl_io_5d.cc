@@ -1,0 +1,66 @@
+// Figure 14: extra-page I/O, SFS vs BNL (and BNL w/RE), 5-dimensional
+// skyline, across window sizes. Expected shape (log-scale in the paper):
+// SFS's curve falls more steeply than BNL's with larger windows (more
+// efficient window use) and hits zero sooner thanks to projection; BNL
+// w/RE is horrible — window replacement is defeated, so few tuples are
+// discarded per pass.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+constexpr int kDims = 5;
+
+void BM_IO_SFS(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, kDims);
+  SfsOptions options;
+  options.window_pages = static_cast<size_t>(state.range(0));
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result = ComputeSkylineSfs(table, spec, options, "fig14_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void RunBnlIo(::benchmark::State& state, bool reverse_entropy) {
+  const Table& table = PaperTable();
+  SkylineSpec spec = MaxSpec(table, kDims);
+  EntropyOrdering entropy(&spec, table);
+  ReverseOrdering reversed(&entropy);
+  BnlOptions options;
+  options.window_pages = static_cast<size_t>(state.range(0));
+  if (reverse_entropy) options.input_ordering = &reversed;
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result = ComputeSkylineBnl(table, spec, options, "fig14_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+}
+
+void BM_IO_BNL(::benchmark::State& state) { RunBnlIo(state, false); }
+void BM_IO_BNL_RE(::benchmark::State& state) { RunBnlIo(state, true); }
+
+void WindowArgs(::benchmark::internal::Benchmark* b) {
+  for (int pages : {2, 4, 8, 16, 32, 64, 128}) b->Arg(pages);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+void CurtailedArgs(::benchmark::internal::Benchmark* b) {
+  for (int pages : {2, 8, 32}) b->Arg(pages);
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_IO_SFS)->Apply(WindowArgs);
+BENCHMARK(BM_IO_BNL)->Apply(WindowArgs);
+BENCHMARK(BM_IO_BNL_RE)->Apply(CurtailedArgs);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

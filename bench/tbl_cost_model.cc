@@ -1,0 +1,53 @@
+// Optimizer validation table (paper Section 6: skyline needs a
+// cardinality estimator and a cost model to live inside a query
+// optimizer). For each window allocation this bench reports the cost
+// model's *predicted* passes and spill bound next to the measured run —
+// the pass prediction should be exact-or-off-by-one (it is exact given
+// the true skyline cardinality; the residual error is the cardinality
+// estimator's).
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+void BM_CostModelVsMeasured(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  const int dims = static_cast<int>(state.range(0));
+  SkylineSpec spec = MaxSpec(table, dims);
+  SfsOptions options;
+  options.window_pages = static_cast<size_t>(state.range(1));
+  options.use_projection = false;
+
+  const SfsCostEstimate estimate =
+      EstimateSfsCost(table.row_count(), spec, options);
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, options, "tbl_cost_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+  state.counters["pred_sky"] = estimate.skyline_cardinality;
+  state.counters["pred_passes"] = static_cast<double>(estimate.passes);
+  state.counters["pred_spill_bound"] = estimate.spilled_tuples_bound;
+  state.counters["pred_extra_pages_bound"] = estimate.extra_pages_bound;
+  state.counters["passes_exact_given_sky"] = static_cast<double>(
+      SfsPassesForSkyline(stats.output_rows, estimate.window_capacity));
+}
+
+void Args(::benchmark::internal::Benchmark* b) {
+  for (int dims : {4, 5, 6, 7}) {
+    for (int pages : {1, 2, 8, 32}) b->Args({dims, pages});
+  }
+  b->Unit(::benchmark::kMillisecond)->Iterations(1);
+}
+
+BENCHMARK(BM_CostModelVsMeasured)->Apply(Args);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

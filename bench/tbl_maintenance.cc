@@ -1,0 +1,84 @@
+// Incremental maintenance microbenchmark (paper Section 2's index-
+// fragility discussion): cost of keeping a skyline current under a stream
+// of inserts, including the "single insertion that dominates the current
+// skyline" event the paper calls out — cheap here (one O(|skyline|)
+// eviction sweep), versus the recompute a precomputed skyline index would
+// need. Counters report the final skyline size and total evictions.
+
+#include <cstring>
+#include <limits>
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+void BM_MaintainInsertStream(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  const int dims = static_cast<int>(state.range(0));
+  SkylineSpec spec = MaxSpec(table, dims);
+  std::vector<char> rows;
+  SKYLINE_CHECK_OK(table.ReadAllRows(&rows));
+  const size_t width = table.schema().row_width();
+
+  uint64_t final_size = 0;
+  uint64_t evictions = 0;
+  for (auto _ : state) {
+    SkylineMaintainer maintainer(&spec);
+    for (uint64_t i = 0; i < table.row_count(); ++i) {
+      maintainer.Insert(rows.data() + i * width);
+    }
+    final_size = maintainer.size();
+    evictions = maintainer.evictions();
+  }
+  state.counters["skyline"] = static_cast<double>(final_size);
+  state.counters["evictions"] = static_cast<double>(evictions);
+  state.counters["inserts_per_s"] = ::benchmark::Counter(
+      static_cast<double>(table.row_count()),
+      ::benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_DominatingInsertEvent(::benchmark::State& state) {
+  // The paper's invalidation event: insert a tuple beating everything.
+  const Table& table = PaperTable();
+  const int dims = static_cast<int>(state.range(0));
+  SkylineSpec spec = MaxSpec(table, dims);
+  std::vector<char> rows;
+  SKYLINE_CHECK_OK(table.ReadAllRows(&rows));
+  const size_t width = table.schema().row_width();
+  SkylineMaintainer maintainer(&spec);
+  for (uint64_t i = 0; i < table.row_count(); ++i) {
+    maintainer.Insert(rows.data() + i * width);
+  }
+  std::vector<char> champion(width, 0);
+  const int32_t top = std::numeric_limits<int32_t>::max();
+  for (const auto& vc : spec.value_columns()) {
+    std::memcpy(champion.data() + spec.schema().offset(vc.column), &top, 4);
+  }
+  for (auto _ : state) {
+    SkylineMaintainer copy = maintainer;  // measure the event on a fresh set
+    copy.Insert(champion.data());
+    ::benchmark::DoNotOptimize(copy.size());
+  }
+  state.counters["evicted_members"] =
+      static_cast<double>(maintainer.size());
+}
+
+BENCHMARK(BM_MaintainInsertStream)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(7)
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_DominatingInsertEvent)
+    ->Arg(5)
+    ->Arg(7)
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(3);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

@@ -1,0 +1,40 @@
+// Section 5 reported skyline sizes: the paper's 1M-tuple table yields
+// 1,651 / 5,357 / 14,081 skyline tuples at 5 / 6 / 7 dimensions. This
+// bench measures the observed skyline size per dimensionality and compares
+// it with the cardinality estimator (exact expected-maxima recurrence and
+// the (ln n)^{d-1}/(d-1)! asymptotic) — footnote 2 and the optimizer
+// discussion of Section 6.
+
+#include "bench_common.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+void BM_SkylineSize(::benchmark::State& state) {
+  const Table& table = PaperTable();
+  const int dims = static_cast<int>(state.range(0));
+  SkylineSpec spec = MaxSpec(table, dims);
+  SkylineRunStats stats;
+  for (auto _ : state) {
+    auto result =
+        ComputeSkylineSfs(table, spec, SfsOptions{}, "tbl_sizes_out", &stats);
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  }
+  ReportRunStats(state, stats);
+  state.counters["estimate_exact"] =
+      ExpectedSkylineSize(table.row_count(), dims);
+  state.counters["estimate_asym"] =
+      SkylineSizeAsymptotic(table.row_count(), dims);
+}
+
+BENCHMARK(BM_SkylineSize)
+    ->DenseRange(2, 8, 1)
+    ->Unit(::benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// sql_shell: the paper's proposed SQL surface (Figure 3), runnable over
+// CSV files.
+//
+//   ./sql_shell data.csv "SELECT * FROM data SKYLINE OF price MIN, rating MAX"
+//   ./sql_shell a.csv b.csv
+//       "SELECT name FROM b WHERE stars > 3 SKYLINE OF price MIN LIMIT 10"
+//   (shell line continuation elided; pass files then one query string)
+//
+// Each CSV becomes a table named after its file stem. With no arguments a
+// demo session over the GoodEats guide runs, including the paper's
+// Figure 4 query verbatim.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/skyline.h"
+#include "sql/executor.h"
+
+namespace {
+
+using namespace skyline;
+
+std::string FileStem(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name;
+}
+
+void PrintHeader(const Schema& schema) {
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    std::printf("%s%s", c > 0 ? " | " : "", schema.column(c).name.c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintRow(const RowView& row) {
+  const Schema& schema = row.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) std::printf(" | ");
+    switch (schema.column(c).type) {
+      case ColumnType::kInt32:
+        std::printf("%d", row.GetInt32(c));
+        break;
+      case ColumnType::kInt64:
+        std::printf("%lld", static_cast<long long>(row.GetInt64(c)));
+        break;
+      case ColumnType::kFloat64:
+        std::printf("%g", row.GetFloat64(c));
+        break;
+      case ColumnType::kFixedString:
+        std::printf("%s", row.GetString(c).c_str());
+        break;
+    }
+  }
+  std::printf("\n");
+}
+
+Status RunQuery(const Catalog& catalog, const std::string& sql) {
+  std::fprintf(stderr, "sql> %s\n", sql.c_str());
+  // `EXPLAIN <query>` prints the operator plan instead of executing.
+  if (sql.size() > 8 &&
+      (sql.rfind("EXPLAIN ", 0) == 0 || sql.rfind("explain ", 0) == 0)) {
+    SKYLINE_ASSIGN_OR_RETURN(std::string plan,
+                             ExplainSql(catalog, sql.substr(8)));
+    std::fputs(plan.c_str(), stdout);
+    std::fprintf(stderr, "\n");
+    return Status::OK();
+  }
+  bool printed_header = false;
+  int rows = 0;
+  SKYLINE_RETURN_IF_ERROR(
+      ExecuteSql(catalog, sql, SqlOptions{}, [&](const RowView& row) {
+        if (!printed_header) {
+          PrintHeader(row.schema());
+          printed_header = true;
+        }
+        PrintRow(row);
+        ++rows;
+        return Status::OK();
+      }));
+  std::fprintf(stderr, "(%d row%s)\n\n", rows, rows == 1 ? "" : "s");
+  return Status::OK();
+}
+
+Status RunFiles(int argc, char** argv) {
+  Env* env = Env::Memory();
+  Catalog catalog(env);
+  std::vector<Table> tables;
+  tables.reserve(static_cast<size_t>(argc));
+  // All arguments but the last are CSV files; the last is the query.
+  for (int i = 1; i < argc - 1; ++i) {
+    const std::string path = argv[i];
+    const std::string name = FileStem(path);
+    SKYLINE_ASSIGN_OR_RETURN(Table table,
+                             ReadCsvFile(env, path, "csv_" + name));
+    std::fprintf(stderr, "loaded table '%s' (%llu rows) from %s\n",
+                 name.c_str(),
+                 static_cast<unsigned long long>(table.row_count()),
+                 path.c_str());
+    tables.push_back(std::move(table));
+    catalog.Register(name, &tables.back());
+  }
+  std::fprintf(stderr, "\n");
+  return RunQuery(catalog, argv[argc - 1]);
+}
+
+Status RunDemo() {
+  std::fprintf(stderr, "no arguments: demo session over the paper's "
+                       "GoodEats guide\n\n");
+  Env* env = Env::Memory();
+  SKYLINE_ASSIGN_OR_RETURN(Table guide, MakeGoodEatsTable(env, "goodeats"));
+  Catalog catalog(env);
+  catalog.Register("GoodEats", &guide);
+  // Figure 4 of the paper, verbatim.
+  SKYLINE_RETURN_IF_ERROR(RunQuery(
+      catalog,
+      "select * from GoodEats skyline of S max, F max, D max, price min"));
+  SKYLINE_RETURN_IF_ERROR(RunQuery(
+      catalog, "SELECT restaurant, price FROM GoodEats WHERE price < 55 "
+               "SKYLINE OF F MAX, price MIN"));
+  SKYLINE_RETURN_IF_ERROR(RunQuery(
+      catalog,
+      "SELECT restaurant FROM GoodEats SKYLINE OF D DIFF, price MIN LIMIT 3"));
+  SKYLINE_RETURN_IF_ERROR(RunQuery(
+      catalog,
+      "EXPLAIN SELECT restaurant FROM GoodEats WHERE price < 60 "
+      "SKYLINE OF S MAX, price MIN ORDER BY price LIMIT 3"));
+  std::fprintf(stderr,
+               "usage: sql_shell <file.csv>... \"<query>\"\n"
+               "       (each CSV becomes a table named after its stem)\n");
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Status st = argc >= 3 ? RunFiles(argc, argv) : RunDemo();
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Top-N pipelining: demonstrates the property that distinguishes SFS from
+// BNL in a query engine — its *output* is pipelined, so a LIMIT above the
+// skyline operator stops the filter pass as soon as N tuples are
+// confirmed, while BNL must effectively finish before emitting anything
+// (paper Sections 4.2 and 4.4).
+//
+// Run: ./top_n_pipeline
+
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/skyline.h"
+#include "exec/query.h"
+
+namespace {
+
+using namespace skyline;
+
+Result<Table> BuildListings(Env* env) {
+  GeneratorOptions options;
+  options.num_rows = 200'000;
+  options.num_attributes = 6;
+  options.payload_bytes = 60;
+  options.seed = 31;
+  return GenerateTable(env, "listings", options);
+}
+
+Result<uint64_t> RunTopN(Env* env, const Table& table,
+                         SkylineAlgorithm algorithm, uint64_t n,
+                         double* seconds, SkylineRunStats* stats_out) {
+  auto scan = std::make_unique<TableScanOperator>(&table);
+  SKYLINE_ASSIGN_OR_RETURN(
+      std::unique_ptr<SkylineOperator> sky,
+      SkylineOperator::Make(std::move(scan), env, "topn_tmp",
+                            {{"a0", Directive::kMax},
+                             {"a1", Directive::kMax},
+                             {"a2", Directive::kMax},
+                             {"a3", Directive::kMax},
+                             {"a4", Directive::kMax},
+                             {"a5", Directive::kMax}},
+                            algorithm));
+  SkylineOperator* sky_ptr = sky.get();
+  LimitOperator limit(std::move(sky), n);
+  Stopwatch timer;
+  SKYLINE_RETURN_IF_ERROR(limit.Open());
+  while (limit.Next() != nullptr) {
+  }
+  SKYLINE_RETURN_IF_ERROR(limit.status());
+  *seconds = timer.ElapsedSeconds();
+  *stats_out = sky_ptr->stats();
+  return limit.emitted();
+}
+
+}  // namespace
+
+int main() {
+  Env* env = Env::Memory();
+  auto listings = BuildListings(env);
+  if (!listings.ok()) {
+    std::fprintf(stderr, "%s\n", listings.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Table: %llu rows, 6-dimensional skyline. Query: top 10 of\n"
+              "the skyline, as a LIMIT above the skyline operator.\n\n",
+              static_cast<unsigned long long>(listings->row_count()));
+
+  for (auto [algorithm, name] :
+       {std::pair{SkylineAlgorithm::kSfs, "SFS (pipelined output)"},
+        std::pair{SkylineAlgorithm::kBnl, "BNL (blocking output)"}}) {
+    double seconds = 0;
+    SkylineRunStats stats;
+    auto emitted = RunTopN(env, *listings, algorithm, 10, &seconds, &stats);
+    if (!emitted.ok()) {
+      std::fprintf(stderr, "%s\n", emitted.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%-24s %llu rows in %.3f s", name,
+                static_cast<unsigned long long>(*emitted), seconds);
+    if (algorithm == SkylineAlgorithm::kSfs) {
+      std::printf("  (filter confirmed only %llu tuples before stopping)",
+                  static_cast<unsigned long long>(stats.output_rows));
+    } else {
+      std::printf("  (computed all %llu skyline tuples first)",
+                  static_cast<unsigned long long>(stats.output_rows));
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nBoth operators block on *input* (SFS must presort), but only SFS\n"
+      "streams results: after the sort, the first skyline tuple costs one\n"
+      "window test, so LIMIT 10 touches a tiny prefix of the data.\n");
+  return 0;
+}

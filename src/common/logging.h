@@ -1,0 +1,60 @@
+#ifndef SKYLINE_COMMON_LOGGING_H_
+#define SKYLINE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace skyline {
+namespace logging_internal {
+
+/// Terminates the process after printing `message` with source location.
+/// Used by the CHECK macros; never returns.
+[[noreturn]] void DieBecause(const char* file, int line,
+                             const std::string& message);
+
+/// Stream-collecting helper so CHECK(x) << "context" works.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+
+  template <typename T>
+  FatalMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+
+/// CHECK-style invariant assertions. Enabled in all build types: these guard
+/// programmer contracts (not user input, which goes through Status).
+#define SKYLINE_CHECK(condition)                                       \
+  if (!(condition))                                                    \
+  ::skyline::logging_internal::FatalMessage(__FILE__, __LINE__, #condition)
+
+#define SKYLINE_CHECK_EQ(a, b) SKYLINE_CHECK((a) == (b))
+#define SKYLINE_CHECK_NE(a, b) SKYLINE_CHECK((a) != (b))
+#define SKYLINE_CHECK_LT(a, b) SKYLINE_CHECK((a) < (b))
+#define SKYLINE_CHECK_LE(a, b) SKYLINE_CHECK((a) <= (b))
+#define SKYLINE_CHECK_GT(a, b) SKYLINE_CHECK((a) > (b))
+#define SKYLINE_CHECK_GE(a, b) SKYLINE_CHECK((a) >= (b))
+
+/// Checks that a Status-returning expression is OK; for init paths and tests
+/// where failure is a bug rather than a recoverable condition.
+#define SKYLINE_CHECK_OK(expr)                                        \
+  do {                                                                \
+    ::skyline::Status _st = (expr);                                   \
+    SKYLINE_CHECK(_st.ok()) << _st.ToString();                        \
+  } while (0)
+
+}  // namespace skyline
+
+#endif  // SKYLINE_COMMON_LOGGING_H_

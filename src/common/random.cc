@@ -1,0 +1,82 @@
+#include "common/random.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace skyline {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t RotL(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Random::Random(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Random::Next() {
+  const uint64_t result = RotL(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+uint64_t Random::Uniform(uint64_t n) {
+  SKYLINE_CHECK_GT(n, 0u);
+  // Rejection sampling over the largest multiple of n that fits in 64 bits.
+  const uint64_t threshold = (0 - n) % n;  // == 2^64 mod n
+  uint64_t r = Next();
+  while (r < threshold) r = Next();
+  return r % n;
+}
+
+int32_t Random::UniformInt32() {
+  return static_cast<int32_t>(static_cast<uint32_t>(Next() >> 32));
+}
+
+int32_t Random::UniformInt32(int32_t lo, int32_t hi) {
+  SKYLINE_CHECK_LE(lo, hi);
+  const uint64_t span =
+      static_cast<uint64_t>(static_cast<int64_t>(hi) - lo) + 1;
+  return static_cast<int32_t>(lo + static_cast<int64_t>(Uniform(span)));
+}
+
+double Random::UniformDouble() {
+  // 53 random mantissa bits scaled to [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::Gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = 2.0 * UniformDouble() - 1.0;
+    v = 2.0 * UniformDouble() - 1.0;
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  have_cached_gaussian_ = true;
+  return u * factor;
+}
+
+bool Random::OneIn(double p) { return UniformDouble() < p; }
+
+}  // namespace skyline

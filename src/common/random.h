@@ -1,0 +1,51 @@
+#ifndef SKYLINE_COMMON_RANDOM_H_
+#define SKYLINE_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace skyline {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256**).
+/// Used by the data generators and tests so experiments are reproducible
+/// across platforms — std::mt19937 distributions are not portable across
+/// standard library implementations, so we implement our own draws.
+class Random {
+ public:
+  /// Seeds the state via SplitMix64 so that small seeds (0, 1, 2, ...)
+  /// produce well-mixed, independent streams.
+  explicit Random(uint64_t seed);
+
+  Random(const Random&) = default;
+  Random& operator=(const Random&) = default;
+
+  /// Next raw 64-bit draw.
+  uint64_t Next();
+
+  /// Uniform in [0, n). n must be > 0. Uses rejection to avoid modulo bias.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform int32 over the full range [INT32_MIN, INT32_MAX], matching the
+  /// paper's "-MAXINT to MAXINT" attribute distribution.
+  int32_t UniformInt32();
+
+  /// Uniform int32 in [lo, hi] inclusive.
+  int32_t UniformInt32(int32_t lo, int32_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Standard normal draw (Marsaglia polar method).
+  double Gaussian();
+
+  /// Bernoulli draw with probability p of returning true.
+  bool OneIn(double p);
+
+ private:
+  uint64_t state_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_COMMON_RANDOM_H_

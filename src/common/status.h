@@ -1,0 +1,160 @@
+#ifndef SKYLINE_COMMON_STATUS_H_
+#define SKYLINE_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace skyline {
+
+/// Error-handling vocabulary for the whole library. The project does not use
+/// exceptions (per the Google style guide); every fallible operation returns
+/// a Status, or a Result<T> when it also produces a value.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,
+  kIoError,
+  kCorruption,
+  kNotSupported,
+  kInternal,
+};
+
+/// Human-readable name for a status code ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-type status: a code plus an optional message. Cheap to copy in the
+/// OK case (empty message). Modeled on absl::Status / rocksdb::Status.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsResourceExhausted() const {
+    return code_ == StatusCode::kResourceExhausted;
+  }
+  bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+
+/// Result<T> carries either a value or an error Status. A lightweight
+/// absl::StatusOr analogue sufficient for this library.
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversions from both T and Status keep call sites readable:
+  ///   Result<int> F() { if (bad) return Status::InvalidArgument("..."); ... }
+  Result(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : rep_(std::move(status)) {  // NOLINT
+    // An OK status without a value is a contract violation; normalize it to
+    // an internal error so callers never see ok() with no value.
+    if (std::get<Status>(rep_).ok()) {
+      rep_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(rep_);
+  }
+
+  /// Value accessors; must only be called when ok().
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define SKYLINE_RETURN_IF_ERROR(expr)            \
+  do {                                           \
+    ::skyline::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result<T> expression; on error propagates the Status,
+/// otherwise assigns the value to `lhs`.
+#define SKYLINE_ASSIGN_OR_RETURN(lhs, expr)      \
+  SKYLINE_ASSIGN_OR_RETURN_IMPL_(                \
+      SKYLINE_STATUS_CONCAT_(_result_, __LINE__), lhs, expr)
+
+#define SKYLINE_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#define SKYLINE_STATUS_CONCAT_(a, b) SKYLINE_STATUS_CONCAT_IMPL_(a, b)
+#define SKYLINE_STATUS_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace skyline
+
+#endif  // SKYLINE_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef SKYLINE_COMMON_STOPWATCH_H_
+#define SKYLINE_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace skyline {
+
+/// Minimal wall-clock stopwatch for the benchmark harnesses and examples.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_COMMON_STOPWATCH_H_

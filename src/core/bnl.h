@@ -1,0 +1,49 @@
+#ifndef SKYLINE_CORE_BNL_H_
+#define SKYLINE_CORE_BNL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/run_stats.h"
+#include "core/skyline_spec.h"
+#include "relation/table.h"
+#include "sort/comparator.h"
+#include "sort/external_sort.h"
+
+namespace skyline {
+
+/// Options for the block-nested-loops baseline (Börzsönyi, Kossmann &
+/// Stocker 2001), the comparison algorithm of the paper's Section 5.
+struct BnlOptions {
+  /// Buffer pages allocated to the window. BNL stores full tuples (it must
+  /// emit a tuple only once confirmed, so it cannot project — see the
+  /// paper's footnote 6).
+  size_t window_pages = 500;
+  /// If non-null, the input is first sorted by this ordering to model a
+  /// specific arrival order — e.g. ReverseOrdering over EntropyOrdering
+  /// reproduces the paper's pathological "BNL w/RE" runs. Sort cost is
+  /// recorded in stats.sort_stats but, as in the paper, models data that
+  /// merely *arrives* in that order. Null = the table's natural (random)
+  /// order.
+  const RowOrdering* input_ordering = nullptr;
+  SortOptions sort_options;
+};
+
+/// Computes the skyline of `input` with BNL, writing confirmed tuples to a
+/// new table at `output_path`. Output order is confirmation order (BNL's
+/// output is blocking: most tuples are only confirmed at end of pass).
+/// `stats` may be null.
+///
+/// Faithful to the original algorithm: a window of incomparable tuples with
+/// replacement (a new tuple that dominates window tuples evicts them), spill
+/// of non-dominated overflow to a temp file, and timestamp bookkeeping to
+/// confirm window tuples once they have been compared against every tuple
+/// that preceded them into the temp file.
+Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
+                                const BnlOptions& options,
+                                const std::string& output_path,
+                                SkylineRunStats* stats);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_BNL_H_

@@ -1,0 +1,51 @@
+#include "core/cardinality.h"
+
+#include <cmath>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace skyline {
+
+double ExpectedSkylineSize(uint64_t n, int d) {
+  SKYLINE_CHECK_GE(d, 1);
+  if (n == 0) return 0.0;
+  // m[k] holds m(i, k+1) as i advances from 1 to n. For each new i,
+  // m(i, 1) = 1 and m(i, k) = m(i-1, k) + m(i, k-1) / i, so updating k in
+  // ascending order uses the already-updated m(i, k-1).
+  std::vector<double> m(static_cast<size_t>(d), 1.0);  // i = 1: all 1
+  for (uint64_t i = 2; i <= n; ++i) {
+    const double inv = 1.0 / static_cast<double>(i);
+    for (int k = 1; k < d; ++k) {
+      m[static_cast<size_t>(k)] += m[static_cast<size_t>(k - 1)] * inv;
+    }
+  }
+  return m[static_cast<size_t>(d - 1)];
+}
+
+double SkylineSizeAsymptotic(uint64_t n, int d) {
+  SKYLINE_CHECK_GE(d, 1);
+  if (n == 0) return 0.0;
+  double result = 1.0;
+  const double ln_n = std::log(static_cast<double>(n));
+  for (int i = 1; i < d; ++i) {
+    result *= ln_n / static_cast<double>(i);
+  }
+  return result;
+}
+
+double ExtrapolateSkylineSize(double sample_skyline, uint64_t sample_n,
+                              uint64_t n, int d) {
+  SKYLINE_CHECK_GE(d, 1);
+  SKYLINE_CHECK_GE(sample_n, 2u);
+  if (n <= sample_n) return sample_skyline;
+  // m(n, d) ≈ c · (ln n + γ)^{d-1}: the harmonic sums behind the
+  // expected-maxima recurrence carry the Euler–Mascheroni constant as
+  // their second-order term, which matters at small sample sizes.
+  constexpr double kEulerGamma = 0.57721566490153286;
+  const double ratio = (std::log(static_cast<double>(n)) + kEulerGamma) /
+                       (std::log(static_cast<double>(sample_n)) + kEulerGamma);
+  return sample_skyline * std::pow(ratio, d - 1);
+}
+
+}  // namespace skyline

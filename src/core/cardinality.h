@@ -1,0 +1,32 @@
+#ifndef SKYLINE_CORE_CARDINALITY_H_
+#define SKYLINE_CORE_CARDINALITY_H_
+
+#include <cstdint>
+
+namespace skyline {
+
+/// Expected skyline size for n tuples over d independent dimensions with
+/// continuous (duplicate-free) attribute values — the quantity the paper's
+/// footnote 2 cites as Θ((ln n)^{d-1}/(d-1)!) and that a query optimizer
+/// needs to cost skyline operators.
+///
+/// Exact value via the classic expected-maxima recurrence
+///   m(n, d) = m(n-1, d) + m(n, d-1) / n,   m(n, 1) = 1, m(0, d) = 0,
+/// computed in O(n·d) time and O(d) space.
+double ExpectedSkylineSize(uint64_t n, int d);
+
+/// First-order asymptotic (ln n)^{d-1} / (d-1)!.
+double SkylineSizeAsymptotic(uint64_t n, int d);
+
+/// Extrapolates a skyline cardinality measured on a sample of size
+/// `sample_n` to the full table of size `n`, using the (ln n)^{d-1} growth
+/// law: m(n) ≈ m(s) · (ln n / ln s)^{d-1}. Unlike ExpectedSkylineSize this
+/// needs no independence/uniformity assumption about the data — the
+/// sample measurement carries the distribution — only the growth shape.
+/// `d` is the number of MIN/MAX criteria; sample_n must be >= 2.
+double ExtrapolateSkylineSize(double sample_skyline, uint64_t sample_n,
+                              uint64_t n, int d);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_CARDINALITY_H_

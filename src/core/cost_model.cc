@@ -1,0 +1,64 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "core/cardinality.h"
+#include "storage/page.h"
+
+namespace skyline {
+
+uint64_t SfsPassesForSkyline(uint64_t skyline_count,
+                             uint64_t window_capacity) {
+  SKYLINE_CHECK_GT(window_capacity, 0u);
+  if (skyline_count == 0) return 1;  // one scan to find out
+  return (skyline_count + window_capacity - 1) / window_capacity;
+}
+
+SfsCostEstimate EstimateSfsCost(uint64_t n, int dims, size_t row_width,
+                                size_t projected_width,
+                                const SfsOptions& options) {
+  SfsCostEstimate estimate;
+  estimate.skyline_cardinality = ExpectedSkylineSize(n, dims);
+  const size_t entry_width =
+      options.use_projection ? projected_width : row_width;
+  estimate.window_capacity =
+      options.window_pages * RecordsPerPage(entry_width);
+  estimate.passes = SfsPassesForSkyline(
+      static_cast<uint64_t>(std::llround(estimate.skyline_cardinality)),
+      estimate.window_capacity);
+  estimate.input_pages = HeapFilePageCount(n, row_width);
+
+  // Spill bound: during pass p (0-based), at least p*capacity skyline
+  // tuples are already confirmed; every tuple they dominate is eliminated
+  // on sight. What spills is (a) the remaining skyline tuples and (b)
+  // non-skyline tuples not dominated by the cached prefix. (b) shrinks
+  // fast under an entropy order; we bound it loosely by assuming each
+  // subsequent pass carries at most half of the previous pass's spill
+  // mass plus the outstanding skyline tuples.
+  double remaining_skyline = estimate.skyline_cardinality;
+  double carried = static_cast<double>(n);
+  double spilled = 0;
+  for (uint64_t p = 0; p < estimate.passes; ++p) {
+    const double confirmed = std::min(
+        remaining_skyline, static_cast<double>(estimate.window_capacity));
+    remaining_skyline -= confirmed;
+    if (remaining_skyline <= 0) break;
+    carried = carried / 2 + remaining_skyline;
+    spilled += carried;
+  }
+  estimate.spilled_tuples_bound = spilled;
+  const double per_page = static_cast<double>(RecordsPerPage(row_width));
+  estimate.extra_pages_bound = 2.0 * std::ceil(spilled / per_page);
+  return estimate;
+}
+
+SfsCostEstimate EstimateSfsCost(uint64_t n, const SkylineSpec& spec,
+                                const SfsOptions& options) {
+  return EstimateSfsCost(n, static_cast<int>(spec.num_dimensions()),
+                         spec.schema().row_width(),
+                         spec.projected_schema().row_width(), options);
+}
+
+}  // namespace skyline

@@ -1,0 +1,58 @@
+#ifndef SKYLINE_CORE_COST_MODEL_H_
+#define SKYLINE_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "core/sfs.h"
+#include "core/skyline_spec.h"
+
+namespace skyline {
+
+/// Optimizer-facing cost prediction for an SFS skyline evaluation — the
+/// paper's Section 6 integration requirement ("a cardinality estimator for
+/// skyline queries is necessary"; "the query optimizer's cost model would
+/// need to be extended").
+///
+/// Built on two facts about SFS with a monotone presort (no DIFF groups):
+///  1. Each filter pass confirms exactly min(capacity, remaining) distinct
+///     skyline tuples (the window only ever stores skyline tuples, and
+///     every non-dominated arrival is stored while space remains), so
+///        passes = ceil(m / capacity)
+///     where m is the number of distinct skyline tuples — exact given m.
+///  2. m is estimated by the expected-maxima recurrence under the paper's
+///     uniformity/independence assumptions (core/cardinality.h).
+struct SfsCostEstimate {
+  /// Estimated distinct skyline cardinality.
+  double skyline_cardinality = 0;
+  /// Window capacity in entries for the given options.
+  uint64_t window_capacity = 0;
+  /// Predicted filter passes (exact in the skyline cardinality).
+  uint64_t passes = 0;
+  /// Upper bound on spilled tuples: everything not confirmed or
+  /// eliminated in a pass is at most the skyline remainder plus the
+  /// not-yet-dominated tail; we bound by (passes - 1) * capacity +
+  /// residual spill mass, which empirically over-covers.
+  double spilled_tuples_bound = 0;
+  /// Extra pages bound (spilled pages written + re-read).
+  double extra_pages_bound = 0;
+  /// Pages read for the initial input scan (always incurred).
+  uint64_t input_pages = 0;
+};
+
+/// Predicts SFS cost for an n-row table with `dims` independent uniform
+/// MIN/MAX criteria. `row_width` and `projected_width` size the window
+/// entries (projection on/off per `options.use_projection`).
+SfsCostEstimate EstimateSfsCost(uint64_t n, int dims, size_t row_width,
+                                size_t projected_width,
+                                const SfsOptions& options);
+
+/// Convenience using a concrete spec's layout.
+SfsCostEstimate EstimateSfsCost(uint64_t n, const SkylineSpec& spec,
+                                const SfsOptions& options);
+
+/// Exact pass count given a known skyline cardinality (fact 1 above).
+uint64_t SfsPassesForSkyline(uint64_t skyline_count, uint64_t window_capacity);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_COST_MODEL_H_

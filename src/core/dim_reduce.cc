@@ -1,0 +1,91 @@
+#include "core/dim_reduce.h"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/scoring.h"
+#include "storage/heap_file.h"
+#include "storage/temp_file_manager.h"
+
+namespace skyline {
+
+Result<Table> DimensionalReduction(const Table& input, const SkylineSpec& spec,
+                                   const SortOptions& sort_options,
+                                   const std::string& output_path,
+                                   DimReduceStats* stats) {
+  if (!input.schema().Equals(spec.schema())) {
+    return Status::InvalidArgument("table schema does not match skyline spec");
+  }
+  if (spec.value_columns().size() < 2) {
+    return Status::InvalidArgument(
+        "dimensional reduction needs at least two MIN/MAX criteria");
+  }
+  DimReduceStats local;
+  DimReduceStats* s = stats != nullptr ? stats : &local;
+  *s = DimReduceStats{};
+  s->input_rows = input.row_count();
+
+  Env* env = input.env();
+  const Schema& schema = spec.schema();
+  const size_t width = schema.row_width();
+  TempFileManager temp_files(env, output_path + ".dimred_tmp");
+
+  Stopwatch timer;
+  // Full nested sort with the last criterion innermost: within each
+  // (diff, a1..a_{k-1}) group the best a_k tuples come first.
+  std::unique_ptr<LexicographicOrdering> ordering =
+      MakeNestedSkylineOrdering(spec);
+  SKYLINE_ASSIGN_OR_RETURN(
+      std::string sorted_path,
+      SortHeapFile(env, &temp_files, input.path(), width, *ordering,
+                   sort_options, &s->sort_stats));
+
+  const size_t last_col = spec.value_columns().back().column;
+  // Group key: all DIFF columns plus all value criteria except the last.
+  auto same_group = [&](const char* a, const char* b) {
+    for (size_t col : spec.diff_columns()) {
+      if (schema.CompareColumn(col, a, b) != 0) return false;
+    }
+    for (size_t i = 0; i + 1 < spec.value_columns().size(); ++i) {
+      if (schema.CompareColumn(spec.value_columns()[i].column, a, b) != 0) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  HeapFileReader reader(env, sorted_path, width, nullptr);
+  SKYLINE_RETURN_IF_ERROR(reader.Open());
+  TableBuilder builder(env, output_path, schema);
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+
+  std::vector<char> group_head(width);
+  bool have_group = false;
+  bool emitting = false;  // still within the group's best-last-value run
+  while (const char* row = reader.Next()) {
+    if (!have_group || !same_group(group_head.data(), row)) {
+      // New group: its first tuple has the group's best last-criterion
+      // value (innermost sort key), so emit it and keep emitting while the
+      // last value ties.
+      std::memcpy(group_head.data(), row, width);
+      have_group = true;
+      emitting = true;
+    } else if (emitting &&
+               schema.CompareColumn(last_col, group_head.data(), row) != 0) {
+      // Last value fell below the group optimum: skip the rest of the
+      // group (cannot be skyline).
+      emitting = false;
+    }
+    if (emitting) {
+      SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(row));
+      ++s->output_rows;
+    }
+  }
+  SKYLINE_RETURN_IF_ERROR(reader.status());
+  s->seconds = timer.ElapsedSeconds();
+  return builder.Finish();
+}
+
+}  // namespace skyline

@@ -1,0 +1,49 @@
+#ifndef SKYLINE_CORE_DIM_REDUCE_H_
+#define SKYLINE_CORE_DIM_REDUCE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/run_stats.h"
+#include "core/skyline_spec.h"
+#include "relation/table.h"
+#include "sort/external_sort.h"
+
+namespace skyline {
+
+/// Statistics for one dimensional-reduction run.
+struct DimReduceStats {
+  uint64_t input_rows = 0;
+  uint64_t output_rows = 0;
+  SortStats sort_stats;
+  double seconds = 0.0;
+
+  double ReductionRatio() const {
+    return input_rows == 0
+               ? 1.0
+               : static_cast<double>(output_rows) /
+                     static_cast<double>(input_rows);
+  }
+};
+
+/// The paper's dimensional-reduction optimization (Figure 8): group the
+/// relation by the first k-1 MIN/MAX criteria (and all DIFF columns) and
+/// keep, per group, only the tuples achieving the best value of the last
+/// criterion — tuples with a non-optimal last attribute in their group
+/// cannot be skyline. Effective when attribute domains are small, so groups
+/// are large (the paper reduces 1M rows to ~10% with domains 0..9).
+///
+/// Implementation: one nested sort with the last criterion innermost, then
+/// a single scan emitting each group's leading run of best-last-value
+/// tuples (all non-criterion attributes preserved). The output table at
+/// `output_path` is in nested monotone order, so it can feed SFS with
+/// Presort::kNone. Requires at least two MIN/MAX criteria. `stats` may be
+/// null.
+Result<Table> DimensionalReduction(const Table& input, const SkylineSpec& spec,
+                                   const SortOptions& sort_options,
+                                   const std::string& output_path,
+                                   DimReduceStats* stats);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_DIM_REDUCE_H_

@@ -1,0 +1,39 @@
+#include "core/dominance.h"
+
+namespace skyline {
+
+DomResult CompareDominance(const SkylineSpec& spec, const char* a,
+                           const char* b) {
+  const Schema& schema = spec.schema();
+  for (size_t col : spec.diff_columns()) {
+    if (schema.CompareColumn(col, a, b) != 0) return DomResult::kIncomparable;
+  }
+  bool a_better = false;
+  bool b_better = false;
+  for (const auto& vc : spec.value_columns()) {
+    int c = schema.CompareColumn(vc.column, a, b);
+    if (!vc.max) c = -c;  // for MIN criteria smaller is better
+    if (c > 0) {
+      if (b_better) return DomResult::kIncomparable;
+      a_better = true;
+    } else if (c < 0) {
+      if (a_better) return DomResult::kIncomparable;
+      b_better = true;
+    }
+  }
+  if (a_better) return DomResult::kFirstDominates;
+  if (b_better) return DomResult::kSecondDominates;
+  return DomResult::kEquivalent;
+}
+
+uint64_t DominanceNumber(const SkylineSpec& spec, const char* row,
+                         const char* rows, uint64_t count) {
+  const size_t width = spec.schema().row_width();
+  uint64_t dn = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    if (Dominates(spec, row, rows + i * width)) ++dn;
+  }
+  return dn;
+}
+
+}  // namespace skyline

@@ -1,0 +1,41 @@
+#ifndef SKYLINE_CORE_DOMINANCE_H_
+#define SKYLINE_CORE_DOMINANCE_H_
+
+#include "core/skyline_spec.h"
+
+namespace skyline {
+
+/// Outcome of comparing two rows under the skyline dominance partial order
+/// "≼" of the paper's Section 3: a ≽ b iff a is at least as good as b on
+/// every MIN/MAX criterion (and they agree on every DIFF column); a ≻ b
+/// (a *dominates* b) iff additionally a is strictly better somewhere.
+enum class DomResult {
+  /// First row strictly dominates the second.
+  kFirstDominates,
+  /// Second row strictly dominates the first.
+  kSecondDominates,
+  /// Equal on every skyline criterion (both can be skyline members).
+  kEquivalent,
+  /// Neither dominates (including rows in different DIFF groups).
+  kIncomparable,
+};
+
+/// Full dominance comparison of two raw rows of spec.schema().
+DomResult CompareDominance(const SkylineSpec& spec, const char* a,
+                           const char* b);
+
+/// True iff `a` strictly dominates `b`.
+inline bool Dominates(const SkylineSpec& spec, const char* a, const char* b) {
+  return CompareDominance(spec, a, b) == DomResult::kFirstDominates;
+}
+
+/// Dominance number dn(t): how many rows of `rows` (a dense row_width-strided
+/// buffer of `count` rows) are strictly dominated by `row`. O(count); used in
+/// tests and the ordering ablation (the paper's reduction-factor heuristic
+/// maximizes the window's cumulative dn).
+uint64_t DominanceNumber(const SkylineSpec& spec, const char* row,
+                         const char* rows, uint64_t count);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_DOMINANCE_H_

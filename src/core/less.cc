@@ -1,0 +1,112 @@
+#include "core/less.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/dominance.h"
+#include "core/sfs.h"
+#include "storage/page.h"
+#include "storage/temp_file_manager.h"
+
+namespace skyline {
+
+EliminationFilter::EliminationFilter(const SkylineSpec* spec,
+                                     const EntropyScorer* scorer,
+                                     size_t window_pages)
+    : spec_(spec),
+      entry_spec_(&spec->projected_spec()),
+      scorer_(scorer),
+      entry_width_(spec->projected_schema().row_width()),
+      capacity_(window_pages * RecordsPerPage(entry_width_)),
+      scratch_(entry_width_) {
+  SKYLINE_CHECK_GT(capacity_, 0u);
+  storage_.reserve(capacity_ * entry_width_);
+  scores_.reserve(capacity_);
+}
+
+bool EliminationFilter::Keep(const char* row) {
+  spec_->ProjectRow(row, scratch_.data());
+  const char* probe = scratch_.data();
+  for (size_t i = 0; i < entries_; ++i) {
+    ++comparisons_;
+    if (CompareDominance(*entry_spec_, storage_.data() + i * entry_width_,
+                         probe) == DomResult::kFirstDominates) {
+      ++dropped_;
+      return false;
+    }
+  }
+  const double score = scorer_->Score(row);
+  if (entries_ < capacity_) {
+    storage_.insert(storage_.end(), probe, probe + entry_width_);
+    scores_.push_back(score);
+    ++entries_;
+    return true;
+  }
+  // Replace the weakest (lowest-score) entry if the arrival scores higher:
+  // high-entropy tuples dominate the most others, and eviction is always
+  // safe for a pure elimination cache.
+  const size_t weakest = static_cast<size_t>(
+      std::min_element(scores_.begin(), scores_.end()) - scores_.begin());
+  if (score > scores_[weakest]) {
+    std::memcpy(storage_.data() + weakest * entry_width_, probe, entry_width_);
+    scores_[weakest] = score;
+  }
+  return true;
+}
+
+Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
+                                 const LessOptions& options,
+                                 const std::string& output_path,
+                                 LessStats* stats) {
+  if (!input.schema().Equals(spec.schema())) {
+    return Status::InvalidArgument("table schema does not match skyline spec");
+  }
+  LessStats local;
+  LessStats* s = stats != nullptr ? stats : &local;
+  *s = LessStats{};
+
+  Env* env = input.env();
+  TempFileManager temp_files(env, output_path + ".less_tmp");
+
+  // Phase 1: entropy sort with the elimination filter screening the input.
+  EntropyScorer scorer(&spec, input);
+  EntropyOrdering ordering(&spec, input);
+  EliminationFilter ef(&spec, &scorer, options.ef_window_pages);
+  SortOptions sort_options = options.sort_options;
+  sort_options.filter = &ef;
+
+  Stopwatch sort_timer;
+  SKYLINE_ASSIGN_OR_RETURN(
+      std::string sorted_path,
+      SortHeapFile(env, &temp_files, input.path(), spec.schema().row_width(),
+                   ordering, sort_options, &s->run.sort_stats));
+  s->run.sort_seconds = sort_timer.ElapsedSeconds();
+  s->ef_dropped = ef.dropped();
+  s->ef_comparisons = ef.comparisons();
+
+  // Phase 2: standard SFS filter over the (already thinned) sorted stream.
+  Stopwatch filter_timer;
+  SfsIterator iter(env, &temp_files, sorted_path, &spec, options.window_pages,
+                   options.use_projection, &s->run);
+  // SfsIterator resets sort stats inside Open? No — it only sets
+  // input_rows/passes; preserve the sort numbers captured above.
+  const SortStats saved_sort = s->run.sort_stats;
+  const double saved_sort_seconds = s->run.sort_seconds;
+  SKYLINE_RETURN_IF_ERROR(iter.Open());
+  TableBuilder builder(env, output_path, spec.schema());
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+  while (const char* row = iter.Next()) {
+    SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(row));
+  }
+  SKYLINE_RETURN_IF_ERROR(iter.status());
+  s->run.sort_stats = saved_sort;
+  s->run.sort_seconds = saved_sort_seconds;
+  s->run.filter_seconds = filter_timer.ElapsedSeconds();
+  // Account eliminated tuples in the input count.
+  s->run.input_rows = input.row_count();
+  return builder.Finish();
+}
+
+}  // namespace skyline

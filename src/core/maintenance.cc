@@ -1,0 +1,77 @@
+#include "core/maintenance.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "core/dominance.h"
+
+namespace skyline {
+
+SkylineMaintainer::SkylineMaintainer(const SkylineSpec* spec)
+    : spec_(spec), width_(spec->schema().row_width()) {}
+
+const char* SkylineMaintainer::MemberAt(size_t i) const {
+  SKYLINE_CHECK_LT(i, count_);
+  return rows_.data() + i * width_;
+}
+
+SkylineMaintainer::InsertResult SkylineMaintainer::Insert(const char* row) {
+  bool evicted = false;
+  size_t i = 0;
+  while (i < count_) {
+    const char* member = rows_.data() + i * width_;
+    switch (CompareDominance(*spec_, member, row)) {
+      case DomResult::kFirstDominates:
+        // Members are mutually non-dominating, so nothing else can have
+        // been evicted by this row: dominance would contradict the
+        // invariant via transitivity.
+        SKYLINE_CHECK(!evicted);
+        return InsertResult::kDominated;
+      case DomResult::kSecondDominates: {
+        // Evict: swap-remove.
+        const size_t last = count_ - 1;
+        if (i != last) {
+          std::memcpy(rows_.data() + i * width_, rows_.data() + last * width_,
+                      width_);
+        }
+        rows_.resize(last * width_);
+        --count_;
+        ++evictions_;
+        evicted = true;
+        continue;
+      }
+      case DomResult::kEquivalent:
+      case DomResult::kIncomparable:
+        ++i;
+        break;
+    }
+  }
+  rows_.insert(rows_.end(), row, row + width_);
+  ++count_;
+  return evicted ? InsertResult::kAddedEvicted : InsertResult::kAdded;
+}
+
+SkylineMaintainer::RemoveResult SkylineMaintainer::Remove(const char* row) {
+  // Find a member equivalent to `row` on the skyline attributes.
+  size_t found = count_;
+  size_t equivalents = 0;
+  for (size_t i = 0; i < count_; ++i) {
+    if (CompareDominance(*spec_, rows_.data() + i * width_, row) ==
+        DomResult::kEquivalent) {
+      if (found == count_) found = i;
+      ++equivalents;
+    }
+  }
+  if (found == count_) return RemoveResult::kNotMember;
+  const size_t last = count_ - 1;
+  if (found != last) {
+    std::memcpy(rows_.data() + found * width_, rows_.data() + last * width_,
+                width_);
+  }
+  rows_.resize(last * width_);
+  --count_;
+  return equivalents > 1 ? RemoveResult::kDuplicateMemberRemoved
+                         : RemoveResult::kMemberRemovedRecomputeNeeded;
+}
+
+}  // namespace skyline

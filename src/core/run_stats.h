@@ -1,0 +1,42 @@
+#ifndef SKYLINE_CORE_RUN_STATS_H_
+#define SKYLINE_CORE_RUN_STATS_H_
+
+#include <cstdint>
+
+#include "sort/external_sort.h"
+#include "storage/io_stats.h"
+
+namespace skyline {
+
+/// Observability for one skyline computation (SFS or BNL), matching the
+/// quantities the paper reports: pass counts, the "extra pages" I/O measure
+/// (temp pages written plus read back, excluding the initial input scan),
+/// dominance-comparison counts (CPU-effort proxy), and phase timings.
+struct SkylineRunStats {
+  uint64_t input_rows = 0;
+  uint64_t output_rows = 0;
+  /// Filter passes over (progressively shrinking) input.
+  uint64_t passes = 0;
+  /// Tuples written to temp files across all passes.
+  uint64_t spilled_tuples = 0;
+  /// Temp-file page traffic: each spilled page costs one write plus one
+  /// read on the next pass — the paper's Figures 10/14/15 metric.
+  IoStats temp_io;
+  /// Presort cost (SFS always; BNL only for forced input orders).
+  SortStats sort_stats;
+  /// Pairwise dominance tests against the window.
+  uint64_t window_comparisons = 0;
+  /// BNL only: tuples that replaced dominated window entries.
+  uint64_t window_replacements = 0;
+  double sort_seconds = 0.0;
+  double filter_seconds = 0.0;
+
+  double total_seconds() const { return sort_seconds + filter_seconds; }
+
+  /// The paper's extra-pages metric (writes + re-reads of temp pages).
+  uint64_t ExtraPages() const { return temp_io.TotalPages(); }
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_RUN_STATS_H_

@@ -1,0 +1,216 @@
+#include "core/sfs.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/scoring.h"
+
+namespace skyline {
+
+SfsIterator::SfsIterator(Env* env, TempFileManager* temp_files,
+                         std::string sorted_path, const SkylineSpec* spec,
+                         size_t window_pages, bool use_projection,
+                         SkylineRunStats* stats)
+    : env_(env),
+      temp_files_(temp_files),
+      input_path_(std::move(sorted_path)),
+      spec_(spec),
+      window_(spec, window_pages, use_projection),
+      stats_(stats != nullptr ? stats : &local_stats_),
+      out_row_(spec->schema().row_width()),
+      prev_row_(spec->schema().row_width()) {}
+
+Status SfsIterator::Open() {
+  // The first pass reads the (sorted) input; per the paper's accounting
+  // that scan is not part of the algorithm's "extra pages", so it does not
+  // feed temp_io.
+  reader_ = std::make_unique<HeapFileReader>(
+      env_, input_path_, spec_->schema().row_width(), nullptr);
+  SKYLINE_RETURN_IF_ERROR(reader_->Open());
+  stats_->input_rows = reader_->record_count();
+  stats_->passes = 1;
+  return Status::OK();
+}
+
+const char* SfsIterator::Next() {
+  if (done_ || !status_.ok()) return nullptr;
+  while (true) {
+    const char* row = reader_->Next();
+    if (row == nullptr) {
+      if (!reader_->status().ok()) {
+        status_ = reader_->status();
+        return nullptr;
+      }
+      if (!StartNextPass()) return nullptr;
+      continue;
+    }
+    // DIFF group boundary: groups are contiguous in the sorted input, and
+    // tuples in different groups never dominate each other, so the window
+    // can be cleared wholesale (the paper's diff optimization).
+    if (spec_->has_diff()) {
+      if (have_prev_ && !spec_->SameDiffGroup(prev_row_.data(), row)) {
+        window_.Clear();
+      }
+      std::memcpy(prev_row_.data(), row, prev_row_.size());
+      have_prev_ = true;
+    }
+
+    switch (window_.Test(row)) {
+      case Window::Verdict::kDominated:
+        if (residue_writer_ != nullptr) {
+          Status st = residue_writer_->Append(row);
+          if (!st.ok()) {
+            status_ = st;
+            return nullptr;
+          }
+        }
+        break;  // eliminated; fetch next
+      case Window::Verdict::kAdded:
+      case Window::Verdict::kDuplicateSkyline:
+        // Confirmed skyline: pipeline it out immediately.
+        ++stats_->output_rows;
+        std::memcpy(out_row_.data(), row, out_row_.size());
+        stats_->window_comparisons = window_.comparisons();
+        return out_row_.data();
+      case Window::Verdict::kWindowFull: {
+        // Not dominated but no window space: defer to the next pass.
+        if (spill_writer_ == nullptr) {
+          spill_path_ = temp_files_->Allocate("sfs_spill");
+          spill_writer_ = std::make_unique<HeapFileWriter>(
+              env_, spill_path_, spec_->schema().row_width(),
+              &stats_->temp_io);
+          Status st = spill_writer_->Open();
+          if (!st.ok()) {
+            status_ = st;
+            return nullptr;
+          }
+        }
+        Status st = spill_writer_->Append(row);
+        if (!st.ok()) {
+          status_ = st;
+          return nullptr;
+        }
+        ++stats_->spilled_tuples;
+        break;
+      }
+      case Window::Verdict::kSortViolation:
+        status_ = Status::InvalidArgument(
+            "SFS input is not sorted by a monotone scoring order: a tuple "
+            "dominates one that precedes it");
+        return nullptr;
+    }
+  }
+}
+
+bool SfsIterator::StartNextPass() {
+  stats_->window_comparisons = window_.comparisons();
+  if (spill_writer_ == nullptr) {
+    // Nothing was deferred: every input tuple was either emitted or
+    // eliminated, so the skyline is complete.
+    done_ = true;
+    return false;
+  }
+  Status st = spill_writer_->Finish();
+  if (!st.ok()) {
+    status_ = st;
+    return false;
+  }
+  spill_writer_.reset();
+
+  // The previous pass's temp input (if any) is no longer needed.
+  if (!first_pass_) {
+    temp_files_->Delete(input_path_);
+  }
+  first_pass_ = false;
+  input_path_ = spill_path_;
+  spill_path_.clear();
+
+  reader_ = std::make_unique<HeapFileReader>(
+      env_, input_path_, spec_->schema().row_width(), &stats_->temp_io);
+  st = reader_->Open();
+  if (!st.ok()) {
+    status_ = st;
+    return false;
+  }
+  window_.Clear();
+  have_prev_ = false;
+  ++stats_->passes;
+  return true;
+}
+
+Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
+                                const SfsOptions& options,
+                                const std::string& output_path,
+                                SkylineRunStats* stats) {
+  if (!input.schema().Equals(spec.schema())) {
+    return Status::InvalidArgument("table schema does not match skyline spec");
+  }
+  SkylineRunStats local;
+  SkylineRunStats* s = stats != nullptr ? stats : &local;
+  *s = SkylineRunStats{};
+
+  Env* env = input.env();
+  TempFileManager temp_files(env, output_path + ".sfs_tmp");
+
+  // Phase 1: presort by a monotone scoring order (Theorems 6/7 guarantee
+  // any such order is a topological sort of dominance).
+  std::string sorted_path = input.path();
+  if (options.presort != Presort::kNone) {
+    std::unique_ptr<RowOrdering> owned_ordering;
+    const RowOrdering* ordering = nullptr;
+    switch (options.presort) {
+      case Presort::kNested:
+        owned_ordering = MakeNestedSkylineOrdering(spec);
+        ordering = owned_ordering.get();
+        break;
+      case Presort::kEntropy:
+        owned_ordering = std::make_unique<EntropyOrdering>(&spec, input);
+        ordering = owned_ordering.get();
+        break;
+      case Presort::kCustom:
+        if (options.custom_ordering == nullptr) {
+          return Status::InvalidArgument(
+              "Presort::kCustom requires SfsOptions::custom_ordering");
+        }
+        ordering = options.custom_ordering;
+        break;
+      case Presort::kNone:
+        break;
+    }
+    Stopwatch sort_timer;
+    SKYLINE_ASSIGN_OR_RETURN(
+        sorted_path,
+        SortHeapFile(env, &temp_files, input.path(), spec.schema().row_width(),
+                     *ordering, options.sort_options, &s->sort_stats));
+    s->sort_seconds = sort_timer.ElapsedSeconds();
+  }
+
+  // Phase 2: filter passes, pipelining confirmed skyline rows straight into
+  // the output table.
+  Stopwatch filter_timer;
+  SfsIterator iter(env, &temp_files, sorted_path, &spec, options.window_pages,
+                   options.use_projection, s);
+  std::unique_ptr<HeapFileWriter> residue;
+  if (!options.residue_path.empty()) {
+    residue = std::make_unique<HeapFileWriter>(
+        env, options.residue_path, spec.schema().row_width(), nullptr);
+    SKYLINE_RETURN_IF_ERROR(residue->Open());
+    iter.set_residue_writer(residue.get());
+  }
+  SKYLINE_RETURN_IF_ERROR(iter.Open());
+
+  TableBuilder builder(env, output_path, spec.schema());
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+  while (const char* row = iter.Next()) {
+    SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(row));
+  }
+  SKYLINE_RETURN_IF_ERROR(iter.status());
+  if (residue != nullptr) {
+    SKYLINE_RETURN_IF_ERROR(residue->Finish());
+  }
+  s->filter_seconds = filter_timer.ElapsedSeconds();
+  return builder.Finish();
+}
+
+}  // namespace skyline

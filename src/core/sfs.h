@@ -1,0 +1,129 @@
+#ifndef SKYLINE_CORE_SFS_H_
+#define SKYLINE_CORE_SFS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/run_stats.h"
+#include "core/skyline_spec.h"
+#include "core/window.h"
+#include "relation/table.h"
+#include "sort/external_sort.h"
+#include "storage/heap_file.h"
+#include "storage/temp_file_manager.h"
+
+namespace skyline {
+
+/// Which monotone presort order SFS applies before filtering.
+enum class Presort {
+  /// Nested lexicographic sort over the skyline attributes (Figure 6).
+  kNested,
+  /// Entropy-score sort (the w/E optimization; single-key, better window
+  /// dominance numbers).
+  kEntropy,
+  /// Input is already in a monotone order — skip sorting. SFS still
+  /// detects violations and fails with InvalidArgument.
+  kNone,
+  /// Sort by SfsOptions::custom_ordering — the paper's Section 4.4
+  /// "combined with any preference ordering": if the user's preference is
+  /// a monotone scoring, SFS emits the skyline *in preference order*, so
+  /// the first results are the user's favorites (ideal with top-N). The
+  /// ordering must be monotone w.r.t. dominance; violations are detected
+  /// during filtering and reported as InvalidArgument.
+  kCustom,
+};
+
+/// Options for the Sort-Filter-Skyline algorithm.
+struct SfsOptions {
+  /// Buffer pages allocated to the filter window.
+  size_t window_pages = 500;
+  /// Store only projected skyline attributes in the window, with duplicate
+  /// elimination (the w/P optimization).
+  bool use_projection = true;
+  Presort presort = Presort::kEntropy;
+  /// Buffer pages for the presort (the paper grants the sort 1,000 pages,
+  /// separate from the filter window allocation).
+  SortOptions sort_options;
+  /// If non-empty, every eliminated (dominated) tuple is also written to a
+  /// heap file at this path — the complement of the skyline, used by the
+  /// iterative strata labeller. The residue is in no particular order.
+  std::string residue_path;
+  /// The preference ordering used when presort == Presort::kCustom. Must
+  /// outlive the call and be monotone w.r.t. dominance (any order induced
+  /// by a monotone scoring function qualifies — Theorem 6).
+  const RowOrdering* custom_ordering = nullptr;
+};
+
+/// Pull-based, pipelined SFS filter over an already-sorted heap file.
+/// Every row returned by Next() is a confirmed skyline tuple the moment it
+/// is returned — the property that makes SFS's output stream non-blocking
+/// and usable for top-N early termination.
+///
+/// Handles multi-pass operation transparently: non-dominated tuples that
+/// overflow the window spill to a temp file which seeds the next pass, until
+/// a pass spills nothing.
+class SfsIterator {
+ public:
+  /// `sorted_path` must be a heap file of spec->schema() rows in a monotone
+  /// (topological w.r.t. dominance) order, with DIFF columns outermost.
+  /// All pointers must outlive the iterator; `stats` may be null.
+  SfsIterator(Env* env, TempFileManager* temp_files, std::string sorted_path,
+              const SkylineSpec* spec, size_t window_pages,
+              bool use_projection, SkylineRunStats* stats);
+
+  SfsIterator(const SfsIterator&) = delete;
+  SfsIterator& operator=(const SfsIterator&) = delete;
+
+  /// Opens the first pass.
+  Status Open();
+
+  /// Routes eliminated (dominated) tuples to `writer` as a side output.
+  /// Must be set before iteration starts; the caller owns and finishes the
+  /// writer. May be null (the default) to discard eliminated tuples.
+  void set_residue_writer(HeapFileWriter* writer) { residue_writer_ = writer; }
+
+  /// Returns the next skyline row (full schema row, valid until the next
+  /// call), or nullptr when exhausted or on error (check status()).
+  const char* Next();
+
+  const Status& status() const { return status_; }
+  const SkylineRunStats& stats() const { return *stats_; }
+
+ private:
+  /// Finishes the current pass's spill file and starts the next pass.
+  /// Returns false when the computation is complete (or on error).
+  bool StartNextPass();
+
+  Env* env_;
+  TempFileManager* temp_files_;
+  std::string input_path_;  // current pass's input
+  const SkylineSpec* spec_;
+  Window window_;
+  SkylineRunStats local_stats_;
+  SkylineRunStats* stats_;
+
+  std::unique_ptr<HeapFileReader> reader_;
+  std::unique_ptr<HeapFileWriter> spill_writer_;
+  HeapFileWriter* residue_writer_ = nullptr;
+  std::string spill_path_;
+  std::vector<char> out_row_;
+  std::vector<char> prev_row_;  // DIFF group tracking
+  bool have_prev_ = false;
+  bool first_pass_ = true;
+  bool done_ = false;
+  Status status_;
+};
+
+/// Computes the skyline of `input` under `spec` with SFS, writing the
+/// result (full rows, in the presort's monotone order) to a new table at
+/// `output_path`. `stats` may be null.
+Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
+                                const SfsOptions& options,
+                                const std::string& output_path,
+                                SkylineRunStats* stats);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_SFS_H_

@@ -1,0 +1,143 @@
+#include "core/skyline_spec.h"
+
+#include <cstring>
+#include <set>
+
+#include "common/logging.h"
+
+namespace skyline {
+
+SkylineSpec::SkylineSpec(const SkylineSpec& other)
+    : schema_(other.schema_),
+      criteria_(other.criteria_),
+      diff_columns_(other.diff_columns_),
+      value_columns_(other.value_columns_),
+      projected_schema_(other.projected_schema_),
+      projected_spec_(other.projected_spec_
+                          ? std::make_unique<SkylineSpec>(*other.projected_spec_)
+                          : nullptr) {}
+
+SkylineSpec& SkylineSpec::operator=(const SkylineSpec& other) {
+  if (this == &other) return *this;
+  schema_ = other.schema_;
+  criteria_ = other.criteria_;
+  diff_columns_ = other.diff_columns_;
+  value_columns_ = other.value_columns_;
+  projected_schema_ = other.projected_schema_;
+  projected_spec_ = other.projected_spec_
+                        ? std::make_unique<SkylineSpec>(*other.projected_spec_)
+                        : nullptr;
+  return *this;
+}
+
+Result<SkylineSpec> SkylineSpec::Make(const Schema& schema,
+                                      std::vector<Criterion> criteria) {
+  return MakeImpl(schema, std::move(criteria), /*build_projection=*/true);
+}
+
+Result<SkylineSpec> SkylineSpec::MakeImpl(const Schema& schema,
+                                          std::vector<Criterion> criteria,
+                                          bool build_projection) {
+  if (criteria.empty()) {
+    return Status::InvalidArgument("skyline spec needs at least one criterion");
+  }
+  SkylineSpec spec;
+  spec.schema_ = schema;
+  std::set<size_t> seen;
+  for (const auto& criterion : criteria) {
+    SKYLINE_ASSIGN_OR_RETURN(size_t col,
+                             schema.ColumnIndex(criterion.column));
+    if (!seen.insert(col).second) {
+      return Status::InvalidArgument("column " + criterion.column +
+                                     " appears twice in skyline spec");
+    }
+    if (criterion.directive == Directive::kDiff) {
+      spec.diff_columns_.push_back(col);
+    } else {
+      if (!schema.IsNumeric(col)) {
+        return Status::InvalidArgument(
+            "MIN/MAX skyline column " + criterion.column +
+            " must be numeric (int32, int64, or float64)");
+      }
+      spec.value_columns_.push_back(
+          {col, criterion.directive == Directive::kMax});
+    }
+  }
+  if (spec.value_columns_.empty()) {
+    return Status::InvalidArgument(
+        "skyline spec needs at least one MIN/MAX criterion");
+  }
+  spec.criteria_ = std::move(criteria);
+
+  // Projected layout: diff columns first, then value columns, preserving
+  // each list's order. Column names survive so the projected schema is
+  // self-describing.
+  std::vector<ColumnDef> proj_columns;
+  std::vector<Criterion> proj_criteria;
+  for (size_t col : spec.diff_columns_) {
+    proj_columns.push_back(schema.column(col));
+    proj_criteria.push_back({schema.column(col).name, Directive::kDiff});
+  }
+  for (const auto& vc : spec.value_columns_) {
+    proj_columns.push_back(schema.column(vc.column));
+    proj_criteria.push_back({schema.column(vc.column).name,
+                             vc.max ? Directive::kMax : Directive::kMin});
+  }
+  SKYLINE_ASSIGN_OR_RETURN(spec.projected_schema_,
+                           Schema::Make(std::move(proj_columns)));
+  if (build_projection) {
+    // The projection of a projection is the identity, so the inner spec is
+    // built without its own projection (projected_spec() then returns
+    // *this for it).
+    SKYLINE_ASSIGN_OR_RETURN(
+        SkylineSpec proj,
+        MakeImpl(spec.projected_schema_, std::move(proj_criteria),
+                 /*build_projection=*/false));
+    spec.projected_spec_ = std::make_unique<SkylineSpec>(std::move(proj));
+  }
+  return spec;
+}
+
+void SkylineSpec::ProjectRow(const char* full_row, char* out) const {
+  size_t out_offset = 0;
+  for (size_t col : diff_columns_) {
+    const size_t width = schema_.column_width(col);
+    std::memcpy(out + out_offset, full_row + schema_.offset(col), width);
+    out_offset += width;
+  }
+  for (const auto& vc : value_columns_) {
+    const size_t width = schema_.column_width(vc.column);
+    std::memcpy(out + out_offset, full_row + schema_.offset(vc.column), width);
+    out_offset += width;
+  }
+  SKYLINE_CHECK_EQ(out_offset, projected_schema_.row_width());
+}
+
+bool SkylineSpec::SameDiffGroup(const char* a, const char* b) const {
+  for (size_t col : diff_columns_) {
+    if (schema_.CompareColumn(col, a, b) != 0) return false;
+  }
+  return true;
+}
+
+std::string SkylineSpec::ToString() const {
+  std::string out = "skyline of ";
+  for (size_t i = 0; i < criteria_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += criteria_[i].column;
+    switch (criteria_[i].directive) {
+      case Directive::kMax:
+        out += " max";
+        break;
+      case Directive::kMin:
+        out += " min";
+        break;
+      case Directive::kDiff:
+        out += " diff";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace skyline

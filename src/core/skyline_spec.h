@@ -1,0 +1,107 @@
+#ifndef SKYLINE_CORE_SKYLINE_SPEC_H_
+#define SKYLINE_CORE_SKYLINE_SPEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/schema.h"
+
+namespace skyline {
+
+/// Per-attribute skyline directive, mirroring the paper's proposed
+/// `SKYLINE OF a1 [MIN|MAX|DIFF], ...` SQL clause.
+enum class Directive {
+  /// Prefer larger values (the paper's default).
+  kMax,
+  /// Prefer smaller values.
+  kMin,
+  /// Partition: tuples with different values are mutually incomparable;
+  /// the skyline is computed within each group.
+  kDiff,
+};
+
+/// One criterion of a skyline query, named by column.
+struct Criterion {
+  std::string column;
+  Directive directive = Directive::kMax;
+};
+
+/// A validated skyline query specification bound to a schema. Holds a copy
+/// of the schema so it has no external lifetime requirements.
+///
+/// Resolved layout: `diff_columns()` lists DIFF attribute indices (in
+/// declaration order); `value_columns()` lists the MIN/MAX attribute indices
+/// with their directions.
+class SkylineSpec {
+ public:
+  struct ValueColumn {
+    size_t column;
+    /// True for kMax (larger is better), false for kMin.
+    bool max;
+  };
+
+  /// Validates and resolves `criteria` against `schema`:
+  /// - every column must exist and appear at most once;
+  /// - MIN/MAX columns must be numeric;
+  /// - at least one MIN/MAX criterion is required.
+  static Result<SkylineSpec> Make(const Schema& schema,
+                                  std::vector<Criterion> criteria);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Criterion>& criteria() const { return criteria_; }
+  const std::vector<size_t>& diff_columns() const { return diff_columns_; }
+  const std::vector<ValueColumn>& value_columns() const {
+    return value_columns_;
+  }
+  size_t num_dimensions() const { return value_columns_.size(); }
+  bool has_diff() const { return !diff_columns_.empty(); }
+
+  /// Schema holding only the skyline attributes (diff columns first, then
+  /// value columns) — the paper's projection optimization stores rows in
+  /// this reduced layout in the window.
+  const Schema& projected_schema() const { return projected_schema_; }
+
+  /// A spec expressing the same criteria over projected_schema() rows.
+  /// For a spec that is already a projection, this is the spec itself.
+  const SkylineSpec& projected_spec() const {
+    return projected_spec_ ? *projected_spec_ : *this;
+  }
+
+  /// Copies the skyline attributes of `full_row` into `out`
+  /// (projected_schema().row_width() bytes).
+  void ProjectRow(const char* full_row, char* out) const;
+
+  /// True if rows `a` and `b` agree on every DIFF column (always true when
+  /// the spec has no DIFF criteria). Rows are full schema() rows.
+  bool SameDiffGroup(const char* a, const char* b) const;
+
+  /// Human-readable form, e.g. "skyline of S max, price min".
+  std::string ToString() const;
+
+  SkylineSpec(const SkylineSpec&);
+  SkylineSpec& operator=(const SkylineSpec&);
+  SkylineSpec(SkylineSpec&&) = default;
+  SkylineSpec& operator=(SkylineSpec&&) = default;
+
+ private:
+  SkylineSpec() = default;
+
+  static Result<SkylineSpec> MakeImpl(const Schema& schema,
+                                      std::vector<Criterion> criteria,
+                                      bool build_projection);
+
+  Schema schema_;
+  std::vector<Criterion> criteria_;
+  std::vector<size_t> diff_columns_;
+  std::vector<ValueColumn> value_columns_;
+  Schema projected_schema_;
+  /// Spec over the projected layout; null when this spec is itself a
+  /// projection (its projection is the identity).
+  std::unique_ptr<SkylineSpec> projected_spec_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_SKYLINE_SPEC_H_

@@ -1,0 +1,36 @@
+#ifndef SKYLINE_CORE_SPECIAL2D_H_
+#define SKYLINE_CORE_SPECIAL2D_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/run_stats.h"
+#include "core/skyline_spec.h"
+#include "relation/table.h"
+#include "sort/external_sort.h"
+
+namespace skyline {
+
+/// The classic two-dimensional special case the paper points to in Section
+/// 6 ("special cases of skyline are known to have good solutions, as for
+/// two- and three-dimensional skylines"): after the nested sort, a single
+/// scan with O(1) state computes the skyline — no window at all.
+///
+/// With the input ordered best-first on the primary criterion (ties broken
+/// best-first on the secondary), a tuple is skyline iff its secondary
+/// value strictly beats the best secondary seen so far, or it exactly ties
+/// the previously emitted skyline tuple on both criteria (equivalent
+/// tuples are all skyline). DIFF columns are supported by resetting the
+/// scan state at group boundaries.
+///
+/// Requires a spec with exactly two MIN/MAX criteria (any number of DIFF
+/// columns). Output lands at `output_path` in sorted order; `stats` (may
+/// be null) records sort cost and scan time.
+Result<Table> ComputeSkyline2D(const Table& input, const SkylineSpec& spec,
+                               const SortOptions& sort_options,
+                               const std::string& output_path,
+                               SkylineRunStats* stats);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_SPECIAL2D_H_

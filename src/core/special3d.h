@@ -1,0 +1,41 @@
+#ifndef SKYLINE_CORE_SPECIAL3D_H_
+#define SKYLINE_CORE_SPECIAL3D_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/run_stats.h"
+#include "core/skyline_spec.h"
+#include "relation/table.h"
+#include "sort/external_sort.h"
+
+namespace skyline {
+
+/// The three-dimensional special case (paper Section 6, after
+/// Kung/Luccio/Preparata): after the nested sort a single sweep maintains
+/// the two-dimensional *staircase* frontier of the already-processed
+/// tuples — entries with ascending secondary value carry descending
+/// tertiary value — and answers each dominance test with one
+/// staircase lookup. O(n log s) dominance work for an s-entry frontier,
+/// versus the general window's O(n·s).
+///
+/// Sweep detail: tuples are processed in groups with equal primary value.
+/// A group member is dominated by a *strictly better* primary tuple iff
+/// some staircase entry is at least as good on both remaining criteria
+/// (one lookup); within the group, strictness must come from the
+/// secondary/tertiary pair, which the sorted order resolves with the 2-dim
+/// single-scan rule. Survivors merge into the staircase after the whole
+/// group is judged.
+///
+/// Requires exactly three MIN/MAX criteria; DIFF columns are supported by
+/// resetting the staircase at group boundaries. The frontier and one
+/// primary-value group are memory-resident (both are bounded by the
+/// skyline size, not the input). `stats` may be null.
+Result<Table> ComputeSkyline3D(const Table& input, const SkylineSpec& spec,
+                               const SortOptions& sort_options,
+                               const std::string& output_path,
+                               SkylineRunStats* stats);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_SPECIAL3D_H_

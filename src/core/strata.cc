@@ -1,0 +1,178 @@
+#include "core/strata.h"
+
+#include <cstring>
+#include <memory>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/scoring.h"
+#include "core/window.h"
+#include "storage/heap_file.h"
+#include "storage/temp_file_manager.h"
+
+namespace skyline {
+namespace {
+
+std::vector<ColumnStats> CopyStats(const Table& table) {
+  std::vector<ColumnStats> stats;
+  stats.reserve(table.schema().num_columns());
+  for (size_t c = 0; c < table.schema().num_columns(); ++c) {
+    stats.push_back(table.stats(c));
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
+                                            const SkylineSpec& spec,
+                                            const StrataOptions& options,
+                                            const std::string& output_prefix,
+                                            StrataStats* stats) {
+  if (!input.schema().Equals(spec.schema())) {
+    return Status::InvalidArgument("table schema does not match skyline spec");
+  }
+  if (options.num_strata == 0) {
+    return Status::InvalidArgument("num_strata must be positive");
+  }
+  StrataStats local;
+  StrataStats* s = stats != nullptr ? stats : &local;
+  *s = StrataStats{};
+  s->input_rows = input.row_count();
+
+  Env* env = input.env();
+  TempFileManager temp_files(env, output_prefix + ".strata_tmp");
+
+  // Presort exactly as SFS does.
+  std::string sorted_path = input.path();
+  if (options.presort != Presort::kNone) {
+    std::unique_ptr<RowOrdering> ordering;
+    if (options.presort == Presort::kNested) {
+      ordering = MakeNestedSkylineOrdering(spec);
+    } else {
+      ordering = std::make_unique<EntropyOrdering>(&spec, input);
+    }
+    Stopwatch sort_timer;
+    SKYLINE_ASSIGN_OR_RETURN(
+        sorted_path,
+        SortHeapFile(env, &temp_files, input.path(), spec.schema().row_width(),
+                     *ordering, options.sort_options, &s->sort_stats));
+    s->sort_seconds = sort_timer.ElapsedSeconds();
+  }
+
+  // One window and one output per stratum. In monotone input order a
+  // tuple's stratum equals the first window level that does not dominate
+  // it: if its stratum were j, transitivity gives it a dominator at every
+  // level < j and none at level j.
+  std::vector<std::unique_ptr<Window>> windows;
+  std::vector<std::unique_ptr<TableBuilder>> builders;
+  for (size_t level = 0; level < options.num_strata; ++level) {
+    windows.push_back(std::make_unique<Window>(&spec, options.window_pages,
+                                               options.use_projection));
+    builders.push_back(std::make_unique<TableBuilder>(
+        env, output_prefix + ".s" + std::to_string(level), spec.schema()));
+    SKYLINE_RETURN_IF_ERROR(builders.back()->Open());
+  }
+  s->stratum_sizes.assign(options.num_strata, 0);
+
+  Stopwatch filter_timer;
+  HeapFileReader reader(env, sorted_path, spec.schema().row_width(), nullptr);
+  SKYLINE_RETURN_IF_ERROR(reader.Open());
+
+  std::vector<char> prev_row(spec.schema().row_width());
+  bool have_prev = false;
+  while (const char* row = reader.Next()) {
+    if (spec.has_diff()) {
+      if (have_prev && !spec.SameDiffGroup(prev_row.data(), row)) {
+        for (auto& window : windows) window->Clear();
+      }
+      std::memcpy(prev_row.data(), row, prev_row.size());
+      have_prev = true;
+    }
+    for (size_t level = 0; level < options.num_strata; ++level) {
+      const Window::Verdict verdict = windows[level]->Test(row);
+      if (verdict == Window::Verdict::kDominated) {
+        continue;  // falls through to the next stratum
+      }
+      if (verdict == Window::Verdict::kAdded ||
+          verdict == Window::Verdict::kDuplicateSkyline) {
+        SKYLINE_RETURN_IF_ERROR(builders[level]->AppendRaw(row));
+        ++s->stratum_sizes[level];
+        break;
+      }
+      if (verdict == Window::Verdict::kWindowFull) {
+        return Status::ResourceExhausted(
+            "stratum " + std::to_string(level) + " window overflow (" +
+            std::to_string(windows[level]->capacity()) +
+            " entries); enlarge window_pages or use LabelStrataIterative");
+      }
+      return Status::InvalidArgument(
+          "strata input is not sorted by a monotone scoring order");
+    }
+    // Dominated at every level: deeper than the requested strata; discard.
+  }
+  SKYLINE_RETURN_IF_ERROR(reader.status());
+  s->filter_seconds = filter_timer.ElapsedSeconds();
+  for (const auto& window : windows) {
+    s->window_comparisons += window->comparisons();
+  }
+
+  std::vector<Table> strata;
+  strata.reserve(options.num_strata);
+  for (auto& builder : builders) {
+    SKYLINE_ASSIGN_OR_RETURN(Table t, builder->Finish());
+    strata.push_back(std::move(t));
+  }
+  return strata;
+}
+
+Result<std::vector<Table>> LabelStrataIterative(
+    const Table& input, const SkylineSpec& spec, const SfsOptions& sfs_options,
+    size_t max_strata, const std::string& output_prefix, StrataStats* stats) {
+  if (!input.schema().Equals(spec.schema())) {
+    return Status::InvalidArgument("table schema does not match skyline spec");
+  }
+  StrataStats local;
+  StrataStats* s = stats != nullptr ? stats : &local;
+  *s = StrataStats{};
+  s->input_rows = input.row_count();
+
+  Env* env = input.env();
+  TempFileManager temp_files(env, output_prefix + ".label_tmp");
+
+  std::vector<Table> strata;
+  // `current` holds the not-yet-labelled residue; starts as the input.
+  // Column stats of the input remain valid bounds for every residue.
+  const std::vector<ColumnStats> base_stats = CopyStats(input);
+  SKYLINE_ASSIGN_OR_RETURN(
+      Table current,
+      Table::Attach(input.schema(), env, input.path(), base_stats));
+
+  size_t level = 0;
+  while (current.row_count() > 0 &&
+         (max_strata == 0 || level < max_strata)) {
+    SfsOptions opts = sfs_options;
+    opts.residue_path = temp_files.Allocate("residue");
+    SkylineRunStats run_stats;
+    SKYLINE_ASSIGN_OR_RETURN(
+        Table stratum,
+        ComputeSkylineSfs(current, spec, opts,
+                          output_prefix + ".s" + std::to_string(level),
+                          &run_stats));
+    s->sort_seconds += run_stats.sort_seconds;
+    s->filter_seconds += run_stats.filter_seconds;
+    s->window_comparisons += run_stats.window_comparisons;
+    s->stratum_sizes.push_back(stratum.row_count());
+    strata.push_back(std::move(stratum));
+    ++level;
+
+    const std::string previous_path = current.path();
+    SKYLINE_ASSIGN_OR_RETURN(
+        current,
+        Table::Attach(input.schema(), env, opts.residue_path, base_stats));
+    if (previous_path != input.path()) temp_files.Delete(previous_path);
+  }
+  return strata;
+}
+
+}  // namespace skyline

@@ -1,0 +1,66 @@
+#include "core/window.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace skyline {
+
+Window::Window(const SkylineSpec* spec, size_t window_pages, bool projected)
+    : spec_(spec),
+      entry_spec_(projected ? &spec->projected_spec() : spec),
+      window_pages_(window_pages),
+      projected_(projected),
+      entry_width_(projected ? spec->projected_schema().row_width()
+                             : spec->schema().row_width()),
+      capacity_(window_pages * RecordsPerPage(entry_width_)) {
+  SKYLINE_CHECK_GT(window_pages, 0u);
+  SKYLINE_CHECK_GT(capacity_, 0u) << "entry wider than a page";
+  storage_.reserve(capacity_ * entry_width_);
+  scratch_.resize(entry_width_);
+}
+
+Window::Verdict Window::Test(const char* full_row) {
+  const char* probe = full_row;
+  if (projected_) {
+    spec_->ProjectRow(full_row, scratch_.data());
+    probe = scratch_.data();
+  }
+  for (size_t i = 0; i < entry_count_; ++i) {
+    const char* entry = storage_.data() + i * entry_width_;
+    ++comparisons_;
+    switch (CompareDominance(*entry_spec_, entry, probe)) {
+      case DomResult::kFirstDominates:
+        return Verdict::kDominated;
+      case DomResult::kEquivalent:
+        // The probe is skyline (an equivalent confirmed entry exists, and
+        // entries are mutually non-dominating). With dedup on we need not
+        // store a second copy; without projection we keep scanning and
+        // store it so output mirrors the window exactly.
+        if (projected_) return Verdict::kDuplicateSkyline;
+        break;
+      case DomResult::kSecondDominates:
+        // Input out of monotone order: a later tuple dominates a confirmed
+        // window tuple, which Theorem 6/7 rules out for sorted input.
+        return Verdict::kSortViolation;
+      case DomResult::kIncomparable:
+        break;
+    }
+  }
+  if (entry_count_ == capacity_) return Verdict::kWindowFull;
+  storage_.insert(storage_.end(), probe, probe + entry_width_);
+  ++entry_count_;
+  return Verdict::kAdded;
+}
+
+void Window::Clear() {
+  storage_.clear();
+  entry_count_ = 0;
+}
+
+const char* Window::EntryAt(size_t i) const {
+  SKYLINE_CHECK_LT(i, entry_count_);
+  return storage_.data() + i * entry_width_;
+}
+
+}  // namespace skyline

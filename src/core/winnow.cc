@@ -1,0 +1,213 @@
+#include "core/winnow.h"
+
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/temp_file_manager.h"
+
+namespace skyline {
+namespace {
+
+/// BNL-style window generalized to an arbitrary preference relation.
+/// Mirrors the window in bnl.cc; kept separate because the dominance
+/// calls, the error handling for ill-formed preferences, and the verdict
+/// plumbing differ enough that sharing would obscure both.
+class WinnowWindow {
+ public:
+  WinnowWindow(const Schema* schema, size_t window_pages)
+      : schema_(schema),
+        width_(schema->row_width()),
+        capacity_(window_pages * RecordsPerPage(width_)) {
+    SKYLINE_CHECK_GT(capacity_, 0u);
+    rows_.reserve(capacity_ * width_);
+  }
+
+  size_t size() const { return timestamps_.size(); }
+  bool full() const { return timestamps_.size() == capacity_; }
+  const char* RowAt(size_t i) const { return rows_.data() + i * width_; }
+  uint64_t TimestampAt(size_t i) const { return timestamps_[i]; }
+  uint64_t PassAt(size_t i) const { return passes_[i]; }
+  uint64_t comparisons() const { return comparisons_; }
+  uint64_t replacements() const { return replacements_; }
+
+  /// Compares `row` against all entries under `prefers`. On success sets
+  /// *survives; evicted entries are removed. Fails if the preference is
+  /// not antisymmetric on some compared pair.
+  Status TestAndEvict(const PreferenceRelation& prefers, const char* row,
+                      bool* survives) {
+    RowView probe(schema_, row);
+    size_t i = 0;
+    while (i < timestamps_.size()) {
+      ++comparisons_;
+      RowView entry(schema_, RowAt(i));
+      const bool entry_wins = prefers(entry, probe);
+      const bool probe_wins = prefers(probe, entry);
+      if (entry_wins && probe_wins) {
+        return Status::InvalidArgument(
+            "preference relation is not antisymmetric: two tuples each "
+            "strictly preferred to the other");
+      }
+      if (entry_wins) {
+        *survives = false;
+        return Status::OK();
+      }
+      if (probe_wins) {
+        ++replacements_;
+        RemoveAt(i);
+        continue;
+      }
+      ++i;
+    }
+    *survives = true;
+    return Status::OK();
+  }
+
+  void Insert(const char* row, uint64_t timestamp, uint64_t pass) {
+    SKYLINE_CHECK(!full());
+    rows_.insert(rows_.end(), row, row + width_);
+    timestamps_.push_back(timestamp);
+    passes_.push_back(pass);
+  }
+
+  void RemoveAt(size_t i) {
+    const size_t last = timestamps_.size() - 1;
+    if (i != last) {
+      std::memcpy(rows_.data() + i * width_, rows_.data() + last * width_,
+                  width_);
+      timestamps_[i] = timestamps_[last];
+      passes_[i] = passes_[last];
+    }
+    rows_.resize(last * width_);
+    timestamps_.pop_back();
+    passes_.pop_back();
+  }
+
+ private:
+  const Schema* schema_;
+  size_t width_;
+  size_t capacity_;
+  std::vector<char> rows_;
+  std::vector<uint64_t> timestamps_;
+  std::vector<uint64_t> passes_;
+  uint64_t comparisons_ = 0;
+  uint64_t replacements_ = 0;
+};
+
+}  // namespace
+
+Result<Table> ComputeWinnow(const Table& input,
+                            const PreferenceRelation& prefers,
+                            const WinnowOptions& options,
+                            const std::string& output_path,
+                            SkylineRunStats* stats) {
+  if (!prefers) {
+    return Status::InvalidArgument("winnow needs a preference relation");
+  }
+  SkylineRunStats local;
+  SkylineRunStats* s = stats != nullptr ? stats : &local;
+  *s = SkylineRunStats{};
+
+  Env* env = input.env();
+  const Schema& schema = input.schema();
+  const size_t width = schema.row_width();
+  TempFileManager temp_files(env, output_path + ".winnow_tmp");
+
+  Stopwatch timer;
+  TableBuilder builder(env, output_path, schema);
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+
+  WinnowWindow window(&schema, options.window_pages);
+  std::string input_path = input.path();
+  uint64_t pass = 1;
+  bool first_pass = true;
+
+  while (true) {
+    ++s->passes;
+    HeapFileReader reader(env, input_path, width,
+                          first_pass ? nullptr : &s->temp_io);
+    SKYLINE_RETURN_IF_ERROR(reader.Open());
+    if (first_pass) s->input_rows = reader.record_count();
+
+    std::unique_ptr<HeapFileWriter> spill;
+    std::string spill_path;
+    uint64_t spilled_this_pass = 0;
+    uint64_t read_index = 0;
+
+    while (const char* row = reader.Next()) {
+      // Irreflexivity spot-check (cheap; catches e.g. ">=" mistakes).
+      if (read_index == 0 && first_pass) {
+        RowView v(&schema, row);
+        if (prefers(v, v)) {
+          return Status::InvalidArgument(
+              "preference relation is not irreflexive: a tuple is "
+              "preferred to itself");
+        }
+      }
+      // Confirm previous-pass entries that have met all predecessors.
+      for (size_t i = 0; i < window.size();) {
+        if (window.PassAt(i) == pass - 1 &&
+            window.TimestampAt(i) <= read_index) {
+          SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(window.RowAt(i)));
+          ++s->output_rows;
+          window.RemoveAt(i);
+        } else {
+          ++i;
+        }
+      }
+      bool survives = false;
+      SKYLINE_RETURN_IF_ERROR(window.TestAndEvict(prefers, row, &survives));
+      if (survives) {
+        if (!window.full()) {
+          window.Insert(row, spilled_this_pass, pass);
+        } else {
+          if (spill == nullptr) {
+            spill_path = temp_files.Allocate("winnow_spill");
+            spill = std::make_unique<HeapFileWriter>(env, spill_path, width,
+                                                     &s->temp_io);
+            SKYLINE_RETURN_IF_ERROR(spill->Open());
+          }
+          SKYLINE_RETURN_IF_ERROR(spill->Append(row));
+          ++spilled_this_pass;
+          ++s->spilled_tuples;
+        }
+      }
+      ++read_index;
+    }
+    SKYLINE_RETURN_IF_ERROR(reader.status());
+
+    for (size_t i = 0; i < window.size();) {
+      if (window.PassAt(i) <= pass - 1) {
+        SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(window.RowAt(i)));
+        ++s->output_rows;
+        window.RemoveAt(i);
+      } else {
+        ++i;
+      }
+    }
+
+    if (spill == nullptr) {
+      for (size_t i = 0; i < window.size(); ++i) {
+        SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(window.RowAt(i)));
+        ++s->output_rows;
+      }
+      break;
+    }
+    SKYLINE_RETURN_IF_ERROR(spill->Finish());
+    if (!first_pass) temp_files.Delete(input_path);
+    input_path = spill_path;
+    first_pass = false;
+    ++pass;
+  }
+
+  s->window_comparisons = window.comparisons();
+  s->window_replacements = window.replacements();
+  s->filter_seconds = timer.ElapsedSeconds();
+  return builder.Finish();
+}
+
+}  // namespace skyline

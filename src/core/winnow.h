@@ -1,0 +1,45 @@
+#ifndef SKYLINE_CORE_WINNOW_H_
+#define SKYLINE_CORE_WINNOW_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "core/run_stats.h"
+#include "relation/table.h"
+
+namespace skyline {
+
+/// An arbitrary preference relation over rows: returns true iff `a` is
+/// strictly preferred to (dominates) `b`. Must be a strict partial order —
+/// irreflexive and transitive; the algorithm checks irreflexivity cheaply
+/// and antisymmetry per compared pair, reporting InvalidArgument on
+/// violation, but transitivity is the caller's contract.
+using PreferenceRelation =
+    std::function<bool(const RowView& a, const RowView& b)>;
+
+/// Options for winnow evaluation.
+struct WinnowOptions {
+  /// Buffer pages for the BNL-style window of candidate tuples.
+  size_t window_pages = 500;
+};
+
+/// The winnow operator of Chomicki's preference framework (the paper's
+/// reference [6]): returns the tuples not dominated under an *arbitrary*
+/// preference relation. Skyline is the special case where the preference
+/// is attribute-wise dominance; winnow also covers preferences no
+/// monotone scoring can express (so SFS presorting does not apply — the
+/// paper's Section 6 names extending skyline algorithms toward winnow as
+/// future work).
+///
+/// Evaluated with the BNL machinery (window with replacement, timestamp
+/// confirmation, spill passes), which is preference-agnostic.
+Result<Table> ComputeWinnow(const Table& input,
+                            const PreferenceRelation& prefers,
+                            const WinnowOptions& options,
+                            const std::string& output_path,
+                            SkylineRunStats* stats);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_WINNOW_H_

@@ -1,0 +1,15 @@
+#include "env/env.h"
+
+namespace skyline {
+
+Env* Env::Memory() {
+  static Env* const kMemEnv = NewMemEnv().release();
+  return kMemEnv;
+}
+
+Env* Env::Posix() {
+  static Env* const kPosixEnv = NewPosixEnv().release();
+  return kPosixEnv;
+}
+
+}  // namespace skyline

@@ -1,0 +1,85 @@
+#ifndef SKYLINE_ENV_ENV_H_
+#define SKYLINE_ENV_ENV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skyline {
+
+/// A file being written sequentially (append-only).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `size` bytes from `data` to the end of the file.
+  virtual Status Append(const char* data, size_t size) = 0;
+
+  /// Flushes buffered data and closes the file. Append after Close is an
+  /// error. Implementations must be safe to Close twice.
+  virtual Status Close() = 0;
+
+  /// Bytes appended so far.
+  virtual uint64_t Size() const = 0;
+};
+
+/// A file being read from an arbitrary offset.
+class RandomAccessFile {
+ public:
+  virtual ~RandomAccessFile() = default;
+
+  /// Reads exactly `size` bytes at `offset` into `scratch`. Returns
+  /// OutOfRange if the range extends past end-of-file.
+  virtual Status Read(uint64_t offset, size_t size, char* scratch) const = 0;
+
+  /// Total file size in bytes.
+  virtual uint64_t Size() const = 0;
+};
+
+/// Filesystem abstraction in the style of rocksdb::Env, so the paged storage
+/// layer can run against real files (PosixEnv) or deterministic in-process
+/// memory (MemEnv) without code changes. All paths are opaque strings; MemEnv
+/// treats them as map keys.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Creates (truncating if present) a file for sequential writing.
+  virtual Status NewWritableFile(const std::string& path,
+                                 std::unique_ptr<WritableFile>* out) = 0;
+
+  /// Opens an existing file for random-offset reads.
+  virtual Status NewRandomAccessFile(
+      const std::string& path, std::unique_ptr<RandomAccessFile>* out) = 0;
+
+  /// Removes a file; NotFound if it does not exist.
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// True if `path` names an existing file.
+  virtual bool FileExists(const std::string& path) const = 0;
+
+  /// Size in bytes of an existing file.
+  virtual Result<uint64_t> FileSize(const std::string& path) const = 0;
+
+  /// Process-wide in-memory environment (never deleted; see Google style on
+  /// static storage duration objects).
+  static Env* Memory();
+
+  /// Process-wide POSIX filesystem environment.
+  static Env* Posix();
+};
+
+/// Creates a fresh, isolated in-memory environment. Each call returns an
+/// independent namespace of files; useful for tests that must not interfere.
+std::unique_ptr<Env> NewMemEnv();
+
+/// Creates a POSIX environment rooted at the real filesystem.
+std::unique_ptr<Env> NewPosixEnv();
+
+}  // namespace skyline
+
+#endif  // SKYLINE_ENV_ENV_H_

@@ -1,0 +1,109 @@
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "env/env.h"
+
+namespace skyline {
+namespace {
+
+/// Shared byte buffer for one in-memory "file". Ref-counted so an open
+/// reader stays valid if the file is deleted from the namespace.
+struct FileBlob {
+  std::vector<char> data;
+};
+
+class MemWritableFile : public WritableFile {
+ public:
+  explicit MemWritableFile(std::shared_ptr<FileBlob> blob)
+      : blob_(std::move(blob)) {}
+
+  Status Append(const char* data, size_t size) override {
+    if (closed_) return Status::IoError("append to closed file");
+    blob_->data.insert(blob_->data.end(), data, data + size);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    closed_ = true;
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return blob_->data.size(); }
+
+ private:
+  std::shared_ptr<FileBlob> blob_;
+  bool closed_ = false;
+};
+
+class MemRandomAccessFile : public RandomAccessFile {
+ public:
+  explicit MemRandomAccessFile(std::shared_ptr<FileBlob> blob)
+      : blob_(std::move(blob)) {}
+
+  Status Read(uint64_t offset, size_t size, char* scratch) const override {
+    if (offset + size > blob_->data.size()) {
+      return Status::OutOfRange("read past end of file");
+    }
+    std::memcpy(scratch, blob_->data.data() + offset, size);
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return blob_->data.size(); }
+
+ private:
+  std::shared_ptr<FileBlob> blob_;
+};
+
+class MemEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto blob = std::make_shared<FileBlob>();
+    files_[path] = blob;
+    *out = std::make_unique<MemWritableFile>(std::move(blob));
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound(path);
+    *out = std::make_unique<MemRandomAccessFile>(it->second);
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (files_.erase(path) == 0) return Status::NotFound(path);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return files_.count(path) > 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = files_.find(path);
+    if (it == files_.end()) return Status::NotFound(path);
+    return static_cast<uint64_t>(it->second->data.size());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<FileBlob>> files_;
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewMemEnv() { return std::make_unique<MemEnv>(); }
+
+}  // namespace skyline

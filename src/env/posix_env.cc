@@ -1,0 +1,151 @@
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "env/env.h"
+
+namespace skyline {
+namespace {
+
+Status ErrnoStatus(const std::string& context) {
+  return Status::IoError(context + ": " + std::strerror(errno));
+}
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(const char* data, size_t size) override {
+    if (fd_ < 0) return Status::IoError("append to closed file: " + path_);
+    size_t remaining = size;
+    while (remaining > 0) {
+      ssize_t n = ::write(fd_, data, remaining);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("write " + path_);
+      }
+      data += n;
+      remaining -= static_cast<size_t>(n);
+    }
+    size_ += size;
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ >= 0) {
+      if (::close(fd_) != 0) {
+        fd_ = -1;
+        return ErrnoStatus("close " + path_);
+      }
+      fd_ = -1;
+    }
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_ = 0;
+};
+
+class PosixRandomAccessFile : public RandomAccessFile {
+ public:
+  PosixRandomAccessFile(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  ~PosixRandomAccessFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t size, char* scratch) const override {
+    if (offset + size > size_) return Status::OutOfRange("read past EOF: " + path_);
+    size_t remaining = size;
+    uint64_t pos = offset;
+    while (remaining > 0) {
+      ssize_t n = ::pread(fd_, scratch, remaining, static_cast<off_t>(pos));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return ErrnoStatus("pread " + path_);
+      }
+      if (n == 0) return Status::OutOfRange("unexpected EOF: " + path_);
+      scratch += n;
+      pos += static_cast<uint64_t>(n);
+      remaining -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  uint64_t Size() const override { return size_; }
+
+ private:
+  std::string path_;
+  int fd_;
+  uint64_t size_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Status NewWritableFile(const std::string& path,
+                         std::unique_ptr<WritableFile>* out) override {
+    int fd = ::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+    if (fd < 0) return ErrnoStatus("open for write " + path);
+    *out = std::make_unique<PosixWritableFile>(path, fd);
+    return Status::OK();
+  }
+
+  Status NewRandomAccessFile(const std::string& path,
+                             std::unique_ptr<RandomAccessFile>* out) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return ErrnoStatus("open for read " + path);
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      ::close(fd);
+      return ErrnoStatus("fstat " + path);
+    }
+    *out = std::make_unique<PosixRandomAccessFile>(
+        path, fd, static_cast<uint64_t>(st.st_size));
+    return Status::OK();
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return ErrnoStatus("unlink " + path);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) const override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) const override {
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0) {
+      if (errno == ENOENT) return Status::NotFound(path);
+      return ErrnoStatus("stat " + path);
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Env> NewPosixEnv() { return std::make_unique<PosixEnv>(); }
+
+}  // namespace skyline

@@ -1,0 +1,3 @@
+#include "exec/limit.h"
+
+// Header-only; this translation unit anchors the target.

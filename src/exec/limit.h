@@ -1,0 +1,48 @@
+#ifndef SKYLINE_EXEC_LIMIT_H_
+#define SKYLINE_EXEC_LIMIT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "exec/operator.h"
+
+namespace skyline {
+
+/// Emits at most `limit` child rows, then stops pulling — on top of an SFS
+/// skyline this realizes the paper's "stop early / top-N" use (Section 4.4):
+/// the filter pass simply never runs past the N-th confirmed tuple.
+class LimitOperator : public Operator {
+ public:
+  LimitOperator(std::unique_ptr<Operator> child, uint64_t limit)
+      : child_(std::move(child)), limit_(limit) {}
+
+  Status Open() override { return child_->Open(); }
+
+  const char* Next() override {
+    if (emitted_ >= limit_) return nullptr;
+    const char* row = child_->Next();
+    if (row != nullptr) ++emitted_;
+    return row;
+  }
+
+  const Status& status() const override { return child_->status(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+  std::string PlanNodeLabel() const override {
+    return "Limit " + std::to_string(limit_);
+  }
+  const Operator* PlanChild() const override { return child_.get(); }
+
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  uint64_t limit_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_EXEC_LIMIT_H_

@@ -1,0 +1,17 @@
+#include "exec/operator.h"
+
+namespace skyline {
+
+std::string ExplainPlan(const Operator& root) {
+  std::string out;
+  int depth = 0;
+  for (const Operator* op = &root; op != nullptr; op = op->PlanChild()) {
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+    out += op->PlanNodeLabel();
+    out += "\n";
+    ++depth;
+  }
+  return out;
+}
+
+}  // namespace skyline

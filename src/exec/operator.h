@@ -1,0 +1,51 @@
+#ifndef SKYLINE_EXEC_OPERATOR_H_
+#define SKYLINE_EXEC_OPERATOR_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relation/schema.h"
+
+namespace skyline {
+
+/// Volcano-style pull operator. The exec layer demonstrates the paper's
+/// integration argument: SFS composes with ordinary relational operators
+/// (selection below it, projection/limit above it) and its pipelined output
+/// supports top-N early termination.
+///
+/// Protocol: Open() once, then Next() until it returns nullptr; check
+/// status() to distinguish exhaustion from error. Returned row pointers are
+/// valid only until the next call on the same operator.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+
+  /// Next output row (output_schema().row_width() bytes) or nullptr.
+  virtual const char* Next() = 0;
+
+  virtual const Status& status() const = 0;
+
+  virtual const Schema& output_schema() const = 0;
+
+  /// One-line description for EXPLAIN output, e.g.
+  /// "Skyline[SFS] of S max, price min".
+  virtual std::string PlanNodeLabel() const { return "Operator"; }
+
+  /// The input operator, or nullptr for leaves. All current operators are
+  /// unary chains.
+  virtual const Operator* PlanChild() const { return nullptr; }
+};
+
+/// Formats an operator tree as an indented EXPLAIN-style plan, root first:
+///
+///   Limit 10
+///     Skyline[SFS] of rating max, price min
+///       Select <predicate>
+///         TableScan hotels (50000 rows)
+std::string ExplainPlan(const Operator& root);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_EXEC_OPERATOR_H_

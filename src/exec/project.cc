@@ -1,0 +1,45 @@
+#include "exec/project.h"
+
+#include <cstring>
+#include <utility>
+
+namespace skyline {
+
+Result<std::unique_ptr<ProjectOperator>> ProjectOperator::Make(
+    std::unique_ptr<Operator> child,
+    const std::vector<std::string>& columns) {
+  const Schema& in = child->output_schema();
+  std::vector<ColumnDef> defs;
+  std::vector<size_t> sources;
+  defs.reserve(columns.size());
+  sources.reserve(columns.size());
+  for (const auto& name : columns) {
+    SKYLINE_ASSIGN_OR_RETURN(size_t idx, in.ColumnIndex(name));
+    defs.push_back(in.column(idx));
+    sources.push_back(idx);
+  }
+  SKYLINE_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(defs)));
+  return std::unique_ptr<ProjectOperator>(new ProjectOperator(
+      std::move(child), std::move(schema), std::move(sources)));
+}
+
+ProjectOperator::ProjectOperator(std::unique_ptr<Operator> child,
+                                 Schema schema,
+                                 std::vector<size_t> source_columns)
+    : child_(std::move(child)),
+      schema_(std::move(schema)),
+      source_columns_(std::move(source_columns)),
+      out_row_(schema_.row_width()) {}
+
+const char* ProjectOperator::Next() {
+  const char* row = child_->Next();
+  if (row == nullptr) return nullptr;
+  const Schema& in = child_->output_schema();
+  for (size_t i = 0; i < source_columns_.size(); ++i) {
+    std::memcpy(out_row_.data() + schema_.offset(i),
+                row + in.offset(source_columns_[i]), schema_.column_width(i));
+  }
+  return out_row_.data();
+}
+
+}  // namespace skyline

@@ -1,0 +1,42 @@
+#ifndef SKYLINE_EXEC_PROJECT_H_
+#define SKYLINE_EXEC_PROJECT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/operator.h"
+
+namespace skyline {
+
+/// Projects the child's output onto a subset of its columns (by name, in
+/// the requested order).
+class ProjectOperator : public Operator {
+ public:
+  /// Validates column names against the child's schema.
+  static Result<std::unique_ptr<ProjectOperator>> Make(
+      std::unique_ptr<Operator> child, const std::vector<std::string>& columns);
+
+  Status Open() override { return child_->Open(); }
+  const char* Next() override;
+  const Status& status() const override { return child_->status(); }
+  const Schema& output_schema() const override { return schema_; }
+  std::string PlanNodeLabel() const override {
+    return "Project " + schema_.ToString();
+  }
+  const Operator* PlanChild() const override { return child_.get(); }
+
+ private:
+  ProjectOperator(std::unique_ptr<Operator> child, Schema schema,
+                  std::vector<size_t> source_columns);
+
+  std::unique_ptr<Operator> child_;
+  Schema schema_;
+  std::vector<size_t> source_columns_;
+  std::vector<char> out_row_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_EXEC_PROJECT_H_

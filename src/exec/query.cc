@@ -1,0 +1,105 @@
+#include "exec/query.h"
+
+#include <utility>
+
+namespace skyline {
+
+Query::Query(Env* env, const Table* table, std::string temp_prefix)
+    : env_(env), table_(table), temp_prefix_(std::move(temp_prefix)) {}
+
+Query& Query::Where(RowPredicate predicate) {
+  steps_.push_back([predicate = std::move(predicate)](
+                       std::unique_ptr<Operator> child)
+                       -> Result<std::unique_ptr<Operator>> {
+    return std::unique_ptr<Operator>(
+        new SelectOperator(std::move(child), predicate));
+  });
+  return *this;
+}
+
+Query& Query::SkylineOf(std::vector<Criterion> criteria,
+                        SkylineAlgorithm algorithm, SfsOptions sfs_options,
+                        BnlOptions bnl_options) {
+  const std::string prefix =
+      temp_prefix_ + ".step" + std::to_string(next_step_id_++);
+  steps_.push_back(
+      [this, prefix, criteria = std::move(criteria), algorithm,
+       sfs_options = std::move(sfs_options),
+       bnl_options = std::move(bnl_options)](std::unique_ptr<Operator> child)
+          -> Result<std::unique_ptr<Operator>> {
+        SKYLINE_ASSIGN_OR_RETURN(
+            std::unique_ptr<SkylineOperator> op,
+            SkylineOperator::Make(std::move(child), env_, prefix, criteria,
+                                  algorithm, sfs_options, bnl_options));
+        return std::unique_ptr<Operator>(std::move(op));
+      });
+  return *this;
+}
+
+Query& Query::WinnowBy(PreferenceRelation prefers, WinnowOptions options) {
+  const std::string prefix =
+      temp_prefix_ + ".step" + std::to_string(next_step_id_++);
+  steps_.push_back([this, prefix, prefers = std::move(prefers),
+                    options](std::unique_ptr<Operator> child)
+                       -> Result<std::unique_ptr<Operator>> {
+    return std::unique_ptr<Operator>(new WinnowOperator(
+        std::move(child), env_, prefix, prefers, options));
+  });
+  return *this;
+}
+
+Query& Query::Project(std::vector<std::string> columns) {
+  steps_.push_back([columns = std::move(columns)](
+                       std::unique_ptr<Operator> child)
+                       -> Result<std::unique_ptr<Operator>> {
+    SKYLINE_ASSIGN_OR_RETURN(std::unique_ptr<ProjectOperator> op,
+                             ProjectOperator::Make(std::move(child), columns));
+    return std::unique_ptr<Operator>(std::move(op));
+  });
+  return *this;
+}
+
+Query& Query::OrderBy(const RowOrdering* ordering, SortOptions options) {
+  const std::string prefix =
+      temp_prefix_ + ".step" + std::to_string(next_step_id_++);
+  steps_.push_back([this, prefix, ordering, options](
+                       std::unique_ptr<Operator> child)
+                       -> Result<std::unique_ptr<Operator>> {
+    return std::unique_ptr<Operator>(new SortOperator(
+        std::move(child), env_, prefix, ordering, options));
+  });
+  return *this;
+}
+
+Query& Query::Limit(uint64_t n) {
+  steps_.push_back([n](std::unique_ptr<Operator> child)
+                       -> Result<std::unique_ptr<Operator>> {
+    return std::unique_ptr<Operator>(new LimitOperator(std::move(child), n));
+  });
+  return *this;
+}
+
+Result<std::unique_ptr<Operator>> Query::Build() {
+  std::unique_ptr<Operator> root =
+      std::make_unique<TableScanOperator>(table_);
+  for (auto& step : steps_) {
+    SKYLINE_ASSIGN_OR_RETURN(root, step(std::move(root)));
+  }
+  return root;
+}
+
+Result<std::string> Query::Explain() {
+  SKYLINE_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root, Build());
+  return ExplainPlan(*root);
+}
+
+Status Query::Run(const std::function<Status(const RowView&)>& visitor) {
+  SKYLINE_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root, Build());
+  SKYLINE_RETURN_IF_ERROR(root->Open());
+  while (const char* row = root->Next()) {
+    SKYLINE_RETURN_IF_ERROR(visitor(RowView(&root->output_schema(), row)));
+  }
+  return root->status();
+}
+
+}  // namespace skyline

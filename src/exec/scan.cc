@@ -1,0 +1,21 @@
+#include "exec/scan.h"
+
+namespace skyline {
+
+TableScanOperator::TableScanOperator(const Table* table, IoStats* io)
+    : table_(table), io_(io) {}
+
+Status TableScanOperator::Open() {
+  reader_ = std::make_unique<HeapFileReader>(
+      table_->env(), table_->path(), table_->schema().row_width(), io_);
+  return reader_->Open();
+}
+
+const char* TableScanOperator::Next() {
+  if (!status_.ok()) return nullptr;
+  const char* row = reader_->Next();
+  if (row == nullptr) status_ = reader_->status();
+  return row;
+}
+
+}  // namespace skyline

@@ -1,0 +1,37 @@
+#ifndef SKYLINE_EXEC_SCAN_H_
+#define SKYLINE_EXEC_SCAN_H_
+
+#include <memory>
+
+#include "exec/operator.h"
+#include "relation/table.h"
+#include "storage/heap_file.h"
+#include "storage/io_stats.h"
+
+namespace skyline {
+
+/// Full sequential scan of a table. `io` (may be null) counts pages read.
+class TableScanOperator : public Operator {
+ public:
+  /// `table` must outlive the operator.
+  explicit TableScanOperator(const Table* table, IoStats* io = nullptr);
+
+  Status Open() override;
+  const char* Next() override;
+  const Status& status() const override { return status_; }
+  const Schema& output_schema() const override { return table_->schema(); }
+  std::string PlanNodeLabel() const override {
+    return "TableScan " + table_->path() + " (" +
+           std::to_string(table_->row_count()) + " rows)";
+  }
+
+ private:
+  const Table* table_;
+  IoStats* io_;
+  std::unique_ptr<HeapFileReader> reader_;
+  Status status_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_EXEC_SCAN_H_

@@ -1,0 +1,18 @@
+#include "exec/select.h"
+
+#include <utility>
+
+namespace skyline {
+
+SelectOperator::SelectOperator(std::unique_ptr<Operator> child,
+                               RowPredicate predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {}
+
+const char* SelectOperator::Next() {
+  while (const char* row = child_->Next()) {
+    if (predicate_(RowView(&child_->output_schema(), row))) return row;
+  }
+  return nullptr;
+}
+
+}  // namespace skyline

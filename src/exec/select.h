@@ -1,0 +1,38 @@
+#ifndef SKYLINE_EXEC_SELECT_H_
+#define SKYLINE_EXEC_SELECT_H_
+
+#include <functional>
+#include <memory>
+
+#include "exec/operator.h"
+#include "relation/row.h"
+
+namespace skyline {
+
+/// Row predicate over the child's schema.
+using RowPredicate = std::function<bool(const RowView&)>;
+
+/// Filters child rows by a predicate. Selection below a skyline operator is
+/// the composition the paper stresses index-based methods cannot support
+/// (skyline does not commute with selection, so it must run above it).
+class SelectOperator : public Operator {
+ public:
+  SelectOperator(std::unique_ptr<Operator> child, RowPredicate predicate);
+
+  Status Open() override { return child_->Open(); }
+  const char* Next() override;
+  const Status& status() const override { return child_->status(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string PlanNodeLabel() const override { return "Select <predicate>"; }
+  const Operator* PlanChild() const override { return child_.get(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  RowPredicate predicate_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_EXEC_SELECT_H_

@@ -1,0 +1,123 @@
+#include "exec/skyline_op.h"
+
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "core/scoring.h"
+#include "core/special2d.h"
+#include "core/special3d.h"
+
+namespace skyline {
+
+Result<std::unique_ptr<SkylineOperator>> SkylineOperator::Make(
+    std::unique_ptr<Operator> child, Env* env, std::string temp_prefix,
+    std::vector<Criterion> criteria, SkylineAlgorithm algorithm,
+    SfsOptions sfs_options, BnlOptions bnl_options) {
+  SKYLINE_ASSIGN_OR_RETURN(
+      SkylineSpec spec,
+      SkylineSpec::Make(child->output_schema(), std::move(criteria)));
+  return std::unique_ptr<SkylineOperator>(new SkylineOperator(
+      std::move(child), env, std::move(temp_prefix), std::move(spec),
+      algorithm, std::move(sfs_options), std::move(bnl_options)));
+}
+
+SkylineOperator::SkylineOperator(std::unique_ptr<Operator> child, Env* env,
+                                 std::string temp_prefix, SkylineSpec spec,
+                                 SkylineAlgorithm algorithm,
+                                 SfsOptions sfs_options,
+                                 BnlOptions bnl_options)
+    : child_(std::move(child)),
+      env_(env),
+      temp_files_(env, std::move(temp_prefix)),
+      spec_(std::move(spec)),
+      algorithm_(algorithm),
+      sfs_options_(std::move(sfs_options)),
+      bnl_options_(std::move(bnl_options)) {}
+
+Status SkylineOperator::Open() {
+  SKYLINE_RETURN_IF_ERROR(child_->Open());
+
+  // Materialize the child into a temp table; TableBuilder collects the
+  // column statistics the entropy presort normalizes with.
+  const std::string staged = temp_files_.Allocate("skyline_input");
+  TableBuilder builder(env_, staged, child_->output_schema());
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+  while (const char* row = child_->Next()) {
+    SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(row));
+  }
+  SKYLINE_RETURN_IF_ERROR(child_->status());
+  SKYLINE_ASSIGN_OR_RETURN(Table staged_table, builder.Finish());
+  input_table_.emplace(std::move(staged_table));
+
+  if (algorithm_ == SkylineAlgorithm::kBnl) {
+    // BNL blocks on output: compute everything up front.
+    const std::string out = temp_files_.Allocate("bnl_result");
+    SKYLINE_ASSIGN_OR_RETURN(
+        Table result,
+        ComputeSkylineBnl(*input_table_, spec_, bnl_options_, out, &stats_));
+    bnl_result_.emplace(std::move(result));
+    bnl_reader_ = bnl_result_->NewReader(nullptr);
+    return Status::OK();
+  }
+  if (algorithm_ == SkylineAlgorithm::kAuto &&
+      (spec_.value_columns().size() == 2 ||
+       spec_.value_columns().size() == 3)) {
+    // Low-dimensional special case: windowless sorted scan/sweep. Its
+    // output is a materialized table, streamed like BNL's.
+    const std::string out = temp_files_.Allocate("special_result");
+    SKYLINE_ASSIGN_OR_RETURN(
+        Table result,
+        spec_.value_columns().size() == 2
+            ? ComputeSkyline2D(*input_table_, spec_,
+                               sfs_options_.sort_options, out, &stats_)
+            : ComputeSkyline3D(*input_table_, spec_,
+                               sfs_options_.sort_options, out, &stats_));
+    bnl_result_.emplace(std::move(result));
+    bnl_reader_ = bnl_result_->NewReader(nullptr);
+    return Status::OK();
+  }
+
+  // SFS: presort now (blocking), then stream the filter.
+  std::string sorted_path = input_table_->path();
+  if (sfs_options_.presort != Presort::kNone) {
+    std::unique_ptr<RowOrdering> owned;
+    const RowOrdering* ordering = sfs_options_.custom_ordering;
+    if (sfs_options_.presort == Presort::kNested) {
+      owned = MakeNestedSkylineOrdering(spec_);
+      ordering = owned.get();
+    } else if (sfs_options_.presort == Presort::kEntropy) {
+      owned = std::make_unique<EntropyOrdering>(&spec_, *input_table_);
+      ordering = owned.get();
+    } else if (ordering == nullptr) {
+      return Status::InvalidArgument(
+          "Presort::kCustom requires SfsOptions::custom_ordering");
+    }
+    Stopwatch sort_timer;
+    SKYLINE_ASSIGN_OR_RETURN(
+        sorted_path,
+        SortHeapFile(env_, &temp_files_, input_table_->path(),
+                     spec_.schema().row_width(), *ordering,
+                     sfs_options_.sort_options, &stats_.sort_stats));
+    stats_.sort_seconds = sort_timer.ElapsedSeconds();
+  }
+  sfs_ = std::make_unique<SfsIterator>(
+      env_, &temp_files_, sorted_path, &spec_, sfs_options_.window_pages,
+      sfs_options_.use_projection, &stats_);
+  return sfs_->Open();
+}
+
+const char* SkylineOperator::Next() {
+  if (!status_.ok()) return nullptr;
+  if (bnl_reader_ != nullptr) {
+    // Materialized result (BNL or an auto-selected special-case scan).
+    const char* row = bnl_reader_->Next();
+    if (row == nullptr) status_ = bnl_reader_->status();
+    return row;
+  }
+  if (sfs_ == nullptr) return nullptr;
+  const char* row = sfs_->Next();
+  if (row == nullptr) status_ = sfs_->status();
+  return row;
+}
+
+}  // namespace skyline

@@ -1,0 +1,89 @@
+#ifndef SKYLINE_EXEC_SKYLINE_OP_H_
+#define SKYLINE_EXEC_SKYLINE_OP_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bnl.h"
+#include "core/sfs.h"
+#include "core/skyline_spec.h"
+#include "exec/operator.h"
+#include "relation/table.h"
+#include "storage/temp_file_manager.h"
+
+namespace skyline {
+
+/// Which algorithm evaluates the skyline operator.
+enum class SkylineAlgorithm {
+  kSfs,
+  kBnl,
+  /// Pick automatically: the 2-dim scan or 3-dim staircase sweep when the
+  /// spec has exactly that many MIN/MAX criteria (no window needed, O(n)
+  /// dominance work), otherwise SFS. What a planner would do given the
+  /// paper's Section 6 note that low-dimensional special cases "could be
+  /// exploited".
+  kAuto,
+};
+
+/// The relational skyline operator (the paper's proposed `SKYLINE OF`
+/// clause). Blocks on input (materializes the child, then presorts for
+/// SFS), but with SFS the *output* is pipelined: rows stream out as they
+/// are confirmed, enabling Limit above it to stop the computation early.
+/// With BNL the output is inherently blocking and is fully materialized
+/// before the first Next() returns.
+class SkylineOperator : public Operator {
+ public:
+  /// Validates `criteria` against the child's schema. `env` must outlive
+  /// the operator; temp files live under `temp_prefix`.
+  static Result<std::unique_ptr<SkylineOperator>> Make(
+      std::unique_ptr<Operator> child, Env* env, std::string temp_prefix,
+      std::vector<Criterion> criteria,
+      SkylineAlgorithm algorithm = SkylineAlgorithm::kSfs,
+      SfsOptions sfs_options = SfsOptions{}, BnlOptions bnl_options = {});
+
+  Status Open() override;
+  const char* Next() override;
+  const Status& status() const override { return status_; }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+  std::string PlanNodeLabel() const override {
+    const char* name = algorithm_ == SkylineAlgorithm::kBnl   ? "BNL"
+                       : algorithm_ == SkylineAlgorithm::kAuto ? "auto"
+                                                                : "SFS";
+    return "Skyline[" + std::string(name) + "] " + spec_.ToString();
+  }
+  const Operator* PlanChild() const override { return child_.get(); }
+
+  /// Run statistics (valid after the stream is exhausted; for SFS the pass
+  /// counters update as the stream advances).
+  const SkylineRunStats& stats() const { return stats_; }
+
+ private:
+  SkylineOperator(std::unique_ptr<Operator> child, Env* env,
+                  std::string temp_prefix, SkylineSpec spec,
+                  SkylineAlgorithm algorithm, SfsOptions sfs_options,
+                  BnlOptions bnl_options);
+
+  std::unique_ptr<Operator> child_;
+  Env* env_;
+  TempFileManager temp_files_;
+  SkylineSpec spec_;
+  SkylineAlgorithm algorithm_;
+  SfsOptions sfs_options_;
+  BnlOptions bnl_options_;
+  SkylineRunStats stats_;
+
+  std::optional<Table> input_table_;
+  std::unique_ptr<SfsIterator> sfs_;
+  std::optional<Table> bnl_result_;
+  std::unique_ptr<HeapFileReader> bnl_reader_;
+  Status status_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_EXEC_SKYLINE_OP_H_

@@ -1,0 +1,45 @@
+#include "exec/sort_op.h"
+
+#include <utility>
+
+namespace skyline {
+
+SortOperator::SortOperator(std::unique_ptr<Operator> child, Env* env,
+                           std::string temp_prefix,
+                           const RowOrdering* ordering, SortOptions options)
+    : child_(std::move(child)),
+      env_(env),
+      temp_files_(env, std::move(temp_prefix)),
+      ordering_(ordering),
+      options_(options) {}
+
+Status SortOperator::Open() {
+  SKYLINE_RETURN_IF_ERROR(child_->Open());
+  const size_t width = child_->output_schema().row_width();
+
+  // Materialize the child.
+  const std::string staged = temp_files_.Allocate("sort_input");
+  HeapFileWriter writer(env_, staged, width, nullptr);
+  SKYLINE_RETURN_IF_ERROR(writer.Open());
+  while (const char* row = child_->Next()) {
+    SKYLINE_RETURN_IF_ERROR(writer.Append(row));
+  }
+  SKYLINE_RETURN_IF_ERROR(child_->status());
+  SKYLINE_RETURN_IF_ERROR(writer.Finish());
+
+  SKYLINE_ASSIGN_OR_RETURN(
+      std::string sorted,
+      SortHeapFile(env_, &temp_files_, staged, width, *ordering_, options_,
+                   nullptr));
+  reader_ = std::make_unique<HeapFileReader>(env_, sorted, width, nullptr);
+  return reader_->Open();
+}
+
+const char* SortOperator::Next() {
+  if (!status_.ok() || reader_ == nullptr) return nullptr;
+  const char* row = reader_->Next();
+  if (row == nullptr) status_ = reader_->status();
+  return row;
+}
+
+}  // namespace skyline

@@ -1,0 +1,46 @@
+#ifndef SKYLINE_EXEC_SORT_OP_H_
+#define SKYLINE_EXEC_SORT_OP_H_
+
+#include <memory>
+#include <string>
+
+#include "exec/operator.h"
+#include "sort/comparator.h"
+#include "sort/external_sort.h"
+#include "storage/heap_file.h"
+#include "storage/temp_file_manager.h"
+
+namespace skyline {
+
+/// Blocking sort: materializes the child into a temp heap file, external-
+/// sorts it, then streams the result.
+class SortOperator : public Operator {
+ public:
+  /// `env` and `ordering` must outlive the operator. Temp files live under
+  /// `temp_prefix`.
+  SortOperator(std::unique_ptr<Operator> child, Env* env,
+               std::string temp_prefix, const RowOrdering* ordering,
+               SortOptions options = SortOptions{});
+
+  Status Open() override;
+  const char* Next() override;
+  const Status& status() const override { return status_; }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+  std::string PlanNodeLabel() const override { return "Sort (external)"; }
+  const Operator* PlanChild() const override { return child_.get(); }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  Env* env_;
+  TempFileManager temp_files_;
+  const RowOrdering* ordering_;
+  SortOptions options_;
+  std::unique_ptr<HeapFileReader> reader_;
+  Status status_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_EXEC_SORT_OP_H_

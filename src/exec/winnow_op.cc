@@ -1,0 +1,44 @@
+#include "exec/winnow_op.h"
+
+#include <utility>
+
+namespace skyline {
+
+WinnowOperator::WinnowOperator(std::unique_ptr<Operator> child, Env* env,
+                               std::string temp_prefix,
+                               PreferenceRelation prefers,
+                               WinnowOptions options)
+    : child_(std::move(child)),
+      env_(env),
+      temp_files_(env, std::move(temp_prefix)),
+      prefers_(std::move(prefers)),
+      options_(std::move(options)) {}
+
+Status WinnowOperator::Open() {
+  SKYLINE_RETURN_IF_ERROR(child_->Open());
+  const std::string staged = temp_files_.Allocate("winnow_input");
+  TableBuilder builder(env_, staged, child_->output_schema());
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+  while (const char* row = child_->Next()) {
+    SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(row));
+  }
+  SKYLINE_RETURN_IF_ERROR(child_->status());
+  SKYLINE_ASSIGN_OR_RETURN(Table staged_table, builder.Finish());
+
+  const std::string out = temp_files_.Allocate("winnow_result");
+  SKYLINE_ASSIGN_OR_RETURN(
+      Table result, ComputeWinnow(staged_table, prefers_, options_, out,
+                                  &stats_));
+  result_.emplace(std::move(result));
+  reader_ = result_->NewReader(nullptr);
+  return Status::OK();
+}
+
+const char* WinnowOperator::Next() {
+  if (!status_.ok() || reader_ == nullptr) return nullptr;
+  const char* row = reader_->Next();
+  if (row == nullptr) status_ = reader_->status();
+  return row;
+}
+
+}  // namespace skyline

@@ -1,0 +1,53 @@
+#ifndef SKYLINE_EXEC_WINNOW_OP_H_
+#define SKYLINE_EXEC_WINNOW_OP_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/winnow.h"
+#include "exec/operator.h"
+#include "relation/table.h"
+#include "storage/temp_file_manager.h"
+
+namespace skyline {
+
+/// Relational winnow operator: keeps the child's rows not dominated under
+/// an arbitrary strict-partial-order preference. Blocking on both input
+/// and output (the BNL-style evaluation cannot pipeline); use
+/// SkylineOperator when the preference is attribute-wise dominance.
+class WinnowOperator : public Operator {
+ public:
+  /// `env` must outlive the operator; temp files live under `temp_prefix`.
+  WinnowOperator(std::unique_ptr<Operator> child, Env* env,
+                 std::string temp_prefix, PreferenceRelation prefers,
+                 WinnowOptions options = WinnowOptions{});
+
+  Status Open() override;
+  const char* Next() override;
+  const Status& status() const override { return status_; }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+  std::string PlanNodeLabel() const override { return "Winnow <preference>"; }
+  const Operator* PlanChild() const override { return child_.get(); }
+
+  /// Run statistics (valid after Open).
+  const SkylineRunStats& stats() const { return stats_; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  Env* env_;
+  TempFileManager temp_files_;
+  PreferenceRelation prefers_;
+  WinnowOptions options_;
+  SkylineRunStats stats_;
+  std::optional<Table> result_;
+  std::unique_ptr<HeapFileReader> reader_;
+  Status status_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_EXEC_WINNOW_OP_H_

@@ -1,0 +1,265 @@
+#include "relation/csv.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace skyline {
+namespace {
+
+/// Inferred type lattice: Int32 -> Float64 -> FixedString.
+enum class InferredType { kInt32, kFloat64, kString };
+
+bool ParsesAsInt32(const std::string& field, int32_t* out) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(field.c_str(), &end, 10);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  if (v < std::numeric_limits<int32_t>::min() ||
+      v > std::numeric_limits<int32_t>::max()) {
+    return false;
+  }
+  *out = static_cast<int32_t>(v);
+  return true;
+}
+
+bool ParsesAsDouble(const std::string& field, double* out) {
+  if (field.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(field.c_str(), &end);
+  if (errno != 0 || end != field.c_str() + field.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool NeedsQuoting(const std::string& field) {
+  return field.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+void AppendQuoted(const std::string& field, std::string* out) {
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+bool ParseCsvRecord(const std::string& text, size_t* pos,
+                    std::vector<std::string>* fields) {
+  fields->clear();
+  size_t i = *pos;
+  if (i >= text.size()) return false;
+  std::string field;
+  bool in_quotes = false;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      ++i;
+    } else if (c == ',') {
+      fields->push_back(std::move(field));
+      field.clear();
+      ++i;
+    } else if (c == '\n' || c == '\r') {
+      // End of record; swallow \r\n.
+      if (c == '\r' && i + 1 < text.size() && text[i + 1] == '\n') ++i;
+      ++i;
+      break;
+    } else {
+      field.push_back(c);
+      ++i;
+    }
+  }
+  fields->push_back(std::move(field));
+  *pos = i;
+  return true;
+}
+
+Result<Table> CsvToTable(Env* env, const std::string& path,
+                         const std::string& csv_text,
+                         const CsvOptions& options) {
+  size_t pos = 0;
+  std::vector<std::string> header;
+  if (!ParseCsvRecord(csv_text, &pos, &header) || header.empty()) {
+    return Status::InvalidArgument("CSV has no header row");
+  }
+
+  // Read all records up front (CSV files are modest; the heap file is the
+  // scalable representation).
+  std::vector<std::vector<std::string>> records;
+  std::vector<std::string> fields;
+  while (ParseCsvRecord(csv_text, &pos, &fields)) {
+    if (fields.size() == 1 && fields[0].empty()) continue;  // blank line
+    if (fields.size() != header.size()) {
+      return Status::InvalidArgument(
+          "CSV row " + std::to_string(records.size() + 2) + " has " +
+          std::to_string(fields.size()) + " fields, expected " +
+          std::to_string(header.size()));
+    }
+    records.push_back(fields);
+  }
+
+  // Per-column type inference.
+  const size_t num_cols = header.size();
+  std::vector<InferredType> types(num_cols, InferredType::kInt32);
+  std::vector<size_t> max_len(num_cols, 1);
+  for (const auto& record : records) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& field = record[c];
+      max_len[c] = std::max(max_len[c], field.size());
+      int32_t iv;
+      double dv;
+      switch (types[c]) {
+        case InferredType::kInt32:
+          if (ParsesAsInt32(field, &iv)) break;
+          types[c] = InferredType::kFloat64;
+          [[fallthrough]];
+        case InferredType::kFloat64:
+          if (ParsesAsDouble(field, &dv)) break;
+          types[c] = InferredType::kString;
+          break;
+        case InferredType::kString:
+          break;
+      }
+    }
+  }
+  for (size_t c = 0; c < num_cols; ++c) {
+    if (types[c] == InferredType::kString &&
+        max_len[c] > options.max_string_length) {
+      return Status::InvalidArgument(
+          "CSV column '" + header[c] + "' has a value of " +
+          std::to_string(max_len[c]) + " bytes, above max_string_length (" +
+          std::to_string(options.max_string_length) + ")");
+    }
+  }
+
+  std::vector<ColumnDef> columns;
+  columns.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    switch (types[c]) {
+      case InferredType::kInt32:
+        columns.push_back(ColumnDef::Int32(header[c]));
+        break;
+      case InferredType::kFloat64:
+        columns.push_back(ColumnDef::Float64(header[c]));
+        break;
+      case InferredType::kString:
+        columns.push_back(ColumnDef::FixedString(header[c], max_len[c]));
+        break;
+    }
+  }
+  SKYLINE_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(columns)));
+
+  TableBuilder builder(env, path, schema);
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+  RowBuffer row(&builder.schema());
+  for (const auto& record : records) {
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& field = record[c];
+      switch (types[c]) {
+        case InferredType::kInt32: {
+          int32_t v = 0;
+          ParsesAsInt32(field, &v);
+          row.SetInt32(c, v);
+          break;
+        }
+        case InferredType::kFloat64: {
+          double v = 0;
+          ParsesAsDouble(field, &v);
+          row.SetFloat64(c, v);
+          break;
+        }
+        case InferredType::kString:
+          row.SetString(c, field);
+          break;
+      }
+    }
+    SKYLINE_RETURN_IF_ERROR(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+Result<Table> ReadCsvFile(Env* env, const std::string& csv_file_path,
+                          const std::string& table_path,
+                          const CsvOptions& options) {
+  std::ifstream in(csv_file_path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open CSV file: " + csv_file_path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return CsvToTable(env, table_path, buffer.str(), options);
+}
+
+Result<std::string> TableToCsv(const Table& table) {
+  const Schema& schema = table.schema();
+  std::string out;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (c > 0) out.push_back(',');
+    if (NeedsQuoting(schema.column(c).name)) {
+      AppendQuoted(schema.column(c).name, &out);
+    } else {
+      out += schema.column(c).name;
+    }
+  }
+  out.push_back('\n');
+
+  std::vector<char> rows;
+  SKYLINE_RETURN_IF_ERROR(table.ReadAllRows(&rows));
+  char scratch[64];
+  for (uint64_t r = 0; r < table.row_count(); ++r) {
+    RowView row(&schema, rows.data() + r * schema.row_width());
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      if (c > 0) out.push_back(',');
+      switch (schema.column(c).type) {
+        case ColumnType::kInt32:
+          std::snprintf(scratch, sizeof(scratch), "%d", row.GetInt32(c));
+          out += scratch;
+          break;
+        case ColumnType::kInt64:
+          std::snprintf(scratch, sizeof(scratch), "%lld",
+                        static_cast<long long>(row.GetInt64(c)));
+          out += scratch;
+          break;
+        case ColumnType::kFloat64:
+          std::snprintf(scratch, sizeof(scratch), "%.17g", row.GetFloat64(c));
+          out += scratch;
+          break;
+        case ColumnType::kFixedString: {
+          const std::string value = row.GetString(c);
+          if (NeedsQuoting(value)) {
+            AppendQuoted(value, &out);
+          } else {
+            out += value;
+          }
+          break;
+        }
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace skyline

@@ -1,0 +1,53 @@
+#ifndef SKYLINE_RELATION_CSV_H_
+#define SKYLINE_RELATION_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace skyline {
+
+/// CSV import/export so the library works on real data files, not just
+/// synthetic tables.
+///
+/// Dialect: comma-separated, first row is the header, fields may be quoted
+/// with `"` (embedded quotes doubled, embedded commas/newlines allowed
+/// inside quotes), `\n` or `\r\n` row endings.
+
+/// Options controlling CSV import.
+struct CsvOptions {
+  /// Maximum bytes reserved for string columns (values longer than this
+  /// are rejected with InvalidArgument during type inference).
+  size_t max_string_length = 64;
+};
+
+/// Splits one CSV record into fields (exposed for testing). `pos` is
+/// advanced past the record and its terminator. Returns false at
+/// end-of-input with no record.
+bool ParseCsvRecord(const std::string& text, size_t* pos,
+                    std::vector<std::string>* fields);
+
+/// Parses CSV text into a table at `path` in `env`. Column types are
+/// inferred per column from the data: Int32 if every value parses as a
+/// 32-bit integer, else Float64 if every value parses as a number, else
+/// FixedString sized to the longest value. Empty fields are NULL-less: they
+/// infer as strings (numeric columns must be fully populated).
+Result<Table> CsvToTable(Env* env, const std::string& path,
+                         const std::string& csv_text,
+                         const CsvOptions& options = CsvOptions{});
+
+/// Reads a CSV file from the real filesystem and materializes it as a
+/// table at `table_path` in `env`.
+Result<Table> ReadCsvFile(Env* env, const std::string& csv_file_path,
+                          const std::string& table_path,
+                          const CsvOptions& options = CsvOptions{});
+
+/// Serializes a table to CSV text (header + rows). Float columns print
+/// with enough digits to round-trip; strings are quoted when needed.
+Result<std::string> TableToCsv(const Table& table);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_RELATION_CSV_H_

@@ -1,0 +1,160 @@
+#include "relation/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/random.h"
+
+namespace skyline {
+namespace {
+
+/// Maps a normalized value in [0,1] onto the full int32 range.
+int32_t ScaleToInt32(double v) {
+  v = std::clamp(v, 0.0, 1.0);
+  const double lo = static_cast<double>(std::numeric_limits<int32_t>::min());
+  const double hi = static_cast<double>(std::numeric_limits<int32_t>::max());
+  const double scaled = lo + v * (hi - lo);
+  return static_cast<int32_t>(
+      std::clamp(scaled, lo, hi));
+}
+
+/// Draws one tuple's normalized attribute vector per the distribution.
+void DrawNormalized(const GeneratorOptions& options, Random* rng,
+                    std::vector<double>* out) {
+  const int k = options.num_attributes;
+  out->resize(k);
+  switch (options.distribution) {
+    case Distribution::kIndependent:
+      for (int i = 0; i < k; ++i) (*out)[i] = rng->UniformDouble();
+      break;
+    case Distribution::kCorrelated: {
+      // A per-tuple "quality" center with small independent noise: tuples
+      // good on one dimension tend to be good on all.
+      const double center = rng->UniformDouble();
+      for (int i = 0; i < k; ++i) {
+        (*out)[i] =
+            std::clamp(center + rng->Gaussian() * options.noise, 0.0, 1.0);
+      }
+      break;
+    }
+    case Distribution::kAntiCorrelated: {
+      // Tuples lie near the hyperplane sum(a_i) = k * center: an increase in
+      // one attribute is paid for by decreases in the others.
+      const double center =
+          std::clamp(0.5 + rng->Gaussian() * options.noise, 0.0, 1.0);
+      double mean = 0.0;
+      for (int i = 0; i < k; ++i) {
+        (*out)[i] = rng->UniformDouble() - 0.5;
+        mean += (*out)[i];
+      }
+      mean /= k;
+      for (int i = 0; i < k; ++i) {
+        (*out)[i] = std::clamp(center + ((*out)[i] - mean), 0.0, 1.0);
+      }
+      break;
+    }
+  }
+}
+
+void FillPayload(Random* rng, size_t bytes, std::string* out) {
+  out->resize(bytes);
+  // Printable deterministic filler; content is never interpreted.
+  for (size_t i = 0; i < bytes; ++i) {
+    (*out)[i] = static_cast<char>('a' + rng->Uniform(26));
+  }
+}
+
+}  // namespace
+
+Result<Table> GenerateTable(Env* env, const std::string& path,
+                            const GeneratorOptions& options) {
+  if (options.num_attributes <= 0) {
+    return Status::InvalidArgument("num_attributes must be positive");
+  }
+  if (options.small_domain && options.domain_lo > options.domain_hi) {
+    return Status::InvalidArgument("empty small domain");
+  }
+
+  std::vector<ColumnDef> columns;
+  columns.reserve(options.num_attributes + 1);
+  for (int i = 0; i < options.num_attributes; ++i) {
+    columns.push_back(ColumnDef::Int32("a" + std::to_string(i)));
+  }
+  if (options.payload_bytes > 0) {
+    columns.push_back(
+        ColumnDef::FixedString("payload", options.payload_bytes));
+  }
+  SKYLINE_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(columns)));
+
+  TableBuilder builder(env, path, schema);
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+
+  Random rng(options.seed);
+  std::vector<double> values;
+  std::string payload;
+  RowBuffer row(&builder.schema());
+  const size_t payload_col = static_cast<size_t>(options.num_attributes);
+  for (uint64_t r = 0; r < options.num_rows; ++r) {
+    if (options.small_domain) {
+      for (int i = 0; i < options.num_attributes; ++i) {
+        row.SetInt32(static_cast<size_t>(i),
+                     rng.UniformInt32(options.domain_lo, options.domain_hi));
+      }
+    } else {
+      DrawNormalized(options, &rng, &values);
+      for (int i = 0; i < options.num_attributes; ++i) {
+        double v = values[i];
+        if (options.skew_exponent != 1.0) {
+          v = std::pow(v, options.skew_exponent);
+        }
+        row.SetInt32(static_cast<size_t>(i), ScaleToInt32(v));
+      }
+    }
+    if (options.payload_bytes > 0) {
+      FillPayload(&rng, options.payload_bytes, &payload);
+      row.SetString(payload_col, payload);
+    }
+    SKYLINE_RETURN_IF_ERROR(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+Result<Table> MakeGoodEatsTable(Env* env, const std::string& path) {
+  SKYLINE_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({ColumnDef::FixedString("restaurant", 20),
+                    ColumnDef::Int32("S"), ColumnDef::Int32("F"),
+                    ColumnDef::Int32("D"), ColumnDef::Float64("price")}));
+  TableBuilder builder(env, path, schema);
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+
+  struct Restaurant {
+    const char* name;
+    int32_t s, f, d;
+    double price;
+  };
+  // Figure 1 of the paper.
+  static constexpr Restaurant kGuide[] = {
+      {"Summer Moon", 21, 25, 19, 47.50},
+      {"Zakopane", 24, 20, 21, 56.00},
+      {"Brearton Grill", 15, 18, 20, 62.00},
+      {"Yamanote", 22, 22, 17, 51.50},
+      {"Fenton & Pickle", 16, 14, 10, 17.50},
+      {"Briar Patch BBQ", 14, 13, 3, 22.50},
+  };
+
+  RowBuffer row(&builder.schema());
+  for (const auto& r : kGuide) {
+    row.SetString(0, r.name);
+    row.SetInt32(1, r.s);
+    row.SetInt32(2, r.f);
+    row.SetInt32(3, r.d);
+    row.SetFloat64(4, r.price);
+    SKYLINE_RETURN_IF_ERROR(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+}  // namespace skyline

@@ -1,0 +1,66 @@
+#ifndef SKYLINE_RELATION_GENERATOR_H_
+#define SKYLINE_RELATION_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace skyline {
+
+/// Attribute-value distribution across the skyline dimensions of one tuple.
+enum class Distribution {
+  /// Each attribute i.i.d. uniform — the paper's main data set.
+  kIndependent,
+  /// Attributes positively correlated (good on one dim → good on others);
+  /// skylines shrink.
+  kCorrelated,
+  /// Attributes anti-correlated (good on one dim → bad on others); skylines
+  /// explode — the degenerate case discussed in the paper's Section 6.
+  kAntiCorrelated,
+};
+
+/// Configuration for the synthetic table generator. Defaults reproduce the
+/// paper's experimental table shape: ten int32 attributes drawn uniformly
+/// from the full int32 range plus a 60-byte string, 100 bytes per tuple,
+/// 40 tuples per 4 KiB page.
+struct GeneratorOptions {
+  uint64_t num_rows = 100'000;
+  /// Number of int32 attribute columns (named "a0".."a{n-1}").
+  int num_attributes = 10;
+  /// Width of the trailing FixedString payload column ("payload"); 0 omits
+  /// the column entirely.
+  size_t payload_bytes = 60;
+  Distribution distribution = Distribution::kIndependent;
+  /// Noise scale (in normalized (0,1) units) for the correlated /
+  /// anti-correlated distributions.
+  double noise = 0.05;
+  /// Marginal skew: each normalized attribute value v is replaced by
+  /// v^skew_exponent before scaling. 1.0 (default) keeps the uniform
+  /// marginals; larger values concentrate mass near the bottom of the
+  /// range — the non-uniform case the paper's entropy normalization
+  /// assumes away (Section 4.3) and rank normalization handles.
+  double skew_exponent = 1.0;
+  /// When true, attributes are drawn from the small integer domain
+  /// [domain_lo, domain_hi] instead of the full int32 range — the paper's
+  /// dimensional-reduction experiment uses 0..9.
+  bool small_domain = false;
+  int32_t domain_lo = 0;
+  int32_t domain_hi = 9;
+  uint64_t seed = 42;
+};
+
+/// Generates a synthetic table at `path` in `env`.
+Result<Table> GenerateTable(Env* env, const std::string& path,
+                            const GeneratorOptions& options);
+
+/// Builds the paper's Figure 1 "GoodEats" restaurant guide sample:
+/// (restaurant str[20], S int32, F int32, D int32, price float64).
+/// Its skyline under {S max, F max, D max, price min} is the paper's
+/// Figure 2 (Summer Moon, Zakopane, Yamanote, Fenton & Pickle).
+Result<Table> MakeGoodEatsTable(Env* env, const std::string& path);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_RELATION_GENERATOR_H_

@@ -1,0 +1,97 @@
+#include "relation/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace skyline {
+
+Result<EquiDepthHistogram> EquiDepthHistogram::Build(
+    std::vector<double> values, size_t buckets) {
+  if (values.empty()) {
+    return Status::InvalidArgument("histogram needs at least one value");
+  }
+  if (buckets == 0) {
+    return Status::InvalidArgument("histogram needs at least one bucket");
+  }
+  std::sort(values.begin(), values.end());
+  const size_t n = values.size();
+  buckets = std::min(buckets, n);
+
+  EquiDepthHistogram histogram;
+  histogram.boundaries_.reserve(buckets + 1);
+  histogram.cumulative_.reserve(buckets + 1);
+  histogram.boundaries_.push_back(values.front());
+  histogram.cumulative_.push_back(0.0);
+  for (size_t b = 1; b <= buckets; ++b) {
+    // Index of the last value in bucket b (equi-depth split points).
+    const size_t idx = b * n / buckets - 1;
+    const double boundary = values[idx];
+    // Runs of duplicates can produce repeated boundaries; merge them,
+    // keeping the larger cumulative mass.
+    const double cum = static_cast<double>(idx + 1) / static_cast<double>(n);
+    if (boundary == histogram.boundaries_.back()) {
+      histogram.cumulative_.back() = cum;
+    } else {
+      histogram.boundaries_.push_back(boundary);
+      histogram.cumulative_.push_back(cum);
+    }
+  }
+  if (histogram.boundaries_.size() == 1) {
+    // Constant column: make a degenerate one-bucket histogram.
+    histogram.boundaries_.push_back(histogram.boundaries_.front());
+    histogram.cumulative_.push_back(1.0);
+  }
+  return histogram;
+}
+
+double EquiDepthHistogram::Cdf(double v) const {
+  if (v < boundaries_.front()) return 0.0;
+  if (v >= boundaries_.back()) return 1.0;
+  // Find the bucket whose upper boundary is the first > v.
+  const auto it =
+      std::upper_bound(boundaries_.begin(), boundaries_.end(), v);
+  const size_t hi = static_cast<size_t>(it - boundaries_.begin());
+  const size_t lo = hi - 1;
+  const double span = boundaries_[hi] - boundaries_[lo];
+  const double t = span > 0 ? (v - boundaries_[lo]) / span : 1.0;
+  return cumulative_[lo] + t * (cumulative_[hi] - cumulative_[lo]);
+}
+
+Result<EquiDepthHistogram> BuildColumnHistogram(const Table& table,
+                                                size_t column, size_t buckets,
+                                                size_t sample_size,
+                                                uint64_t seed) {
+  if (column >= table.schema().num_columns()) {
+    return Status::InvalidArgument("histogram column out of range");
+  }
+  if (!table.schema().IsNumeric(column)) {
+    return Status::InvalidArgument("histogram column must be numeric");
+  }
+  std::vector<double> values;
+  const bool sampling = sample_size > 0 && sample_size < table.row_count();
+  values.reserve(sampling ? sample_size
+                          : static_cast<size_t>(table.row_count()));
+  Random rng(seed);
+  auto reader = table.NewReader(nullptr);
+  uint64_t seen = 0;
+  while (const char* row = reader->Next()) {
+    const double v = table.schema().NumericValue(column, row);
+    if (!sampling) {
+      values.push_back(v);
+    } else if (values.size() < sample_size) {
+      values.push_back(v);
+    } else {
+      // Reservoir sampling keeps each seen value with equal probability.
+      const uint64_t slot = rng.Uniform(seen + 1);
+      if (slot < sample_size) values[static_cast<size_t>(slot)] = v;
+    }
+    ++seen;
+  }
+  SKYLINE_RETURN_IF_ERROR(reader->status());
+  return EquiDepthHistogram::Build(std::move(values), buckets);
+}
+
+}  // namespace skyline

@@ -1,0 +1,3 @@
+#include "relation/row.h"
+
+// Header-only; this translation unit anchors the target.

@@ -1,0 +1,127 @@
+#ifndef SKYLINE_RELATION_ROW_H_
+#define SKYLINE_RELATION_ROW_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/logging.h"
+#include "relation/schema.h"
+
+namespace skyline {
+
+/// Read-only view over one fixed-width row. Does not own the bytes; the
+/// underlying buffer (page, window slot, ...) must outlive the view.
+class RowView {
+ public:
+  RowView(const Schema* schema, const char* data)
+      : schema_(schema), data_(data) {}
+
+  const Schema& schema() const { return *schema_; }
+  const char* data() const { return data_; }
+
+  int32_t GetInt32(size_t col) const {
+    CheckType(col, ColumnType::kInt32);
+    int32_t v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+
+  int64_t GetInt64(size_t col) const {
+    CheckType(col, ColumnType::kInt64);
+    int64_t v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+
+  double GetFloat64(size_t col) const {
+    CheckType(col, ColumnType::kFloat64);
+    double v;
+    std::memcpy(&v, data_ + schema_->offset(col), sizeof(v));
+    return v;
+  }
+
+  /// Fixed string contents trimmed of trailing NULs.
+  std::string GetString(size_t col) const {
+    CheckType(col, ColumnType::kFixedString);
+    const char* start = data_ + schema_->offset(col);
+    size_t len = schema_->column(col).string_length;
+    while (len > 0 && start[len - 1] == '\0') --len;
+    return std::string(start, len);
+  }
+
+  /// Numeric value widened to double (Int32/Int64/Float64 columns).
+  double GetNumeric(size_t col) const {
+    return schema_->NumericValue(col, data_);
+  }
+
+ private:
+  void CheckType(size_t col, ColumnType expected) const {
+    SKYLINE_CHECK(schema_->column(col).type == expected)
+        << "column " << schema_->column(col).name << " type mismatch";
+  }
+
+  const Schema* schema_;
+  const char* data_;
+};
+
+/// Owning, mutable row buffer used to assemble rows before appending them to
+/// a table or heap file.
+class RowBuffer {
+ public:
+  explicit RowBuffer(const Schema* schema)
+      : schema_(schema), data_(schema->row_width(), '\0') {}
+
+  const Schema& schema() const { return *schema_; }
+  const char* data() const { return data_.data(); }
+  char* mutable_data() { return data_.data(); }
+  size_t size() const { return data_.size(); }
+
+  RowView View() const { return RowView(schema_, data_.data()); }
+
+  void SetInt32(size_t col, int32_t v) {
+    CheckType(col, ColumnType::kInt32);
+    std::memcpy(data_.data() + schema_->offset(col), &v, sizeof(v));
+  }
+
+  void SetInt64(size_t col, int64_t v) {
+    CheckType(col, ColumnType::kInt64);
+    std::memcpy(data_.data() + schema_->offset(col), &v, sizeof(v));
+  }
+
+  void SetFloat64(size_t col, double v) {
+    CheckType(col, ColumnType::kFloat64);
+    std::memcpy(data_.data() + schema_->offset(col), &v, sizeof(v));
+  }
+
+  /// Copies `value` into the fixed string column, truncating or
+  /// NUL-padding to the declared length.
+  void SetString(size_t col, std::string_view value) {
+    CheckType(col, ColumnType::kFixedString);
+    const size_t len = schema_->column(col).string_length;
+    char* dst = data_.data() + schema_->offset(col);
+    const size_t n = value.size() < len ? value.size() : len;
+    std::memcpy(dst, value.data(), n);
+    std::memset(dst + n, 0, len - n);
+  }
+
+  /// Copies a whole raw row of matching width.
+  void SetRow(const char* raw) {
+    std::memcpy(data_.data(), raw, data_.size());
+  }
+
+ private:
+  void CheckType(size_t col, ColumnType expected) const {
+    SKYLINE_CHECK(schema_->column(col).type == expected)
+        << "column " << schema_->column(col).name << " type mismatch";
+  }
+
+  const Schema* schema_;
+  std::vector<char> data_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_RELATION_ROW_H_

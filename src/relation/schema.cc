@@ -1,0 +1,158 @@
+#include "relation/schema.h"
+
+#include <cstring>
+#include <set>
+
+#include "common/logging.h"
+
+namespace skyline {
+
+size_t ColumnWidth(ColumnType type, size_t string_length) {
+  switch (type) {
+    case ColumnType::kInt32:
+      return sizeof(int32_t);
+    case ColumnType::kInt64:
+      return sizeof(int64_t);
+    case ColumnType::kFloat64:
+      return sizeof(double);
+    case ColumnType::kFixedString:
+      return string_length;
+  }
+  return 0;
+}
+
+Result<Schema> Schema::Make(std::vector<ColumnDef> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema must have at least one column");
+  }
+  std::set<std::string> names;
+  for (const auto& col : columns) {
+    if (col.name.empty()) {
+      return Status::InvalidArgument("column name must be non-empty");
+    }
+    if (!names.insert(col.name).second) {
+      return Status::InvalidArgument("duplicate column name: " + col.name);
+    }
+    if (col.type == ColumnType::kFixedString && col.string_length == 0) {
+      return Status::InvalidArgument("fixed string column " + col.name +
+                                     " must have positive length");
+    }
+  }
+  Schema schema;
+  schema.columns_ = std::move(columns);
+  schema.offsets_.reserve(schema.columns_.size());
+  size_t offset = 0;
+  for (const auto& col : schema.columns_) {
+    schema.offsets_.push_back(offset);
+    offset += ColumnWidth(col.type, col.string_length);
+  }
+  schema.row_width_ = offset;
+  return schema;
+}
+
+Result<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+bool Schema::IsNumeric(size_t i) const {
+  return columns_[i].type != ColumnType::kFixedString;
+}
+
+namespace {
+
+template <typename T>
+int CompareAt(const char* a, const char* b, size_t offset) {
+  T va, vb;
+  std::memcpy(&va, a + offset, sizeof(T));
+  std::memcpy(&vb, b + offset, sizeof(T));
+  if (va < vb) return -1;
+  if (vb < va) return 1;
+  return 0;
+}
+
+}  // namespace
+
+int Schema::CompareColumn(size_t col, const char* row_a,
+                          const char* row_b) const {
+  SKYLINE_CHECK_LT(col, columns_.size());
+  const size_t offset = offsets_[col];
+  switch (columns_[col].type) {
+    case ColumnType::kInt32:
+      return CompareAt<int32_t>(row_a, row_b, offset);
+    case ColumnType::kInt64:
+      return CompareAt<int64_t>(row_a, row_b, offset);
+    case ColumnType::kFloat64:
+      return CompareAt<double>(row_a, row_b, offset);
+    case ColumnType::kFixedString:
+      return std::memcmp(row_a + offset, row_b + offset,
+                         columns_[col].string_length);
+  }
+  return 0;
+}
+
+double Schema::NumericValue(size_t col, const char* row) const {
+  SKYLINE_CHECK_LT(col, columns_.size());
+  const size_t offset = offsets_[col];
+  switch (columns_[col].type) {
+    case ColumnType::kInt32: {
+      int32_t v;
+      std::memcpy(&v, row + offset, sizeof(v));
+      return static_cast<double>(v);
+    }
+    case ColumnType::kInt64: {
+      int64_t v;
+      std::memcpy(&v, row + offset, sizeof(v));
+      return static_cast<double>(v);
+    }
+    case ColumnType::kFloat64: {
+      double v;
+      std::memcpy(&v, row + offset, sizeof(v));
+      return v;
+    }
+    case ColumnType::kFixedString:
+      SKYLINE_CHECK(false) << "NumericValue on string column "
+                           << columns_[col].name;
+  }
+  return 0.0;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name != other.columns_[i].name ||
+        columns_[i].type != other.columns_[i].type ||
+        columns_[i].string_length != other.columns_[i].string_length) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += columns_[i].name;
+    switch (columns_[i].type) {
+      case ColumnType::kInt32:
+        out += ":int32";
+        break;
+      case ColumnType::kInt64:
+        out += ":int64";
+        break;
+      case ColumnType::kFloat64:
+        out += ":float64";
+        break;
+      case ColumnType::kFixedString:
+        out += ":str[" + std::to_string(columns_[i].string_length) + "]";
+        break;
+    }
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace skyline

@@ -1,0 +1,96 @@
+#ifndef SKYLINE_RELATION_SCHEMA_H_
+#define SKYLINE_RELATION_SCHEMA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skyline {
+
+/// Column value types. All types are fixed-width so rows have a fixed layout
+/// and pack densely into heap-file pages (the paper's 100-byte tuples are
+/// ten Int32 columns plus a 60-byte FixedString payload).
+enum class ColumnType {
+  kInt32,
+  kInt64,
+  kFloat64,
+  kFixedString,
+};
+
+/// Width in bytes of a column of `type`; `string_length` applies only to
+/// kFixedString.
+size_t ColumnWidth(ColumnType type, size_t string_length);
+
+/// One column definition.
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt32;
+  /// Only meaningful for kFixedString.
+  size_t string_length = 0;
+
+  static ColumnDef Int32(std::string name) {
+    return ColumnDef{std::move(name), ColumnType::kInt32, 0};
+  }
+  static ColumnDef Int64(std::string name) {
+    return ColumnDef{std::move(name), ColumnType::kInt64, 0};
+  }
+  static ColumnDef Float64(std::string name) {
+    return ColumnDef{std::move(name), ColumnType::kFloat64, 0};
+  }
+  static ColumnDef FixedString(std::string name, size_t length) {
+    return ColumnDef{std::move(name), ColumnType::kFixedString, length};
+  }
+};
+
+/// Fixed-width row layout: an ordered list of columns with precomputed byte
+/// offsets. Schemas are immutable once constructed and cheap to copy.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; column names must be unique and non-empty.
+  static Result<Schema> Make(std::vector<ColumnDef> columns);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(size_t i) const { return columns_[i]; }
+  size_t offset(size_t i) const { return offsets_[i]; }
+  size_t column_width(size_t i) const {
+    return ColumnWidth(columns_[i].type, columns_[i].string_length);
+  }
+
+  /// Total row width in bytes.
+  size_t row_width() const { return row_width_; }
+
+  /// Index of the column named `name`, or NotFound.
+  Result<size_t> ColumnIndex(const std::string& name) const;
+
+  /// True for Int32/Int64/Float64 columns (usable as skyline criteria).
+  bool IsNumeric(size_t i) const;
+
+  /// Three-way comparison of column `col` between two raw rows of this
+  /// schema: negative if a < b, 0 if equal, positive if a > b. For
+  /// kFixedString the comparison is bytewise (memcmp).
+  int CompareColumn(size_t col, const char* row_a, const char* row_b) const;
+
+  /// Numeric value of column `col` of `row` as a double (Int32/Int64 are
+  /// widened; calling on a kFixedString column is a programming error).
+  double NumericValue(size_t col, const char* row) const;
+
+  /// Structural equality (same columns in the same order).
+  bool Equals(const Schema& other) const;
+
+  /// Human-readable description, e.g. "(a1:int32, name:str[20])".
+  std::string ToString() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+  std::vector<size_t> offsets_;
+  size_t row_width_ = 0;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_RELATION_SCHEMA_H_

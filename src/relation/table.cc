@@ -1,0 +1,67 @@
+#include "relation/table.h"
+
+#include <cstring>
+
+namespace skyline {
+
+Result<Table> Table::Attach(Schema schema, Env* env, std::string path,
+                            std::vector<ColumnStats> stats) {
+  if (stats.size() != schema.num_columns()) {
+    return Status::InvalidArgument("stats size does not match schema");
+  }
+  SKYLINE_ASSIGN_OR_RETURN(uint64_t file_size, env->FileSize(path));
+  SKYLINE_ASSIGN_OR_RETURN(uint64_t rows,
+                           HeapFileRecordCount(file_size, schema.row_width()));
+  return Table(std::move(schema), env, std::move(path), rows,
+               std::move(stats));
+}
+
+std::unique_ptr<HeapFileReader> Table::NewReader(IoStats* stats) const {
+  auto reader = std::make_unique<HeapFileReader>(env_, path_,
+                                                 schema_.row_width(), stats);
+  SKYLINE_CHECK_OK(reader->Open());
+  return reader;
+}
+
+Status Table::ReadAllRows(std::vector<char>* buffer) const {
+  buffer->clear();
+  buffer->reserve(row_count_ * schema_.row_width());
+  HeapFileReader reader(env_, path_, schema_.row_width(), nullptr);
+  SKYLINE_RETURN_IF_ERROR(reader.Open());
+  const size_t width = schema_.row_width();
+  while (const char* row = reader.Next()) {
+    buffer->insert(buffer->end(), row, row + width);
+  }
+  return reader.status();
+}
+
+TableBuilder::TableBuilder(Env* env, std::string path, Schema schema)
+    : env_(env),
+      path_(std::move(path)),
+      schema_(std::move(schema)),
+      writer_(env_, path_, schema_.row_width(), nullptr),
+      stats_(schema_.num_columns()) {}
+
+Status TableBuilder::Open() { return writer_.Open(); }
+
+Status TableBuilder::Append(const RowBuffer& row) {
+  SKYLINE_CHECK(row.schema().Equals(schema_)) << "schema mismatch in Append";
+  return AppendRaw(row.data());
+}
+
+Status TableBuilder::AppendRaw(const char* raw) {
+  for (size_t c = 0; c < schema_.num_columns(); ++c) {
+    if (schema_.IsNumeric(c)) {
+      stats_[c].Observe(schema_.NumericValue(c, raw));
+    }
+  }
+  return writer_.Append(raw);
+}
+
+Result<Table> TableBuilder::Finish() {
+  SKYLINE_RETURN_IF_ERROR(writer_.Finish());
+  return Table(std::move(schema_), env_, std::move(path_),
+               writer_.records_written(), std::move(stats_));
+}
+
+}  // namespace skyline

@@ -1,0 +1,122 @@
+#ifndef SKYLINE_RELATION_TABLE_H_
+#define SKYLINE_RELATION_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "env/env.h"
+#include "relation/row.h"
+#include "relation/schema.h"
+#include "storage/heap_file.h"
+#include "storage/io_stats.h"
+
+namespace skyline {
+
+/// Per-column value range observed while building a table. Used to normalize
+/// attribute values into (0,1) for the entropy scoring function — the paper
+/// notes relational systems keep exactly these statistics.
+struct ColumnStats {
+  bool valid = false;  // false for string columns and empty tables
+  double min = 0.0;
+  double max = 0.0;
+
+  void Observe(double v) {
+    if (!valid) {
+      valid = true;
+      min = max = v;
+    } else {
+      if (v < min) min = v;
+      if (v > max) max = v;
+    }
+  }
+};
+
+/// A materialized relation: a schema plus a heap file of rows plus column
+/// statistics. Tables are immutable after construction; algorithms open
+/// sequential readers against them.
+class Table {
+ public:
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+
+  const Schema& schema() const { return schema_; }
+  Env* env() const { return env_; }
+  const std::string& path() const { return path_; }
+  uint64_t row_count() const { return row_count_; }
+  uint64_t page_count() const {
+    return HeapFilePageCount(row_count_, schema_.row_width());
+  }
+  const ColumnStats& stats(size_t col) const { return stats_[col]; }
+
+  /// Wraps an existing heap file (written elsewhere with `schema`'s row
+  /// width) as a Table. `row_count` is derived from the file size.
+  /// `stats` supplies the column statistics (e.g. reuse the source table's
+  /// stats when attaching a subset of its rows — min/max over a superset
+  /// remain valid bounds).
+  static Result<Table> Attach(Schema schema, Env* env, std::string path,
+                              std::vector<ColumnStats> stats);
+
+  /// Opens a fresh sequential reader; `stats` (may be null) receives page
+  /// read counts.
+  std::unique_ptr<HeapFileReader> NewReader(IoStats* stats) const;
+
+  /// Reads all rows into a dense in-memory buffer (row_count * row_width
+  /// bytes). For the in-memory baselines and tests.
+  Status ReadAllRows(std::vector<char>* buffer) const;
+
+ private:
+  friend class TableBuilder;
+  Table(Schema schema, Env* env, std::string path, uint64_t row_count,
+        std::vector<ColumnStats> stats)
+      : schema_(std::move(schema)),
+        env_(env),
+        path_(std::move(path)),
+        row_count_(row_count),
+        stats_(std::move(stats)) {}
+
+  Schema schema_;
+  Env* env_;
+  std::string path_;
+  uint64_t row_count_;
+  std::vector<ColumnStats> stats_;
+};
+
+/// Streams rows into a new heap file and produces a Table. Column stats for
+/// numeric columns are collected automatically.
+class TableBuilder {
+ public:
+  TableBuilder(Env* env, std::string path, Schema schema);
+
+  TableBuilder(const TableBuilder&) = delete;
+  TableBuilder& operator=(const TableBuilder&) = delete;
+
+  /// Opens the output file. Must be called before Append.
+  Status Open();
+
+  /// Appends a row (must use this builder's schema).
+  Status Append(const RowBuffer& row);
+
+  /// Appends a raw row of schema().row_width() bytes.
+  Status AppendRaw(const char* raw);
+
+  /// Finalizes the file and returns the table.
+  Result<Table> Finish();
+
+  const Schema& schema() const { return schema_; }
+
+ private:
+  Env* env_;
+  std::string path_;
+  Schema schema_;
+  HeapFileWriter writer_;
+  std::vector<ColumnStats> stats_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_RELATION_TABLE_H_

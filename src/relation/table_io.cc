@@ -1,0 +1,114 @@
+#include "relation/table_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+namespace skyline {
+namespace {
+
+constexpr char kMagic[] = "skyline_table v1";
+
+const char* TypeName(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+      return "int32";
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kFloat64:
+      return "float64";
+    case ColumnType::kFixedString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<ColumnType> TypeFromName(const std::string& name) {
+  if (name == "int32") return ColumnType::kInt32;
+  if (name == "int64") return ColumnType::kInt64;
+  if (name == "float64") return ColumnType::kFloat64;
+  if (name == "string") return ColumnType::kFixedString;
+  return Status::Corruption("unknown column type: " + name);
+}
+
+}  // namespace
+
+Status SaveTableMetadata(const Table& table, const std::string& meta_path) {
+  std::string out = std::string(kMagic) + "\n";
+  char scratch[128];
+  const Schema& schema = table.schema();
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const ColumnDef& col = schema.column(c);
+    std::snprintf(scratch, sizeof(scratch), "column %s %zu ",
+                  TypeName(col.type), col.string_length);
+    out += scratch;
+    out += col.name;  // rest of line: names may contain spaces
+    out += "\n";
+  }
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    const ColumnStats& stats = table.stats(c);
+    std::snprintf(scratch, sizeof(scratch), "stats %zu %d %.17g %.17g\n", c,
+                  stats.valid ? 1 : 0, stats.min, stats.max);
+    out += scratch;
+  }
+  std::unique_ptr<WritableFile> file;
+  SKYLINE_RETURN_IF_ERROR(table.env()->NewWritableFile(meta_path, &file));
+  SKYLINE_RETURN_IF_ERROR(file->Append(out.data(), out.size()));
+  return file->Close();
+}
+
+Result<Table> OpenTableWithMetadata(Env* env, const std::string& table_path,
+                                    const std::string& meta_path) {
+  std::unique_ptr<RandomAccessFile> file;
+  SKYLINE_RETURN_IF_ERROR(env->NewRandomAccessFile(meta_path, &file));
+  std::string text(file->Size(), '\0');
+  SKYLINE_RETURN_IF_ERROR(file->Read(0, text.size(), text.data()));
+
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::Corruption("bad table metadata header in " + meta_path);
+  }
+  std::vector<ColumnDef> columns;
+  std::vector<ColumnStats> stats;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::string kind;
+    fields >> kind;
+    if (kind == "column") {
+      std::string type_name;
+      size_t length = 0;
+      fields >> type_name >> length;
+      std::string name;
+      std::getline(fields, name);
+      if (!name.empty() && name.front() == ' ') name.erase(0, 1);
+      if (name.empty()) {
+        return Status::Corruption("column without a name in " + meta_path);
+      }
+      SKYLINE_ASSIGN_OR_RETURN(ColumnType type, TypeFromName(type_name));
+      columns.push_back({name, type, length});
+    } else if (kind == "stats") {
+      size_t index = 0;
+      int valid = 0;
+      ColumnStats cs;
+      fields >> index >> valid >> cs.min >> cs.max;
+      if (fields.fail() || index != stats.size() || index >= columns.size()) {
+        return Status::Corruption("malformed stats line in " + meta_path);
+      }
+      cs.valid = valid != 0;
+      stats.push_back(cs);
+    } else {
+      return Status::Corruption("unknown metadata line kind '" + kind +
+                                "' in " + meta_path);
+    }
+  }
+  if (columns.empty() || stats.size() != columns.size()) {
+    return Status::Corruption("incomplete table metadata in " + meta_path);
+  }
+  SKYLINE_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(columns)));
+  return Table::Attach(std::move(schema), env, table_path, std::move(stats));
+}
+
+}  // namespace skyline

@@ -1,0 +1,34 @@
+#ifndef SKYLINE_RELATION_TABLE_IO_H_
+#define SKYLINE_RELATION_TABLE_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relation/table.h"
+
+namespace skyline {
+
+/// Sidecar-metadata persistence: a Table is a heap file plus schema and
+/// column statistics; the heap file lives wherever the Env put it, and
+/// these functions serialize the rest to a small text sidecar so tables
+/// survive process restarts (with PosixEnv) or can be handed between
+/// components (with any Env).
+///
+/// Format (line-based, versioned):
+///   skyline_table v1
+///   column <type> <length> <name>      # one per column, order = layout
+///   stats <index> <valid> <min> <max>  # one per column
+/// Floats round-trip via %.17g. Names may contain spaces (rest-of-line).
+
+/// Writes the sidecar for `table` at `meta_path` in the table's Env.
+Status SaveTableMetadata(const Table& table, const std::string& meta_path);
+
+/// Rebuilds a Table from `meta_path` plus the heap file at `table_path`
+/// (row count is derived from the file size). Corruption / version
+/// mismatches surface as Corruption.
+Result<Table> OpenTableWithMetadata(Env* env, const std::string& table_path,
+                                    const std::string& meta_path);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_RELATION_TABLE_IO_H_

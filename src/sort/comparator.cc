@@ -1,0 +1,24 @@
+#include "sort/comparator.h"
+
+#include "common/logging.h"
+
+namespace skyline {
+
+LexicographicOrdering::LexicographicOrdering(const Schema* schema,
+                                             std::vector<SortKey> keys)
+    : schema_(schema), keys_(std::move(keys)) {
+  SKYLINE_CHECK(!keys_.empty()) << "lexicographic ordering needs keys";
+  for (const auto& key : keys_) {
+    SKYLINE_CHECK_LT(key.column, schema_->num_columns());
+  }
+}
+
+int LexicographicOrdering::Compare(const char* a, const char* b) const {
+  for (const auto& key : keys_) {
+    int c = schema_->CompareColumn(key.column, a, b);
+    if (c != 0) return key.descending ? -c : c;
+  }
+  return 0;
+}
+
+}  // namespace skyline

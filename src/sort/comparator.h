@@ -1,0 +1,72 @@
+#ifndef SKYLINE_SORT_COMPARATOR_H_
+#define SKYLINE_SORT_COMPARATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "relation/schema.h"
+
+namespace skyline {
+
+/// Total-order interface over raw fixed-width rows, used by the external
+/// sorter. Implementations must be consistent (strict weak ordering).
+///
+/// When `has_key()` is true the ordering is "larger double key first"
+/// (ties arbitrary); the sorter then caches one key per record instead of
+/// re-evaluating multi-column comparisons — this is the paper's observation
+/// that sorting on a single computed attribute (the entropy score E) is
+/// cheaper than a nested sort over many attributes.
+class RowOrdering {
+ public:
+  virtual ~RowOrdering() = default;
+
+  /// Negative if `a` sorts before `b`, 0 if equivalent, positive otherwise.
+  virtual int Compare(const char* a, const char* b) const = 0;
+
+  /// True if the order is exactly "descending by Key()".
+  virtual bool has_key() const { return false; }
+
+  /// Scalar sort key; only meaningful when has_key() is true.
+  virtual double Key(const char* /*row*/) const { return 0.0; }
+};
+
+/// One column of a lexicographic sort.
+struct SortKey {
+  size_t column = 0;
+  bool descending = false;
+};
+
+/// Nested (lexicographic) ordering over schema columns — the `ORDER BY a1
+/// DESC, ..., ak DESC` of the paper's Figure 6.
+class LexicographicOrdering : public RowOrdering {
+ public:
+  /// `schema` must outlive the ordering.
+  LexicographicOrdering(const Schema* schema, std::vector<SortKey> keys);
+
+  int Compare(const char* a, const char* b) const override;
+
+  const std::vector<SortKey>& keys() const { return keys_; }
+
+ private:
+  const Schema* schema_;
+  std::vector<SortKey> keys_;
+};
+
+/// Ordering that inverts another (for worst-case input experiments such as
+/// the paper's reverse-entropy BNL runs).
+class ReverseOrdering : public RowOrdering {
+ public:
+  /// `base` must outlive the ordering.
+  explicit ReverseOrdering(const RowOrdering* base) : base_(base) {}
+
+  int Compare(const char* a, const char* b) const override {
+    return -base_->Compare(a, b);
+  }
+
+ private:
+  const RowOrdering* base_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SORT_COMPARATOR_H_

@@ -1,0 +1,239 @@
+#include "sort/external_sort.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+
+namespace skyline {
+namespace {
+
+/// One input cursor of a k-way merge: wraps a reader and buffers the
+/// current record (reader pointers are invalidated by Next()).
+class MergeCursor {
+ public:
+  MergeCursor(Env* env, const std::string& path, size_t record_size,
+              const RowOrdering* ordering, IoStats* io)
+      : reader_(env, path, record_size, io),
+        ordering_(ordering),
+        record_(record_size) {}
+
+  Status Open() {
+    SKYLINE_RETURN_IF_ERROR(reader_.Open());
+    return Advance();
+  }
+
+  bool exhausted() const { return exhausted_; }
+  const char* record() const { return record_.data(); }
+  double key() const { return key_; }
+
+  Status Advance() {
+    const char* next = reader_.Next();
+    if (next == nullptr) {
+      SKYLINE_RETURN_IF_ERROR(reader_.status());
+      exhausted_ = true;
+      return Status::OK();
+    }
+    std::memcpy(record_.data(), next, record_.size());
+    if (ordering_->has_key()) key_ = ordering_->Key(record_.data());
+    return Status::OK();
+  }
+
+ private:
+  HeapFileReader reader_;
+  const RowOrdering* ordering_;
+  std::vector<char> record_;
+  double key_ = 0.0;
+  bool exhausted_ = false;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(Env* env, TempFileManager* temp_files,
+                               const RowOrdering* ordering, size_t record_size,
+                               const SortOptions& options, SortStats* stats_out)
+    : env_(env),
+      temp_files_(temp_files),
+      ordering_(ordering),
+      record_size_(record_size),
+      options_(options),
+      stats_out_(stats_out),
+      stats_(stats_out_ != nullptr ? stats_out_ : &local_stats_) {
+  SKYLINE_CHECK_GE(options_.buffer_pages, 3u)
+      << "external sort needs at least 3 buffer pages";
+}
+
+Result<std::string> ExternalSorter::Sort(const std::string& input_path) {
+  *stats_ = SortStats{};
+  std::vector<std::string> runs;
+  SKYLINE_ASSIGN_OR_RETURN(std::string single, GenerateRuns(input_path, &runs));
+  if (!single.empty()) return single;  // fit in one run
+  return MergeRuns(std::move(runs));
+}
+
+Result<std::string> ExternalSorter::GenerateRuns(
+    const std::string& input_path, std::vector<std::string>* runs) {
+  const size_t per_page = RecordsPerPage(record_size_);
+  const size_t run_capacity = options_.buffer_pages * per_page;
+
+  HeapFileReader reader(env_, input_path, record_size_, nullptr);
+  SKYLINE_RETURN_IF_ERROR(reader.Open());
+
+  // Record storage plus sort handles. With a scalar key ordering we sort
+  // (key, index) pairs; otherwise pointers via the comparator.
+  std::vector<char> buffer;
+  buffer.reserve(run_capacity * record_size_);
+
+  const bool by_key = ordering_->has_key();
+  const uint64_t total_records = reader.record_count();
+  const bool single_run = total_records <= run_capacity;
+  RowFilter* filter = options_.filter;
+
+  while (true) {
+    buffer.clear();
+    size_t n = 0;
+    while (n < run_capacity) {
+      const char* rec = reader.Next();
+      if (rec == nullptr) break;
+      if (filter != nullptr && !filter->Keep(rec)) {
+        ++stats_->records_filtered;
+        continue;
+      }
+      buffer.insert(buffer.end(), rec, rec + record_size_);
+      ++n;
+    }
+    SKYLINE_RETURN_IF_ERROR(reader.status());
+    if (n == 0) break;
+
+    std::vector<uint32_t> order(n);
+    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    if (by_key) {
+      std::vector<double> keys(n);
+      for (size_t i = 0; i < n; ++i) {
+        keys[i] = ordering_->Key(buffer.data() + i * record_size_);
+      }
+      std::stable_sort(order.begin(), order.end(),
+                       [&keys](uint32_t a, uint32_t b) {
+                         return keys[a] > keys[b];  // larger key first
+                       });
+    } else {
+      const char* base = buffer.data();
+      const size_t width = record_size_;
+      std::stable_sort(order.begin(), order.end(),
+                       [this, base, width](uint32_t a, uint32_t b) {
+                         return ordering_->Compare(base + a * width,
+                                                   base + b * width) < 0;
+                       });
+    }
+
+    std::string run_path = temp_files_->Allocate("sortrun");
+    HeapFileWriter writer(env_, run_path, record_size_, &stats_->io);
+    SKYLINE_RETURN_IF_ERROR(writer.Open());
+    for (size_t i = 0; i < n; ++i) {
+      SKYLINE_RETURN_IF_ERROR(
+          writer.Append(buffer.data() + order[i] * record_size_));
+    }
+    SKYLINE_RETURN_IF_ERROR(writer.Finish());
+    runs->push_back(std::move(run_path));
+    ++stats_->runs_generated;
+    if (single_run) {
+      // The whole input fit in the buffer: done after one run.
+      return runs->front();
+    }
+  }
+  if (runs->empty()) {
+    // Empty input: produce an empty sorted file.
+    std::string path = temp_files_->Allocate("sortrun");
+    HeapFileWriter writer(env_, path, record_size_, &stats_->io);
+    SKYLINE_RETURN_IF_ERROR(writer.Open());
+    SKYLINE_RETURN_IF_ERROR(writer.Finish());
+    ++stats_->runs_generated;
+    return path;
+  }
+  if (runs->size() == 1) return runs->front();
+  return std::string();  // multiple runs: caller merges
+}
+
+Result<std::string> ExternalSorter::MergeRuns(std::vector<std::string> runs) {
+  const size_t fan_in = std::max<size_t>(2, options_.buffer_pages - 1);
+  while (runs.size() > 1) {
+    ++stats_->merge_levels;
+    std::vector<std::string> next_level;
+    for (size_t i = 0; i < runs.size(); i += fan_in) {
+      const size_t end = std::min(runs.size(), i + fan_in);
+      std::vector<std::string> group(runs.begin() + i, runs.begin() + end);
+      if (group.size() == 1) {
+        next_level.push_back(group.front());
+        continue;
+      }
+      SKYLINE_ASSIGN_OR_RETURN(std::string merged, MergeOnce(group));
+      for (const auto& run : group) temp_files_->Delete(run);
+      next_level.push_back(std::move(merged));
+    }
+    runs = std::move(next_level);
+  }
+  return runs.front();
+}
+
+Result<std::string> ExternalSorter::MergeOnce(
+    const std::vector<std::string>& group) {
+  std::vector<std::unique_ptr<MergeCursor>> cursors;
+  cursors.reserve(group.size());
+  for (const auto& path : group) {
+    auto cursor = std::make_unique<MergeCursor>(env_, path, record_size_,
+                                                ordering_, &stats_->io);
+    SKYLINE_RETURN_IF_ERROR(cursor->Open());
+    if (!cursor->exhausted()) cursors.push_back(std::move(cursor));
+  }
+
+  const bool by_key = ordering_->has_key();
+  auto before = [this, by_key](const MergeCursor* a,
+                               const MergeCursor* b) {
+    if (by_key) return a->key() > b->key();
+    return ordering_->Compare(a->record(), b->record()) < 0;
+  };
+  // Min-heap on "before": comparator for push_heap must say "worse first".
+  auto heap_cmp = [&before](MergeCursor* a, MergeCursor* b) {
+    return before(b, a);
+  };
+
+  std::vector<MergeCursor*> heap;
+  heap.reserve(cursors.size());
+  for (auto& c : cursors) heap.push_back(c.get());
+  std::make_heap(heap.begin(), heap.end(), heap_cmp);
+
+  std::string out_path = temp_files_->Allocate("sortmerge");
+  HeapFileWriter writer(env_, out_path, record_size_, &stats_->io);
+  SKYLINE_RETURN_IF_ERROR(writer.Open());
+
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), heap_cmp);
+    MergeCursor* top = heap.back();
+    SKYLINE_RETURN_IF_ERROR(writer.Append(top->record()));
+    SKYLINE_RETURN_IF_ERROR(top->Advance());
+    if (top->exhausted()) {
+      heap.pop_back();
+    } else {
+      std::push_heap(heap.begin(), heap.end(), heap_cmp);
+    }
+  }
+  SKYLINE_RETURN_IF_ERROR(writer.Finish());
+  return out_path;
+}
+
+Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,
+                                 const std::string& input_path,
+                                 size_t record_size,
+                                 const RowOrdering& ordering,
+                                 const SortOptions& options,
+                                 SortStats* stats) {
+  ExternalSorter sorter(env, temp_files, &ordering, record_size, options,
+                        stats);
+  return sorter.Sort(input_path);
+}
+
+}  // namespace skyline

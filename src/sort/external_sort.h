@@ -1,0 +1,96 @@
+#ifndef SKYLINE_SORT_EXTERNAL_SORT_H_
+#define SKYLINE_SORT_EXTERNAL_SORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "env/env.h"
+#include "sort/comparator.h"
+#include "storage/io_stats.h"
+#include "storage/temp_file_manager.h"
+
+namespace skyline {
+
+/// Record-level filter applied while the sorter reads its input — the hook
+/// behind the paper's Section 6 suggestion that "removal of non-skyline
+/// tuples could be done during the external sort passes" (realized by the
+/// elimination-filter window of core/less.h).
+class RowFilter {
+ public:
+  virtual ~RowFilter() = default;
+
+  /// Returns false to drop the record before it enters a sort run.
+  virtual bool Keep(const char* row) = 0;
+};
+
+/// Tuning knobs for the external merge sort.
+struct SortOptions {
+  /// Pages of record buffer available: bounds both the in-memory run size
+  /// and the merge fan-in. The paper's experiments give the sort a
+  /// 1,000-page allocation.
+  size_t buffer_pages = 1000;
+  /// Optional input filter (must outlive the sort); see RowFilter.
+  RowFilter* filter = nullptr;
+};
+
+/// Observability counters for one Sort() call.
+struct SortStats {
+  uint64_t runs_generated = 0;
+  uint64_t merge_levels = 0;
+  /// Records dropped by SortOptions::filter.
+  uint64_t records_filtered = 0;
+  /// Pages written+read for runs and merges (excludes reading the input and
+  /// counts the final output's write).
+  IoStats io;
+};
+
+/// Classic external merge sort over heap files of fixed-width records:
+/// quicksorted initial runs of `buffer_pages` pages each, then k-way merges
+/// with fan-in `buffer_pages - 1` until one sorted file remains.
+///
+/// When `ordering->has_key()` the sorter caches one scalar key per record
+/// (computed once per run / merge cursor) instead of invoking the
+/// multi-column comparator per comparison.
+class ExternalSorter {
+ public:
+  /// All pointers must outlive the sorter. `stats_out` may be null.
+  ExternalSorter(Env* env, TempFileManager* temp_files,
+                 const RowOrdering* ordering, size_t record_size,
+                 const SortOptions& options, SortStats* stats_out);
+
+  ExternalSorter(const ExternalSorter&) = delete;
+  ExternalSorter& operator=(const ExternalSorter&) = delete;
+
+  /// Sorts the heap file at `input_path` and returns the path of a new
+  /// sorted temp heap file (owned by the TempFileManager).
+  Result<std::string> Sort(const std::string& input_path);
+
+ private:
+  Result<std::string> GenerateRuns(const std::string& input_path,
+                                   std::vector<std::string>* runs);
+  Result<std::string> MergeRuns(std::vector<std::string> runs);
+  Result<std::string> MergeOnce(const std::vector<std::string>& group);
+
+  Env* env_;
+  TempFileManager* temp_files_;
+  const RowOrdering* ordering_;
+  size_t record_size_;
+  SortOptions options_;
+  SortStats* stats_out_;
+  SortStats local_stats_;
+  SortStats* stats_;
+};
+
+/// Convenience: sort `input_path` with `ordering` using fresh temp files in
+/// `env`, returning the sorted file path. `stats` may be null.
+Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,
+                                 const std::string& input_path,
+                                 size_t record_size,
+                                 const RowOrdering& ordering,
+                                 const SortOptions& options, SortStats* stats);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SORT_EXTERNAL_SORT_H_

@@ -1,0 +1,62 @@
+#ifndef SKYLINE_SQL_AST_H_
+#define SKYLINE_SQL_AST_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/skyline_spec.h"
+
+namespace skyline {
+
+/// Comparison operator of a WHERE predicate.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// A literal value: number or string.
+using SqlLiteral = std::variant<double, std::string>;
+
+/// One `column <op> literal` predicate (literals on the left are
+/// normalized by flipping the operator during parsing).
+struct SqlPredicate {
+  std::string column;
+  CompareOp op = CompareOp::kEq;
+  SqlLiteral literal;
+};
+
+/// One ORDER BY key.
+struct SqlOrderItem {
+  std::string column;
+  bool descending = false;
+};
+
+/// Parsed form of the mini dialect's single statement shape — the paper's
+/// Figure 3 proposal:
+///
+///   SELECT <* | col [, col ...]>
+///   FROM <table>
+///   [WHERE <col op literal> [AND ...]]
+///   [SKYLINE OF <col [MIN|MAX|DIFF]> [, ...]]
+///   [ORDER BY <col [ASC|DESC]> [, ...]]
+///   [LIMIT <n>]
+///
+/// MAX is the default skyline directive, as in the paper; ASC is the
+/// default sort direction. ORDER BY may reference any base-table column
+/// (it is applied before projection).
+struct SelectStatement {
+  /// Empty means `*`.
+  std::vector<std::string> columns;
+  std::string table;
+  std::vector<SqlPredicate> predicates;
+  std::vector<Criterion> skyline;
+  std::vector<SqlOrderItem> order_by;
+  std::optional<uint64_t> limit;
+};
+
+/// Printable operator text ("<=" etc.), for diagnostics.
+std::string_view CompareOpText(CompareOp op);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SQL_AST_H_

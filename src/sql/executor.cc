@@ -1,0 +1,168 @@
+#include "sql/executor.h"
+
+#include <memory>
+#include <vector>
+
+#include "sql/parser.h"
+
+namespace skyline {
+namespace {
+
+/// A predicate bound to a column index with a typed comparison closure.
+struct BoundPredicate {
+  size_t column;
+  CompareOp op;
+  bool is_string;
+  double number = 0;
+  std::string text;
+
+  bool Eval(const RowView& row) const {
+    int cmp;
+    if (is_string) {
+      const std::string value = row.GetString(column);
+      cmp = value.compare(text);
+    } else {
+      const double value = row.GetNumeric(column);
+      cmp = value < number ? -1 : (value > number ? 1 : 0);
+    }
+    switch (op) {
+      case CompareOp::kEq:
+        return cmp == 0;
+      case CompareOp::kNe:
+        return cmp != 0;
+      case CompareOp::kLt:
+        return cmp < 0;
+      case CompareOp::kLe:
+        return cmp <= 0;
+      case CompareOp::kGt:
+        return cmp > 0;
+      case CompareOp::kGe:
+        return cmp >= 0;
+    }
+    return false;
+  }
+};
+
+Result<BoundPredicate> BindPredicate(const Schema& schema,
+                                     const SqlPredicate& predicate) {
+  BoundPredicate bound;
+  SKYLINE_ASSIGN_OR_RETURN(bound.column, schema.ColumnIndex(predicate.column));
+  bound.op = predicate.op;
+  const bool numeric_column = schema.IsNumeric(bound.column);
+  if (std::holds_alternative<double>(predicate.literal)) {
+    if (!numeric_column) {
+      return Status::InvalidArgument("column " + predicate.column +
+                                     " is a string; compare it to a quoted "
+                                     "string literal");
+    }
+    bound.is_string = false;
+    bound.number = std::get<double>(predicate.literal);
+  } else {
+    if (numeric_column) {
+      return Status::InvalidArgument("column " + predicate.column +
+                                     " is numeric; compare it to a number");
+    }
+    bound.is_string = true;
+    bound.text = std::get<std::string>(predicate.literal);
+  }
+  return bound;
+}
+
+}  // namespace
+
+namespace {
+
+/// Binds `statement` and assembles the Query pipeline plus the owned
+/// ordering it may reference. Shared by execution and EXPLAIN.
+Result<std::unique_ptr<Query>> BuildQueryFromStatement(
+    const Catalog& catalog, const SelectStatement& statement,
+    const SqlOptions& options,
+    std::unique_ptr<LexicographicOrdering>* order_by_out) {
+  SKYLINE_ASSIGN_OR_RETURN(const Table* table,
+                           catalog.Lookup(statement.table));
+  const Schema& schema = table->schema();
+
+  // Bind everything before building the pipeline so errors carry context.
+  std::vector<BoundPredicate> predicates;
+  predicates.reserve(statement.predicates.size());
+  for (const auto& predicate : statement.predicates) {
+    SKYLINE_ASSIGN_OR_RETURN(BoundPredicate bound,
+                             BindPredicate(schema, predicate));
+    predicates.push_back(std::move(bound));
+  }
+  for (const auto& criterion : statement.skyline) {
+    SKYLINE_RETURN_IF_ERROR(schema.ColumnIndex(criterion.column).status());
+  }
+  for (const auto& column : statement.columns) {
+    SKYLINE_RETURN_IF_ERROR(schema.ColumnIndex(column).status());
+  }
+  std::unique_ptr<LexicographicOrdering> order_by;
+  if (!statement.order_by.empty()) {
+    std::vector<SortKey> keys;
+    keys.reserve(statement.order_by.size());
+    for (const auto& item : statement.order_by) {
+      SKYLINE_ASSIGN_OR_RETURN(size_t column, schema.ColumnIndex(item.column));
+      keys.push_back({column, item.descending});
+    }
+    order_by = std::make_unique<LexicographicOrdering>(&schema,
+                                                       std::move(keys));
+  }
+
+  auto query = std::make_unique<Query>(catalog.env(), table,
+                                       options.temp_prefix);
+  if (!predicates.empty()) {
+    query->Where([predicates](const RowView& row) {
+      for (const auto& predicate : predicates) {
+        if (!predicate.Eval(row)) return false;
+      }
+      return true;
+    });
+  }
+  if (!statement.skyline.empty()) {
+    query->SkylineOf(statement.skyline, options.algorithm, options.sfs);
+  }
+  if (order_by != nullptr) {
+    // Before projection, so ORDER BY may reference non-selected columns;
+    // the ordering binds to the base schema either way.
+    query->OrderBy(order_by.get());
+  }
+  if (!statement.columns.empty()) {
+    query->Project(statement.columns);
+  }
+  if (statement.limit.has_value()) {
+    query->Limit(*statement.limit);
+  }
+  *order_by_out = std::move(order_by);
+  return query;
+}
+
+}  // namespace
+
+Status ExecuteSelect(const Catalog& catalog, const SelectStatement& statement,
+                     const SqlOptions& options,
+                     const std::function<Status(const RowView&)>& visitor) {
+  std::unique_ptr<LexicographicOrdering> order_by;
+  SKYLINE_ASSIGN_OR_RETURN(
+      std::unique_ptr<Query> query,
+      BuildQueryFromStatement(catalog, statement, options, &order_by));
+  return query->Run(visitor);
+}
+
+Result<std::string> ExplainSql(const Catalog& catalog, const std::string& sql,
+                               const SqlOptions& options) {
+  SKYLINE_ASSIGN_OR_RETURN(SelectStatement statement, ParseSql(sql));
+  std::unique_ptr<LexicographicOrdering> order_by;
+  SKYLINE_ASSIGN_OR_RETURN(
+      std::unique_ptr<Query> query,
+      BuildQueryFromStatement(catalog, statement, options, &order_by));
+  return query->Explain();
+}
+
+Status ExecuteSql(const Catalog& catalog, const std::string& sql,
+                  const SqlOptions& options,
+                  const std::function<Status(const RowView&)>& visitor) {
+  SKYLINE_ASSIGN_OR_RETURN(SelectStatement statement, ParseSql(sql));
+  return ExecuteSelect(catalog, statement, options, visitor);
+}
+
+}  // namespace skyline

@@ -1,0 +1,139 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <set>
+
+namespace skyline {
+namespace {
+
+const std::set<std::string>& Keywords() {
+  static const auto* const kKeywords = new std::set<std::string>{
+      "SELECT", "FROM", "WHERE", "AND",  "SKYLINE", "OF",
+      "MIN",    "MAX",  "DIFF",  "LIMIT", "ORDER",  "BY",
+      "ASC",    "DESC"};
+  return *kKeywords;
+}
+
+std::string ToUpper(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return s;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> LexSql(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    const size_t start = i;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(sql[j])) ++j;
+      std::string word = sql.substr(i, j - i);
+      std::string upper = ToUpper(word);
+      if (Keywords().count(upper)) {
+        tokens.push_back({TokenKind::kKeyword, upper, start});
+      } else {
+        tokens.push_back({TokenKind::kIdentifier, std::move(word), start});
+      }
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               ((c == '-' || c == '+') && i + 1 < n &&
+                (std::isdigit(static_cast<unsigned char>(sql[i + 1])) ||
+                 sql[i + 1] == '.')) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i + 1;
+      bool seen_dot = c == '.';
+      bool seen_exp = false;
+      while (j < n) {
+        const char d = sql[j];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++j;
+        } else if (d == '.' && !seen_dot && !seen_exp) {
+          seen_dot = true;
+          ++j;
+        } else if ((d == 'e' || d == 'E') && !seen_exp &&
+                   std::isdigit(static_cast<unsigned char>(sql[j - 1]))) {
+          seen_exp = true;
+          ++j;
+          if (j < n && (sql[j] == '+' || sql[j] == '-')) ++j;
+        } else {
+          break;
+        }
+      }
+      tokens.push_back({TokenKind::kNumber, sql.substr(i, j - i), start});
+      i = j;
+    } else if (c == '\'') {
+      std::string value;
+      size_t j = i + 1;
+      bool closed = false;
+      while (j < n) {
+        if (sql[j] == '\'') {
+          if (j + 1 < n && sql[j + 1] == '\'') {  // '' escapes a quote
+            value.push_back('\'');
+            j += 2;
+          } else {
+            closed = true;
+            ++j;
+            break;
+          }
+        } else {
+          value.push_back(sql[j]);
+          ++j;
+        }
+      }
+      if (!closed) {
+        return Status::InvalidArgument(
+            "unterminated string literal at offset " + std::to_string(start));
+      }
+      tokens.push_back({TokenKind::kString, std::move(value), start});
+      i = j;
+    } else if (c == ',') {
+      tokens.push_back({TokenKind::kComma, ",", start});
+      ++i;
+    } else if (c == '*') {
+      tokens.push_back({TokenKind::kStar, "*", start});
+      ++i;
+    } else if (c == '=' ) {
+      tokens.push_back({TokenKind::kOperator, "=", start});
+      ++i;
+    } else if (c == '!' && i + 1 < n && sql[i + 1] == '=') {
+      tokens.push_back({TokenKind::kOperator, "!=", start});
+      i += 2;
+    } else if (c == '<' || c == '>') {
+      if (c == '<' && i + 1 < n && sql[i + 1] == '>') {
+        tokens.push_back({TokenKind::kOperator, "!=", start});
+        i += 2;
+      } else if (i + 1 < n && sql[i + 1] == '=') {
+        tokens.push_back({TokenKind::kOperator, std::string(1, c) + "=", start});
+        i += 2;
+      } else {
+        tokens.push_back({TokenKind::kOperator, std::string(1, c), start});
+        ++i;
+      }
+    } else {
+      return Status::InvalidArgument("unexpected character '" +
+                                     std::string(1, c) + "' at offset " +
+                                     std::to_string(start));
+    }
+  }
+  tokens.push_back({TokenKind::kEnd, "", n});
+  return tokens;
+}
+
+}  // namespace skyline

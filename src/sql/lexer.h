@@ -1,0 +1,39 @@
+#ifndef SKYLINE_SQL_LEXER_H_
+#define SKYLINE_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skyline {
+
+/// Token kinds for the mini SQL dialect (see sql/parser.h for the
+/// grammar). Keywords are recognized case-insensitively and carried as
+/// kKeyword with upper-cased text.
+enum class TokenKind {
+  kKeyword,     // SELECT FROM WHERE AND SKYLINE OF MIN MAX DIFF
+                // LIMIT ORDER BY ASC DESC
+  kIdentifier,  // column / table names
+  kNumber,      // integer or decimal literal (optional sign handled here)
+  kString,      // '...' single-quoted, '' escapes a quote
+  kComma,
+  kStar,
+  kOperator,    // = != < <= > >=
+  kEnd,
+};
+
+/// One lexed token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  size_t offset = 0;
+};
+
+/// Tokenizes `sql`. Returns InvalidArgument with offset context on
+/// malformed input (unterminated string, stray character).
+Result<std::vector<Token>> LexSql(const std::string& sql);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SQL_LEXER_H_

@@ -1,0 +1,239 @@
+#include "sql/parser.h"
+
+#include <cstdlib>
+
+#include "sql/lexer.h"
+
+namespace skyline {
+
+std::string_view CompareOpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+namespace {
+
+CompareOp OpFromText(const std::string& text) {
+  if (text == "=") return CompareOp::kEq;
+  if (text == "!=") return CompareOp::kNe;
+  if (text == "<") return CompareOp::kLt;
+  if (text == "<=") return CompareOp::kLe;
+  if (text == ">") return CompareOp::kGt;
+  return CompareOp::kGe;
+}
+
+CompareOp FlipOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> Parse() {
+    SelectStatement stmt;
+    SKYLINE_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    SKYLINE_RETURN_IF_ERROR(ParseSelectList(&stmt));
+    SKYLINE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    SKYLINE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("WHERE")) {
+      SKYLINE_RETURN_IF_ERROR(ParsePredicates(&stmt));
+    }
+    if (AcceptKeyword("SKYLINE")) {
+      SKYLINE_RETURN_IF_ERROR(ExpectKeyword("OF"));
+      SKYLINE_RETURN_IF_ERROR(ParseCriteria(&stmt));
+    }
+    if (AcceptKeyword("ORDER")) {
+      SKYLINE_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      SKYLINE_RETURN_IF_ERROR(ParseOrderBy(&stmt));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      SKYLINE_RETURN_IF_ERROR(ParseLimit(&stmt));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(message + " at offset " +
+                                   std::to_string(Peek().offset) +
+                                   (Peek().text.empty()
+                                        ? ""
+                                        : " (near '" + Peek().text + "')"));
+  }
+
+  bool AcceptKeyword(const std::string& keyword) {
+    if (Peek().kind == TokenKind::kKeyword && Peek().text == keyword) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!AcceptKeyword(keyword)) return Error("expected " + keyword);
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected " + what);
+    }
+    return Advance().text;
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    if (Peek().kind == TokenKind::kStar) {
+      Advance();
+      return Status::OK();  // empty columns == *
+    }
+    while (true) {
+      SKYLINE_ASSIGN_OR_RETURN(std::string column,
+                               ExpectIdentifier("column name"));
+      stmt->columns.push_back(std::move(column));
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParsePredicates(SelectStatement* stmt) {
+    while (true) {
+      SKYLINE_RETURN_IF_ERROR(ParseOnePredicate(stmt));
+      if (!AcceptKeyword("AND")) break;
+    }
+    return Status::OK();
+  }
+
+  Status ParseOnePredicate(SelectStatement* stmt) {
+    SqlPredicate predicate;
+    const bool literal_first = Peek().kind == TokenKind::kNumber ||
+                               Peek().kind == TokenKind::kString;
+    if (literal_first) {
+      SKYLINE_RETURN_IF_ERROR(ParseLiteral(&predicate.literal));
+    } else {
+      SKYLINE_ASSIGN_OR_RETURN(predicate.column,
+                               ExpectIdentifier("column in predicate"));
+    }
+    if (Peek().kind != TokenKind::kOperator) {
+      return Error("expected comparison operator");
+    }
+    predicate.op = OpFromText(Advance().text);
+    if (literal_first) {
+      SKYLINE_ASSIGN_OR_RETURN(predicate.column,
+                               ExpectIdentifier("column in predicate"));
+      predicate.op = FlipOp(predicate.op);
+    } else {
+      SKYLINE_RETURN_IF_ERROR(ParseLiteral(&predicate.literal));
+    }
+    stmt->predicates.push_back(std::move(predicate));
+    return Status::OK();
+  }
+
+  Status ParseLiteral(SqlLiteral* out) {
+    if (Peek().kind == TokenKind::kNumber) {
+      *out = std::strtod(Advance().text.c_str(), nullptr);
+      return Status::OK();
+    }
+    if (Peek().kind == TokenKind::kString) {
+      *out = Advance().text;
+      return Status::OK();
+    }
+    return Error("expected literal");
+  }
+
+  Status ParseCriteria(SelectStatement* stmt) {
+    while (true) {
+      SKYLINE_ASSIGN_OR_RETURN(std::string column,
+                               ExpectIdentifier("skyline column"));
+      Directive directive = Directive::kMax;  // the paper's default
+      if (AcceptKeyword("MAX")) {
+        directive = Directive::kMax;
+      } else if (AcceptKeyword("MIN")) {
+        directive = Directive::kMin;
+      } else if (AcceptKeyword("DIFF")) {
+        directive = Directive::kDiff;
+      }
+      stmt->skyline.push_back({std::move(column), directive});
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseOrderBy(SelectStatement* stmt) {
+    while (true) {
+      SKYLINE_ASSIGN_OR_RETURN(std::string column,
+                               ExpectIdentifier("ORDER BY column"));
+      bool descending = false;
+      if (AcceptKeyword("DESC")) {
+        descending = true;
+      } else {
+        AcceptKeyword("ASC");
+      }
+      stmt->order_by.push_back({std::move(column), descending});
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Status ParseLimit(SelectStatement* stmt) {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected LIMIT count");
+    }
+    const double value = std::strtod(Advance().text.c_str(), nullptr);
+    if (value < 0 || value != static_cast<double>(
+                                  static_cast<uint64_t>(value))) {
+      return Status::InvalidArgument("LIMIT must be a non-negative integer");
+    }
+    stmt->limit = static_cast<uint64_t>(value);
+    return Status::OK();
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStatement> ParseSql(const std::string& sql) {
+  SKYLINE_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace skyline

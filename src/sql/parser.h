@@ -1,0 +1,17 @@
+#ifndef SKYLINE_SQL_PARSER_H_
+#define SKYLINE_SQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "sql/ast.h"
+
+namespace skyline {
+
+/// Parses one statement of the mini dialect (grammar in sql/ast.h).
+/// Returns InvalidArgument with offset context on syntax errors.
+Result<SelectStatement> ParseSql(const std::string& sql);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SQL_PARSER_H_

@@ -1,0 +1,39 @@
+#ifndef SKYLINE_STORAGE_IO_STATS_H_
+#define SKYLINE_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace skyline {
+
+/// Logical page-I/O counters. The paper's I/O figures count 4 KiB pages
+/// written to (and read back from) temporary files, excluding the initial
+/// table scan; algorithms attach one IoStats to every HeapFile they touch
+/// and report deltas.
+struct IoStats {
+  uint64_t pages_read = 0;
+  uint64_t pages_written = 0;
+
+  uint64_t TotalPages() const { return pages_read + pages_written; }
+
+  void Reset() {
+    pages_read = 0;
+    pages_written = 0;
+  }
+
+  IoStats& operator+=(const IoStats& other) {
+    pages_read += other.pages_read;
+    pages_written += other.pages_written;
+    return *this;
+  }
+};
+
+inline IoStats operator-(const IoStats& a, const IoStats& b) {
+  IoStats d;
+  d.pages_read = a.pages_read - b.pages_read;
+  d.pages_written = a.pages_written - b.pages_written;
+  return d;
+}
+
+}  // namespace skyline
+
+#endif  // SKYLINE_STORAGE_IO_STATS_H_

@@ -1,0 +1,33 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+namespace skyline {
+
+Page::Page(size_t record_size) : record_size_(record_size) {
+  SKYLINE_CHECK_GT(record_size, 0u);
+  SKYLINE_CHECK_LE(record_size, kPageSize);
+}
+
+void Page::Append(const char* record) {
+  SKYLINE_CHECK(!full()) << "page overflow";
+  std::memcpy(data_ + count_ * record_size_, record, record_size_);
+  ++count_;
+}
+
+const char* Page::RecordAt(size_t i) const {
+  SKYLINE_CHECK_LT(i, count_);
+  return data_ + i * record_size_;
+}
+
+char* Page::MutableRecordAt(size_t i) {
+  SKYLINE_CHECK_LT(i, count_);
+  return data_ + i * record_size_;
+}
+
+void Page::set_size(size_t count) {
+  SKYLINE_CHECK_LE(count, capacity());
+  count_ = count;
+}
+
+}  // namespace skyline

@@ -1,0 +1,74 @@
+#ifndef SKYLINE_STORAGE_PAGE_H_
+#define SKYLINE_STORAGE_PAGE_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace skyline {
+
+/// Disk page geometry shared by the storage layer and the algorithms'
+/// window-size accounting. Matches the paper: 4096-byte pages, so 40
+/// 100-byte tuples (or ~100 projected 40-byte window entries) per page.
+inline constexpr size_t kPageSize = 4096;
+
+/// Number of fixed-width records of `record_size` bytes that fit on a page.
+constexpr size_t RecordsPerPage(size_t record_size) {
+  return record_size == 0 ? 0 : kPageSize / record_size;
+}
+
+/// A fixed-size in-memory page buffer holding densely packed fixed-width
+/// records. Pages do not own metadata: the containing HeapFile tracks record
+/// counts; a Page is just the unit of transfer and of buffer accounting.
+class Page {
+ public:
+  /// Creates a page for records of `record_size` bytes. `record_size` must
+  /// be in (0, kPageSize].
+  explicit Page(size_t record_size);
+
+  Page(const Page&) = default;
+  Page& operator=(const Page&) = default;
+  Page(Page&&) noexcept = default;
+  Page& operator=(Page&&) noexcept = default;
+
+  size_t record_size() const { return record_size_; }
+
+  /// Maximum records this page can hold.
+  size_t capacity() const { return RecordsPerPage(record_size_); }
+
+  /// Records currently stored.
+  size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  bool full() const { return count_ == capacity(); }
+
+  /// Appends one record (exactly record_size() bytes). Page must not be full.
+  void Append(const char* record);
+
+  /// Pointer to record `i` (0-based, i < size()).
+  const char* RecordAt(size_t i) const;
+  char* MutableRecordAt(size_t i);
+
+  /// Discards all records.
+  void Clear() { count_ = 0; }
+
+  /// Raw page buffer (kPageSize bytes); used by HeapFile for transfer.
+  const char* data() const { return data_; }
+  char* mutable_data() { return data_; }
+
+  /// Bytes actually occupied by records (count * record_size).
+  size_t payload_bytes() const { return count_ * record_size_; }
+
+  /// Resets the record count after the buffer has been filled externally
+  /// (i.e., after a page-granularity read). `count` must be <= capacity().
+  void set_size(size_t count);
+
+ private:
+  size_t record_size_;
+  size_t count_ = 0;
+  alignas(8) char data_[kPageSize];
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_STORAGE_PAGE_H_

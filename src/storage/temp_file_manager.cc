@@ -1,0 +1,35 @@
+#include "storage/temp_file_manager.h"
+
+#include <algorithm>
+
+namespace skyline {
+
+TempFileManager::TempFileManager(Env* env, std::string prefix)
+    : env_(env), prefix_(std::move(prefix)) {}
+
+TempFileManager::~TempFileManager() { DeleteAll(); }
+
+std::string TempFileManager::Allocate(const std::string& tag) {
+  std::string path =
+      prefix_ + "_" + tag + "_" + std::to_string(next_id_++) + ".heap";
+  paths_.push_back(path);
+  return path;
+}
+
+void TempFileManager::Delete(const std::string& path) {
+  if (env_->FileExists(path)) {
+    env_->DeleteFile(path).ok();  // best effort
+  }
+  paths_.erase(std::remove(paths_.begin(), paths_.end(), path), paths_.end());
+}
+
+void TempFileManager::DeleteAll() {
+  for (const auto& path : paths_) {
+    if (env_->FileExists(path)) {
+      env_->DeleteFile(path).ok();  // best effort
+    }
+  }
+  paths_.clear();
+}
+
+}  // namespace skyline

@@ -1,0 +1,48 @@
+#ifndef SKYLINE_STORAGE_TEMP_FILE_MANAGER_H_
+#define SKYLINE_STORAGE_TEMP_FILE_MANAGER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+
+namespace skyline {
+
+/// Hands out unique temp-file paths within an Env and deletes every file it
+/// handed out when destroyed (or on Release). The multi-pass algorithms and
+/// the external sorter use this for their intermediate heap files.
+class TempFileManager {
+ public:
+  /// `prefix` namespaces the generated paths (e.g. "/tmp/skyline" for a
+  /// PosixEnv, any string for a MemEnv).
+  TempFileManager(Env* env, std::string prefix);
+
+  /// Deletes all allocated files still present in the env.
+  ~TempFileManager();
+
+  TempFileManager(const TempFileManager&) = delete;
+  TempFileManager& operator=(const TempFileManager&) = delete;
+
+  /// Returns a fresh unique path; `tag` is embedded for debuggability.
+  std::string Allocate(const std::string& tag);
+
+  /// Deletes one allocated file now (ignores NotFound).
+  void Delete(const std::string& path);
+
+  /// Deletes all allocated files now.
+  void DeleteAll();
+
+  Env* env() const { return env_; }
+  size_t allocated_count() const { return paths_.size(); }
+
+ private:
+  Env* env_;
+  std::string prefix_;
+  uint64_t next_id_ = 0;
+  std::vector<std::string> paths_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_STORAGE_TEMP_FILE_MANAGER_H_

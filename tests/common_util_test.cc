@@ -1,0 +1,59 @@
+// Coverage for the small common utilities: stopwatch, CHECK macros, and
+// the run-stats arithmetic used across every bench.
+
+#include <unistd.h>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/run_stats.h"
+#include "gtest/gtest.h"
+
+namespace skyline {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch watch;
+  ::usleep(20'000);  // 20 ms
+  const double elapsed = watch.ElapsedSeconds();
+  EXPECT_GE(elapsed, 0.015);
+  EXPECT_LT(elapsed, 5.0);  // loose upper bound for loaded machines
+  EXPECT_NEAR(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3,
+              watch.ElapsedSeconds() * 50);
+}
+
+TEST(Stopwatch, RestartResets) {
+  Stopwatch watch;
+  ::usleep(20'000);
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedSeconds(), 0.015);
+}
+
+TEST(Logging, ChecksPassOnTrueConditions) {
+  SKYLINE_CHECK(true) << "never printed";
+  SKYLINE_CHECK_EQ(1, 1);
+  SKYLINE_CHECK_NE(1, 2);
+  SKYLINE_CHECK_LT(1, 2);
+  SKYLINE_CHECK_LE(2, 2);
+  SKYLINE_CHECK_GT(2, 1);
+  SKYLINE_CHECK_GE(2, 2);
+  SKYLINE_CHECK_OK(Status::OK());
+}
+
+TEST(LoggingDeathTest, FailedCheckAborts) {
+  EXPECT_DEATH(SKYLINE_CHECK(false) << "context 42", "context 42");
+  EXPECT_DEATH(SKYLINE_CHECK_EQ(1, 2), "Check failed");
+  EXPECT_DEATH(SKYLINE_CHECK_OK(Status::IoError("boom")), "boom");
+}
+
+TEST(RunStats, ExtraPagesSumsTempIo) {
+  SkylineRunStats stats;
+  stats.temp_io.pages_written = 7;
+  stats.temp_io.pages_read = 5;
+  EXPECT_EQ(stats.ExtraPages(), 12u);
+  stats.sort_seconds = 1.5;
+  stats.filter_seconds = 0.25;
+  EXPECT_DOUBLE_EQ(stats.total_seconds(), 1.75);
+}
+
+}  // namespace
+}  // namespace skyline

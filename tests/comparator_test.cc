@@ -1,0 +1,88 @@
+#include "sort/comparator.h"
+
+#include <cstring>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+class ComparatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto result = Schema::Make(
+        {ColumnDef::Int32("a"), ColumnDef::Int32("b"), ColumnDef::Float64("c")});
+    ASSERT_TRUE(result.ok());
+    schema_ = std::move(result).value();
+  }
+
+  std::vector<char> Row(int32_t a, int32_t b, double c) {
+    std::vector<char> row(schema_.row_width());
+    std::memcpy(row.data() + schema_.offset(0), &a, 4);
+    std::memcpy(row.data() + schema_.offset(1), &b, 4);
+    std::memcpy(row.data() + schema_.offset(2), &c, 8);
+    return row;
+  }
+
+  Schema schema_;
+};
+
+TEST_F(ComparatorTest, SingleKeyAscending) {
+  LexicographicOrdering ord(&schema_, {{0, false}});
+  auto lo = Row(1, 0, 0), hi = Row(2, 0, 0);
+  EXPECT_LT(ord.Compare(lo.data(), hi.data()), 0);
+  EXPECT_GT(ord.Compare(hi.data(), lo.data()), 0);
+  EXPECT_EQ(ord.Compare(lo.data(), lo.data()), 0);
+}
+
+TEST_F(ComparatorTest, SingleKeyDescending) {
+  LexicographicOrdering ord(&schema_, {{0, true}});
+  auto lo = Row(1, 0, 0), hi = Row(2, 0, 0);
+  EXPECT_GT(ord.Compare(lo.data(), hi.data()), 0);
+  EXPECT_LT(ord.Compare(hi.data(), lo.data()), 0);
+}
+
+TEST_F(ComparatorTest, NestedKeysBreakTies) {
+  LexicographicOrdering ord(&schema_, {{0, true}, {1, true}});
+  auto a = Row(5, 9, 0), b = Row(5, 3, 0);
+  // Equal on key 0; key 1 descending puts the 9 first.
+  EXPECT_LT(ord.Compare(a.data(), b.data()), 0);
+}
+
+TEST_F(ComparatorTest, MixedDirections) {
+  LexicographicOrdering ord(&schema_, {{0, true}, {2, false}});
+  auto a = Row(5, 0, 1.0), b = Row(5, 0, 2.0);
+  EXPECT_LT(ord.Compare(a.data(), b.data()), 0);  // smaller c first
+}
+
+TEST_F(ComparatorTest, AllKeysEqualIsZero) {
+  LexicographicOrdering ord(&schema_, {{0, true}, {1, false}, {2, true}});
+  auto a = Row(1, 2, 3.0), b = Row(1, 2, 3.0);
+  EXPECT_EQ(ord.Compare(a.data(), b.data()), 0);
+}
+
+TEST_F(ComparatorTest, NoScalarKeyByDefault) {
+  LexicographicOrdering ord(&schema_, {{0, false}});
+  EXPECT_FALSE(ord.has_key());
+}
+
+TEST_F(ComparatorTest, ReverseOrderingInverts) {
+  LexicographicOrdering base(&schema_, {{0, false}});
+  ReverseOrdering rev(&base);
+  auto lo = Row(1, 0, 0), hi = Row(2, 0, 0);
+  EXPECT_GT(rev.Compare(lo.data(), hi.data()), 0);
+  EXPECT_LT(rev.Compare(hi.data(), lo.data()), 0);
+  EXPECT_EQ(rev.Compare(lo.data(), lo.data()), 0);
+}
+
+TEST_F(ComparatorTest, TransitivityOnSamples) {
+  LexicographicOrdering ord(&schema_, {{0, true}, {1, false}});
+  auto a = Row(3, 1, 0), b = Row(2, 5, 0), c = Row(2, 7, 0);
+  ASSERT_LT(ord.Compare(a.data(), b.data()), 0);
+  ASSERT_LT(ord.Compare(b.data(), c.data()), 0);
+  EXPECT_LT(ord.Compare(a.data(), c.data()), 0);
+}
+
+}  // namespace
+}  // namespace skyline

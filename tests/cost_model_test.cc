@@ -1,0 +1,122 @@
+#include "core/cost_model.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::MakeUniformTable;
+
+SkylineSpec MaxSpec(const Table& t, int dims) {
+  std::vector<Criterion> criteria;
+  for (int i = 0; i < dims; ++i) {
+    criteria.push_back({"a" + std::to_string(i), Directive::kMax});
+  }
+  auto result = SkylineSpec::Make(t.schema(), std::move(criteria));
+  SKYLINE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+TEST(CostModel, PassFormulaBasics) {
+  EXPECT_EQ(SfsPassesForSkyline(0, 100), 1u);
+  EXPECT_EQ(SfsPassesForSkyline(1, 100), 1u);
+  EXPECT_EQ(SfsPassesForSkyline(100, 100), 1u);
+  EXPECT_EQ(SfsPassesForSkyline(101, 100), 2u);
+  EXPECT_EQ(SfsPassesForSkyline(1000, 100), 10u);
+  EXPECT_EQ(SfsPassesForSkyline(1001, 100), 11u);
+}
+
+TEST(CostModel, PassFormulaIsExactAgainstMeasuredRuns) {
+  // Fact 1 of the cost model: with a monotone presort and no DIFF groups,
+  // SFS passes == ceil(skyline / window capacity) — exactly.
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env.get(), "t", 4000, 6, 401));
+  SkylineSpec spec = MaxSpec(t, 6);
+  for (size_t pages : {1u, 2u, 4u, 16u, 64u}) {
+    for (bool projection : {false, true}) {
+      SfsOptions opts;
+      opts.window_pages = pages;
+      opts.use_projection = projection;
+      SkylineRunStats stats;
+      auto sky = ComputeSkylineSfs(t, spec, opts, "out", &stats);
+      ASSERT_TRUE(sky.ok());
+      const size_t entry_width = projection
+                                     ? spec.projected_schema().row_width()
+                                     : spec.schema().row_width();
+      const uint64_t capacity = pages * RecordsPerPage(entry_width);
+      // With projection the window holds *distinct* projected tuples; on
+      // full-range random data duplicates are absent, so output count
+      // works for both modes.
+      EXPECT_EQ(stats.passes, SfsPassesForSkyline(stats.output_rows, capacity))
+          << "pages=" << pages << " proj=" << projection;
+    }
+  }
+}
+
+TEST(CostModel, EstimatePredictsMeasuredPassesWithinOne) {
+  // Fact 2: plugging the cardinality estimate into the pass formula lands
+  // within one pass of the measurement on uniform data.
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env.get(), "t", 8000, 5, 402));
+  SkylineSpec spec = MaxSpec(t, 5);
+  for (size_t pages : {1u, 2u, 8u}) {
+    SfsOptions opts;
+    opts.window_pages = pages;
+    opts.use_projection = false;
+    SfsCostEstimate estimate = EstimateSfsCost(t.row_count(), spec, opts);
+    SkylineRunStats stats;
+    auto sky = ComputeSkylineSfs(t, spec, opts, "out", &stats);
+    ASSERT_TRUE(sky.ok());
+    const int64_t diff = static_cast<int64_t>(estimate.passes) -
+                         static_cast<int64_t>(stats.passes);
+    EXPECT_LE(std::abs(diff), 1) << "pages=" << pages << " est "
+                                 << estimate.passes << " vs " << stats.passes;
+  }
+}
+
+TEST(CostModel, CapacityReflectsProjection) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env.get(), "t", 100, 5, 403,
+                                                 /*payload_bytes=*/60));
+  SkylineSpec spec = MaxSpec(t, 5);
+  SfsOptions opts;
+  opts.window_pages = 1;
+  opts.use_projection = false;
+  SfsCostEstimate full = EstimateSfsCost(t.row_count(), spec, opts);
+  opts.use_projection = true;
+  SfsCostEstimate proj = EstimateSfsCost(t.row_count(), spec, opts);
+  // 80-byte rows vs 20-byte projections: 4x the capacity.
+  EXPECT_EQ(full.window_capacity, 51u);   // 4096 / 80
+  EXPECT_EQ(proj.window_capacity, 204u);  // 4096 / 20
+}
+
+TEST(CostModel, SpillBoundCoversMeasurement) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env.get(), "t", 6000, 6, 404));
+  SkylineSpec spec = MaxSpec(t, 6);
+  SfsOptions opts;
+  opts.window_pages = 1;
+  opts.use_projection = false;
+  SfsCostEstimate estimate = EstimateSfsCost(t.row_count(), spec, opts);
+  SkylineRunStats stats;
+  auto sky = ComputeSkylineSfs(t, spec, opts, "out", &stats);
+  ASSERT_TRUE(sky.ok());
+  EXPECT_GE(estimate.spilled_tuples_bound,
+            static_cast<double>(stats.spilled_tuples));
+  EXPECT_GE(estimate.extra_pages_bound,
+            static_cast<double>(stats.ExtraPages()));
+}
+
+TEST(CostModel, InputPagesMatchTable) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env.get(), "t", 1000, 5, 405,
+                                                 /*payload_bytes=*/80));
+  SkylineSpec spec = MaxSpec(t, 5);
+  SfsCostEstimate estimate =
+      EstimateSfsCost(t.row_count(), spec, SfsOptions{});
+  EXPECT_EQ(estimate.input_pages, t.page_count());
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,181 @@
+#include "core/dominance.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::MakeIntTable;
+
+class DominanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = Schema::Make({ColumnDef::Int32("a0"), ColumnDef::Int32("a1"),
+                                ColumnDef::Int32("a2")});
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::move(schema).value();
+  }
+
+  SkylineSpec MakeSpec(std::vector<Criterion> criteria) {
+    auto result = SkylineSpec::Make(schema_, std::move(criteria));
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+
+  std::vector<char> Row(int32_t a, int32_t b, int32_t c) {
+    std::vector<char> row(12);
+    std::memcpy(row.data(), &a, 4);
+    std::memcpy(row.data() + 4, &b, 4);
+    std::memcpy(row.data() + 8, &c, 4);
+    return row;
+  }
+
+  Schema schema_;
+};
+
+TEST_F(DominanceTest, StrictDominanceAllMax) {
+  SkylineSpec spec = MakeSpec({{"a0", Directive::kMax},
+                               {"a1", Directive::kMax},
+                               {"a2", Directive::kMax}});
+  auto hi = Row(3, 3, 3), lo = Row(1, 2, 3);
+  EXPECT_EQ(CompareDominance(spec, hi.data(), lo.data()),
+            DomResult::kFirstDominates);
+  EXPECT_EQ(CompareDominance(spec, lo.data(), hi.data()),
+            DomResult::kSecondDominates);
+  EXPECT_TRUE(Dominates(spec, hi.data(), lo.data()));
+  EXPECT_FALSE(Dominates(spec, lo.data(), hi.data()));
+}
+
+TEST_F(DominanceTest, DominanceNeedsOneStrictImprovement) {
+  SkylineSpec spec = MakeSpec({{"a0", Directive::kMax},
+                               {"a1", Directive::kMax},
+                               {"a2", Directive::kMax}});
+  auto a = Row(2, 2, 2), b = Row(2, 2, 1);
+  EXPECT_EQ(CompareDominance(spec, a.data(), b.data()),
+            DomResult::kFirstDominates);
+}
+
+TEST_F(DominanceTest, EquivalentRows) {
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  auto a = Row(2, 2, 99), b = Row(2, 2, -5);  // a2 not a criterion
+  EXPECT_EQ(CompareDominance(spec, a.data(), b.data()),
+            DomResult::kEquivalent);
+  EXPECT_FALSE(Dominates(spec, a.data(), b.data()));
+}
+
+TEST_F(DominanceTest, IncomparableRows) {
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  auto a = Row(4, 1, 0), b = Row(1, 4, 0);
+  EXPECT_EQ(CompareDominance(spec, a.data(), b.data()),
+            DomResult::kIncomparable);
+  EXPECT_EQ(CompareDominance(spec, b.data(), a.data()),
+            DomResult::kIncomparable);
+}
+
+TEST_F(DominanceTest, MinDirectionFlips) {
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMin}, {"a1", Directive::kMax}});
+  auto cheap_good = Row(1, 9, 0), pricey_bad = Row(5, 3, 0);
+  EXPECT_EQ(CompareDominance(spec, cheap_good.data(), pricey_bad.data()),
+            DomResult::kFirstDominates);
+  // Low a0 + low a1 vs high a0 + high a1: incomparable.
+  auto cheap_bad = Row(1, 3, 0), pricey_good = Row(5, 9, 0);
+  EXPECT_EQ(CompareDominance(spec, cheap_bad.data(), pricey_good.data()),
+            DomResult::kIncomparable);
+}
+
+TEST_F(DominanceTest, DiffGroupsAreIncomparable) {
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kDiff}, {"a1", Directive::kMax}});
+  auto g1_hi = Row(1, 9, 0), g2_lo = Row(2, 1, 0);
+  EXPECT_EQ(CompareDominance(spec, g1_hi.data(), g2_lo.data()),
+            DomResult::kIncomparable);
+  auto g1_lo = Row(1, 1, 0);
+  EXPECT_EQ(CompareDominance(spec, g1_hi.data(), g1_lo.data()),
+            DomResult::kFirstDominates);
+}
+
+TEST_F(DominanceTest, PaperRestaurantExample) {
+  // Brearton Grill is dominated by Zakopane; Fenton & Pickle dominates
+  // Briar Patch BBQ; Summer Moon does NOT dominate Brearton Grill
+  // (worse decor).
+  auto env = NewMemEnv();
+  auto guide = MakeGoodEatsTable(env.get(), "g");
+  ASSERT_TRUE(guide.ok());
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(guide->schema(), {{"S", Directive::kMax},
+                                          {"F", Directive::kMax},
+                                          {"D", Directive::kMax},
+                                          {"price", Directive::kMin}}));
+  std::vector<char> rows = testing_util::ReadAll(*guide);
+  const size_t w = guide->schema().row_width();
+  const char* summer_moon = rows.data() + 0 * w;
+  const char* zakopane = rows.data() + 1 * w;
+  const char* brearton = rows.data() + 2 * w;
+  const char* fenton = rows.data() + 4 * w;
+  const char* briar = rows.data() + 5 * w;
+  EXPECT_TRUE(Dominates(spec, zakopane, brearton));
+  EXPECT_TRUE(Dominates(spec, fenton, briar));
+  EXPECT_FALSE(Dominates(spec, summer_moon, brearton));
+  EXPECT_EQ(CompareDominance(spec, summer_moon, zakopane),
+            DomResult::kIncomparable);
+}
+
+TEST_F(DominanceTest, TransitivityRandomized) {
+  SkylineSpec spec = MakeSpec({{"a0", Directive::kMax},
+                               {"a1", Directive::kMin},
+                               {"a2", Directive::kMax}});
+  Random rng(3);
+  int checked = 0;
+  for (int trial = 0; trial < 3000; ++trial) {
+    auto a = Row(rng.UniformInt32(0, 4), rng.UniformInt32(0, 4),
+                 rng.UniformInt32(0, 4));
+    auto b = Row(rng.UniformInt32(0, 4), rng.UniformInt32(0, 4),
+                 rng.UniformInt32(0, 4));
+    auto c = Row(rng.UniformInt32(0, 4), rng.UniformInt32(0, 4),
+                 rng.UniformInt32(0, 4));
+    if (Dominates(spec, a.data(), b.data()) &&
+        Dominates(spec, b.data(), c.data())) {
+      EXPECT_TRUE(Dominates(spec, a.data(), c.data()));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 10);  // the domain is small enough to hit chains
+}
+
+TEST_F(DominanceTest, AntisymmetryRandomized) {
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  Random rng(4);
+  for (int trial = 0; trial < 1000; ++trial) {
+    auto a = Row(rng.UniformInt32(0, 9), rng.UniformInt32(0, 9), 0);
+    auto b = Row(rng.UniformInt32(0, 9), rng.UniformInt32(0, 9), 0);
+    EXPECT_FALSE(Dominates(spec, a.data(), b.data()) &&
+                 Dominates(spec, b.data(), a.data()));
+  }
+}
+
+TEST_F(DominanceTest, DominanceNumber) {
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  std::vector<char> rows;
+  for (auto [a, b] : std::vector<std::pair<int, int>>{
+           {3, 3}, {1, 1}, {2, 1}, {0, 0}, {3, 0}}) {
+    auto r = Row(a, b, 0);
+    rows.insert(rows.end(), r.begin(), r.end());
+  }
+  auto top = Row(3, 3, 0);
+  // (3,3) dominates (1,1), (2,1), (0,0), (3,0) but not itself.
+  EXPECT_EQ(DominanceNumber(spec, top.data(), rows.data(), 5), 4u);
+  auto mid = Row(2, 1, 0);
+  EXPECT_EQ(DominanceNumber(spec, mid.data(), rows.data(), 5), 2u);
+  auto bottom = Row(0, 0, 0);
+  EXPECT_EQ(DominanceNumber(spec, bottom.data(), rows.data(), 5), 0u);
+}
+
+}  // namespace
+}  // namespace skyline

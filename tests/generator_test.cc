@@ -1,0 +1,173 @@
+#include "relation/generator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+TEST(Generator, PaperShapeTable) {
+  auto env = NewMemEnv();
+  GeneratorOptions opts;
+  opts.num_rows = 1000;
+  ASSERT_OK_AND_ASSIGN(Table t, GenerateTable(env.get(), "t", opts));
+  EXPECT_EQ(t.row_count(), 1000u);
+  EXPECT_EQ(t.schema().row_width(), 100u);
+  EXPECT_EQ(t.schema().num_columns(), 11u);
+  // 40 tuples per page -> 25 pages per 1000 tuples.
+  EXPECT_EQ(t.page_count(), 25u);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  auto env = NewMemEnv();
+  GeneratorOptions opts;
+  opts.num_rows = 200;
+  opts.seed = 99;
+  ASSERT_OK_AND_ASSIGN(Table a, GenerateTable(env.get(), "a", opts));
+  ASSERT_OK_AND_ASSIGN(Table b, GenerateTable(env.get(), "b", opts));
+  EXPECT_EQ(testing_util::ReadAll(a), testing_util::ReadAll(b));
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  auto env = NewMemEnv();
+  GeneratorOptions opts;
+  opts.num_rows = 200;
+  opts.seed = 1;
+  ASSERT_OK_AND_ASSIGN(Table a, GenerateTable(env.get(), "a", opts));
+  opts.seed = 2;
+  ASSERT_OK_AND_ASSIGN(Table b, GenerateTable(env.get(), "b", opts));
+  EXPECT_NE(testing_util::ReadAll(a), testing_util::ReadAll(b));
+}
+
+TEST(Generator, IndependentValuesSpanRange) {
+  auto env = NewMemEnv();
+  GeneratorOptions opts;
+  opts.num_rows = 5000;
+  opts.num_attributes = 2;
+  opts.payload_bytes = 0;
+  ASSERT_OK_AND_ASSIGN(Table t, GenerateTable(env.get(), "t", opts));
+  // Uniform over the full int32 range: observed min/max should be extreme.
+  const double span = static_cast<double>(std::numeric_limits<int32_t>::max()) -
+                      std::numeric_limits<int32_t>::min();
+  EXPECT_LT(t.stats(0).min,
+            std::numeric_limits<int32_t>::min() + 0.01 * span);
+  EXPECT_GT(t.stats(0).max,
+            std::numeric_limits<int32_t>::max() - 0.01 * span);
+}
+
+TEST(Generator, SmallDomainRespectsBounds) {
+  auto env = NewMemEnv();
+  GeneratorOptions opts;
+  opts.num_rows = 2000;
+  opts.num_attributes = 4;
+  opts.small_domain = true;
+  opts.domain_lo = 0;
+  opts.domain_hi = 9;
+  ASSERT_OK_AND_ASSIGN(Table t, GenerateTable(env.get(), "t", opts));
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_GE(t.stats(c).min, 0.0);
+    EXPECT_LE(t.stats(c).max, 9.0);
+  }
+  // All ten values should appear in 2000 draws.
+  EXPECT_EQ(t.stats(0).min, 0.0);
+  EXPECT_EQ(t.stats(0).max, 9.0);
+}
+
+TEST(Generator, NoPayloadColumn) {
+  auto env = NewMemEnv();
+  GeneratorOptions opts;
+  opts.num_rows = 10;
+  opts.num_attributes = 3;
+  opts.payload_bytes = 0;
+  ASSERT_OK_AND_ASSIGN(Table t, GenerateTable(env.get(), "t", opts));
+  EXPECT_EQ(t.schema().num_columns(), 3u);
+  EXPECT_EQ(t.schema().row_width(), 12u);
+}
+
+TEST(Generator, RejectsBadOptions) {
+  auto env = NewMemEnv();
+  GeneratorOptions opts;
+  opts.num_attributes = 0;
+  EXPECT_TRUE(GenerateTable(env.get(), "t", opts).status().IsInvalidArgument());
+  opts.num_attributes = 2;
+  opts.small_domain = true;
+  opts.domain_lo = 5;
+  opts.domain_hi = 1;
+  EXPECT_TRUE(GenerateTable(env.get(), "t", opts).status().IsInvalidArgument());
+}
+
+/// Sample Pearson correlation between the first two attributes.
+double SampleCorrelation(const Table& t) {
+  std::vector<char> rows = testing_util::ReadAll(t);
+  const size_t width = t.schema().row_width();
+  const uint64_t n = t.row_count();
+  double sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    RowView row(&t.schema(), rows.data() + i * width);
+    const double x = row.GetInt32(0);
+    const double y = row.GetInt32(1);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    syy += y * y;
+    sxy += x * y;
+  }
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  return cov / std::sqrt(vx * vy);
+}
+
+TEST(Generator, CorrelatedDistributionHasPositiveCorrelation) {
+  auto env = NewMemEnv();
+  GeneratorOptions opts;
+  opts.num_rows = 5000;
+  opts.num_attributes = 2;
+  opts.payload_bytes = 0;
+  opts.distribution = Distribution::kCorrelated;
+  ASSERT_OK_AND_ASSIGN(Table t, GenerateTable(env.get(), "t", opts));
+  EXPECT_GT(SampleCorrelation(t), 0.8);
+}
+
+TEST(Generator, AntiCorrelatedDistributionHasNegativeCorrelation) {
+  auto env = NewMemEnv();
+  GeneratorOptions opts;
+  opts.num_rows = 5000;
+  opts.num_attributes = 2;
+  opts.payload_bytes = 0;
+  opts.distribution = Distribution::kAntiCorrelated;
+  ASSERT_OK_AND_ASSIGN(Table t, GenerateTable(env.get(), "t", opts));
+  EXPECT_LT(SampleCorrelation(t), -0.5);
+}
+
+TEST(Generator, IndependentDistributionNearZeroCorrelation) {
+  auto env = NewMemEnv();
+  GeneratorOptions opts;
+  opts.num_rows = 5000;
+  opts.num_attributes = 2;
+  opts.payload_bytes = 0;
+  ASSERT_OK_AND_ASSIGN(Table t, GenerateTable(env.get(), "t", opts));
+  EXPECT_NEAR(SampleCorrelation(t), 0.0, 0.05);
+}
+
+TEST(GoodEats, MatchesPaperFigure1) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeGoodEatsTable(env.get(), "g"));
+  EXPECT_EQ(t.row_count(), 6u);
+  std::vector<char> rows = testing_util::ReadAll(t);
+  RowView first(&t.schema(), rows.data());
+  EXPECT_EQ(first.GetString(0), "Summer Moon");
+  EXPECT_EQ(first.GetInt32(1), 21);
+  EXPECT_EQ(first.GetInt32(2), 25);
+  EXPECT_EQ(first.GetInt32(3), 19);
+  EXPECT_EQ(first.GetFloat64(4), 47.50);
+  RowView last(&t.schema(), rows.data() + 5 * t.schema().row_width());
+  EXPECT_EQ(last.GetString(0), "Briar Patch BBQ");
+  EXPECT_EQ(last.GetFloat64(4), 22.50);
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,175 @@
+#include "storage/heap_file.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "env/env.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+std::string Rec(size_t width, char fill, int index) {
+  std::string r(width, fill);
+  std::memcpy(r.data(), &index, sizeof(index));
+  return r;
+}
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Env> env_ = NewMemEnv();
+};
+
+TEST_F(HeapFileTest, RoundTripFewRecords) {
+  const size_t width = 100;
+  IoStats stats;
+  HeapFileWriter writer(env_.get(), "f", width, &stats);
+  ASSERT_OK(writer.Open());
+  for (int i = 0; i < 5; ++i) ASSERT_OK(writer.Append(Rec(width, 'a', i).data()));
+  ASSERT_OK(writer.Finish());
+  EXPECT_EQ(writer.records_written(), 5u);
+  EXPECT_EQ(writer.pages_flushed(), 1u);
+  EXPECT_EQ(stats.pages_written, 1u);
+
+  HeapFileReader reader(env_.get(), "f", width, &stats);
+  ASSERT_OK(reader.Open());
+  EXPECT_EQ(reader.record_count(), 5u);
+  EXPECT_EQ(reader.page_count(), 1u);
+  for (int i = 0; i < 5; ++i) {
+    const char* rec = reader.Next();
+    ASSERT_NE(rec, nullptr);
+    int idx;
+    std::memcpy(&idx, rec, sizeof(idx));
+    EXPECT_EQ(idx, i);
+  }
+  EXPECT_EQ(reader.Next(), nullptr);
+  EXPECT_OK(reader.status());
+  EXPECT_EQ(stats.pages_read, 1u);
+}
+
+TEST_F(HeapFileTest, MultiPageWithPaddedPagesAndUnpaddedTail) {
+  const size_t width = 100;  // 40 per page
+  HeapFileWriter writer(env_.get(), "f", width, nullptr);
+  ASSERT_OK(writer.Open());
+  const int n = 103;  // 2 full pages + 23-record tail
+  for (int i = 0; i < n; ++i) ASSERT_OK(writer.Append(Rec(width, 'b', i).data()));
+  ASSERT_OK(writer.Finish());
+  EXPECT_EQ(writer.pages_flushed(), 3u);
+
+  ASSERT_OK_AND_ASSIGN(uint64_t size, env_->FileSize("f"));
+  // 2 padded pages + 23 * 100 unpadded tail bytes.
+  EXPECT_EQ(size, 2 * kPageSize + 23 * width);
+
+  HeapFileReader reader(env_.get(), "f", width, nullptr);
+  ASSERT_OK(reader.Open());
+  EXPECT_EQ(reader.record_count(), static_cast<uint64_t>(n));
+  EXPECT_EQ(reader.page_count(), 3u);
+  int count = 0;
+  while (const char* rec = reader.Next()) {
+    int idx;
+    std::memcpy(&idx, rec, sizeof(idx));
+    EXPECT_EQ(idx, count);
+    ++count;
+  }
+  EXPECT_EQ(count, n);
+}
+
+TEST_F(HeapFileTest, ExactlyFullPagesHaveNoTail) {
+  const size_t width = 100;
+  HeapFileWriter writer(env_.get(), "f", width, nullptr);
+  ASSERT_OK(writer.Open());
+  for (int i = 0; i < 80; ++i) ASSERT_OK(writer.Append(Rec(width, 'c', i).data()));
+  ASSERT_OK(writer.Finish());
+  ASSERT_OK_AND_ASSIGN(uint64_t size, env_->FileSize("f"));
+  EXPECT_EQ(size, 2 * kPageSize);
+
+  HeapFileReader reader(env_.get(), "f", width, nullptr);
+  ASSERT_OK(reader.Open());
+  EXPECT_EQ(reader.record_count(), 80u);
+}
+
+TEST_F(HeapFileTest, EmptyFile) {
+  HeapFileWriter writer(env_.get(), "f", 64, nullptr);
+  ASSERT_OK(writer.Open());
+  ASSERT_OK(writer.Finish());
+  HeapFileReader reader(env_.get(), "f", 64, nullptr);
+  ASSERT_OK(reader.Open());
+  EXPECT_EQ(reader.record_count(), 0u);
+  EXPECT_EQ(reader.Next(), nullptr);
+  EXPECT_OK(reader.status());
+}
+
+TEST_F(HeapFileTest, FinishIsIdempotent) {
+  HeapFileWriter writer(env_.get(), "f", 64, nullptr);
+  ASSERT_OK(writer.Open());
+  ASSERT_OK(writer.Append(std::string(64, 'x').data()));
+  ASSERT_OK(writer.Finish());
+  ASSERT_OK(writer.Finish());
+  HeapFileReader reader(env_.get(), "f", 64, nullptr);
+  ASSERT_OK(reader.Open());
+  EXPECT_EQ(reader.record_count(), 1u);
+}
+
+TEST_F(HeapFileTest, RecordSizeDividesPageExactly) {
+  const size_t width = 64;  // 4096 / 64 == 64, no padding ever
+  HeapFileWriter writer(env_.get(), "f", width, nullptr);
+  ASSERT_OK(writer.Open());
+  for (int i = 0; i < 64; ++i) ASSERT_OK(writer.Append(Rec(width, 'd', i).data()));
+  ASSERT_OK(writer.Finish());
+  ASSERT_OK_AND_ASSIGN(uint64_t size, env_->FileSize("f"));
+  EXPECT_EQ(size, kPageSize);
+  HeapFileReader reader(env_.get(), "f", width, nullptr);
+  ASSERT_OK(reader.Open());
+  EXPECT_EQ(reader.record_count(), 64u);
+  EXPECT_EQ(reader.page_count(), 1u);
+}
+
+TEST_F(HeapFileTest, RecordCountHelpers) {
+  ASSERT_OK_AND_ASSIGN(uint64_t c0, HeapFileRecordCount(0, 100));
+  EXPECT_EQ(c0, 0u);
+  ASSERT_OK_AND_ASSIGN(uint64_t c1, HeapFileRecordCount(2 * kPageSize + 500, 100));
+  EXPECT_EQ(c1, 85u);
+  EXPECT_TRUE(HeapFileRecordCount(2 * kPageSize + 499, 100)
+                  .status()
+                  .IsCorruption());
+  EXPECT_EQ(HeapFilePageCount(0, 100), 0u);
+  EXPECT_EQ(HeapFilePageCount(40, 100), 1u);
+  EXPECT_EQ(HeapFilePageCount(41, 100), 2u);
+}
+
+TEST_F(HeapFileTest, ReaderCountsPagesRead) {
+  const size_t width = 100;
+  IoStats stats;
+  HeapFileWriter writer(env_.get(), "f", width, nullptr);
+  ASSERT_OK(writer.Open());
+  for (int i = 0; i < 120; ++i) ASSERT_OK(writer.Append(Rec(width, 'e', i).data()));
+  ASSERT_OK(writer.Finish());
+  HeapFileReader reader(env_.get(), "f", width, &stats);
+  ASSERT_OK(reader.Open());
+  while (reader.Next() != nullptr) {
+  }
+  EXPECT_EQ(stats.pages_read, 3u);
+  EXPECT_EQ(reader.records_returned(), 120u);
+}
+
+TEST_F(HeapFileTest, OpenMissingFileFails) {
+  HeapFileReader reader(env_.get(), "missing", 100, nullptr);
+  EXPECT_TRUE(reader.Open().IsNotFound());
+}
+
+TEST_F(HeapFileTest, IoStatsArithmetic) {
+  IoStats a{10, 5}, b{4, 2};
+  IoStats d = a - b;
+  EXPECT_EQ(d.pages_read, 6u);
+  EXPECT_EQ(d.pages_written, 3u);
+  EXPECT_EQ(d.TotalPages(), 9u);
+  d += b;
+  EXPECT_EQ(d.pages_read, 10u);
+  d.Reset();
+  EXPECT_EQ(d.TotalPages(), 0u);
+}
+
+}  // namespace
+}  // namespace skyline

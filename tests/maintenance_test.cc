@@ -1,0 +1,162 @@
+#include "core/maintenance.h"
+
+#include <set>
+
+#include "core/naive.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::MakeIntTable;
+using testing_util::MakeUniformTable;
+using testing_util::ReadAll;
+using testing_util::RowMultiset;
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema =
+        Schema::Make({ColumnDef::Int32("a0"), ColumnDef::Int32("a1")});
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::move(schema).value();
+    auto spec = SkylineSpec::Make(
+        schema_, {{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+    ASSERT_TRUE(spec.ok());
+    spec_.emplace(std::move(spec).value());
+  }
+
+  std::vector<char> Row(int32_t a, int32_t b) {
+    std::vector<char> row(8);
+    std::memcpy(row.data(), &a, 4);
+    std::memcpy(row.data() + 4, &b, 4);
+    return row;
+  }
+
+  Schema schema_;
+  std::optional<SkylineSpec> spec_;
+};
+
+TEST_F(MaintenanceTest, InsertBuildsSkyline) {
+  SkylineMaintainer m(&*spec_);
+  EXPECT_EQ(m.Insert(Row(2, 2).data()), SkylineMaintainer::InsertResult::kAdded);
+  EXPECT_EQ(m.Insert(Row(1, 1).data()),
+            SkylineMaintainer::InsertResult::kDominated);
+  EXPECT_EQ(m.Insert(Row(4, 1).data()), SkylineMaintainer::InsertResult::kAdded);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST_F(MaintenanceTest, DominatingInsertEvicts) {
+  SkylineMaintainer m(&*spec_);
+  m.Insert(Row(2, 2).data());
+  m.Insert(Row(1, 4).data());
+  // (5,5) trumps everything — the paper's "single insertion invalidates
+  // the index" case, handled in one O(|skyline|) pass.
+  EXPECT_EQ(m.Insert(Row(5, 5).data()),
+            SkylineMaintainer::InsertResult::kAddedEvicted);
+  EXPECT_EQ(m.size(), 1u);
+  EXPECT_EQ(m.evictions(), 2u);
+}
+
+TEST_F(MaintenanceTest, EquivalentsBothKept) {
+  SkylineMaintainer m(&*spec_);
+  m.Insert(Row(3, 3).data());
+  EXPECT_EQ(m.Insert(Row(3, 3).data()),
+            SkylineMaintainer::InsertResult::kAdded);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST_F(MaintenanceTest, RemoveNonMemberIsFree) {
+  SkylineMaintainer m(&*spec_);
+  m.Insert(Row(5, 5).data());
+  EXPECT_EQ(m.Remove(Row(1, 1).data()),
+            SkylineMaintainer::RemoveResult::kNotMember);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST_F(MaintenanceTest, RemoveMemberFlagsRecompute) {
+  SkylineMaintainer m(&*spec_);
+  m.Insert(Row(5, 5).data());
+  m.Insert(Row(1, 9).data());
+  EXPECT_EQ(m.Remove(Row(5, 5).data()),
+            SkylineMaintainer::RemoveResult::kMemberRemovedRecomputeNeeded);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST_F(MaintenanceTest, RemoveDuplicateMemberStaysExact) {
+  SkylineMaintainer m(&*spec_);
+  m.Insert(Row(5, 5).data());
+  m.Insert(Row(5, 5).data());
+  EXPECT_EQ(m.Remove(Row(5, 5).data()),
+            SkylineMaintainer::RemoveResult::kDuplicateMemberRemoved);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST_F(MaintenanceTest, RandomInsertStreamMatchesOracle) {
+  auto env = NewMemEnv();
+  for (uint64_t seed : {701u, 702u, 703u}) {
+    auto t = MakeUniformTable(env.get(), "t" + std::to_string(seed), 1500, 4,
+                              seed, 0);
+    ASSERT_TRUE(t.ok());
+    std::vector<Criterion> criteria;
+    for (int i = 0; i < 4; ++i) {
+      criteria.push_back({"a" + std::to_string(i), Directive::kMax});
+    }
+    auto spec = SkylineSpec::Make(t->schema(), criteria);
+    ASSERT_TRUE(spec.ok());
+    SkylineMaintainer m(&*spec);
+    std::vector<char> rows = ReadAll(*t);
+    const size_t w = t->schema().row_width();
+    for (uint64_t i = 0; i < t->row_count(); ++i) {
+      m.Insert(rows.data() + i * w);
+    }
+    std::multiset<std::string> maintained;
+    for (size_t i = 0; i < m.size(); ++i) {
+      maintained.emplace(m.MemberAt(i), w);
+    }
+    EXPECT_EQ(maintained, testing_util::OracleSkylineMultiset(*t, *spec))
+        << "seed " << seed;
+  }
+}
+
+TEST_F(MaintenanceTest, InsertAfterMemberRemovalStillSound) {
+  // After a member removal the set is a subset of the true skyline; new
+  // inserts must still behave (never produce dominated members).
+  SkylineMaintainer m(&*spec_);
+  m.Insert(Row(5, 5).data());
+  m.Insert(Row(9, 1).data());
+  m.Remove(Row(5, 5).data());
+  m.Insert(Row(2, 2).data());  // would have been dominated by (5,5)
+  m.Insert(Row(3, 3).data());
+  // Members must be mutually non-dominating.
+  for (size_t i = 0; i < m.size(); ++i) {
+    for (size_t j = 0; j < m.size(); ++j) {
+      EXPECT_FALSE(Dominates(*spec_, m.MemberAt(i), m.MemberAt(j)));
+    }
+  }
+}
+
+TEST_F(MaintenanceTest, DiffGroupsMaintainedIndependently) {
+  auto schema = Schema::Make({ColumnDef::Int32("g"), ColumnDef::Int32("v")});
+  ASSERT_TRUE(schema.ok());
+  auto spec = SkylineSpec::Make(
+      schema.value(), {{"g", Directive::kDiff}, {"v", Directive::kMax}});
+  ASSERT_TRUE(spec.ok());
+  SkylineMaintainer m(&spec.value());
+  auto row = [&](int32_t g, int32_t v) {
+    std::vector<char> r(8);
+    std::memcpy(r.data(), &g, 4);
+    std::memcpy(r.data() + 4, &v, 4);
+    return r;
+  };
+  m.Insert(row(1, 5).data());
+  m.Insert(row(2, 3).data());  // different group: incomparable
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_EQ(m.Insert(row(1, 9).data()),
+            SkylineMaintainer::InsertResult::kAddedEvicted);
+  EXPECT_EQ(m.size(), 2u);  // (1,9) evicted (1,5); (2,3) untouched
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,89 @@
+#include "storage/page.h"
+
+#include <cstring>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace skyline {
+namespace {
+
+TEST(Page, GeometryMatchesPaper) {
+  // 100-byte tuples, 4096-byte pages: 40 tuples per page (the paper's
+  // layout); 40-byte projected entries: 102 per page (paper says ~100).
+  EXPECT_EQ(kPageSize, 4096u);
+  EXPECT_EQ(RecordsPerPage(100), 40u);
+  EXPECT_EQ(RecordsPerPage(40), 102u);
+}
+
+TEST(Page, RecordsPerPageEdgeCases) {
+  EXPECT_EQ(RecordsPerPage(1), kPageSize);
+  EXPECT_EQ(RecordsPerPage(kPageSize), 1u);
+  EXPECT_EQ(RecordsPerPage(kPageSize + 1), 0u);
+  EXPECT_EQ(RecordsPerPage(0), 0u);
+}
+
+TEST(Page, AppendAndReadBack) {
+  Page page(8);
+  EXPECT_TRUE(page.empty());
+  EXPECT_EQ(page.capacity(), kPageSize / 8);
+  const char rec1[8] = {'a', 'b', 'c', 'd', 'e', 'f', 'g', 'h'};
+  const char rec2[8] = {'1', '2', '3', '4', '5', '6', '7', '8'};
+  page.Append(rec1);
+  page.Append(rec2);
+  EXPECT_EQ(page.size(), 2u);
+  EXPECT_EQ(std::memcmp(page.RecordAt(0), rec1, 8), 0);
+  EXPECT_EQ(std::memcmp(page.RecordAt(1), rec2, 8), 0);
+}
+
+TEST(Page, FillToCapacity) {
+  Page page(1024);
+  EXPECT_EQ(page.capacity(), 4u);
+  std::string rec(1024, 'x');
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_FALSE(page.full());
+    page.Append(rec.data());
+  }
+  EXPECT_TRUE(page.full());
+  EXPECT_EQ(page.payload_bytes(), kPageSize);
+}
+
+TEST(Page, ClearResets) {
+  Page page(16);
+  std::string rec(16, 'y');
+  page.Append(rec.data());
+  page.Clear();
+  EXPECT_TRUE(page.empty());
+  EXPECT_EQ(page.payload_bytes(), 0u);
+}
+
+TEST(Page, SetSizeAfterExternalFill) {
+  Page page(100);
+  std::memset(page.mutable_data(), 7, kPageSize);
+  page.set_size(40);
+  EXPECT_EQ(page.size(), 40u);
+  EXPECT_EQ(page.RecordAt(39)[0], 7);
+}
+
+TEST(Page, MutableRecordAt) {
+  Page page(4);
+  const char rec[4] = {0, 0, 0, 0};
+  page.Append(rec);
+  page.MutableRecordAt(0)[2] = 9;
+  EXPECT_EQ(page.RecordAt(0)[2], 9);
+}
+
+TEST(PageDeathTest, OverflowChecks) {
+  Page page(kPageSize);
+  std::string rec(kPageSize, 'z');
+  page.Append(rec.data());
+  EXPECT_DEATH(page.Append(rec.data()), "page overflow");
+}
+
+TEST(PageDeathTest, OutOfBoundsAccessChecks) {
+  Page page(8);
+  EXPECT_DEATH(page.RecordAt(0), "Check failed");
+}
+
+}  // namespace
+}  // namespace skyline

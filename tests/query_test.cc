@@ -1,0 +1,211 @@
+#include "exec/query.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::MakeUniformTable;
+
+class QueryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    auto result = MakeGoodEatsTable(env_.get(), "g");
+    ASSERT_TRUE(result.ok());
+    guide_.emplace(std::move(result).value());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::optional<Table> guide_;
+};
+
+TEST_F(QueryTest, PaperFigure4Query) {
+  // select * from GoodEats skyline of S max, F max, D max, price min.
+  Query query(env_.get(), &*guide_, "q");
+  query.SkylineOf({{"S", Directive::kMax},
+                   {"F", Directive::kMax},
+                   {"D", Directive::kMax},
+                   {"price", Directive::kMin}});
+  std::set<std::string> names;
+  ASSERT_OK(query.Run([&](const RowView& row) {
+    names.insert(row.GetString(0));
+    return Status::OK();
+  }));
+  EXPECT_EQ(names, (std::set<std::string>{"Summer Moon", "Zakopane",
+                                          "Yamanote", "Fenton & Pickle"}));
+}
+
+TEST_F(QueryTest, WhereBeforeSkyline) {
+  // Restrict to restaurants under $50 first; skyline within that subset.
+  Query query(env_.get(), &*guide_, "q");
+  query
+      .Where([](const RowView& row) { return row.GetFloat64(4) < 50.0; })
+      .SkylineOf({{"S", Directive::kMax},
+                  {"F", Directive::kMax},
+                  {"D", Directive::kMax},
+                  {"price", Directive::kMin}});
+  std::set<std::string> names;
+  ASSERT_OK(query.Run([&](const RowView& row) {
+    names.insert(row.GetString(0));
+    return Status::OK();
+  }));
+  EXPECT_EQ(names,
+            (std::set<std::string>{"Summer Moon", "Fenton & Pickle"}));
+}
+
+TEST_F(QueryTest, ProjectAfterSkyline) {
+  Query query(env_.get(), &*guide_, "q");
+  query.SkylineOf({{"S", Directive::kMax}, {"price", Directive::kMin}})
+      .Project({"restaurant"});
+  int count = 0;
+  ASSERT_OK(query.Run([&](const RowView& row) {
+    EXPECT_EQ(row.schema().num_columns(), 1u);
+    EXPECT_FALSE(row.GetString(0).empty());
+    ++count;
+    return Status::OK();
+  }));
+  EXPECT_GT(count, 0);
+}
+
+TEST_F(QueryTest, LimitTruncates) {
+  Query query(env_.get(), &*guide_, "q");
+  query.SkylineOf({{"S", Directive::kMax},
+                   {"F", Directive::kMax},
+                   {"D", Directive::kMax},
+                   {"price", Directive::kMin}})
+      .Limit(2);
+  int count = 0;
+  ASSERT_OK(query.Run([&](const RowView&) {
+    ++count;
+    return Status::OK();
+  }));
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(QueryTest, OrderByAfterSkyline) {
+  LexicographicOrdering by_price(&guide_->schema(), {{4, false}});
+  Query query(env_.get(), &*guide_, "q");
+  query.SkylineOf({{"S", Directive::kMax},
+                   {"F", Directive::kMax},
+                   {"D", Directive::kMax},
+                   {"price", Directive::kMin}})
+      .OrderBy(&by_price);
+  std::vector<double> prices;
+  ASSERT_OK(query.Run([&](const RowView& row) {
+    prices.push_back(row.GetFloat64(4));
+    return Status::OK();
+  }));
+  ASSERT_EQ(prices.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(prices.begin(), prices.end()));
+}
+
+TEST_F(QueryTest, BnlAlgorithmViaQuery) {
+  Query query(env_.get(), &*guide_, "q");
+  query.SkylineOf({{"S", Directive::kMax}, {"F", Directive::kMax}},
+                  SkylineAlgorithm::kBnl);
+  int count = 0;
+  ASSERT_OK(query.Run([&](const RowView&) {
+    ++count;
+    return Status::OK();
+  }));
+  EXPECT_GT(count, 0);
+}
+
+TEST_F(QueryTest, VisitorErrorPropagates) {
+  Query query(env_.get(), &*guide_, "q");
+  Status st = query.Run(
+      [](const RowView&) { return Status::Internal("visitor failed"); });
+  EXPECT_TRUE(st.IsInternal());
+}
+
+TEST_F(QueryTest, BuildErrorSurfacesFromSteps) {
+  Query query(env_.get(), &*guide_, "q");
+  query.Project({"no_such_column"});
+  EXPECT_TRUE(query.Build().status().IsNotFound());
+}
+
+TEST_F(QueryTest, ChainedSkylinesCompose) {
+  // skyline of (a0,a1,a2) then skyline of (a0,a1) — the paper notes
+  // sub-skylines are computable from larger skylines.
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env.get(), "t", 1000, 3, 71));
+  Query chained(env.get(), &t, "q1");
+  chained
+      .SkylineOf({{"a0", Directive::kMax},
+                  {"a1", Directive::kMax},
+                  {"a2", Directive::kMax}})
+      .SkylineOf({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  std::multiset<std::string> chained_rows;
+  ASSERT_OK(chained.Run([&](const RowView& row) {
+    chained_rows.emplace(row.data(), row.schema().row_width());
+    return Status::OK();
+  }));
+
+  Query direct(env.get(), &t, "q2");
+  direct.SkylineOf({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  std::multiset<std::string> direct_rows;
+  ASSERT_OK(direct.Run([&](const RowView& row) {
+    direct_rows.emplace(row.data(), row.schema().row_width());
+    return Status::OK();
+  }));
+  EXPECT_EQ(chained_rows, direct_rows);
+}
+
+
+TEST_F(QueryTest, WinnowByArbitraryPreference) {
+  // Prefer cheaper restaurants, but only when the service gap is small
+  // (a non-monotone trade-off no skyline spec expresses).
+  Query query(env_.get(), &*guide_, "q");
+  query.WinnowBy([](const RowView& a, const RowView& b) {
+    return a.GetFloat64(4) < b.GetFloat64(4) &&
+           a.GetInt32(1) + 3 >= b.GetInt32(1);
+  });
+  std::set<std::string> names;
+  ASSERT_OK(query.Run([&](const RowView& row) {
+    names.insert(row.GetString(0));
+    return Status::OK();
+  }));
+  // Fenton & Pickle ($17.50, S16) eliminates Briar Patch BBQ and the
+  // Brearton Grill; Summer Moon ($47.50, S21) eliminates Yamanote (S22)
+  // and Zakopane (S24, exactly at the +3 boundary). Nothing cheap enough
+  // reaches Summer Moon's service range, and nothing beats F&P's price.
+  EXPECT_EQ(names,
+            (std::set<std::string>{"Fenton & Pickle", "Summer Moon"}));
+}
+
+TEST_F(QueryTest, WinnowMatchesSkylineForDominancePreference) {
+  auto env = NewMemEnv();
+  auto table = MakeUniformTable(env.get(), "t", 600, 3, 72);
+  ASSERT_TRUE(table.ok());
+  auto spec = SkylineSpec::Make(table->schema(), {{"a0", Directive::kMax},
+                                                  {"a1", Directive::kMax},
+                                                  {"a2", Directive::kMax}});
+  ASSERT_TRUE(spec.ok());
+  const SkylineSpec& s = *spec;
+
+  Query winnow_query(env.get(), &*table, "qw");
+  winnow_query.WinnowBy([&s](const RowView& a, const RowView& b) {
+    return Dominates(s, a.data(), b.data());
+  });
+  std::multiset<std::string> winnow_rows;
+  ASSERT_OK(winnow_query.Run([&](const RowView& row) {
+    winnow_rows.emplace(row.data(), row.schema().row_width());
+    return Status::OK();
+  }));
+
+  Query sky_query(env.get(), &*table, "qs");
+  sky_query.SkylineOf({{"a0", Directive::kMax},
+                       {"a1", Directive::kMax},
+                       {"a2", Directive::kMax}});
+  std::multiset<std::string> sky_rows;
+  ASSERT_OK(sky_query.Run([&](const RowView& row) {
+    sky_rows.emplace(row.data(), row.schema().row_width());
+    return Status::OK();
+  }));
+  EXPECT_EQ(winnow_rows, sky_rows);
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,122 @@
+#include "common/random.h"
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace skyline {
+namespace {
+
+TEST(Random, DeterministicForSameSeed) {
+  Random a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Random, SmallSeedsWellMixed) {
+  // SplitMix64 seeding: consecutive small seeds must not produce
+  // correlated first draws.
+  std::set<uint64_t> firsts;
+  for (uint64_t seed = 0; seed < 50; ++seed) {
+    firsts.insert(Random(seed).Next());
+  }
+  EXPECT_EQ(firsts.size(), 50u);
+}
+
+TEST(Random, UniformInRange) {
+  Random rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+  // n == 1 always yields 0.
+  EXPECT_EQ(rng.Uniform(1), 0u);
+}
+
+TEST(Random, UniformCoversRange) {
+  Random rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Random, UniformInt32Bounds) {
+  Random rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    int32_t v = rng.UniformInt32(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Random, UniformInt32DegenerateRange) {
+  Random rng(19);
+  EXPECT_EQ(rng.UniformInt32(3, 3), 3);
+}
+
+TEST(Random, UniformInt32FullRangeHitsBothSigns) {
+  Random rng(23);
+  bool pos = false, neg = false;
+  for (int i = 0; i < 100; ++i) {
+    int32_t v = rng.UniformInt32();
+    if (v > 0) pos = true;
+    if (v < 0) neg = true;
+  }
+  EXPECT_TRUE(pos);
+  EXPECT_TRUE(neg);
+}
+
+TEST(Random, UniformDoubleInUnitInterval) {
+  Random rng(29);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.UniformDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  // Mean should be near 0.5.
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Random, GaussianMoments) {
+  Random rng(31);
+  double sum = 0, sum_sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Gaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.05);
+}
+
+TEST(Random, OneInProbability) {
+  Random rng(37);
+  int hits = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.OneIn(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.03);
+}
+
+TEST(Random, CopyPreservesStream) {
+  Random a(41);
+  a.Next();
+  Random b = a;
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+}  // namespace
+}  // namespace skyline

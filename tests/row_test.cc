@@ -1,0 +1,93 @@
+#include "relation/row.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+class RowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto result =
+        Schema::Make({ColumnDef::Int32("i"), ColumnDef::Int64("l"),
+                      ColumnDef::Float64("d"), ColumnDef::FixedString("s", 8)});
+    ASSERT_TRUE(result.ok());
+    schema_ = std::move(result).value();
+  }
+
+  Schema schema_;
+};
+
+TEST_F(RowTest, SetAndGetAllTypes) {
+  RowBuffer row(&schema_);
+  row.SetInt32(0, -42);
+  row.SetInt64(1, 1LL << 40);
+  row.SetFloat64(2, 3.25);
+  row.SetString(3, "hello");
+  RowView view = row.View();
+  EXPECT_EQ(view.GetInt32(0), -42);
+  EXPECT_EQ(view.GetInt64(1), 1LL << 40);
+  EXPECT_EQ(view.GetFloat64(2), 3.25);
+  EXPECT_EQ(view.GetString(3), "hello");
+}
+
+TEST_F(RowTest, FreshBufferIsZeroed) {
+  RowBuffer row(&schema_);
+  RowView view = row.View();
+  EXPECT_EQ(view.GetInt32(0), 0);
+  EXPECT_EQ(view.GetInt64(1), 0);
+  EXPECT_EQ(view.GetFloat64(2), 0.0);
+  EXPECT_EQ(view.GetString(3), "");
+}
+
+TEST_F(RowTest, StringTruncatesToDeclaredLength) {
+  RowBuffer row(&schema_);
+  row.SetString(3, "exactly-eight-plus");
+  EXPECT_EQ(row.View().GetString(3), "exactly-");
+}
+
+TEST_F(RowTest, StringExactLengthNoTrim) {
+  RowBuffer row(&schema_);
+  row.SetString(3, "12345678");
+  EXPECT_EQ(row.View().GetString(3), "12345678");
+}
+
+TEST_F(RowTest, ShorterStringOverwritesLonger) {
+  RowBuffer row(&schema_);
+  row.SetString(3, "AAAAAAAA");
+  row.SetString(3, "b");
+  EXPECT_EQ(row.View().GetString(3), "b");
+}
+
+TEST_F(RowTest, GetNumericWidens) {
+  RowBuffer row(&schema_);
+  row.SetInt32(0, 9);
+  row.SetFloat64(2, -1.5);
+  EXPECT_EQ(row.View().GetNumeric(0), 9.0);
+  EXPECT_EQ(row.View().GetNumeric(2), -1.5);
+}
+
+TEST_F(RowTest, SetRowCopiesRaw) {
+  RowBuffer a(&schema_);
+  a.SetInt32(0, 5);
+  a.SetString(3, "xyz");
+  RowBuffer b(&schema_);
+  b.SetRow(a.data());
+  EXPECT_EQ(b.View().GetInt32(0), 5);
+  EXPECT_EQ(b.View().GetString(3), "xyz");
+}
+
+TEST_F(RowTest, SizeMatchesSchemaWidth) {
+  RowBuffer row(&schema_);
+  EXPECT_EQ(row.size(), schema_.row_width());
+}
+
+TEST_F(RowTest, TypeMismatchDies) {
+  RowBuffer row(&schema_);
+  EXPECT_DEATH(row.SetInt32(1, 0), "type mismatch");
+  EXPECT_DEATH(row.View().GetString(0), "type mismatch");
+}
+
+}  // namespace
+}  // namespace skyline

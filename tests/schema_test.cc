@@ -1,0 +1,143 @@
+#include "relation/schema.h"
+
+#include <cstring>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+Schema PaperSchema() {
+  // Ten int32 attributes plus a 60-byte payload: the paper's 100-byte tuple.
+  std::vector<ColumnDef> cols;
+  for (int i = 0; i < 10; ++i) cols.push_back(ColumnDef::Int32("a" + std::to_string(i)));
+  cols.push_back(ColumnDef::FixedString("payload", 60));
+  auto result = Schema::Make(std::move(cols));
+  SKYLINE_CHECK(result.ok());
+  return std::move(result).value();
+}
+
+TEST(Schema, PaperTupleIs100Bytes) {
+  Schema s = PaperSchema();
+  EXPECT_EQ(s.row_width(), 100u);
+  EXPECT_EQ(s.num_columns(), 11u);
+}
+
+TEST(Schema, OffsetsAreSequential) {
+  ASSERT_OK_AND_ASSIGN(
+      Schema s, Schema::Make({ColumnDef::Int32("i"), ColumnDef::Int64("l"),
+                              ColumnDef::Float64("d"),
+                              ColumnDef::FixedString("s", 7)}));
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 4u);
+  EXPECT_EQ(s.offset(2), 12u);
+  EXPECT_EQ(s.offset(3), 20u);
+  EXPECT_EQ(s.row_width(), 27u);
+  EXPECT_EQ(s.column_width(0), 4u);
+  EXPECT_EQ(s.column_width(1), 8u);
+  EXPECT_EQ(s.column_width(2), 8u);
+  EXPECT_EQ(s.column_width(3), 7u);
+}
+
+TEST(Schema, ColumnWidths) {
+  EXPECT_EQ(ColumnWidth(ColumnType::kInt32, 0), 4u);
+  EXPECT_EQ(ColumnWidth(ColumnType::kInt64, 0), 8u);
+  EXPECT_EQ(ColumnWidth(ColumnType::kFloat64, 0), 8u);
+  EXPECT_EQ(ColumnWidth(ColumnType::kFixedString, 33), 33u);
+}
+
+TEST(Schema, RejectsEmpty) {
+  EXPECT_TRUE(Schema::Make({}).status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsDuplicateNames) {
+  auto r = Schema::Make({ColumnDef::Int32("x"), ColumnDef::Int32("x")});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsEmptyName) {
+  EXPECT_TRUE(Schema::Make({ColumnDef::Int32("")}).status().IsInvalidArgument());
+}
+
+TEST(Schema, RejectsZeroLengthString) {
+  EXPECT_TRUE(Schema::Make({ColumnDef::FixedString("s", 0)})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(Schema, ColumnIndexLookup) {
+  Schema s = PaperSchema();
+  ASSERT_OK_AND_ASSIGN(size_t idx, s.ColumnIndex("a3"));
+  EXPECT_EQ(idx, 3u);
+  EXPECT_TRUE(s.ColumnIndex("nope").status().IsNotFound());
+}
+
+TEST(Schema, IsNumeric) {
+  Schema s = PaperSchema();
+  EXPECT_TRUE(s.IsNumeric(0));
+  EXPECT_FALSE(s.IsNumeric(10));
+}
+
+TEST(Schema, CompareInt32Column) {
+  ASSERT_OK_AND_ASSIGN(Schema s, Schema::Make({ColumnDef::Int32("x")}));
+  int32_t a = -5, b = 7;
+  char ra[4], rb[4];
+  std::memcpy(ra, &a, 4);
+  std::memcpy(rb, &b, 4);
+  EXPECT_LT(s.CompareColumn(0, ra, rb), 0);
+  EXPECT_GT(s.CompareColumn(0, rb, ra), 0);
+  EXPECT_EQ(s.CompareColumn(0, ra, ra), 0);
+}
+
+TEST(Schema, CompareFloatColumn) {
+  ASSERT_OK_AND_ASSIGN(Schema s, Schema::Make({ColumnDef::Float64("x")}));
+  double a = 1.5, b = 1.25;
+  char ra[8], rb[8];
+  std::memcpy(ra, &a, 8);
+  std::memcpy(rb, &b, 8);
+  EXPECT_GT(s.CompareColumn(0, ra, rb), 0);
+}
+
+TEST(Schema, CompareStringColumnIsBytewise) {
+  ASSERT_OK_AND_ASSIGN(Schema s, Schema::Make({ColumnDef::FixedString("x", 3)}));
+  EXPECT_LT(s.CompareColumn(0, "abc", "abd"), 0);
+  EXPECT_EQ(s.CompareColumn(0, "abc", "abc"), 0);
+}
+
+TEST(Schema, NumericValueWidening) {
+  ASSERT_OK_AND_ASSIGN(
+      Schema s, Schema::Make({ColumnDef::Int32("i"), ColumnDef::Int64("l"),
+                              ColumnDef::Float64("d")}));
+  char row[20];
+  int32_t i = -7;
+  int64_t l = 1'000'000'000'000LL;
+  double d = 2.5;
+  std::memcpy(row + s.offset(0), &i, 4);
+  std::memcpy(row + s.offset(1), &l, 8);
+  std::memcpy(row + s.offset(2), &d, 8);
+  EXPECT_EQ(s.NumericValue(0, row), -7.0);
+  EXPECT_EQ(s.NumericValue(1, row), 1e12);
+  EXPECT_EQ(s.NumericValue(2, row), 2.5);
+}
+
+TEST(Schema, EqualsIsStructural) {
+  ASSERT_OK_AND_ASSIGN(Schema a, Schema::Make({ColumnDef::Int32("x")}));
+  ASSERT_OK_AND_ASSIGN(Schema b, Schema::Make({ColumnDef::Int32("x")}));
+  ASSERT_OK_AND_ASSIGN(Schema c, Schema::Make({ColumnDef::Int32("y")}));
+  ASSERT_OK_AND_ASSIGN(Schema d, Schema::Make({ColumnDef::Int64("x")}));
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+  EXPECT_FALSE(a.Equals(d));
+}
+
+TEST(Schema, ToStringDescribesColumns) {
+  ASSERT_OK_AND_ASSIGN(
+      Schema s,
+      Schema::Make({ColumnDef::Int32("n"), ColumnDef::FixedString("p", 5)}));
+  EXPECT_EQ(s.ToString(), "(n:int32, p:str[5])");
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,238 @@
+#include "core/scoring.h"
+
+#include <cmath>
+
+#include "core/dominance.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::MakeIntTable;
+using testing_util::MakeUniformTable;
+
+class ScoringTest : public ::testing::Test {
+ protected:
+  void BuildTable(const std::vector<std::vector<int32_t>>& rows) {
+    env_ = NewMemEnv();
+    auto result = MakeIntTable(env_.get(), "t", 2, rows);
+    ASSERT_TRUE(result.ok());
+    table_.emplace(std::move(result).value());
+  }
+
+  SkylineSpec MakeSpec(std::vector<Criterion> criteria) {
+    auto result = SkylineSpec::Make(table_->schema(), std::move(criteria));
+    SKYLINE_CHECK(result.ok());
+    return std::move(result).value();
+  }
+
+  const char* RowPtr(const std::vector<char>& rows, size_t i) {
+    return rows.data() + i * table_->schema().row_width();
+  }
+
+  std::unique_ptr<Env> env_;
+  std::optional<Table> table_;
+};
+
+TEST_F(ScoringTest, EntropyNormalization) {
+  BuildTable({{0, 0}, {10, 20}, {5, 10}});
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  EntropyScorer scorer(&spec, *table_);
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  // Worst tuple (0,0): normalized (0,0) -> score ln(1)+ln(1) = 0.
+  EXPECT_DOUBLE_EQ(scorer.Score(RowPtr(rows, 0)), 0.0);
+  // Best tuple (10,20): normalized (1,1) -> 2 ln 2.
+  EXPECT_DOUBLE_EQ(scorer.Score(RowPtr(rows, 1)), 2 * std::log(2.0));
+  // Middle (5,10): normalized (.5,.5) -> 2 ln 1.5.
+  EXPECT_DOUBLE_EQ(scorer.Score(RowPtr(rows, 2)), 2 * std::log(1.5));
+  EXPECT_DOUBLE_EQ(scorer.Normalized(0, RowPtr(rows, 2)), 0.5);
+}
+
+TEST_F(ScoringTest, MinCriterionFlipsNormalization) {
+  BuildTable({{0, 0}, {10, 0}});
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMin}, {"a1", Directive::kMax}});
+  EntropyScorer scorer(&spec, *table_);
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  // For MIN, the smallest value is best: normalized 1.
+  EXPECT_DOUBLE_EQ(scorer.Normalized(0, RowPtr(rows, 0)), 1.0);
+  EXPECT_DOUBLE_EQ(scorer.Normalized(0, RowPtr(rows, 1)), 0.0);
+}
+
+TEST_F(ScoringTest, ConstantColumnScoresZero) {
+  BuildTable({{7, 1}, {7, 2}});
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  EntropyScorer scorer(&spec, *table_);
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  // Constant a0 contributes ln(0+1)=0 to everyone; order decided by a1.
+  EXPECT_LT(scorer.Score(RowPtr(rows, 0)), scorer.Score(RowPtr(rows, 1)));
+}
+
+TEST_F(ScoringTest, EntropyIsMonotoneWithDominance) {
+  // Theorem 6 requires strictly-better tuples to score strictly higher.
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env.get(), "t", 400, 4, 7, 0));
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(t.schema(), {{"a0", Directive::kMax},
+                                     {"a1", Directive::kMax},
+                                     {"a2", Directive::kMin},
+                                     {"a3", Directive::kMax}}));
+  EntropyScorer scorer(&spec, t);
+  std::vector<char> rows = testing_util::ReadAll(t);
+  const size_t w = t.schema().row_width();
+  for (uint64_t i = 0; i < t.row_count(); ++i) {
+    for (uint64_t j = 0; j < t.row_count(); ++j) {
+      if (Dominates(spec, rows.data() + i * w, rows.data() + j * w)) {
+        EXPECT_GT(scorer.Score(rows.data() + i * w),
+                  scorer.Score(rows.data() + j * w));
+      }
+    }
+  }
+}
+
+TEST_F(ScoringTest, EntropyOrderingIsTopological) {
+  // Any entropy-descending order must never place a dominated tuple before
+  // its dominator.
+  BuildTable({{1, 1}, {9, 9}, {5, 5}, {2, 8}, {8, 2}});
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  EntropyOrdering ord(&spec, *table_);
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  for (size_t i = 0; i < 5; ++i) {
+    for (size_t j = 0; j < 5; ++j) {
+      if (Dominates(spec, RowPtr(rows, i), RowPtr(rows, j))) {
+        EXPECT_LT(ord.Compare(RowPtr(rows, i), RowPtr(rows, j)), 0);
+      }
+    }
+  }
+}
+
+TEST_F(ScoringTest, EntropyOrderingKeyOnlyWithoutDiff) {
+  BuildTable({{1, 1}, {2, 2}});
+  SkylineSpec no_diff =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  EntropyOrdering ord(&no_diff, *table_);
+  EXPECT_TRUE(ord.has_key());
+
+  SkylineSpec with_diff =
+      MakeSpec({{"a0", Directive::kDiff}, {"a1", Directive::kMax}});
+  EntropyOrdering ord2(&with_diff, *table_);
+  EXPECT_FALSE(ord2.has_key());
+}
+
+TEST_F(ScoringTest, EntropyOrderingGroupsDiffOutermost) {
+  BuildTable({{2, 9}, {1, 1}, {2, 1}, {1, 9}});
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kDiff}, {"a1", Directive::kMax}});
+  EntropyOrdering ord(&spec, *table_);
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  // Group 1 rows sort before group 2 regardless of score.
+  EXPECT_LT(ord.Compare(RowPtr(rows, 1), RowPtr(rows, 0)), 0);  // (1,1) < (2,9)
+  // Within a group, higher score first.
+  EXPECT_LT(ord.Compare(RowPtr(rows, 3), RowPtr(rows, 1)), 0);  // (1,9) < (1,1)
+}
+
+TEST_F(ScoringTest, KeyMatchesScore) {
+  BuildTable({{3, 4}, {1, 2}});
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  EntropyOrdering ord(&spec, *table_);
+  EntropyScorer scorer(&spec, *table_);
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  EXPECT_DOUBLE_EQ(ord.Key(RowPtr(rows, 0)), scorer.Score(RowPtr(rows, 0)));
+}
+
+TEST_F(ScoringTest, LinearScorerWeightsApply) {
+  BuildTable({{0, 0}, {10, 0}, {0, 10}});
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  std::vector<ColumnStats> stats = {table_->stats(0), table_->stats(1)};
+  LinearScorer heavy_first(&spec, stats, {10.0, 1.0});
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  EXPECT_GT(heavy_first.Score(RowPtr(rows, 1)),
+            heavy_first.Score(RowPtr(rows, 2)));
+  LinearScorer heavy_second(&spec, stats, {1.0, 10.0});
+  EXPECT_LT(heavy_second.Score(RowPtr(rows, 1)),
+            heavy_second.Score(RowPtr(rows, 2)));
+}
+
+TEST_F(ScoringTest, Theorem4BalancedTupleNeverWinsLinear) {
+  // The paper's proof example: {(4,1), (2,2), (1,4)} — (2,2) is skyline but
+  // cannot top any positive linear scoring.
+  BuildTable({{4, 1}, {2, 2}, {1, 4}});
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+  std::vector<ColumnStats> stats = {table_->stats(0), table_->stats(1)};
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  Random rng(9);
+  for (int trial = 0; trial < 200; ++trial) {
+    const double w1 = rng.UniformDouble() * 10 + 1e-3;
+    const double w2 = rng.UniformDouble() * 10 + 1e-3;
+    LinearScorer scorer(&spec, stats, {w1, w2});
+    const double balanced = scorer.Score(RowPtr(rows, 1));
+    const double best = std::max(scorer.Score(RowPtr(rows, 0)),
+                                 scorer.Score(RowPtr(rows, 2)));
+    EXPECT_LT(balanced, best) << "w1=" << w1 << " w2=" << w2;
+  }
+}
+
+TEST_F(ScoringTest, Lemma2LinearWinnerIsInSkyline) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env.get(), "t", 300, 3, 21, 0));
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(t.schema(), {{"a0", Directive::kMax},
+                                     {"a1", Directive::kMax},
+                                     {"a2", Directive::kMax}}));
+  std::vector<ColumnStats> stats = {t.stats(0), t.stats(1), t.stats(2)};
+  std::vector<char> rows = testing_util::ReadAll(t);
+  const size_t w = t.schema().row_width();
+  std::vector<uint64_t> sky = NaiveSkylineIndices(spec, rows.data(), t.row_count());
+  std::set<uint64_t> sky_set(sky.begin(), sky.end());
+  Random rng(10);
+  for (int trial = 0; trial < 50; ++trial) {
+    LinearScorer scorer(&spec, stats,
+                        {rng.UniformDouble() + 0.01, rng.UniformDouble() + 0.01,
+                         rng.UniformDouble() + 0.01});
+    uint64_t best = 0;
+    double best_score = -1e300;
+    for (uint64_t i = 0; i < t.row_count(); ++i) {
+      const double s = scorer.Score(rows.data() + i * w);
+      if (s > best_score) {
+        best_score = s;
+        best = i;
+      }
+    }
+    EXPECT_TRUE(sky_set.count(best)) << "linear winner not in skyline";
+  }
+}
+
+TEST_F(ScoringTest, NestedOrderingDirections) {
+  BuildTable({{1, 5}, {2, 3}});
+  SkylineSpec spec =
+      MakeSpec({{"a0", Directive::kMax}, {"a1", Directive::kMin}});
+  auto ord = MakeNestedSkylineOrdering(spec);
+  ASSERT_EQ(ord->keys().size(), 2u);
+  EXPECT_EQ(ord->keys()[0].column, 0u);
+  EXPECT_TRUE(ord->keys()[0].descending);   // MAX -> descending
+  EXPECT_EQ(ord->keys()[1].column, 1u);
+  EXPECT_FALSE(ord->keys()[1].descending);  // MIN -> ascending
+}
+
+TEST_F(ScoringTest, NestedOrderingDiffOutermost) {
+  BuildTable({{1, 5}, {2, 3}});
+  SkylineSpec spec =
+      MakeSpec({{"a1", Directive::kMax}, {"a0", Directive::kDiff}});
+  auto ord = MakeNestedSkylineOrdering(spec);
+  ASSERT_EQ(ord->keys().size(), 2u);
+  EXPECT_EQ(ord->keys()[0].column, 0u);  // diff column first
+  EXPECT_FALSE(ord->keys()[0].descending);
+  EXPECT_EQ(ord->keys()[1].column, 1u);
+}
+
+}  // namespace
+}  // namespace skyline

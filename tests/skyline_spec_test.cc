@@ -1,0 +1,165 @@
+#include "core/skyline_spec.h"
+
+#include "gtest/gtest.h"
+#include "relation/generator.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+class SkylineSpecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    auto result = MakeGoodEatsTable(env_.get(), "g");
+    ASSERT_TRUE(result.ok());
+    table_.emplace(std::move(result).value());
+  }
+
+  std::unique_ptr<Env> env_;
+  std::optional<Table> table_;
+};
+
+TEST_F(SkylineSpecTest, ResolvesColumns) {
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table_->schema(), {{"S", Directive::kMax},
+                                           {"price", Directive::kMin}}));
+  ASSERT_EQ(spec.value_columns().size(), 2u);
+  EXPECT_EQ(spec.value_columns()[0].column, 1u);
+  EXPECT_TRUE(spec.value_columns()[0].max);
+  EXPECT_EQ(spec.value_columns()[1].column, 4u);
+  EXPECT_FALSE(spec.value_columns()[1].max);
+  EXPECT_TRUE(spec.diff_columns().empty());
+  EXPECT_FALSE(spec.has_diff());
+  EXPECT_EQ(spec.num_dimensions(), 2u);
+}
+
+TEST_F(SkylineSpecTest, DiffColumnsSeparated) {
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table_->schema(), {{"S", Directive::kMax},
+                                           {"restaurant", Directive::kDiff}}));
+  ASSERT_EQ(spec.diff_columns().size(), 1u);
+  EXPECT_EQ(spec.diff_columns()[0], 0u);
+  EXPECT_TRUE(spec.has_diff());
+}
+
+TEST_F(SkylineSpecTest, RejectsUnknownColumn) {
+  EXPECT_TRUE(SkylineSpec::Make(table_->schema(), {{"zzz", Directive::kMax}})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SkylineSpecTest, RejectsDuplicateColumn) {
+  EXPECT_TRUE(SkylineSpec::Make(table_->schema(), {{"S", Directive::kMax},
+                                                   {"S", Directive::kMin}})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(SkylineSpecTest, RejectsEmptyCriteria) {
+  EXPECT_TRUE(
+      SkylineSpec::Make(table_->schema(), {}).status().IsInvalidArgument());
+}
+
+TEST_F(SkylineSpecTest, RejectsMinMaxOnString) {
+  EXPECT_TRUE(
+      SkylineSpec::Make(table_->schema(), {{"restaurant", Directive::kMax}})
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST_F(SkylineSpecTest, RejectsDiffOnly) {
+  EXPECT_TRUE(
+      SkylineSpec::Make(table_->schema(), {{"restaurant", Directive::kDiff}})
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST_F(SkylineSpecTest, ProjectedSchemaLayout) {
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table_->schema(), {{"S", Directive::kMax},
+                                           {"restaurant", Directive::kDiff},
+                                           {"price", Directive::kMin}}));
+  // Diff columns first, then values: (restaurant, S, price).
+  const Schema& proj = spec.projected_schema();
+  ASSERT_EQ(proj.num_columns(), 3u);
+  EXPECT_EQ(proj.column(0).name, "restaurant");
+  EXPECT_EQ(proj.column(1).name, "S");
+  EXPECT_EQ(proj.column(2).name, "price");
+  EXPECT_EQ(proj.row_width(), 20u + 4u + 8u);
+}
+
+TEST_F(SkylineSpecTest, ProjectRowCopiesAttributes) {
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table_->schema(),
+                        {{"S", Directive::kMax}, {"price", Directive::kMin}}));
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  std::vector<char> proj(spec.projected_schema().row_width());
+  spec.ProjectRow(rows.data(), proj.data());  // Summer Moon: S=21 price=47.5
+  RowView view(&spec.projected_schema(), proj.data());
+  EXPECT_EQ(view.GetInt32(0), 21);
+  EXPECT_EQ(view.GetFloat64(1), 47.50);
+}
+
+TEST_F(SkylineSpecTest, ProjectedSpecIsSelfProjecting) {
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table_->schema(),
+                        {{"S", Directive::kMax}, {"F", Directive::kMax}}));
+  const SkylineSpec& proj = spec.projected_spec();
+  EXPECT_TRUE(proj.schema().Equals(spec.projected_schema()));
+  // Projection of a projection is the identity.
+  EXPECT_TRUE(proj.projected_spec().schema().Equals(proj.schema()));
+  EXPECT_EQ(proj.projected_schema().row_width(), proj.schema().row_width());
+}
+
+TEST_F(SkylineSpecTest, SameDiffGroup) {
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table_->schema(), {{"restaurant", Directive::kDiff},
+                                           {"S", Directive::kMax}}));
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  const size_t w = table_->schema().row_width();
+  EXPECT_TRUE(spec.SameDiffGroup(rows.data(), rows.data()));
+  EXPECT_FALSE(spec.SameDiffGroup(rows.data(), rows.data() + w));
+}
+
+TEST_F(SkylineSpecTest, SameDiffGroupTrivialWithoutDiff) {
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table_->schema(), {{"S", Directive::kMax}}));
+  std::vector<char> rows = testing_util::ReadAll(*table_);
+  const size_t w = table_->schema().row_width();
+  EXPECT_TRUE(spec.SameDiffGroup(rows.data(), rows.data() + w));
+}
+
+TEST_F(SkylineSpecTest, CopySemantics) {
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table_->schema(),
+                        {{"S", Directive::kMax}, {"F", Directive::kMax}}));
+  SkylineSpec copy = spec;
+  EXPECT_TRUE(copy.schema().Equals(spec.schema()));
+  EXPECT_EQ(copy.value_columns().size(), 2u);
+  // Deep copy: the projected spec exists independently.
+  EXPECT_TRUE(
+      copy.projected_spec().schema().Equals(spec.projected_spec().schema()));
+  SkylineSpec assigned = std::move(copy);
+  EXPECT_EQ(assigned.value_columns().size(), 2u);
+}
+
+TEST_F(SkylineSpecTest, ToStringRendersDirectives) {
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table_->schema(), {{"S", Directive::kMax},
+                                           {"price", Directive::kMin},
+                                           {"restaurant", Directive::kDiff}}));
+  EXPECT_EQ(spec.ToString(), "skyline of S max, price min, restaurant diff");
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,36 @@
+#include "test_util.h"
+
+#include "exec/query.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::MakeIntTable;
+
+TEST(Smoke, GoodEatsSkyline) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table guide, MakeGoodEatsTable(env.get(), "goodeats"));
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(guide.schema(), {{"S", Directive::kMax},
+                                         {"F", Directive::kMax},
+                                         {"D", Directive::kMax},
+                                         {"price", Directive::kMin}}));
+  SkylineRunStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      Table sky, ComputeSkylineSfs(guide, spec, SfsOptions{}, "out", &stats));
+  EXPECT_EQ(sky.row_count(), 4u);
+  EXPECT_EQ(stats.output_rows, 4u);
+
+  std::set<std::string> names;
+  std::vector<char> rows = testing_util::ReadAll(sky);
+  for (uint64_t i = 0; i < sky.row_count(); ++i) {
+    RowView row(&sky.schema(), rows.data() + i * sky.schema().row_width());
+    names.insert(row.GetString(0));
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"Summer Moon", "Zakopane",
+                                          "Yamanote", "Fenton & Pickle"}));
+}
+
+}  // namespace
+}  // namespace skyline

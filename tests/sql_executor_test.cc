@@ -1,0 +1,250 @@
+#include "sql/executor.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::MakeUniformTable;
+
+class SqlExecutorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    auto guide = MakeGoodEatsTable(env_.get(), "goodeats_heap");
+    ASSERT_TRUE(guide.ok());
+    guide_.emplace(std::move(guide).value());
+    catalog_ = std::make_unique<Catalog>(env_.get());
+    catalog_->Register("GoodEats", &*guide_);
+  }
+
+  /// Runs `sql` and collects column 0 (restaurant names) of the output.
+  std::set<std::string> RunForNames(const std::string& sql) {
+    std::set<std::string> names;
+    Status st = ExecuteSql(*catalog_, sql, SqlOptions{},
+                           [&](const RowView& row) {
+                             names.insert(row.GetString(0));
+                             return Status::OK();
+                           });
+    SKYLINE_CHECK(st.ok()) << st.ToString();
+    return names;
+  }
+
+  std::unique_ptr<Env> env_;
+  std::optional<Table> guide_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(SqlExecutorTest, PaperFigure4QueryVerbatim) {
+  // Figure 4 of the paper, executed end to end through lexer, parser,
+  // binder, and the SFS pipeline.
+  EXPECT_EQ(RunForNames("select * from GoodEats "
+                        "skyline of S max, F max, D max, price min"),
+            (std::set<std::string>{"Summer Moon", "Zakopane", "Yamanote",
+                                   "Fenton & Pickle"}));
+}
+
+TEST_F(SqlExecutorTest, WhereThenSkyline) {
+  EXPECT_EQ(RunForNames("SELECT * FROM GoodEats WHERE price < 50 "
+                        "SKYLINE OF S MAX, F MAX, D MAX, price MIN"),
+            (std::set<std::string>{"Summer Moon", "Fenton & Pickle"}));
+}
+
+TEST_F(SqlExecutorTest, StringPredicate) {
+  EXPECT_EQ(RunForNames("SELECT * FROM GoodEats WHERE restaurant = 'Zakopane'"),
+            (std::set<std::string>{"Zakopane"}));
+}
+
+TEST_F(SqlExecutorTest, ProjectionAndLimit) {
+  int count = 0;
+  size_t columns = 0;
+  ASSERT_OK(ExecuteSql(*catalog_,
+                       "SELECT restaurant, price FROM GoodEats "
+                       "SKYLINE OF S MAX, price MIN LIMIT 2",
+                       SqlOptions{}, [&](const RowView& row) {
+                         columns = row.schema().num_columns();
+                         ++count;
+                         return Status::OK();
+                       }));
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(columns, 2u);
+}
+
+TEST_F(SqlExecutorTest, PlainSelectReturnsAllRows) {
+  EXPECT_EQ(RunForNames("SELECT * FROM GoodEats").size(), 6u);
+}
+
+TEST_F(SqlExecutorTest, UnknownTableFails) {
+  Status st = ExecuteSql(*catalog_, "SELECT * FROM Nope", SqlOptions{},
+                         [](const RowView&) { return Status::OK(); });
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST_F(SqlExecutorTest, UnknownColumnFails) {
+  Status st = ExecuteSql(*catalog_, "SELECT zzz FROM GoodEats", SqlOptions{},
+                         [](const RowView&) { return Status::OK(); });
+  EXPECT_TRUE(st.IsNotFound());
+  st = ExecuteSql(*catalog_, "SELECT * FROM GoodEats SKYLINE OF zzz MAX",
+                  SqlOptions{}, [](const RowView&) { return Status::OK(); });
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST_F(SqlExecutorTest, TypeMismatchedPredicateFails) {
+  Status st = ExecuteSql(*catalog_, "SELECT * FROM GoodEats WHERE price = 'x'",
+                         SqlOptions{}, [](const RowView&) { return Status::OK(); });
+  EXPECT_TRUE(st.IsInvalidArgument());
+  st = ExecuteSql(*catalog_, "SELECT * FROM GoodEats WHERE restaurant = 5",
+                  SqlOptions{}, [](const RowView&) { return Status::OK(); });
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST_F(SqlExecutorTest, SkylineOnStringColumnFails) {
+  Status st = ExecuteSql(*catalog_,
+                         "SELECT * FROM GoodEats SKYLINE OF restaurant MAX",
+                         SqlOptions{}, [](const RowView&) { return Status::OK(); });
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST_F(SqlExecutorTest, DiffViaSql) {
+  // Best by price within each decor score.
+  std::multiset<int32_t> decors;
+  ASSERT_OK(ExecuteSql(*catalog_,
+                       "SELECT D, price FROM GoodEats "
+                       "SKYLINE OF D DIFF, price MIN",
+                       SqlOptions{}, [&](const RowView& row) {
+                         decors.insert(row.GetInt32(0));
+                         return Status::OK();
+                       }));
+  // Six restaurants, all with distinct decor scores -> everyone survives.
+  EXPECT_EQ(decors.size(), 6u);
+}
+
+TEST_F(SqlExecutorTest, SkylineSqlMatchesDirectApi) {
+  auto env = NewMemEnv();
+  auto table = MakeUniformTable(env.get(), "t", 800, 3, 501);
+  ASSERT_TRUE(table.ok());
+  Catalog catalog(env.get());
+  catalog.Register("data", &*table);
+
+  std::multiset<std::string> via_sql;
+  ASSERT_OK(ExecuteSql(catalog,
+                       "SELECT * FROM data SKYLINE OF a0 MAX, a1 MAX, a2 MAX",
+                       SqlOptions{}, [&](const RowView& row) {
+                         via_sql.emplace(row.data(), row.schema().row_width());
+                         return Status::OK();
+                       }));
+  EXPECT_EQ(via_sql, testing_util::OracleSkylineMultiset(
+                         *table, [&] {
+                           auto spec = SkylineSpec::Make(
+                               table->schema(), {{"a0", Directive::kMax},
+                                                 {"a1", Directive::kMax},
+                                                 {"a2", Directive::kMax}});
+                           SKYLINE_CHECK(spec.ok());
+                           return std::move(spec).value();
+                         }()));
+}
+
+TEST_F(SqlExecutorTest, VisitorErrorPropagates) {
+  Status st =
+      ExecuteSql(*catalog_, "SELECT * FROM GoodEats", SqlOptions{},
+                 [](const RowView&) { return Status::Internal("stop"); });
+  EXPECT_TRUE(st.IsInternal());
+}
+
+
+TEST_F(SqlExecutorTest, OrderByExecutes) {
+  std::vector<double> prices;
+  ASSERT_OK(ExecuteSql(*catalog_,
+                       "SELECT price FROM GoodEats "
+                       "SKYLINE OF S MAX, F MAX, D MAX, price MIN "
+                       "ORDER BY price DESC",
+                       SqlOptions{}, [&](const RowView& row) {
+                         prices.push_back(row.GetFloat64(0));
+                         return Status::OK();
+                       }));
+  ASSERT_EQ(prices.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(prices.rbegin(), prices.rend()));
+}
+
+TEST_F(SqlExecutorTest, OrderByNonProjectedColumn) {
+  // ORDER BY binds to the base schema, so sorting by a column that the
+  // SELECT list drops is allowed.
+  std::vector<std::string> names;
+  ASSERT_OK(ExecuteSql(*catalog_,
+                       "SELECT restaurant FROM GoodEats ORDER BY price",
+                       SqlOptions{}, [&](const RowView& row) {
+                         names.push_back(row.GetString(0));
+                         return Status::OK();
+                       }));
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names.front(), "Fenton & Pickle");  // cheapest
+  EXPECT_EQ(names.back(), "Brearton Grill");    // priciest
+}
+
+TEST_F(SqlExecutorTest, OrderByUnknownColumnFails) {
+  Status st = ExecuteSql(*catalog_, "SELECT * FROM GoodEats ORDER BY zzz",
+                         SqlOptions{}, [](const RowView&) { return Status::OK(); });
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+
+TEST_F(SqlExecutorTest, ExplainRendersPlan) {
+  ASSERT_OK_AND_ASSIGN(
+      std::string plan,
+      ExplainSql(*catalog_,
+                 "SELECT restaurant FROM GoodEats WHERE price < 60 "
+                 "SKYLINE OF S MAX, price MIN ORDER BY price LIMIT 3"));
+  // Root-first: Limit > Project > Sort > Skyline > Select > TableScan.
+  const size_t limit_pos = plan.find("Limit 3");
+  const size_t project_pos = plan.find("Project");
+  const size_t sort_pos = plan.find("Sort");
+  const size_t skyline_pos = plan.find("Skyline[SFS]");
+  const size_t select_pos = plan.find("Select");
+  const size_t scan_pos = plan.find("TableScan");
+  ASSERT_NE(limit_pos, std::string::npos) << plan;
+  ASSERT_NE(project_pos, std::string::npos) << plan;
+  ASSERT_NE(sort_pos, std::string::npos) << plan;
+  ASSERT_NE(skyline_pos, std::string::npos) << plan;
+  ASSERT_NE(select_pos, std::string::npos) << plan;
+  ASSERT_NE(scan_pos, std::string::npos) << plan;
+  EXPECT_LT(limit_pos, project_pos);
+  EXPECT_LT(project_pos, sort_pos);
+  EXPECT_LT(sort_pos, skyline_pos);
+  EXPECT_LT(skyline_pos, select_pos);
+  EXPECT_LT(select_pos, scan_pos);
+  EXPECT_NE(plan.find("skyline of S max, price min"), std::string::npos)
+      << plan;
+}
+
+TEST_F(SqlExecutorTest, AutoAlgorithmViaSqlOptions) {
+  SqlOptions options;
+  options.algorithm = SkylineAlgorithm::kAuto;
+  std::set<std::string> names;
+  ASSERT_OK(ExecuteSql(*catalog_,
+                       "SELECT restaurant FROM GoodEats "
+                       "SKYLINE OF F MAX, price MIN",
+                       options, [&](const RowView& row) {
+                         names.insert(row.GetString(0));
+                         return Status::OK();
+                       }));
+  // 2-dim spec: routed through the special-case scan; same answer as SFS.
+  std::set<std::string> sfs_names;
+  ASSERT_OK(ExecuteSql(*catalog_,
+                       "SELECT restaurant FROM GoodEats "
+                       "SKYLINE OF F MAX, price MIN",
+                       SqlOptions{}, [&](const RowView& row) {
+                         sfs_names.insert(row.GetString(0));
+                         return Status::OK();
+                       }));
+  EXPECT_EQ(names, sfs_names);
+  ASSERT_OK_AND_ASSIGN(
+      std::string plan,
+      ExplainSql(*catalog_,
+                 "SELECT * FROM GoodEats SKYLINE OF F MAX, price MIN",
+                 options));
+  EXPECT_NE(plan.find("Skyline[auto]"), std::string::npos) << plan;
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,86 @@
+#include "sql/lexer.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+std::vector<Token> MustLex(const std::string& sql) {
+  auto result = LexSql(sql);
+  SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(SqlLexer, KeywordsCaseInsensitive) {
+  auto tokens = MustLex("select Select SELECT sKyLiNe");
+  ASSERT_EQ(tokens.size(), 5u);  // + end
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kKeyword);
+    EXPECT_EQ(tokens[i].text, "SELECT");
+  }
+  EXPECT_EQ(tokens[3].text, "SKYLINE");
+}
+
+TEST(SqlLexer, IdentifiersKeepCase) {
+  auto tokens = MustLex("GoodEats my_col _x a1");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "GoodEats");
+  EXPECT_EQ(tokens[1].text, "my_col");
+  EXPECT_EQ(tokens[2].text, "_x");
+  EXPECT_EQ(tokens[3].text, "a1");
+}
+
+TEST(SqlLexer, Numbers) {
+  auto tokens = MustLex("42 -7 3.5 .25 1e6 2.5E-3 +8");
+  ASSERT_EQ(tokens.size(), 8u);
+  const char* expected[] = {"42", "-7", "3.5", ".25", "1e6", "2.5E-3", "+8"};
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kNumber) << i;
+    EXPECT_EQ(tokens[i].text, expected[i]) << i;
+  }
+}
+
+TEST(SqlLexer, Strings) {
+  auto tokens = MustLex("'hello' 'it''s' ''");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "it's");
+  EXPECT_EQ(tokens[2].text, "");
+}
+
+TEST(SqlLexer, UnterminatedStringFails) {
+  EXPECT_TRUE(LexSql("'oops").status().IsInvalidArgument());
+}
+
+TEST(SqlLexer, Operators) {
+  auto tokens = MustLex("= != < <= > >= <>");
+  const char* expected[] = {"=", "!=", "<", "<=", ">", ">=", "!="};
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(tokens[i].kind, TokenKind::kOperator) << i;
+    EXPECT_EQ(tokens[i].text, expected[i]) << i;
+  }
+}
+
+TEST(SqlLexer, PunctuationAndOffsets) {
+  auto tokens = MustLex("a, *");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kComma);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kStar);
+  EXPECT_EQ(tokens[0].offset, 0u);
+  EXPECT_EQ(tokens[1].offset, 1u);
+  EXPECT_EQ(tokens[2].offset, 3u);
+}
+
+TEST(SqlLexer, StrayCharacterFails) {
+  EXPECT_TRUE(LexSql("select #").status().IsInvalidArgument());
+}
+
+TEST(SqlLexer, EmptyInputIsJustEnd) {
+  auto tokens = MustLex("   ");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,141 @@
+#include "sql/parser.h"
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+SelectStatement MustParse(const std::string& sql) {
+  auto result = ParseSql(sql);
+  SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(SqlParser, PaperFigure4Query) {
+  SelectStatement stmt = MustParse(
+      "select * from GoodEats skyline of S max, F max, D max, price min");
+  EXPECT_TRUE(stmt.columns.empty());  // *
+  EXPECT_EQ(stmt.table, "GoodEats");
+  EXPECT_TRUE(stmt.predicates.empty());
+  ASSERT_EQ(stmt.skyline.size(), 4u);
+  EXPECT_EQ(stmt.skyline[0].column, "S");
+  EXPECT_EQ(stmt.skyline[0].directive, Directive::kMax);
+  EXPECT_EQ(stmt.skyline[3].column, "price");
+  EXPECT_EQ(stmt.skyline[3].directive, Directive::kMin);
+  EXPECT_FALSE(stmt.limit.has_value());
+}
+
+TEST(SqlParser, MaxIsDefaultDirective) {
+  SelectStatement stmt = MustParse("SELECT * FROM t SKYLINE OF a, b MIN, c");
+  ASSERT_EQ(stmt.skyline.size(), 3u);
+  EXPECT_EQ(stmt.skyline[0].directive, Directive::kMax);
+  EXPECT_EQ(stmt.skyline[1].directive, Directive::kMin);
+  EXPECT_EQ(stmt.skyline[2].directive, Directive::kMax);
+}
+
+TEST(SqlParser, DiffDirective) {
+  SelectStatement stmt = MustParse("SELECT * FROM t SKYLINE OF city DIFF, p MIN");
+  EXPECT_EQ(stmt.skyline[0].directive, Directive::kDiff);
+}
+
+TEST(SqlParser, ColumnList) {
+  SelectStatement stmt = MustParse("SELECT name, price FROM t");
+  EXPECT_EQ(stmt.columns,
+            (std::vector<std::string>{"name", "price"}));
+}
+
+TEST(SqlParser, WherePredicates) {
+  SelectStatement stmt = MustParse(
+      "SELECT * FROM t WHERE price <= 250 AND city = 'York' AND stars > 2");
+  ASSERT_EQ(stmt.predicates.size(), 3u);
+  EXPECT_EQ(stmt.predicates[0].column, "price");
+  EXPECT_EQ(stmt.predicates[0].op, CompareOp::kLe);
+  EXPECT_EQ(std::get<double>(stmt.predicates[0].literal), 250.0);
+  EXPECT_EQ(stmt.predicates[1].column, "city");
+  EXPECT_EQ(stmt.predicates[1].op, CompareOp::kEq);
+  EXPECT_EQ(std::get<std::string>(stmt.predicates[1].literal), "York");
+  EXPECT_EQ(stmt.predicates[2].op, CompareOp::kGt);
+}
+
+TEST(SqlParser, LiteralOnLeftFlipsOperator) {
+  SelectStatement stmt = MustParse("SELECT * FROM t WHERE 100 >= price");
+  ASSERT_EQ(stmt.predicates.size(), 1u);
+  EXPECT_EQ(stmt.predicates[0].column, "price");
+  EXPECT_EQ(stmt.predicates[0].op, CompareOp::kLe);
+  EXPECT_EQ(std::get<double>(stmt.predicates[0].literal), 100.0);
+}
+
+TEST(SqlParser, Limit) {
+  SelectStatement stmt = MustParse("SELECT * FROM t LIMIT 10");
+  ASSERT_TRUE(stmt.limit.has_value());
+  EXPECT_EQ(*stmt.limit, 10u);
+}
+
+TEST(SqlParser, FullStatement) {
+  SelectStatement stmt = MustParse(
+      "SELECT name FROM hotels WHERE price < 300 "
+      "SKYLINE OF rating MAX, price MIN LIMIT 5");
+  EXPECT_EQ(stmt.columns, (std::vector<std::string>{"name"}));
+  EXPECT_EQ(stmt.table, "hotels");
+  EXPECT_EQ(stmt.predicates.size(), 1u);
+  EXPECT_EQ(stmt.skyline.size(), 2u);
+  EXPECT_EQ(*stmt.limit, 5u);
+}
+
+TEST(SqlParser, SyntaxErrors) {
+  EXPECT_TRUE(ParseSql("").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t SKYLINE").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t SKYLINE OF").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSql("SELECT * FROM t WHERE price").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSql("SELECT * FROM t WHERE price <").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t LIMIT").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t LIMIT -3").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSql("SELECT * FROM t LIMIT 2.5").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t garbage").status().IsInvalidArgument());
+}
+
+TEST(SqlParser, ErrorMessagesCarryOffset) {
+  auto result = ParseSql("SELECT * FROM t WHERE price <");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("offset"), std::string::npos);
+}
+
+TEST(SqlParser, LimitZeroAllowed) {
+  SelectStatement stmt = MustParse("SELECT * FROM t LIMIT 0");
+  EXPECT_EQ(*stmt.limit, 0u);
+}
+
+
+TEST(SqlParser, OrderBy) {
+  SelectStatement stmt =
+      MustParse("SELECT * FROM t ORDER BY price, rating DESC, name ASC");
+  ASSERT_EQ(stmt.order_by.size(), 3u);
+  EXPECT_EQ(stmt.order_by[0].column, "price");
+  EXPECT_FALSE(stmt.order_by[0].descending);
+  EXPECT_EQ(stmt.order_by[1].column, "rating");
+  EXPECT_TRUE(stmt.order_by[1].descending);
+  EXPECT_EQ(stmt.order_by[2].column, "name");
+  EXPECT_FALSE(stmt.order_by[2].descending);
+}
+
+TEST(SqlParser, OrderByAfterSkylineBeforeLimit) {
+  SelectStatement stmt = MustParse(
+      "SELECT * FROM t SKYLINE OF a MAX ORDER BY b DESC LIMIT 3");
+  EXPECT_EQ(stmt.skyline.size(), 1u);
+  EXPECT_EQ(stmt.order_by.size(), 1u);
+  EXPECT_EQ(*stmt.limit, 3u);
+}
+
+TEST(SqlParser, OrderBySyntaxErrors) {
+  EXPECT_TRUE(ParseSql("SELECT * FROM t ORDER price").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("SELECT * FROM t ORDER BY").status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,115 @@
+#include "common/status.h"
+
+#include "gtest/gtest.h"
+
+namespace skyline {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, FactoryConstructorsSetCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad arg");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad arg");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad arg");
+}
+
+TEST(Status, AllCodePredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::IoError("x").IsIoError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(Status, CodeNames) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_EQ(StatusCodeName(StatusCode::kIoError), "IoError");
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("f"), Status::NotFound("f"));
+  EXPECT_FALSE(Status::NotFound("f") == Status::NotFound("g"));
+  EXPECT_FALSE(Status::NotFound("f") == Status::IoError("f"));
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "missing");
+}
+
+TEST(Result, OkStatusNormalizedToInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(Result, MutableAccess) {
+  Result<std::string> r = std::string("a");
+  r.value() += "b";
+  EXPECT_EQ(*r, "ab");
+  r->append("c");
+  EXPECT_EQ(*r, "abc");
+}
+
+Status FailIfNegative(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UseReturnIfError(int x) {
+  SKYLINE_RETURN_IF_ERROR(FailIfNegative(x));
+  return Status::OK();
+}
+
+TEST(StatusMacros, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UseReturnIfError(1).ok());
+  EXPECT_TRUE(UseReturnIfError(-1).IsInvalidArgument());
+}
+
+Result<int> HalveEven(int x) {
+  if (x % 2 != 0) return Status::InvalidArgument("odd");
+  return x / 2;
+}
+
+Result<int> UseAssignOrReturn(int x) {
+  SKYLINE_ASSIGN_OR_RETURN(int half, HalveEven(x));
+  return half + 1;
+}
+
+TEST(StatusMacros, AssignOrReturnPropagates) {
+  Result<int> good = UseAssignOrReturn(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 3);
+  Result<int> bad = UseAssignOrReturn(3);
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,115 @@
+#include "relation/table.h"
+
+#include "gtest/gtest.h"
+#include "relation/generator.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::MakeIntTable;
+
+TEST(Table, BuildAndScan) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(
+      Table t, MakeIntTable(env.get(), "t", 2, {{1, 2}, {3, 4}, {5, 6}}));
+  EXPECT_EQ(t.row_count(), 3u);
+  auto reader = t.NewReader(nullptr);
+  int expected = 1;
+  while (const char* row = reader->Next()) {
+    RowView view(&t.schema(), row);
+    EXPECT_EQ(view.GetInt32(0), expected);
+    EXPECT_EQ(view.GetInt32(1), expected + 1);
+    expected += 2;
+  }
+  EXPECT_EQ(expected, 7);
+}
+
+TEST(Table, StatsTrackMinMax) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(
+      Table t, MakeIntTable(env.get(), "t", 2, {{5, -3}, {-7, 10}, {2, 0}}));
+  EXPECT_TRUE(t.stats(0).valid);
+  EXPECT_EQ(t.stats(0).min, -7.0);
+  EXPECT_EQ(t.stats(0).max, 5.0);
+  EXPECT_EQ(t.stats(1).min, -3.0);
+  EXPECT_EQ(t.stats(1).max, 10.0);
+}
+
+TEST(Table, StringColumnStatsInvalid) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeGoodEatsTable(env.get(), "g"));
+  EXPECT_FALSE(t.stats(0).valid);  // restaurant name
+  EXPECT_TRUE(t.stats(1).valid);   // S
+}
+
+TEST(Table, EmptyTable) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeIntTable(env.get(), "t", 1, {}));
+  EXPECT_EQ(t.row_count(), 0u);
+  EXPECT_FALSE(t.stats(0).valid);
+  std::vector<char> rows;
+  ASSERT_OK(t.ReadAllRows(&rows));
+  EXPECT_TRUE(rows.empty());
+}
+
+TEST(Table, ReadAllRows) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t,
+                       MakeIntTable(env.get(), "t", 1, {{10}, {20}, {30}}));
+  std::vector<char> rows;
+  ASSERT_OK(t.ReadAllRows(&rows));
+  ASSERT_EQ(rows.size(), 3 * t.schema().row_width());
+  RowView second(&t.schema(), rows.data() + t.schema().row_width());
+  EXPECT_EQ(second.GetInt32(0), 20);
+}
+
+TEST(Table, PageCount) {
+  auto env = NewMemEnv();
+  std::vector<std::vector<int32_t>> rows(2100, {1});  // 4-byte rows, 1024/page
+  ASSERT_OK_AND_ASSIGN(Table t, MakeIntTable(env.get(), "t", 1, rows));
+  EXPECT_EQ(t.page_count(), 3u);
+}
+
+TEST(Table, AttachWrapsExistingFile) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t,
+                       MakeIntTable(env.get(), "t", 2, {{1, 2}, {3, 4}}));
+  std::vector<ColumnStats> stats = {t.stats(0), t.stats(1)};
+  ASSERT_OK_AND_ASSIGN(Table attached,
+                       Table::Attach(t.schema(), env.get(), "t", stats));
+  EXPECT_EQ(attached.row_count(), 2u);
+  std::vector<char> rows;
+  ASSERT_OK(attached.ReadAllRows(&rows));
+  RowView view(&attached.schema(), rows.data());
+  EXPECT_EQ(view.GetInt32(0), 1);
+}
+
+TEST(Table, AttachMissingFileFails) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Schema schema, Schema::Make({ColumnDef::Int32("x")}));
+  EXPECT_TRUE(Table::Attach(schema, env.get(), "missing", {ColumnStats{}})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(Table, AttachStatsSizeMismatchFails) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table t, MakeIntTable(env.get(), "t", 1, {{1}}));
+  EXPECT_TRUE(
+      Table::Attach(t.schema(), env.get(), "t", {}).status().IsInvalidArgument());
+}
+
+TEST(TableBuilder, ReaderCountsIo) {
+  auto env = NewMemEnv();
+  std::vector<std::vector<int32_t>> rows(3000, {7});
+  ASSERT_OK_AND_ASSIGN(Table t, MakeIntTable(env.get(), "t", 1, rows));
+  IoStats io;
+  auto reader = t.NewReader(&io);
+  while (reader->Next() != nullptr) {
+  }
+  EXPECT_EQ(io.pages_read, t.page_count());
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,69 @@
+#include "storage/temp_file_manager.h"
+
+#include <memory>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+TEST(TempFileManager, AllocatesUniquePaths) {
+  auto env = NewMemEnv();
+  TempFileManager tmp(env.get(), "pfx");
+  std::set<std::string> paths;
+  for (int i = 0; i < 10; ++i) paths.insert(tmp.Allocate("tag"));
+  EXPECT_EQ(paths.size(), 10u);
+  for (const auto& p : paths) {
+    EXPECT_EQ(p.find("pfx"), 0u);
+    EXPECT_NE(p.find("tag"), std::string::npos);
+  }
+}
+
+TEST(TempFileManager, DeleteAllRemovesCreatedFiles) {
+  auto env = NewMemEnv();
+  TempFileManager tmp(env.get(), "pfx");
+  std::string p1 = tmp.Allocate("a");
+  std::string p2 = tmp.Allocate("b");
+  std::unique_ptr<WritableFile> w;
+  ASSERT_OK(env->NewWritableFile(p1, &w));
+  ASSERT_OK(w->Close());
+  ASSERT_OK(env->NewWritableFile(p2, &w));
+  ASSERT_OK(w->Close());
+  tmp.DeleteAll();
+  EXPECT_FALSE(env->FileExists(p1));
+  EXPECT_FALSE(env->FileExists(p2));
+  EXPECT_EQ(tmp.allocated_count(), 0u);
+}
+
+TEST(TempFileManager, DestructorCleansUp) {
+  auto env = NewMemEnv();
+  std::string path;
+  {
+    TempFileManager tmp(env.get(), "pfx");
+    path = tmp.Allocate("x");
+    std::unique_ptr<WritableFile> w;
+    ASSERT_OK(env->NewWritableFile(path, &w));
+    ASSERT_OK(w->Close());
+    EXPECT_TRUE(env->FileExists(path));
+  }
+  EXPECT_FALSE(env->FileExists(path));
+}
+
+TEST(TempFileManager, DeleteSingle) {
+  auto env = NewMemEnv();
+  TempFileManager tmp(env.get(), "pfx");
+  std::string p = tmp.Allocate("y");
+  std::unique_ptr<WritableFile> w;
+  ASSERT_OK(env->NewWritableFile(p, &w));
+  ASSERT_OK(w->Close());
+  tmp.Delete(p);
+  EXPECT_FALSE(env->FileExists(p));
+  EXPECT_EQ(tmp.allocated_count(), 0u);
+  // Deleting a path that was never materialized is harmless.
+  tmp.Delete(tmp.Allocate("z"));
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,74 @@
+#include "test_util.h"
+
+namespace skyline {
+namespace testing_util {
+
+Result<Table> MakeIntTable(Env* env, const std::string& path, int num_attrs,
+                           const std::vector<std::vector<int32_t>>& rows) {
+  std::vector<ColumnDef> columns;
+  for (int i = 0; i < num_attrs; ++i) {
+    columns.push_back(ColumnDef::Int32("a" + std::to_string(i)));
+  }
+  SKYLINE_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(columns)));
+  TableBuilder builder(env, path, schema);
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+  RowBuffer row(&builder.schema());
+  for (const auto& values : rows) {
+    SKYLINE_CHECK_EQ(values.size(), static_cast<size_t>(num_attrs));
+    for (int i = 0; i < num_attrs; ++i) {
+      row.SetInt32(static_cast<size_t>(i), values[static_cast<size_t>(i)]);
+    }
+    SKYLINE_RETURN_IF_ERROR(builder.Append(row));
+  }
+  return builder.Finish();
+}
+
+std::vector<char> ReadAll(const Table& table) {
+  std::vector<char> rows;
+  SKYLINE_CHECK_OK(table.ReadAllRows(&rows));
+  return rows;
+}
+
+std::multiset<std::string> ProjectedMultiset(const SkylineSpec& spec,
+                                             const char* rows, uint64_t count,
+                                             size_t row_width) {
+  std::multiset<std::string> out;
+  std::vector<char> proj(spec.projected_schema().row_width());
+  for (uint64_t i = 0; i < count; ++i) {
+    spec.ProjectRow(rows + i * row_width, proj.data());
+    out.emplace(proj.data(), proj.size());
+  }
+  return out;
+}
+
+std::multiset<std::string> RowMultiset(const char* rows, uint64_t count,
+                                       size_t row_width) {
+  std::multiset<std::string> out;
+  for (uint64_t i = 0; i < count; ++i) {
+    out.emplace(rows + i * row_width, row_width);
+  }
+  return out;
+}
+
+std::multiset<std::string> OracleSkylineMultiset(const Table& table,
+                                                 const SkylineSpec& spec) {
+  auto result = NaiveSkylineRows(table, spec);
+  SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  const size_t width = spec.schema().row_width();
+  return RowMultiset(result.value().data(), result.value().size() / width,
+                     width);
+}
+
+Result<Table> MakeUniformTable(Env* env, const std::string& path, uint64_t n,
+                               int num_attrs, uint64_t seed,
+                               size_t payload_bytes) {
+  GeneratorOptions options;
+  options.num_rows = n;
+  options.num_attributes = num_attrs;
+  options.payload_bytes = payload_bytes;
+  options.seed = seed;
+  return GenerateTable(env, path, options);
+}
+
+}  // namespace testing_util
+}  // namespace skyline

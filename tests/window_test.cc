@@ -1,0 +1,171 @@
+#include "core/window.h"
+
+#include <cstring>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+class WindowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Schema shaped like the paper's tuples: skyline attrs + fat payload.
+    auto schema = Schema::Make({ColumnDef::Int32("a0"), ColumnDef::Int32("a1"),
+                                ColumnDef::FixedString("payload", 92)});
+    ASSERT_TRUE(schema.ok());
+    schema_ = std::move(schema).value();
+    auto spec = SkylineSpec::Make(
+        schema_, {{"a0", Directive::kMax}, {"a1", Directive::kMax}});
+    ASSERT_TRUE(spec.ok());
+    spec_.emplace(std::move(spec).value());
+  }
+
+  std::vector<char> Row(int32_t a, int32_t b, char fill = 'p') {
+    std::vector<char> row(schema_.row_width(), fill);
+    std::memcpy(row.data(), &a, 4);
+    std::memcpy(row.data() + 4, &b, 4);
+    return row;
+  }
+
+  Schema schema_;
+  std::optional<SkylineSpec> spec_;
+};
+
+TEST_F(WindowTest, CapacityFollowsEntryWidth) {
+  // Full rows: 100 bytes -> 40 per page. Projected: 8 bytes -> 512 per page.
+  Window full(&*spec_, 2, /*projected=*/false);
+  EXPECT_EQ(full.capacity(), 80u);
+  EXPECT_EQ(full.entry_width(), 100u);
+  Window proj(&*spec_, 2, /*projected=*/true);
+  EXPECT_EQ(proj.capacity(), 1024u);
+  EXPECT_EQ(proj.entry_width(), 8u);
+}
+
+TEST_F(WindowTest, FirstRowAlwaysAdded) {
+  Window w(&*spec_, 1, false);
+  auto row = Row(5, 5);
+  EXPECT_EQ(w.Test(row.data()), Window::Verdict::kAdded);
+  EXPECT_EQ(w.entry_count(), 1u);
+}
+
+TEST_F(WindowTest, DominatedRowRejected) {
+  Window w(&*spec_, 1, false);
+  auto top = Row(5, 5), below = Row(3, 3);
+  ASSERT_EQ(w.Test(top.data()), Window::Verdict::kAdded);
+  EXPECT_EQ(w.Test(below.data()), Window::Verdict::kDominated);
+  EXPECT_EQ(w.entry_count(), 1u);
+}
+
+TEST_F(WindowTest, IncomparableRowAdded) {
+  Window w(&*spec_, 1, false);
+  auto a = Row(5, 1), b = Row(1, 5);
+  ASSERT_EQ(w.Test(a.data()), Window::Verdict::kAdded);
+  EXPECT_EQ(w.Test(b.data()), Window::Verdict::kAdded);
+  EXPECT_EQ(w.entry_count(), 2u);
+}
+
+TEST_F(WindowTest, SortViolationDetected) {
+  Window w(&*spec_, 1, false);
+  auto low = Row(1, 1), high = Row(2, 2);
+  ASSERT_EQ(w.Test(low.data()), Window::Verdict::kAdded);
+  EXPECT_EQ(w.Test(high.data()), Window::Verdict::kSortViolation);
+}
+
+TEST_F(WindowTest, EquivalentWithProjectionDedups) {
+  Window w(&*spec_, 1, /*projected=*/true);
+  auto a = Row(5, 5, 'x'), b = Row(5, 5, 'y');  // differ only in payload
+  ASSERT_EQ(w.Test(a.data()), Window::Verdict::kAdded);
+  EXPECT_EQ(w.Test(b.data()), Window::Verdict::kDuplicateSkyline);
+  EXPECT_EQ(w.entry_count(), 1u);
+}
+
+TEST_F(WindowTest, EquivalentWithoutProjectionStoresBoth) {
+  Window w(&*spec_, 1, /*projected=*/false);
+  auto a = Row(5, 5, 'x'), b = Row(5, 5, 'y');
+  ASSERT_EQ(w.Test(a.data()), Window::Verdict::kAdded);
+  EXPECT_EQ(w.Test(b.data()), Window::Verdict::kAdded);
+  EXPECT_EQ(w.entry_count(), 2u);
+}
+
+TEST_F(WindowTest, ProjectedEntriesStoreOnlyAttributes) {
+  Window w(&*spec_, 1, /*projected=*/true);
+  auto row = Row(7, 9, 'z');
+  ASSERT_EQ(w.Test(row.data()), Window::Verdict::kAdded);
+  RowView entry(&spec_->projected_schema(), w.EntryAt(0));
+  EXPECT_EQ(entry.GetInt32(0), 7);
+  EXPECT_EQ(entry.GetInt32(1), 9);
+}
+
+TEST_F(WindowTest, FullWindowReportsOverflow) {
+  // 1 page of 100-byte entries = 40 slots; fill with mutually incomparable
+  // rows (a ascending, b descending).
+  Window w(&*spec_, 1, /*projected=*/false);
+  for (int i = 0; i < 40; ++i) {
+    auto row = Row(i, 1000 - i);
+    ASSERT_EQ(w.Test(row.data()), Window::Verdict::kAdded) << i;
+  }
+  EXPECT_TRUE(w.full());
+  auto extra = Row(40, 1000 - 40);
+  EXPECT_EQ(w.Test(extra.data()), Window::Verdict::kWindowFull);
+  // Dominated rows are still rejected when full.
+  auto dominated = Row(0, 0);
+  EXPECT_EQ(w.Test(dominated.data()), Window::Verdict::kDominated);
+}
+
+TEST_F(WindowTest, ClearEmptiesWindow) {
+  Window w(&*spec_, 1, false);
+  auto row = Row(5, 5);
+  ASSERT_EQ(w.Test(row.data()), Window::Verdict::kAdded);
+  w.Clear();
+  EXPECT_EQ(w.entry_count(), 0u);
+  // Previously-dominated row is now accepted (fresh pass semantics).
+  auto below = Row(3, 3);
+  EXPECT_EQ(w.Test(below.data()), Window::Verdict::kAdded);
+}
+
+TEST_F(WindowTest, ComparisonsAreCounted) {
+  Window w(&*spec_, 1, false);
+  auto a = Row(5, 1), b = Row(1, 5), c = Row(0, 0);
+  w.Test(a.data());                       // 0 comparisons (empty)
+  w.Test(b.data());                       // 1 comparison
+  EXPECT_EQ(w.comparisons(), 1u);
+  w.Test(c.data());                       // dominated by first entry: 1 more
+  EXPECT_EQ(w.comparisons(), 2u);
+}
+
+TEST_F(WindowTest, DiffColumnsKeptInProjectedEntries) {
+  auto schema = Schema::Make({ColumnDef::Int32("g"), ColumnDef::Int32("v"),
+                              ColumnDef::FixedString("p", 50)});
+  ASSERT_TRUE(schema.ok());
+  auto spec = SkylineSpec::Make(
+      schema.value(), {{"g", Directive::kDiff}, {"v", Directive::kMax}});
+  ASSERT_TRUE(spec.ok());
+  Window w(&spec.value(), 1, /*projected=*/true);
+
+  std::vector<char> r1(schema.value().row_width(), 0);
+  int32_t g = 1, v = 10;
+  std::memcpy(r1.data(), &g, 4);
+  std::memcpy(r1.data() + 4, &v, 4);
+  ASSERT_EQ(w.Test(r1.data()), Window::Verdict::kAdded);
+
+  // Same value, different group: incomparable, added.
+  std::vector<char> r2 = r1;
+  g = 2;
+  v = 3;
+  std::memcpy(r2.data(), &g, 4);
+  std::memcpy(r2.data() + 4, &v, 4);
+  EXPECT_EQ(w.Test(r2.data()), Window::Verdict::kAdded);
+
+  // Worse value in group 1: dominated.
+  std::vector<char> r3 = r1;
+  g = 1;
+  v = 5;
+  std::memcpy(r3.data(), &g, 4);
+  std::memcpy(r3.data() + 4, &v, 4);
+  EXPECT_EQ(w.Test(r3.data()), Window::Verdict::kDominated);
+}
+
+}  // namespace
+}  // namespace skyline

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_less.dir/ablation_less.cc.o"
+  "CMakeFiles/ablation_less.dir/ablation_less.cc.o.d"
+  "ablation_less"
+  "ablation_less.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_less.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_projection.dir/ablation_projection.cc.o"
+  "CMakeFiles/ablation_projection.dir/ablation_projection.cc.o.d"
+  "ablation_projection"
+  "ablation_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_special2d.dir/ablation_special2d.cc.o"
+  "CMakeFiles/ablation_special2d.dir/ablation_special2d.cc.o.d"
+  "ablation_special2d"
+  "ablation_special2d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_special2d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sfs_variants_io.dir/fig10_sfs_variants_io.cc.o"
+  "CMakeFiles/fig10_sfs_variants_io.dir/fig10_sfs_variants_io.cc.o.d"
+  "fig10_sfs_variants_io"
+  "fig10_sfs_variants_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sfs_variants_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

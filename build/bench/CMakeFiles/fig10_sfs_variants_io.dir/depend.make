@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_sfs_variants_io.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bnl_dims.dir/fig11_bnl_dims.cc.o"
+  "CMakeFiles/fig11_bnl_dims.dir/fig11_bnl_dims.cc.o.d"
+  "fig11_bnl_dims"
+  "fig11_bnl_dims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bnl_dims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

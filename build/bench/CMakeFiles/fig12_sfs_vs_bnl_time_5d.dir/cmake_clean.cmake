@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sfs_vs_bnl_time_5d.dir/fig12_sfs_vs_bnl_time_5d.cc.o"
+  "CMakeFiles/fig12_sfs_vs_bnl_time_5d.dir/fig12_sfs_vs_bnl_time_5d.cc.o.d"
+  "fig12_sfs_vs_bnl_time_5d"
+  "fig12_sfs_vs_bnl_time_5d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sfs_vs_bnl_time_5d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

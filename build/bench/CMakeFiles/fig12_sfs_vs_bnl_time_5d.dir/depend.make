@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_sfs_vs_bnl_time_5d.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_sfs_vs_bnl_time_7d.dir/fig13_sfs_vs_bnl_time_7d.cc.o"
+  "CMakeFiles/fig13_sfs_vs_bnl_time_7d.dir/fig13_sfs_vs_bnl_time_7d.cc.o.d"
+  "fig13_sfs_vs_bnl_time_7d"
+  "fig13_sfs_vs_bnl_time_7d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sfs_vs_bnl_time_7d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_sfs_vs_bnl_io_5d.dir/fig14_sfs_vs_bnl_io_5d.cc.o"
+  "CMakeFiles/fig14_sfs_vs_bnl_io_5d.dir/fig14_sfs_vs_bnl_io_5d.cc.o.d"
+  "fig14_sfs_vs_bnl_io_5d"
+  "fig14_sfs_vs_bnl_io_5d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sfs_vs_bnl_io_5d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig14_sfs_vs_bnl_io_5d.
+# This may be replaced when dependencies are built.

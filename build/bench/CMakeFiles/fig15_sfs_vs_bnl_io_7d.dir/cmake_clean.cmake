@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_sfs_vs_bnl_io_7d.dir/fig15_sfs_vs_bnl_io_7d.cc.o"
+  "CMakeFiles/fig15_sfs_vs_bnl_io_7d.dir/fig15_sfs_vs_bnl_io_7d.cc.o.d"
+  "fig15_sfs_vs_bnl_io_7d"
+  "fig15_sfs_vs_bnl_io_7d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_sfs_vs_bnl_io_7d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

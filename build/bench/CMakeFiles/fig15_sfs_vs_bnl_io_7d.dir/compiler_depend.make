@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig15_sfs_vs_bnl_io_7d.
+# This may be replaced when dependencies are built.

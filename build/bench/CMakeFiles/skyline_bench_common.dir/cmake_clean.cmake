@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/skyline_bench_common.dir/bench_common.cc.o.d"
+  "libskyline_bench_common.a"
+  "libskyline_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

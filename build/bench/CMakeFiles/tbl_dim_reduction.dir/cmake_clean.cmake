@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_dim_reduction.dir/tbl_dim_reduction.cc.o"
+  "CMakeFiles/tbl_dim_reduction.dir/tbl_dim_reduction.cc.o.d"
+  "tbl_dim_reduction"
+  "tbl_dim_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_dim_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_maintenance.dir/tbl_maintenance.cc.o"
+  "CMakeFiles/tbl_maintenance.dir/tbl_maintenance.cc.o.d"
+  "tbl_maintenance"
+  "tbl_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_skyline_sizes.dir/tbl_skyline_sizes.cc.o"
+  "CMakeFiles/tbl_skyline_sizes.dir/tbl_skyline_sizes.cc.o.d"
+  "tbl_skyline_sizes"
+  "tbl_skyline_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_skyline_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

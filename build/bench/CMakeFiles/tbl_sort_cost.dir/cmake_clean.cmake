@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_sort_cost.dir/tbl_sort_cost.cc.o"
+  "CMakeFiles/tbl_sort_cost.dir/tbl_sort_cost.cc.o.d"
+  "tbl_sort_cost"
+  "tbl_sort_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_sort_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

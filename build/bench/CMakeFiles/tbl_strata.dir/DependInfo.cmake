@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tbl_strata.cc" "bench/CMakeFiles/tbl_strata.dir/tbl_strata.cc.o" "gcc" "bench/CMakeFiles/tbl_strata.dir/tbl_strata.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/skyline_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl_strata.dir/tbl_strata.cc.o"
+  "CMakeFiles/tbl_strata.dir/tbl_strata.cc.o.d"
+  "tbl_strata"
+  "tbl_strata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl_strata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

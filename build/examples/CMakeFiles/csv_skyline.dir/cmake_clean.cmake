@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csv_skyline.dir/csv_skyline.cpp.o"
+  "CMakeFiles/csv_skyline.dir/csv_skyline.cpp.o.d"
+  "csv_skyline"
+  "csv_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csv_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

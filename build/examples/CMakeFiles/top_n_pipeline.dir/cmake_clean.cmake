@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/top_n_pipeline.dir/top_n_pipeline.cpp.o"
+  "CMakeFiles/top_n_pipeline.dir/top_n_pipeline.cpp.o.d"
+  "top_n_pipeline"
+  "top_n_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/top_n_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_common.dir/common/logging.cc.o"
+  "CMakeFiles/skyline_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/skyline_common.dir/common/random.cc.o"
+  "CMakeFiles/skyline_common.dir/common/random.cc.o.d"
+  "CMakeFiles/skyline_common.dir/common/status.cc.o"
+  "CMakeFiles/skyline_common.dir/common/status.cc.o.d"
+  "libskyline_common.a"
+  "libskyline_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

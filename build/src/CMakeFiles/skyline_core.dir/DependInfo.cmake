@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bnl.cc" "src/CMakeFiles/skyline_core.dir/core/bnl.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/bnl.cc.o.d"
+  "/root/repo/src/core/cardinality.cc" "src/CMakeFiles/skyline_core.dir/core/cardinality.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/cardinality.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/skyline_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/dim_reduce.cc" "src/CMakeFiles/skyline_core.dir/core/dim_reduce.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/dim_reduce.cc.o.d"
+  "/root/repo/src/core/divide_conquer.cc" "src/CMakeFiles/skyline_core.dir/core/divide_conquer.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/divide_conquer.cc.o.d"
+  "/root/repo/src/core/dominance.cc" "src/CMakeFiles/skyline_core.dir/core/dominance.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/dominance.cc.o.d"
+  "/root/repo/src/core/less.cc" "src/CMakeFiles/skyline_core.dir/core/less.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/less.cc.o.d"
+  "/root/repo/src/core/maintenance.cc" "src/CMakeFiles/skyline_core.dir/core/maintenance.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/maintenance.cc.o.d"
+  "/root/repo/src/core/naive.cc" "src/CMakeFiles/skyline_core.dir/core/naive.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/naive.cc.o.d"
+  "/root/repo/src/core/scoring.cc" "src/CMakeFiles/skyline_core.dir/core/scoring.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/scoring.cc.o.d"
+  "/root/repo/src/core/sfs.cc" "src/CMakeFiles/skyline_core.dir/core/sfs.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/sfs.cc.o.d"
+  "/root/repo/src/core/skyline_spec.cc" "src/CMakeFiles/skyline_core.dir/core/skyline_spec.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/skyline_spec.cc.o.d"
+  "/root/repo/src/core/special2d.cc" "src/CMakeFiles/skyline_core.dir/core/special2d.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/special2d.cc.o.d"
+  "/root/repo/src/core/special3d.cc" "src/CMakeFiles/skyline_core.dir/core/special3d.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/special3d.cc.o.d"
+  "/root/repo/src/core/strata.cc" "src/CMakeFiles/skyline_core.dir/core/strata.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/strata.cc.o.d"
+  "/root/repo/src/core/window.cc" "src/CMakeFiles/skyline_core.dir/core/window.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/window.cc.o.d"
+  "/root/repo/src/core/winnow.cc" "src/CMakeFiles/skyline_core.dir/core/winnow.cc.o" "gcc" "src/CMakeFiles/skyline_core.dir/core/winnow.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyline_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

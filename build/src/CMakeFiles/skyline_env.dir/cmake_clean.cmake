@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_env.dir/env/env.cc.o"
+  "CMakeFiles/skyline_env.dir/env/env.cc.o.d"
+  "CMakeFiles/skyline_env.dir/env/mem_env.cc.o"
+  "CMakeFiles/skyline_env.dir/env/mem_env.cc.o.d"
+  "CMakeFiles/skyline_env.dir/env/posix_env.cc.o"
+  "CMakeFiles/skyline_env.dir/env/posix_env.cc.o.d"
+  "libskyline_env.a"
+  "libskyline_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libskyline_env.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/limit.cc" "src/CMakeFiles/skyline_exec.dir/exec/limit.cc.o" "gcc" "src/CMakeFiles/skyline_exec.dir/exec/limit.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/skyline_exec.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/skyline_exec.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/CMakeFiles/skyline_exec.dir/exec/project.cc.o" "gcc" "src/CMakeFiles/skyline_exec.dir/exec/project.cc.o.d"
+  "/root/repo/src/exec/query.cc" "src/CMakeFiles/skyline_exec.dir/exec/query.cc.o" "gcc" "src/CMakeFiles/skyline_exec.dir/exec/query.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/CMakeFiles/skyline_exec.dir/exec/scan.cc.o" "gcc" "src/CMakeFiles/skyline_exec.dir/exec/scan.cc.o.d"
+  "/root/repo/src/exec/select.cc" "src/CMakeFiles/skyline_exec.dir/exec/select.cc.o" "gcc" "src/CMakeFiles/skyline_exec.dir/exec/select.cc.o.d"
+  "/root/repo/src/exec/skyline_op.cc" "src/CMakeFiles/skyline_exec.dir/exec/skyline_op.cc.o" "gcc" "src/CMakeFiles/skyline_exec.dir/exec/skyline_op.cc.o.d"
+  "/root/repo/src/exec/sort_op.cc" "src/CMakeFiles/skyline_exec.dir/exec/sort_op.cc.o" "gcc" "src/CMakeFiles/skyline_exec.dir/exec/sort_op.cc.o.d"
+  "/root/repo/src/exec/winnow_op.cc" "src/CMakeFiles/skyline_exec.dir/exec/winnow_op.cc.o" "gcc" "src/CMakeFiles/skyline_exec.dir/exec/winnow_op.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

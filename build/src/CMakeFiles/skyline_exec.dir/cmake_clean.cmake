@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_exec.dir/exec/limit.cc.o"
+  "CMakeFiles/skyline_exec.dir/exec/limit.cc.o.d"
+  "CMakeFiles/skyline_exec.dir/exec/operator.cc.o"
+  "CMakeFiles/skyline_exec.dir/exec/operator.cc.o.d"
+  "CMakeFiles/skyline_exec.dir/exec/project.cc.o"
+  "CMakeFiles/skyline_exec.dir/exec/project.cc.o.d"
+  "CMakeFiles/skyline_exec.dir/exec/query.cc.o"
+  "CMakeFiles/skyline_exec.dir/exec/query.cc.o.d"
+  "CMakeFiles/skyline_exec.dir/exec/scan.cc.o"
+  "CMakeFiles/skyline_exec.dir/exec/scan.cc.o.d"
+  "CMakeFiles/skyline_exec.dir/exec/select.cc.o"
+  "CMakeFiles/skyline_exec.dir/exec/select.cc.o.d"
+  "CMakeFiles/skyline_exec.dir/exec/skyline_op.cc.o"
+  "CMakeFiles/skyline_exec.dir/exec/skyline_op.cc.o.d"
+  "CMakeFiles/skyline_exec.dir/exec/sort_op.cc.o"
+  "CMakeFiles/skyline_exec.dir/exec/sort_op.cc.o.d"
+  "CMakeFiles/skyline_exec.dir/exec/winnow_op.cc.o"
+  "CMakeFiles/skyline_exec.dir/exec/winnow_op.cc.o.d"
+  "libskyline_exec.a"
+  "libskyline_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relation/csv.cc" "src/CMakeFiles/skyline_relation.dir/relation/csv.cc.o" "gcc" "src/CMakeFiles/skyline_relation.dir/relation/csv.cc.o.d"
+  "/root/repo/src/relation/generator.cc" "src/CMakeFiles/skyline_relation.dir/relation/generator.cc.o" "gcc" "src/CMakeFiles/skyline_relation.dir/relation/generator.cc.o.d"
+  "/root/repo/src/relation/histogram.cc" "src/CMakeFiles/skyline_relation.dir/relation/histogram.cc.o" "gcc" "src/CMakeFiles/skyline_relation.dir/relation/histogram.cc.o.d"
+  "/root/repo/src/relation/row.cc" "src/CMakeFiles/skyline_relation.dir/relation/row.cc.o" "gcc" "src/CMakeFiles/skyline_relation.dir/relation/row.cc.o.d"
+  "/root/repo/src/relation/schema.cc" "src/CMakeFiles/skyline_relation.dir/relation/schema.cc.o" "gcc" "src/CMakeFiles/skyline_relation.dir/relation/schema.cc.o.d"
+  "/root/repo/src/relation/table.cc" "src/CMakeFiles/skyline_relation.dir/relation/table.cc.o" "gcc" "src/CMakeFiles/skyline_relation.dir/relation/table.cc.o.d"
+  "/root/repo/src/relation/table_io.cc" "src/CMakeFiles/skyline_relation.dir/relation/table_io.cc.o" "gcc" "src/CMakeFiles/skyline_relation.dir/relation/table_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyline_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_relation.dir/relation/csv.cc.o"
+  "CMakeFiles/skyline_relation.dir/relation/csv.cc.o.d"
+  "CMakeFiles/skyline_relation.dir/relation/generator.cc.o"
+  "CMakeFiles/skyline_relation.dir/relation/generator.cc.o.d"
+  "CMakeFiles/skyline_relation.dir/relation/histogram.cc.o"
+  "CMakeFiles/skyline_relation.dir/relation/histogram.cc.o.d"
+  "CMakeFiles/skyline_relation.dir/relation/row.cc.o"
+  "CMakeFiles/skyline_relation.dir/relation/row.cc.o.d"
+  "CMakeFiles/skyline_relation.dir/relation/schema.cc.o"
+  "CMakeFiles/skyline_relation.dir/relation/schema.cc.o.d"
+  "CMakeFiles/skyline_relation.dir/relation/table.cc.o"
+  "CMakeFiles/skyline_relation.dir/relation/table.cc.o.d"
+  "CMakeFiles/skyline_relation.dir/relation/table_io.cc.o"
+  "CMakeFiles/skyline_relation.dir/relation/table_io.cc.o.d"
+  "libskyline_relation.a"
+  "libskyline_relation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_relation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sort/comparator.cc" "src/CMakeFiles/skyline_sort.dir/sort/comparator.cc.o" "gcc" "src/CMakeFiles/skyline_sort.dir/sort/comparator.cc.o.d"
+  "/root/repo/src/sort/external_sort.cc" "src/CMakeFiles/skyline_sort.dir/sort/external_sort.cc.o" "gcc" "src/CMakeFiles/skyline_sort.dir/sort/external_sort.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyline_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_sort.dir/sort/comparator.cc.o"
+  "CMakeFiles/skyline_sort.dir/sort/comparator.cc.o.d"
+  "CMakeFiles/skyline_sort.dir/sort/external_sort.cc.o"
+  "CMakeFiles/skyline_sort.dir/sort/external_sort.cc.o.d"
+  "libskyline_sort.a"
+  "libskyline_sort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_sort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_sql.dir/sql/executor.cc.o"
+  "CMakeFiles/skyline_sql.dir/sql/executor.cc.o.d"
+  "CMakeFiles/skyline_sql.dir/sql/lexer.cc.o"
+  "CMakeFiles/skyline_sql.dir/sql/lexer.cc.o.d"
+  "CMakeFiles/skyline_sql.dir/sql/parser.cc.o"
+  "CMakeFiles/skyline_sql.dir/sql/parser.cc.o.d"
+  "libskyline_sql.a"
+  "libskyline_sql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_sql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

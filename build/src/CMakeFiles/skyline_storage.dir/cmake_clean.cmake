@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skyline_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/skyline_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/skyline_storage.dir/storage/page.cc.o"
+  "CMakeFiles/skyline_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/skyline_storage.dir/storage/temp_file_manager.cc.o"
+  "CMakeFiles/skyline_storage.dir/storage/temp_file_manager.cc.o.d"
+  "libskyline_storage.a"
+  "libskyline_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skyline_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bnl_test.cc" "tests/CMakeFiles/skyline_tests.dir/bnl_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/bnl_test.cc.o.d"
+  "/root/repo/tests/cardinality_test.cc" "tests/CMakeFiles/skyline_tests.dir/cardinality_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/cardinality_test.cc.o.d"
+  "/root/repo/tests/common_util_test.cc" "tests/CMakeFiles/skyline_tests.dir/common_util_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/common_util_test.cc.o.d"
+  "/root/repo/tests/comparator_test.cc" "tests/CMakeFiles/skyline_tests.dir/comparator_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/comparator_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/skyline_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/csv_test.cc" "tests/CMakeFiles/skyline_tests.dir/csv_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/csv_test.cc.o.d"
+  "/root/repo/tests/dim_reduce_test.cc" "tests/CMakeFiles/skyline_tests.dir/dim_reduce_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/dim_reduce_test.cc.o.d"
+  "/root/repo/tests/divide_conquer_test.cc" "tests/CMakeFiles/skyline_tests.dir/divide_conquer_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/divide_conquer_test.cc.o.d"
+  "/root/repo/tests/dominance_test.cc" "tests/CMakeFiles/skyline_tests.dir/dominance_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/dominance_test.cc.o.d"
+  "/root/repo/tests/env_test.cc" "tests/CMakeFiles/skyline_tests.dir/env_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/env_test.cc.o.d"
+  "/root/repo/tests/error_injection_test.cc" "tests/CMakeFiles/skyline_tests.dir/error_injection_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/error_injection_test.cc.o.d"
+  "/root/repo/tests/exec_test.cc" "tests/CMakeFiles/skyline_tests.dir/exec_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/exec_test.cc.o.d"
+  "/root/repo/tests/external_sort_test.cc" "tests/CMakeFiles/skyline_tests.dir/external_sort_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/external_sort_test.cc.o.d"
+  "/root/repo/tests/faulty_env.cc" "tests/CMakeFiles/skyline_tests.dir/faulty_env.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/faulty_env.cc.o.d"
+  "/root/repo/tests/fuzz_differential_test.cc" "tests/CMakeFiles/skyline_tests.dir/fuzz_differential_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/fuzz_differential_test.cc.o.d"
+  "/root/repo/tests/generator_test.cc" "tests/CMakeFiles/skyline_tests.dir/generator_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/generator_test.cc.o.d"
+  "/root/repo/tests/heap_file_test.cc" "tests/CMakeFiles/skyline_tests.dir/heap_file_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/heap_file_test.cc.o.d"
+  "/root/repo/tests/histogram_test.cc" "tests/CMakeFiles/skyline_tests.dir/histogram_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/histogram_test.cc.o.d"
+  "/root/repo/tests/integration_test.cc" "tests/CMakeFiles/skyline_tests.dir/integration_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/integration_test.cc.o.d"
+  "/root/repo/tests/less_test.cc" "tests/CMakeFiles/skyline_tests.dir/less_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/less_test.cc.o.d"
+  "/root/repo/tests/maintenance_test.cc" "tests/CMakeFiles/skyline_tests.dir/maintenance_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/maintenance_test.cc.o.d"
+  "/root/repo/tests/naive_test.cc" "tests/CMakeFiles/skyline_tests.dir/naive_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/naive_test.cc.o.d"
+  "/root/repo/tests/page_test.cc" "tests/CMakeFiles/skyline_tests.dir/page_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/page_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/skyline_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/query_test.cc" "tests/CMakeFiles/skyline_tests.dir/query_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/query_test.cc.o.d"
+  "/root/repo/tests/random_test.cc" "tests/CMakeFiles/skyline_tests.dir/random_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/random_test.cc.o.d"
+  "/root/repo/tests/row_test.cc" "tests/CMakeFiles/skyline_tests.dir/row_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/row_test.cc.o.d"
+  "/root/repo/tests/schema_test.cc" "tests/CMakeFiles/skyline_tests.dir/schema_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/schema_test.cc.o.d"
+  "/root/repo/tests/scoring_test.cc" "tests/CMakeFiles/skyline_tests.dir/scoring_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/scoring_test.cc.o.d"
+  "/root/repo/tests/sfs_extensions_test.cc" "tests/CMakeFiles/skyline_tests.dir/sfs_extensions_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/sfs_extensions_test.cc.o.d"
+  "/root/repo/tests/sfs_test.cc" "tests/CMakeFiles/skyline_tests.dir/sfs_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/sfs_test.cc.o.d"
+  "/root/repo/tests/skyline_spec_test.cc" "tests/CMakeFiles/skyline_tests.dir/skyline_spec_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/skyline_spec_test.cc.o.d"
+  "/root/repo/tests/smoke_test.cc" "tests/CMakeFiles/skyline_tests.dir/smoke_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/smoke_test.cc.o.d"
+  "/root/repo/tests/special2d_test.cc" "tests/CMakeFiles/skyline_tests.dir/special2d_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/special2d_test.cc.o.d"
+  "/root/repo/tests/special3d_test.cc" "tests/CMakeFiles/skyline_tests.dir/special3d_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/special3d_test.cc.o.d"
+  "/root/repo/tests/sql_csv_integration_test.cc" "tests/CMakeFiles/skyline_tests.dir/sql_csv_integration_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/sql_csv_integration_test.cc.o.d"
+  "/root/repo/tests/sql_executor_test.cc" "tests/CMakeFiles/skyline_tests.dir/sql_executor_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/sql_executor_test.cc.o.d"
+  "/root/repo/tests/sql_lexer_test.cc" "tests/CMakeFiles/skyline_tests.dir/sql_lexer_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/sql_lexer_test.cc.o.d"
+  "/root/repo/tests/sql_parser_test.cc" "tests/CMakeFiles/skyline_tests.dir/sql_parser_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/sql_parser_test.cc.o.d"
+  "/root/repo/tests/status_test.cc" "tests/CMakeFiles/skyline_tests.dir/status_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/status_test.cc.o.d"
+  "/root/repo/tests/strata_test.cc" "tests/CMakeFiles/skyline_tests.dir/strata_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/strata_test.cc.o.d"
+  "/root/repo/tests/table_io_test.cc" "tests/CMakeFiles/skyline_tests.dir/table_io_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/table_io_test.cc.o.d"
+  "/root/repo/tests/table_test.cc" "tests/CMakeFiles/skyline_tests.dir/table_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/table_test.cc.o.d"
+  "/root/repo/tests/temp_file_manager_test.cc" "tests/CMakeFiles/skyline_tests.dir/temp_file_manager_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/temp_file_manager_test.cc.o.d"
+  "/root/repo/tests/test_util.cc" "tests/CMakeFiles/skyline_tests.dir/test_util.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/test_util.cc.o.d"
+  "/root/repo/tests/window_test.cc" "tests/CMakeFiles/skyline_tests.dir/window_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/window_test.cc.o.d"
+  "/root/repo/tests/winnow_test.cc" "tests/CMakeFiles/skyline_tests.dir/winnow_test.cc.o" "gcc" "tests/CMakeFiles/skyline_tests.dir/winnow_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skyline_sql.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_sort.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_relation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/skyline_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

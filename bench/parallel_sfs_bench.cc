@@ -1,0 +1,143 @@
+// Machine-readable benchmark for the parallel SFS engine.
+//
+// Runs the full SFS computation (presort + filter) over an anti-correlated
+// 5-dimensional table at each thread count and writes one JSON document —
+// BENCH_sfs.json by default — so CI and scripts can track rows/sec without
+// scraping human-oriented benchmark output.
+//
+// Usage: parallel_sfs_bench [output.json]
+//   SKYLINE_BENCH_SCALE=10   paper-scale table (1M rows)
+//   SKYLINE_BENCH_THREADS=1,2,4,8   thread counts to sweep
+//   SKYLINE_BENCH_REPS=3     repetitions per config (best wall time wins)
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/logging.h"
+
+namespace skyline {
+namespace bench {
+namespace {
+
+std::vector<size_t> ThreadCounts() {
+  std::vector<size_t> counts;
+  if (const char* s = std::getenv("SKYLINE_BENCH_THREADS")) {
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+      const long v = std::atol(item.c_str());
+      if (v > 0) counts.push_back(static_cast<size_t>(v));
+    }
+  }
+  if (counts.empty()) counts = {1, 2, 4, 8};
+  return counts;
+}
+
+int Reps() {
+  if (const char* s = std::getenv("SKYLINE_BENCH_REPS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<int>(v);
+  }
+  return 3;
+}
+
+struct RunResult {
+  size_t threads_requested = 0;
+  SkylineRunStats stats;
+  double wall_seconds = 0;
+};
+
+int Main(int argc, char** argv) {
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_sfs.json";
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot write " << out_path << "\n";
+    return 1;
+  }
+  constexpr int kDims = 5;
+  const Table& table =
+      DistributionTableDims(Distribution::kAntiCorrelated, kDims);
+  const SkylineSpec spec = MaxSpec(table, kDims);
+  const int reps = Reps();
+
+  std::vector<RunResult> results;
+  for (size_t threads : ThreadCounts()) {
+    RunResult best;
+    best.threads_requested = threads;
+    best.wall_seconds = -1;
+    for (int rep = 0; rep < reps; ++rep) {
+      SfsOptions options;
+      options.threads = threads;
+      SkylineRunStats stats;
+      const auto start = std::chrono::steady_clock::now();
+      auto result = ComputeSkylineSfs(table, spec, options,
+                                      "bench_psfs_out", &stats);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      SKYLINE_CHECK(result.ok()) << result.status().ToString();
+      if (best.wall_seconds < 0 || wall < best.wall_seconds) {
+        best.wall_seconds = wall;
+        best.stats = stats;
+      }
+    }
+    std::cerr << "threads=" << threads << " wall=" << best.wall_seconds
+              << "s rows/s="
+              << static_cast<uint64_t>(table.row_count() / best.wall_seconds)
+              << " skyline=" << best.stats.output_rows << "\n";
+    results.push_back(best);
+  }
+
+  out << "{\n"
+      << "  \"benchmark\": \"parallel_sfs\",\n"
+      << "  \"distribution\": \"anti_correlated\",\n"
+      << "  \"dimensions\": " << kDims << ",\n"
+      << "  \"rows\": " << table.row_count() << ",\n"
+      << "  \"repetitions\": " << reps << ",\n"
+      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n"
+      << "  \"runs\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    const SkylineRunStats& s = r.stats;
+    out << "    {\n"
+        << "      \"threads\": " << r.threads_requested << ",\n"
+        << "      \"threads_used\": " << s.threads_used << ",\n"
+        << "      \"sort_threads_used\": " << s.sort_stats.threads_used
+        << ",\n"
+        << "      \"wall_seconds\": " << r.wall_seconds << ",\n"
+        << "      \"rows_per_sec\": "
+        << static_cast<uint64_t>(table.row_count() / r.wall_seconds) << ",\n"
+        << "      \"sort_seconds\": " << s.sort_seconds << ",\n"
+        << "      \"filter_seconds\": " << s.filter_seconds << ",\n"
+        << "      \"block_scan_seconds\": " << s.block_scan_seconds << ",\n"
+        << "      \"block_merge_seconds\": " << s.block_merge_seconds << ",\n"
+        << "      \"passes\": " << s.passes << ",\n"
+        << "      \"window_comparisons\": " << s.window_comparisons << ",\n"
+        << "      \"merge_comparisons\": " << s.merge_comparisons << ",\n"
+        << "      \"output_rows\": " << s.output_rows << "\n"
+        << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  if (!out) {
+    std::cerr << "failed to write " << out_path << "\n";
+    return 1;
+  }
+  std::cerr << "wrote " << out_path << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace skyline
+
+int main(int argc, char** argv) { return skyline::bench::Main(argc, argv); }

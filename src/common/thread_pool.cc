@@ -1,0 +1,170 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <algorithm>
+#include <exception>
+
+#include "common/logging.h"
+
+namespace skyline {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t n = std::max<size_t>(1, num_threads);
+  threads_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this]() { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (auto& thread : threads_) thread.join();
+}
+
+size_t ThreadPool::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void ThreadPool::Enqueue(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    SKYLINE_CHECK(!shutting_down_) << "Submit on a destroyed ThreadPool";
+    queue_.push_back(std::move(fn));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_available_.wait(
+          lock, [this]() { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutting down and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+size_t ResolveThreadCount(size_t threads) {
+  if (threads != 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+namespace {
+
+/// Shared state of one ParallelFor call. Helper tasks hold it by
+/// shared_ptr so a helper scheduled long after the loop finished (pool
+/// backlog) still runs safely as a no-op.
+///
+/// The caller's exit condition is deliberately NOT "all helpers exited":
+/// with every worker blocked inside its own ParallelFor (nested use), the
+/// queued helpers would never get scheduled and such a wait deadlocks.
+/// Instead the caller waits until the claim counter is exhausted (or the
+/// loop cancelled) and no claimant is still inside `fn` — a helper that
+/// never runs never claims work, so it can't be waited on.
+struct ParallelForState {
+  std::atomic<size_t> next{0};
+  size_t count = 0;
+  size_t grain = 1;
+  const std::function<void(size_t)>* fn = nullptr;
+
+  std::mutex mu;
+  std::condition_variable idle;
+  /// Claimants currently executing `fn` (guarded by mu). Incremented
+  /// *before* the claim so the caller can never observe "counter exhausted,
+  /// nobody running" while a helper sits between claiming and running.
+  size_t running = 0;
+  std::exception_ptr error;
+  std::atomic<bool> cancelled{false};
+
+  /// Claims and runs grains until the counter is exhausted (or the loop is
+  /// cancelled by an exception elsewhere).
+  void RunLoop() {
+    while (!cancelled.load(std::memory_order_relaxed)) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        ++running;
+      }
+      const size_t begin = next.fetch_add(grain, std::memory_order_relaxed);
+      if (begin >= count) {
+        Leave();
+        return;
+      }
+      const size_t end = std::min(count, begin + grain);
+      for (size_t i = begin; i < end; ++i) {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          cancelled.store(true, std::memory_order_relaxed);
+          {
+            std::lock_guard<std::mutex> lock(mu);
+            if (!error) error = std::current_exception();
+          }
+          Leave();
+          return;
+        }
+      }
+      Leave();
+    }
+  }
+
+  bool Done() const {
+    return running == 0 && (cancelled.load(std::memory_order_relaxed) ||
+                            next.load(std::memory_order_relaxed) >= count);
+  }
+
+ private:
+  void Leave() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (--running == 0) idle.notify_all();
+  }
+};
+
+}  // namespace
+
+void ParallelFor(ThreadPool* pool, size_t count,
+                 const std::function<void(size_t)>& fn, size_t grain) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  if (pool == nullptr || pool->num_threads() <= 1 || count <= grain) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ParallelForState>();
+  state->count = count;
+  state->grain = grain;
+  state->fn = &fn;
+
+  // One helper per worker beyond the caller, never more than could claim a
+  // grain. Helpers are fire-and-forget: completion is tracked by the grain
+  // counter plus the running-claimant count, NOT by futures or helper
+  // exits, so helpers that never get scheduled (saturated pool) cannot
+  // block the caller.
+  const size_t max_helpers =
+      std::min(pool->num_threads(), (count + grain - 1) / grain - 1);
+  for (size_t h = 0; h < max_helpers; ++h) {
+    // A late helper (scheduled after the loop finished) sees the exhausted
+    // counter before ever touching `fn`, so it only reads the shared state
+    // it co-owns.
+    pool->Submit([state]() { state->RunLoop(); });
+  }
+
+  state->RunLoop();  // the caller always participates
+
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->idle.wait(lock, [&]() { return state->Done(); });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+}  // namespace skyline

@@ -1,24 +1,73 @@
 #include "core/dominance.h"
 
+#include <cstring>
+
 namespace skyline {
+namespace {
+
+template <typename T>
+inline int CompareAt(const char* a, const char* b, uint32_t offset) {
+  T va, vb;
+  std::memcpy(&va, a + offset, sizeof(T));
+  std::memcpy(&vb, b + offset, sizeof(T));
+  return va < vb ? -1 : (va > vb ? 1 : 0);
+}
+
+inline int CompareDomColumn(const SkylineSpec::DomColumn& dc, const char* a,
+                            const char* b) {
+  switch (dc.type) {
+    case ColumnType::kInt32:
+      return CompareAt<int32_t>(a, b, dc.offset);
+    case ColumnType::kInt64:
+      return CompareAt<int64_t>(a, b, dc.offset);
+    case ColumnType::kFloat64:
+      return CompareAt<double>(a, b, dc.offset);
+    case ColumnType::kFixedString:
+      return std::memcmp(a + dc.offset, b + dc.offset, dc.length);
+  }
+  return 0;
+}
+
+}  // namespace
 
 DomResult CompareDominance(const SkylineSpec& spec, const char* a,
                            const char* b) {
-  const Schema& schema = spec.schema();
-  for (size_t col : spec.diff_columns()) {
-    if (schema.CompareColumn(col, a, b) != 0) return DomResult::kIncomparable;
+  // Criterion layouts are offset-resolved once in SkylineSpec::Make, so the
+  // inner loops below do no per-row schema lookups.
+  for (const auto& dc : spec.dom_diff_columns()) {
+    if (CompareDomColumn(dc, a, b) != 0) return DomResult::kIncomparable;
   }
   bool a_better = false;
   bool b_better = false;
-  for (const auto& vc : spec.value_columns()) {
-    int c = schema.CompareColumn(vc.column, a, b);
-    if (!vc.max) c = -c;  // for MIN criteria smaller is better
-    if (c > 0) {
-      if (b_better) return DomResult::kIncomparable;
-      a_better = true;
-    } else if (c < 0) {
-      if (a_better) return DomResult::kIncomparable;
-      b_better = true;
+  const auto& values = spec.dom_value_columns();
+  if (spec.values_all_int32()) {
+    // All-int32 criteria (the paper's tuple shape): branch-light loop with
+    // an early incomparability exit the moment both sides have won a
+    // dimension — the overwhelmingly common outcome on independent data.
+    for (const auto& dc : values) {
+      int32_t va, vb;
+      std::memcpy(&va, a + dc.offset, sizeof(va));
+      std::memcpy(&vb, b + dc.offset, sizeof(vb));
+      if (va == vb) continue;
+      if ((va > vb) == dc.max) {
+        if (b_better) return DomResult::kIncomparable;
+        a_better = true;
+      } else {
+        if (a_better) return DomResult::kIncomparable;
+        b_better = true;
+      }
+    }
+  } else {
+    for (const auto& dc : values) {
+      int c = CompareDomColumn(dc, a, b);
+      if (!dc.max) c = -c;  // for MIN criteria smaller is better
+      if (c > 0) {
+        if (b_better) return DomResult::kIncomparable;
+        a_better = true;
+      } else if (c < 0) {
+        if (a_better) return DomResult::kIncomparable;
+        b_better = true;
+      }
     }
   }
   if (a_better) return DomResult::kFirstDominates;

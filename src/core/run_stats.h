@@ -24,12 +24,23 @@ struct SkylineRunStats {
   IoStats temp_io;
   /// Presort cost (SFS always; BNL only for forced input orders).
   SortStats sort_stats;
-  /// Pairwise dominance tests against the window.
+  /// Pairwise dominance tests against the window. For the block-parallel
+  /// filter this sums every worker's local-window tests plus the merge
+  /// phase's cross-block tests.
   uint64_t window_comparisons = 0;
   /// BNL only: tuples that replaced dominated window entries.
   uint64_t window_replacements = 0;
+  /// Worker threads the filter phase actually used (1 = sequential SFS).
+  uint64_t threads_used = 1;
+  /// Block-parallel only: cross-block dominance tests of the merge phase.
+  uint64_t merge_comparisons = 0;
   double sort_seconds = 0.0;
   double filter_seconds = 0.0;
+  /// Block-parallel only: wall time until the last block's local skyline
+  /// was available, and time spent in the cross-block merge phase (both
+  /// are within filter_seconds).
+  double block_scan_seconds = 0.0;
+  double block_merge_seconds = 0.0;
 
   double total_seconds() const { return sort_seconds + filter_seconds; }
 

@@ -4,7 +4,9 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/scoring.h"
+#include "core/sfs_parallel.h"
 
 namespace skyline {
 
@@ -178,16 +180,36 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
       case Presort::kNone:
         break;
     }
+    SortOptions sort_options = options.sort_options;
+    if (options.threads != 1 && sort_options.threads == 1) {
+      sort_options.threads = options.threads;  // one knob drives both phases
+    }
     Stopwatch sort_timer;
     SKYLINE_ASSIGN_OR_RETURN(
         sorted_path,
         SortHeapFile(env, &temp_files, input.path(), spec.schema().row_width(),
-                     *ordering, options.sort_options, &s->sort_stats));
+                     *ordering, sort_options, &s->sort_stats));
     s->sort_seconds = sort_timer.ElapsedSeconds();
   }
 
   // Phase 2: filter passes, pipelining confirmed skyline rows straight into
-  // the output table.
+  // the output table. With threads > 1 (and no residue side-output) the
+  // block-parallel filter replaces the sequential iterator.
+  if (ResolveThreadCount(options.threads) > 1 && options.residue_path.empty()) {
+    Stopwatch filter_timer;
+    ParallelSfsOptions popt;
+    popt.window_pages = options.window_pages;
+    popt.use_projection = options.use_projection;
+    popt.threads = options.threads;
+    TableBuilder builder(env, output_path, spec.schema());
+    SKYLINE_RETURN_IF_ERROR(builder.Open());
+    SKYLINE_RETURN_IF_ERROR(ParallelSfsFilter(
+        env, sorted_path, spec, popt,
+        [&builder](const char* row) { return builder.AppendRaw(row); }, s));
+    s->filter_seconds = filter_timer.ElapsedSeconds();
+    return builder.Finish();
+  }
+
   Stopwatch filter_timer;
   SfsIterator iter(env, &temp_files, sorted_path, &spec, options.window_pages,
                    options.use_projection, s);

@@ -43,6 +43,16 @@ struct SfsOptions {
   /// elimination (the w/P optimization).
   bool use_projection = true;
   Presort presort = Presort::kEntropy;
+  /// Worker threads for the whole computation. 1 (the default) is the
+  /// classic sequential algorithm. >1 enables the block-parallel filter
+  /// (core/sfs_parallel.h) with that many workers and, unless
+  /// sort_options.threads was set explicitly, the parallel presort;
+  /// 0 means one worker per hardware thread. The parallel filter emits the
+  /// same rows in the same order as sequential SFS (byte-identical when
+  /// the sequential filter needs a single pass), but materializes each
+  /// block's candidates in memory and does not support residue_path
+  /// (residue_path forces the sequential filter).
+  size_t threads = 1;
   /// Buffer pages for the presort (the paper grants the sort 1,000 pages,
   /// separate from the filter window allocation).
   SortOptions sort_options;

@@ -1,0 +1,311 @@
+#include "core/sfs_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
+#include "core/window.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+
+namespace skyline {
+namespace {
+
+Status SortViolationError() {
+  return Status::InvalidArgument(
+      "SFS input is not sorted by a monotone scoring order: a tuple "
+      "dominates one that precedes it");
+}
+
+/// Result of one worker's local filter over its sample: candidate skyline
+/// rows in position order plus that worker's counters.
+struct BlockResult {
+  Status status;
+  std::vector<char> rows;      // candidate full rows, position order
+  std::vector<uint64_t> pos;   // global record index per candidate
+  uint64_t comparisons = 0;
+  uint64_t passes = 1;
+};
+
+/// Runs the standard window filter over block `block_index`'s sample of the
+/// sorted file: chunks of `chunk_rows` records assigned round-robin across
+/// `num_blocks` blocks. The sample is a subsequence of the sorted stream,
+/// so it is itself monotone-sorted (and DIFF groups stay contiguous in it)
+/// — the window machinery applies unchanged. Window overflow is handled
+/// with in-memory multi-pass rounds over the deferred rows (the sample is a
+/// bounded slice, so deferral stays in memory rather than spilling to a
+/// temp file); candidates are restored to position order afterwards.
+BlockResult FilterBlock(Env* env, const std::string& sorted_path,
+                        const SkylineSpec& spec,
+                        const ParallelSfsOptions& options, uint64_t total,
+                        uint64_t chunk_rows, size_t num_blocks,
+                        size_t block_index) {
+  BlockResult result;
+  const size_t width = spec.schema().row_width();
+  HeapFileReader reader(env, sorted_path, width, nullptr);
+  result.status = reader.Open();
+  if (!result.status.ok()) return result;
+
+  Window window(&spec, options.window_pages, options.use_projection);
+  std::vector<char> deferred;
+  std::vector<uint64_t> deferred_pos;
+  std::vector<char> prev_row(width);
+  bool have_prev = false;
+
+  // One filtering round shared by the streaming pass and the in-memory
+  // deferral rounds.
+  auto test_row = [&](const char* row, uint64_t global_pos) -> Status {
+    if (spec.has_diff()) {
+      if (have_prev && !spec.SameDiffGroup(prev_row.data(), row)) {
+        window.Clear();
+      }
+      std::memcpy(prev_row.data(), row, width);
+      have_prev = true;
+    }
+    switch (window.Test(row)) {
+      case Window::Verdict::kDominated:
+        break;
+      case Window::Verdict::kAdded:
+      case Window::Verdict::kDuplicateSkyline:
+        result.rows.insert(result.rows.end(), row, row + width);
+        result.pos.push_back(global_pos);
+        break;
+      case Window::Verdict::kWindowFull:
+        deferred.insert(deferred.end(), row, row + width);
+        deferred_pos.push_back(global_pos);
+        break;
+      case Window::Verdict::kSortViolation:
+        return SortViolationError();
+    }
+    return Status::OK();
+  };
+
+  for (uint64_t chunk = block_index; chunk * chunk_rows < total;
+       chunk += num_blocks) {
+    const uint64_t begin = chunk * chunk_rows;
+    const uint64_t end = std::min<uint64_t>(total, begin + chunk_rows);
+    result.status = reader.SeekToRecord(begin);
+    if (!result.status.ok()) return result;
+    for (uint64_t i = begin; i < end; ++i) {
+      const char* row = reader.Next();
+      if (row == nullptr) {
+        result.status = reader.status().ok()
+                            ? Status::Corruption("sorted input truncated")
+                            : reader.status();
+        return result;
+      }
+      result.status = test_row(row, i);
+      if (!result.status.ok()) return result;
+    }
+  }
+
+  while (!deferred.empty()) {
+    ++result.passes;
+    window.Clear();
+    have_prev = false;
+    std::vector<char> round = std::move(deferred);
+    std::vector<uint64_t> round_pos = std::move(deferred_pos);
+    deferred = {};
+    deferred_pos = {};
+    for (size_t i = 0; i < round_pos.size(); ++i) {
+      result.status = test_row(round.data() + i * width, round_pos[i]);
+      if (!result.status.ok()) return result;
+    }
+  }
+
+  if (result.passes > 1) {
+    // Deferral rounds append out of order; restore position order so the
+    // global merge emits a deterministic stream.
+    std::vector<uint32_t> order(result.pos.size());
+    std::iota(order.begin(), order.end(), 0u);
+    std::stable_sort(order.begin(), order.end(),
+                     [&result](uint32_t a, uint32_t b) {
+                       return result.pos[a] < result.pos[b];
+                     });
+    std::vector<char> sorted_rows(result.rows.size());
+    std::vector<uint64_t> sorted_pos(result.pos.size());
+    for (size_t i = 0; i < order.size(); ++i) {
+      std::memcpy(sorted_rows.data() + i * width,
+                  result.rows.data() + order[i] * width, width);
+      sorted_pos[i] = result.pos[order[i]];
+    }
+    result.rows = std::move(sorted_rows);
+    result.pos = std::move(sorted_pos);
+  }
+  result.comparisons = window.comparisons();
+  return result;
+}
+
+}  // namespace
+
+Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
+                         const SkylineSpec& spec,
+                         const ParallelSfsOptions& options,
+                         const std::function<Status(const char* row)>& sink,
+                         SkylineRunStats* stats) {
+  SkylineRunStats local_stats;
+  SkylineRunStats* s = stats != nullptr ? stats : &local_stats;
+
+  const size_t width = spec.schema().row_width();
+  uint64_t total = 0;
+  {
+    HeapFileReader probe(env, sorted_path, width, nullptr);
+    SKYLINE_RETURN_IF_ERROR(probe.Open());
+    total = probe.record_count();
+  }
+  s->input_rows = total;
+  s->passes = 1;
+
+  const size_t threads = ResolveThreadCount(options.threads);
+  const uint64_t min_block = std::max<uint64_t>(1, options.min_block_rows);
+  const size_t blocks = static_cast<size_t>(std::max<uint64_t>(
+      1, std::min<uint64_t>(threads, total / min_block)));
+  s->threads_used = blocks;
+  if (total == 0) return Status::OK();
+
+  // Page-aligned stride chunks: each block samples the whole sorted stream,
+  // so every block sees its share of the strong early eliminators and local
+  // skylines stay near the global skyline's size (contiguous range blocks
+  // degenerate on anti-correlated data: later ranges, missing the early
+  // eliminators, keep nearly everything).
+  const uint64_t per_page = std::max<size_t>(1, RecordsPerPage(width));
+  const uint64_t chunk_rows =
+      options.chunk_rows > 0
+          ? options.chunk_rows
+          : per_page * ParallelSfsOptions::kDefaultChunkPages;
+
+  ThreadPool pool(std::min(threads, blocks));
+
+  Stopwatch scan_timer;
+  std::vector<std::future<BlockResult>> futures;
+  futures.reserve(blocks);
+  for (size_t k = 0; k < blocks; ++k) {
+    futures.push_back(
+        pool.Submit([env, &sorted_path, &spec, &options, total, chunk_rows,
+                     blocks, k]() {
+          return FilterBlock(env, sorted_path, spec, options, total,
+                             chunk_rows, blocks, k);
+        }));
+  }
+  std::vector<BlockResult> results;
+  results.reserve(blocks);
+  for (auto& future : futures) {
+    BlockResult block = future.get();
+    s->window_comparisons += block.comparisons;
+    s->passes = std::max<uint64_t>(s->passes, block.passes);
+    results.push_back(std::move(block));
+  }
+  s->block_scan_seconds = scan_timer.ElapsedSeconds();
+  for (const BlockResult& block : results) {
+    SKYLINE_RETURN_IF_ERROR(block.status);
+  }
+
+  // Merge phase: a candidate is a global skyline tuple iff no other block's
+  // local survivor dominates it (its own block already resolved intra-block
+  // dominance). This is sound by transitivity: any eliminated dominator of
+  // a candidate is itself dominated by some locally-surviving tuple, which
+  // then dominates the candidate too; and it is complete because local
+  // skylines are supersets of the global skyline's restriction. Every
+  // candidate is testable independently — the whole phase parallelizes.
+  Stopwatch merge_timer;
+  std::vector<std::vector<uint8_t>> keep(blocks);
+  std::vector<size_t> base(blocks + 1, 0);
+  for (size_t k = 0; k < blocks; ++k) {
+    keep[k].assign(results[k].pos.size(), 1);
+    base[k + 1] = base[k] + results[k].pos.size();
+  }
+  const size_t candidate_count = base[blocks];
+
+  std::atomic<uint64_t> merge_comparisons{0};
+  if (blocks > 1 && candidate_count > 0) {
+    const bool has_diff = spec.has_diff();
+    const size_t grain = std::max<size_t>(
+        16, candidate_count / (8 * pool.num_threads() + 1));
+    ParallelFor(
+        &pool, candidate_count,
+        [&](size_t flat) {
+          const size_t k =
+              std::upper_bound(base.begin(), base.end(), flat) -
+              base.begin() - 1;
+          const size_t i = flat - base[k];
+          const char* probe = results[k].rows.data() + i * width;
+          const uint64_t probe_pos = results[k].pos[i];
+          uint64_t tests = 0;
+          for (size_t j = 0; j < blocks && keep[k][i]; ++j) {
+            if (j == k) continue;
+            const BlockResult& other = results[j];
+            // Only earlier-position tuples can dominate (the sort order is
+            // topological w.r.t. dominance); pos is ascending per block.
+            const size_t limit =
+                std::upper_bound(other.pos.begin(), other.pos.end(),
+                                 probe_pos) -
+                other.pos.begin();
+            if (has_diff) {
+              // Position order keeps DIFF groups contiguous, so the
+              // candidate's group — the only comparable entries — is
+              // exactly the tail of the earlier-position prefix.
+              for (size_t m = limit; m-- > 0;) {
+                const char* entry = other.rows.data() + m * width;
+                if (!spec.SameDiffGroup(entry, probe)) break;
+                ++tests;
+                if (CompareDominance(spec, entry, probe) ==
+                    DomResult::kFirstDominates) {
+                  keep[k][i] = 0;
+                  break;
+                }
+              }
+            } else {
+              // Forward scan: the earliest (best-scoring) tuples are the
+              // strongest eliminators — the same heuristic that makes the
+              // sequential window effective.
+              for (size_t m = 0; m < limit; ++m) {
+                ++tests;
+                if (CompareDominance(spec, other.rows.data() + m * width,
+                                     probe) == DomResult::kFirstDominates) {
+                  keep[k][i] = 0;
+                  break;
+                }
+              }
+            }
+          }
+          merge_comparisons.fetch_add(tests, std::memory_order_relaxed);
+        },
+        grain);
+  }
+
+  // Emit survivors in global position order (k-way merge over the blocks'
+  // position-sorted candidate lists).
+  std::vector<size_t> cursor(blocks, 0);
+  for (;;) {
+    size_t best = blocks;
+    uint64_t best_pos = 0;
+    for (size_t k = 0; k < blocks; ++k) {
+      while (cursor[k] < results[k].pos.size() && !keep[k][cursor[k]]) {
+        ++cursor[k];
+      }
+      if (cursor[k] >= results[k].pos.size()) continue;
+      if (best == blocks || results[k].pos[cursor[k]] < best_pos) {
+        best = k;
+        best_pos = results[k].pos[cursor[k]];
+      }
+    }
+    if (best == blocks) break;
+    SKYLINE_RETURN_IF_ERROR(
+        sink(results[best].rows.data() + cursor[best] * width));
+    ++s->output_rows;
+    ++cursor[best];
+  }
+  s->block_merge_seconds += merge_timer.ElapsedSeconds();
+  s->merge_comparisons = merge_comparisons.load();
+  s->window_comparisons += s->merge_comparisons;
+  return Status::OK();
+}
+
+}  // namespace skyline

@@ -1,0 +1,77 @@
+#ifndef SKYLINE_CORE_SFS_PARALLEL_H_
+#define SKYLINE_CORE_SFS_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "core/run_stats.h"
+#include "core/skyline_spec.h"
+#include "env/env.h"
+
+namespace skyline {
+
+/// Options for the block-parallel SFS filter.
+struct ParallelSfsOptions {
+  /// Buffer pages for each worker's filter window (same meaning as
+  /// SfsOptions::window_pages; the budget is per worker).
+  size_t window_pages = 500;
+  /// Store projected rows in the windows, with duplicate elimination.
+  bool use_projection = true;
+  /// Worker threads; 0 means one per hardware thread.
+  size_t threads = 0;
+  /// Blocks smaller than this are not worth a task; the block count is
+  /// reduced until every block has at least this many rows.
+  uint64_t min_block_rows = 4096;
+  /// Rows per stride chunk (chunks are dealt round-robin to the blocks).
+  /// 0 picks kDefaultChunkPages pages' worth — page-aligned so no worker
+  /// reads a page for another worker's rows.
+  uint64_t chunk_rows = 0;
+  static constexpr uint64_t kDefaultChunkPages = 4;
+};
+
+/// Block-parallel SFS filter over a presorted heap file.
+///
+/// The paper's presort guarantees (Theorems 6/7) that a tuple can only be
+/// dominated by tuples *earlier* in the sorted stream. Each of the P
+/// blocks samples the stream in page-aligned round-robin chunks; a sample
+/// is a subsequence of the sorted stream, so it is itself monotone-sorted
+/// and independently filterable with the standard window machinery. The
+/// stride layout (rather than P contiguous ranges) matters for balance:
+/// every block sees its share of the strong early eliminators, keeping
+/// each local skyline near the global skyline's size, where the trailing
+/// contiguous range — all mediocre tuples whose dominators sit in earlier
+/// ranges — can degenerate to keeping nearly everything (dramatically so
+/// on anti-correlated data).
+///
+/// Block k's local skyline is a superset of the global skyline's
+/// restriction to block k. The merge phase tests each candidate against
+/// the *other* blocks' local skylines: a candidate survives iff none
+/// dominates it. That test is sound by transitivity — if any input tuple
+/// dominates the candidate, then some locally-surviving tuple does too
+/// (follow eliminator chains upward; they terminate at a local survivor) —
+/// and every candidate is testable independently, so the merge
+/// parallelizes as well. Survivors are exactly the global skyline and are
+/// emitted in global sorted order via a k-way position merge.
+///
+/// Emits exactly the rows sequential SFS emits, in the same (globally
+/// sorted) order, including DIFF-group handling and projection/dedup
+/// semantics; output is byte-identical to the sequential filter whenever
+/// the sequential filter completes in one pass. (If a worker's window
+/// overflows, the worker runs local multi-pass rounds in memory and
+/// restores position order afterwards, so the parallel output is always in
+/// sorted order — sequential SFS under overflow emits later passes after
+/// earlier ones instead.)
+///
+/// `sink` receives each confirmed skyline row (full schema() row) and may
+/// not be called again after returning an error. `stats` may be null.
+Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
+                         const SkylineSpec& spec,
+                         const ParallelSfsOptions& options,
+                         const std::function<Status(const char* row)>& sink,
+                         SkylineRunStats* stats);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_SFS_PARALLEL_H_

@@ -12,6 +12,9 @@ SkylineSpec::SkylineSpec(const SkylineSpec& other)
       criteria_(other.criteria_),
       diff_columns_(other.diff_columns_),
       value_columns_(other.value_columns_),
+      dom_diff_columns_(other.dom_diff_columns_),
+      dom_value_columns_(other.dom_value_columns_),
+      values_all_int32_(other.values_all_int32_),
       projected_schema_(other.projected_schema_),
       projected_spec_(other.projected_spec_
                           ? std::make_unique<SkylineSpec>(*other.projected_spec_)
@@ -23,6 +26,9 @@ SkylineSpec& SkylineSpec::operator=(const SkylineSpec& other) {
   criteria_ = other.criteria_;
   diff_columns_ = other.diff_columns_;
   value_columns_ = other.value_columns_;
+  dom_diff_columns_ = other.dom_diff_columns_;
+  dom_value_columns_ = other.dom_value_columns_;
+  values_all_int32_ = other.values_all_int32_;
   projected_schema_ = other.projected_schema_;
   projected_spec_ = other.projected_spec_
                         ? std::make_unique<SkylineSpec>(*other.projected_spec_)
@@ -68,6 +74,26 @@ Result<SkylineSpec> SkylineSpec::MakeImpl(const Schema& schema,
         "skyline spec needs at least one MIN/MAX criterion");
   }
   spec.criteria_ = std::move(criteria);
+
+  // Offset-resolved criterion layouts for the hot dominance comparator.
+  auto resolve = [&schema](size_t col, bool max) {
+    DomColumn dc;
+    dc.offset = static_cast<uint32_t>(schema.offset(col));
+    dc.length = static_cast<uint32_t>(schema.column_width(col));
+    dc.type = schema.column(col).type;
+    dc.max = max;
+    return dc;
+  };
+  for (size_t col : spec.diff_columns_) {
+    spec.dom_diff_columns_.push_back(resolve(col, /*max=*/true));
+  }
+  spec.values_all_int32_ = true;
+  for (const auto& vc : spec.value_columns_) {
+    spec.dom_value_columns_.push_back(resolve(vc.column, vc.max));
+    if (schema.column(vc.column).type != ColumnType::kInt32) {
+      spec.values_all_int32_ = false;
+    }
+  }
 
   // Projected layout: diff columns first, then value columns, preserving
   // each list's order. Column names survive so the projected schema is

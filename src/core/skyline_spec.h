@@ -42,6 +42,18 @@ class SkylineSpec {
     bool max;
   };
 
+  /// Criterion layout resolved to raw byte offsets, precomputed once at
+  /// Make() time so the dominance comparator — the hottest function of
+  /// every algorithm — touches no per-call schema indirection.
+  struct DomColumn {
+    uint32_t offset = 0;
+    /// Byte length; only consulted for kFixedString comparisons.
+    uint32_t length = 0;
+    ColumnType type = ColumnType::kInt32;
+    /// Value columns only: true when larger is better.
+    bool max = true;
+  };
+
   /// Validates and resolves `criteria` against `schema`:
   /// - every column must exist and appear at most once;
   /// - MIN/MAX columns must be numeric;
@@ -57,6 +69,18 @@ class SkylineSpec {
   }
   size_t num_dimensions() const { return value_columns_.size(); }
   bool has_diff() const { return !diff_columns_.empty(); }
+
+  /// Offset-resolved DIFF and MIN/MAX criterion layouts (same order as
+  /// diff_columns() / value_columns()).
+  const std::vector<DomColumn>& dom_diff_columns() const {
+    return dom_diff_columns_;
+  }
+  const std::vector<DomColumn>& dom_value_columns() const {
+    return dom_value_columns_;
+  }
+  /// True when every MIN/MAX criterion is an int32 column — the paper's
+  /// experimental shape, served by a specialized comparison loop.
+  bool values_all_int32() const { return values_all_int32_; }
 
   /// Schema holding only the skyline attributes (diff columns first, then
   /// value columns) — the paper's projection optimization stores rows in
@@ -96,6 +120,9 @@ class SkylineSpec {
   std::vector<Criterion> criteria_;
   std::vector<size_t> diff_columns_;
   std::vector<ValueColumn> value_columns_;
+  std::vector<DomColumn> dom_diff_columns_;
+  std::vector<DomColumn> dom_value_columns_;
+  bool values_all_int32_ = false;
   Schema projected_schema_;
   /// Spec over the projected layout; null when this spec is itself a
   /// projection (its projection is the identity).

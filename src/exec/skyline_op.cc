@@ -3,7 +3,9 @@
 #include <utility>
 
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/scoring.h"
+#include "core/sfs_parallel.h"
 #include "core/special2d.h"
 #include "core/special3d.h"
 
@@ -64,14 +66,18 @@ Status SkylineOperator::Open() {
        spec_.value_columns().size() == 3)) {
     // Low-dimensional special case: windowless sorted scan/sweep. Its
     // output is a materialized table, streamed like BNL's.
+    SortOptions sort_options = sfs_options_.sort_options;
+    if (sfs_options_.threads != 1 && sort_options.threads == 1) {
+      sort_options.threads = sfs_options_.threads;
+    }
     const std::string out = temp_files_.Allocate("special_result");
     SKYLINE_ASSIGN_OR_RETURN(
         Table result,
         spec_.value_columns().size() == 2
-            ? ComputeSkyline2D(*input_table_, spec_,
-                               sfs_options_.sort_options, out, &stats_)
-            : ComputeSkyline3D(*input_table_, spec_,
-                               sfs_options_.sort_options, out, &stats_));
+            ? ComputeSkyline2D(*input_table_, spec_, sort_options, out,
+                               &stats_)
+            : ComputeSkyline3D(*input_table_, spec_, sort_options, out,
+                               &stats_));
     bnl_result_.emplace(std::move(result));
     bnl_reader_ = bnl_result_->NewReader(nullptr);
     return Status::OK();
@@ -92,13 +98,39 @@ Status SkylineOperator::Open() {
       return Status::InvalidArgument(
           "Presort::kCustom requires SfsOptions::custom_ordering");
     }
+    SortOptions sort_options = sfs_options_.sort_options;
+    if (sfs_options_.threads != 1 && sort_options.threads == 1) {
+      sort_options.threads = sfs_options_.threads;
+    }
     Stopwatch sort_timer;
     SKYLINE_ASSIGN_OR_RETURN(
         sorted_path,
         SortHeapFile(env_, &temp_files_, input_table_->path(),
-                     spec_.schema().row_width(), *ordering,
-                     sfs_options_.sort_options, &stats_.sort_stats));
+                     spec_.schema().row_width(), *ordering, sort_options,
+                     &stats_.sort_stats));
     stats_.sort_seconds = sort_timer.ElapsedSeconds();
+  }
+  if (ResolveThreadCount(sfs_options_.threads) > 1 &&
+      sfs_options_.residue_path.empty()) {
+    // Block-parallel filter: materialize (the blocks are computed eagerly
+    // anyway), then stream the result like the other materialized paths.
+    Stopwatch filter_timer;
+    ParallelSfsOptions popt;
+    popt.window_pages = sfs_options_.window_pages;
+    popt.use_projection = sfs_options_.use_projection;
+    popt.threads = sfs_options_.threads;
+    const std::string out = temp_files_.Allocate("psfs_result");
+    TableBuilder builder(env_, out, spec_.schema());
+    SKYLINE_RETURN_IF_ERROR(builder.Open());
+    SKYLINE_RETURN_IF_ERROR(ParallelSfsFilter(
+        env_, sorted_path, spec_, popt,
+        [&builder](const char* row) { return builder.AppendRaw(row); },
+        &stats_));
+    stats_.filter_seconds = filter_timer.ElapsedSeconds();
+    SKYLINE_ASSIGN_OR_RETURN(Table result, builder.Finish());
+    bnl_result_.emplace(std::move(result));
+    bnl_reader_ = bnl_result_->NewReader(nullptr);
+    return Status::OK();
   }
   sfs_ = std::make_unique<SfsIterator>(
       env_, &temp_files_, sorted_path, &spec_, sfs_options_.window_pages,

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
+#include <future>
 #include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
@@ -51,6 +54,69 @@ class MergeCursor {
   bool exhausted_ = false;
 };
 
+/// Double-buffered record sink: the merge thread deposits records into the
+/// front batch while a background task appends the back batch to the
+/// writer, overlapping comparison work with page I/O. Appends are chained
+/// through a single future, so writer calls stay strictly ordered.
+class OverlappedAppender {
+ public:
+  OverlappedAppender(HeapFileWriter* writer, ThreadPool* pool,
+                     size_t record_size)
+      : writer_(writer), pool_(pool), record_size_(record_size) {
+    // Batch a few pages' worth so one handoff amortizes task overhead.
+    batch_capacity_ = 8 * RecordsPerPage(record_size);
+    if (batch_capacity_ == 0) batch_capacity_ = 1;
+    front_.reserve(batch_capacity_ * record_size_);
+    back_.reserve(batch_capacity_ * record_size_);
+  }
+
+  Status Append(const char* record) {
+    front_.insert(front_.end(), record, record + record_size_);
+    if (front_.size() >= batch_capacity_ * record_size_) {
+      return FlushBatch();
+    }
+    return Status::OK();
+  }
+
+  /// Waits for the in-flight batch and appends the tail synchronously.
+  Status Finish() {
+    SKYLINE_RETURN_IF_ERROR(FlushBatch());
+    return WaitInFlight();
+  }
+
+ private:
+  Status FlushBatch() {
+    SKYLINE_RETURN_IF_ERROR(WaitInFlight());
+    if (front_.empty()) return Status::OK();
+    front_.swap(back_);
+    front_.clear();
+    in_flight_ = pool_->Submit([this]() {
+      const size_t count = back_.size() / record_size_;
+      for (size_t i = 0; i < count; ++i) {
+        Status st = writer_->Append(back_.data() + i * record_size_);
+        if (!st.ok()) return st;
+      }
+      return Status::OK();
+    });
+    return Status::OK();
+  }
+
+  Status WaitInFlight() {
+    if (!in_flight_.valid()) return Status::OK();
+    Status st = in_flight_.get();
+    in_flight_ = std::future<Status>();
+    return st;
+  }
+
+  HeapFileWriter* writer_;
+  ThreadPool* pool_;
+  size_t record_size_;
+  size_t batch_capacity_;
+  std::vector<char> front_;
+  std::vector<char> back_;
+  std::future<Status> in_flight_;
+};
+
 }  // namespace
 
 ExternalSorter::ExternalSorter(Env* env, TempFileManager* temp_files,
@@ -69,10 +135,48 @@ ExternalSorter::ExternalSorter(Env* env, TempFileManager* temp_files,
 
 Result<std::string> ExternalSorter::Sort(const std::string& input_path) {
   *stats_ = SortStats{};
+  const size_t threads = ResolveThreadCount(options_.threads);
+  stats_->threads_used = threads;
+  if (threads > 1 && pool_ == nullptr) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
   std::vector<std::string> runs;
   SKYLINE_ASSIGN_OR_RETURN(std::string single, GenerateRuns(input_path, &runs));
   if (!single.empty()) return single;  // fit in one run
   return MergeRuns(std::move(runs));
+}
+
+Status ExternalSorter::SortAndWriteRun(std::vector<char> buffer, size_t count,
+                                       const std::string& run_path,
+                                       IoStats* io) {
+  std::vector<uint32_t> order(count);
+  for (size_t i = 0; i < count; ++i) order[i] = static_cast<uint32_t>(i);
+  if (ordering_->has_key()) {
+    std::vector<double> keys(count);
+    for (size_t i = 0; i < count; ++i) {
+      keys[i] = ordering_->Key(buffer.data() + i * record_size_);
+    }
+    std::stable_sort(order.begin(), order.end(),
+                     [&keys](uint32_t a, uint32_t b) {
+                       return keys[a] > keys[b];  // larger key first
+                     });
+  } else {
+    const char* base = buffer.data();
+    const size_t width = record_size_;
+    std::stable_sort(order.begin(), order.end(),
+                     [this, base, width](uint32_t a, uint32_t b) {
+                       return ordering_->Compare(base + a * width,
+                                                 base + b * width) < 0;
+                     });
+  }
+
+  HeapFileWriter writer(env_, run_path, record_size_, io);
+  SKYLINE_RETURN_IF_ERROR(writer.Open());
+  for (size_t i = 0; i < count; ++i) {
+    SKYLINE_RETURN_IF_ERROR(
+        writer.Append(buffer.data() + order[i] * record_size_));
+  }
+  return writer.Finish();
 }
 
 Result<std::string> ExternalSorter::GenerateRuns(
@@ -83,15 +187,37 @@ Result<std::string> ExternalSorter::GenerateRuns(
   HeapFileReader reader(env_, input_path, record_size_, nullptr);
   SKYLINE_RETURN_IF_ERROR(reader.Open());
 
-  // Record storage plus sort handles. With a scalar key ordering we sort
-  // (key, index) pairs; otherwise pointers via the comparator.
-  std::vector<char> buffer;
-  buffer.reserve(run_capacity * record_size_);
-
-  const bool by_key = ordering_->has_key();
   const uint64_t total_records = reader.record_count();
   const bool single_run = total_records <= run_capacity;
   RowFilter* filter = options_.filter;
+
+  // Pipelined run formation: the input scan stays sequential (so run
+  // boundaries — and therefore the final sorted bytes — are identical for
+  // every thread count), but whole runs are sorted and written as pool
+  // tasks while the scan fills the next buffer.
+  struct PendingRun {
+    std::future<Status> done;
+    IoStats io;
+  };
+  std::deque<PendingRun> pending;
+  const size_t max_in_flight = pool_ != nullptr ? pool_->num_threads() : 0;
+  Status background_error;
+
+  auto reap_front = [&]() {
+    Status st = pending.front().done.get();
+    {
+      std::lock_guard<std::mutex> lock(stats_mu_);
+      stats_->io += pending.front().io;
+    }
+    pending.pop_front();
+    if (!st.ok() && background_error.ok()) background_error = st;
+  };
+  auto reap_all = [&]() {
+    while (!pending.empty()) reap_front();
+  };
+
+  std::vector<char> buffer;
+  buffer.reserve(run_capacity * record_size_);
 
   while (true) {
     buffer.clear();
@@ -106,45 +232,46 @@ Result<std::string> ExternalSorter::GenerateRuns(
       buffer.insert(buffer.end(), rec, rec + record_size_);
       ++n;
     }
-    SKYLINE_RETURN_IF_ERROR(reader.status());
+    if (!reader.status().ok()) {
+      reap_all();
+      return reader.status();
+    }
     if (n == 0) break;
 
-    std::vector<uint32_t> order(n);
-    for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
-    if (by_key) {
-      std::vector<double> keys(n);
-      for (size_t i = 0; i < n; ++i) {
-        keys[i] = ordering_->Key(buffer.data() + i * record_size_);
-      }
-      std::stable_sort(order.begin(), order.end(),
-                       [&keys](uint32_t a, uint32_t b) {
-                         return keys[a] > keys[b];  // larger key first
-                       });
-    } else {
-      const char* base = buffer.data();
-      const size_t width = record_size_;
-      std::stable_sort(order.begin(), order.end(),
-                       [this, base, width](uint32_t a, uint32_t b) {
-                         return ordering_->Compare(base + a * width,
-                                                   base + b * width) < 0;
-                       });
-    }
-
     std::string run_path = temp_files_->Allocate("sortrun");
-    HeapFileWriter writer(env_, run_path, record_size_, &stats_->io);
-    SKYLINE_RETURN_IF_ERROR(writer.Open());
-    for (size_t i = 0; i < n; ++i) {
-      SKYLINE_RETURN_IF_ERROR(
-          writer.Append(buffer.data() + order[i] * record_size_));
-    }
-    SKYLINE_RETURN_IF_ERROR(writer.Finish());
-    runs->push_back(std::move(run_path));
+    runs->push_back(run_path);
     ++stats_->runs_generated;
-    if (single_run) {
-      // The whole input fit in the buffer: done after one run.
-      return runs->front();
+
+    if (pool_ != nullptr && !single_run) {
+      if (pending.size() >= max_in_flight) reap_front();
+      if (!background_error.ok()) break;  // stop scanning on task failure
+      pending.emplace_back();
+      PendingRun& slot = pending.back();
+      slot.done = pool_->Submit(
+          [this, buf = std::move(buffer), n, run_path, io = &slot.io]() mutable {
+            return SortAndWriteRun(std::move(buf), n, run_path, io);
+          });
+      buffer = std::vector<char>();
+      buffer.reserve(run_capacity * record_size_);
+    } else {
+      IoStats io;
+      Status st = SortAndWriteRun(std::move(buffer), n, run_path, &io);
+      stats_->io += io;
+      buffer = std::vector<char>();
+      buffer.reserve(run_capacity * record_size_);
+      if (!st.ok()) {
+        reap_all();
+        return st;
+      }
+      if (single_run) {
+        // The whole input fit in the buffer: done after one run.
+        return runs->front();
+      }
     }
   }
+  reap_all();
+  SKYLINE_RETURN_IF_ERROR(background_error);
+
   if (runs->empty()) {
     // Empty input: produce an empty sorted file.
     std::string path = temp_files_->Allocate("sortrun");
@@ -162,30 +289,67 @@ Result<std::string> ExternalSorter::MergeRuns(std::vector<std::string> runs) {
   const size_t fan_in = std::max<size_t>(2, options_.buffer_pages - 1);
   while (runs.size() > 1) {
     ++stats_->merge_levels;
+    // Form this level's groups up front so their outputs are allocated in
+    // order; independent groups then merge concurrently.
+    std::vector<std::vector<std::string>> groups;
     std::vector<std::string> next_level;
+    std::vector<size_t> group_slot;  // index into next_level per group
     for (size_t i = 0; i < runs.size(); i += fan_in) {
       const size_t end = std::min(runs.size(), i + fan_in);
       std::vector<std::string> group(runs.begin() + i, runs.begin() + end);
       if (group.size() == 1) {
-        next_level.push_back(group.front());
+        next_level.push_back(std::move(group.front()));
         continue;
       }
-      SKYLINE_ASSIGN_OR_RETURN(std::string merged, MergeOnce(group));
+      next_level.push_back(temp_files_->Allocate("sortmerge"));
+      group_slot.push_back(next_level.size() - 1);
+      groups.push_back(std::move(group));
+    }
+
+    if (pool_ != nullptr && groups.size() > 1) {
+      std::vector<std::future<Status>> done(groups.size());
+      std::vector<IoStats> io(groups.size());
+      for (size_t g = 0; g < groups.size(); ++g) {
+        done[g] = pool_->Submit([this, &groups, &next_level, &group_slot, &io,
+                                 g]() {
+          // No append_pool from inside a pool task: a task must not wait
+          // on work it queued behind its siblings.
+          return MergeOnce(groups[g], next_level[group_slot[g]],
+                           /*append_pool=*/nullptr, &io[g]);
+        });
+      }
+      Status first_error;
+      for (size_t g = 0; g < groups.size(); ++g) {
+        Status st = done[g].get();
+        stats_->io += io[g];
+        if (!st.ok() && first_error.ok()) first_error = st;
+      }
+      SKYLINE_RETURN_IF_ERROR(first_error);
+    } else {
+      for (size_t g = 0; g < groups.size(); ++g) {
+        IoStats io;
+        Status st = MergeOnce(groups[g], next_level[group_slot[g]],
+                              /*append_pool=*/pool_.get(), &io);
+        stats_->io += io;
+        SKYLINE_RETURN_IF_ERROR(st);
+      }
+    }
+    for (const auto& group : groups) {
       for (const auto& run : group) temp_files_->Delete(run);
-      next_level.push_back(std::move(merged));
     }
     runs = std::move(next_level);
   }
   return runs.front();
 }
 
-Result<std::string> ExternalSorter::MergeOnce(
-    const std::vector<std::string>& group) {
+Status ExternalSorter::MergeOnce(const std::vector<std::string>& group,
+                                 const std::string& out_path,
+                                 ThreadPool* append_pool, IoStats* io) {
   std::vector<std::unique_ptr<MergeCursor>> cursors;
   cursors.reserve(group.size());
   for (const auto& path : group) {
-    auto cursor = std::make_unique<MergeCursor>(env_, path, record_size_,
-                                                ordering_, &stats_->io);
+    auto cursor =
+        std::make_unique<MergeCursor>(env_, path, record_size_, ordering_, io);
     SKYLINE_RETURN_IF_ERROR(cursor->Open());
     if (!cursor->exhausted()) cursors.push_back(std::move(cursor));
   }
@@ -206,14 +370,23 @@ Result<std::string> ExternalSorter::MergeOnce(
   for (auto& c : cursors) heap.push_back(c.get());
   std::make_heap(heap.begin(), heap.end(), heap_cmp);
 
-  std::string out_path = temp_files_->Allocate("sortmerge");
-  HeapFileWriter writer(env_, out_path, record_size_, &stats_->io);
+  HeapFileWriter writer(env_, out_path, record_size_, io);
   SKYLINE_RETURN_IF_ERROR(writer.Open());
+  std::unique_ptr<OverlappedAppender> overlapped;
+  if (append_pool != nullptr) {
+    overlapped =
+        std::make_unique<OverlappedAppender>(&writer, append_pool,
+                                             record_size_);
+  }
 
   while (!heap.empty()) {
     std::pop_heap(heap.begin(), heap.end(), heap_cmp);
     MergeCursor* top = heap.back();
-    SKYLINE_RETURN_IF_ERROR(writer.Append(top->record()));
+    if (overlapped != nullptr) {
+      SKYLINE_RETURN_IF_ERROR(overlapped->Append(top->record()));
+    } else {
+      SKYLINE_RETURN_IF_ERROR(writer.Append(top->record()));
+    }
     SKYLINE_RETURN_IF_ERROR(top->Advance());
     if (top->exhausted()) {
       heap.pop_back();
@@ -221,8 +394,11 @@ Result<std::string> ExternalSorter::MergeOnce(
       std::push_heap(heap.begin(), heap.end(), heap_cmp);
     }
   }
+  if (overlapped != nullptr) {
+    SKYLINE_RETURN_IF_ERROR(overlapped->Finish());
+  }
   SKYLINE_RETURN_IF_ERROR(writer.Finish());
-  return out_path;
+  return Status::OK();
 }
 
 Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,

@@ -3,9 +3,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "env/env.h"
 #include "sort/comparator.h"
 #include "storage/io_stats.h"
@@ -33,6 +36,13 @@ struct SortOptions {
   size_t buffer_pages = 1000;
   /// Optional input filter (must outlive the sort); see RowFilter.
   RowFilter* filter = nullptr;
+  /// Worker threads for run formation and merging. 1 (the default) keeps
+  /// the classic sequential sort; 0 means one per hardware thread. The
+  /// sorted output is byte-identical for every thread count: parallelism
+  /// only changes *when* each run is sorted and each group merged, never
+  /// the run boundaries or merge tree. With T > 1, up to T in-memory runs
+  /// are in flight at once, so peak memory is ~T × buffer_pages pages.
+  size_t threads = 1;
 };
 
 /// Observability counters for one Sort() call.
@@ -41,6 +51,8 @@ struct SortStats {
   uint64_t merge_levels = 0;
   /// Records dropped by SortOptions::filter.
   uint64_t records_filtered = 0;
+  /// Worker threads the sort actually used.
+  uint64_t threads_used = 1;
   /// Pages written+read for runs and merges (excludes reading the input and
   /// counts the final output's write).
   IoStats io;
@@ -53,6 +65,12 @@ struct SortStats {
 /// When `ordering->has_key()` the sorter caches one scalar key per record
 /// (computed once per run / merge cursor) instead of invoking the
 /// multi-column comparator per comparison.
+///
+/// With SortOptions::threads > 1 the sorter parallelizes on a ThreadPool:
+/// run formation pipelines the (sequential) input scan against concurrent
+/// sort+write of whole runs, merge levels process independent run groups
+/// concurrently, and a single-group (final) merge overlaps its comparison
+/// work with page writes via a double-buffered background appender.
 class ExternalSorter {
  public:
   /// All pointers must outlive the sorter. `stats_out` may be null.
@@ -70,8 +88,18 @@ class ExternalSorter {
  private:
   Result<std::string> GenerateRuns(const std::string& input_path,
                                    std::vector<std::string>* runs);
+  /// Sorts `count` records in `buffer` and writes them to `run_path`,
+  /// accumulating page I/O into `io` (caller-local; merged later).
+  Status SortAndWriteRun(std::vector<char> buffer, size_t count,
+                         const std::string& run_path, IoStats* io);
   Result<std::string> MergeRuns(std::vector<std::string> runs);
-  Result<std::string> MergeOnce(const std::vector<std::string>& group);
+  /// Merges `group` into `out_path`. `append_pool`, when non-null, receives
+  /// the page-append work so it overlaps with comparisons; it must only be
+  /// set when MergeOnce runs on the caller thread (never from inside a pool
+  /// task, which must not wait on tasks it submitted).
+  Status MergeOnce(const std::vector<std::string>& group,
+                   const std::string& out_path, ThreadPool* append_pool,
+                   IoStats* io);
 
   Env* env_;
   TempFileManager* temp_files_;
@@ -81,6 +109,8 @@ class ExternalSorter {
   SortStats* stats_out_;
   SortStats local_stats_;
   SortStats* stats_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::mutex stats_mu_;
 };
 
 /// Convenience: sort `input_path` with `ordering` using fresh temp files in

@@ -119,7 +119,12 @@ Result<std::unique_ptr<Query>> BuildQueryFromStatement(
     });
   }
   if (!statement.skyline.empty()) {
-    query->SkylineOf(statement.skyline, options.algorithm, options.sfs);
+    SfsOptions sfs = options.sfs;
+    if (options.threads != 0) {
+      sfs.threads = options.threads;
+      sfs.sort_options.threads = options.threads;
+    }
+    query->SkylineOf(statement.skyline, options.algorithm, std::move(sfs));
   }
   if (order_by != nullptr) {
     // Before projection, so ORDER BY may reference non-selected columns;

@@ -45,6 +45,11 @@ struct SqlOptions {
   /// Options for SFS-based evaluation (the kSfs and high-dim kAuto paths;
   /// sort_options also feed the special-case scans).
   SfsOptions sfs;
+  /// Worker threads for skyline evaluation and presorting. 0 (the default)
+  /// defers to whatever `sfs` carries; any other value overrides both
+  /// sfs.threads and sfs.sort_options.threads — the session-level knob a
+  /// server would expose. 1 forces sequential execution.
+  size_t threads = 0;
   /// Temp-file prefix for pipeline steps.
   std::string temp_prefix = "sql_query";
 };

@@ -93,6 +93,28 @@ const char* HeapFileReader::Next() {
   return record;
 }
 
+Status HeapFileReader::SeekToRecord(uint64_t record) {
+  SKYLINE_CHECK(opened_) << "SeekToRecord before Open on " << path_;
+  SKYLINE_RETURN_IF_ERROR(status_);
+  if (record > record_count_) {
+    return Status::InvalidArgument("seek past end of " + path_);
+  }
+  page_.set_size(0);
+  record_index_ = 0;
+  if (record == record_count_) {
+    page_index_ = page_count_;
+    return Status::OK();
+  }
+  const uint64_t per_page = RecordsPerPage(record_size());
+  page_index_ = record / per_page;
+  if (!LoadNextPage()) {
+    return status_.ok() ? Status::OutOfRange("seek past end of " + path_)
+                        : status_;
+  }
+  record_index_ = static_cast<size_t>(record % per_page);
+  return Status::OK();
+}
+
 bool HeapFileReader::LoadNextPage() {
   if (page_index_ >= page_count_) return false;
   const uint64_t offset = page_index_ * kPageSize;

@@ -77,6 +77,12 @@ class HeapFileReader {
   /// error (check status()). The pointer is valid until the next call.
   const char* Next();
 
+  /// Repositions the stream so the next Next() returns record `record`
+  /// (0-based). Pages are fixed-size, so this is a single page fetch, which
+  /// lets the block-parallel readers jump straight to their partition.
+  /// `record` == record_count() positions at end-of-stream.
+  Status SeekToRecord(uint64_t record);
+
   /// OK unless a read failed.
   const Status& status() const { return status_; }
 

@@ -10,6 +10,7 @@ TempFileManager::TempFileManager(Env* env, std::string prefix)
 TempFileManager::~TempFileManager() { DeleteAll(); }
 
 std::string TempFileManager::Allocate(const std::string& tag) {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string path =
       prefix_ + "_" + tag + "_" + std::to_string(next_id_++) + ".heap";
   paths_.push_back(path);
@@ -20,10 +21,12 @@ void TempFileManager::Delete(const std::string& path) {
   if (env_->FileExists(path)) {
     env_->DeleteFile(path).ok();  // best effort
   }
+  std::lock_guard<std::mutex> lock(mu_);
   paths_.erase(std::remove(paths_.begin(), paths_.end(), path), paths_.end());
 }
 
 void TempFileManager::DeleteAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& path : paths_) {
     if (env_->FileExists(path)) {
       env_->DeleteFile(path).ok();  // best effort

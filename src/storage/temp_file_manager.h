@@ -2,6 +2,7 @@
 #define SKYLINE_STORAGE_TEMP_FILE_MANAGER_H_
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -12,6 +13,9 @@ namespace skyline {
 /// Hands out unique temp-file paths within an Env and deletes every file it
 /// handed out when destroyed (or on Release). The multi-pass algorithms and
 /// the external sorter use this for their intermediate heap files.
+///
+/// Allocate/Delete are thread-safe, so concurrent sort runs and parallel
+/// SFS workers can share one manager. Destruction must not race with use.
 class TempFileManager {
  public:
   /// `prefix` namespaces the generated paths (e.g. "/tmp/skyline" for a
@@ -34,11 +38,15 @@ class TempFileManager {
   void DeleteAll();
 
   Env* env() const { return env_; }
-  size_t allocated_count() const { return paths_.size(); }
+  size_t allocated_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return paths_.size();
+  }
 
  private:
   Env* env_;
   std::string prefix_;
+  mutable std::mutex mu_;
   uint64_t next_id_ = 0;
   std::vector<std::string> paths_;
 };

@@ -1,0 +1,108 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace skyline {
+namespace {
+
+TEST(ThreadPoolTest, SubmitRunsTasksAndReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 32; ++i) {
+    futures.push_back(pool.Submit([i]() { return i * i; }));
+  }
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(futures[i].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Submit(
+      []() -> int { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.Submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmitDoesNotDeadlock) {
+  // A task submits another task without waiting on it; with one worker
+  // this only terminates if submission never blocks.
+  ThreadPool pool(1);
+  std::promise<int> inner_done;
+  std::future<int> inner = inner_done.get_future();
+  pool.Submit([&pool, &inner_done] {
+        pool.Submit([&inner_done] { inner_done.set_value(42); });
+      })
+      .get();
+  EXPECT_EQ(inner.get(), 42);
+}
+
+TEST(ThreadPoolTest, ResolveThreadCount) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);  // hardware concurrency, >= 1
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(6), 6u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kCount = 10'000;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(&pool, kCount, [&hits](size_t i) { hits[i]++; },
+              /*grain=*/64);
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  ParallelFor(&pool, 0, [](size_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ParallelForTest, NullPoolRunsInline) {
+  size_t sum = 0;
+  ParallelFor(nullptr, 100, [&sum](size_t i) { sum += i; });
+  EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ParallelForTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 1000,
+                  [](size_t i) {
+                    if (i == 137) throw std::runtime_error("boom");
+                  }),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, WorksFromInsideAPoolTask) {
+  // Saturate a 2-thread pool with tasks that each run a nested
+  // ParallelFor on the same pool; caller participation guarantees
+  // completion even though no worker is free for helpers.
+  ThreadPool pool(2);
+  std::vector<std::future<size_t>> futures;
+  for (int t = 0; t < 4; ++t) {
+    futures.push_back(pool.Submit([&pool]() -> size_t {
+      std::atomic<size_t> sum{0};
+      ParallelFor(&pool, 1000, [&sum](size_t i) { sum += i; });
+      return sum.load();
+    }));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get(), 499'500u);
+}
+
+}  // namespace
+}  // namespace skyline

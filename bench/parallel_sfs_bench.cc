@@ -124,6 +124,17 @@ int Main(int argc, char** argv) {
         << "      \"passes\": " << s.passes << ",\n"
         << "      \"window_comparisons\": " << s.window_comparisons << ",\n"
         << "      \"merge_comparisons\": " << s.merge_comparisons << ",\n"
+        << "      \"batch_comparisons\": " << s.batch_comparisons << ",\n"
+        << "      \"window_blocks_pruned\": " << s.window_blocks_pruned
+        << ",\n"
+        << "      \"merge_blocks_pruned\": " << s.merge_blocks_pruned << ",\n"
+        << "      \"dominance_kernel\": \"" << s.dominance_kernel << "\",\n"
+        << "      \"comparisons_per_sec\": "
+        << static_cast<uint64_t>(
+               r.wall_seconds > 0
+                   ? static_cast<double>(s.window_comparisons) / r.wall_seconds
+                   : 0)
+        << ",\n"
         << "      \"output_rows\": " << s.output_rows << "\n"
         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }

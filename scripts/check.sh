@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: builds the repo and runs the full test suite
+# twice — a plain Release build, then an AddressSanitizer+UBSanitizer build
+# (-DSKYLINE_SANITIZE=ON) that catches the memory bugs a green Release run
+# can hide (the columnar dominance kernels deliberately read whole SIMD
+# vectors at block tails, so every such read must stay inside the padded
+# allocation).
+#
+# Usage: scripts/check.sh [build-dir-prefix]
+#   SKYLINE_CHECK_JOBS=N   parallelism for build and ctest (default nproc)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+prefix="${1:-$repo_root/build}"
+jobs="${SKYLINE_CHECK_JOBS:-$(nproc)}"
+
+run_suite() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S "$repo_root" "$@"
+  cmake --build "$build_dir" -j"$jobs"
+  ctest --test-dir "$build_dir" --output-on-failure -j"$jobs"
+}
+
+echo "== check: plain build =="
+run_suite "$prefix"
+
+echo "== check: ASan/UBSan build =="
+# halt_on_error is the default via -fno-sanitize-recover=all; detect leaks
+# stays on so window/index ownership mistakes surface too.
+UBSAN_OPTIONS="print_stacktrace=1" \
+run_suite "${prefix}-sanitize" -DSKYLINE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+
+echo "check.sh: all suites passed"

@@ -60,6 +60,16 @@ size_t ResolveThreadCount(size_t threads) {
   return hw == 0 ? 1 : hw;
 }
 
+size_t ClampThreads(size_t threads, size_t hardware) {
+  const size_t hw = std::max<size_t>(1, hardware);
+  const size_t requested = threads == 0 ? hw : threads;
+  return std::min(requested, hw);
+}
+
+size_t ClampThreadsToHardware(size_t threads) {
+  return ClampThreads(threads, std::thread::hardware_concurrency());
+}
+
 namespace {
 
 /// Shared state of one ParallelFor call. Helper tasks hold it by

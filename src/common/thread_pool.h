@@ -69,6 +69,19 @@ class ThreadPool {
 /// hardware thread", anything else is taken literally.
 size_t ResolveThreadCount(size_t threads);
 
+/// Pure clamp policy: resolves `threads` (0 = one per hardware thread)
+/// against a machine with `hardware` hardware threads and never returns
+/// more than `hardware` (or less than 1). Oversubscribing cores makes the
+/// block-parallel filter strictly slower — each extra block re-filters its
+/// own sample of the stream and inflates the all-pairs merge — so requests
+/// beyond the hardware are capped, and a cap of 1 should send callers to
+/// the sequential algorithm.
+size_t ClampThreads(size_t threads, size_t hardware);
+
+/// ClampThreads against this machine's std::thread::hardware_concurrency()
+/// (treated as 1 when the runtime reports 0).
+size_t ClampThreadsToHardware(size_t threads);
+
 /// Runs `fn(i)` for every i in [0, count), distributing iterations over
 /// `pool` (which may be null → fully inline). The calling thread always
 /// participates, claiming iterations from a shared counter, so the loop

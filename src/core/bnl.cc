@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/dominance.h"
+#include "core/dominance_batch.h"
 #include "storage/heap_file.h"
 #include "storage/page.h"
 #include "storage/temp_file_manager.h"
@@ -35,9 +36,11 @@ class BnlWindow {
   BnlWindow(const SkylineSpec* spec, size_t window_pages)
       : spec_(spec),
         width_(spec->schema().row_width()),
-        capacity_(window_pages * RecordsPerPage(width_)) {
+        capacity_(window_pages * RecordsPerPage(width_)),
+        index_(spec) {
     SKYLINE_CHECK_GT(capacity_, 0u);
     rows_.reserve(capacity_ * width_);
+    index_.Reserve(capacity_);
   }
 
   size_t size() const { return meta_.size(); }
@@ -46,11 +49,78 @@ class BnlWindow {
   const BnlEntry& MetaAt(size_t i) const { return meta_[i]; }
   uint64_t comparisons() const { return comparisons_; }
   uint64_t replacements() const { return replacements_; }
+  uint64_t batch_comparisons() const { return batch_comparisons_; }
+  uint64_t blocks_pruned() const { return blocks_pruned_; }
+  const char* kernel_name() const {
+    return index_.columnar() ? index_.kernel_name() : "row";
+  }
 
   /// Compares `row` against all entries. Returns true if `row` survives
   /// (caller inserts or spills); dominated entries have been evicted.
   /// Returns false if `row` is dominated (discard it).
   bool TestAndEvict(const char* row) {
+    return index_.columnar() ? TestAndEvictColumnar(row)
+                             : TestAndEvictRows(row);
+  }
+
+  void Insert(const char* row, uint64_t timestamp, uint64_t pass) {
+    SKYLINE_CHECK(!full());
+    rows_.insert(rows_.end(), row, row + width_);
+    index_.Append(row);
+    meta_.push_back({timestamp, pass});
+  }
+
+  void RemoveAt(size_t i) {
+    SKYLINE_CHECK_LT(i, meta_.size());
+    const size_t last = meta_.size() - 1;
+    if (i != last) {
+      std::memcpy(rows_.data() + i * width_, rows_.data() + last * width_,
+                  width_);
+      meta_[i] = meta_[last];
+    }
+    index_.RemoveSwapLast(i);
+    rows_.resize(last * width_);
+    meta_.pop_back();
+  }
+
+ private:
+  /// Batched variant: one zone-map check plus at most one kernel call per
+  /// 64-entry block. Window entries are pairwise non-dominating, so a
+  /// dominator of `row` and a victim of `row` cannot coexist — if any block
+  /// dominates, no evictions were pending, and returning early is exactly
+  /// what the row-at-a-time loop would have done.
+  bool TestAndEvictColumnar(const char* row) {
+    index_.EncodeProbe(row, &probe_);
+    evict_scratch_.clear();
+    const size_t count = meta_.size();
+    const size_t blocks = DominanceIndex::BlockCountFor(count);
+    for (size_t b = 0; b < blocks; ++b) {
+      if (index_.CanPruneBlock(probe_, b)) {
+        ++blocks_pruned_;
+        continue;
+      }
+      const uint64_t tested = index_.BlockEntries(b, count);
+      comparisons_ += tested;
+      batch_comparisons_ += tested;
+      const BlockMasks masks = index_.TestBlock(probe_, b, count);
+      if (masks.dominates != 0) return false;
+      uint64_t victims = masks.dominated;
+      while (victims != 0) {
+        const int bit = __builtin_ctzll(victims);
+        victims &= victims - 1;
+        evict_scratch_.push_back(b * DominanceIndex::kBlockEntries + bit);
+      }
+    }
+    // Evict back-to-front so swap-with-last never disturbs a smaller
+    // pending index.
+    for (size_t k = evict_scratch_.size(); k-- > 0;) {
+      ++replacements_;
+      RemoveAt(evict_scratch_[k]);
+    }
+    return true;
+  }
+
+  bool TestAndEvictRows(const char* row) {
     size_t i = 0;
     while (i < meta_.size()) {
       ++comparisons_;
@@ -71,32 +141,18 @@ class BnlWindow {
     return true;
   }
 
-  void Insert(const char* row, uint64_t timestamp, uint64_t pass) {
-    SKYLINE_CHECK(!full());
-    rows_.insert(rows_.end(), row, row + width_);
-    meta_.push_back({timestamp, pass});
-  }
-
-  void RemoveAt(size_t i) {
-    SKYLINE_CHECK_LT(i, meta_.size());
-    const size_t last = meta_.size() - 1;
-    if (i != last) {
-      std::memcpy(rows_.data() + i * width_, rows_.data() + last * width_,
-                  width_);
-      meta_[i] = meta_[last];
-    }
-    rows_.resize(last * width_);
-    meta_.pop_back();
-  }
-
- private:
   const SkylineSpec* spec_;
   size_t width_;
   size_t capacity_;
   std::vector<char> rows_;
   std::vector<BnlEntry> meta_;
+  DominanceIndex index_;
+  DominanceIndex::Probe probe_;
+  std::vector<uint32_t> evict_scratch_;
   uint64_t comparisons_ = 0;
   uint64_t replacements_ = 0;
+  uint64_t batch_comparisons_ = 0;
+  uint64_t blocks_pruned_ = 0;
 };
 
 }  // namespace
@@ -211,6 +267,9 @@ Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
   }
 
   s->window_comparisons = window.comparisons();
+  s->batch_comparisons = window.batch_comparisons();
+  s->window_blocks_pruned = window.blocks_pruned();
+  s->dominance_kernel = window.kernel_name();
   s->window_replacements = window.replacements();
   s->filter_seconds = filter_timer.ElapsedSeconds();
   return builder.Finish();

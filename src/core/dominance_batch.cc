@@ -1,0 +1,372 @@
+#include "core/dominance_batch.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define SKYLINE_BATCH_X86 1
+#include <immintrin.h>
+#endif
+
+namespace skyline {
+namespace {
+
+constexpr size_t kBlock = DominanceIndex::kBlockEntries;
+
+/// Zeroes mask bits at and above `count`.
+inline uint64_t ValidMask(size_t count) {
+  return count >= 64 ? ~uint64_t{0} : ((uint64_t{1} << count) - 1);
+}
+
+void ScalarBatch(const DominanceBatchInput& in, BlockMasks* out) {
+  uint64_t dominates = 0, dominated = 0, equal = 0;
+  for (size_t e = 0; e < in.count; ++e) {
+    bool same_group = true;
+    for (size_t d = 0; d < in.num_diffs; ++d) {
+      if (in.diff_cols[d][e] != in.probe_diffs[d]) {
+        same_group = false;
+        break;
+      }
+    }
+    if (!same_group) continue;
+    bool ge = true, le = true;  // entry >=/<= probe on every criterion
+    for (size_t d = 0; d < in.num_values && (ge || le); ++d) {
+      const int32_t v = in.value_cols[d][e];
+      const int32_t p = in.probe_values[d];
+      ge &= v >= p;
+      le &= v <= p;
+    }
+    const uint64_t bit = uint64_t{1} << e;
+    if (ge && le) {
+      equal |= bit;
+    } else if (ge) {
+      dominates |= bit;
+    } else if (le) {
+      dominated |= bit;
+    }
+  }
+  out->dominates = dominates;
+  out->dominated = dominated;
+  out->equal = equal;
+}
+
+#ifdef SKYLINE_BATCH_X86
+
+// SSE2 is part of the x86-64 baseline, so this path needs no runtime
+// feature test and no target attribute.
+void Sse2Batch(const DominanceBatchInput& in, BlockMasks* out) {
+  uint64_t dominates = 0, dominated = 0, equal = 0;
+  const size_t groups = (in.count + 3) / 4;
+  for (size_t g = 0; g < groups; ++g) {
+    const size_t base = g * 4;
+    const __m128i ones = _mm_set1_epi32(-1);
+    __m128i eq = ones;
+    for (size_t d = 0; d < in.num_diffs; ++d) {
+      const __m128i v = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in.diff_cols[d] + base));
+      eq = _mm_and_si128(eq, _mm_cmpeq_epi32(v, _mm_set1_epi32(in.probe_diffs[d])));
+    }
+    if (in.num_diffs > 0 && _mm_movemask_epi8(eq) == 0) continue;
+    __m128i ge = ones, le = ones;
+    for (size_t d = 0; d < in.num_values; ++d) {
+      const __m128i v = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in.value_cols[d] + base));
+      const __m128i p = _mm_set1_epi32(in.probe_values[d]);
+      ge = _mm_andnot_si128(_mm_cmplt_epi32(v, p), ge);  // clear where v < p
+      le = _mm_andnot_si128(_mm_cmpgt_epi32(v, p), le);  // clear where v > p
+      if (_mm_movemask_epi8(_mm_or_si128(ge, le)) == 0) break;
+    }
+    ge = _mm_and_si128(ge, eq);
+    le = _mm_and_si128(le, eq);
+    const uint64_t gm = static_cast<uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(ge)));
+    const uint64_t lm = static_cast<uint32_t>(
+        _mm_movemask_ps(_mm_castsi128_ps(le)));
+    dominates |= (gm & ~lm) << base;
+    dominated |= (lm & ~gm) << base;
+    equal |= (gm & lm) << base;
+  }
+  const uint64_t valid = ValidMask(in.count);
+  out->dominates = dominates & valid;
+  out->dominated = dominated & valid;
+  out->equal = equal & valid;
+}
+
+__attribute__((target("avx2"))) void Avx2Batch(const DominanceBatchInput& in,
+                                               BlockMasks* out) {
+  uint64_t dominates = 0, dominated = 0, equal = 0;
+  const size_t groups = (in.count + 7) / 8;
+  for (size_t g = 0; g < groups; ++g) {
+    const size_t base = g * 8;
+    const __m256i ones = _mm256_set1_epi32(-1);
+    __m256i eq = ones;
+    for (size_t d = 0; d < in.num_diffs; ++d) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in.diff_cols[d] + base));
+      eq = _mm256_and_si256(
+          eq, _mm256_cmpeq_epi32(v, _mm256_set1_epi32(in.probe_diffs[d])));
+    }
+    if (in.num_diffs > 0 && _mm256_movemask_epi8(eq) == 0) continue;
+    __m256i ge = ones, le = ones;
+    for (size_t d = 0; d < in.num_values; ++d) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in.value_cols[d] + base));
+      const __m256i p = _mm256_set1_epi32(in.probe_values[d]);
+      // AVX2 only has signed cmpgt: v<p is p>v.
+      ge = _mm256_andnot_si256(_mm256_cmpgt_epi32(p, v), ge);
+      le = _mm256_andnot_si256(_mm256_cmpgt_epi32(v, p), le);
+      if (_mm256_movemask_epi8(_mm256_or_si256(ge, le)) == 0) break;
+    }
+    ge = _mm256_and_si256(ge, eq);
+    le = _mm256_and_si256(le, eq);
+    const uint64_t gm = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(ge)));
+    const uint64_t lm = static_cast<uint32_t>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(le)));
+    dominates |= (gm & ~lm) << base;
+    dominated |= (lm & ~gm) << base;
+    equal |= (gm & lm) << base;
+  }
+  const uint64_t valid = ValidMask(in.count);
+  out->dominates = dominates & valid;
+  out->dominated = dominated & valid;
+  out->equal = equal & valid;
+}
+
+#endif  // SKYLINE_BATCH_X86
+
+const DominanceKernel kScalarKernel{"scalar", &ScalarBatch};
+#ifdef SKYLINE_BATCH_X86
+const DominanceKernel kSse2Kernel{"sse2", &Sse2Batch};
+const DominanceKernel kAvx2Kernel{"avx2", &Avx2Batch};
+#endif
+
+std::vector<const DominanceKernel*> BuildAvailable() {
+  std::vector<const DominanceKernel*> kernels{&kScalarKernel};
+#ifdef SKYLINE_BATCH_X86
+  kernels.push_back(&kSse2Kernel);
+#if defined(__GNUC__) || defined(__clang__)
+  if (__builtin_cpu_supports("avx2")) kernels.push_back(&kAvx2Kernel);
+#endif
+#endif
+  return kernels;
+}
+
+const DominanceKernel* ResolveActive() {
+  const auto& kernels = AvailableDominanceKernels();
+  if (const char* want = std::getenv("SKYLINE_DOMINANCE_KERNEL")) {
+    for (const DominanceKernel* k : kernels) {
+      if (std::string(want) == k->name) return k;
+    }
+    std::cerr << "skyline: SKYLINE_DOMINANCE_KERNEL=" << want
+              << " is not available; using " << kernels.back()->name << "\n";
+  }
+  return kernels.back();
+}
+
+}  // namespace
+
+const DominanceKernel& ScalarDominanceKernel() { return kScalarKernel; }
+
+const std::vector<const DominanceKernel*>& AvailableDominanceKernels() {
+  static const std::vector<const DominanceKernel*> kernels = BuildAvailable();
+  return kernels;
+}
+
+const DominanceKernel& ActiveDominanceKernel() {
+  static const DominanceKernel* active = ResolveActive();
+  return *active;
+}
+
+DominanceIndex::DominanceIndex(const SkylineSpec* spec,
+                               const DominanceKernel* kernel)
+    : spec_(spec),
+      kernel_(kernel != nullptr ? kernel : &ActiveDominanceKernel()) {
+  columnar_ = spec->values_all_int32() &&
+              spec->dom_value_columns().size() <= kMaxColumns &&
+              spec->dom_diff_columns().size() <= kMaxColumns;
+  for (const auto& dc : spec_->dom_diff_columns()) {
+    if (dc.type != ColumnType::kInt32) columnar_ = false;
+  }
+  if (!columnar_) return;
+  values_.resize(spec_->dom_value_columns().size());
+  value_zmin_.resize(values_.size());
+  value_zmax_.resize(values_.size());
+  diffs_.resize(spec_->dom_diff_columns().size());
+  diff_zmin_.resize(diffs_.size());
+  diff_zmax_.resize(diffs_.size());
+}
+
+void DominanceIndex::Reserve(size_t capacity) {
+  if (!columnar_) return;
+  EnsureCapacity(capacity);
+}
+
+void DominanceIndex::EnsureCapacity(size_t entries) {
+  if (entries <= padded_) return;
+  const size_t new_padded = BlockCountFor(entries) * kBlock;
+  // Blocks are zero-filled on allocation so kernel vector loads past the
+  // live count read initialized memory (lanes are masked off afterwards).
+  for (auto& col : values_) col.resize(new_padded, 0);
+  for (auto& col : diffs_) col.resize(new_padded, 0);
+  const size_t blocks = new_padded / kBlock;
+  for (auto& z : value_zmin_) z.resize(blocks, 0);
+  for (auto& z : value_zmax_) z.resize(blocks, 0);
+  for (auto& z : diff_zmin_) z.resize(blocks, 0);
+  for (auto& z : diff_zmax_) z.resize(blocks, 0);
+  padded_ = new_padded;
+}
+
+void DominanceIndex::EncodeProbe(const char* row, Probe* out) const {
+  const auto& values = spec_->dom_value_columns();
+  for (size_t d = 0; d < values.size(); ++d) {
+    int32_t v;
+    std::memcpy(&v, row + values[d].offset, sizeof(v));
+    out->values[d] = values[d].max ? v : ~v;
+  }
+  const auto& diffs = spec_->dom_diff_columns();
+  for (size_t d = 0; d < diffs.size(); ++d) {
+    std::memcpy(&out->diffs[d], row + diffs[d].offset, sizeof(int32_t));
+  }
+}
+
+void DominanceIndex::Append(const char* row) {
+  if (!columnar_) return;
+  EnsureCapacity(size_ + 1);
+  const size_t i = size_;
+  const size_t b = i / kBlock;
+  const bool block_start = (i % kBlock) == 0;
+  const auto& values = spec_->dom_value_columns();
+  for (size_t d = 0; d < values.size(); ++d) {
+    int32_t v;
+    std::memcpy(&v, row + values[d].offset, sizeof(v));
+    const int32_t key = values[d].max ? v : ~v;
+    values_[d][i] = key;
+    if (block_start) {
+      value_zmin_[d][b] = key;
+      value_zmax_[d][b] = key;
+    } else {
+      if (key < value_zmin_[d][b]) value_zmin_[d][b] = key;
+      if (key > value_zmax_[d][b]) value_zmax_[d][b] = key;
+    }
+  }
+  const auto& diffs = spec_->dom_diff_columns();
+  for (size_t d = 0; d < diffs.size(); ++d) {
+    int32_t v;
+    std::memcpy(&v, row + diffs[d].offset, sizeof(v));
+    diffs_[d][i] = v;
+    if (block_start) {
+      diff_zmin_[d][b] = v;
+      diff_zmax_[d][b] = v;
+    } else {
+      if (v < diff_zmin_[d][b]) diff_zmin_[d][b] = v;
+      if (v > diff_zmax_[d][b]) diff_zmax_[d][b] = v;
+    }
+  }
+  ++size_;
+}
+
+void DominanceIndex::ReplaceAt(size_t i, const char* row) {
+  if (!columnar_) return;
+  SKYLINE_CHECK_LT(i, size_);
+  const size_t b = i / kBlock;
+  const auto& values = spec_->dom_value_columns();
+  for (size_t d = 0; d < values.size(); ++d) {
+    int32_t v;
+    std::memcpy(&v, row + values[d].offset, sizeof(v));
+    const int32_t key = values[d].max ? v : ~v;
+    values_[d][i] = key;
+    // Widen only: the replaced entry's contribution may linger, which is
+    // sound (a too-wide zone map merely prunes less).
+    if (key < value_zmin_[d][b]) value_zmin_[d][b] = key;
+    if (key > value_zmax_[d][b]) value_zmax_[d][b] = key;
+  }
+  const auto& diffs = spec_->dom_diff_columns();
+  for (size_t d = 0; d < diffs.size(); ++d) {
+    int32_t v;
+    std::memcpy(&v, row + diffs[d].offset, sizeof(v));
+    diffs_[d][i] = v;
+    if (v < diff_zmin_[d][b]) diff_zmin_[d][b] = v;
+    if (v > diff_zmax_[d][b]) diff_zmax_[d][b] = v;
+  }
+}
+
+void DominanceIndex::RemoveSwapLast(size_t i) {
+  if (!columnar_) return;
+  SKYLINE_CHECK_LT(i, size_);
+  const size_t last = size_ - 1;
+  if (i != last) {
+    const size_t b = i / kBlock;
+    for (size_t d = 0; d < values_.size(); ++d) {
+      const int32_t key = values_[d][last];
+      values_[d][i] = key;
+      if (key < value_zmin_[d][b]) value_zmin_[d][b] = key;
+      if (key > value_zmax_[d][b]) value_zmax_[d][b] = key;
+    }
+    for (size_t d = 0; d < diffs_.size(); ++d) {
+      const int32_t v = diffs_[d][last];
+      diffs_[d][i] = v;
+      if (v < diff_zmin_[d][b]) diff_zmin_[d][b] = v;
+      if (v > diff_zmax_[d][b]) diff_zmax_[d][b] = v;
+    }
+  }
+  --size_;
+}
+
+bool DominanceIndex::CanPruneBlock(const Probe& probe, size_t b) const {
+  // A DIFF column whose block range misses the probe's group value makes
+  // every entry incomparable to the probe.
+  for (size_t d = 0; d < diffs_.size(); ++d) {
+    if (probe.diffs[d] < diff_zmin_[d][b] || probe.diffs[d] > diff_zmax_[d][b]) {
+      return true;
+    }
+  }
+  // No dominator/equal: some criterion where even the block's best key is
+  // strictly worse than the probe (no entry can be >= the probe
+  // everywhere). This alone is not enough — the block could still contain
+  // entries the probe dominates (the sort-violation / BNL-eviction case).
+  bool no_dominator = false;
+  for (size_t d = 0; d < values_.size(); ++d) {
+    if (value_zmax_[d][b] < probe.values[d]) {
+      no_dominator = true;
+      break;
+    }
+  }
+  if (!no_dominator) return false;
+  // No dominated/equal: some criterion where even the block's worst key
+  // beats the probe (no entry can be <= the probe everywhere).
+  for (size_t d = 0; d < values_.size(); ++d) {
+    if (value_zmin_[d][b] > probe.values[d]) return true;
+  }
+  return false;
+}
+
+BlockMasks DominanceIndex::TestBlock(const Probe& probe, size_t b,
+                                     size_t limit) const {
+  const size_t base = b * kBlockEntries;
+  const int32_t* value_ptrs[kMaxColumns];
+  const int32_t* diff_ptrs[kMaxColumns];
+  for (size_t d = 0; d < values_.size(); ++d) {
+    value_ptrs[d] = values_[d].data() + base;
+  }
+  for (size_t d = 0; d < diffs_.size(); ++d) {
+    diff_ptrs[d] = diffs_[d].data() + base;
+  }
+  DominanceBatchInput in;
+  in.value_cols = value_ptrs;
+  in.probe_values = probe.values;
+  in.num_values = values_.size();
+  in.diff_cols = diff_ptrs;
+  in.probe_diffs = probe.diffs;
+  in.num_diffs = diffs_.size();
+  in.count = BlockEntries(b, limit);
+  BlockMasks out;
+  kernel_->batch(in, &out);
+  return out;
+}
+
+}  // namespace skyline

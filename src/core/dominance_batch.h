@@ -1,0 +1,164 @@
+#ifndef SKYLINE_CORE_DOMINANCE_BATCH_H_
+#define SKYLINE_CORE_DOMINANCE_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/skyline_spec.h"
+
+namespace skyline {
+
+/// Batched dominance: instead of testing the probe tuple against window
+/// entries one row at a time (CompareDominance), entries live in a columnar
+/// (SoA) layout of fixed-size blocks and a SIMD kernel relates the probe to
+/// a whole block per call. Every MIN/MAX value is stored as an
+/// order-transformed int32 *key* — `v` for MAX criteria and `~v` for MIN
+/// (bitwise NOT reverses signed order without the INT32_MIN negation
+/// overflow) — so the kernel needs exactly one comparison direction:
+/// larger key == preferred. DIFF columns are stored raw and compared for
+/// equality only.
+
+/// Per-entry relation bits of one block vs the probe. Bit `i` refers to the
+/// block's entry `i`; bits at and above the tested count are always zero.
+/// For a store whose entries are pairwise non-dominating (every filter
+/// window in this codebase) at most one of the three masks is non-zero.
+struct BlockMasks {
+  /// Entry strictly dominates the probe.
+  uint64_t dominates = 0;
+  /// Probe strictly dominates the entry.
+  uint64_t dominated = 0;
+  /// Entry equals the probe on every criterion (incl. DIFF columns).
+  uint64_t equal = 0;
+};
+
+/// One batched comparison: `count` entries (<= kBlockEntries) of one block
+/// against one probe. `value_cols[d]` points at the block's contiguous keys
+/// for MIN/MAX criterion d; `diff_cols[d]` likewise for DIFF criterion d.
+/// Kernels may read a full SIMD vector past `count` within the block (the
+/// index pads blocks to kBlockEntries allocated int32s), but must mask the
+/// excess lanes out of the result.
+struct DominanceBatchInput {
+  const int32_t* const* value_cols = nullptr;
+  const int32_t* probe_values = nullptr;  // order-transformed keys
+  size_t num_values = 0;
+  const int32_t* const* diff_cols = nullptr;
+  const int32_t* probe_diffs = nullptr;  // raw values
+  size_t num_diffs = 0;
+  size_t count = 0;
+};
+
+/// A dominance kernel variant. `batch` relates one block to one probe;
+/// `name` identifies the instruction set for stats/bench attribution.
+struct DominanceKernel {
+  const char* name;  // "scalar", "sse2", or "avx2"
+  void (*batch)(const DominanceBatchInput& in, BlockMasks* out);
+};
+
+/// The portable kernel (plain int32 loops, no intrinsics). Always valid.
+const DominanceKernel& ScalarDominanceKernel();
+
+/// Kernels usable on this machine, best last (scalar[, sse2][, avx2]).
+const std::vector<const DominanceKernel*>& AvailableDominanceKernels();
+
+/// The kernel the engine uses: the best available, unless the environment
+/// variable SKYLINE_DOMINANCE_KERNEL names one of the available variants.
+/// Resolved once per process.
+const DominanceKernel& ActiveDominanceKernel();
+
+/// Columnar (SoA) mirror of a sequence of rows, holding only the skyline
+/// criterion columns in kBlockEntries-sized blocks with per-block zone
+/// maps (min/max key per criterion). Callers keep their own row storage;
+/// the index answers "how does this probe relate to entries [0, limit)?"
+/// block-at-a-time through the active DominanceKernel, after zone-map
+/// pruning proves most blocks can hold no related entry at all.
+///
+/// The index only accelerates specs whose criteria (MIN/MAX *and* DIFF)
+/// are all int32 with at most kMaxColumns of each kind — `columnar()` is
+/// false otherwise and every mutator is a no-op, so callers keep their
+/// scalar row loop as the fallback.
+class DominanceIndex {
+ public:
+  /// Entries per block: one uint64 relation mask, and a multiple of every
+  /// SIMD width in use.
+  static constexpr size_t kBlockEntries = 64;
+  /// Cap on criterion columns of each kind (probe keys live on the stack).
+  static constexpr size_t kMaxColumns = 24;
+
+  /// `spec` must outlive the index; appended rows are spec->schema() rows.
+  /// `kernel` overrides the active kernel (tests only); null = active.
+  explicit DominanceIndex(const SkylineSpec* spec,
+                          const DominanceKernel* kernel = nullptr);
+
+  DominanceIndex(DominanceIndex&&) = default;
+  DominanceIndex& operator=(DominanceIndex&&) = default;
+
+  /// True when this spec is served by the columnar fast path.
+  bool columnar() const { return columnar_; }
+  const char* kernel_name() const { return kernel_->name; }
+  size_t size() const { return size_; }
+
+  /// Pre-sizes column storage for `capacity` entries (optional).
+  void Reserve(size_t capacity);
+
+  /// Appends the criterion columns of `row` as entry index size().
+  void Append(const char* row);
+
+  /// Overwrites entry `i` with `row`'s criteria. The block's zone map is
+  /// widened, never re-tightened (stale-wide bounds only cost pruning).
+  void ReplaceAt(size_t i, const char* row);
+
+  /// Mirrors the swap-with-last removal idiom (BNL eviction): entry `i`
+  /// takes the last entry's values and the count shrinks by one.
+  void RemoveSwapLast(size_t i);
+
+  void Clear() { size_ = 0; }
+
+  /// Probe keys, precomputed once per Test so each block comparison is
+  /// pure column arithmetic. POD so it lives on the caller's stack.
+  struct Probe {
+    int32_t values[kMaxColumns];  // order-transformed keys
+    int32_t diffs[kMaxColumns];   // raw DIFF values
+  };
+  void EncodeProbe(const char* row, Probe* out) const;
+
+  /// Blocks covering entries [0, limit).
+  static size_t BlockCountFor(size_t limit) {
+    return (limit + kBlockEntries - 1) / kBlockEntries;
+  }
+
+  /// Zone-map test: true when block `b` provably holds no entry related to
+  /// the probe (no dominator, nothing dominated, no equal), so the block
+  /// need not be compared at all. Sound, not complete: a false return
+  /// promises nothing.
+  bool CanPruneBlock(const Probe& probe, size_t b) const;
+
+  /// Relates the probe to block `b`'s entries with index < limit.
+  BlockMasks TestBlock(const Probe& probe, size_t b, size_t limit) const;
+
+  /// Entries in block `b` that lie below `limit` (for comparison counts).
+  size_t BlockEntries(size_t b, size_t limit) const {
+    const size_t base = b * kBlockEntries;
+    return limit - base < kBlockEntries ? limit - base : kBlockEntries;
+  }
+
+ private:
+  void EnsureCapacity(size_t entries);
+
+  const SkylineSpec* spec_;
+  const DominanceKernel* kernel_;
+  bool columnar_ = false;
+  size_t size_ = 0;
+  size_t padded_ = 0;  // allocated entries (multiple of kBlockEntries)
+  /// values_[d][i]: order-transformed key of entry i on MIN/MAX column d.
+  std::vector<std::vector<int32_t>> values_;
+  /// diffs_[d][i]: raw value of entry i on DIFF column d.
+  std::vector<std::vector<int32_t>> diffs_;
+  /// Per-block zone maps, indexed [d][block].
+  std::vector<std::vector<int32_t>> value_zmin_, value_zmax_;
+  std::vector<std::vector<int32_t>> diff_zmin_, diff_zmax_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_DOMINANCE_BATCH_H_

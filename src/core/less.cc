@@ -20,27 +20,48 @@ EliminationFilter::EliminationFilter(const SkylineSpec* spec,
       scorer_(scorer),
       entry_width_(spec->projected_schema().row_width()),
       capacity_(window_pages * RecordsPerPage(entry_width_)),
+      index_(&spec->projected_spec()),
       scratch_(entry_width_) {
   SKYLINE_CHECK_GT(capacity_, 0u);
   storage_.reserve(capacity_ * entry_width_);
   scores_.reserve(capacity_);
+  index_.Reserve(capacity_);
 }
 
 bool EliminationFilter::Keep(const char* row) {
   spec_->ProjectRow(row, scratch_.data());
   const char* probe = scratch_.data();
-  for (size_t i = 0; i < entries_; ++i) {
-    ++comparisons_;
-    if (CompareDominance(*entry_spec_, storage_.data() + i * entry_width_,
-                         probe) == DomResult::kFirstDominates) {
-      ++dropped_;
-      return false;
+  if (index_.columnar()) {
+    // Unlike the SFS window, EF entries may dominate each other (the
+    // replacement policy is score-based, not dominance-based), so several
+    // mask classes can be set at once — but Keep only ever consumes the
+    // `dominates` mask, for which every block scan is independent.
+    DominanceIndex::Probe keys;
+    index_.EncodeProbe(probe, &keys);
+    const size_t index_blocks = DominanceIndex::BlockCountFor(entries_);
+    for (size_t b = 0; b < index_blocks; ++b) {
+      if (index_.CanPruneBlock(keys, b)) continue;
+      comparisons_ += index_.BlockEntries(b, entries_);
+      if (index_.TestBlock(keys, b, entries_).dominates != 0) {
+        ++dropped_;
+        return false;
+      }
+    }
+  } else {
+    for (size_t i = 0; i < entries_; ++i) {
+      ++comparisons_;
+      if (CompareDominance(*entry_spec_, storage_.data() + i * entry_width_,
+                           probe) == DomResult::kFirstDominates) {
+        ++dropped_;
+        return false;
+      }
     }
   }
   const double score = scorer_->Score(row);
   if (entries_ < capacity_) {
     storage_.insert(storage_.end(), probe, probe + entry_width_);
     scores_.push_back(score);
+    index_.Append(probe);
     ++entries_;
     return true;
   }
@@ -52,6 +73,7 @@ bool EliminationFilter::Keep(const char* row) {
   if (score > scores_[weakest]) {
     std::memcpy(storage_.data() + weakest * entry_width_, probe, entry_width_);
     scores_[weakest] = score;
+    index_.ReplaceAt(weakest, probe);
   }
   return true;
 }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/dominance_batch.h"
 #include "core/run_stats.h"
 #include "core/scoring.h"
 #include "core/skyline_spec.h"
@@ -46,6 +47,9 @@ class EliminationFilter : public RowFilter {
   size_t entry_width_;
   size_t capacity_;
   size_t entries_ = 0;
+  /// Columnar mirror of the window entries (block zone maps + batched
+  /// kernel) when the projected spec qualifies; scalar loop otherwise.
+  DominanceIndex index_;
   std::vector<char> storage_;
   std::vector<double> scores_;
   std::vector<char> scratch_;

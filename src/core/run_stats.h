@@ -26,8 +26,22 @@ struct SkylineRunStats {
   SortStats sort_stats;
   /// Pairwise dominance tests against the window. For the block-parallel
   /// filter this sums every worker's local-window tests plus the merge
-  /// phase's cross-block tests.
+  /// phase's cross-block tests. On the columnar window path a tested block
+  /// counts all of its entries (the batched kernel relates them at once)
+  /// and a zone-map-pruned block counts none.
   uint64_t window_comparisons = 0;
+  /// Dominance tests executed through the batched SIMD kernel — a subset
+  /// of window_comparisons; zero when the spec forces the row fallback.
+  uint64_t batch_comparisons = 0;
+  /// 64-entry window blocks skipped outright because their zone maps
+  /// proved no entry could dominate, equal, or be dominated by the probe.
+  uint64_t window_blocks_pruned = 0;
+  /// Same, for the block-parallel merge phase's candidate indexes.
+  uint64_t merge_blocks_pruned = 0;
+  /// Dominance kernel variant the filter ran with: "scalar", "sse2", or
+  /// "avx2" for the columnar window; "row" when the spec's criterion types
+  /// force the row-at-a-time comparator. Static string, never null.
+  const char* dominance_kernel = "row";
   /// BNL only: tuples that replaced dominated window entries.
   uint64_t window_replacements = 0;
   /// Worker threads the filter phase actually used (1 = sequential SFS).

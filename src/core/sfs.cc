@@ -32,7 +32,14 @@ Status SfsIterator::Open() {
   SKYLINE_RETURN_IF_ERROR(reader_->Open());
   stats_->input_rows = reader_->record_count();
   stats_->passes = 1;
+  stats_->dominance_kernel = window_.kernel_name();
   return Status::OK();
+}
+
+void SfsIterator::SyncWindowStats() {
+  stats_->window_comparisons = window_.comparisons();
+  stats_->batch_comparisons = window_.batch_comparisons();
+  stats_->window_blocks_pruned = window_.blocks_pruned();
 }
 
 const char* SfsIterator::Next() {
@@ -73,7 +80,7 @@ const char* SfsIterator::Next() {
         // Confirmed skyline: pipeline it out immediately.
         ++stats_->output_rows;
         std::memcpy(out_row_.data(), row, out_row_.size());
-        stats_->window_comparisons = window_.comparisons();
+        SyncWindowStats();
         return out_row_.data();
       case Window::Verdict::kWindowFull: {
         // Not dominated but no window space: defer to the next pass.
@@ -106,7 +113,7 @@ const char* SfsIterator::Next() {
 }
 
 bool SfsIterator::StartNextPass() {
-  stats_->window_comparisons = window_.comparisons();
+  SyncWindowStats();
   if (spill_writer_ == nullptr) {
     // Nothing was deferred: every input tuple was either emitted or
     // eliminated, so the skyline is complete.
@@ -182,7 +189,9 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
     }
     SortOptions sort_options = options.sort_options;
     if (options.threads != 1 && sort_options.threads == 1) {
-      sort_options.threads = options.threads;  // one knob drives both phases
+      // One knob drives both phases — clamped, so a request for more
+      // workers than the machine has never oversubscribes the sort either.
+      sort_options.threads = ClampThreadsToHardware(options.threads);
     }
     Stopwatch sort_timer;
     SKYLINE_ASSIGN_OR_RETURN(
@@ -193,14 +202,19 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
   }
 
   // Phase 2: filter passes, pipelining confirmed skyline rows straight into
-  // the output table. With threads > 1 (and no residue side-output) the
-  // block-parallel filter replaces the sequential iterator.
-  if (ResolveThreadCount(options.threads) > 1 && options.residue_path.empty()) {
+  // the output table. With more than one usable worker (requests are
+  // clamped to the hardware: every extra block re-filters its sample and
+  // inflates the merge, so oversubscription is a strict loss — a 1-core
+  // host ran threads=2 1.6× slower than sequential) and no residue
+  // side-output, the block-parallel filter replaces the sequential
+  // iterator; a clamp of 1 falls back to the sequential algorithm.
+  const size_t filter_threads = ClampThreadsToHardware(options.threads);
+  if (filter_threads > 1 && options.residue_path.empty()) {
     Stopwatch filter_timer;
     ParallelSfsOptions popt;
     popt.window_pages = options.window_pages;
     popt.use_projection = options.use_projection;
-    popt.threads = options.threads;
+    popt.threads = filter_threads;
     TableBuilder builder(env, output_path, spec.schema());
     SKYLINE_RETURN_IF_ERROR(builder.Open());
     SKYLINE_RETURN_IF_ERROR(ParallelSfsFilter(

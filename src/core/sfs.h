@@ -106,6 +106,9 @@ class SfsIterator {
   /// Returns false when the computation is complete (or on error).
   bool StartNextPass();
 
+  /// Publishes the window's comparison/pruning counters into stats_.
+  void SyncWindowStats();
+
   Env* env_;
   TempFileManager* temp_files_;
   std::string input_path_;  // current pass's input

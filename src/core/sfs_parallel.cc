@@ -11,6 +11,7 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/dominance_batch.h"
 #include "core/window.h"
 #include "storage/heap_file.h"
 #include "storage/page.h"
@@ -31,6 +32,8 @@ struct BlockResult {
   std::vector<char> rows;      // candidate full rows, position order
   std::vector<uint64_t> pos;   // global record index per candidate
   uint64_t comparisons = 0;
+  uint64_t batch_comparisons = 0;
+  uint64_t blocks_pruned = 0;
   uint64_t passes = 1;
 };
 
@@ -140,6 +143,8 @@ BlockResult FilterBlock(Env* env, const std::string& sorted_path,
     result.pos = std::move(sorted_pos);
   }
   result.comparisons = window.comparisons();
+  result.batch_comparisons = window.batch_comparisons();
+  result.blocks_pruned = window.blocks_pruned();
   return result;
 }
 
@@ -199,6 +204,8 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
   for (auto& future : futures) {
     BlockResult block = future.get();
     s->window_comparisons += block.comparisons;
+    s->batch_comparisons += block.batch_comparisons;
+    s->window_blocks_pruned += block.blocks_pruned;
     s->passes = std::max<uint64_t>(s->passes, block.passes);
     results.push_back(std::move(block));
   }
@@ -224,8 +231,27 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
   const size_t candidate_count = base[blocks];
 
   std::atomic<uint64_t> merge_comparisons{0};
+  std::atomic<uint64_t> merge_blocks_pruned{0};
+  std::atomic<uint64_t> merge_batch_comparisons{0};
+  const bool columnar = DominanceIndex(&spec).columnar();
   if (blocks > 1 && candidate_count > 0) {
     const bool has_diff = spec.has_diff();
+    // Columnar mirrors of every block's candidates: the merge probes reuse
+    // the same zone-map pruning + batched kernel as the window scan, which
+    // cuts the all-pairs merge from one CompareDominance per candidate
+    // pair to one kernel call per unpruned 64-candidate block.
+    std::vector<DominanceIndex> indexes;
+    if (columnar) {
+      indexes.reserve(blocks);
+      for (size_t k = 0; k < blocks; ++k) {
+        DominanceIndex index(&spec);
+        index.Reserve(results[k].pos.size());
+        for (size_t i = 0; i < results[k].pos.size(); ++i) {
+          index.Append(results[k].rows.data() + i * width);
+        }
+        indexes.push_back(std::move(index));
+      }
+    }
     const size_t grain = std::max<size_t>(
         16, candidate_count / (8 * pool.num_threads() + 1));
     ParallelFor(
@@ -238,6 +264,9 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
           const char* probe = results[k].rows.data() + i * width;
           const uint64_t probe_pos = results[k].pos[i];
           uint64_t tests = 0;
+          uint64_t pruned = 0;
+          DominanceIndex::Probe keys;
+          if (columnar) indexes[k].EncodeProbe(probe, &keys);
           for (size_t j = 0; j < blocks && keep[k][i]; ++j) {
             if (j == k) continue;
             const BlockResult& other = results[j];
@@ -247,7 +276,22 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
                 std::upper_bound(other.pos.begin(), other.pos.end(),
                                  probe_pos) -
                 other.pos.begin();
-            if (has_diff) {
+            if (columnar) {
+              // DIFF equality is folded into the kernel masks, so one loop
+              // serves both spec shapes.
+              const size_t index_blocks = DominanceIndex::BlockCountFor(limit);
+              for (size_t b = 0; b < index_blocks; ++b) {
+                if (indexes[j].CanPruneBlock(keys, b)) {
+                  ++pruned;
+                  continue;
+                }
+                tests += indexes[j].BlockEntries(b, limit);
+                if (indexes[j].TestBlock(keys, b, limit).dominates != 0) {
+                  keep[k][i] = 0;
+                  break;
+                }
+              }
+            } else if (has_diff) {
               // Position order keeps DIFF groups contiguous, so the
               // candidate's group — the only comparable entries — is
               // exactly the tail of the earlier-position prefix.
@@ -276,6 +320,11 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
             }
           }
           merge_comparisons.fetch_add(tests, std::memory_order_relaxed);
+          merge_blocks_pruned.fetch_add(pruned, std::memory_order_relaxed);
+          if (columnar) {
+            merge_batch_comparisons.fetch_add(tests,
+                                              std::memory_order_relaxed);
+          }
         },
         grain);
   }
@@ -305,6 +354,9 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
   s->block_merge_seconds += merge_timer.ElapsedSeconds();
   s->merge_comparisons = merge_comparisons.load();
   s->window_comparisons += s->merge_comparisons;
+  s->batch_comparisons += merge_batch_comparisons.load();
+  s->merge_blocks_pruned = merge_blocks_pruned.load();
+  s->dominance_kernel = columnar ? ActiveDominanceKernel().name : "row";
   return Status::OK();
 }
 

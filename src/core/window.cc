@@ -13,11 +13,13 @@ Window::Window(const SkylineSpec* spec, size_t window_pages, bool projected)
       projected_(projected),
       entry_width_(projected ? spec->projected_schema().row_width()
                              : spec->schema().row_width()),
-      capacity_(window_pages * RecordsPerPage(entry_width_)) {
+      capacity_(window_pages * RecordsPerPage(entry_width_)),
+      index_(entry_spec_) {
   SKYLINE_CHECK_GT(window_pages, 0u);
   SKYLINE_CHECK_GT(capacity_, 0u) << "entry wider than a page";
   storage_.reserve(capacity_ * entry_width_);
   scratch_.resize(entry_width_);
+  index_.Reserve(capacity_);
 }
 
 Window::Verdict Window::Test(const char* full_row) {
@@ -26,6 +28,52 @@ Window::Verdict Window::Test(const char* full_row) {
     spec_->ProjectRow(full_row, scratch_.data());
     probe = scratch_.data();
   }
+  const Verdict verdict =
+      index_.columnar() ? TestColumnar(probe) : TestRowFallback(probe);
+  if (verdict != Verdict::kAdded) return verdict;
+  if (entry_count_ == capacity_) return Verdict::kWindowFull;
+  storage_.insert(storage_.end(), probe, probe + entry_width_);
+  index_.Append(probe);
+  ++entry_count_;
+  return Verdict::kAdded;
+}
+
+/// Block-batched scan. Relation classes are mutually exclusive across the
+/// whole window (e1 ≻ probe together with probe ≽ e2 or probe ≡ e1 with
+/// probe ≻ e2 would force one entry to dominate another), so the scan can
+/// stop at the first block with any relation and the verdict is identical
+/// to the row-at-a-time first-hit loop.
+Window::Verdict Window::TestColumnar(const char* probe) {
+  index_.EncodeProbe(probe, &probe_);
+  const size_t blocks = DominanceIndex::BlockCountFor(entry_count_);
+  for (size_t b = 0; b < blocks; ++b) {
+    if (index_.CanPruneBlock(probe_, b)) {
+      ++blocks_pruned_;
+      continue;
+    }
+    const uint64_t tested = index_.BlockEntries(b, entry_count_);
+    comparisons_ += tested;
+    batch_comparisons_ += tested;
+    const BlockMasks masks = index_.TestBlock(probe_, b, entry_count_);
+    if (masks.dominates != 0) return Verdict::kDominated;
+    if (masks.dominated != 0) return Verdict::kSortViolation;
+    if (masks.equal != 0) {
+      // The probe is skyline (an equivalent confirmed entry exists, and
+      // entries are mutually non-dominating). With dedup on we need not
+      // store a second copy; without projection we store it so output
+      // mirrors the window exactly — and exclusivity says the remaining
+      // blocks hold no relation, so the scan can end either way.
+      if (projected_) return Verdict::kDuplicateSkyline;
+      break;
+    }
+  }
+  return Verdict::kAdded;
+}
+
+/// Row-at-a-time scan for specs the columnar index cannot serve (non-int32
+/// criteria). Identical to the pre-columnar Window behavior, including
+/// per-entry comparison accounting with first-hit early exit.
+Window::Verdict Window::TestRowFallback(const char* probe) {
   for (size_t i = 0; i < entry_count_; ++i) {
     const char* entry = storage_.data() + i * entry_width_;
     ++comparisons_;
@@ -33,10 +81,6 @@ Window::Verdict Window::Test(const char* full_row) {
       case DomResult::kFirstDominates:
         return Verdict::kDominated;
       case DomResult::kEquivalent:
-        // The probe is skyline (an equivalent confirmed entry exists, and
-        // entries are mutually non-dominating). With dedup on we need not
-        // store a second copy; without projection we keep scanning and
-        // store it so output mirrors the window exactly.
         if (projected_) return Verdict::kDuplicateSkyline;
         break;
       case DomResult::kSecondDominates:
@@ -47,14 +91,12 @@ Window::Verdict Window::Test(const char* full_row) {
         break;
     }
   }
-  if (entry_count_ == capacity_) return Verdict::kWindowFull;
-  storage_.insert(storage_.end(), probe, probe + entry_width_);
-  ++entry_count_;
   return Verdict::kAdded;
 }
 
 void Window::Clear() {
   storage_.clear();
+  index_.Clear();
   entry_count_ = 0;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/dominance.h"
+#include "core/dominance_batch.h"
 #include "core/skyline_spec.h"
 #include "storage/page.h"
 
@@ -19,6 +20,16 @@ namespace skyline {
 /// (spec.projected_schema()) and duplicates are eliminated — the paper's
 /// projection optimization, which fits ~2.5× more entries per page for the
 /// experimental tuple shape (40 B of attributes vs 100 B tuples).
+///
+/// Storage is hybrid: entries keep their row-major bytes (EntryAt, output)
+/// while a columnar DominanceIndex mirrors the criterion columns in
+/// 64-entry blocks with zone maps. When the spec is all-int32, Test relates
+/// the probe to a whole block per batched-kernel call and skips blocks the
+/// zone maps prove unrelated; otherwise Test falls back to the row-at-a-time
+/// CompareDominance scan. Both paths return identical verdicts: for a
+/// window (pairwise non-dominating entries, equivalents allowed) at most
+/// one relation class — dominator, equal, or dominated — can occur across
+/// all entries, so first-hit order cannot change the outcome.
 class Window {
  public:
   enum class Verdict {
@@ -60,10 +71,29 @@ class Window {
   const char* EntryAt(size_t i) const;
 
   /// Cumulative pairwise dominance tests performed — the CPU-effort metric
-  /// used to show SFS's stability vs BNL's CPU-boundedness.
+  /// used to show SFS's stability vs BNL's CPU-boundedness. The batched
+  /// path counts every entry of a tested block (it relates all of them at
+  /// once) and none of a zone-map-pruned block.
   uint64_t comparisons() const { return comparisons_; }
 
+  /// Dominance tests executed through the batched SIMD kernel (a subset of
+  /// comparisons(); zero when the spec forces the row fallback).
+  uint64_t batch_comparisons() const { return batch_comparisons_; }
+
+  /// Blocks skipped outright because their zone maps proved no entry could
+  /// relate to the probe.
+  uint64_t blocks_pruned() const { return blocks_pruned_; }
+
+  /// Kernel variant Test uses: "scalar"/"sse2"/"avx2" on the columnar
+  /// path, "row" when the spec's criteria force the row-at-a-time scan.
+  const char* kernel_name() const {
+    return index_.columnar() ? index_.kernel_name() : "row";
+  }
+
  private:
+  Verdict TestColumnar(const char* probe);
+  Verdict TestRowFallback(const char* probe);
+
   const SkylineSpec* spec_;
   /// Spec used to compare stored entries (projected or identity).
   const SkylineSpec* entry_spec_;
@@ -74,7 +104,11 @@ class Window {
   size_t entry_count_ = 0;
   std::vector<char> storage_;
   std::vector<char> scratch_;  // projection buffer for the row under test
+  DominanceIndex index_;
+  DominanceIndex::Probe probe_;
   uint64_t comparisons_ = 0;
+  uint64_t batch_comparisons_ = 0;
+  uint64_t blocks_pruned_ = 0;
 };
 
 }  // namespace skyline

@@ -1,0 +1,253 @@
+#include "core/dominance_batch.h"
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "core/dominance.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+// The batched kernels must agree bit-for-bit with CompareDominance — the
+// scalar comparator is the ground truth the whole engine's correctness
+// rests on. These tests relate random probes to random entry sets through
+// every available kernel and check each entry's mask bit against the
+// scalar verdict, across MIN/MAX mixes, DIFF specs, and counts straddling
+// the 64-entry block boundary.
+
+/// Packed int32 rows: schema a0..a{k-1}, values at byte offset 4*i.
+std::vector<char> PackRow(const Schema& schema,
+                          const std::vector<int32_t>& values) {
+  std::vector<char> row(schema.row_width(), 0);
+  for (size_t i = 0; i < values.size(); ++i) {
+    std::memcpy(row.data() + 4 * i, &values[i], 4);
+  }
+  return row;
+}
+
+Schema IntSchema(int num_attrs) {
+  std::vector<ColumnDef> cols;
+  for (int i = 0; i < num_attrs; ++i) {
+    cols.push_back(ColumnDef::Int32("a" + std::to_string(i)));
+  }
+  auto schema = Schema::Make(cols);
+  EXPECT_TRUE(schema.ok());
+  return std::move(schema).value();
+}
+
+/// Relates `probe` to every entry through `index` (all blocks) and checks
+/// each entry's mask bits against CompareDominance.
+void CheckAgainstScalar(const SkylineSpec& spec, const DominanceIndex& index,
+                        const std::vector<std::vector<char>>& rows,
+                        const char* probe, const std::string& context) {
+  ASSERT_TRUE(index.columnar());
+  DominanceIndex::Probe keys;
+  index.EncodeProbe(probe, &keys);
+  const size_t n = rows.size();
+  for (size_t b = 0; b < DominanceIndex::BlockCountFor(n); ++b) {
+    const BlockMasks masks = index.TestBlock(keys, b, n);
+    // A pruned block must have proven itself unrelated.
+    if (index.CanPruneBlock(keys, b)) {
+      EXPECT_EQ(masks.dominates, 0u) << context;
+      EXPECT_EQ(masks.dominated, 0u) << context;
+      EXPECT_EQ(masks.equal, 0u) << context;
+    }
+    const size_t base = b * DominanceIndex::kBlockEntries;
+    for (size_t lane = 0; lane < DominanceIndex::kBlockEntries; ++lane) {
+      const size_t i = base + lane;
+      const bool dominates = (masks.dominates >> lane) & 1;
+      const bool dominated = (masks.dominated >> lane) & 1;
+      const bool equal = (masks.equal >> lane) & 1;
+      if (i >= n) {
+        // Lanes past the live count must be masked off.
+        EXPECT_FALSE(dominates || dominated || equal)
+            << context << " ghost lane " << i;
+        continue;
+      }
+      const DomResult expected = CompareDominance(spec, rows[i].data(), probe);
+      EXPECT_EQ(dominates, expected == DomResult::kFirstDominates)
+          << context << " entry " << i;
+      EXPECT_EQ(dominated, expected == DomResult::kSecondDominates)
+          << context << " entry " << i;
+      EXPECT_EQ(equal, expected == DomResult::kEquivalent)
+          << context << " entry " << i;
+    }
+  }
+}
+
+TEST(DominanceBatchTest, AvailableKernelsIncludeScalar) {
+  const auto& kernels = AvailableDominanceKernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_STREQ(kernels.front()->name, "scalar");
+  // The active kernel is one of the available ones.
+  bool found = false;
+  for (const DominanceKernel* k : kernels) {
+    if (k == &ActiveDominanceKernel()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(DominanceBatchTest, DifferentialFuzzAcrossKernels) {
+  Random rng(20260806);
+  // Counts straddle the block boundary (63/64/65) plus small and
+  // multi-block sizes; dims cover 1..8 with random MIN/MAX mixes.
+  const size_t kCounts[] = {1, 7, 63, 64, 65, 130};
+  for (size_t count : kCounts) {
+    for (int dims : {1, 2, 5, 8}) {
+      Schema schema = IntSchema(dims);
+      std::vector<Criterion> directives;
+      for (int d = 0; d < dims; ++d) {
+        directives.push_back({"a" + std::to_string(d),
+                              rng.Uniform(2) == 0 ? Directive::kMin
+                                                  : Directive::kMax});
+      }
+      auto spec_or = SkylineSpec::Make(schema, directives);
+      ASSERT_TRUE(spec_or.ok());
+      const SkylineSpec spec = std::move(spec_or).value();
+
+      // Narrow range forces frequent dominance/equality; a sprinkle of
+      // INT32_MIN/INT32_MAX exercises the ~v order transform at the
+      // extremes.
+      auto draw = [&]() -> int32_t {
+        const uint64_t kind = rng.Uniform(16);
+        if (kind == 0) return INT32_MIN;
+        if (kind == 1) return INT32_MAX;
+        return rng.UniformInt32(0, 7);
+      };
+      std::vector<std::vector<char>> rows;
+      for (size_t i = 0; i < count; ++i) {
+        std::vector<int32_t> values(dims);
+        for (int d = 0; d < dims; ++d) values[d] = draw();
+        rows.push_back(PackRow(schema, values));
+      }
+
+      for (const DominanceKernel* kernel : AvailableDominanceKernels()) {
+        DominanceIndex index(&spec, kernel);
+        ASSERT_TRUE(index.columnar());
+        for (const auto& row : rows) index.Append(row.data());
+        for (int p = 0; p < 8; ++p) {
+          std::vector<int32_t> values(dims);
+          for (int d = 0; d < dims; ++d) values[d] = draw();
+          const std::vector<char> probe = PackRow(schema, values);
+          CheckAgainstScalar(spec, index, rows, probe.data(),
+                             std::string(kernel->name) + " count=" +
+                                 std::to_string(count) + " dims=" +
+                                 std::to_string(dims));
+        }
+      }
+    }
+  }
+}
+
+TEST(DominanceBatchTest, DiffColumnsGateComparability) {
+  Random rng(7);
+  Schema schema = IntSchema(4);
+  auto spec_or = SkylineSpec::Make(schema, {{"a0", Directive::kDiff},
+                                           {"a1", Directive::kMax},
+                                           {"a2", Directive::kMin},
+                                           {"a3", Directive::kDiff}});
+  ASSERT_TRUE(spec_or.ok());
+  const SkylineSpec spec = std::move(spec_or).value();
+
+  std::vector<std::vector<char>> rows;
+  for (size_t i = 0; i < 65; ++i) {
+    rows.push_back(PackRow(
+        schema, {static_cast<int32_t>(rng.Uniform(3)), rng.UniformInt32(0, 4),
+                 rng.UniformInt32(0, 4), static_cast<int32_t>(rng.Uniform(2))}));
+  }
+  for (const DominanceKernel* kernel : AvailableDominanceKernels()) {
+    DominanceIndex index(&spec, kernel);
+    ASSERT_TRUE(index.columnar());
+    for (const auto& row : rows) index.Append(row.data());
+    for (int p = 0; p < 16; ++p) {
+      const std::vector<char> probe = PackRow(
+          schema,
+          {static_cast<int32_t>(rng.Uniform(3)), rng.UniformInt32(0, 4),
+           rng.UniformInt32(0, 4), static_cast<int32_t>(rng.Uniform(2))});
+      CheckAgainstScalar(spec, index, rows, probe.data(),
+                         std::string("diff/") + kernel->name);
+    }
+  }
+}
+
+TEST(DominanceBatchTest, ReplaceAndRemoveKeepScalarAgreement) {
+  // ReplaceAt widens zone maps without re-tightening and RemoveSwapLast
+  // mirrors BNL eviction; verdicts must stay exact through both.
+  Random rng(99);
+  Schema schema = IntSchema(3);
+  auto spec_or = SkylineSpec::Make(schema, {{"a0", Directive::kMax},
+                                           {"a1", Directive::kMin},
+                                           {"a2", Directive::kMax}});
+  ASSERT_TRUE(spec_or.ok());
+  const SkylineSpec spec = std::move(spec_or).value();
+
+  auto random_row = [&]() {
+    return PackRow(schema, {rng.UniformInt32(0, 9), rng.UniformInt32(0, 9),
+                            rng.UniformInt32(0, 9)});
+  };
+  std::vector<std::vector<char>> rows;
+  DominanceIndex index(&spec);
+  ASSERT_TRUE(index.columnar());
+  for (size_t i = 0; i < 100; ++i) {
+    rows.push_back(random_row());
+    index.Append(rows.back().data());
+  }
+  for (int step = 0; step < 200; ++step) {
+    if (rows.size() > 1 && rng.Uniform(3) == 0) {
+      const size_t victim = rng.Uniform(rows.size());
+      rows[victim] = rows.back();
+      rows.pop_back();
+      index.RemoveSwapLast(victim);
+    } else {
+      const size_t target = rng.Uniform(rows.size());
+      rows[target] = random_row();
+      index.ReplaceAt(target, rows[target].data());
+    }
+    ASSERT_EQ(index.size(), rows.size());
+    const std::vector<char> probe = random_row();
+    CheckAgainstScalar(spec, index, rows, probe.data(),
+                       "mutate step " + std::to_string(step));
+  }
+}
+
+TEST(DominanceBatchTest, NonInt32SpecsFallBackToRowPath) {
+  auto schema_or = Schema::Make(
+      {ColumnDef::Int32("a"), ColumnDef::Float64("f"), ColumnDef::Int64("l")});
+  ASSERT_TRUE(schema_or.ok());
+  const Schema schema = std::move(schema_or).value();
+  for (const auto& directives : std::vector<std::vector<Criterion>>{
+           {{"a", Directive::kMax}, {"f", Directive::kMin}},
+           {{"a", Directive::kMax}, {"l", Directive::kMin}},
+           {{"f", Directive::kDiff}, {"a", Directive::kMax}}}) {
+    auto spec_or = SkylineSpec::Make(schema, directives);
+    ASSERT_TRUE(spec_or.ok());
+    const SkylineSpec spec = std::move(spec_or).value();
+    DominanceIndex index(&spec);
+    EXPECT_FALSE(index.columnar());
+    // Mutators are no-ops on a non-columnar index.
+    std::vector<char> row(schema.row_width(), 0);
+    index.Append(row.data());
+    EXPECT_EQ(index.size(), 0u);
+  }
+}
+
+TEST(DominanceBatchTest, TooManyColumnsFallBackToRowPath) {
+  const int dims = static_cast<int>(DominanceIndex::kMaxColumns) + 1;
+  Schema schema = IntSchema(dims);
+  std::vector<Criterion> directives;
+  for (int d = 0; d < dims; ++d) {
+    directives.push_back({"a" + std::to_string(d), Directive::kMax});
+  }
+  auto spec_or = SkylineSpec::Make(schema, directives);
+  ASSERT_TRUE(spec_or.ok());
+  const SkylineSpec spec = std::move(spec_or).value();
+  DominanceIndex index(&spec);
+  EXPECT_FALSE(index.columnar());
+}
+
+}  // namespace
+}  // namespace skyline

@@ -67,6 +67,31 @@ TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
   }
 }
 
+TEST(ClampThreadsTest, CapsRequestsAtHardware) {
+  EXPECT_EQ(ClampThreads(8, 4), 4u);   // oversubscription capped
+  EXPECT_EQ(ClampThreads(3, 4), 3u);   // within budget: taken literally
+  EXPECT_EQ(ClampThreads(4, 4), 4u);
+  EXPECT_EQ(ClampThreads(16, 1), 1u);  // 1-core host: always sequential
+}
+
+TEST(ClampThreadsTest, ZeroMeansOnePerHardwareThread) {
+  EXPECT_EQ(ClampThreads(0, 6), 6u);
+  EXPECT_EQ(ClampThreads(0, 1), 1u);
+}
+
+TEST(ClampThreadsTest, UnknownHardwareTreatedAsOne) {
+  // hardware_concurrency() may report 0; the clamp must stay >= 1.
+  EXPECT_EQ(ClampThreads(0, 0), 1u);
+  EXPECT_EQ(ClampThreads(8, 0), 1u);
+}
+
+TEST(ClampThreadsTest, HardwareVariantAgreesWithPurePolicy) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(ClampThreadsToHardware(64), ClampThreads(64, hw));
+  EXPECT_EQ(ClampThreadsToHardware(0), ClampThreads(0, hw));
+  EXPECT_GE(ClampThreadsToHardware(0), 1u);
+}
+
 TEST(ParallelForTest, ZeroTasksReturnsImmediately) {
   ThreadPool pool(2);
   ParallelFor(&pool, 0, [](size_t) { FAIL() << "body must not run"; });

@@ -126,13 +126,40 @@ TEST_F(WindowTest, ClearEmptiesWindow) {
 }
 
 TEST_F(WindowTest, ComparisonsAreCounted) {
+  // The columnar window charges every live entry of each *tested* block and
+  // nothing for zone-pruned blocks: an incomparable probe that the zone
+  // maps dispose of costs zero, while a dominated probe costs the whole
+  // block rather than the scalar loop's early-exit prefix.
   Window w(&*spec_, 1, false);
   auto a = Row(5, 1), b = Row(1, 5), c = Row(0, 0);
-  w.Test(a.data());                       // 0 comparisons (empty)
-  w.Test(b.data());                       // 1 comparison
-  EXPECT_EQ(w.comparisons(), 1u);
-  w.Test(c.data());                       // dominated by first entry: 1 more
+  w.Test(a.data());  // empty window: no comparisons, no block
+  w.Test(b.data());  // (1,5) vs {(5,1)}: provably unrelated -> pruned
+  EXPECT_EQ(w.comparisons(), 0u);
+  EXPECT_EQ(w.blocks_pruned(), 1u);
+  w.Test(c.data());  // (0,0) could be dominated: block of 2 is tested
   EXPECT_EQ(w.comparisons(), 2u);
+  EXPECT_EQ(w.batch_comparisons(), 2u);
+  EXPECT_EQ(w.blocks_pruned(), 1u);
+}
+
+TEST_F(WindowTest, ZoneMapsPruneUnrelatedBlocks) {
+  // 65 mutually-incomparable entries span two 64-entry blocks. The probe
+  // (100, 500) beats every entry on a0 (so no entry can dominate it) and
+  // loses to every entry on a1 (so it can dominate no entry): both blocks'
+  // zone maps prove this and the probe is admitted without a single
+  // dominance comparison.
+  Window w(&*spec_, 2, /*projected=*/false);
+  for (int i = 0; i <= 64; ++i) {
+    auto row = Row(i, 1000 - i);
+    ASSERT_EQ(w.Test(row.data()), Window::Verdict::kAdded) << i;
+  }
+  const uint64_t before = w.comparisons();
+  const uint64_t pruned_before = w.blocks_pruned();
+  auto probe = Row(100, 500);
+  EXPECT_EQ(w.Test(probe.data()), Window::Verdict::kAdded);
+  EXPECT_EQ(w.comparisons(), before);
+  EXPECT_EQ(w.blocks_pruned(), pruned_before + 2);
+  EXPECT_STRNE(w.kernel_name(), "row");  // int32 spec takes the fast path
 }
 
 TEST_F(WindowTest, DiffColumnsKeptInProjectedEntries) {

@@ -3,7 +3,9 @@
 // Runs the full SFS computation (presort + filter) over an anti-correlated
 // 5-dimensional table at each thread count and writes one JSON document —
 // BENCH_sfs.json by default — so CI and scripts can track rows/sec without
-// scraping human-oriented benchmark output.
+// scraping human-oriented benchmark output. The document carries
+// "schema_version" and embeds a full RunReport (stats + metrics + trace
+// spans) per run alongside the original flat keys.
 //
 // Usage: parallel_sfs_bench [output.json]
 //   SKYLINE_BENCH_SCALE=10   paper-scale table (1M rows)
@@ -15,9 +17,11 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "bench_common.h"
@@ -53,6 +57,9 @@ struct RunResult {
   size_t threads_requested = 0;
   SkylineRunStats stats;
   double wall_seconds = 0;
+  /// Telemetry from the winning repetition, embedded into its RunReport.
+  std::unique_ptr<MetricsRegistry> metrics;
+  std::unique_ptr<TraceSink> trace;
 };
 
 int Main(int argc, char** argv) {
@@ -74,12 +81,17 @@ int Main(int argc, char** argv) {
     best.threads_requested = threads;
     best.wall_seconds = -1;
     for (int rep = 0; rep < reps; ++rep) {
-      SfsOptions options;
-      options.threads = threads;
+      SkylineComputeOptions options;
+      options.sfs.threads = threads;
+      auto metrics = std::make_unique<MetricsRegistry>();
+      auto trace = std::make_unique<TraceSink>();
+      ExecContext ctx;
+      ctx.metrics = metrics.get();
+      ctx.trace = trace.get();
       SkylineRunStats stats;
       const auto start = std::chrono::steady_clock::now();
-      auto result = ComputeSkylineSfs(table, spec, options,
-                                      "bench_psfs_out", &stats);
+      auto result = ComputeSkyline(SkylineAlgorithm::kSfs, table, spec, ctx,
+                                   "bench_psfs_out", &stats, options);
       const double wall =
           std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                         start)
@@ -88,57 +100,74 @@ int Main(int argc, char** argv) {
       if (best.wall_seconds < 0 || wall < best.wall_seconds) {
         best.wall_seconds = wall;
         best.stats = stats;
+        best.metrics = std::move(metrics);
+        best.trace = std::move(trace);
       }
     }
     std::cerr << "threads=" << threads << " wall=" << best.wall_seconds
               << "s rows/s="
               << static_cast<uint64_t>(table.row_count() / best.wall_seconds)
               << " skyline=" << best.stats.output_rows << "\n";
-    results.push_back(best);
+    results.push_back(std::move(best));
   }
 
-  out << "{\n"
-      << "  \"benchmark\": \"parallel_sfs\",\n"
-      << "  \"distribution\": \"anti_correlated\",\n"
-      << "  \"dimensions\": " << kDims << ",\n"
-      << "  \"rows\": " << table.row_count() << ",\n"
-      << "  \"repetitions\": " << reps << ",\n"
-      << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
-      << ",\n"
-      << "  \"runs\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const RunResult& r = results[i];
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("schema_version", RunReport::kSchemaVersion);
+  json.KeyValue("benchmark", "parallel_sfs");
+  json.KeyValue("distribution", "anti_correlated");
+  json.KeyValue("dimensions", kDims);
+  json.KeyValue("rows", table.row_count());
+  json.KeyValue("repetitions", reps);
+  json.KeyValue("hardware_threads", std::thread::hardware_concurrency());
+  json.Key("runs");
+  json.BeginArray();
+  for (const RunResult& r : results) {
     const SkylineRunStats& s = r.stats;
-    out << "    {\n"
-        << "      \"threads\": " << r.threads_requested << ",\n"
-        << "      \"threads_used\": " << s.threads_used << ",\n"
-        << "      \"sort_threads_used\": " << s.sort_stats.threads_used
-        << ",\n"
-        << "      \"wall_seconds\": " << r.wall_seconds << ",\n"
-        << "      \"rows_per_sec\": "
-        << static_cast<uint64_t>(table.row_count() / r.wall_seconds) << ",\n"
-        << "      \"sort_seconds\": " << s.sort_seconds << ",\n"
-        << "      \"filter_seconds\": " << s.filter_seconds << ",\n"
-        << "      \"block_scan_seconds\": " << s.block_scan_seconds << ",\n"
-        << "      \"block_merge_seconds\": " << s.block_merge_seconds << ",\n"
-        << "      \"passes\": " << s.passes << ",\n"
-        << "      \"window_comparisons\": " << s.window_comparisons << ",\n"
-        << "      \"merge_comparisons\": " << s.merge_comparisons << ",\n"
-        << "      \"batch_comparisons\": " << s.batch_comparisons << ",\n"
-        << "      \"window_blocks_pruned\": " << s.window_blocks_pruned
-        << ",\n"
-        << "      \"merge_blocks_pruned\": " << s.merge_blocks_pruned << ",\n"
-        << "      \"dominance_kernel\": \"" << s.dominance_kernel << "\",\n"
-        << "      \"comparisons_per_sec\": "
-        << static_cast<uint64_t>(
-               r.wall_seconds > 0
-                   ? static_cast<double>(s.window_comparisons) / r.wall_seconds
-                   : 0)
-        << ",\n"
-        << "      \"output_rows\": " << s.output_rows << "\n"
-        << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    json.BeginObject();
+    json.KeyValue("threads", static_cast<uint64_t>(r.threads_requested));
+    json.KeyValue("threads_used", static_cast<uint64_t>(s.threads_used));
+    json.KeyValue("sort_threads_used",
+                  static_cast<uint64_t>(s.sort_stats.threads_used));
+    json.KeyValue("wall_seconds", r.wall_seconds);
+    json.KeyValue("rows_per_sec",
+                  static_cast<uint64_t>(table.row_count() / r.wall_seconds));
+    json.KeyValue("sort_seconds", s.sort_seconds);
+    json.KeyValue("filter_seconds", s.filter_seconds);
+    json.KeyValue("block_scan_seconds", s.block_scan_seconds);
+    json.KeyValue("block_merge_seconds", s.block_merge_seconds);
+    json.KeyValue("passes", s.passes);
+    json.KeyValue("window_comparisons", s.window_comparisons);
+    json.KeyValue("merge_comparisons", s.merge_comparisons);
+    json.KeyValue("batch_comparisons", s.batch_comparisons);
+    json.KeyValue("window_blocks_pruned", s.window_blocks_pruned);
+    json.KeyValue("merge_blocks_pruned", s.merge_blocks_pruned);
+    json.KeyValue("dominance_kernel", s.dominance_kernel);
+    json.KeyValue(
+        "comparisons_per_sec",
+        static_cast<uint64_t>(r.wall_seconds > 0
+                                  ? static_cast<double>(s.window_comparisons) /
+                                        r.wall_seconds
+                                  : 0));
+    json.KeyValue("output_rows", s.output_rows);
+    // The versioned observability artifact for the winning repetition:
+    // full stats, aggregated metrics, and the trace span log.
+    RunReport report;
+    report.tool = "parallel_sfs_bench";
+    report.algorithm = "sfs";
+    report.stats = s;
+    report.wall_seconds = r.wall_seconds;
+    report.numbers.emplace_back(
+        "threads_requested", static_cast<double>(r.threads_requested));
+    report.metrics = r.metrics.get();
+    report.trace = r.trace.get();
+    json.Key("report");
+    AppendRunReportObject(&json, report);
+    json.EndObject();
   }
-  out << "  ]\n}\n";
+  json.EndArray();
+  json.EndObject();
+  out << json.TakeString();
   if (!out) {
     std::cerr << "failed to write " << out_path << "\n";
     return 1;

@@ -9,7 +9,12 @@
 // Each CSV becomes a table named after its file stem. With no arguments a
 // demo session over the GoodEats guide runs, including the paper's
 // Figure 4 query verbatim.
+//
+// `--stats=json|text|off` (default off) attaches metrics + trace sinks to
+// the execution context and prints a per-query RunReport to stderr — the
+// versioned JSON observability document, or a human-readable summary.
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -20,6 +25,8 @@
 namespace {
 
 using namespace skyline;
+
+enum class StatsMode { kOff, kText, kJson };
 
 std::string FileStem(const std::string& path) {
   const size_t slash = path.find_last_of('/');
@@ -58,7 +65,8 @@ void PrintRow(const RowView& row) {
   std::printf("\n");
 }
 
-Status RunQuery(const Catalog& catalog, const std::string& sql) {
+Status RunQuery(const Catalog& catalog, const std::string& sql,
+                StatsMode stats_mode) {
   std::fprintf(stderr, "sql> %s\n", sql.c_str());
   // `EXPLAIN <query>` prints the operator plan instead of executing.
   if (sql.size() > 8 &&
@@ -69,10 +77,18 @@ Status RunQuery(const Catalog& catalog, const std::string& sql) {
     std::fprintf(stderr, "\n");
     return Status::OK();
   }
+  MetricsRegistry metrics;
+  TraceSink trace;
+  SqlOptions options;
+  if (stats_mode != StatsMode::kOff) {
+    options.exec.metrics = &metrics;
+    options.exec.trace = &trace;
+  }
   bool printed_header = false;
   int rows = 0;
+  const auto start = std::chrono::steady_clock::now();
   SKYLINE_RETURN_IF_ERROR(
-      ExecuteSql(catalog, sql, SqlOptions{}, [&](const RowView& row) {
+      ExecuteSql(catalog, sql, options, [&](const RowView& row) {
         if (!printed_header) {
           PrintHeader(row.schema());
           printed_header = true;
@@ -81,18 +97,37 @@ Status RunQuery(const Catalog& catalog, const std::string& sql) {
         ++rows;
         return Status::OK();
       }));
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
   std::fprintf(stderr, "(%d row%s)\n\n", rows, rows == 1 ? "" : "s");
+  if (stats_mode != StatsMode::kOff) {
+    // Per-run counters land in `metrics` under "skyline.<algorithm>.*"
+    // when the skyline stream is exhausted; spans land in `trace`.
+    RunReport report;
+    report.tool = "sql_shell";
+    report.wall_seconds = wall;
+    report.labels.emplace_back("query", sql);
+    report.numbers.emplace_back("rows_printed", static_cast<double>(rows));
+    report.metrics = &metrics;
+    report.trace = &trace;
+    const std::string rendered = stats_mode == StatsMode::kJson
+                                     ? RenderRunReportJson(report)
+                                     : RenderRunReportText(report);
+    std::fputs(rendered.c_str(), stderr);
+    std::fprintf(stderr, "\n");
+  }
   return Status::OK();
 }
 
-Status RunFiles(int argc, char** argv) {
+Status RunFiles(const std::vector<std::string>& args, StatsMode stats_mode) {
   Env* env = Env::Memory();
   Catalog catalog(env);
   std::vector<Table> tables;
-  tables.reserve(static_cast<size_t>(argc));
+  tables.reserve(args.size());
   // All arguments but the last are CSV files; the last is the query.
-  for (int i = 1; i < argc - 1; ++i) {
-    const std::string path = argv[i];
+  for (size_t i = 0; i + 1 < args.size(); ++i) {
+    const std::string& path = args[i];
     const std::string name = FileStem(path);
     SKYLINE_ASSIGN_OR_RETURN(Table table,
                              ReadCsvFile(env, path, "csv_" + name));
@@ -104,10 +139,10 @@ Status RunFiles(int argc, char** argv) {
     catalog.Register(name, &tables.back());
   }
   std::fprintf(stderr, "\n");
-  return RunQuery(catalog, argv[argc - 1]);
+  return RunQuery(catalog, args.back(), stats_mode);
 }
 
-Status RunDemo() {
+Status RunDemo(StatsMode stats_mode) {
   std::fprintf(stderr, "no arguments: demo session over the paper's "
                        "GoodEats guide\n\n");
   Env* env = Env::Memory();
@@ -117,19 +152,25 @@ Status RunDemo() {
   // Figure 4 of the paper, verbatim.
   SKYLINE_RETURN_IF_ERROR(RunQuery(
       catalog,
-      "select * from GoodEats skyline of S max, F max, D max, price min"));
-  SKYLINE_RETURN_IF_ERROR(RunQuery(
-      catalog, "SELECT restaurant, price FROM GoodEats WHERE price < 55 "
-               "SKYLINE OF F MAX, price MIN"));
+      "select * from GoodEats skyline of S max, F max, D max, price min",
+      stats_mode));
   SKYLINE_RETURN_IF_ERROR(RunQuery(
       catalog,
-      "SELECT restaurant FROM GoodEats SKYLINE OF D DIFF, price MIN LIMIT 3"));
+      "SELECT restaurant, price FROM GoodEats WHERE price < 55 "
+      "SKYLINE OF F MAX, price MIN",
+      stats_mode));
+  SKYLINE_RETURN_IF_ERROR(RunQuery(
+      catalog,
+      "SELECT restaurant FROM GoodEats SKYLINE OF D DIFF, price MIN LIMIT 3",
+      stats_mode));
   SKYLINE_RETURN_IF_ERROR(RunQuery(
       catalog,
       "EXPLAIN SELECT restaurant FROM GoodEats WHERE price < 60 "
-      "SKYLINE OF S MAX, price MIN ORDER BY price LIMIT 3"));
+      "SKYLINE OF S MAX, price MIN ORDER BY price LIMIT 3",
+      stats_mode));
   std::fprintf(stderr,
-               "usage: sql_shell <file.csv>... \"<query>\"\n"
+               "usage: sql_shell [--stats=json|text|off] <file.csv>... "
+               "\"<query>\"\n"
                "       (each CSV becomes a table named after its stem)\n");
   return Status::OK();
 }
@@ -137,7 +178,30 @@ Status RunDemo() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Status st = argc >= 3 ? RunFiles(argc, argv) : RunDemo();
+  StatsMode stats_mode = StatsMode::kOff;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--stats=", 0) == 0) {
+      const std::string value = arg.substr(8);
+      if (value == "json") {
+        stats_mode = StatsMode::kJson;
+      } else if (value == "text") {
+        stats_mode = StatsMode::kText;
+      } else if (value == "off") {
+        stats_mode = StatsMode::kOff;
+      } else {
+        std::fprintf(stderr,
+                     "unknown --stats value '%s' (want json, text, or off)\n",
+                     value.c_str());
+        return 2;
+      }
+    } else {
+      args.push_back(arg);
+    }
+  }
+  Status st = args.size() >= 2 ? RunFiles(args, stats_mode)
+                               : RunDemo(stats_mode);
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;

@@ -4,7 +4,9 @@
 # (-DSKYLINE_SANITIZE=ON) that catches the memory bugs a green Release run
 # can hide (the columnar dominance kernels deliberately read whole SIMD
 # vectors at block tails, so every such read must stay inside the padded
-# allocation).
+# allocation) — and finally the concurrency-sensitive observability tests
+# (trace sink, metrics shards, thread pool, execution context) under
+# ThreadSanitizer (-DSKYLINE_SANITIZE=thread).
 #
 # Usage: scripts/check.sh [build-dir-prefix]
 #   SKYLINE_CHECK_JOBS=N   parallelism for build and ctest (default nproc)
@@ -30,5 +32,16 @@ echo "== check: ASan/UBSan build =="
 # stays on so window/index ownership mistakes surface too.
 UBSAN_OPTIONS="print_stacktrace=1" \
 run_suite "${prefix}-sanitize" -DSKYLINE_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug
+
+echo "== check: TSan build (trace/metrics/thread-pool concurrency) =="
+# TSan over the full suite is slow and duplicates ASan's coverage of the
+# single-threaded tests; scope it to the suites that exercise cross-thread
+# telemetry and the pool itself.
+cmake -B "${prefix}-tsan" -S "$repo_root" \
+  -DSKYLINE_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
+cmake --build "${prefix}-tsan" -j"$jobs" --target skyline_tests
+TSAN_OPTIONS="halt_on_error=1" \
+  "${prefix}-tsan/tests/skyline_tests" \
+  --gtest_filter='Trace*:Metrics*:RunReport*:ExecContext*:ThreadPool*:SfsParallel*'
 
 echo "check.sh: all suites passed"

@@ -1,0 +1,16 @@
+#include "common/exec_context.h"
+
+#include "common/thread_pool.h"
+
+namespace skyline {
+
+size_t ExecContext::ResolveThreads(size_t option_threads) const {
+  return ClampThreadsToHardware(RequestedThreads(option_threads));
+}
+
+const ExecContext& DefaultExecContext() {
+  static const ExecContext* kDefault = new ExecContext();
+  return *kDefault;
+}
+
+}  // namespace skyline

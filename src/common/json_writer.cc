@@ -1,0 +1,140 @@
+#include "common/json_writer.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace skyline {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Indent() {
+  out_.append(2 * needs_comma_.size(), ' ');
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    // Value belongs to the already-emitted "key": prefix.
+    pending_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    out_ += '\n';
+    needs_comma_.back() = true;
+    Indent();
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  const bool had_members = needs_comma_.back();
+  needs_comma_.pop_back();
+  if (had_members) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  needs_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  const bool had_members = needs_comma_.back();
+  needs_comma_.pop_back();
+  if (had_members) {
+    out_ += '\n';
+    Indent();
+  }
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (needs_comma_.back()) out_ += ',';
+  out_ += '\n';
+  needs_comma_.back() = true;
+  Indent();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\": ";
+  pending_key_ = true;
+}
+
+void JsonWriter::Value(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Value(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Value(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Value(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Value(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+std::string JsonWriter::TakeString() {
+  out_ += '\n';
+  return std::move(out_);
+}
+
+}  // namespace skyline

@@ -1,0 +1,66 @@
+#ifndef SKYLINE_COMMON_JSON_WRITER_H_
+#define SKYLINE_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skyline {
+
+/// Minimal streaming JSON writer: objects, arrays, scalars, proper string
+/// escaping, two-space indentation. Used by the RunReport renderer and the
+/// benchmark emitters so every JSON artifact the repo produces is built —
+/// and escaped — one way.
+///
+/// Usage is push-based and validated only by construction order; the
+/// writer keeps just enough state (container stack + "needs comma") to
+/// emit syntactically correct documents when Begin/End calls pair up.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  /// Starts `"key": ` inside an object; follow with a value or Begin*.
+  void Key(std::string_view key);
+
+  void Value(std::string_view value);  // quoted + escaped
+  void Value(const char* value) { Value(std::string_view(value)); }
+  void Value(double value);
+  void Value(uint64_t value);
+  void Value(int64_t value);
+  void Value(int value) { Value(static_cast<int64_t>(value)); }
+  void Value(unsigned value) { Value(static_cast<uint64_t>(value)); }
+  void Value(bool value);
+
+  /// Convenience: Key + Value.
+  template <typename T>
+  void KeyValue(std::string_view key, T value) {
+    Key(key);
+    Value(value);
+  }
+
+  /// The finished document (call after the last End*). Ends with '\n'.
+  std::string TakeString();
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void Indent();
+  void BeforeValue();
+
+  std::string out_;
+  std::vector<bool> needs_comma_;  // per open container
+  bool pending_key_ = false;
+};
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_COMMON_JSON_WRITER_H_

@@ -1,0 +1,230 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+
+namespace skyline {
+namespace {
+
+std::atomic<uint64_t> g_next_registry_uid{1};
+
+/// Bucket index for a nanosecond value: bucket i holds values whose
+/// highest set bit is i (i.e. in (2^(i-1), 2^i] up to rounding); value 0
+/// lands in bucket 0.
+size_t BucketFor(uint64_t nanos) {
+  if (nanos == 0) return 0;
+  const size_t bit = 63 - static_cast<size_t>(__builtin_clzll(nanos));
+  return std::min(bit, MetricsRegistry::kHistogramBuckets - 1);
+}
+
+}  // namespace
+
+struct MetricsRegistry::Registered {
+  // Dense-id tables. Maps are only touched under the registry mutex, on
+  // the (rare) registration path.
+  std::map<std::string, uint32_t, std::less<>> counters;
+  std::map<std::string, uint32_t, std::less<>> gauges;
+  std::map<std::string, uint32_t, std::less<>> histograms;
+};
+
+struct MetricsRegistry::Shard {
+  struct HistogramCells {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+  };
+
+  // Only the owning thread writes these cells; Aggregate() reads them
+  // concurrently, which relaxed atomics make race-free (each cell is an
+  // independent monotonic count — a torn *set* of cells is at worst a
+  // slightly stale snapshot, never a data race).
+  std::array<std::atomic<uint64_t>, kMaxCounters> counters{};
+  std::array<HistogramCells, kMaxHistograms> histograms{};
+};
+
+void Counter::Add(uint64_t delta) const {
+  if (registry_ == nullptr) return;
+  registry_->AddCounter(id_, delta);
+}
+
+void Gauge::Set(int64_t value) const {
+  if (registry_ == nullptr) return;
+  registry_->SetGauge(id_, value);
+}
+
+void LatencyHistogram::ObserveNanos(uint64_t nanos) const {
+  if (registry_ == nullptr) return;
+  registry_->ObserveHistogram(id_, nanos);
+}
+
+MetricsRegistry::MetricsRegistry()
+    : uid_(g_next_registry_uid.fetch_add(1, std::memory_order_relaxed)),
+      registered_(std::make_unique<Registered>()),
+      gauge_values_(kMaxGauges) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard* MetricsRegistry::ShardForThisThread() {
+  // Registry-uid keyed cache: uids never recur, so an entry for a
+  // destroyed registry can never be matched (its dangling shard pointer is
+  // never dereferenced), and a thread touching R registries holds R
+  // entries for the process lifetime — fine for the handful of registries
+  // a process creates.
+  thread_local std::vector<std::pair<uint64_t, Shard*>> cache;
+  for (const auto& [uid, shard] : cache) {
+    if (uid == uid_) return shard;
+  }
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  cache.emplace_back(uid_, shard);
+  return shard;
+}
+
+Counter MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = registered_->counters.find(name);
+  if (it != registered_->counters.end()) return Counter(this, it->second);
+  if (registered_->counters.size() >= kMaxCounters) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return Counter();
+  }
+  const uint32_t id = static_cast<uint32_t>(registered_->counters.size());
+  registered_->counters.emplace(std::string(name), id);
+  return Counter(this, id);
+}
+
+Gauge MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = registered_->gauges.find(name);
+  if (it != registered_->gauges.end()) return Gauge(this, it->second);
+  if (registered_->gauges.size() >= kMaxGauges) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return Gauge();
+  }
+  const uint32_t id = static_cast<uint32_t>(registered_->gauges.size());
+  registered_->gauges.emplace(std::string(name), id);
+  return Gauge(this, id);
+}
+
+LatencyHistogram MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = registered_->histograms.find(name);
+  if (it != registered_->histograms.end()) {
+    return LatencyHistogram(this, it->second);
+  }
+  if (registered_->histograms.size() >= kMaxHistograms) {
+    overflow_.fetch_add(1, std::memory_order_relaxed);
+    return LatencyHistogram();
+  }
+  const uint32_t id = static_cast<uint32_t>(registered_->histograms.size());
+  registered_->histograms.emplace(std::string(name), id);
+  return LatencyHistogram(this, id);
+}
+
+void MetricsRegistry::AddCounter(uint32_t id, uint64_t delta) {
+  std::atomic<uint64_t>& cell = ShardForThisThread()->counters[id];
+  // Single-writer cell: load+store beats fetch_add (no locked RMW).
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void MetricsRegistry::SetGauge(uint32_t id, int64_t value) {
+  gauge_values_[id].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::ObserveHistogram(uint32_t id, uint64_t nanos) {
+  Shard::HistogramCells& h = ShardForThisThread()->histograms[id];
+  h.count.store(h.count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+  h.sum.store(h.sum.load(std::memory_order_relaxed) + nanos,
+              std::memory_order_relaxed);
+  if (nanos < h.min.load(std::memory_order_relaxed)) {
+    h.min.store(nanos, std::memory_order_relaxed);
+  }
+  if (nanos > h.max.load(std::memory_order_relaxed)) {
+    h.max.store(nanos, std::memory_order_relaxed);
+  }
+  std::atomic<uint64_t>& bucket = h.buckets[BucketFor(nanos)];
+  bucket.store(bucket.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+}
+
+MetricsSnapshot MetricsRegistry::Aggregate() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+
+  snapshot.counters.reserve(registered_->counters.size());
+  for (const auto& [name, id] : registered_->counters) {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->counters[id].load(std::memory_order_relaxed);
+    }
+    snapshot.counters.push_back({name, static_cast<int64_t>(total)});
+  }
+
+  snapshot.gauges.reserve(registered_->gauges.size());
+  for (const auto& [name, id] : registered_->gauges) {
+    snapshot.gauges.push_back(
+        {name, gauge_values_[id].load(std::memory_order_relaxed)});
+  }
+
+  snapshot.histograms.reserve(registered_->histograms.size());
+  for (const auto& [name, id] : registered_->histograms) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.min_ns = UINT64_MAX;
+    h.buckets.assign(kHistogramBuckets, 0);
+    for (const auto& shard : shards_) {
+      const Shard::HistogramCells& cells = shard->histograms[id];
+      h.count += cells.count.load(std::memory_order_relaxed);
+      h.sum_ns += cells.sum.load(std::memory_order_relaxed);
+      h.min_ns = std::min(h.min_ns, cells.min.load(std::memory_order_relaxed));
+      h.max_ns = std::max(h.max_ns, cells.max.load(std::memory_order_relaxed));
+      for (size_t b = 0; b < kHistogramBuckets; ++b) {
+        h.buckets[b] += cells.buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+    if (h.count == 0) h.min_ns = 0;
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+uint64_t HistogramSnapshot::QuantileNanos(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen > rank || (q >= 1.0 && seen >= count)) {
+      // Upper bound of bucket b, clamped into the observed range.
+      const uint64_t bound = b >= 63 ? UINT64_MAX : (uint64_t{1} << (b + 1));
+      return std::clamp(bound, min_ns, max_ns);
+    }
+  }
+  return max_ns;
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const Value& v : counters) {
+    if (v.name == name) return static_cast<uint64_t>(v.value);
+  }
+  return 0;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const Value& v : gauges) {
+    if (v.name == name) return v.value;
+  }
+  return 0;
+}
+
+}  // namespace skyline

@@ -1,0 +1,167 @@
+#ifndef SKYLINE_COMMON_METRICS_H_
+#define SKYLINE_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skyline {
+
+class MetricsRegistry;
+
+/// Handle to a named monotonic counter. Copyable, trivially destructible;
+/// a default-constructed (or null-registry) handle is inert, so call sites
+/// pay one branch when metrics are off. Increments are lock-free: each
+/// thread writes its own shard cell, and readers aggregate across shards.
+class Counter {
+ public:
+  Counter() = default;
+
+  void Add(uint64_t delta) const;
+  void Increment() const { Add(1); }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(MetricsRegistry* registry, uint32_t id)
+      : registry_(registry), id_(id) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t id_ = 0;
+};
+
+/// Handle to a named gauge (last-set wins). Set is rare (configuration
+/// facts: resolved thread count, kernel lanes), so it writes a
+/// registry-level atomic rather than a shard.
+class Gauge {
+ public:
+  Gauge() = default;
+
+  void Set(int64_t value) const;
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(MetricsRegistry* registry, uint32_t id)
+      : registry_(registry), id_(id) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t id_ = 0;
+};
+
+/// Handle to a named latency histogram (power-of-two nanosecond buckets
+/// plus count/sum/min/max). Observations go to the calling thread's shard.
+class LatencyHistogram {
+ public:
+  LatencyHistogram() = default;
+
+  void ObserveNanos(uint64_t nanos) const;
+  void ObserveSeconds(double seconds) const {
+    if (seconds < 0) return;
+    ObserveNanos(static_cast<uint64_t>(seconds * 1e9));
+  }
+
+ private:
+  friend class MetricsRegistry;
+  LatencyHistogram(MetricsRegistry* registry, uint32_t id)
+      : registry_(registry), id_(id) {}
+
+  MetricsRegistry* registry_ = nullptr;
+  uint32_t id_ = 0;
+};
+
+/// Aggregated histogram state as seen by a reader.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum_ns = 0;
+  uint64_t min_ns = 0;
+  uint64_t max_ns = 0;
+  /// Bucket upper bound is 2^i ns; bucket i counts values in (2^(i-1), 2^i].
+  std::vector<uint64_t> buckets;
+
+  /// Upper-bound estimate of the q-quantile (q in [0,1]) from the buckets.
+  uint64_t QuantileNanos(double q) const;
+};
+
+/// One coherent read of the registry.
+struct MetricsSnapshot {
+  struct Value {
+    std::string name;
+    int64_t value = 0;
+  };
+  std::vector<Value> counters;    // sorted by name
+  std::vector<Value> gauges;      // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+
+  /// Counter value by exact name; 0 when absent.
+  uint64_t CounterValue(std::string_view name) const;
+  /// Gauge value by exact name; 0 when absent.
+  int64_t GaugeValue(std::string_view name) const;
+};
+
+/// Registry of named metrics with a lock-free update fast path.
+///
+/// Layout: registration (name → dense id) takes a mutex and happens once
+/// per metric; updates write per-thread shards — fixed-size arrays of
+/// relaxed atomics a thread allocates on first touch and owns for writing
+/// thereafter — so concurrent workers never contend or false-share a
+/// cache line with the registry. Aggregate() walks all shards (including
+/// those of exited threads, which the registry retains) and sums.
+///
+/// Capacity is fixed per shard (kMaxCounters/kMaxGauges/kMaxHistograms);
+/// registration past capacity returns an inert handle and bumps a
+/// `metrics.overflow` count rather than failing the caller.
+class MetricsRegistry {
+ public:
+  static constexpr size_t kMaxCounters = 160;
+  static constexpr size_t kMaxGauges = 32;
+  static constexpr size_t kMaxHistograms = 32;
+  static constexpr size_t kHistogramBuckets = 64;
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Idempotent by name: registering the same name twice returns a handle
+  /// to the same metric.
+  Counter GetCounter(std::string_view name);
+  Gauge GetGauge(std::string_view name);
+  LatencyHistogram GetHistogram(std::string_view name);
+
+  /// Sums every thread's shard into one coherent snapshot.
+  MetricsSnapshot Aggregate() const;
+
+  /// Registrations rejected because a shard table was full.
+  uint64_t overflow_count() const {
+    return overflow_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class LatencyHistogram;
+
+  struct Shard;
+  struct Registered;
+
+  Shard* ShardForThisThread();
+  void AddCounter(uint32_t id, uint64_t delta);
+  void SetGauge(uint32_t id, int64_t value);
+  void ObserveHistogram(uint32_t id, uint64_t nanos);
+
+  const uint64_t uid_;  // process-unique, for the thread-local shard cache
+  std::atomic<uint64_t> overflow_{0};
+  mutable std::mutex mu_;
+  std::unique_ptr<Registered> registered_;           // name tables
+  std::vector<std::unique_ptr<Shard>> shards_;       // one per writer thread
+  std::vector<std::atomic<int64_t>> gauge_values_;   // registry-level
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_COMMON_METRICS_H_

@@ -21,6 +21,9 @@ enum class StatusCode {
   kCorruption,
   kNotSupported,
   kInternal,
+  /// The operation was aborted by an ExecContext cancellation hook before
+  /// completing. Partial outputs must be treated as invalid.
+  kCancelled,
 };
 
 /// Human-readable name for a status code ("OK", "InvalidArgument", ...).
@@ -66,6 +69,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -83,6 +89,7 @@ class Status {
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
   bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
   bool IsInternal() const { return code_ == StatusCode::kInternal; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -1,0 +1,110 @@
+#include "common/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace skyline {
+namespace {
+
+/// Per-thread span nesting depth. Global per thread (not per sink): spans
+/// nest lexically on their thread regardless of which sink they feed, and
+/// a single counter keeps the inert path free of any sink bookkeeping.
+thread_local uint32_t tls_span_depth = 0;
+
+std::atomic<uint32_t> g_next_thread_id{0};
+
+}  // namespace
+
+uint64_t TraceClockNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint32_t TraceThreadId() {
+  thread_local uint32_t id =
+      g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceSink::TraceSink(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+void TraceSink::Record(const char* name, int64_t suffix, uint32_t depth,
+                       uint64_t start_ns, uint64_t end_ns) {
+  if (!enabled()) return;
+  TraceEvent event;
+  if (suffix >= 0) {
+    std::snprintf(event.name, TraceEvent::kNameCapacity, "%s-%lld", name,
+                  static_cast<long long>(suffix));
+  } else {
+    std::snprintf(event.name, TraceEvent::kNameCapacity, "%s", name);
+  }
+  event.thread_id = TraceThreadId();
+  event.depth = depth;
+  event.start_ns = start_ns;
+  event.duration_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    ring_[next_] = event;
+    next_ = (next_ + 1) % capacity_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceSink::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  // Once full, `next_` is the oldest slot; before that the ring is in
+  // insertion order from index 0.
+  for (size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+size_t TraceSink::CountSpans(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t count = 0;
+  for (const TraceEvent& event : ring_) {
+    if (event.name_view() == name) ++count;
+  }
+  return count;
+}
+
+void TraceSink::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_.store(0, std::memory_order_relaxed);
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(TraceSink* sink, const char* name, int64_t suffix)
+    : sink_(sink != nullptr && sink->enabled() ? sink : nullptr) {
+  if (sink_ == nullptr) return;  // inert: no clock read, no allocation
+  name_ = name;
+  suffix_ = suffix;
+  depth_ = tls_span_depth++;
+  start_ns_ = TraceClockNanos();
+}
+
+void TraceSpan::End() {
+  if (sink_ == nullptr) return;
+  sink_->Record(name_, suffix_, depth_, start_ns_, TraceClockNanos());
+  --tls_span_depth;
+  sink_ = nullptr;
+}
+
+TraceSpan::~TraceSpan() { End(); }
+
+}  // namespace skyline

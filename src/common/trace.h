@@ -1,0 +1,122 @@
+#ifndef SKYLINE_COMMON_TRACE_H_
+#define SKYLINE_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace skyline {
+
+/// One completed span in the trace log. `name` is a fixed-size copy so the
+/// ring buffer owns its bytes (no lifetime coupling to the emitting phase)
+/// and formatted names like "filter-pass-3" need no heap allocation.
+struct TraceEvent {
+  static constexpr size_t kNameCapacity = 32;
+
+  char name[kNameCapacity];
+  /// Process-wide stable id of the emitting thread (small, dense).
+  uint32_t thread_id;
+  /// Nesting depth of the span on its thread at the time it was opened
+  /// (0 = outermost). Reconstructs the phase tree.
+  uint32_t depth;
+  /// Monotonic-clock nanoseconds (TraceClockNanos) at span open / duration.
+  uint64_t start_ns;
+  uint64_t duration_ns;
+
+  std::string_view name_view() const { return {name}; }
+};
+
+/// Monotonic-clock nanoseconds (std::chrono::steady_clock); the time base
+/// for every TraceEvent.
+uint64_t TraceClockNanos();
+
+/// Dense process-wide id of the calling thread, assigned on first use.
+uint32_t TraceThreadId();
+
+/// Thread-safe ring buffer of completed spans.
+///
+/// Recording is append-only under a mutex — spans are phase-grained
+/// (presort, merge level, filter pass), so contention is negligible; the
+/// hot-path guarantee the engine relies on is different: a *disabled* sink
+/// (or a null sink pointer) makes TraceSpan construction a single branch
+/// with no clock read and no allocation.
+///
+/// When the buffer is full the oldest events are overwritten; `dropped()`
+/// reports how many were lost so reports can say the log is truncated.
+class TraceSink {
+ public:
+  explicit TraceSink(size_t capacity = 4096);
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// Runtime master switch. Disabling stops Record() and makes spans inert
+  /// without detaching the sink from an ExecContext.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends one completed span. `suffix` >= 0 renders the name as
+  /// "<name>-<suffix>" (e.g. "filter-pass", 2 → "filter-pass-2").
+  void Record(const char* name, int64_t suffix, uint32_t depth,
+              uint64_t start_ns, uint64_t end_ns);
+
+  /// Events currently held, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Spans whose name matches `name` exactly, across the held events.
+  size_t CountSpans(std::string_view name) const;
+
+  uint64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t capacity() const { return capacity_; }
+
+  void Clear();
+
+ private:
+  const size_t capacity_;
+  std::atomic<bool> enabled_{true};
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;  // ring_ write position once the buffer is full
+};
+
+/// RAII scoped span. Construct at phase entry; the destructor records the
+/// event. With a null or disabled sink the constructor is one branch: no
+/// clock read, no allocation, nothing recorded (the disabled-overhead
+/// contract benchmarks rely on).
+///
+/// Depth is tracked per thread, so spans nest naturally across the pool
+/// workers each phase fans out to.
+class TraceSpan {
+ public:
+  TraceSpan(TraceSink* sink, const char* name) : TraceSpan(sink, name, -1) {}
+
+  /// Names the span "<name>-<suffix>" (suffix >= 0), e.g. per-pass spans.
+  TraceSpan(TraceSink* sink, const char* name, int64_t suffix);
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  ~TraceSpan();
+
+  /// Records the span now (idempotent); useful to end a phase before the
+  /// enclosing scope does.
+  void End();
+
+ private:
+  TraceSink* sink_;  // null when inert
+  const char* name_ = nullptr;
+  int64_t suffix_ = -1;
+  uint32_t depth_ = 0;
+  uint64_t start_ns_ = 0;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_COMMON_TRACE_H_

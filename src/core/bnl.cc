@@ -159,6 +159,7 @@ class BnlWindow {
 
 Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
                                 const BnlOptions& options,
+                                const ExecContext& ctx,
                                 const std::string& output_path,
                                 SkylineRunStats* stats) {
   if (!input.schema().Equals(spec.schema())) {
@@ -167,20 +168,23 @@ Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
   SkylineRunStats local;
   SkylineRunStats* s = stats != nullptr ? stats : &local;
   *s = SkylineRunStats{};
+  SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
 
   Env* env = input.env();
   const size_t width = spec.schema().row_width();
-  TempFileManager temp_files(env, output_path + ".bnl_tmp");
+  TempFileManager temp_files(env, ctx.TempPrefixOr(output_path + ".bnl_tmp"));
 
   // Optional forced arrival order (e.g. reverse entropy).
   std::string input_path = input.path();
   if (options.input_ordering != nullptr) {
     Stopwatch sort_timer;
+    TraceSpan presort_span(ctx.trace, "presort");
     SKYLINE_ASSIGN_OR_RETURN(
         input_path,
         SortHeapFile(env, &temp_files, input.path(), width,
-                     *options.input_ordering, options.sort_options,
+                     *options.input_ordering, options.sort_options, ctx,
                      &s->sort_stats));
+    presort_span.End();
     s->sort_seconds = sort_timer.ElapsedSeconds();
   }
 
@@ -192,8 +196,11 @@ Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
   uint64_t pass = 1;
   bool first_pass = true;
 
+  const bool poll_cancel = ctx.has_cancel_hook();
   while (true) {
     ++s->passes;
+    TraceSpan pass_span(ctx.trace, "filter-pass",
+                        static_cast<int64_t>(s->passes));
     // The first pass reads the input table (not counted as extra pages);
     // later passes read the previous pass's temp file.
     HeapFileReader reader(env, input_path, width,
@@ -207,6 +214,9 @@ Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
     uint64_t read_index = 0;
 
     while (const char* row = reader.Next()) {
+      if (poll_cancel && (read_index & 4095u) == 0) {
+        SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
+      }
       // Confirm entries from the previous pass that have now met every
       // tuple that preceded them into this pass's input.
       for (size_t i = 0; i < window.size();) {
@@ -273,6 +283,14 @@ Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
   s->window_replacements = window.replacements();
   s->filter_seconds = filter_timer.ElapsedSeconds();
   return builder.Finish();
+}
+
+Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
+                                const BnlOptions& options,
+                                const std::string& output_path,
+                                SkylineRunStats* stats) {
+  return ComputeSkylineBnl(input, spec, options, DefaultExecContext(),
+                           output_path, stats);
 }
 
 }  // namespace skyline

@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "core/run_stats.h"
 #include "core/skyline_spec.h"
@@ -39,6 +40,13 @@ struct BnlOptions {
 /// of non-dominated overflow to a temp file, and timestamp bookkeeping to
 /// confirm window tuples once they have been compared against every tuple
 /// that preceded them into the temp file.
+Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
+                                const BnlOptions& options,
+                                const ExecContext& ctx,
+                                const std::string& output_path,
+                                SkylineRunStats* stats);
+
+/// Deprecated shim: runs under DefaultExecContext().
 Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
                                 const BnlOptions& options,
                                 const std::string& output_path,

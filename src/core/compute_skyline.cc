@@ -1,0 +1,61 @@
+#include "core/compute_skyline.h"
+
+#include "core/run_report.h"
+#include "core/special2d.h"
+#include "core/special3d.h"
+
+namespace skyline {
+
+bool SkylineAutoUsesSpecialScan(const SkylineSpec& spec) {
+  return spec.value_columns().size() == 2 || spec.value_columns().size() == 3;
+}
+
+Result<Table> ComputeSkyline(SkylineAlgorithm algorithm, const Table& input,
+                             const SkylineSpec& spec, const ExecContext& ctx,
+                             const std::string& output_path,
+                             SkylineRunStats* stats,
+                             const SkylineComputeOptions& options) {
+  SkylineRunStats local;
+  SkylineRunStats* s = stats != nullptr ? stats : &local;
+
+  SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
+  TraceSpan span(ctx.trace, "skyline");
+
+  const char* published_as = SkylineAlgorithmName(algorithm);
+  Result<Table> result = Status::Internal("unreachable");
+  switch (algorithm) {
+    case SkylineAlgorithm::kBnl:
+      result = ComputeSkylineBnl(input, spec, options.bnl, ctx, output_path, s);
+      break;
+    case SkylineAlgorithm::kAuto:
+      if (SkylineAutoUsesSpecialScan(spec)) {
+        // The scans accept plain SortOptions; resolve the context's thread
+        // override into them the same way SFS does.
+        SortOptions sort_options = options.sfs.sort_options;
+        const size_t requested =
+            ctx.RequestedThreads(options.sfs.threads);
+        if (requested != 1 && sort_options.threads == 1) {
+          sort_options.threads = ClampThreadsToHardware(requested);
+        }
+        published_as = spec.value_columns().size() == 2 ? "special2d"
+                                                        : "special3d";
+        result = spec.value_columns().size() == 2
+                     ? ComputeSkyline2D(input, spec, sort_options, output_path,
+                                        s)
+                     : ComputeSkyline3D(input, spec, sort_options, output_path,
+                                        s);
+        break;
+      }
+      published_as = "sfs";
+      [[fallthrough]];
+    case SkylineAlgorithm::kSfs:
+      result = ComputeSkylineSfs(input, spec, options.sfs, ctx, output_path, s);
+      break;
+  }
+  if (result.ok()) {
+    PublishRunStats(ctx.metrics, std::string("skyline.") + published_as, *s);
+  }
+  return result;
+}
+
+}  // namespace skyline

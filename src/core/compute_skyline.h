@@ -1,0 +1,46 @@
+#ifndef SKYLINE_CORE_COMPUTE_SKYLINE_H_
+#define SKYLINE_CORE_COMPUTE_SKYLINE_H_
+
+#include <string>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "core/bnl.h"
+#include "core/run_stats.h"
+#include "core/sfs.h"
+#include "core/skyline_algorithm.h"
+#include "core/skyline_spec.h"
+#include "relation/table.h"
+
+namespace skyline {
+
+/// Per-algorithm knobs for the unified entry point. Defaults mirror the
+/// individual functions' defaults.
+struct SkylineComputeOptions {
+  SfsOptions sfs;
+  BnlOptions bnl;
+};
+
+/// True when kAuto routes `spec` through a special-case scan: exactly 2 or
+/// 3 MIN/MAX criteria (the scans handle DIFF groups themselves).
+bool SkylineAutoUsesSpecialScan(const SkylineSpec& spec);
+
+/// The one skyline entry point: dispatches `algorithm` over the
+/// specialized implementations (kAuto routes 2-/3-criterion specs through
+/// the windowless special-case scans, everything else through SFS) with
+/// the ExecContext's threads / temp prefix / telemetry / cancellation
+/// applied uniformly — so benches, examples, the Volcano operator, and the
+/// SQL executor stop hand-rolling the same switch.
+///
+/// Writes the result table to `output_path` and returns it. `stats` may be
+/// null. Records a top-level "skyline" trace span and publishes the run's
+/// stats to ctx.metrics under "skyline.<algorithm>".
+Result<Table> ComputeSkyline(SkylineAlgorithm algorithm, const Table& input,
+                             const SkylineSpec& spec, const ExecContext& ctx,
+                             const std::string& output_path,
+                             SkylineRunStats* stats,
+                             const SkylineComputeOptions& options = {});
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_COMPUTE_SKYLINE_H_

@@ -80,6 +80,7 @@ bool EliminationFilter::Keep(const char* row) {
 
 Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
                                  const LessOptions& options,
+                                 const ExecContext& ctx,
                                  const std::string& output_path,
                                  LessStats* stats) {
   if (!input.schema().Equals(spec.schema())) {
@@ -88,9 +89,10 @@ Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
   LessStats local;
   LessStats* s = stats != nullptr ? stats : &local;
   *s = LessStats{};
+  SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
 
   Env* env = input.env();
-  TempFileManager temp_files(env, output_path + ".less_tmp");
+  TempFileManager temp_files(env, ctx.TempPrefixOr(output_path + ".less_tmp"));
 
   // Phase 1: entropy sort with the elimination filter screening the input.
   EntropyScorer scorer(&spec, input);
@@ -100,10 +102,12 @@ Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
   sort_options.filter = &ef;
 
   Stopwatch sort_timer;
+  TraceSpan presort_span(ctx.trace, "presort");
   SKYLINE_ASSIGN_OR_RETURN(
       std::string sorted_path,
       SortHeapFile(env, &temp_files, input.path(), spec.schema().row_width(),
-                   ordering, sort_options, &s->run.sort_stats));
+                   ordering, sort_options, ctx, &s->run.sort_stats));
+  presort_span.End();
   s->run.sort_seconds = sort_timer.ElapsedSeconds();
   s->ef_dropped = ef.dropped();
   s->ef_comparisons = ef.comparisons();
@@ -112,6 +116,7 @@ Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
   Stopwatch filter_timer;
   SfsIterator iter(env, &temp_files, sorted_path, &spec, options.window_pages,
                    options.use_projection, &s->run);
+  iter.set_exec_context(&ctx);
   // SfsIterator resets sort stats inside Open? No — it only sets
   // input_rows/passes; preserve the sort numbers captured above.
   const SortStats saved_sort = s->run.sort_stats;
@@ -129,6 +134,14 @@ Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
   // Account eliminated tuples in the input count.
   s->run.input_rows = input.row_count();
   return builder.Finish();
+}
+
+Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
+                                 const LessOptions& options,
+                                 const std::string& output_path,
+                                 LessStats* stats) {
+  return ComputeSkylineLess(input, spec, options, DefaultExecContext(),
+                            output_path, stats);
 }
 
 }  // namespace skyline

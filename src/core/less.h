@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "core/dominance_batch.h"
 #include "core/run_stats.h"
@@ -78,6 +79,13 @@ struct LessStats {
 /// sort's input pass + SFS filtering of the sorted remainder. Equivalent
 /// output to ComputeSkylineSfs, but the bulk of dominated tuples never
 /// reach the sort runs, shrinking both sort I/O and filter work.
+Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
+                                 const LessOptions& options,
+                                 const ExecContext& ctx,
+                                 const std::string& output_path,
+                                 LessStats* stats);
+
+/// Deprecated shim: runs under DefaultExecContext().
 Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
                                  const LessOptions& options,
                                  const std::string& output_path,

@@ -1,0 +1,252 @@
+#include "core/run_report.h"
+
+#include <cstdio>
+
+namespace skyline {
+namespace {
+
+void AppendMetricsObject(JsonWriter* json, const MetricsRegistry& metrics) {
+  const MetricsSnapshot snapshot = metrics.Aggregate();
+  json->BeginObject();
+  json->Key("counters");
+  json->BeginObject();
+  for (const auto& c : snapshot.counters) {
+    json->KeyValue(c.name, static_cast<uint64_t>(c.value));
+  }
+  json->EndObject();
+  json->Key("gauges");
+  json->BeginObject();
+  for (const auto& g : snapshot.gauges) {
+    json->KeyValue(g.name, g.value);
+  }
+  json->EndObject();
+  json->Key("histograms");
+  json->BeginObject();
+  for (const auto& h : snapshot.histograms) {
+    json->Key(h.name);
+    json->BeginObject();
+    json->KeyValue("count", h.count);
+    json->KeyValue("sum_ns", h.sum_ns);
+    json->KeyValue("min_ns", h.min_ns);
+    json->KeyValue("max_ns", h.max_ns);
+    json->KeyValue("p50_ns", h.QuantileNanos(0.50));
+    json->KeyValue("p95_ns", h.QuantileNanos(0.95));
+    json->KeyValue("p99_ns", h.QuantileNanos(0.99));
+    json->EndObject();
+  }
+  json->EndObject();
+  if (metrics.overflow_count() > 0) {
+    json->KeyValue("registration_overflow", metrics.overflow_count());
+  }
+  json->EndObject();
+}
+
+void AppendTraceObject(JsonWriter* json, const TraceSink& trace) {
+  json->BeginObject();
+  json->KeyValue("recorded", trace.recorded());
+  json->KeyValue("dropped", trace.dropped());
+  json->Key("spans");
+  json->BeginArray();
+  for (const TraceEvent& event : trace.Snapshot()) {
+    json->BeginObject();
+    json->KeyValue("name", event.name_view());
+    json->KeyValue("thread", static_cast<uint64_t>(event.thread_id));
+    json->KeyValue("depth", static_cast<uint64_t>(event.depth));
+    json->KeyValue("start_ns", event.start_ns);
+    json->KeyValue("duration_ns", event.duration_ns);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+}  // namespace
+
+void AppendRunStatsObject(JsonWriter* json, const SkylineRunStats& stats) {
+  json->BeginObject();
+  json->KeyValue("input_rows", stats.input_rows);
+  json->KeyValue("output_rows", stats.output_rows);
+  json->KeyValue("passes", stats.passes);
+  json->KeyValue("spilled_tuples", stats.spilled_tuples);
+  json->KeyValue("temp_pages_read", stats.temp_io.pages_read);
+  json->KeyValue("temp_pages_written", stats.temp_io.pages_written);
+  json->KeyValue("extra_pages", stats.ExtraPages());
+  json->KeyValue("window_comparisons", stats.window_comparisons);
+  json->KeyValue("batch_comparisons", stats.batch_comparisons);
+  json->KeyValue("merge_comparisons", stats.merge_comparisons);
+  json->KeyValue("window_blocks_pruned", stats.window_blocks_pruned);
+  json->KeyValue("merge_blocks_pruned", stats.merge_blocks_pruned);
+  json->KeyValue("window_replacements", stats.window_replacements);
+  json->KeyValue("dominance_kernel", std::string_view(stats.dominance_kernel));
+  json->KeyValue("threads_used", stats.threads_used);
+  json->KeyValue("sort_seconds", stats.sort_seconds);
+  json->KeyValue("filter_seconds", stats.filter_seconds);
+  json->KeyValue("block_scan_seconds", stats.block_scan_seconds);
+  json->KeyValue("block_merge_seconds", stats.block_merge_seconds);
+  json->KeyValue("total_seconds", stats.total_seconds());
+  json->Key("sort");
+  json->BeginObject();
+  json->KeyValue("runs_generated", stats.sort_stats.runs_generated);
+  json->KeyValue("merge_levels", stats.sort_stats.merge_levels);
+  json->KeyValue("records_filtered", stats.sort_stats.records_filtered);
+  json->KeyValue("threads_used", stats.sort_stats.threads_used);
+  json->KeyValue("pages_read", stats.sort_stats.io.pages_read);
+  json->KeyValue("pages_written", stats.sort_stats.io.pages_written);
+  json->EndObject();
+  json->EndObject();
+}
+
+void AppendRunReportObject(JsonWriter* json, const RunReport& report) {
+  json->BeginObject();
+  json->KeyValue("schema_version",
+                 static_cast<int64_t>(RunReport::kSchemaVersion));
+  json->KeyValue("tool", report.tool);
+  if (!report.algorithm.empty()) {
+    json->KeyValue("algorithm", report.algorithm);
+  }
+  json->KeyValue("wall_seconds", report.wall_seconds);
+  if (!report.labels.empty()) {
+    json->Key("labels");
+    json->BeginObject();
+    for (const auto& [key, value] : report.labels) json->KeyValue(key, value);
+    json->EndObject();
+  }
+  if (!report.numbers.empty()) {
+    json->Key("numbers");
+    json->BeginObject();
+    for (const auto& [key, value] : report.numbers) json->KeyValue(key, value);
+    json->EndObject();
+  }
+  json->Key("stats");
+  AppendRunStatsObject(json, report.stats);
+  if (report.metrics != nullptr) {
+    json->Key("metrics");
+    AppendMetricsObject(json, *report.metrics);
+  }
+  if (report.trace != nullptr) {
+    json->Key("trace");
+    AppendTraceObject(json, *report.trace);
+  }
+  json->EndObject();
+}
+
+std::string RenderRunReportJson(const RunReport& report) {
+  JsonWriter json;
+  AppendRunReportObject(&json, report);
+  return json.TakeString();
+}
+
+std::string RenderRunReportText(const RunReport& report) {
+  std::string out;
+  char line[256];
+  auto add = [&out, &line]() { out += line; };
+
+  std::snprintf(line, sizeof(line), "== run report (%s%s%s) ==\n",
+                report.tool.c_str(), report.algorithm.empty() ? "" : ", ",
+                report.algorithm.c_str());
+  add();
+  const SkylineRunStats& s = report.stats;
+  std::snprintf(line, sizeof(line),
+                "rows in/out %llu/%llu  passes %llu  spilled %llu  "
+                "extra pages %llu\n",
+                static_cast<unsigned long long>(s.input_rows),
+                static_cast<unsigned long long>(s.output_rows),
+                static_cast<unsigned long long>(s.passes),
+                static_cast<unsigned long long>(s.spilled_tuples),
+                static_cast<unsigned long long>(s.ExtraPages()));
+  add();
+  std::snprintf(line, sizeof(line),
+                "comparisons: window %llu (batch %llu)  merge %llu  "
+                "kernel %s  threads %llu\n",
+                static_cast<unsigned long long>(s.window_comparisons),
+                static_cast<unsigned long long>(s.batch_comparisons),
+                static_cast<unsigned long long>(s.merge_comparisons),
+                s.dominance_kernel,
+                static_cast<unsigned long long>(s.threads_used));
+  add();
+  std::snprintf(line, sizeof(line),
+                "time: sort %.4fs  filter %.4fs  total %.4fs  wall %.4fs\n",
+                s.sort_seconds, s.filter_seconds, s.total_seconds(),
+                report.wall_seconds);
+  add();
+
+  if (report.metrics != nullptr) {
+    const MetricsSnapshot snapshot = report.metrics->Aggregate();
+    if (!snapshot.counters.empty()) out += "counters:\n";
+    for (const auto& c : snapshot.counters) {
+      std::snprintf(line, sizeof(line), "  %-40s %lld\n", c.name.c_str(),
+                    static_cast<long long>(c.value));
+      add();
+    }
+    if (!snapshot.gauges.empty()) out += "gauges:\n";
+    for (const auto& g : snapshot.gauges) {
+      std::snprintf(line, sizeof(line), "  %-40s %lld\n", g.name.c_str(),
+                    static_cast<long long>(g.value));
+      add();
+    }
+    if (!snapshot.histograms.empty()) out += "latency histograms:\n";
+    for (const auto& h : snapshot.histograms) {
+      std::snprintf(line, sizeof(line),
+                    "  %-40s n=%llu mean=%.3fms p95=%.3fms max=%.3fms\n",
+                    h.name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.count > 0 ? static_cast<double>(h.sum_ns) /
+                                      static_cast<double>(h.count) / 1e6
+                                : 0.0,
+                    static_cast<double>(h.QuantileNanos(0.95)) / 1e6,
+                    static_cast<double>(h.max_ns) / 1e6);
+      add();
+    }
+  }
+
+  if (report.trace != nullptr) {
+    out += "trace spans (chronological):\n";
+    for (const TraceEvent& event : report.trace->Snapshot()) {
+      std::snprintf(line, sizeof(line), "  t%-3u %*s%-28s %.3fms\n",
+                    event.thread_id, static_cast<int>(2 * event.depth), "",
+                    event.name, static_cast<double>(event.duration_ns) / 1e6);
+      add();
+    }
+    if (report.trace->dropped() > 0) {
+      std::snprintf(line, sizeof(line),
+                    "  (ring buffer dropped %llu earlier spans)\n",
+                    static_cast<unsigned long long>(report.trace->dropped()));
+      add();
+    }
+  }
+  return out;
+}
+
+void PublishRunStats(MetricsRegistry* metrics, std::string_view prefix,
+                     const SkylineRunStats& stats) {
+  if (metrics == nullptr) return;
+  const std::string p(prefix);
+  auto counter = [metrics, &p](const char* field, uint64_t value) {
+    if (value > 0) metrics->GetCounter(p + "." + field).Add(value);
+  };
+  counter("runs", 1);
+  counter("input_rows", stats.input_rows);
+  counter("output_rows", stats.output_rows);
+  counter("passes", stats.passes);
+  counter("spilled_tuples", stats.spilled_tuples);
+  counter("temp_pages_read", stats.temp_io.pages_read);
+  counter("temp_pages_written", stats.temp_io.pages_written);
+  counter("window_comparisons", stats.window_comparisons);
+  counter("batch_comparisons", stats.batch_comparisons);
+  counter("merge_comparisons", stats.merge_comparisons);
+  counter("window_blocks_pruned", stats.window_blocks_pruned);
+  counter("merge_blocks_pruned", stats.merge_blocks_pruned);
+  counter("window_replacements", stats.window_replacements);
+  counter("sort_runs_generated", stats.sort_stats.runs_generated);
+  counter("sort_merge_levels", stats.sort_stats.merge_levels);
+  counter("sort_records_filtered", stats.sort_stats.records_filtered);
+  counter("sort_pages_read", stats.sort_stats.io.pages_read);
+  counter("sort_pages_written", stats.sort_stats.io.pages_written);
+  metrics->GetGauge(p + ".threads_used")
+      .Set(static_cast<int64_t>(stats.threads_used));
+  metrics->GetHistogram(p + ".sort_seconds")
+      .ObserveSeconds(stats.sort_seconds);
+  metrics->GetHistogram(p + ".filter_seconds")
+      .ObserveSeconds(stats.filter_seconds);
+}
+
+}  // namespace skyline

@@ -33,7 +33,16 @@ Status SfsIterator::Open() {
   stats_->input_rows = reader_->record_count();
   stats_->passes = 1;
   stats_->dominance_kernel = window_.kernel_name();
+  BeginPassSpan();
   return Status::OK();
+}
+
+void SfsIterator::BeginPassSpan() {
+  pass_span_.reset();  // records the previous pass's span, if any
+  if (ctx_ != nullptr && ctx_->trace != nullptr) {
+    pass_span_ = std::make_unique<TraceSpan>(
+        ctx_->trace, "filter-pass", static_cast<int64_t>(stats_->passes));
+  }
 }
 
 void SfsIterator::SyncWindowStats() {
@@ -44,6 +53,8 @@ void SfsIterator::SyncWindowStats() {
 
 const char* SfsIterator::Next() {
   if (done_ || !status_.ok()) return nullptr;
+  const bool poll_cancel = ctx_ != nullptr && ctx_->has_cancel_hook();
+  const bool sample_probes = ctx_ != nullptr && ctx_->trace != nullptr;
   while (true) {
     const char* row = reader_->Next();
     if (row == nullptr) {
@@ -53,6 +64,14 @@ const char* SfsIterator::Next() {
       }
       if (!StartNextPass()) return nullptr;
       continue;
+    }
+    ++probe_count_;
+    if (poll_cancel && (probe_count_ & 4095u) == 0) {
+      status_ = ctx_->CheckCancelled();
+      if (!status_.ok()) {
+        pass_span_.reset();
+        return nullptr;
+      }
     }
     // DIFF group boundary: groups are contiguous in the sorted input, and
     // tuples in different groups never dominate each other, so the window
@@ -65,7 +84,14 @@ const char* SfsIterator::Next() {
       have_prev_ = true;
     }
 
-    switch (window_.Test(row)) {
+    Window::Verdict verdict;
+    if (sample_probes && probe_count_ % kProbeSampleStride == 0) {
+      TraceSpan probe_span(ctx_->trace, "window-probe");
+      verdict = window_.Test(row);
+    } else {
+      verdict = window_.Test(row);
+    }
+    switch (verdict) {
       case Window::Verdict::kDominated:
         if (residue_writer_ != nullptr) {
           Status st = residue_writer_->Append(row);
@@ -118,11 +144,13 @@ bool SfsIterator::StartNextPass() {
     // Nothing was deferred: every input tuple was either emitted or
     // eliminated, so the skyline is complete.
     done_ = true;
+    pass_span_.reset();
     return false;
   }
   Status st = spill_writer_->Finish();
   if (!st.ok()) {
     status_ = st;
+    pass_span_.reset();
     return false;
   }
   spill_writer_.reset();
@@ -140,16 +168,19 @@ bool SfsIterator::StartNextPass() {
   st = reader_->Open();
   if (!st.ok()) {
     status_ = st;
+    pass_span_.reset();
     return false;
   }
   window_.Clear();
   have_prev_ = false;
   ++stats_->passes;
+  BeginPassSpan();
   return true;
 }
 
 Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
                                 const SfsOptions& options,
+                                const ExecContext& ctx,
                                 const std::string& output_path,
                                 SkylineRunStats* stats) {
   if (!input.schema().Equals(spec.schema())) {
@@ -158,9 +189,10 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
   SkylineRunStats local;
   SkylineRunStats* s = stats != nullptr ? stats : &local;
   *s = SkylineRunStats{};
+  SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
 
   Env* env = input.env();
-  TempFileManager temp_files(env, output_path + ".sfs_tmp");
+  TempFileManager temp_files(env, ctx.TempPrefixOr(output_path + ".sfs_tmp"));
 
   // Phase 1: presort by a monotone scoring order (Theorems 6/7 guarantee
   // any such order is a topological sort of dominance).
@@ -188,18 +220,25 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
         break;
     }
     SortOptions sort_options = options.sort_options;
-    if (options.threads != 1 && sort_options.threads == 1) {
+    const size_t requested = ctx.RequestedThreads(options.threads);
+    if (ctx.threads.has_value()) {
+      // The context override drives every phase under it.
+      sort_options.threads = ctx.ResolveThreads(sort_options.threads);
+    } else if (requested != 1 && sort_options.threads == 1) {
       // One knob drives both phases — clamped, so a request for more
       // workers than the machine has never oversubscribes the sort either.
-      sort_options.threads = ClampThreadsToHardware(options.threads);
+      sort_options.threads = ClampThreadsToHardware(requested);
     }
     Stopwatch sort_timer;
+    TraceSpan presort_span(ctx.trace, "presort");
     SKYLINE_ASSIGN_OR_RETURN(
         sorted_path,
         SortHeapFile(env, &temp_files, input.path(), spec.schema().row_width(),
-                     *ordering, sort_options, &s->sort_stats));
+                     *ordering, sort_options, ctx, &s->sort_stats));
+    presort_span.End();
     s->sort_seconds = sort_timer.ElapsedSeconds();
   }
+  SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
 
   // Phase 2: filter passes, pipelining confirmed skyline rows straight into
   // the output table. With more than one usable worker (requests are
@@ -208,13 +247,14 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
   // host ran threads=2 1.6× slower than sequential) and no residue
   // side-output, the block-parallel filter replaces the sequential
   // iterator; a clamp of 1 falls back to the sequential algorithm.
-  const size_t filter_threads = ClampThreadsToHardware(options.threads);
+  const size_t filter_threads = ctx.ResolveThreads(options.threads);
   if (filter_threads > 1 && options.residue_path.empty()) {
     Stopwatch filter_timer;
     ParallelSfsOptions popt;
     popt.window_pages = options.window_pages;
     popt.use_projection = options.use_projection;
     popt.threads = filter_threads;
+    popt.exec = &ctx;
     TableBuilder builder(env, output_path, spec.schema());
     SKYLINE_RETURN_IF_ERROR(builder.Open());
     SKYLINE_RETURN_IF_ERROR(ParallelSfsFilter(
@@ -227,6 +267,7 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
   Stopwatch filter_timer;
   SfsIterator iter(env, &temp_files, sorted_path, &spec, options.window_pages,
                    options.use_projection, s);
+  iter.set_exec_context(&ctx);
   std::unique_ptr<HeapFileWriter> residue;
   if (!options.residue_path.empty()) {
     residue = std::make_unique<HeapFileWriter>(
@@ -247,6 +288,14 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
   }
   s->filter_seconds = filter_timer.ElapsedSeconds();
   return builder.Finish();
+}
+
+Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
+                                const SfsOptions& options,
+                                const std::string& output_path,
+                                SkylineRunStats* stats) {
+  return ComputeSkylineSfs(input, spec, options, DefaultExecContext(),
+                           output_path, stats);
 }
 
 }  // namespace skyline

@@ -5,7 +5,9 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
+#include "common/trace.h"
 #include "core/run_stats.h"
 #include "core/skyline_spec.h"
 #include "core/window.h"
@@ -94,6 +96,18 @@ class SfsIterator {
   /// writer. May be null (the default) to discard eliminated tuples.
   void set_residue_writer(HeapFileWriter* writer) { residue_writer_ = writer; }
 
+  /// Attaches an execution context (must outlive the iterator; set before
+  /// Open). The iterator then emits one "filter-pass-N" trace span per
+  /// pass plus sampled "window-probe" spans (one in every
+  /// kProbeSampleStride window tests), and polls the cancellation hook
+  /// every few thousand rows.
+  void set_exec_context(const ExecContext* ctx) { ctx_ = ctx; }
+
+  /// Every this-many window probes, one is wrapped in a "window-probe"
+  /// span — dense enough to see probe latency, sparse enough to keep the
+  /// per-row cost to a counter increment.
+  static constexpr uint64_t kProbeSampleStride = 8192;
+
   /// Returns the next skyline row (full schema row, valid until the next
   /// call), or nullptr when exhausted or on error (check status()).
   const char* Next();
@@ -109,6 +123,9 @@ class SfsIterator {
   /// Publishes the window's comparison/pruning counters into stats_.
   void SyncWindowStats();
 
+  /// Opens the "filter-pass-<passes>" span (closing any previous one).
+  void BeginPassSpan();
+
   Env* env_;
   TempFileManager* temp_files_;
   std::string input_path_;  // current pass's input
@@ -120,6 +137,9 @@ class SfsIterator {
   std::unique_ptr<HeapFileReader> reader_;
   std::unique_ptr<HeapFileWriter> spill_writer_;
   HeapFileWriter* residue_writer_ = nullptr;
+  const ExecContext* ctx_ = nullptr;
+  std::unique_ptr<TraceSpan> pass_span_;
+  uint64_t probe_count_ = 0;
   std::string spill_path_;
   std::vector<char> out_row_;
   std::vector<char> prev_row_;  // DIFF group tracking
@@ -132,6 +152,19 @@ class SfsIterator {
 /// Computes the skyline of `input` under `spec` with SFS, writing the
 /// result (full rows, in the presort's monotone order) to a new table at
 /// `output_path`. `stats` may be null.
+///
+/// The context supplies the thread override (ctx.threads beats
+/// options.threads; see ExecContext's resolution contract), the temp-file
+/// prefix, the trace sink (spans: "presort" wrapping the external sort's
+/// "run-formation"/"merge-N", then "filter-pass-N" or
+/// "block-scan"/"block-merge"), the metrics sink, and cancellation.
+Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
+                                const SfsOptions& options,
+                                const ExecContext& ctx,
+                                const std::string& output_path,
+                                SkylineRunStats* stats);
+
+/// Deprecated shim: runs under DefaultExecContext().
 Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
                                 const SfsOptions& options,
                                 const std::string& output_path,

@@ -47,7 +47,8 @@ struct BlockResult {
 /// temp file); candidates are restored to position order afterwards.
 BlockResult FilterBlock(Env* env, const std::string& sorted_path,
                         const SkylineSpec& spec,
-                        const ParallelSfsOptions& options, uint64_t total,
+                        const ParallelSfsOptions& options,
+                        const ExecContext& ctx, uint64_t total,
                         uint64_t chunk_rows, size_t num_blocks,
                         size_t block_index) {
   BlockResult result;
@@ -55,6 +56,8 @@ BlockResult FilterBlock(Env* env, const std::string& sorted_path,
   HeapFileReader reader(env, sorted_path, width, nullptr);
   result.status = reader.Open();
   if (!result.status.ok()) return result;
+  const bool poll_cancel = ctx.has_cancel_hook();
+  uint64_t polled = 0;
 
   Window window(&spec, options.window_pages, options.use_projection);
   std::vector<char> deferred;
@@ -103,6 +106,10 @@ BlockResult FilterBlock(Env* env, const std::string& sorted_path,
                             ? Status::Corruption("sorted input truncated")
                             : reader.status();
         return result;
+      }
+      if (poll_cancel && (++polled & 4095u) == 0) {
+        result.status = ctx.CheckCancelled();
+        if (!result.status.ok()) return result;
       }
       result.status = test_row(row, i);
       if (!result.status.ok()) return result;
@@ -157,6 +164,9 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
                          SkylineRunStats* stats) {
   SkylineRunStats local_stats;
   SkylineRunStats* s = stats != nullptr ? stats : &local_stats;
+  const ExecContext& ctx =
+      options.exec != nullptr ? *options.exec : DefaultExecContext();
+  SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
 
   const size_t width = spec.schema().row_width();
   uint64_t total = 0;
@@ -189,13 +199,14 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
   ThreadPool pool(std::min(threads, blocks));
 
   Stopwatch scan_timer;
+  TraceSpan scan_span(ctx.trace, "block-scan");
   std::vector<std::future<BlockResult>> futures;
   futures.reserve(blocks);
   for (size_t k = 0; k < blocks; ++k) {
     futures.push_back(
-        pool.Submit([env, &sorted_path, &spec, &options, total, chunk_rows,
-                     blocks, k]() {
-          return FilterBlock(env, sorted_path, spec, options, total,
+        pool.Submit([env, &sorted_path, &spec, &options, &ctx, total,
+                     chunk_rows, blocks, k]() {
+          return FilterBlock(env, sorted_path, spec, options, ctx, total,
                              chunk_rows, blocks, k);
         }));
   }
@@ -210,6 +221,7 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
     results.push_back(std::move(block));
   }
   s->block_scan_seconds = scan_timer.ElapsedSeconds();
+  scan_span.End();
   for (const BlockResult& block : results) {
     SKYLINE_RETURN_IF_ERROR(block.status);
   }
@@ -222,6 +234,9 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
   // skylines are supersets of the global skyline's restriction. Every
   // candidate is testable independently — the whole phase parallelizes.
   Stopwatch merge_timer;
+  TraceSpan merge_span(ctx.trace, "block-merge");
+  std::atomic<bool> cancel_requested{false};
+  const bool poll_cancel = ctx.has_cancel_hook();
   std::vector<std::vector<uint8_t>> keep(blocks);
   std::vector<size_t> base(blocks + 1, 0);
   for (size_t k = 0; k < blocks; ++k) {
@@ -257,6 +272,13 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
     ParallelFor(
         &pool, candidate_count,
         [&](size_t flat) {
+          if (poll_cancel) {
+            if (cancel_requested.load(std::memory_order_relaxed)) return;
+            if ((flat & 511u) == 0 && ctx.cancelled()) {
+              cancel_requested.store(true, std::memory_order_relaxed);
+              return;
+            }
+          }
           const size_t k =
               std::upper_bound(base.begin(), base.end(), flat) -
               base.begin() - 1;
@@ -327,6 +349,10 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
           }
         },
         grain);
+  }
+
+  if (cancel_requested.load(std::memory_order_relaxed)) {
+    return Status::Cancelled("operation cancelled by ExecContext hook");
   }
 
   // Emit survivors in global position order (k-way merge over the blocks'

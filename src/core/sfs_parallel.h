@@ -5,6 +5,7 @@
 #include <functional>
 #include <string>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "core/run_stats.h"
 #include "core/skyline_spec.h"
@@ -29,6 +30,10 @@ struct ParallelSfsOptions {
   /// reads a page for another worker's rows.
   uint64_t chunk_rows = 0;
   static constexpr uint64_t kDefaultChunkPages = 4;
+  /// Execution context (trace sink for the "block-scan" / "block-merge"
+  /// spans, cancellation hook polled by the workers). Null uses
+  /// DefaultExecContext(); thread selection stays with `threads` above.
+  const ExecContext* exec = nullptr;
 };
 
 /// Block-parallel SFS filter over a presorted heap file.

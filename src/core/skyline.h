@@ -24,8 +24,10 @@
 /// (sort/), Volcano operators with the Query builder (exec/), and the
 /// Figure 3 SQL dialect (sql/).
 
+#include "common/exec_context.h"
 #include "core/bnl.h"
 #include "core/cardinality.h"
+#include "core/compute_skyline.h"
 #include "core/cost_model.h"
 #include "core/dim_reduce.h"
 #include "core/divide_conquer.h"
@@ -33,6 +35,7 @@
 #include "core/less.h"
 #include "core/maintenance.h"
 #include "core/naive.h"
+#include "core/run_report.h"
 #include "core/run_stats.h"
 #include "core/scoring.h"
 #include "core/sfs.h"

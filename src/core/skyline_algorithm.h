@@ -1,0 +1,35 @@
+#ifndef SKYLINE_CORE_SKYLINE_ALGORITHM_H_
+#define SKYLINE_CORE_SKYLINE_ALGORITHM_H_
+
+namespace skyline {
+
+/// Which algorithm evaluates a skyline computation. Shared by the unified
+/// ComputeSkyline dispatch (core/compute_skyline.h), the Volcano skyline
+/// operator (exec/skyline_op.h), and the SQL executor's SqlOptions.
+enum class SkylineAlgorithm {
+  kSfs,
+  kBnl,
+  /// Pick automatically: the 2-dim scan or 3-dim staircase sweep when the
+  /// spec has exactly that many MIN/MAX criteria (no window needed, O(n)
+  /// dominance work), otherwise SFS. What a planner would do given the
+  /// paper's Section 6 note that low-dimensional special cases "could be
+  /// exploited".
+  kAuto,
+};
+
+/// Stable lowercase name ("sfs", "bnl", "auto") for reports and plans.
+inline const char* SkylineAlgorithmName(SkylineAlgorithm algorithm) {
+  switch (algorithm) {
+    case SkylineAlgorithm::kSfs:
+      return "sfs";
+    case SkylineAlgorithm::kBnl:
+      return "bnl";
+    case SkylineAlgorithm::kAuto:
+      return "auto";
+  }
+  return "unknown";
+}
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_SKYLINE_ALGORITHM_H_

@@ -27,6 +27,7 @@ std::vector<ColumnStats> CopyStats(const Table& table) {
 Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
                                             const SkylineSpec& spec,
                                             const StrataOptions& options,
+                                            const ExecContext& ctx,
                                             const std::string& output_prefix,
                                             StrataStats* stats) {
   if (!input.schema().Equals(spec.schema())) {
@@ -39,9 +40,11 @@ Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
   StrataStats* s = stats != nullptr ? stats : &local;
   *s = StrataStats{};
   s->input_rows = input.row_count();
+  SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
 
   Env* env = input.env();
-  TempFileManager temp_files(env, output_prefix + ".strata_tmp");
+  TempFileManager temp_files(env,
+                             ctx.TempPrefixOr(output_prefix + ".strata_tmp"));
 
   // Presort exactly as SFS does.
   std::string sorted_path = input.path();
@@ -53,10 +56,12 @@ Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
       ordering = std::make_unique<EntropyOrdering>(&spec, input);
     }
     Stopwatch sort_timer;
+    TraceSpan presort_span(ctx.trace, "presort");
     SKYLINE_ASSIGN_OR_RETURN(
         sorted_path,
         SortHeapFile(env, &temp_files, input.path(), spec.schema().row_width(),
-                     *ordering, options.sort_options, &s->sort_stats));
+                     *ordering, options.sort_options, ctx, &s->sort_stats));
+    presort_span.End();
     s->sort_seconds = sort_timer.ElapsedSeconds();
   }
 
@@ -76,12 +81,18 @@ Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
   s->stratum_sizes.assign(options.num_strata, 0);
 
   Stopwatch filter_timer;
+  TraceSpan filter_span(ctx.trace, "filter-pass", 1);
   HeapFileReader reader(env, sorted_path, spec.schema().row_width(), nullptr);
   SKYLINE_RETURN_IF_ERROR(reader.Open());
 
+  const bool poll_cancel = ctx.has_cancel_hook();
+  uint64_t scanned = 0;
   std::vector<char> prev_row(spec.schema().row_width());
   bool have_prev = false;
   while (const char* row = reader.Next()) {
+    if (poll_cancel && (++scanned & 4095u) == 0) {
+      SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
+    }
     if (spec.has_diff()) {
       if (have_prev && !spec.SameDiffGroup(prev_row.data(), row)) {
         for (auto& window : windows) window->Clear();
@@ -112,6 +123,7 @@ Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
     // Dominated at every level: deeper than the requested strata; discard.
   }
   SKYLINE_RETURN_IF_ERROR(reader.status());
+  filter_span.End();
   s->filter_seconds = filter_timer.ElapsedSeconds();
   for (const auto& window : windows) {
     s->window_comparisons += window->comparisons();
@@ -128,7 +140,8 @@ Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
 
 Result<std::vector<Table>> LabelStrataIterative(
     const Table& input, const SkylineSpec& spec, const SfsOptions& sfs_options,
-    size_t max_strata, const std::string& output_prefix, StrataStats* stats) {
+    const ExecContext& ctx, size_t max_strata,
+    const std::string& output_prefix, StrataStats* stats) {
   if (!input.schema().Equals(spec.schema())) {
     return Status::InvalidArgument("table schema does not match skyline spec");
   }
@@ -138,7 +151,8 @@ Result<std::vector<Table>> LabelStrataIterative(
   s->input_rows = input.row_count();
 
   Env* env = input.env();
-  TempFileManager temp_files(env, output_prefix + ".label_tmp");
+  TempFileManager temp_files(env,
+                             ctx.TempPrefixOr(output_prefix + ".label_tmp"));
 
   std::vector<Table> strata;
   // `current` holds the not-yet-labelled residue; starts as the input.
@@ -151,12 +165,17 @@ Result<std::vector<Table>> LabelStrataIterative(
   size_t level = 0;
   while (current.row_count() > 0 &&
          (max_strata == 0 || level < max_strata)) {
+    SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
     SfsOptions opts = sfs_options;
     opts.residue_path = temp_files.Allocate("residue");
+    // Each stratum's SFS run manages its own temp prefix; pass everything
+    // but temp_prefix through (nested runs would collide on one prefix).
+    ExecContext stratum_ctx = ctx;
+    stratum_ctx.temp_prefix.clear();
     SkylineRunStats run_stats;
     SKYLINE_ASSIGN_OR_RETURN(
         Table stratum,
-        ComputeSkylineSfs(current, spec, opts,
+        ComputeSkylineSfs(current, spec, opts, stratum_ctx,
                           output_prefix + ".s" + std::to_string(level),
                           &run_stats));
     s->sort_seconds += run_stats.sort_seconds;
@@ -173,6 +192,22 @@ Result<std::vector<Table>> LabelStrataIterative(
     if (previous_path != input.path()) temp_files.Delete(previous_path);
   }
   return strata;
+}
+
+Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
+                                            const SkylineSpec& spec,
+                                            const StrataOptions& options,
+                                            const std::string& output_prefix,
+                                            StrataStats* stats) {
+  return ComputeStrataSfs(input, spec, options, DefaultExecContext(),
+                          output_prefix, stats);
+}
+
+Result<std::vector<Table>> LabelStrataIterative(
+    const Table& input, const SkylineSpec& spec, const SfsOptions& sfs_options,
+    size_t max_strata, const std::string& output_prefix, StrataStats* stats) {
+  return LabelStrataIterative(input, spec, sfs_options, DefaultExecContext(),
+                              max_strata, output_prefix, stats);
 }
 
 }  // namespace skyline

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "core/run_stats.h"
 #include "core/sfs.h"
@@ -48,6 +49,14 @@ struct StrataStats {
 Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
                                             const SkylineSpec& spec,
                                             const StrataOptions& options,
+                                            const ExecContext& ctx,
+                                            const std::string& output_prefix,
+                                            StrataStats* stats);
+
+/// Deprecated shim: runs under DefaultExecContext().
+Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
+                                            const SkylineSpec& spec,
+                                            const StrataOptions& options,
                                             const std::string& output_prefix,
                                             StrataStats* stats);
 
@@ -56,6 +65,12 @@ Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
 /// future-work "label each tuple with its stratum number"). Handles any
 /// stratum size at the cost of one SFS run per stratum. Stops after
 /// `max_strata` strata (0 = until the input is exhausted).
+Result<std::vector<Table>> LabelStrataIterative(
+    const Table& input, const SkylineSpec& spec, const SfsOptions& sfs_options,
+    const ExecContext& ctx, size_t max_strata,
+    const std::string& output_prefix, StrataStats* stats);
+
+/// Deprecated shim: runs under DefaultExecContext().
 Result<std::vector<Table>> LabelStrataIterative(
     const Table& input, const SkylineSpec& spec, const SfsOptions& sfs_options,
     size_t max_strata, const std::string& output_prefix, StrataStats* stats);

@@ -7,6 +7,11 @@ namespace skyline {
 Query::Query(Env* env, const Table* table, std::string temp_prefix)
     : env_(env), table_(table), temp_prefix_(std::move(temp_prefix)) {}
 
+Query& Query::WithContext(const ExecContext* ctx) {
+  ctx_ = ctx;
+  return *this;
+}
+
 Query& Query::Where(RowPredicate predicate) {
   steps_.push_back([predicate = std::move(predicate)](
                        std::unique_ptr<Operator> child)
@@ -31,6 +36,7 @@ Query& Query::SkylineOf(std::vector<Criterion> criteria,
             std::unique_ptr<SkylineOperator> op,
             SkylineOperator::Make(std::move(child), env_, prefix, criteria,
                                   algorithm, sfs_options, bnl_options));
+        if (ctx_ != nullptr) op->set_exec_context(ctx_);
         return std::unique_ptr<Operator>(std::move(op));
       });
   return *this;
@@ -65,8 +71,10 @@ Query& Query::OrderBy(const RowOrdering* ordering, SortOptions options) {
   steps_.push_back([this, prefix, ordering, options](
                        std::unique_ptr<Operator> child)
                        -> Result<std::unique_ptr<Operator>> {
-    return std::unique_ptr<Operator>(new SortOperator(
-        std::move(child), env_, prefix, ordering, options));
+    auto op = std::make_unique<SortOperator>(std::move(child), env_, prefix,
+                                             ordering, options);
+    if (ctx_ != nullptr) op->set_exec_context(ctx_);
+    return std::unique_ptr<Operator>(std::move(op));
   });
   return *this;
 }

@@ -39,6 +39,11 @@ class Query {
   Query& operator=(const Query&) = delete;
   Query(Query&&) = default;
 
+  /// Attaches an execution context (must outlive execution). The context's
+  /// thread override, telemetry sinks, and cancellation hook apply to every
+  /// context-aware step (SkylineOf, OrderBy) regardless of call order.
+  Query& WithContext(const ExecContext* ctx);
+
   /// Filters rows by `predicate`.
   Query& Where(RowPredicate predicate);
 
@@ -79,6 +84,7 @@ class Query {
   Env* env_;
   const Table* table_;
   std::string temp_prefix_;
+  const ExecContext* ctx_ = nullptr;
   uint64_t next_step_id_ = 0;
   std::vector<Step> steps_;
 };

@@ -4,10 +4,9 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/compute_skyline.h"
+#include "core/run_report.h"
 #include "core/scoring.h"
-#include "core/sfs_parallel.h"
-#include "core/special2d.h"
-#include "core/special3d.h"
 
 namespace skyline {
 
@@ -37,6 +36,8 @@ SkylineOperator::SkylineOperator(std::unique_ptr<Operator> child, Env* env,
       bnl_options_(std::move(bnl_options)) {}
 
 Status SkylineOperator::Open() {
+  const ExecContext& ctx = exec_ != nullptr ? *exec_ : DefaultExecContext();
+  SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
   SKYLINE_RETURN_IF_ERROR(child_->Open());
 
   // Materialize the child into a temp table; TableBuilder collects the
@@ -51,39 +52,30 @@ Status SkylineOperator::Open() {
   SKYLINE_ASSIGN_OR_RETURN(Table staged_table, builder.Finish());
   input_table_.emplace(std::move(staged_table));
 
-  if (algorithm_ == SkylineAlgorithm::kBnl) {
-    // BNL blocks on output: compute everything up front.
-    const std::string out = temp_files_.Allocate("bnl_result");
+  // Everything except pipelined sequential SFS produces a materialized
+  // table: hand those paths to the unified dispatch (which also publishes
+  // run stats to the context's metrics sink) and stream the result.
+  const bool pipelined_sfs =
+      algorithm_ != SkylineAlgorithm::kBnl &&
+      !(algorithm_ == SkylineAlgorithm::kAuto &&
+        SkylineAutoUsesSpecialScan(spec_)) &&
+      (ctx.ResolveThreads(sfs_options_.threads) <= 1 ||
+       !sfs_options_.residue_path.empty());
+  if (!pipelined_sfs) {
+    const std::string out = temp_files_.Allocate("skyline_result");
+    SkylineComputeOptions compute_options;
+    compute_options.sfs = sfs_options_;
+    compute_options.bnl = bnl_options_;
     SKYLINE_ASSIGN_OR_RETURN(
-        Table result,
-        ComputeSkylineBnl(*input_table_, spec_, bnl_options_, out, &stats_));
-    bnl_result_.emplace(std::move(result));
-    bnl_reader_ = bnl_result_->NewReader(nullptr);
-    return Status::OK();
-  }
-  if (algorithm_ == SkylineAlgorithm::kAuto &&
-      (spec_.value_columns().size() == 2 ||
-       spec_.value_columns().size() == 3)) {
-    // Low-dimensional special case: windowless sorted scan/sweep. Its
-    // output is a materialized table, streamed like BNL's.
-    SortOptions sort_options = sfs_options_.sort_options;
-    if (sfs_options_.threads != 1 && sort_options.threads == 1) {
-      sort_options.threads = sfs_options_.threads;
-    }
-    const std::string out = temp_files_.Allocate("special_result");
-    SKYLINE_ASSIGN_OR_RETURN(
-        Table result,
-        spec_.value_columns().size() == 2
-            ? ComputeSkyline2D(*input_table_, spec_, sort_options, out,
-                               &stats_)
-            : ComputeSkyline3D(*input_table_, spec_, sort_options, out,
-                               &stats_));
-    bnl_result_.emplace(std::move(result));
-    bnl_reader_ = bnl_result_->NewReader(nullptr);
+        Table result, ComputeSkyline(algorithm_, *input_table_, spec_, ctx,
+                                     out, &stats_, compute_options));
+    materialized_.emplace(std::move(result));
+    materialized_reader_ = materialized_->NewReader(nullptr);
     return Status::OK();
   }
 
-  // SFS: presort now (blocking), then stream the filter.
+  // Sequential SFS: presort now (blocking), then stream the filter so rows
+  // pipeline out as they are confirmed.
   std::string sorted_path = input_table_->path();
   if (sfs_options_.presort != Presort::kNone) {
     std::unique_ptr<RowOrdering> owned;
@@ -99,56 +91,49 @@ Status SkylineOperator::Open() {
           "Presort::kCustom requires SfsOptions::custom_ordering");
     }
     SortOptions sort_options = sfs_options_.sort_options;
-    if (sfs_options_.threads != 1 && sort_options.threads == 1) {
-      sort_options.threads = sfs_options_.threads;
+    const size_t requested = ctx.RequestedThreads(sfs_options_.threads);
+    if (ctx.threads.has_value()) {
+      sort_options.threads = ctx.ResolveThreads(sort_options.threads);
+    } else if (requested != 1 && sort_options.threads == 1) {
+      sort_options.threads = requested;
     }
     Stopwatch sort_timer;
+    TraceSpan presort_span(ctx.trace, "presort");
     SKYLINE_ASSIGN_OR_RETURN(
         sorted_path,
         SortHeapFile(env_, &temp_files_, input_table_->path(),
-                     spec_.schema().row_width(), *ordering, sort_options,
+                     spec_.schema().row_width(), *ordering, sort_options, ctx,
                      &stats_.sort_stats));
+    presort_span.End();
     stats_.sort_seconds = sort_timer.ElapsedSeconds();
-  }
-  if (ResolveThreadCount(sfs_options_.threads) > 1 &&
-      sfs_options_.residue_path.empty()) {
-    // Block-parallel filter: materialize (the blocks are computed eagerly
-    // anyway), then stream the result like the other materialized paths.
-    Stopwatch filter_timer;
-    ParallelSfsOptions popt;
-    popt.window_pages = sfs_options_.window_pages;
-    popt.use_projection = sfs_options_.use_projection;
-    popt.threads = sfs_options_.threads;
-    const std::string out = temp_files_.Allocate("psfs_result");
-    TableBuilder builder(env_, out, spec_.schema());
-    SKYLINE_RETURN_IF_ERROR(builder.Open());
-    SKYLINE_RETURN_IF_ERROR(ParallelSfsFilter(
-        env_, sorted_path, spec_, popt,
-        [&builder](const char* row) { return builder.AppendRaw(row); },
-        &stats_));
-    stats_.filter_seconds = filter_timer.ElapsedSeconds();
-    SKYLINE_ASSIGN_OR_RETURN(Table result, builder.Finish());
-    bnl_result_.emplace(std::move(result));
-    bnl_reader_ = bnl_result_->NewReader(nullptr);
-    return Status::OK();
   }
   sfs_ = std::make_unique<SfsIterator>(
       env_, &temp_files_, sorted_path, &spec_, sfs_options_.window_pages,
       sfs_options_.use_projection, &stats_);
+  if (exec_ != nullptr) sfs_->set_exec_context(exec_);
   return sfs_->Open();
 }
 
 const char* SkylineOperator::Next() {
   if (!status_.ok()) return nullptr;
-  if (bnl_reader_ != nullptr) {
-    // Materialized result (BNL or an auto-selected special-case scan).
-    const char* row = bnl_reader_->Next();
-    if (row == nullptr) status_ = bnl_reader_->status();
+  if (materialized_reader_ != nullptr) {
+    // Materialized result (BNL, a special-case scan, or the parallel
+    // filter).
+    const char* row = materialized_reader_->Next();
+    if (row == nullptr) status_ = materialized_reader_->status();
     return row;
   }
   if (sfs_ == nullptr) return nullptr;
   const char* row = sfs_->Next();
-  if (row == nullptr) status_ = sfs_->status();
+  if (row == nullptr) {
+    status_ = sfs_->status();
+    // The materialized paths publish inside ComputeSkyline; the pipelined
+    // filter publishes here, once the stats have stopped moving.
+    if (status_.ok() && exec_ != nullptr && !stats_published_) {
+      PublishRunStats(exec_->metrics, "skyline.sfs", stats_);
+      stats_published_ = true;
+    }
+  }
   return row;
 }
 

@@ -6,26 +6,16 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "core/bnl.h"
 #include "core/sfs.h"
+#include "core/skyline_algorithm.h"
 #include "core/skyline_spec.h"
 #include "exec/operator.h"
 #include "relation/table.h"
 #include "storage/temp_file_manager.h"
 
 namespace skyline {
-
-/// Which algorithm evaluates the skyline operator.
-enum class SkylineAlgorithm {
-  kSfs,
-  kBnl,
-  /// Pick automatically: the 2-dim scan or 3-dim staircase sweep when the
-  /// spec has exactly that many MIN/MAX criteria (no window needed, O(n)
-  /// dominance work), otherwise SFS. What a planner would do given the
-  /// paper's Section 6 note that low-dimensional special cases "could be
-  /// exploited".
-  kAuto,
-};
 
 /// The relational skyline operator (the paper's proposed `SKYLINE OF`
 /// clause). Blocks on input (materializes the child, then presorts for
@@ -42,6 +32,11 @@ class SkylineOperator : public Operator {
       std::vector<Criterion> criteria,
       SkylineAlgorithm algorithm = SkylineAlgorithm::kSfs,
       SfsOptions sfs_options = SfsOptions{}, BnlOptions bnl_options = {});
+
+  /// Attaches an execution context (must outlive the operator; set before
+  /// Open). Supplies the thread override, telemetry sinks, and
+  /// cancellation for the skyline computation.
+  void set_exec_context(const ExecContext* ctx) { exec_ = ctx; }
 
   Status Open() override;
   const char* Next() override;
@@ -75,12 +70,16 @@ class SkylineOperator : public Operator {
   SkylineAlgorithm algorithm_;
   SfsOptions sfs_options_;
   BnlOptions bnl_options_;
+  const ExecContext* exec_ = nullptr;
   SkylineRunStats stats_;
 
   std::optional<Table> input_table_;
   std::unique_ptr<SfsIterator> sfs_;
-  std::optional<Table> bnl_result_;
-  std::unique_ptr<HeapFileReader> bnl_reader_;
+  /// Result table + reader for the materialized paths (BNL, the
+  /// auto-selected special scans, and the block-parallel filter).
+  std::optional<Table> materialized_;
+  std::unique_ptr<HeapFileReader> materialized_reader_;
+  bool stats_published_ = false;
   Status status_;
 };
 

@@ -27,10 +27,11 @@ Status SortOperator::Open() {
   SKYLINE_RETURN_IF_ERROR(child_->status());
   SKYLINE_RETURN_IF_ERROR(writer.Finish());
 
+  const ExecContext& ctx = exec_ != nullptr ? *exec_ : DefaultExecContext();
   SKYLINE_ASSIGN_OR_RETURN(
       std::string sorted,
       SortHeapFile(env_, &temp_files_, staged, width, *ordering_, options_,
-                   nullptr));
+                   ctx, nullptr));
   reader_ = std::make_unique<HeapFileReader>(env_, sorted, width, nullptr);
   return reader_->Open();
 }

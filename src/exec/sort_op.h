@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/exec_context.h"
 #include "exec/operator.h"
 #include "sort/comparator.h"
 #include "sort/external_sort.h"
@@ -22,6 +23,10 @@ class SortOperator : public Operator {
                std::string temp_prefix, const RowOrdering* ordering,
                SortOptions options = SortOptions{});
 
+  /// Attaches an execution context (must outlive the operator; set before
+  /// Open): thread override, trace spans, and cancellation for the sort.
+  void set_exec_context(const ExecContext* ctx) { exec_ = ctx; }
+
   Status Open() override;
   const char* Next() override;
   const Status& status() const override { return status_; }
@@ -37,6 +42,7 @@ class SortOperator : public Operator {
   TempFileManager temp_files_;
   const RowOrdering* ordering_;
   SortOptions options_;
+  const ExecContext* exec_ = nullptr;
   std::unique_ptr<HeapFileReader> reader_;
   Status status_;
 };

@@ -121,27 +121,43 @@ class OverlappedAppender {
 
 ExternalSorter::ExternalSorter(Env* env, TempFileManager* temp_files,
                                const RowOrdering* ordering, size_t record_size,
-                               const SortOptions& options, SortStats* stats_out)
+                               const SortOptions& options,
+                               const ExecContext& ctx, SortStats* stats_out)
     : env_(env),
       temp_files_(temp_files),
       ordering_(ordering),
       record_size_(record_size),
       options_(options),
+      ctx_(&ctx),
       stats_out_(stats_out),
       stats_(stats_out_ != nullptr ? stats_out_ : &local_stats_) {
   SKYLINE_CHECK_GE(options_.buffer_pages, 3u)
       << "external sort needs at least 3 buffer pages";
 }
 
+ExternalSorter::ExternalSorter(Env* env, TempFileManager* temp_files,
+                               const RowOrdering* ordering, size_t record_size,
+                               const SortOptions& options, SortStats* stats_out)
+    : ExternalSorter(env, temp_files, ordering, record_size, options,
+                     DefaultExecContext(), stats_out) {}
+
 Result<std::string> ExternalSorter::Sort(const std::string& input_path) {
   *stats_ = SortStats{};
-  const size_t threads = ResolveThreadCount(options_.threads);
+  SKYLINE_RETURN_IF_ERROR(ctx_->CheckCancelled());
+  // An explicit context override takes the clamped resolution; otherwise
+  // the options field keeps its historical literal semantics (callers like
+  // SFS clamp before setting it).
+  const size_t threads = ctx_->threads.has_value()
+                             ? ctx_->ResolveThreads(options_.threads)
+                             : ResolveThreadCount(options_.threads);
   stats_->threads_used = threads;
   if (threads > 1 && pool_ == nullptr) {
     pool_ = std::make_unique<ThreadPool>(threads);
   }
   std::vector<std::string> runs;
+  TraceSpan run_span(ctx_->trace, "run-formation");
   SKYLINE_ASSIGN_OR_RETURN(std::string single, GenerateRuns(input_path, &runs));
+  run_span.End();
   if (!single.empty()) return single;  // fit in one run
   return MergeRuns(std::move(runs));
 }
@@ -218,6 +234,8 @@ Result<std::string> ExternalSorter::GenerateRuns(
 
   std::vector<char> buffer;
   buffer.reserve(run_capacity * record_size_);
+  const bool poll_cancel = ctx_->has_cancel_hook();
+  uint64_t scanned = 0;
 
   while (true) {
     buffer.clear();
@@ -225,6 +243,13 @@ Result<std::string> ExternalSorter::GenerateRuns(
     while (n < run_capacity) {
       const char* rec = reader.Next();
       if (rec == nullptr) break;
+      if (poll_cancel && (++scanned & 4095u) == 0) {
+        Status st = ctx_->CheckCancelled();
+        if (!st.ok()) {
+          reap_all();
+          return st;
+        }
+      }
       if (filter != nullptr && !filter->Keep(rec)) {
         ++stats_->records_filtered;
         continue;
@@ -289,6 +314,9 @@ Result<std::string> ExternalSorter::MergeRuns(std::vector<std::string> runs) {
   const size_t fan_in = std::max<size_t>(2, options_.buffer_pages - 1);
   while (runs.size() > 1) {
     ++stats_->merge_levels;
+    SKYLINE_RETURN_IF_ERROR(ctx_->CheckCancelled());
+    TraceSpan merge_span(ctx_->trace, "merge",
+                         static_cast<int64_t>(stats_->merge_levels));
     // Form this level's groups up front so their outputs are allocated in
     // order; independent groups then merge concurrently.
     std::vector<std::vector<std::string>> groups;
@@ -379,7 +407,12 @@ Status ExternalSorter::MergeOnce(const std::vector<std::string>& group,
                                              record_size_);
   }
 
+  const bool poll_cancel = ctx_->has_cancel_hook();
+  uint64_t merged = 0;
   while (!heap.empty()) {
+    if (poll_cancel && (++merged & 4095u) == 0) {
+      SKYLINE_RETURN_IF_ERROR(ctx_->CheckCancelled());
+    }
     std::pop_heap(heap.begin(), heap.end(), heap_cmp);
     MergeCursor* top = heap.back();
     if (overlapped != nullptr) {
@@ -406,10 +439,20 @@ Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,
                                  size_t record_size,
                                  const RowOrdering& ordering,
                                  const SortOptions& options,
-                                 SortStats* stats) {
-  ExternalSorter sorter(env, temp_files, &ordering, record_size, options,
+                                 const ExecContext& ctx, SortStats* stats) {
+  ExternalSorter sorter(env, temp_files, &ordering, record_size, options, ctx,
                         stats);
   return sorter.Sort(input_path);
+}
+
+Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,
+                                 const std::string& input_path,
+                                 size_t record_size,
+                                 const RowOrdering& ordering,
+                                 const SortOptions& options,
+                                 SortStats* stats) {
+  return SortHeapFile(env, temp_files, input_path, record_size, ordering,
+                      options, DefaultExecContext(), stats);
 }
 
 }  // namespace skyline

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "env/env.h"
@@ -73,7 +74,16 @@ struct SortStats {
 /// work with page writes via a double-buffered background appender.
 class ExternalSorter {
  public:
-  /// All pointers must outlive the sorter. `stats_out` may be null.
+  /// All pointers must outlive the sorter. `stats_out` may be null. The
+  /// context supplies the thread override, trace sink ("run-formation" and
+  /// per-level "merge-N" spans), and the cancellation hook polled during
+  /// the input scan and each merge.
+  ExternalSorter(Env* env, TempFileManager* temp_files,
+                 const RowOrdering* ordering, size_t record_size,
+                 const SortOptions& options, const ExecContext& ctx,
+                 SortStats* stats_out);
+
+  /// Deprecated shim: sorts under DefaultExecContext().
   ExternalSorter(Env* env, TempFileManager* temp_files,
                  const RowOrdering* ordering, size_t record_size,
                  const SortOptions& options, SortStats* stats_out);
@@ -106,6 +116,7 @@ class ExternalSorter {
   const RowOrdering* ordering_;
   size_t record_size_;
   SortOptions options_;
+  const ExecContext* ctx_;
   SortStats* stats_out_;
   SortStats local_stats_;
   SortStats* stats_;
@@ -115,6 +126,14 @@ class ExternalSorter {
 
 /// Convenience: sort `input_path` with `ordering` using fresh temp files in
 /// `env`, returning the sorted file path. `stats` may be null.
+Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,
+                                 const std::string& input_path,
+                                 size_t record_size,
+                                 const RowOrdering& ordering,
+                                 const SortOptions& options,
+                                 const ExecContext& ctx, SortStats* stats);
+
+/// Deprecated shim: sorts under DefaultExecContext().
 Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,
                                  const std::string& input_path,
                                  size_t record_size,

@@ -72,6 +72,18 @@ Result<BoundPredicate> BindPredicate(const Schema& schema,
 
 namespace {
 
+/// Folds the legacy SqlOptions::threads knob into the context the
+/// operators actually consume: an explicitly set exec.threads wins;
+/// otherwise a non-zero legacy value becomes the override, and 0 keeps the
+/// context's "defer to the algorithm options" default.
+ExecContext ResolveSqlContext(const SqlOptions& options) {
+  ExecContext ctx = options.exec;
+  if (!ctx.threads.has_value() && options.threads != 0) {
+    ctx.threads = options.threads;
+  }
+  return ctx;
+}
+
 /// Binds `statement` and assembles the Query pipeline plus the owned
 /// ordering it may reference. Shared by execution and EXPLAIN.
 Result<std::unique_ptr<Query>> BuildQueryFromStatement(
@@ -119,12 +131,9 @@ Result<std::unique_ptr<Query>> BuildQueryFromStatement(
     });
   }
   if (!statement.skyline.empty()) {
-    SfsOptions sfs = options.sfs;
-    if (options.threads != 0) {
-      sfs.threads = options.threads;
-      sfs.sort_options.threads = options.threads;
-    }
-    query->SkylineOf(statement.skyline, options.algorithm, std::move(sfs));
+    // The legacy SqlOptions::threads override reaches the operators through
+    // the execution context (see ResolveSqlContext), not by mutating sfs.
+    query->SkylineOf(statement.skyline, options.algorithm, options.sfs);
   }
   if (order_by != nullptr) {
     // Before projection, so ORDER BY may reference non-selected columns;
@@ -146,10 +155,16 @@ Result<std::unique_ptr<Query>> BuildQueryFromStatement(
 Status ExecuteSelect(const Catalog& catalog, const SelectStatement& statement,
                      const SqlOptions& options,
                      const std::function<Status(const RowView&)>& visitor) {
+  const ExecContext ctx = ResolveSqlContext(options);
+  SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
+  TraceSpan bind_span(ctx.trace, "sql-bind");
   std::unique_ptr<LexicographicOrdering> order_by;
   SKYLINE_ASSIGN_OR_RETURN(
       std::unique_ptr<Query> query,
       BuildQueryFromStatement(catalog, statement, options, &order_by));
+  bind_span.End();
+  query->WithContext(&ctx);
+  TraceSpan execute_span(ctx.trace, "sql-execute");
   return query->Run(visitor);
 }
 
@@ -166,7 +181,9 @@ Result<std::string> ExplainSql(const Catalog& catalog, const std::string& sql,
 Status ExecuteSql(const Catalog& catalog, const std::string& sql,
                   const SqlOptions& options,
                   const std::function<Status(const RowView&)>& visitor) {
+  TraceSpan parse_span(options.exec.trace, "sql-parse");
   SKYLINE_ASSIGN_OR_RETURN(SelectStatement statement, ParseSql(sql));
+  parse_span.End();
   return ExecuteSelect(catalog, statement, options, visitor);
 }
 

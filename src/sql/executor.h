@@ -5,6 +5,7 @@
 #include <map>
 #include <string>
 
+#include "common/exec_context.h"
 #include "common/status.h"
 #include "core/sfs.h"
 #include "exec/query.h"
@@ -45,13 +46,21 @@ struct SqlOptions {
   /// Options for SFS-based evaluation (the kSfs and high-dim kAuto paths;
   /// sort_options also feed the special-case scans).
   SfsOptions sfs;
-  /// Worker threads for skyline evaluation and presorting. 0 (the default)
-  /// defers to whatever `sfs` carries; any other value overrides both
-  /// sfs.threads and sfs.sort_options.threads — the session-level knob a
-  /// server would expose. 1 forces sequential execution.
+  /// Worker threads for skyline evaluation and presorting — the
+  /// session-level knob a server would expose. This is the one legacy field
+  /// where 0 means "unset": 0 (the default) defers to whatever `sfs`
+  /// carries (and there 0 means "use all hardware threads"); any other
+  /// value overrides both sfs.threads and sfs.sort_options.threads, with 1
+  /// forcing sequential execution. The executor translates a non-zero value
+  /// into `exec.threads` before anything else sees it; an explicitly set
+  /// `exec.threads` wins over this field.
   size_t threads = 0;
   /// Temp-file prefix for pipeline steps.
   std::string temp_prefix = "sql_query";
+  /// Execution context threaded through every operator the statement
+  /// builds: resolved thread override, metrics/trace sinks, and the
+  /// cancellation hook.
+  ExecContext exec;
 };
 
 /// Renders the plan that `statement` would execute against `catalog`,

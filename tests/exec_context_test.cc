@@ -1,0 +1,289 @@
+#include "common/exec_context.h"
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/compute_skyline.h"
+#include "core/sfs.h"
+#include "gtest/gtest.h"
+#include "sql/executor.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::MakeUniformTable;
+using testing_util::OracleSkylineMultiset;
+using testing_util::ReadAll;
+using testing_util::RowMultiset;
+
+size_t Hardware() { return ClampThreadsToHardware(0); }
+
+// ---- Pure thread-knob resolution (the table in exec_context.h) ----
+
+TEST(ExecContextTest, UnsetContextDefersToOptionField) {
+  ExecContext ctx;
+  EXPECT_EQ(ctx.ResolveThreads(1), 1u);
+  EXPECT_EQ(ctx.ResolveThreads(0), Hardware());  // option 0 = hardware
+  EXPECT_EQ(ctx.ResolveThreads(3), ClampThreadsToHardware(3));
+  EXPECT_EQ(ctx.RequestedThreads(7), 7u);  // unclamped passthrough
+}
+
+TEST(ExecContextTest, SetContextOverridesOptionField) {
+  ExecContext ctx;
+  ctx.threads = 1;
+  EXPECT_EQ(ctx.ResolveThreads(0), 1u);
+  EXPECT_EQ(ctx.ResolveThreads(8), 1u);
+  ctx.threads = 0;  // context 0 = hardware, overriding a literal option
+  EXPECT_EQ(ctx.ResolveThreads(1), Hardware());
+}
+
+TEST(ExecContextTest, ResolveClampsButRequestedDoesNot) {
+  ExecContext ctx;
+  ctx.threads = 64 * 1024;
+  EXPECT_EQ(ctx.ResolveThreads(1), Hardware());
+  EXPECT_EQ(ctx.RequestedThreads(1), 64u * 1024u);
+}
+
+TEST(ExecContextTest, TempPrefixFallsBackWhenEmpty) {
+  ExecContext ctx;
+  const std::string fallback = "out.tmp";
+  EXPECT_EQ(ctx.TempPrefixOr(fallback), "out.tmp");
+  ctx.temp_prefix = "scratch/run7";
+  EXPECT_EQ(ctx.TempPrefixOr(fallback), "scratch/run7");
+}
+
+TEST(ExecContextTest, CheckCancelledFollowsTheHook) {
+  ExecContext ctx;
+  EXPECT_FALSE(ctx.has_cancel_hook());
+  EXPECT_TRUE(ctx.CheckCancelled().ok());
+  std::atomic<bool> cancel{false};
+  ctx.cancelled = [&cancel] { return cancel.load(); };
+  EXPECT_TRUE(ctx.has_cancel_hook());
+  EXPECT_TRUE(ctx.CheckCancelled().ok());
+  cancel = true;
+  EXPECT_TRUE(ctx.CheckCancelled().IsCancelled());
+}
+
+// ---- Resolution as observed through the algorithm entry points ----
+
+class ExecContextSfsTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Env> env_ = NewMemEnv();
+
+  SkylineSpec MaxSpec(const Table& t, int dims) {
+    std::vector<Criterion> criteria;
+    for (int i = 0; i < dims; ++i) {
+      criteria.push_back({"a" + std::to_string(i), Directive::kMax});
+    }
+    auto result = SkylineSpec::Make(t.schema(), std::move(criteria));
+    SKYLINE_CHECK(result.ok()) << result.status().ToString();
+    return std::move(result).value();
+  }
+};
+
+TEST_F(ExecContextSfsTest, ContextThreadsOverrideSfsOptions) {
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env_.get(), "t", 800, 3, 7));
+  SkylineSpec spec = MaxSpec(t, 3);
+  const auto oracle = OracleSkylineMultiset(t, spec);
+
+  // Option asks for all hardware; the context pins it back to sequential.
+  SfsOptions options;
+  options.threads = 0;
+  ExecContext ctx;
+  ctx.threads = 1;
+  SkylineRunStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      Table sky, ComputeSkylineSfs(t, spec, options, ctx, "out_seq", &stats));
+  EXPECT_EQ(stats.threads_used, 1u);
+  std::vector<char> rows = ReadAll(sky);
+  EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
+            oracle);
+
+  // Unset context defers to the (deprecated) option field.
+  SfsOptions sequential;
+  sequential.threads = 1;
+  SkylineRunStats deferred_stats;
+  ASSERT_OK_AND_ASSIGN(Table sky2,
+                       ComputeSkylineSfs(t, spec, sequential, ExecContext{},
+                                         "out_defer", &deferred_stats));
+  EXPECT_EQ(deferred_stats.threads_used, 1u);
+
+  if (Hardware() < 2) GTEST_SKIP() << "needs >= 2 hardware threads";
+  SfsOptions one;
+  one.threads = 1;
+  ExecContext two;
+  two.threads = 2;
+  SkylineRunStats parallel_stats;
+  ASSERT_OK_AND_ASSIGN(
+      Table sky3,
+      ComputeSkylineSfs(t, spec, one, two, "out_par", &parallel_stats));
+  EXPECT_EQ(parallel_stats.threads_used, 2u);
+  std::vector<char> rows3 = ReadAll(sky3);
+  EXPECT_EQ(
+      RowMultiset(rows3.data(), sky3.row_count(), t.schema().row_width()),
+      oracle);
+}
+
+TEST_F(ExecContextSfsTest, DeprecatedSignatureMatchesDefaultContext) {
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env_.get(), "t", 500, 3, 9));
+  SkylineSpec spec = MaxSpec(t, 3);
+  SfsOptions options;
+  options.threads = 1;
+  SkylineRunStats old_stats;
+  ASSERT_OK_AND_ASSIGN(
+      Table old_sky, ComputeSkylineSfs(t, spec, options, "out_old",
+                                       &old_stats));
+  SkylineRunStats new_stats;
+  ASSERT_OK_AND_ASSIGN(Table new_sky,
+                       ComputeSkylineSfs(t, spec, options, DefaultExecContext(),
+                                         "out_new", &new_stats));
+  std::vector<char> old_rows = ReadAll(old_sky);
+  std::vector<char> new_rows = ReadAll(new_sky);
+  EXPECT_EQ(RowMultiset(old_rows.data(), old_sky.row_count(),
+                        t.schema().row_width()),
+            RowMultiset(new_rows.data(), new_sky.row_count(),
+                        t.schema().row_width()));
+  EXPECT_EQ(old_stats.threads_used, new_stats.threads_used);
+  EXPECT_EQ(old_stats.passes, new_stats.passes);
+}
+
+TEST_F(ExecContextSfsTest, CancellationHookAbortsTheRun) {
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env_.get(), "t", 2000, 4, 3));
+  SkylineSpec spec = MaxSpec(t, 4);
+  ExecContext ctx;
+  ctx.cancelled = [] { return true; };
+  auto result =
+      ComputeSkylineSfs(t, spec, SfsOptions{}, ctx, "out_cancel", nullptr);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+}
+
+TEST_F(ExecContextSfsTest, UnifiedDispatchMatchesDirectCalls) {
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env_.get(), "t", 600, 4, 5));
+  SkylineSpec spec = MaxSpec(t, 4);
+  const auto oracle = OracleSkylineMultiset(t, spec);
+  for (SkylineAlgorithm algorithm :
+       {SkylineAlgorithm::kSfs, SkylineAlgorithm::kBnl,
+        SkylineAlgorithm::kAuto}) {
+    SkylineRunStats stats;
+    ASSERT_OK_AND_ASSIGN(
+        Table sky,
+        ComputeSkyline(algorithm, t, spec, DefaultExecContext(),
+                       "out_unified" +
+                           std::to_string(static_cast<int>(algorithm)),
+                       &stats));
+    std::vector<char> rows = ReadAll(sky);
+    EXPECT_EQ(
+        RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
+        oracle)
+        << "algorithm " << static_cast<int>(algorithm);
+    EXPECT_EQ(stats.output_rows, sky.row_count());
+  }
+  // 4 value columns: kAuto must take the SFS route, not a special scan.
+  EXPECT_FALSE(SkylineAutoUsesSpecialScan(spec));
+}
+
+// ---- SqlOptions::threads: the documented legacy exception ----
+
+class ExecContextSqlTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    ASSERT_OK_AND_ASSIGN(Table t,
+                         MakeUniformTable(env_.get(), "sqlt", 600, 3, 11));
+    table_.emplace(std::move(t));
+    catalog_ = std::make_unique<Catalog>(env_.get());
+    catalog_->Register("T", &*table_);
+  }
+
+  Status Run(const SqlOptions& options, int* rows_out) {
+    int rows = 0;
+    Status st = ExecuteSql(*catalog_,
+                           "SELECT * FROM T SKYLINE OF a0 MAX, a1 MAX, a2 MAX",
+                           options, [&rows](const RowView&) {
+                             ++rows;
+                             return Status::OK();
+                           });
+    if (rows_out != nullptr) *rows_out = rows;
+    return st;
+  }
+
+  std::unique_ptr<Env> env_;
+  std::optional<Table> table_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+TEST_F(ExecContextSqlTest, ThreadsZeroDefersToSfsOptions) {
+  // threads=0 means "unset" at the SQL level: sfs.threads=1 keeps the run
+  // sequential, so the pipelined filter traces filter passes, not blocks.
+  TraceSink trace;
+  SqlOptions options;
+  options.threads = 0;
+  options.sfs.threads = 1;
+  options.exec.trace = &trace;
+  int rows = 0;
+  ASSERT_TRUE(Run(options, &rows).ok());
+  EXPECT_GT(rows, 0);
+  EXPECT_EQ(trace.CountSpans("block-scan"), 0u);
+  EXPECT_EQ(trace.CountSpans("filter-pass-1"), 1u);
+  EXPECT_EQ(trace.CountSpans("sql-parse"), 1u);
+  EXPECT_EQ(trace.CountSpans("sql-bind"), 1u);
+  EXPECT_EQ(trace.CountSpans("sql-execute"), 1u);
+}
+
+TEST_F(ExecContextSqlTest, NonZeroThreadsOverridesSfsOptions) {
+  if (ClampThreadsToHardware(0) < 2) {
+    GTEST_SKIP() << "needs >= 2 hardware threads";
+  }
+  TraceSink trace;
+  SqlOptions options;
+  options.threads = 2;
+  options.sfs.threads = 1;  // overridden by the legacy session knob
+  options.exec.trace = &trace;
+  int rows = 0;
+  ASSERT_TRUE(Run(options, &rows).ok());
+  EXPECT_GT(rows, 0);
+  EXPECT_GT(trace.CountSpans("block-scan"), 0u);
+}
+
+TEST_F(ExecContextSqlTest, ExplicitExecThreadsWinsOverLegacyKnob) {
+  TraceSink trace;
+  SqlOptions options;
+  options.threads = 4;
+  options.exec.threads = 1;  // the new API pins it back to sequential
+  options.exec.trace = &trace;
+  int rows = 0;
+  ASSERT_TRUE(Run(options, &rows).ok());
+  EXPECT_GT(rows, 0);
+  EXPECT_EQ(trace.CountSpans("block-scan"), 0u);
+  EXPECT_EQ(trace.CountSpans("filter-pass-1"), 1u);
+}
+
+TEST_F(ExecContextSqlTest, CancellationSurfacesThroughSql) {
+  SqlOptions options;
+  options.exec.cancelled = [] { return true; };
+  Status st = Run(options, nullptr);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsCancelled()) << st.ToString();
+}
+
+TEST_F(ExecContextSqlTest, MetricsPublishOnStreamExhaustion) {
+  MetricsRegistry metrics;
+  SqlOptions options;
+  options.sfs.threads = 1;
+  options.exec.metrics = &metrics;
+  int rows = 0;
+  ASSERT_TRUE(Run(options, &rows).ok());
+  const MetricsSnapshot snapshot = metrics.Aggregate();
+  EXPECT_EQ(snapshot.CounterValue("skyline.sfs.runs"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("skyline.sfs.output_rows"),
+            static_cast<uint64_t>(rows));
+}
+
+}  // namespace
+}  // namespace skyline

@@ -86,6 +86,33 @@ TEST_F(SfsTest, MultiPassWithTinyWindowMatchesOracle) {
   EXPECT_EQ(stats.temp_io.pages_read, stats.temp_io.pages_written);
 }
 
+TEST_F(SfsTest, PerPassTraceSpansMatchPassCount) {
+  // Same shape as the tiny-window test above: several filter passes, each
+  // of which must emit exactly one "filter-pass-<n>" span.
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env_.get(), "t", 3000, 7, 3));
+  SkylineSpec spec = MaxSpec(t, 7);
+  SfsOptions opts;
+  opts.window_pages = 1;
+  opts.use_projection = false;
+  opts.threads = 1;
+  TraceSink trace;
+  ExecContext ctx;
+  ctx.trace = &trace;
+  SkylineRunStats stats;
+  ASSERT_OK_AND_ASSIGN(Table sky,
+                       ComputeSkylineSfs(t, spec, opts, ctx, "out", &stats));
+  ASSERT_GT(stats.passes, 1u);
+  for (uint64_t pass = 1; pass <= stats.passes; ++pass) {
+    EXPECT_EQ(trace.CountSpans("filter-pass-" + std::to_string(pass)), 1u)
+        << "pass " << pass << " of " << stats.passes;
+  }
+  EXPECT_EQ(
+      trace.CountSpans("filter-pass-" + std::to_string(stats.passes + 1)),
+      0u);
+  EXPECT_EQ(trace.CountSpans("presort"), 1u);
+  EXPECT_EQ(trace.CountSpans("run-formation"), 1u);
+}
+
 TEST_F(SfsTest, ProjectionReducesPasses) {
   ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env_.get(), "t", 3000, 7, 3,
                                                  /*payload_bytes=*/72));

@@ -1,0 +1,305 @@
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "core/run_report.h"
+#include "gtest/gtest.h"
+
+// Counting global allocator: the disabled-tracing contract is "a single
+// branch, no clock read, no allocation", and the only way to pin the last
+// part is to watch operator new. The count is process-wide, so tests that
+// use it must not run concurrent allocating threads of their own.
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+// noinline keeps GCC from pairing the malloc/free inside with call-site
+// new/delete and warning -Wmismatched-new-delete.
+__attribute__((noinline)) void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+__attribute__((noinline)) void* operator new[](std::size_t size) {
+  return ::operator new(size);
+}
+__attribute__((noinline)) void operator delete(void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(void* p,
+                                               std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](void* p,
+                                                 std::size_t) noexcept {
+  std::free(p);
+}
+
+namespace skyline {
+namespace {
+
+TEST(TraceTest, RecordsNestedSpansWithDepth) {
+  TraceSink sink;
+  {
+    TraceSpan outer(&sink, "presort");
+    {
+      TraceSpan inner(&sink, "run-formation");
+    }
+  }
+  const std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner span completes (and records) first.
+  EXPECT_EQ(events[0].name_view(), "run-formation");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].name_view(), "presort");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_GE(events[1].duration_ns, events[0].duration_ns);
+  EXPECT_LE(events[1].start_ns, events[0].start_ns);
+}
+
+TEST(TraceTest, SuffixFormatsIntoName) {
+  TraceSink sink;
+  { TraceSpan span(&sink, "filter-pass", 3); }
+  EXPECT_EQ(sink.CountSpans("filter-pass-3"), 1u);
+  EXPECT_EQ(sink.CountSpans("filter-pass"), 0u);
+}
+
+TEST(TraceTest, EndIsIdempotent) {
+  TraceSink sink;
+  {
+    TraceSpan span(&sink, "merge");
+    span.End();
+    span.End();
+  }  // destructor must not record a second event
+  EXPECT_EQ(sink.recorded(), 1u);
+}
+
+TEST(TraceTest, RingBufferKeepsNewestAndCountsDropped) {
+  TraceSink sink(/*capacity=*/4);
+  for (int i = 0; i < 7; ++i) {
+    TraceSpan span(&sink, "span", i);
+  }
+  EXPECT_EQ(sink.recorded(), 7u);
+  EXPECT_EQ(sink.dropped(), 3u);
+  const std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first of the surviving (newest) events: span-3 .. span-6.
+  EXPECT_EQ(events.front().name_view(), "span-3");
+  EXPECT_EQ(events.back().name_view(), "span-6");
+  sink.Clear();
+  EXPECT_TRUE(sink.Snapshot().empty());
+}
+
+TEST(TraceTest, DisabledOrNullSinkRecordsNothingAndDoesNotAllocate) {
+  TraceSink sink;
+  sink.set_enabled(false);
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan null_span(nullptr, "window-probe");
+    TraceSpan disabled_span(&sink, "window-probe", i);
+  }
+  EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), before);
+  EXPECT_EQ(sink.recorded(), 0u);
+  EXPECT_TRUE(sink.Snapshot().empty());
+  sink.set_enabled(true);
+  { TraceSpan span(&sink, "window-probe"); }
+  EXPECT_EQ(sink.recorded(), 1u);
+}
+
+TEST(TraceTest, ConcurrentRecordingFromPoolWorkers) {
+  TraceSink sink(/*capacity=*/8192);
+  ThreadPool pool(4);
+  constexpr size_t kSpansPerTask = 50;
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 8; ++t) {
+    futures.push_back(pool.Submit([&sink] {
+      for (size_t i = 0; i < kSpansPerTask; ++i) {
+        TraceSpan span(&sink, "worker-span");
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sink.recorded(), 8 * kSpansPerTask);
+  EXPECT_EQ(sink.CountSpans("worker-span"), 8 * kSpansPerTask);
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+TEST(MetricsTest, CounterAggregatesAcrossThreadPoolWorkers) {
+  MetricsRegistry registry;
+  Counter counter = registry.GetCounter("test.rows");
+  ThreadPool pool(4);
+  constexpr uint64_t kPerTask = 1000;
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 8; ++t) {
+    futures.push_back(pool.Submit([counter] {
+      for (uint64_t i = 0; i < kPerTask; ++i) counter.Increment();
+    }));
+  }
+  for (auto& f : futures) f.get();
+  counter.Add(5);  // the aggregating thread contributes its own shard
+  const MetricsSnapshot snapshot = registry.Aggregate();
+  EXPECT_EQ(snapshot.CounterValue("test.rows"), 8 * kPerTask + 5);
+}
+
+TEST(MetricsTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry registry;
+  Counter a = registry.GetCounter("test.same");
+  Counter b = registry.GetCounter("test.same");
+  a.Add(2);
+  b.Add(3);
+  EXPECT_EQ(registry.Aggregate().CounterValue("test.same"), 5u);
+}
+
+TEST(MetricsTest, GaugeLastSetWins) {
+  MetricsRegistry registry;
+  Gauge gauge = registry.GetGauge("test.threads");
+  gauge.Set(4);
+  gauge.Set(2);
+  EXPECT_EQ(registry.Aggregate().GaugeValue("test.threads"), 2);
+}
+
+TEST(MetricsTest, InertHandlesAreSafe) {
+  Counter counter;  // default-constructed: no registry
+  counter.Increment();
+  Gauge gauge;
+  gauge.Set(7);
+  LatencyHistogram histogram;
+  histogram.ObserveNanos(10);
+  // Nothing to assert beyond "did not crash": the handles are inert.
+}
+
+TEST(MetricsTest, HistogramTracksCountSumMinMax) {
+  MetricsRegistry registry;
+  LatencyHistogram histogram = registry.GetHistogram("test.latency");
+  histogram.ObserveNanos(100);
+  histogram.ObserveNanos(200);
+  histogram.ObserveNanos(400);
+  const MetricsSnapshot snapshot = registry.Aggregate();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& h = snapshot.histograms[0];
+  EXPECT_EQ(h.name, "test.latency");
+  EXPECT_EQ(h.count, 3u);
+  EXPECT_EQ(h.sum_ns, 700u);
+  EXPECT_EQ(h.min_ns, 100u);
+  EXPECT_EQ(h.max_ns, 400u);
+  // Power-of-two buckets make quantiles upper bounds: monotone in q and
+  // never below the true value.
+  EXPECT_GE(h.QuantileNanos(0.5), 100u);
+  EXPECT_LE(h.QuantileNanos(0.5), h.QuantileNanos(0.99));
+}
+
+TEST(MetricsTest, OverflowPastCapacityReturnsInertHandles) {
+  MetricsRegistry registry;
+  for (size_t i = 0; i < MetricsRegistry::kMaxCounters + 10; ++i) {
+    Counter c = registry.GetCounter("test.c" + std::to_string(i));
+    c.Increment();
+  }
+  EXPECT_GT(registry.overflow_count(), 0u);
+  const MetricsSnapshot snapshot = registry.Aggregate();
+  EXPECT_LE(snapshot.counters.size(), MetricsRegistry::kMaxCounters);
+  EXPECT_EQ(snapshot.CounterValue("test.c0"), 1u);
+}
+
+TEST(RunReportTest, JsonCarriesSchemaVersionStatsMetricsAndTrace) {
+  MetricsRegistry registry;
+  registry.GetCounter("skyline.sfs.runs").Increment();
+  registry.GetGauge("skyline.sfs.threads_used").Set(2);
+  registry.GetHistogram("skyline.sfs.sort_seconds").ObserveSeconds(0.25);
+  TraceSink trace;
+  { TraceSpan span(&trace, "presort"); }
+
+  RunReport report;
+  report.tool = "trace_metrics_test";
+  report.algorithm = "sfs";
+  report.stats.input_rows = 1000;
+  report.stats.output_rows = 10;
+  report.stats.passes = 2;
+  report.wall_seconds = 0.5;
+  report.labels.emplace_back("distribution", "uniform");
+  report.numbers.emplace_back("threads_requested", 2.0);
+  report.metrics = &registry;
+  report.trace = &trace;
+
+  const std::string json = RenderRunReportJson(report);
+  for (const char* key :
+       {"\"schema_version\": 1", "\"tool\": \"trace_metrics_test\"",
+        "\"algorithm\": \"sfs\"", "\"stats\"", "\"input_rows\": 1000",
+        "\"output_rows\": 10", "\"passes\": 2", "\"labels\"",
+        "\"distribution\": \"uniform\"", "\"numbers\"",
+        "\"threads_requested\"", "\"metrics\"", "\"counters\"",
+        "\"skyline.sfs.runs\": 1", "\"gauges\"", "\"histograms\"",
+        "\"trace\"", "\"spans\"", "\"name\": \"presort\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key
+                                                 << " in:\n" << json;
+  }
+  // Structurally sound: braces and brackets balance, document ends in one
+  // top-level object.
+  long depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') ++i;
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_EQ(json.back(), '\n');
+}
+
+TEST(RunReportTest, OmitsSinkSectionsWhenNotAttached) {
+  RunReport report;
+  report.tool = "trace_metrics_test";
+  const std::string json = RenderRunReportJson(report);
+  EXPECT_EQ(json.find("\"metrics\""), std::string::npos);
+  EXPECT_EQ(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+}
+
+TEST(RunReportTest, TextRendererMentionsToolAndStats) {
+  TraceSink trace;
+  { TraceSpan span(&trace, "presort"); }
+  RunReport report;
+  report.tool = "trace_metrics_test";
+  report.algorithm = "sfs";
+  report.stats.input_rows = 42;
+  report.trace = &trace;
+  const std::string text = RenderRunReportText(report);
+  EXPECT_NE(text.find("trace_metrics_test"), std::string::npos);
+  EXPECT_NE(text.find("presort"), std::string::npos);
+}
+
+TEST(RunReportTest, PublishRunStatsFeedsRegistry) {
+  MetricsRegistry registry;
+  SkylineRunStats stats;
+  stats.input_rows = 500;
+  stats.output_rows = 25;
+  stats.passes = 3;
+  stats.threads_used = 2;
+  stats.sort_seconds = 0.125;
+  PublishRunStats(&registry, "skyline.sfs", stats);
+  const MetricsSnapshot snapshot = registry.Aggregate();
+  EXPECT_EQ(snapshot.CounterValue("skyline.sfs.runs"), 1u);
+  EXPECT_EQ(snapshot.CounterValue("skyline.sfs.input_rows"), 500u);
+  EXPECT_EQ(snapshot.CounterValue("skyline.sfs.output_rows"), 25u);
+  EXPECT_EQ(snapshot.GaugeValue("skyline.sfs.threads_used"), 2);
+  // Null registry is a no-op, not a crash.
+  PublishRunStats(nullptr, "skyline.sfs", stats);
+}
+
+}  // namespace
+}  // namespace skyline

@@ -84,11 +84,37 @@ const Table& SmallDomainTable(int dims) {
   return CachedTable("small" + std::to_string(dims), options);
 }
 
+const Table& MixedPaperTable(Distribution distribution) {
+  GeneratorOptions options;
+  options.num_rows = BenchRows();
+  options.num_attributes = 6;
+  options.attribute_types = {ColumnType::kFloat64, ColumnType::kFloat64,
+                             ColumnType::kInt64,   ColumnType::kInt64,
+                             ColumnType::kInt32,   ColumnType::kInt32};
+  options.payload_bytes = 60;
+  options.payload_cardinality = 16;
+  options.distribution = distribution;
+  options.seed = 2003;
+  return CachedTable(
+      "mixed" + std::to_string(static_cast<int>(distribution)), options);
+}
+
 SkylineSpec MaxSpec(const Table& table, int dims) {
   std::vector<Criterion> criteria;
   for (int i = 0; i < dims; ++i) {
     criteria.push_back({"a" + std::to_string(i), Directive::kMax});
   }
+  auto result = SkylineSpec::Make(table.schema(), std::move(criteria));
+  SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+SkylineSpec MixedSpec(const Table& table, int dims, bool payload_diff) {
+  std::vector<Criterion> criteria;
+  for (int i = 0; i < dims; ++i) {
+    criteria.push_back({"a" + std::to_string(i), Directive::kMax});
+  }
+  if (payload_diff) criteria.push_back({"payload", Directive::kDiff});
   auto result = SkylineSpec::Make(table.schema(), std::move(criteria));
   SKYLINE_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).value();
@@ -102,6 +128,9 @@ void ReportRunStats(::benchmark::State& state, const SkylineRunStats& stats) {
   state.counters["dom_cmp"] = static_cast<double>(stats.window_comparisons);
   state.counters["sort_s"] = stats.sort_seconds;
   state.counters["filter_s"] = stats.filter_seconds;
+  state.counters["zone_pruned"] =
+      static_cast<double>(stats.table_zone_blocks_pruned);
+  state.counters["dict_hits"] = static_cast<double>(stats.dict_probe_hits);
 }
 
 }  // namespace bench

@@ -38,8 +38,20 @@ const Table& DistributionTableDims(Distribution distribution, int dims);
 /// payload) for the dimensional-reduction experiment.
 const Table& SmallDomainTable(int dims);
 
+/// Cached paper-shaped table whose tuple is NOT all-int32: 100 bytes with
+/// six attributes spanning float64/float64/int64/int64/int32/int32
+/// (8+8+8+8+4+4 = 40 bytes) plus a 60-byte payload drawn from a bounded
+/// pool, so the payload works as a dictionary-encoded DIFF column. Specs
+/// over it exercise every order-key transform at once.
+const Table& MixedPaperTable(Distribution distribution);
+
 /// Skyline spec over the first `dims` attributes of `table`, all MAX.
 SkylineSpec MaxSpec(const Table& table, int dims);
+
+/// Mixed-workload spec: MAX over the first `dims` attributes (mixed
+/// float64/int64/int32 lanes on the mixed table), plus a
+/// dictionary-encoded payload DIFF criterion when `payload_diff`.
+SkylineSpec MixedSpec(const Table& table, int dims, bool payload_diff);
 
 /// Publishes the standard counters from a run onto a benchmark state.
 void ReportRunStats(::benchmark::State& state, const SkylineRunStats& stats);

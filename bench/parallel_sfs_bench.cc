@@ -26,6 +26,7 @@
 
 #include "bench_common.h"
 #include "common/logging.h"
+#include "core/dominance_batch.h"
 
 namespace skyline {
 namespace bench {
@@ -111,6 +112,54 @@ int Main(int argc, char** argv) {
     results.push_back(std::move(best));
   }
 
+  // Mixed-type paper workload: the 100-byte tuple whose attributes span
+  // float64/int64/int32 plus a dictionary-encoded 60-byte payload DIFF.
+  // Before the universal order-key transform this spec fell back to the
+  // row-at-a-time comparator; now it lowers to the columnar kernel. Run
+  // it both ways (forcing the row path via the test hook) to record the
+  // fallback -> fast-path win.
+  constexpr int kMixedDims = 5;
+  const Table& mixed = MixedPaperTable(Distribution::kAntiCorrelated);
+  const SkylineSpec mixed_spec =
+      MixedSpec(mixed, kMixedDims, /*payload_diff=*/true);
+  const size_t mixed_threads = ThreadCounts().back();
+  struct MixedResult {
+    const char* kernel_mode;
+    SkylineRunStats stats;
+    double wall_seconds = -1;
+  };
+  std::vector<MixedResult> mixed_results;
+  for (const bool force_row : {true, false}) {
+    SetForceRowDominancePath(force_row);
+    MixedResult best;
+    best.kernel_mode = force_row ? "row_fallback" : "columnar";
+    for (int rep = 0; rep < reps; ++rep) {
+      SkylineComputeOptions options;
+      options.sfs.threads = mixed_threads;
+      ExecContext ctx;
+      SkylineRunStats stats;
+      const auto start = std::chrono::steady_clock::now();
+      auto result = ComputeSkyline(SkylineAlgorithm::kSfs, mixed, mixed_spec,
+                                   ctx, "bench_psfs_mixed_out", &stats,
+                                   options);
+      const double wall =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      SKYLINE_CHECK(result.ok()) << result.status().ToString();
+      if (best.wall_seconds < 0 || wall < best.wall_seconds) {
+        best.wall_seconds = wall;
+        best.stats = stats;
+      }
+    }
+    SetForceRowDominancePath(false);
+    std::cerr << "mixed kernel=" << best.kernel_mode
+              << " wall=" << best.wall_seconds << "s rows/s="
+              << static_cast<uint64_t>(mixed.row_count() / best.wall_seconds)
+              << " skyline=" << best.stats.output_rows << "\n";
+    mixed_results.push_back(std::move(best));
+  }
+
   JsonWriter json;
   json.BeginObject();
   json.KeyValue("schema_version", RunReport::kSchemaVersion);
@@ -142,6 +191,10 @@ int Main(int argc, char** argv) {
     json.KeyValue("batch_comparisons", s.batch_comparisons);
     json.KeyValue("window_blocks_pruned", s.window_blocks_pruned);
     json.KeyValue("merge_blocks_pruned", s.merge_blocks_pruned);
+    json.KeyValue("table_zone_blocks_pruned", s.table_zone_blocks_pruned);
+    json.KeyValue("column_file_blocks_read", s.column_file_blocks_read);
+    json.KeyValue("dict_probe_hits", s.dict_probe_hits);
+    json.KeyValue("zone_map_source", s.zone_map_source);
     json.KeyValue("dominance_kernel", s.dominance_kernel);
     json.KeyValue(
         "comparisons_per_sec",
@@ -166,6 +219,38 @@ int Main(int argc, char** argv) {
     json.EndObject();
   }
   json.EndArray();
+  json.Key("mixed_workload");
+  json.BeginObject();
+  json.KeyValue("rows", mixed.row_count());
+  json.KeyValue("dimensions", kMixedDims);
+  json.KeyValue("attribute_types", "f64,f64,i64,i64,i32");
+  json.KeyValue("payload_diff", "dict60");
+  json.KeyValue("threads", static_cast<uint64_t>(mixed_threads));
+  if (mixed_results.size() == 2 && mixed_results[1].wall_seconds > 0) {
+    json.KeyValue("row_over_columnar_speedup",
+                  mixed_results[0].wall_seconds /
+                      mixed_results[1].wall_seconds);
+  }
+  json.Key("runs");
+  json.BeginArray();
+  for (const MixedResult& r : mixed_results) {
+    const SkylineRunStats& s = r.stats;
+    json.BeginObject();
+    json.KeyValue("kernel_mode", r.kernel_mode);
+    json.KeyValue("dominance_kernel", s.dominance_kernel);
+    json.KeyValue("wall_seconds", r.wall_seconds);
+    json.KeyValue("rows_per_sec",
+                  static_cast<uint64_t>(mixed.row_count() / r.wall_seconds));
+    json.KeyValue("filter_seconds", s.filter_seconds);
+    json.KeyValue("window_comparisons", s.window_comparisons);
+    json.KeyValue("batch_comparisons", s.batch_comparisons);
+    json.KeyValue("window_blocks_pruned", s.window_blocks_pruned);
+    json.KeyValue("dict_probe_hits", s.dict_probe_hits);
+    json.KeyValue("output_rows", s.output_rows);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
   json.EndObject();
   out << json.TakeString();
   if (!out) {

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/skyline.h"
+#include "relation/column_store.h"
 #include "sql/executor.h"
 
 namespace {
@@ -131,6 +132,13 @@ Status RunFiles(const std::vector<std::string>& args, StatsMode stats_mode) {
     const std::string name = FileStem(path);
     SKYLINE_ASSIGN_OR_RETURN(Table table,
                              ReadCsvFile(env, path, "csv_" + name));
+    // Persist the columnar sidecar at load time: every query in this
+    // session (and the zone cache behind it) then starts from ready-made
+    // zone maps instead of rescanning the heap file. Best effort.
+    if (Status cols = WriteTableColumnFile(table); !cols.ok()) {
+      std::fprintf(stderr, "note: no column sidecar for '%s': %s\n",
+                   name.c_str(), cols.ToString().c_str());
+    }
     std::fprintf(stderr, "loaded table '%s' (%llu rows) from %s\n",
                  name.c_str(),
                  static_cast<unsigned long long>(table.row_count()),

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/order_key.h"
+
 namespace skyline {
 namespace {
 
@@ -20,8 +22,14 @@ inline int CompareDomColumn(const SkylineSpec::DomColumn& dc, const char* a,
       return CompareAt<int32_t>(a, b, dc.offset);
     case ColumnType::kInt64:
       return CompareAt<int64_t>(a, b, dc.offset);
-    case ColumnType::kFloat64:
-      return CompareAt<double>(a, b, dc.offset);
+    case ColumnType::kFloat64: {
+      // Total-order compare: must match the columnar order keys exactly
+      // (NaN, -0.0) so row fallback and kernel verdicts never diverge.
+      double va, vb;
+      std::memcpy(&va, a + dc.offset, sizeof(va));
+      std::memcpy(&vb, b + dc.offset, sizeof(vb));
+      return CompareDoubleTotalOrder(va, vb);
+    }
     case ColumnType::kFixedString:
       return std::memcmp(a + dc.offset, b + dc.offset, dc.length);
   }

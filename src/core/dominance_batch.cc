@@ -1,11 +1,13 @@
 #include "core/dominance_batch.h"
 
+#include <atomic>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <string>
 
 #include "common/logging.h"
+#include "common/order_key.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #define SKYLINE_BATCH_X86 1
@@ -17,26 +19,42 @@ namespace {
 
 constexpr size_t kBlock = DominanceIndex::kBlockEntries;
 
+std::atomic<bool> g_force_row_path{false};
+
 /// Zeroes mask bits at and above `count`.
 inline uint64_t ValidMask(size_t count) {
   return count >= 64 ? ~uint64_t{0} : ((uint64_t{1} << count) - 1);
 }
 
+// The kernels compose three block-level bitmasks — ge/le over value lanes
+// (entry >=/<= probe on every criterion) and eq over diff lanes — and
+// derive the relation masks at the end:
+//   dominates = ge & ~le & eq,  dominated = le & ~ge & eq,
+//   equal     = ge &  le & eq.
+// All masks start from ValidMask(count), so ghost lanes in the padded
+// block never contribute.
+
 void ScalarBatch(const DominanceBatchInput& in, BlockMasks* out) {
   uint64_t dominates = 0, dominated = 0, equal = 0;
   for (size_t e = 0; e < in.count; ++e) {
     bool same_group = true;
-    for (size_t d = 0; d < in.num_diffs; ++d) {
-      if (in.diff_cols[d][e] != in.probe_diffs[d]) {
-        same_group = false;
-        break;
-      }
+    for (size_t d = 0; d < in.num_diffs32 && same_group; ++d) {
+      same_group = in.diff32_cols[d][e] == in.probe_diffs32[d];
+    }
+    for (size_t d = 0; d < in.num_diffs64 && same_group; ++d) {
+      same_group = in.diff64_cols[d][e] == in.probe_diffs64[d];
     }
     if (!same_group) continue;
     bool ge = true, le = true;  // entry >=/<= probe on every criterion
-    for (size_t d = 0; d < in.num_values && (ge || le); ++d) {
-      const int32_t v = in.value_cols[d][e];
-      const int32_t p = in.probe_values[d];
+    for (size_t d = 0; d < in.num_values32 && (ge || le); ++d) {
+      const int32_t v = in.value32_cols[d][e];
+      const int32_t p = in.probe_values32[d];
+      ge &= v >= p;
+      le &= v <= p;
+    }
+    for (size_t d = 0; d < in.num_values64 && (ge || le); ++d) {
+      const int64_t v = in.value64_cols[d][e];
+      const int64_t p = in.probe_values64[d];
       ge &= v >= p;
       le &= v <= p;
     }
@@ -57,84 +75,152 @@ void ScalarBatch(const DominanceBatchInput& in, BlockMasks* out) {
 #ifdef SKYLINE_BATCH_X86
 
 // SSE2 is part of the x86-64 baseline, so this path needs no runtime
-// feature test and no target attribute.
+// feature test and no target attribute. 32-bit lanes compare four entries
+// per vector; 64-bit lanes fall back to scalar loops (SSE2 has no 64-bit
+// integer compares) while still folding into the same block masks.
 void Sse2Batch(const DominanceBatchInput& in, BlockMasks* out) {
-  uint64_t dominates = 0, dominated = 0, equal = 0;
-  const size_t groups = (in.count + 3) / 4;
-  for (size_t g = 0; g < groups; ++g) {
-    const size_t base = g * 4;
-    const __m128i ones = _mm_set1_epi32(-1);
-    __m128i eq = ones;
-    for (size_t d = 0; d < in.num_diffs; ++d) {
-      const __m128i v = _mm_loadu_si128(
-          reinterpret_cast<const __m128i*>(in.diff_cols[d] + base));
-      eq = _mm_and_si128(eq, _mm_cmpeq_epi32(v, _mm_set1_epi32(in.probe_diffs[d])));
-    }
-    if (in.num_diffs > 0 && _mm_movemask_epi8(eq) == 0) continue;
-    __m128i ge = ones, le = ones;
-    for (size_t d = 0; d < in.num_values; ++d) {
-      const __m128i v = _mm_loadu_si128(
-          reinterpret_cast<const __m128i*>(in.value_cols[d] + base));
-      const __m128i p = _mm_set1_epi32(in.probe_values[d]);
-      ge = _mm_andnot_si128(_mm_cmplt_epi32(v, p), ge);  // clear where v < p
-      le = _mm_andnot_si128(_mm_cmpgt_epi32(v, p), le);  // clear where v > p
-      if (_mm_movemask_epi8(_mm_or_si128(ge, le)) == 0) break;
-    }
-    ge = _mm_and_si128(ge, eq);
-    le = _mm_and_si128(le, eq);
-    const uint64_t gm = static_cast<uint32_t>(
-        _mm_movemask_ps(_mm_castsi128_ps(ge)));
-    const uint64_t lm = static_cast<uint32_t>(
-        _mm_movemask_ps(_mm_castsi128_ps(le)));
-    dominates |= (gm & ~lm) << base;
-    dominated |= (lm & ~gm) << base;
-    equal |= (gm & lm) << base;
-  }
   const uint64_t valid = ValidMask(in.count);
-  out->dominates = dominates & valid;
-  out->dominated = dominated & valid;
-  out->equal = equal & valid;
+  const size_t groups4 = (in.count + 3) / 4;
+  uint64_t eq = valid;
+  for (size_t d = 0; d < in.num_diffs32 && eq != 0; ++d) {
+    const __m128i p = _mm_set1_epi32(in.probe_diffs32[d]);
+    uint64_t m = 0;
+    for (size_t g = 0; g < groups4; ++g) {
+      const __m128i v = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in.diff32_cols[d] + g * 4));
+      m |= static_cast<uint64_t>(static_cast<uint32_t>(
+               _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, p)))))
+           << (g * 4);
+    }
+    eq &= m;
+  }
+  for (size_t d = 0; d < in.num_diffs64 && eq != 0; ++d) {
+    const int64_t p = in.probe_diffs64[d];
+    const int64_t* col = in.diff64_cols[d];
+    uint64_t m = 0;
+    for (size_t e = 0; e < in.count; ++e) {
+      m |= static_cast<uint64_t>(col[e] == p) << e;
+    }
+    eq &= m;
+  }
+  if (eq == 0) {
+    out->dominates = out->dominated = out->equal = 0;
+    return;
+  }
+  uint64_t ge = valid, le = valid;
+  for (size_t d = 0; d < in.num_values32 && (ge | le) != 0; ++d) {
+    const __m128i p = _mm_set1_epi32(in.probe_values32[d]);
+    uint64_t lt = 0, gt = 0;
+    for (size_t g = 0; g < groups4; ++g) {
+      const __m128i v = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(in.value32_cols[d] + g * 4));
+      lt |= static_cast<uint64_t>(static_cast<uint32_t>(
+                _mm_movemask_ps(_mm_castsi128_ps(_mm_cmplt_epi32(v, p)))))
+            << (g * 4);
+      gt |= static_cast<uint64_t>(static_cast<uint32_t>(
+                _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpgt_epi32(v, p)))))
+            << (g * 4);
+    }
+    ge &= ~lt;
+    le &= ~gt;
+  }
+  for (size_t d = 0; d < in.num_values64 && (ge | le) != 0; ++d) {
+    const int64_t p = in.probe_values64[d];
+    const int64_t* col = in.value64_cols[d];
+    uint64_t lt = 0, gt = 0;
+    for (size_t e = 0; e < in.count; ++e) {
+      lt |= static_cast<uint64_t>(col[e] < p) << e;
+      gt |= static_cast<uint64_t>(col[e] > p) << e;
+    }
+    ge &= ~lt;
+    le &= ~gt;
+  }
+  ge &= eq;
+  le &= eq;
+  out->dominates = ge & ~le;
+  out->dominated = le & ~ge;
+  out->equal = ge & le;
 }
 
 __attribute__((target("avx2"))) void Avx2Batch(const DominanceBatchInput& in,
                                                BlockMasks* out) {
-  uint64_t dominates = 0, dominated = 0, equal = 0;
-  const size_t groups = (in.count + 7) / 8;
-  for (size_t g = 0; g < groups; ++g) {
-    const size_t base = g * 8;
-    const __m256i ones = _mm256_set1_epi32(-1);
-    __m256i eq = ones;
-    for (size_t d = 0; d < in.num_diffs; ++d) {
-      const __m256i v = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(in.diff_cols[d] + base));
-      eq = _mm256_and_si256(
-          eq, _mm256_cmpeq_epi32(v, _mm256_set1_epi32(in.probe_diffs[d])));
-    }
-    if (in.num_diffs > 0 && _mm256_movemask_epi8(eq) == 0) continue;
-    __m256i ge = ones, le = ones;
-    for (size_t d = 0; d < in.num_values; ++d) {
-      const __m256i v = _mm256_loadu_si256(
-          reinterpret_cast<const __m256i*>(in.value_cols[d] + base));
-      const __m256i p = _mm256_set1_epi32(in.probe_values[d]);
-      // AVX2 only has signed cmpgt: v<p is p>v.
-      ge = _mm256_andnot_si256(_mm256_cmpgt_epi32(p, v), ge);
-      le = _mm256_andnot_si256(_mm256_cmpgt_epi32(v, p), le);
-      if (_mm256_movemask_epi8(_mm256_or_si256(ge, le)) == 0) break;
-    }
-    ge = _mm256_and_si256(ge, eq);
-    le = _mm256_and_si256(le, eq);
-    const uint64_t gm = static_cast<uint32_t>(
-        _mm256_movemask_ps(_mm256_castsi256_ps(ge)));
-    const uint64_t lm = static_cast<uint32_t>(
-        _mm256_movemask_ps(_mm256_castsi256_ps(le)));
-    dominates |= (gm & ~lm) << base;
-    dominated |= (lm & ~gm) << base;
-    equal |= (gm & lm) << base;
-  }
   const uint64_t valid = ValidMask(in.count);
-  out->dominates = dominates & valid;
-  out->dominated = dominated & valid;
-  out->equal = equal & valid;
+  const size_t groups8 = (in.count + 7) / 8;
+  const size_t groups4 = (in.count + 3) / 4;
+  uint64_t eq = valid;
+  for (size_t d = 0; d < in.num_diffs32 && eq != 0; ++d) {
+    const __m256i p = _mm256_set1_epi32(in.probe_diffs32[d]);
+    uint64_t m = 0;
+    for (size_t g = 0; g < groups8; ++g) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in.diff32_cols[d] + g * 8));
+      m |= static_cast<uint64_t>(static_cast<uint32_t>(
+               _mm256_movemask_ps(
+                   _mm256_castsi256_ps(_mm256_cmpeq_epi32(v, p)))))
+           << (g * 8);
+    }
+    eq &= m;
+  }
+  for (size_t d = 0; d < in.num_diffs64 && eq != 0; ++d) {
+    const __m256i p = _mm256_set1_epi64x(in.probe_diffs64[d]);
+    uint64_t m = 0;
+    for (size_t g = 0; g < groups4; ++g) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in.diff64_cols[d] + g * 4));
+      m |= static_cast<uint64_t>(static_cast<uint32_t>(
+               _mm256_movemask_pd(
+                   _mm256_castsi256_pd(_mm256_cmpeq_epi64(v, p)))))
+           << (g * 4);
+    }
+    eq &= m;
+  }
+  if (eq == 0) {
+    out->dominates = out->dominated = out->equal = 0;
+    return;
+  }
+  uint64_t ge = valid, le = valid;
+  for (size_t d = 0; d < in.num_values32 && (ge | le) != 0; ++d) {
+    const __m256i p = _mm256_set1_epi32(in.probe_values32[d]);
+    uint64_t lt = 0, gt = 0;
+    for (size_t g = 0; g < groups8; ++g) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in.value32_cols[d] + g * 8));
+      // AVX2 only has signed cmpgt: v<p is p>v.
+      lt |= static_cast<uint64_t>(static_cast<uint32_t>(
+                _mm256_movemask_ps(
+                    _mm256_castsi256_ps(_mm256_cmpgt_epi32(p, v)))))
+            << (g * 8);
+      gt |= static_cast<uint64_t>(static_cast<uint32_t>(
+                _mm256_movemask_ps(
+                    _mm256_castsi256_ps(_mm256_cmpgt_epi32(v, p)))))
+            << (g * 8);
+    }
+    ge &= ~lt;
+    le &= ~gt;
+  }
+  for (size_t d = 0; d < in.num_values64 && (ge | le) != 0; ++d) {
+    const __m256i p = _mm256_set1_epi64x(in.probe_values64[d]);
+    uint64_t lt = 0, gt = 0;
+    for (size_t g = 0; g < groups4; ++g) {
+      const __m256i v = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(in.value64_cols[d] + g * 4));
+      lt |= static_cast<uint64_t>(static_cast<uint32_t>(
+                _mm256_movemask_pd(
+                    _mm256_castsi256_pd(_mm256_cmpgt_epi64(p, v)))))
+            << (g * 4);
+      gt |= static_cast<uint64_t>(static_cast<uint32_t>(
+                _mm256_movemask_pd(
+                    _mm256_castsi256_pd(_mm256_cmpgt_epi64(v, p)))))
+            << (g * 4);
+    }
+    ge &= ~lt;
+    le &= ~gt;
+  }
+  ge &= eq;
+  le &= eq;
+  out->dominates = ge & ~le;
+  out->dominated = le & ~ge;
+  out->equal = ge & le;
 }
 
 #endif  // SKYLINE_BATCH_X86
@@ -159,6 +245,10 @@ std::vector<const DominanceKernel*> BuildAvailable() {
 const DominanceKernel* ResolveActive() {
   const auto& kernels = AvailableDominanceKernels();
   if (const char* want = std::getenv("SKYLINE_DOMINANCE_KERNEL")) {
+    if (std::string(want) == "row") {
+      SetForceRowDominancePath(true);
+      return kernels.back();
+    }
     for (const DominanceKernel* k : kernels) {
       if (std::string(want) == k->name) return k;
     }
@@ -182,23 +272,88 @@ const DominanceKernel& ActiveDominanceKernel() {
   return *active;
 }
 
+void SetForceRowDominancePath(bool force) {
+  g_force_row_path.store(force, std::memory_order_relaxed);
+}
+
+bool ForceRowDominancePath() {
+  return g_force_row_path.load(std::memory_order_relaxed);
+}
+
+SpecDictionaries::SpecDictionaries(const SkylineSpec* spec) {
+  for (const auto& dc : spec->dom_diff_columns()) {
+    if (dc.type == ColumnType::kFixedString) {
+      dicts_.push_back(std::make_unique<StringDictionary>(dc.length));
+    }
+  }
+}
+
+uint64_t SpecDictionaries::TotalProbeHits() const {
+  uint64_t hits = 0;
+  for (const auto& d : dicts_) hits += d->probe_hits();
+  return hits;
+}
+
 DominanceIndex::DominanceIndex(const SkylineSpec* spec,
-                               const DominanceKernel* kernel)
+                               const DominanceKernel* kernel,
+                               std::shared_ptr<SpecDictionaries> dicts)
     : spec_(spec),
       kernel_(kernel != nullptr ? kernel : &ActiveDominanceKernel()) {
-  columnar_ = spec->values_all_int32() &&
-              spec->dom_value_columns().size() <= kMaxColumns &&
-              spec->dom_diff_columns().size() <= kMaxColumns;
-  for (const auto& dc : spec_->dom_diff_columns()) {
-    if (dc.type != ColumnType::kInt32) columnar_ = false;
-  }
+  // ActiveDominanceKernel() above also applies SKYLINE_DOMINANCE_KERNEL=row
+  // before the force flag is consulted.
+  if (kernel != nullptr) ActiveDominanceKernel();
+  columnar_ = spec->dom_value_columns().size() <= kMaxColumns &&
+              spec->dom_diff_columns().size() <= kMaxColumns &&
+              !ForceRowDominancePath();
   if (!columnar_) return;
-  values_.resize(spec_->dom_value_columns().size());
-  value_zmin_.resize(values_.size());
-  value_zmax_.resize(values_.size());
-  diffs_.resize(spec_->dom_diff_columns().size());
-  diff_zmin_.resize(diffs_.size());
-  diff_zmax_.resize(diffs_.size());
+
+  int32_t next_dict = 0;
+  for (const auto& dc : spec_->dom_value_columns()) {
+    switch (dc.type) {
+      case ColumnType::kInt32:
+        value32_lanes_.push_back({dc.offset, dc.max});
+        break;
+      case ColumnType::kInt64:
+      case ColumnType::kFloat64:
+        value64_lanes_.push_back({dc.offset, dc.type, dc.max});
+        break;
+      case ColumnType::kFixedString:
+        // SkylineSpec::Make rejects MIN/MAX over strings.
+        SKYLINE_CHECK(false) << "string MIN/MAX criterion";
+    }
+  }
+  for (const auto& dc : spec_->dom_diff_columns()) {
+    switch (dc.type) {
+      case ColumnType::kInt32:
+        diff32_lanes_.push_back({dc.offset, dc.length, -1});
+        break;
+      case ColumnType::kFixedString:
+        diff32_lanes_.push_back({dc.offset, dc.length, next_dict++});
+        break;
+      case ColumnType::kInt64:
+      case ColumnType::kFloat64:
+        diff64_lanes_.push_back({dc.offset, dc.type});
+        break;
+    }
+  }
+  if (next_dict > 0) {
+    dicts_ = dicts != nullptr ? std::move(dicts)
+                              : std::make_shared<SpecDictionaries>(spec_);
+    SKYLINE_CHECK_EQ(dicts_->count(), static_cast<size_t>(next_dict));
+  }
+
+  values32_.resize(value32_lanes_.size());
+  value32_zmin_.resize(values32_.size());
+  value32_zmax_.resize(values32_.size());
+  values64_.resize(value64_lanes_.size());
+  value64_zmin_.resize(values64_.size());
+  value64_zmax_.resize(values64_.size());
+  diffs32_.resize(diff32_lanes_.size());
+  diff32_zmin_.resize(diffs32_.size());
+  diff32_zmax_.resize(diffs32_.size());
+  diffs64_.resize(diff64_lanes_.size());
+  diff64_zmin_.resize(diffs64_.size());
+  diff64_zmax_.resize(diffs64_.size());
 }
 
 void DominanceIndex::Reserve(size_t capacity) {
@@ -211,26 +366,83 @@ void DominanceIndex::EnsureCapacity(size_t entries) {
   const size_t new_padded = BlockCountFor(entries) * kBlock;
   // Blocks are zero-filled on allocation so kernel vector loads past the
   // live count read initialized memory (lanes are masked off afterwards).
-  for (auto& col : values_) col.resize(new_padded, 0);
-  for (auto& col : diffs_) col.resize(new_padded, 0);
+  for (auto& col : values32_) col.resize(new_padded, 0);
+  for (auto& col : values64_) col.resize(new_padded, 0);
+  for (auto& col : diffs32_) col.resize(new_padded, 0);
+  for (auto& col : diffs64_) col.resize(new_padded, 0);
   const size_t blocks = new_padded / kBlock;
-  for (auto& z : value_zmin_) z.resize(blocks, 0);
-  for (auto& z : value_zmax_) z.resize(blocks, 0);
-  for (auto& z : diff_zmin_) z.resize(blocks, 0);
-  for (auto& z : diff_zmax_) z.resize(blocks, 0);
+  for (auto& z : value32_zmin_) z.resize(blocks, 0);
+  for (auto& z : value32_zmax_) z.resize(blocks, 0);
+  for (auto& z : value64_zmin_) z.resize(blocks, 0);
+  for (auto& z : value64_zmax_) z.resize(blocks, 0);
+  for (auto& z : diff32_zmin_) z.resize(blocks, 0);
+  for (auto& z : diff32_zmax_) z.resize(blocks, 0);
+  for (auto& z : diff64_zmin_) z.resize(blocks, 0);
+  for (auto& z : diff64_zmax_) z.resize(blocks, 0);
   padded_ = new_padded;
 }
 
-void DominanceIndex::EncodeProbe(const char* row, Probe* out) const {
-  const auto& values = spec_->dom_value_columns();
-  for (size_t d = 0; d < values.size(); ++d) {
+int32_t DominanceIndex::EncodeDiff32(const DiffLane32& lane,
+                                     const char* row) const {
+  if (lane.dict < 0) {
     int32_t v;
-    std::memcpy(&v, row + values[d].offset, sizeof(v));
-    out->values[d] = values[d].max ? v : ~v;
+    std::memcpy(&v, row + lane.offset, sizeof(v));
+    return v;
   }
-  const auto& diffs = spec_->dom_diff_columns();
-  for (size_t d = 0; d < diffs.size(); ++d) {
-    std::memcpy(&out->diffs[d], row + diffs[d].offset, sizeof(int32_t));
+  return dicts_->dict(static_cast<size_t>(lane.dict))->Find(row + lane.offset);
+}
+
+int32_t DominanceIndex::EncodeDiff32Mut(const DiffLane32& lane,
+                                        const char* row) {
+  if (lane.dict < 0) {
+    int32_t v;
+    std::memcpy(&v, row + lane.offset, sizeof(v));
+    return v;
+  }
+  return dicts_->dict(static_cast<size_t>(lane.dict))
+      ->Encode(row + lane.offset);
+}
+
+int64_t DominanceIndex::EncodeValue64(const ValueLane64& lane,
+                                      const char* row) const {
+  if (lane.type == ColumnType::kFloat64) {
+    double v;
+    std::memcpy(&v, row + lane.offset, sizeof(v));
+    return OrderKeyFromDouble(v, lane.max);
+  }
+  int64_t v;
+  std::memcpy(&v, row + lane.offset, sizeof(v));
+  return OrderKey64(v, lane.max);
+}
+
+int64_t DominanceIndex::EncodeDiff64(const DiffLane64& lane,
+                                     const char* row) const {
+  if (lane.type == ColumnType::kFloat64) {
+    // Equality lane only: the total-order key is a bijection on bit
+    // patterns, so key equality == the row path's total-order equality.
+    double v;
+    std::memcpy(&v, row + lane.offset, sizeof(v));
+    return Float64TotalOrderKey(v);
+  }
+  int64_t v;
+  std::memcpy(&v, row + lane.offset, sizeof(v));
+  return v;
+}
+
+void DominanceIndex::EncodeProbe(const char* row, Probe* out) const {
+  for (size_t d = 0; d < value32_lanes_.size(); ++d) {
+    int32_t v;
+    std::memcpy(&v, row + value32_lanes_[d].offset, sizeof(v));
+    out->values32[d] = OrderKey32(v, value32_lanes_[d].max);
+  }
+  for (size_t d = 0; d < value64_lanes_.size(); ++d) {
+    out->values64[d] = EncodeValue64(value64_lanes_[d], row);
+  }
+  for (size_t d = 0; d < diff32_lanes_.size(); ++d) {
+    out->diffs32[d] = EncodeDiff32(diff32_lanes_[d], row);
+  }
+  for (size_t d = 0; d < diff64_lanes_.size(); ++d) {
+    out->diffs64[d] = EncodeDiff64(diff64_lanes_[d], row);
   }
 }
 
@@ -240,32 +452,36 @@ void DominanceIndex::Append(const char* row) {
   const size_t i = size_;
   const size_t b = i / kBlock;
   const bool block_start = (i % kBlock) == 0;
-  const auto& values = spec_->dom_value_columns();
-  for (size_t d = 0; d < values.size(); ++d) {
-    int32_t v;
-    std::memcpy(&v, row + values[d].offset, sizeof(v));
-    const int32_t key = values[d].max ? v : ~v;
-    values_[d][i] = key;
+  auto fold = [block_start](auto key, auto& zmin, auto& zmax) {
     if (block_start) {
-      value_zmin_[d][b] = key;
-      value_zmax_[d][b] = key;
+      zmin = key;
+      zmax = key;
     } else {
-      if (key < value_zmin_[d][b]) value_zmin_[d][b] = key;
-      if (key > value_zmax_[d][b]) value_zmax_[d][b] = key;
+      if (key < zmin) zmin = key;
+      if (key > zmax) zmax = key;
     }
+  };
+  for (size_t d = 0; d < value32_lanes_.size(); ++d) {
+    int32_t v;
+    std::memcpy(&v, row + value32_lanes_[d].offset, sizeof(v));
+    const int32_t key = OrderKey32(v, value32_lanes_[d].max);
+    values32_[d][i] = key;
+    fold(key, value32_zmin_[d][b], value32_zmax_[d][b]);
   }
-  const auto& diffs = spec_->dom_diff_columns();
-  for (size_t d = 0; d < diffs.size(); ++d) {
-    int32_t v;
-    std::memcpy(&v, row + diffs[d].offset, sizeof(v));
-    diffs_[d][i] = v;
-    if (block_start) {
-      diff_zmin_[d][b] = v;
-      diff_zmax_[d][b] = v;
-    } else {
-      if (v < diff_zmin_[d][b]) diff_zmin_[d][b] = v;
-      if (v > diff_zmax_[d][b]) diff_zmax_[d][b] = v;
-    }
+  for (size_t d = 0; d < value64_lanes_.size(); ++d) {
+    const int64_t key = EncodeValue64(value64_lanes_[d], row);
+    values64_[d][i] = key;
+    fold(key, value64_zmin_[d][b], value64_zmax_[d][b]);
+  }
+  for (size_t d = 0; d < diff32_lanes_.size(); ++d) {
+    const int32_t v = EncodeDiff32Mut(diff32_lanes_[d], row);
+    diffs32_[d][i] = v;
+    fold(v, diff32_zmin_[d][b], diff32_zmax_[d][b]);
+  }
+  for (size_t d = 0; d < diff64_lanes_.size(); ++d) {
+    const int64_t v = EncodeDiff64(diff64_lanes_[d], row);
+    diffs64_[d][i] = v;
+    fold(v, diff64_zmin_[d][b], diff64_zmax_[d][b]);
   }
   ++size_;
 }
@@ -274,24 +490,33 @@ void DominanceIndex::ReplaceAt(size_t i, const char* row) {
   if (!columnar_) return;
   SKYLINE_CHECK_LT(i, size_);
   const size_t b = i / kBlock;
-  const auto& values = spec_->dom_value_columns();
-  for (size_t d = 0; d < values.size(); ++d) {
+  // Widen only: the replaced entry's contribution may linger, which is
+  // sound (a too-wide zone map merely prunes less).
+  auto widen = [](auto key, auto& zmin, auto& zmax) {
+    if (key < zmin) zmin = key;
+    if (key > zmax) zmax = key;
+  };
+  for (size_t d = 0; d < value32_lanes_.size(); ++d) {
     int32_t v;
-    std::memcpy(&v, row + values[d].offset, sizeof(v));
-    const int32_t key = values[d].max ? v : ~v;
-    values_[d][i] = key;
-    // Widen only: the replaced entry's contribution may linger, which is
-    // sound (a too-wide zone map merely prunes less).
-    if (key < value_zmin_[d][b]) value_zmin_[d][b] = key;
-    if (key > value_zmax_[d][b]) value_zmax_[d][b] = key;
+    std::memcpy(&v, row + value32_lanes_[d].offset, sizeof(v));
+    const int32_t key = OrderKey32(v, value32_lanes_[d].max);
+    values32_[d][i] = key;
+    widen(key, value32_zmin_[d][b], value32_zmax_[d][b]);
   }
-  const auto& diffs = spec_->dom_diff_columns();
-  for (size_t d = 0; d < diffs.size(); ++d) {
-    int32_t v;
-    std::memcpy(&v, row + diffs[d].offset, sizeof(v));
-    diffs_[d][i] = v;
-    if (v < diff_zmin_[d][b]) diff_zmin_[d][b] = v;
-    if (v > diff_zmax_[d][b]) diff_zmax_[d][b] = v;
+  for (size_t d = 0; d < value64_lanes_.size(); ++d) {
+    const int64_t key = EncodeValue64(value64_lanes_[d], row);
+    values64_[d][i] = key;
+    widen(key, value64_zmin_[d][b], value64_zmax_[d][b]);
+  }
+  for (size_t d = 0; d < diff32_lanes_.size(); ++d) {
+    const int32_t v = EncodeDiff32Mut(diff32_lanes_[d], row);
+    diffs32_[d][i] = v;
+    widen(v, diff32_zmin_[d][b], diff32_zmax_[d][b]);
+  }
+  for (size_t d = 0; d < diff64_lanes_.size(); ++d) {
+    const int64_t v = EncodeDiff64(diff64_lanes_[d], row);
+    diffs64_[d][i] = v;
+    widen(v, diff64_zmin_[d][b], diff64_zmax_[d][b]);
   }
 }
 
@@ -301,17 +526,29 @@ void DominanceIndex::RemoveSwapLast(size_t i) {
   const size_t last = size_ - 1;
   if (i != last) {
     const size_t b = i / kBlock;
-    for (size_t d = 0; d < values_.size(); ++d) {
-      const int32_t key = values_[d][last];
-      values_[d][i] = key;
-      if (key < value_zmin_[d][b]) value_zmin_[d][b] = key;
-      if (key > value_zmax_[d][b]) value_zmax_[d][b] = key;
+    auto widen = [](auto key, auto& zmin, auto& zmax) {
+      if (key < zmin) zmin = key;
+      if (key > zmax) zmax = key;
+    };
+    for (size_t d = 0; d < values32_.size(); ++d) {
+      const int32_t key = values32_[d][last];
+      values32_[d][i] = key;
+      widen(key, value32_zmin_[d][b], value32_zmax_[d][b]);
     }
-    for (size_t d = 0; d < diffs_.size(); ++d) {
-      const int32_t v = diffs_[d][last];
-      diffs_[d][i] = v;
-      if (v < diff_zmin_[d][b]) diff_zmin_[d][b] = v;
-      if (v > diff_zmax_[d][b]) diff_zmax_[d][b] = v;
+    for (size_t d = 0; d < values64_.size(); ++d) {
+      const int64_t key = values64_[d][last];
+      values64_[d][i] = key;
+      widen(key, value64_zmin_[d][b], value64_zmax_[d][b]);
+    }
+    for (size_t d = 0; d < diffs32_.size(); ++d) {
+      const int32_t v = diffs32_[d][last];
+      diffs32_[d][i] = v;
+      widen(v, diff32_zmin_[d][b], diff32_zmax_[d][b]);
+    }
+    for (size_t d = 0; d < diffs64_.size(); ++d) {
+      const int64_t v = diffs64_[d][last];
+      diffs64_[d][i] = v;
+      widen(v, diff64_zmin_[d][b], diff64_zmax_[d][b]);
     }
   }
   --size_;
@@ -319,9 +556,17 @@ void DominanceIndex::RemoveSwapLast(size_t i) {
 
 bool DominanceIndex::CanPruneBlock(const Probe& probe, size_t b) const {
   // A DIFF column whose block range misses the probe's group value makes
-  // every entry incomparable to the probe.
-  for (size_t d = 0; d < diffs_.size(); ++d) {
-    if (probe.diffs[d] < diff_zmin_[d][b] || probe.diffs[d] > diff_zmax_[d][b]) {
+  // every entry incomparable to the probe. (An unseen dictionary probe is
+  // kNoCode = -1, below every real code, so it prunes here.)
+  for (size_t d = 0; d < diffs32_.size(); ++d) {
+    if (probe.diffs32[d] < diff32_zmin_[d][b] ||
+        probe.diffs32[d] > diff32_zmax_[d][b]) {
+      return true;
+    }
+  }
+  for (size_t d = 0; d < diffs64_.size(); ++d) {
+    if (probe.diffs64[d] < diff64_zmin_[d][b] ||
+        probe.diffs64[d] > diff64_zmax_[d][b]) {
       return true;
     }
   }
@@ -330,17 +575,20 @@ bool DominanceIndex::CanPruneBlock(const Probe& probe, size_t b) const {
   // everywhere). This alone is not enough — the block could still contain
   // entries the probe dominates (the sort-violation / BNL-eviction case).
   bool no_dominator = false;
-  for (size_t d = 0; d < values_.size(); ++d) {
-    if (value_zmax_[d][b] < probe.values[d]) {
-      no_dominator = true;
-      break;
-    }
+  for (size_t d = 0; d < values32_.size() && !no_dominator; ++d) {
+    no_dominator = value32_zmax_[d][b] < probe.values32[d];
+  }
+  for (size_t d = 0; d < values64_.size() && !no_dominator; ++d) {
+    no_dominator = value64_zmax_[d][b] < probe.values64[d];
   }
   if (!no_dominator) return false;
   // No dominated/equal: some criterion where even the block's worst key
   // beats the probe (no entry can be <= the probe everywhere).
-  for (size_t d = 0; d < values_.size(); ++d) {
-    if (value_zmin_[d][b] > probe.values[d]) return true;
+  for (size_t d = 0; d < values32_.size(); ++d) {
+    if (value32_zmin_[d][b] > probe.values32[d]) return true;
+  }
+  for (size_t d = 0; d < values64_.size(); ++d) {
+    if (value64_zmin_[d][b] > probe.values64[d]) return true;
   }
   return false;
 }
@@ -348,25 +596,48 @@ bool DominanceIndex::CanPruneBlock(const Probe& probe, size_t b) const {
 BlockMasks DominanceIndex::TestBlock(const Probe& probe, size_t b,
                                      size_t limit) const {
   const size_t base = b * kBlockEntries;
-  const int32_t* value_ptrs[kMaxColumns];
-  const int32_t* diff_ptrs[kMaxColumns];
-  for (size_t d = 0; d < values_.size(); ++d) {
-    value_ptrs[d] = values_[d].data() + base;
+  const int32_t* value32_ptrs[kMaxColumns];
+  const int64_t* value64_ptrs[kMaxColumns];
+  const int32_t* diff32_ptrs[kMaxColumns];
+  const int64_t* diff64_ptrs[kMaxColumns];
+  for (size_t d = 0; d < values32_.size(); ++d) {
+    value32_ptrs[d] = values32_[d].data() + base;
   }
-  for (size_t d = 0; d < diffs_.size(); ++d) {
-    diff_ptrs[d] = diffs_[d].data() + base;
+  for (size_t d = 0; d < values64_.size(); ++d) {
+    value64_ptrs[d] = values64_[d].data() + base;
+  }
+  for (size_t d = 0; d < diffs32_.size(); ++d) {
+    diff32_ptrs[d] = diffs32_[d].data() + base;
+  }
+  for (size_t d = 0; d < diffs64_.size(); ++d) {
+    diff64_ptrs[d] = diffs64_[d].data() + base;
   }
   DominanceBatchInput in;
-  in.value_cols = value_ptrs;
-  in.probe_values = probe.values;
-  in.num_values = values_.size();
-  in.diff_cols = diff_ptrs;
-  in.probe_diffs = probe.diffs;
-  in.num_diffs = diffs_.size();
+  in.value32_cols = value32_ptrs;
+  in.probe_values32 = probe.values32;
+  in.num_values32 = values32_.size();
+  in.value64_cols = value64_ptrs;
+  in.probe_values64 = probe.values64;
+  in.num_values64 = values64_.size();
+  in.diff32_cols = diff32_ptrs;
+  in.probe_diffs32 = probe.diffs32;
+  in.num_diffs32 = diffs32_.size();
+  in.diff64_cols = diff64_ptrs;
+  in.probe_diffs64 = probe.diffs64;
+  in.num_diffs64 = diffs64_.size();
   in.count = BlockEntries(b, limit);
   BlockMasks out;
   kernel_->batch(in, &out);
   return out;
+}
+
+bool DominanceIndex::AnyEntryDominates(const Probe& probe,
+                                       size_t limit) const {
+  for (size_t b = 0; b < BlockCountFor(limit); ++b) {
+    if (CanPruneBlock(probe, b)) continue;
+    if (TestBlock(probe, b, limit).dominates != 0) return true;
+  }
+  return false;
 }
 
 }  // namespace skyline

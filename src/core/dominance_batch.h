@@ -3,21 +3,27 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/skyline_spec.h"
+#include "relation/dictionary.h"
 
 namespace skyline {
 
 /// Batched dominance: instead of testing the probe tuple against window
 /// entries one row at a time (CompareDominance), entries live in a columnar
 /// (SoA) layout of fixed-size blocks and a SIMD kernel relates the probe to
-/// a whole block per call. Every MIN/MAX value is stored as an
-/// order-transformed int32 *key* — `v` for MAX criteria and `~v` for MIN
-/// (bitwise NOT reverses signed order without the INT32_MIN negation
-/// overflow) — so the kernel needs exactly one comparison direction:
-/// larger key == preferred. DIFF columns are stored raw and compared for
-/// equality only.
+/// a whole block per call. Every criterion lowers to an order-transformed
+/// integer *key* lane — int32 criteria to int32 keys, int64/float64 to
+/// int64 keys — such that larger key == preferred: `v` for MAX, `~v` for
+/// MIN (bitwise NOT reverses signed order without the INT*_MIN negation
+/// overflow), with doubles passing through the IEEE total-order bit trick
+/// first. DIFF columns become equality-only lanes: int32 raw, int64/float64
+/// as 64-bit patterns, and fixed strings as per-column dictionary codes.
+/// With that, *every* spec — including the paper's 100-byte restaurant
+/// tuple (string name DIFF, int32 attributes, float64 price) — takes the
+/// columnar kernel path.
 
 /// Per-entry relation bits of one block vs the probe. Bit `i` refers to the
 /// block's entry `i`; bits at and above the tested count are always zero.
@@ -33,18 +39,26 @@ struct BlockMasks {
 };
 
 /// One batched comparison: `count` entries (<= kBlockEntries) of one block
-/// against one probe. `value_cols[d]` points at the block's contiguous keys
-/// for MIN/MAX criterion d; `diff_cols[d]` likewise for DIFF criterion d.
-/// Kernels may read a full SIMD vector past `count` within the block (the
-/// index pads blocks to kBlockEntries allocated int32s), but must mask the
-/// excess lanes out of the result.
+/// against one probe, split by lane width. `value32_cols[d]` points at the
+/// block's contiguous int32 keys for the d-th 32-bit MIN/MAX lane,
+/// `value64_cols[d]` likewise for 64-bit key lanes; diff lanes carry
+/// equality-comparable values (raw int32 / dictionary codes / 64-bit
+/// patterns). Kernels may read a full SIMD vector past `count` within the
+/// block (the index pads blocks to kBlockEntries allocated entries), but
+/// must mask the excess lanes out of the result.
 struct DominanceBatchInput {
-  const int32_t* const* value_cols = nullptr;
-  const int32_t* probe_values = nullptr;  // order-transformed keys
-  size_t num_values = 0;
-  const int32_t* const* diff_cols = nullptr;
-  const int32_t* probe_diffs = nullptr;  // raw values
-  size_t num_diffs = 0;
+  const int32_t* const* value32_cols = nullptr;
+  const int32_t* probe_values32 = nullptr;  // order-transformed int32 keys
+  size_t num_values32 = 0;
+  const int64_t* const* value64_cols = nullptr;
+  const int64_t* probe_values64 = nullptr;  // order-transformed int64 keys
+  size_t num_values64 = 0;
+  const int32_t* const* diff32_cols = nullptr;
+  const int32_t* probe_diffs32 = nullptr;  // raw values / dictionary codes
+  size_t num_diffs32 = 0;
+  const int64_t* const* diff64_cols = nullptr;
+  const int64_t* probe_diffs64 = nullptr;  // raw 64-bit patterns
+  size_t num_diffs64 = 0;
   size_t count = 0;
 };
 
@@ -55,16 +69,44 @@ struct DominanceKernel {
   void (*batch)(const DominanceBatchInput& in, BlockMasks* out);
 };
 
-/// The portable kernel (plain int32 loops, no intrinsics). Always valid.
+/// The portable kernel (plain integer loops, no intrinsics). Always valid.
 const DominanceKernel& ScalarDominanceKernel();
 
 /// Kernels usable on this machine, best last (scalar[, sse2][, avx2]).
 const std::vector<const DominanceKernel*>& AvailableDominanceKernels();
 
 /// The kernel the engine uses: the best available, unless the environment
-/// variable SKYLINE_DOMINANCE_KERNEL names one of the available variants.
+/// variable SKYLINE_DOMINANCE_KERNEL names one of the available variants
+/// (or "row", which forces the row-at-a-time fallback engine-wide).
 /// Resolved once per process.
 const DominanceKernel& ActiveDominanceKernel();
+
+/// Forces every subsequently constructed DominanceIndex onto the row
+/// fallback (columnar() == false). Test hook for row-vs-columnar
+/// differential checks; also set by SKYLINE_DOMINANCE_KERNEL=row.
+void SetForceRowDominancePath(bool force);
+bool ForceRowDominancePath();
+
+/// The dictionaries of one spec's string DIFF columns, in dom_diff_columns()
+/// order (non-string DIFF columns are skipped). Shared between indexes that
+/// must produce interchangeable codes — the parallel merge encodes a probe
+/// through one index and tests it against others, which is only sound when
+/// all of them code through the same dictionary. Build sequentially
+/// (Encode), probe concurrently (Find).
+class SpecDictionaries {
+ public:
+  explicit SpecDictionaries(const SkylineSpec* spec);
+
+  size_t count() const { return dicts_.size(); }
+  StringDictionary* dict(size_t i) { return dicts_[i].get(); }
+  const StringDictionary* dict(size_t i) const { return dicts_[i].get(); }
+
+  /// Successful probe-side code lookups across all dictionaries.
+  uint64_t TotalProbeHits() const;
+
+ private:
+  std::vector<std::unique_ptr<StringDictionary>> dicts_;
+};
 
 /// Columnar (SoA) mirror of a sequence of rows, holding only the skyline
 /// criterion columns in kBlockEntries-sized blocks with per-block zone
@@ -73,10 +115,10 @@ const DominanceKernel& ActiveDominanceKernel();
 /// block-at-a-time through the active DominanceKernel, after zone-map
 /// pruning proves most blocks can hold no related entry at all.
 ///
-/// The index only accelerates specs whose criteria (MIN/MAX *and* DIFF)
-/// are all int32 with at most kMaxColumns of each kind — `columnar()` is
-/// false otherwise and every mutator is a no-op, so callers keep their
-/// scalar row loop as the fallback.
+/// The index serves every spec with at most kMaxColumns MIN/MAX and
+/// kMaxColumns DIFF criteria; `columnar()` is false only beyond that cap
+/// (or under SetForceRowDominancePath), in which case every mutator is a
+/// no-op and callers keep their scalar row loop as the fallback.
 class DominanceIndex {
  public:
   /// Entries per block: one uint64 relation mask, and a multiple of every
@@ -87,8 +129,11 @@ class DominanceIndex {
 
   /// `spec` must outlive the index; appended rows are spec->schema() rows.
   /// `kernel` overrides the active kernel (tests only); null = active.
+  /// `dicts` shares string-DIFF dictionaries across indexes (parallel
+  /// merge); null = the index owns private dictionaries.
   explicit DominanceIndex(const SkylineSpec* spec,
-                          const DominanceKernel* kernel = nullptr);
+                          const DominanceKernel* kernel = nullptr,
+                          std::shared_ptr<SpecDictionaries> dicts = nullptr);
 
   DominanceIndex(DominanceIndex&&) = default;
   DominanceIndex& operator=(DominanceIndex&&) = default;
@@ -97,6 +142,14 @@ class DominanceIndex {
   bool columnar() const { return columnar_; }
   const char* kernel_name() const { return kernel_->name; }
   size_t size() const { return size_; }
+
+  /// Successful dictionary probe lookups (string DIFF specs only).
+  uint64_t dict_probe_hits() const {
+    return dicts_ ? dicts_->TotalProbeHits() : 0;
+  }
+  const std::shared_ptr<SpecDictionaries>& dictionaries() const {
+    return dicts_;
+  }
 
   /// Pre-sizes column storage for `capacity` entries (optional).
   void Reserve(size_t capacity);
@@ -117,9 +170,14 @@ class DominanceIndex {
   /// Probe keys, precomputed once per Test so each block comparison is
   /// pure column arithmetic. POD so it lives on the caller's stack.
   struct Probe {
-    int32_t values[kMaxColumns];  // order-transformed keys
-    int32_t diffs[kMaxColumns];   // raw DIFF values
+    int32_t values32[kMaxColumns];  // order-transformed int32 keys
+    int64_t values64[kMaxColumns];  // order-transformed int64 keys
+    int32_t diffs32[kMaxColumns];   // raw int32 / dictionary codes
+    int64_t diffs64[kMaxColumns];   // raw 64-bit patterns
   };
+  /// Encodes `row` for probing. Dictionary lanes use a const lookup: a
+  /// string unseen by any Append gets StringDictionary::kNoCode, which
+  /// relates to no entry — exactly the DIFF semantics.
   void EncodeProbe(const char* row, Probe* out) const;
 
   /// Blocks covering entries [0, limit).
@@ -136,6 +194,11 @@ class DominanceIndex {
   /// Relates the probe to block `b`'s entries with index < limit.
   BlockMasks TestBlock(const Probe& probe, size_t b, size_t limit) const;
 
+  /// True when some entry in [0, limit) strictly dominates the probe.
+  /// Zone-prunes and early-exits; used by the block prefilter to discard
+  /// whole input blocks against the window.
+  bool AnyEntryDominates(const Probe& probe, size_t limit) const;
+
   /// Entries in block `b` that lie below `limit` (for comparison counts).
   size_t BlockEntries(size_t b, size_t limit) const {
     const size_t base = b * kBlockEntries;
@@ -143,20 +206,56 @@ class DominanceIndex {
   }
 
  private:
+  /// One MIN/MAX criterion lowered to a key lane.
+  struct ValueLane32 {
+    uint32_t offset;
+    bool max;
+  };
+  struct ValueLane64 {
+    uint32_t offset;
+    ColumnType type;  // kInt64 or kFloat64
+    bool max;
+  };
+  /// One DIFF criterion lowered to an equality lane. `dict` >= 0 names the
+  /// SpecDictionaries slot for string columns, -1 for raw int32.
+  struct DiffLane32 {
+    uint32_t offset;
+    uint32_t length;  // string byte length; 4 for raw int32
+    int32_t dict;
+  };
+  struct DiffLane64 {
+    uint32_t offset;
+    ColumnType type;  // kInt64 or kFloat64
+  };
+
   void EnsureCapacity(size_t entries);
+  int32_t EncodeDiff32(const DiffLane32& lane, const char* row) const;
+  int32_t EncodeDiff32Mut(const DiffLane32& lane, const char* row);
+  int64_t EncodeValue64(const ValueLane64& lane, const char* row) const;
+  int64_t EncodeDiff64(const DiffLane64& lane, const char* row) const;
 
   const SkylineSpec* spec_;
   const DominanceKernel* kernel_;
   bool columnar_ = false;
   size_t size_ = 0;
   size_t padded_ = 0;  // allocated entries (multiple of kBlockEntries)
-  /// values_[d][i]: order-transformed key of entry i on MIN/MAX column d.
-  std::vector<std::vector<int32_t>> values_;
-  /// diffs_[d][i]: raw value of entry i on DIFF column d.
-  std::vector<std::vector<int32_t>> diffs_;
+
+  std::vector<ValueLane32> value32_lanes_;
+  std::vector<ValueLane64> value64_lanes_;
+  std::vector<DiffLane32> diff32_lanes_;
+  std::vector<DiffLane64> diff64_lanes_;
+  std::shared_ptr<SpecDictionaries> dicts_;
+
+  /// values32_[d][i]: order key of entry i on the d-th 32-bit value lane.
+  std::vector<std::vector<int32_t>> values32_;
+  std::vector<std::vector<int64_t>> values64_;
+  std::vector<std::vector<int32_t>> diffs32_;
+  std::vector<std::vector<int64_t>> diffs64_;
   /// Per-block zone maps, indexed [d][block].
-  std::vector<std::vector<int32_t>> value_zmin_, value_zmax_;
-  std::vector<std::vector<int32_t>> diff_zmin_, diff_zmax_;
+  std::vector<std::vector<int32_t>> value32_zmin_, value32_zmax_;
+  std::vector<std::vector<int64_t>> value64_zmin_, value64_zmax_;
+  std::vector<std::vector<int32_t>> diff32_zmin_, diff32_zmax_;
+  std::vector<std::vector<int64_t>> diff64_zmin_, diff64_zmax_;
 };
 
 }  // namespace skyline

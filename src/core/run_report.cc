@@ -77,6 +77,10 @@ void AppendRunStatsObject(JsonWriter* json, const SkylineRunStats& stats) {
   json->KeyValue("window_blocks_pruned", stats.window_blocks_pruned);
   json->KeyValue("merge_blocks_pruned", stats.merge_blocks_pruned);
   json->KeyValue("window_replacements", stats.window_replacements);
+  json->KeyValue("table_zone_blocks_pruned", stats.table_zone_blocks_pruned);
+  json->KeyValue("column_file_blocks_read", stats.column_file_blocks_read);
+  json->KeyValue("dict_probe_hits", stats.dict_probe_hits);
+  json->KeyValue("zone_map_source", std::string_view(stats.zone_map_source));
   json->KeyValue("dominance_kernel", std::string_view(stats.dominance_kernel));
   json->KeyValue("threads_used", stats.threads_used);
   json->KeyValue("sort_seconds", stats.sort_seconds);
@@ -236,6 +240,9 @@ void PublishRunStats(MetricsRegistry* metrics, std::string_view prefix,
   counter("window_blocks_pruned", stats.window_blocks_pruned);
   counter("merge_blocks_pruned", stats.merge_blocks_pruned);
   counter("window_replacements", stats.window_replacements);
+  counter("table_zone_blocks_pruned", stats.table_zone_blocks_pruned);
+  counter("column_file_blocks_read", stats.column_file_blocks_read);
+  counter("dict_probe_hits", stats.dict_probe_hits);
   counter("sort_runs_generated", stats.sort_stats.runs_generated);
   counter("sort_merge_levels", stats.sort_stats.merge_levels);
   counter("sort_records_filtered", stats.sort_stats.records_filtered);

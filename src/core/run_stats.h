@@ -44,6 +44,19 @@ struct SkylineRunStats {
   const char* dominance_kernel = "row";
   /// BNL only: tuples that replaced dominated window entries.
   uint64_t window_replacements = 0;
+  /// SFS block prefilter (presorted-input path): 64-row input blocks
+  /// skipped wholesale because a window entry dominates the block's
+  /// zone-map corner.
+  uint64_t table_zone_blocks_pruned = 0;
+  /// Blocks of the persisted column file read to serve this query (zero
+  /// when the zones came from a scan or the in-process cache).
+  uint64_t column_file_blocks_read = 0;
+  /// Successful dictionary probe lookups (string DIFF specs only).
+  uint64_t dict_probe_hits = 0;
+  /// Where the table zone maps came from: "column_file" (persisted
+  /// sidecar), "cache" (in-process TableZoneCache hit), "scan" (rebuilt
+  /// this query), or "none" (prefilter not engaged). Static string.
+  const char* zone_map_source = "none";
   /// Worker threads the filter phase actually used (1 = sequential SFS).
   uint64_t threads_used = 1;
   /// Block-parallel only: cross-block dominance tests of the merge phase.

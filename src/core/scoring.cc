@@ -79,10 +79,13 @@ double LinearScorer::Score(const char* row) const {
 
 EntropyOrdering::EntropyOrdering(const SkylineSpec* spec,
                                  std::vector<ColumnStats> stats)
-    : spec_(spec), scorer_(spec, std::move(stats)) {}
+    : spec_(spec),
+      scorer_(spec, std::move(stats)),
+      tie_break_(MakeNestedSkylineOrdering(*spec)) {}
 
 EntropyOrdering::EntropyOrdering(const SkylineSpec* spec, const Table& table)
-    : spec_(spec), scorer_(spec, table) {}
+    : spec_(spec), scorer_(spec, table),
+      tie_break_(MakeNestedSkylineOrdering(*spec)) {}
 
 int EntropyOrdering::Compare(const char* a, const char* b) const {
   for (size_t col : spec_->diff_columns()) {
@@ -93,7 +96,7 @@ int EntropyOrdering::Compare(const char* a, const char* b) const {
   const double kb = scorer_.Score(b);
   if (ka > kb) return -1;  // larger score first
   if (kb > ka) return 1;
-  return 0;
+  return tie_break_->Compare(a, b);
 }
 
 bool EntropyOrdering::has_key() const { return !spec_->has_diff(); }

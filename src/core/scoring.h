@@ -83,6 +83,12 @@ class EntropyOrdering : public RowOrdering {
  private:
   const SkylineSpec* spec_;
   EntropyScorer scorer_;
+  /// Equal entropy scores do not imply equivalent tuples: normalization
+  /// goes through double, so distinct int64 values above 2^53 (or any
+  /// colliding value mix) can score identically while one dominates the
+  /// other. Breaking the tie with the exact nested order keeps the sort a
+  /// strict topological order of dominance regardless.
+  std::unique_ptr<LexicographicOrdering> tie_break_;
 };
 
 /// Entropy scoring normalized by *rank* (approximate CDF from equi-depth

@@ -1,12 +1,15 @@
 #include "core/sfs.h"
 
+#include <algorithm>
 #include <cstring>
+#include <string_view>
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/scoring.h"
 #include "core/sfs_parallel.h"
+#include "relation/column_store.h"
 
 namespace skyline {
 
@@ -33,6 +36,15 @@ Status SfsIterator::Open() {
   stats_->input_rows = reader_->record_count();
   stats_->passes = 1;
   stats_->dominance_kernel = window_.kernel_name();
+  // The prefilter is only sound when its zones describe exactly this file.
+  if (prefilter_ != nullptr &&
+      (!prefilter_->usable() || residue_writer_ != nullptr ||
+       prefilter_->row_count() != reader_->record_count())) {
+    prefilter_.reset();
+  }
+  if (prefilter_ != nullptr) {
+    corner_row_.resize(spec_->schema().row_width());
+  }
   BeginPassSpan();
   return Status::OK();
 }
@@ -49,6 +61,29 @@ void SfsIterator::SyncWindowStats() {
   stats_->window_comparisons = window_.comparisons();
   stats_->batch_comparisons = window_.batch_comparisons();
   stats_->window_blocks_pruned = window_.blocks_pruned();
+  stats_->dict_probe_hits = window_.dict_hits();
+}
+
+void SfsIterator::MaybeSkipBlocks() {
+  const uint64_t block = prefilter_->block_rows();
+  const uint64_t rows = reader_->record_count();
+  while (pass_rows_read_ < rows && pass_rows_read_ % block == 0) {
+    const size_t b = static_cast<size_t>(pass_rows_read_ / block);
+    // A corner needs uniform DIFF values over the block; otherwise the
+    // block is filtered row by row.
+    if (!prefilter_->BuildCorner(b, corner_row_.data())) return;
+    if (!window_.AnyEntryDominates(corner_row_.data())) return;
+    // Every row of the block is at most the corner on every criterion and
+    // shares its DIFF group, so a strict dominator of the corner strictly
+    // dominates them all: skip the block wholesale.
+    ++stats_->table_zone_blocks_pruned;
+    pass_rows_read_ = std::min<uint64_t>(pass_rows_read_ + block, rows);
+    Status st = reader_->SeekToRecord(pass_rows_read_);
+    if (!st.ok()) {
+      status_ = st;
+      return;
+    }
+  }
 }
 
 const char* SfsIterator::Next() {
@@ -56,6 +91,10 @@ const char* SfsIterator::Next() {
   const bool poll_cancel = ctx_ != nullptr && ctx_->has_cancel_hook();
   const bool sample_probes = ctx_ != nullptr && ctx_->trace != nullptr;
   while (true) {
+    if (prefilter_ != nullptr && first_pass_) {
+      MaybeSkipBlocks();
+      if (!status_.ok()) return nullptr;
+    }
     const char* row = reader_->Next();
     if (row == nullptr) {
       if (!reader_->status().ok()) {
@@ -65,6 +104,7 @@ const char* SfsIterator::Next() {
       if (!StartNextPass()) return nullptr;
       continue;
     }
+    ++pass_rows_read_;
     ++probe_count_;
     if (poll_cancel && (probe_count_ & 4095u) == 0) {
       status_ = ctx_->CheckCancelled();
@@ -173,6 +213,7 @@ bool SfsIterator::StartNextPass() {
   }
   window_.Clear();
   have_prev_ = false;
+  pass_rows_read_ = 0;
   ++stats_->passes;
   BeginPassSpan();
   return true;
@@ -268,6 +309,26 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
   SfsIterator iter(env, &temp_files, sorted_path, &spec, options.window_pages,
                    options.use_projection, s);
   iter.set_exec_context(&ctx);
+  // Zone-map block prefilter: only the unsorted-in-place path
+  // (Presort::kNone) filters the original table file, whose 64-row blocks
+  // are what the cached/persisted zone maps describe. Zone maps are
+  // advisory — any load failure just means no block skipping.
+  if (options.presort == Presort::kNone && options.residue_path.empty()) {
+    bool cache_hit = false;
+    auto zones_or = TableZoneCache::Instance().GetOrLoad(input, &cache_hit);
+    if (zones_or.ok()) {
+      std::shared_ptr<const TableColumnZones> zones =
+          std::move(zones_or).value();
+      s->zone_map_source = cache_hit ? "cache" : zones->source;
+      if (!cache_hit && std::string_view(zones->source) == "column_file") {
+        s->column_file_blocks_read =
+            (zones->row_count + zones->block_rows - 1) / zones->block_rows;
+      }
+      auto corner =
+          std::make_shared<BlockCornerBuilder>(&spec, std::move(zones));
+      if (corner->usable()) iter.set_block_prefilter(std::move(corner));
+    }
+  }
   std::unique_ptr<HeapFileWriter> residue;
   if (!options.residue_path.empty()) {
     residue = std::make_unique<HeapFileWriter>(

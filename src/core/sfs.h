@@ -11,6 +11,7 @@
 #include "core/run_stats.h"
 #include "core/skyline_spec.h"
 #include "core/window.h"
+#include "core/zone_prefilter.h"
 #include "relation/table.h"
 #include "sort/external_sort.h"
 #include "storage/heap_file.h"
@@ -96,6 +97,19 @@ class SfsIterator {
   /// writer. May be null (the default) to discard eliminated tuples.
   void set_residue_writer(HeapFileWriter* writer) { residue_writer_ = writer; }
 
+  /// Attaches a zone-map block prefilter built over the *input file's* row
+  /// blocks (only sound when the input is filtered unsorted-in-place, i.e.
+  /// Presort::kNone, so the file's blocks are the zone-map blocks). During
+  /// the first pass, at every block boundary the block's corner row is
+  /// tested against the window; if a confirmed entry dominates the corner
+  /// the whole block is skipped without reading its rows. Ignored on later
+  /// passes (spill files have different block alignment) and when a residue
+  /// writer is set (skipped rows must still reach the residue). Set before
+  /// Open; may be null.
+  void set_block_prefilter(std::shared_ptr<const BlockCornerBuilder> p) {
+    prefilter_ = std::move(p);
+  }
+
   /// Attaches an execution context (must outlive the iterator; set before
   /// Open). The iterator then emits one "filter-pass-N" trace span per
   /// pass plus sampled "window-probe" spans (one in every
@@ -123,6 +137,11 @@ class SfsIterator {
   /// Publishes the window's comparison/pruning counters into stats_.
   void SyncWindowStats();
 
+  /// First pass only: while positioned at a zone block boundary, tests the
+  /// next block's corner row against the window and seeks past wholly
+  /// dominated blocks. May set status_.
+  void MaybeSkipBlocks();
+
   /// Opens the "filter-pass-<passes>" span (closing any previous one).
   void BeginPassSpan();
 
@@ -137,6 +156,9 @@ class SfsIterator {
   std::unique_ptr<HeapFileReader> reader_;
   std::unique_ptr<HeapFileWriter> spill_writer_;
   HeapFileWriter* residue_writer_ = nullptr;
+  std::shared_ptr<const BlockCornerBuilder> prefilter_;
+  std::vector<char> corner_row_;
+  uint64_t pass_rows_read_ = 0;
   const ExecContext* ctx_ = nullptr;
   std::unique_ptr<TraceSpan> pass_span_;
   uint64_t probe_count_ = 0;

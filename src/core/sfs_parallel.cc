@@ -34,6 +34,7 @@ struct BlockResult {
   uint64_t comparisons = 0;
   uint64_t batch_comparisons = 0;
   uint64_t blocks_pruned = 0;
+  uint64_t dict_hits = 0;
   uint64_t passes = 1;
 };
 
@@ -152,6 +153,7 @@ BlockResult FilterBlock(Env* env, const std::string& sorted_path,
   result.comparisons = window.comparisons();
   result.batch_comparisons = window.batch_comparisons();
   result.blocks_pruned = window.blocks_pruned();
+  result.dict_hits = window.dict_hits();
   return result;
 }
 
@@ -217,6 +219,7 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
     s->window_comparisons += block.comparisons;
     s->batch_comparisons += block.batch_comparisons;
     s->window_blocks_pruned += block.blocks_pruned;
+    s->dict_probe_hits += block.dict_hits;
     s->passes = std::max<uint64_t>(s->passes, block.passes);
     results.push_back(std::move(block));
   }
@@ -254,12 +257,17 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
     // Columnar mirrors of every block's candidates: the merge probes reuse
     // the same zone-map pruning + batched kernel as the window scan, which
     // cuts the all-pairs merge from one CompareDominance per candidate
-    // pair to one kernel call per unpruned 64-candidate block.
+    // pair to one kernel call per unpruned 64-candidate block. All indexes
+    // share one dictionary set — a probe encoded against index k is tested
+    // against index j, so string codes must be comparable across blocks.
+    // The build loop is sequential (Encode is single-writer); the merge
+    // phase only probes via the const Find path.
+    auto merge_dicts = std::make_shared<SpecDictionaries>(&spec);
     std::vector<DominanceIndex> indexes;
     if (columnar) {
       indexes.reserve(blocks);
       for (size_t k = 0; k < blocks; ++k) {
-        DominanceIndex index(&spec);
+        DominanceIndex index(&spec, nullptr, merge_dicts);
         index.Reserve(results[k].pos.size());
         for (size_t i = 0; i < results[k].pos.size(); ++i) {
           index.Append(results[k].rows.data() + i * width);
@@ -349,6 +357,7 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
           }
         },
         grain);
+    s->dict_probe_hits += merge_dicts->TotalProbeHits();
   }
 
   if (cancel_requested.load(std::memory_order_relaxed)) {

@@ -70,9 +70,31 @@ Window::Verdict Window::TestColumnar(const char* probe) {
   return Verdict::kAdded;
 }
 
-/// Row-at-a-time scan for specs the columnar index cannot serve (non-int32
-/// criteria). Identical to the pre-columnar Window behavior, including
-/// per-entry comparison accounting with first-hit early exit.
+bool Window::AnyEntryDominates(const char* full_row) {
+  if (entry_count_ == 0) return false;
+  const char* probe = full_row;
+  if (projected_) {
+    spec_->ProjectRow(full_row, scratch_.data());
+    probe = scratch_.data();
+  }
+  if (index_.columnar()) {
+    index_.EncodeProbe(probe, &probe_);
+    return index_.AnyEntryDominates(probe_, entry_count_);
+  }
+  for (size_t i = 0; i < entry_count_; ++i) {
+    const char* entry = storage_.data() + i * entry_width_;
+    if (CompareDominance(*entry_spec_, entry, probe) ==
+        DomResult::kFirstDominates) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Row-at-a-time scan for specs the columnar index cannot serve (too many
+/// criterion columns, or the forced row path). Identical to the
+/// pre-columnar Window behavior, including per-entry comparison accounting
+/// with first-hit early exit.
 Window::Verdict Window::TestRowFallback(const char* probe) {
   for (size_t i = 0; i < entry_count_; ++i) {
     const char* entry = storage_.data() + i * entry_width_;

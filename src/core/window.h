@@ -23,9 +23,11 @@ namespace skyline {
 ///
 /// Storage is hybrid: entries keep their row-major bytes (EntryAt, output)
 /// while a columnar DominanceIndex mirrors the criterion columns in
-/// 64-entry blocks with zone maps. When the spec is all-int32, Test relates
-/// the probe to a whole block per batched-kernel call and skips blocks the
-/// zone maps prove unrelated; otherwise Test falls back to the row-at-a-time
+/// 64-entry blocks with zone maps. Every criterion lowers to an order-key
+/// lane (int32/int64 keys, doubles via the total-order bits, string DIFF
+/// via dictionary codes), so Test relates the probe to a whole block per
+/// batched-kernel call and skips blocks the zone maps prove unrelated;
+/// only specs beyond the column cap fall back to the row-at-a-time
 /// CompareDominance scan. Both paths return identical verdicts: for a
 /// window (pairwise non-dominating entries, equivalents allowed) at most
 /// one relation class — dominator, equal, or dominated — can occur across
@@ -57,6 +59,13 @@ class Window {
   /// applies the verdict's side effect (kAdded stores the row/projection).
   Verdict Test(const char* full_row);
 
+  /// True when some window entry strictly dominates `full_row` (a
+  /// spec->schema() row). No side effects, no verdict accounting beyond
+  /// the block counters. The SFS block prefilter probes synthetic
+  /// "corner" rows through this: if an entry dominates the componentwise
+  /// best of an input block, it dominates every row in that block.
+  bool AnyEntryDominates(const char* full_row);
+
   /// Drops all entries (used between passes and at DIFF group boundaries).
   void Clear();
 
@@ -84,8 +93,11 @@ class Window {
   /// relate to the probe.
   uint64_t blocks_pruned() const { return blocks_pruned_; }
 
+  /// Successful dictionary probe lookups (string DIFF specs only).
+  uint64_t dict_hits() const { return index_.dict_probe_hits(); }
+
   /// Kernel variant Test uses: "scalar"/"sse2"/"avx2" on the columnar
-  /// path, "row" when the spec's criteria force the row-at-a-time scan.
+  /// path, "row" when the column cap forces the row-at-a-time scan.
   const char* kernel_name() const {
     return index_.columnar() ? index_.kernel_name() : "row";
   }

@@ -1,0 +1,51 @@
+#ifndef SKYLINE_CORE_ZONE_PREFILTER_H_
+#define SKYLINE_CORE_ZONE_PREFILTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/skyline_spec.h"
+#include "relation/column_store.h"
+
+namespace skyline {
+
+/// Builds synthetic "corner" rows from a table's persisted/cached zone
+/// maps: for input block b, the corner carries the componentwise *best*
+/// value of every MIN/MAX criterion over the block's rows (and the
+/// block's uniform DIFF values). If any confirmed window entry strictly
+/// dominates the corner, it strictly dominates every row of the block —
+/// the entry beats the block's best on some criterion and ties-or-beats
+/// it everywhere else, and each row is at most the corner everywhere —
+/// so SFS can skip the whole block without reading a single row of it.
+///
+/// Soundness requires the block's DIFF values to be uniform (otherwise a
+/// single corner cannot share a group with every row); BuildCorner
+/// returns false for such blocks and the caller filters them row by row.
+class BlockCornerBuilder {
+ public:
+  /// `spec` must outlive the builder; `zones` granularity must match the
+  /// filter's 64-row blocks (usable() is false otherwise).
+  BlockCornerBuilder(const SkylineSpec* spec,
+                     std::shared_ptr<const TableColumnZones> zones);
+
+  /// True when the zones can drive the prefilter at all (matching block
+  /// granularity and schema shape).
+  bool usable() const { return usable_; }
+
+  uint32_t block_rows() const { return zones_->block_rows; }
+  uint64_t row_count() const { return zones_->row_count; }
+
+  /// Fills `corner` (spec->schema().row_width() bytes, zeroed padding)
+  /// with block `b`'s corner row. Returns false when the block has no
+  /// sound corner (non-uniform DIFF values); `corner` is then unspecified.
+  bool BuildCorner(size_t b, char* corner) const;
+
+ private:
+  const SkylineSpec* spec_;
+  std::shared_ptr<const TableColumnZones> zones_;
+  bool usable_ = false;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_ZONE_PREFILTER_H_

@@ -30,6 +30,15 @@ class WritableFile {
 /// A file being read from an arbitrary offset.
 class RandomAccessFile {
  public:
+  /// Advisory access-pattern hints (posix_fadvise flavors). Purely an
+  /// optimization channel: implementations may ignore them entirely.
+  enum class AccessPattern {
+    /// The range will be read front-to-back; aggressive readahead pays off.
+    kSequential,
+    /// The range will be needed soon; prefetch it.
+    kWillNeed,
+  };
+
   virtual ~RandomAccessFile() = default;
 
   /// Reads exactly `size` bytes at `offset` into `scratch`. Returns
@@ -38,6 +47,11 @@ class RandomAccessFile {
 
   /// Total file size in bytes.
   virtual uint64_t Size() const = 0;
+
+  /// Declares the expected access pattern for [offset, offset+size).
+  /// size 0 means "to end of file". Default: no-op.
+  virtual void Hint(AccessPattern /*pattern*/, uint64_t /*offset*/,
+                    uint64_t /*size*/) const {}
 };
 
 /// Filesystem abstraction in the style of rocksdb::Env, so the paged storage

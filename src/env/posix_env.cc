@@ -89,6 +89,22 @@ class PosixRandomAccessFile : public RandomAccessFile {
 
   uint64_t Size() const override { return size_; }
 
+  void Hint(AccessPattern pattern, uint64_t offset,
+            uint64_t size) const override {
+#if defined(POSIX_FADV_SEQUENTIAL)
+    const int advice = pattern == AccessPattern::kSequential
+                           ? POSIX_FADV_SEQUENTIAL
+                           : POSIX_FADV_WILLNEED;
+    // Advisory only; failure changes nothing observable.
+    (void)::posix_fadvise(fd_, static_cast<off_t>(offset),
+                          static_cast<off_t>(size), advice);
+#else
+    (void)pattern;
+    (void)offset;
+    (void)size;
+#endif
+  }
+
  private:
   std::string path_;
   int fd_;

@@ -1,0 +1,90 @@
+#ifndef SKYLINE_RELATION_COLUMN_STORE_H_
+#define SKYLINE_RELATION_COLUMN_STORE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relation/dictionary.h"
+#include "relation/table.h"
+#include "storage/column_file.h"
+
+namespace skyline {
+
+/// Spec-independent columnar summary of a table: per-column, per-block
+/// min/max in the *canonical ascending key space* (raw int32/int64 values
+/// widened to int64, float64 as total-order bits, strings as dictionary
+/// codes), plus the per-string-column dictionaries. Built once per table —
+/// preferably by loading the persisted column file, else by one scan —
+/// and shared across queries; a skyline spec applies its MIN/MAX flips at
+/// query time, so the same zones serve every spec over the table.
+struct TableColumnZones {
+  struct Column {
+    std::vector<int64_t> zmin, zmax;  // one per block, canonical keys
+    /// Strings only: code -> value mapping matching the zone-map codes.
+    std::shared_ptr<StringDictionary> dict;
+  };
+
+  uint32_t block_rows = 0;
+  uint64_t row_count = 0;
+  /// "column_file" when loaded from the persisted sidecar, "scan" when
+  /// rebuilt from the heap file.
+  const char* source = "scan";
+  std::vector<Column> columns;  // one per schema column, in schema order
+};
+
+/// Path of the columnar sidecar for a heap file at `table_path`.
+std::string ColumnFilePathFor(const std::string& table_path);
+
+/// Scans `table` once and builds its zone maps and dictionaries in memory.
+Result<std::shared_ptr<const TableColumnZones>> BuildTableColumnZones(
+    const Table& table);
+
+/// Persists the table's full columnar image (keys, zone maps,
+/// dictionaries) to ColumnFilePathFor(table.path()) in the table's Env.
+Status WriteTableColumnFile(const Table& table);
+
+/// Loads zones from an existing column file, validating it against the
+/// table's schema and row count. NotFound when no column file exists.
+Result<std::shared_ptr<const TableColumnZones>> LoadTableColumnZones(
+    const Table& table);
+
+/// Process-wide cache of TableColumnZones keyed by table identity
+/// (env instance, heap-file path, row count — the row count stands in for
+/// a version: tables are immutable once built, and a rebuilt table with
+/// the same path virtually always changes its size). Repeated queries on
+/// one table — the sql_shell session pattern — reuse the zones instead of
+/// rescanning; when a persisted column file exists it is preferred over a
+/// scan on first load. Thread-safe; holds at most a handful of tables
+/// (LRU-evicted).
+class TableZoneCache {
+ public:
+  static TableZoneCache& Instance();
+
+  /// Returns zones for `table`, loading (column file first, else scan) on
+  /// miss. `cache_hit` (may be null) reports whether the zones came from
+  /// the cache.
+  Result<std::shared_ptr<const TableColumnZones>> GetOrLoad(const Table& table,
+                                                            bool* cache_hit);
+
+  size_t size() const;
+  void Clear();
+
+ private:
+  static constexpr size_t kMaxEntries = 16;
+
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const TableColumnZones> zones;
+  };
+
+  mutable std::mutex mu_;
+  /// LRU order: most recently used last.
+  std::vector<Entry> entries_;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_RELATION_COLUMN_STORE_H_

@@ -1,0 +1,129 @@
+#ifndef SKYLINE_RELATION_DICTIONARY_H_
+#define SKYLINE_RELATION_DICTIONARY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace skyline {
+
+/// Per-column dictionary for fixed-width string values. Encoding a string
+/// DIFF criterion as its dictionary code lets the columnar kernel treat it
+/// as a plain int32 equality lane: DIFF needs only equality, and distinct
+/// strings get distinct codes, so code equality == byte equality.
+///
+/// Thread-safety contract: Encode (assign-on-miss) is single-writer and
+/// must not run concurrently with anything; Find/Value are const and safe
+/// to call from many threads once the dictionary is no longer mutated.
+/// The parallel merge phase relies on exactly this: indexes are built
+/// sequentially (Encode), then probed concurrently (Find).
+class StringDictionary {
+ public:
+  /// Code returned by Find for a value absent from the dictionary. All
+  /// real codes are >= 0, so kNoCode compares below every zone-map min
+  /// and equals no entry lane — an unseen probe string relates to nothing,
+  /// which is exactly the DIFF semantics.
+  static constexpr int32_t kNoCode = -1;
+
+  explicit StringDictionary(size_t value_width) : value_width_(value_width) {}
+
+  StringDictionary(const StringDictionary&) = delete;
+  StringDictionary& operator=(const StringDictionary&) = delete;
+
+  /// Returns the code for `bytes` (value_width_ bytes), assigning the next
+  /// code on first sight. Mutable: see the thread-safety contract.
+  int32_t Encode(const char* bytes) {
+    const std::string_view key(bytes, value_width_);
+    auto it = map_.find(key);
+    if (it != map_.end()) return it->second;
+    const int32_t code = static_cast<int32_t>(size());
+    const size_t offset = arena_.size();
+    arena_.append(bytes, value_width_);
+    // The map keys view into the arena; appending may reallocate, so
+    // rebuild views only for the new entry (old offsets stay valid via
+    // re-anchoring below).
+    RebuildViewsIfMoved();
+    map_.emplace(std::string_view(arena_.data() + offset, value_width_), code);
+    return code;
+  }
+
+  /// Const lookup: code for `bytes`, or kNoCode when absent. Counts
+  /// probe hits/misses for run reports.
+  int32_t Find(const char* bytes) const {
+    const auto it = map_.find(std::string_view(bytes, value_width_));
+    if (it == map_.end()) {
+      probe_misses_.fetch_add(1, std::memory_order_relaxed);
+      return kNoCode;
+    }
+    probe_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  /// Raw bytes of `code` (value_width_ bytes).
+  const char* Value(int32_t code) const {
+    return arena_.data() + static_cast<size_t>(code) * value_width_;
+  }
+
+  size_t size() const { return arena_.size() / value_width_; }
+  size_t value_width() const { return value_width_; }
+
+  uint64_t probe_hits() const {
+    return probe_hits_.load(std::memory_order_relaxed);
+  }
+  uint64_t probe_misses() const {
+    return probe_misses_.load(std::memory_order_relaxed);
+  }
+
+  /// Dense code-ordered value blob (size() * value_width_ bytes) for
+  /// persistence.
+  const std::string& SerializedValues() const { return arena_; }
+
+  /// Rebuilds the dictionary from a dense code-ordered blob.
+  static StringDictionary FromValues(size_t value_width,
+                                     std::string_view blob) {
+    StringDictionary dict(value_width);
+    for (size_t off = 0; off + value_width <= blob.size();
+         off += value_width) {
+      dict.Encode(blob.data() + off);
+    }
+    return dict;
+  }
+
+  StringDictionary(StringDictionary&& other) noexcept
+      : value_width_(other.value_width_), arena_(std::move(other.arena_)) {
+    RebuildAllViews();
+  }
+
+ private:
+  void RebuildViewsIfMoved() {
+    if (arena_.data() == anchored_base_) return;
+    RebuildAllViews();
+  }
+
+  void RebuildAllViews() {
+    anchored_base_ = arena_.data();
+    map_.clear();
+    const size_t n = arena_.size() / value_width_;
+    map_.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      map_.emplace(
+          std::string_view(arena_.data() + i * value_width_, value_width_),
+          static_cast<int32_t>(i));
+    }
+  }
+
+  const size_t value_width_;
+  std::string arena_;  // code-ordered values, value_width_ bytes each
+  const char* anchored_base_ = nullptr;
+  std::unordered_map<std::string_view, int32_t> map_;
+  mutable std::atomic<uint64_t> probe_hits_{0};
+  mutable std::atomic<uint64_t> probe_misses_{0};
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_RELATION_DICTIONARY_H_

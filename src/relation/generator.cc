@@ -20,6 +20,50 @@ int32_t ScaleToInt32(double v) {
       std::clamp(scaled, lo, hi));
 }
 
+/// Maps a normalized value in [0,1] onto a wide int64 range that straddles
+/// the 2^53 double-precision cliff, so generated data exercises the native
+/// int64 comparison path.
+int64_t ScaleToInt64(double v) {
+  v = std::clamp(v, 0.0, 1.0);
+  const double span = 9.0e18;  // ~ [-2^62.96, +2^62.96]
+  return static_cast<int64_t>(-span / 2 + v * span);
+}
+
+/// Writes attribute `col` of the row from normalized value `v` per its
+/// declared type.
+void SetScaled(RowBuffer* row, const Schema& schema, size_t col, double v) {
+  switch (schema.column(col).type) {
+    case ColumnType::kInt32:
+      row->SetInt32(col, ScaleToInt32(v));
+      break;
+    case ColumnType::kInt64:
+      row->SetInt64(col, ScaleToInt64(v));
+      break;
+    case ColumnType::kFloat64:
+      row->SetFloat64(col, v);
+      break;
+    case ColumnType::kFixedString:
+      break;  // attributes are numeric; unreachable (validated in Make)
+  }
+}
+
+void SetSmallDomain(RowBuffer* row, const Schema& schema, size_t col,
+                    int32_t v) {
+  switch (schema.column(col).type) {
+    case ColumnType::kInt32:
+      row->SetInt32(col, v);
+      break;
+    case ColumnType::kInt64:
+      row->SetInt64(col, v);
+      break;
+    case ColumnType::kFloat64:
+      row->SetFloat64(col, static_cast<double>(v));
+      break;
+    case ColumnType::kFixedString:
+      break;
+  }
+}
+
 /// Draws one tuple's normalized attribute vector per the distribution.
 void DrawNormalized(const GeneratorOptions& options, Random* rng,
                     std::vector<double>* out) {
@@ -76,11 +120,39 @@ Result<Table> GenerateTable(Env* env, const std::string& path,
   if (options.small_domain && options.domain_lo > options.domain_hi) {
     return Status::InvalidArgument("empty small domain");
   }
+  if (!options.attribute_types.empty() &&
+      options.attribute_types.size() !=
+          static_cast<size_t>(options.num_attributes)) {
+    return Status::InvalidArgument(
+        "attribute_types length must equal num_attributes");
+  }
+  for (ColumnType type : options.attribute_types) {
+    if (type == ColumnType::kFixedString) {
+      return Status::InvalidArgument(
+          "attribute columns must be numeric (payload is the string column)");
+    }
+  }
 
   std::vector<ColumnDef> columns;
   columns.reserve(options.num_attributes + 1);
   for (int i = 0; i < options.num_attributes; ++i) {
-    columns.push_back(ColumnDef::Int32("a" + std::to_string(i)));
+    const std::string name = "a" + std::to_string(i);
+    const ColumnType type = options.attribute_types.empty()
+                                ? ColumnType::kInt32
+                                : options.attribute_types[i];
+    switch (type) {
+      case ColumnType::kInt32:
+        columns.push_back(ColumnDef::Int32(name));
+        break;
+      case ColumnType::kInt64:
+        columns.push_back(ColumnDef::Int64(name));
+        break;
+      case ColumnType::kFloat64:
+        columns.push_back(ColumnDef::Float64(name));
+        break;
+      case ColumnType::kFixedString:
+        break;  // rejected above
+    }
   }
   if (options.payload_bytes > 0) {
     columns.push_back(
@@ -94,13 +166,20 @@ Result<Table> GenerateTable(Env* env, const std::string& path,
   Random rng(options.seed);
   std::vector<double> values;
   std::string payload;
+  // Bounded-cardinality payloads: a fixed pool drawn up front so that
+  // every row's payload is one of `payload_cardinality` distinct values.
+  std::vector<std::string> payload_pool;
+  for (size_t i = 0; i < options.payload_cardinality; ++i) {
+    FillPayload(&rng, options.payload_bytes, &payload);
+    payload_pool.push_back(payload);
+  }
   RowBuffer row(&builder.schema());
   const size_t payload_col = static_cast<size_t>(options.num_attributes);
   for (uint64_t r = 0; r < options.num_rows; ++r) {
     if (options.small_domain) {
       for (int i = 0; i < options.num_attributes; ++i) {
-        row.SetInt32(static_cast<size_t>(i),
-                     rng.UniformInt32(options.domain_lo, options.domain_hi));
+        SetSmallDomain(&row, builder.schema(), static_cast<size_t>(i),
+                       rng.UniformInt32(options.domain_lo, options.domain_hi));
       }
     } else {
       DrawNormalized(options, &rng, &values);
@@ -109,12 +188,17 @@ Result<Table> GenerateTable(Env* env, const std::string& path,
         if (options.skew_exponent != 1.0) {
           v = std::pow(v, options.skew_exponent);
         }
-        row.SetInt32(static_cast<size_t>(i), ScaleToInt32(v));
+        SetScaled(&row, builder.schema(), static_cast<size_t>(i), v);
       }
     }
     if (options.payload_bytes > 0) {
-      FillPayload(&rng, options.payload_bytes, &payload);
-      row.SetString(payload_col, payload);
+      if (!payload_pool.empty()) {
+        row.SetString(payload_col,
+                      payload_pool[rng.Uniform(payload_pool.size())]);
+      } else {
+        FillPayload(&rng, options.payload_bytes, &payload);
+        row.SetString(payload_col, payload);
+      }
     }
     SKYLINE_RETURN_IF_ERROR(builder.Append(row));
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "relation/table.h"
@@ -27,11 +28,21 @@ enum class Distribution {
 /// 40 tuples per 4 KiB page.
 struct GeneratorOptions {
   uint64_t num_rows = 100'000;
-  /// Number of int32 attribute columns (named "a0".."a{n-1}").
+  /// Number of attribute columns (named "a0".."a{n-1}").
   int num_attributes = 10;
+  /// Per-attribute column types (kInt32, kInt64, or kFloat64). Empty (the
+  /// default) means all attributes are int32 — the paper's shape. When
+  /// set, its length must equal num_attributes; small_domain applies to
+  /// every type (int-valued doubles for kFloat64).
+  std::vector<ColumnType> attribute_types;
   /// Width of the trailing FixedString payload column ("payload"); 0 omits
   /// the column entirely.
   size_t payload_bytes = 60;
+  /// When positive, payload values are drawn from a pool of this many
+  /// distinct strings instead of per-row random bytes — duplicates make
+  /// the payload usable as a DIFF column and give its dictionary a
+  /// bounded code space.
+  size_t payload_cardinality = 0;
   Distribution distribution = Distribution::kIndependent;
   /// Noise scale (in normalized (0,1) units) for the correlated /
   /// anti-correlated distributions.

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/logging.h"
+#include "common/order_key.h"
 
 namespace skyline {
 
@@ -84,8 +85,15 @@ int Schema::CompareColumn(size_t col, const char* row_a,
       return CompareAt<int32_t>(row_a, row_b, offset);
     case ColumnType::kInt64:
       return CompareAt<int64_t>(row_a, row_b, offset);
-    case ColumnType::kFloat64:
-      return CompareAt<double>(row_a, row_b, offset);
+    case ColumnType::kFloat64: {
+      // Doubles compare through the IEEE total order so that every path
+      // in the engine (row comparisons, sort keys, columnar order keys)
+      // ranks them identically, including NaN and -0.0 < +0.0.
+      double va, vb;
+      std::memcpy(&va, row_a + offset, sizeof(va));
+      std::memcpy(&vb, row_b + offset, sizeof(vb));
+      return CompareDoubleTotalOrder(va, vb);
+    }
     case ColumnType::kFixedString:
       return std::memcmp(row_a + offset, row_b + offset,
                          columns_[col].string_length);
@@ -93,6 +101,11 @@ int Schema::CompareColumn(size_t col, const char* row_a,
   return 0;
 }
 
+// NumericValue widens int64 through double, which is lossy above 2^53.
+// It is only used for scoring/statistics (entropy normalization, column
+// stats), never for ordering decisions: comparisons go through
+// CompareColumn, which compares int64 natively, and orderings built on
+// scores break ties with an exact lexicographic comparator.
 double Schema::NumericValue(size_t col, const char* row) const {
   SKYLINE_CHECK_LT(col, columns_.size());
   const size_t offset = offsets_[col];

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <vector>
 
+#include "relation/column_store.h"
+
 namespace skyline {
 namespace {
 
@@ -56,6 +58,11 @@ Status SaveTableMetadata(const Table& table, const std::string& meta_path) {
   SKYLINE_RETURN_IF_ERROR(table.env()->NewWritableFile(meta_path, &file));
   SKYLINE_RETURN_IF_ERROR(file->Append(out.data(), out.size()));
   return file->Close();
+}
+
+Status SaveTableWithColumns(const Table& table, const std::string& meta_path) {
+  SKYLINE_RETURN_IF_ERROR(SaveTableMetadata(table, meta_path));
+  return WriteTableColumnFile(table);
 }
 
 Result<Table> OpenTableWithMetadata(Env* env, const std::string& table_path,

@@ -23,6 +23,12 @@ namespace skyline {
 /// Writes the sidecar for `table` at `meta_path` in the table's Env.
 Status SaveTableMetadata(const Table& table, const std::string& meta_path);
 
+/// Writes the metadata sidecar plus the persisted columnar sidecar
+/// (order keys, zone maps, dictionaries) at ColumnFilePathFor(
+/// table.path()). Queries that run with Presort::kNone then pick up the
+/// persisted zone maps instead of rescanning the heap file.
+Status SaveTableWithColumns(const Table& table, const std::string& meta_path);
+
 /// Rebuilds a Table from `meta_path` plus the heap file at `table_path`
 /// (row count is derived from the file size). Corruption / version
 /// mismatches surface as Corruption.

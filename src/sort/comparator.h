@@ -11,11 +11,14 @@ namespace skyline {
 /// Total-order interface over raw fixed-width rows, used by the external
 /// sorter. Implementations must be consistent (strict weak ordering).
 ///
-/// When `has_key()` is true the ordering is "larger double key first"
-/// (ties arbitrary); the sorter then caches one key per record instead of
-/// re-evaluating multi-column comparisons — this is the paper's observation
-/// that sorting on a single computed attribute (the entropy score E) is
-/// cheaper than a nested sort over many attributes.
+/// When `has_key()` is true the ordering is "larger double key first",
+/// with key ties resolved by Compare(); the sorter then caches one key per
+/// record and only falls back to multi-column comparisons on equal keys —
+/// this is the paper's observation that sorting on a single computed
+/// attribute (the entropy score E) is cheaper than a nested sort over many
+/// attributes. Implementations whose Compare() distinguishes rows that
+/// share a key (e.g. an exact tie-break under a lossy score) rely on this
+/// fallback for correctness.
 class RowOrdering {
  public:
   virtual ~RowOrdering() = default;

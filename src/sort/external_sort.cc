@@ -172,9 +172,16 @@ Status ExternalSorter::SortAndWriteRun(std::vector<char> buffer, size_t count,
     for (size_t i = 0; i < count; ++i) {
       keys[i] = ordering_->Key(buffer.data() + i * record_size_);
     }
+    const char* base = buffer.data();
+    const size_t width = record_size_;
     std::stable_sort(order.begin(), order.end(),
-                     [&keys](uint32_t a, uint32_t b) {
-                       return keys[a] > keys[b];  // larger key first
+                     [this, &keys, base, width](uint32_t a, uint32_t b) {
+                       if (keys[a] > keys[b]) return true;  // larger key first
+                       if (keys[a] < keys[b]) return false;
+                       // Equal scalar keys may still hide an ordering (the
+                       // ordering's exact tie-break); delegate.
+                       return ordering_->Compare(base + a * width,
+                                                 base + b * width) < 0;
                      });
   } else {
     const char* base = buffer.data();
@@ -385,7 +392,12 @@ Status ExternalSorter::MergeOnce(const std::vector<std::string>& group,
   const bool by_key = ordering_->has_key();
   auto before = [this, by_key](const MergeCursor* a,
                                const MergeCursor* b) {
-    if (by_key) return a->key() > b->key();
+    if (by_key) {
+      if (a->key() > b->key()) return true;
+      if (a->key() < b->key()) return false;
+      // Fall through: equal keys resolve by the ordering's exact
+      // tie-break, keeping the merge consistent with run formation.
+    }
     return ordering_->Compare(a->record(), b->record()) < 0;
   };
   // Min-heap on "before": comparator for push_heap must say "worse first".

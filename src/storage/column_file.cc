@@ -1,0 +1,213 @@
+#include "storage/column_file.h"
+
+#include <cstring>
+#include <limits>
+
+namespace skyline {
+namespace {
+
+constexpr char kMagic[8] = {'S', 'K', 'Y', 'C', 'O', 'L', 'F', '1'};
+constexpr uint32_t kVersion = 1;
+
+uint64_t Fnv1a(const char* data, size_t size) {
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+template <typename T>
+void PutScalar(std::string* out, T v) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &v, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+bool GetScalar(const std::string& in, size_t* pos, T* out) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(out, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+template <typename T>
+void PutVector(std::string* out, const std::vector<T>& v) {
+  if (!v.empty()) {
+    out->append(reinterpret_cast<const char*>(v.data()),
+                v.size() * sizeof(T));
+  }
+}
+
+template <typename T>
+bool GetVector(const std::string& in, size_t* pos, size_t count,
+               std::vector<T>* out) {
+  const size_t bytes = count * sizeof(T);
+  if (*pos + bytes > in.size()) return false;
+  out->resize(count);
+  if (bytes > 0) std::memcpy(out->data(), in.data() + *pos, bytes);
+  *pos += bytes;
+  return true;
+}
+
+void ComputeZoneMaps(ColumnFileColumn* col, uint64_t row_count,
+                     uint32_t block_rows, size_t blocks) {
+  col->zmin.assign(blocks, std::numeric_limits<int64_t>::max());
+  col->zmax.assign(blocks, std::numeric_limits<int64_t>::min());
+  for (uint64_t i = 0; i < row_count; ++i) {
+    const int64_t key = col->kind == ColumnFileKind::kKeyInt64
+                            ? col->data64[i]
+                            : static_cast<int64_t>(col->data32[i]);
+    const size_t b = static_cast<size_t>(i / block_rows);
+    if (key < col->zmin[b]) col->zmin[b] = key;
+    if (key > col->zmax[b]) col->zmax[b] = key;
+  }
+}
+
+Status CorruptColumnFile(const std::string& path, const std::string& what) {
+  return Status::Corruption("column file " + path + ": " + what);
+}
+
+}  // namespace
+
+Status WriteColumnFile(Env* env, const std::string& path,
+                       ColumnFileContents contents) {
+  if (contents.block_rows == 0) {
+    return Status::InvalidArgument("column file block_rows must be positive");
+  }
+  const size_t blocks = contents.BlockCount();
+  for (auto& col : contents.columns) {
+    const size_t have = col.kind == ColumnFileKind::kKeyInt64
+                            ? col.data64.size()
+                            : col.data32.size();
+    if (have != contents.row_count) {
+      return Status::InvalidArgument(
+          "column file column has " + std::to_string(have) + " keys for " +
+          std::to_string(contents.row_count) + " rows");
+    }
+    if (col.kind == ColumnFileKind::kDictCode &&
+        col.dict.size() !=
+            static_cast<size_t>(col.dict_entries) * col.raw_width) {
+      return Status::InvalidArgument("column file dictionary blob size");
+    }
+    ComputeZoneMaps(&col, contents.row_count, contents.block_rows, blocks);
+  }
+
+  std::string out;
+  out.append(kMagic, sizeof(kMagic));
+  PutScalar(&out, kVersion);
+  PutScalar(&out, contents.block_rows);
+  PutScalar(&out, contents.row_count);
+  PutScalar(&out, static_cast<uint32_t>(contents.columns.size()));
+  for (const auto& col : contents.columns) {
+    PutScalar(&out, static_cast<uint8_t>(col.kind));
+    PutScalar(&out, col.raw_width);
+    PutScalar(&out, col.dict_entries);
+  }
+  for (const auto& col : contents.columns) {
+    for (size_t b = 0; b < blocks; ++b) PutScalar(&out, col.zmin[b]);
+    for (size_t b = 0; b < blocks; ++b) PutScalar(&out, col.zmax[b]);
+  }
+  for (const auto& col : contents.columns) {
+    out.append(col.dict);
+  }
+  for (const auto& col : contents.columns) {
+    if (col.kind == ColumnFileKind::kKeyInt64) {
+      PutVector(&out, col.data64);
+    } else {
+      PutVector(&out, col.data32);
+    }
+  }
+  PutScalar(&out, Fnv1a(out.data(), out.size()));
+
+  std::unique_ptr<WritableFile> file;
+  SKYLINE_RETURN_IF_ERROR(env->NewWritableFile(path, &file));
+  SKYLINE_RETURN_IF_ERROR(file->Append(out.data(), out.size()));
+  return file->Close();
+}
+
+Result<ColumnFileContents> ReadColumnFile(Env* env, const std::string& path) {
+  std::unique_ptr<RandomAccessFile> file;
+  SKYLINE_RETURN_IF_ERROR(env->NewRandomAccessFile(path, &file));
+  const uint64_t size = file->Size();
+  if (size < sizeof(kMagic) + sizeof(uint64_t)) {
+    return CorruptColumnFile(path, "too small");
+  }
+  file->Hint(RandomAccessFile::AccessPattern::kWillNeed, 0, size);
+  std::string raw(size, '\0');
+  SKYLINE_RETURN_IF_ERROR(file->Read(0, size, raw.data()));
+
+  uint64_t stored_checksum;
+  std::memcpy(&stored_checksum, raw.data() + size - sizeof(uint64_t),
+              sizeof(uint64_t));
+  if (Fnv1a(raw.data(), size - sizeof(uint64_t)) != stored_checksum) {
+    return CorruptColumnFile(path, "checksum mismatch");
+  }
+  if (std::memcmp(raw.data(), kMagic, sizeof(kMagic)) != 0) {
+    return CorruptColumnFile(path, "bad magic");
+  }
+
+  size_t pos = sizeof(kMagic);
+  uint32_t version;
+  ColumnFileContents contents;
+  uint32_t num_columns;
+  if (!GetScalar(raw, &pos, &version) ||
+      !GetScalar(raw, &pos, &contents.block_rows) ||
+      !GetScalar(raw, &pos, &contents.row_count) ||
+      !GetScalar(raw, &pos, &num_columns)) {
+    return CorruptColumnFile(path, "truncated header");
+  }
+  if (version != kVersion) {
+    return CorruptColumnFile(path,
+                             "unsupported version " + std::to_string(version));
+  }
+  if (contents.block_rows == 0) {
+    return CorruptColumnFile(path, "zero block_rows");
+  }
+  contents.columns.resize(num_columns);
+  for (auto& col : contents.columns) {
+    uint8_t kind;
+    if (!GetScalar(raw, &pos, &kind) || !GetScalar(raw, &pos, &col.raw_width) ||
+        !GetScalar(raw, &pos, &col.dict_entries)) {
+      return CorruptColumnFile(path, "truncated column header");
+    }
+    if (kind > static_cast<uint8_t>(ColumnFileKind::kDictCode)) {
+      return CorruptColumnFile(path, "unknown column kind");
+    }
+    col.kind = static_cast<ColumnFileKind>(kind);
+    if (col.kind == ColumnFileKind::kDictCode && col.raw_width == 0) {
+      return CorruptColumnFile(path, "dictionary column with zero width");
+    }
+  }
+  const size_t blocks = contents.BlockCount();
+  for (auto& col : contents.columns) {
+    if (!GetVector(raw, &pos, blocks, &col.zmin) ||
+        !GetVector(raw, &pos, blocks, &col.zmax)) {
+      return CorruptColumnFile(path, "truncated zone maps");
+    }
+  }
+  for (auto& col : contents.columns) {
+    const size_t bytes =
+        static_cast<size_t>(col.dict_entries) * col.raw_width;
+    if (pos + bytes > raw.size()) {
+      return CorruptColumnFile(path, "truncated dictionary");
+    }
+    col.dict.assign(raw.data() + pos, bytes);
+    pos += bytes;
+  }
+  for (auto& col : contents.columns) {
+    const bool ok =
+        col.kind == ColumnFileKind::kKeyInt64
+            ? GetVector(raw, &pos, contents.row_count, &col.data64)
+            : GetVector(raw, &pos, contents.row_count, &col.data32);
+    if (!ok) return CorruptColumnFile(path, "truncated key data");
+  }
+  if (pos + sizeof(uint64_t) != raw.size()) {
+    return CorruptColumnFile(path, "trailing bytes");
+  }
+  return contents;
+}
+
+}  // namespace skyline

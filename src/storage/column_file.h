@@ -1,0 +1,86 @@
+#ifndef SKYLINE_STORAGE_COLUMN_FILE_H_
+#define SKYLINE_STORAGE_COLUMN_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "env/env.h"
+
+namespace skyline {
+
+/// Persistent columnar sidecar of a heap-file table: the order-key image
+/// of every column in SoA blocks, with per-block zone maps and (for
+/// dictionary columns) the dictionary itself. Written once at table
+/// build/save time, then reused by every query — the zone maps that the
+/// filter and merge phases prune with no longer need a per-query rebuild.
+///
+/// The storage layer knows nothing about schemas or skyline specs: a
+/// column is just a kind + a vector of canonical *ascending* keys
+/// (int32 raw values, int64 raw values, float64 total-order bits, or
+/// dictionary codes). Layers above translate Schema columns to these
+/// descriptors and apply per-spec MIN/MAX flips at query time.
+///
+/// On-disk layout (little-endian, versioned, checksummed):
+///   magic   "SKYCOLF1"
+///   u32     version (1)
+///   u32     block_rows
+///   u64     row_count
+///   u32     num_columns
+///   per column: u8 kind, u32 raw_width, u32 dict_entries
+///   per column: zone maps, BlockCount i64 zmins then BlockCount i64 zmaxs
+///   per column: dictionary blob, dict_entries * raw_width bytes
+///   per column: key data, row_count * (4 or 8) bytes
+///   u64     FNV-1a checksum of everything above
+enum class ColumnFileKind : uint8_t {
+  /// Raw int32 values (canonical signed order).
+  kKeyInt32 = 0,
+  /// int64 keys: raw int64 values or float64 total-order bits.
+  kKeyInt64 = 1,
+  /// int32 dictionary codes; the dictionary blob holds the values in
+  /// code order, raw_width bytes each.
+  kDictCode = 2,
+};
+
+struct ColumnFileColumn {
+  ColumnFileKind kind = ColumnFileKind::kKeyInt32;
+  /// Source value width in bytes (string length for kDictCode).
+  uint32_t raw_width = 0;
+  uint32_t dict_entries = 0;
+  /// Exactly one of data32/data64 is populated, by kind.
+  std::vector<int32_t> data32;
+  std::vector<int64_t> data64;
+  /// Code-ordered dictionary values (kDictCode only).
+  std::string dict;
+  /// Per-block key ranges in canonical ascending order, widened to int64.
+  /// Filled by WriteColumnFile; always present after ReadColumnFile.
+  std::vector<int64_t> zmin, zmax;
+};
+
+struct ColumnFileContents {
+  uint32_t block_rows = 64;
+  uint64_t row_count = 0;
+  std::vector<ColumnFileColumn> columns;
+
+  size_t BlockCount() const {
+    return block_rows == 0
+               ? 0
+               : static_cast<size_t>((row_count + block_rows - 1) /
+                                     block_rows);
+  }
+};
+
+/// Serializes `contents` to `path`, computing the per-block zone maps from
+/// the key data (any caller-supplied zmin/zmax are recomputed).
+Status WriteColumnFile(Env* env, const std::string& path,
+                       ColumnFileContents contents);
+
+/// Reads and validates a column file: magic, version, structural sizes,
+/// and the trailing checksum over the whole byte stream. Hints the read
+/// as kWillNeed before loading.
+Result<ColumnFileContents> ReadColumnFile(Env* env, const std::string& path);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_STORAGE_COLUMN_FILE_H_

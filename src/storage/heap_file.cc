@@ -73,6 +73,8 @@ HeapFileReader::HeapFileReader(Env* env, std::string path, size_t record_size,
 
 Status HeapFileReader::Open() {
   SKYLINE_RETURN_IF_ERROR(env_->NewRandomAccessFile(path_, &file_));
+  // Heap scans are front-to-back page reads; let the OS read ahead.
+  file_->Hint(RandomAccessFile::AccessPattern::kSequential, 0, 0);
   file_size_ = file_->Size();
   SKYLINE_ASSIGN_OR_RETURN(record_count_,
                            HeapFileRecordCount(file_size_, record_size()));

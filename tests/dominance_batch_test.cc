@@ -1,12 +1,14 @@
 #include "core/dominance_batch.h"
 
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "common/random.h"
 #include "core/dominance.h"
 #include "gtest/gtest.h"
+#include "relation/row.h"
 #include "test_util.h"
 
 namespace skyline {
@@ -214,24 +216,125 @@ TEST(DominanceBatchTest, ReplaceAndRemoveKeepScalarAgreement) {
   }
 }
 
-TEST(DominanceBatchTest, NonInt32SpecsFallBackToRowPath) {
+TEST(DominanceBatchTest, AllCriterionTypesTakeColumnarPath) {
+  // The order-key transform lowers every criterion type — int64 and
+  // float64 values, string and float64 DIFFs — to comparable integer
+  // lanes, so these specs run on the columnar kernels instead of the old
+  // row-at-a-time fallback.
   auto schema_or = Schema::Make(
-      {ColumnDef::Int32("a"), ColumnDef::Float64("f"), ColumnDef::Int64("l")});
+      {ColumnDef::Int32("a"), ColumnDef::Float64("f"), ColumnDef::Int64("l"),
+       ColumnDef::FixedString("s", 8)});
   ASSERT_TRUE(schema_or.ok());
   const Schema schema = std::move(schema_or).value();
   for (const auto& directives : std::vector<std::vector<Criterion>>{
            {{"a", Directive::kMax}, {"f", Directive::kMin}},
            {{"a", Directive::kMax}, {"l", Directive::kMin}},
-           {{"f", Directive::kDiff}, {"a", Directive::kMax}}}) {
+           {{"f", Directive::kDiff}, {"a", Directive::kMax}},
+           {{"l", Directive::kDiff}, {"f", Directive::kMax}},
+           {{"s", Directive::kDiff}, {"a", Directive::kMax}}}) {
     auto spec_or = SkylineSpec::Make(schema, directives);
     ASSERT_TRUE(spec_or.ok());
     const SkylineSpec spec = std::move(spec_or).value();
+    DominanceIndex index(&spec);
+    EXPECT_TRUE(index.columnar());
+  }
+}
+
+TEST(DominanceBatchTest, ForceRowPathDisablesColumnar) {
+  Schema schema = IntSchema(2);
+  auto spec_or = SkylineSpec::Make(
+      schema, {{"a0", Directive::kMax}, {"a1", Directive::kMin}});
+  ASSERT_TRUE(spec_or.ok());
+  const SkylineSpec spec = std::move(spec_or).value();
+  SetForceRowDominancePath(true);
+  {
     DominanceIndex index(&spec);
     EXPECT_FALSE(index.columnar());
     // Mutators are no-ops on a non-columnar index.
     std::vector<char> row(schema.row_width(), 0);
     index.Append(row.data());
     EXPECT_EQ(index.size(), 0u);
+  }
+  SetForceRowDominancePath(false);
+  DominanceIndex index(&spec);
+  EXPECT_TRUE(index.columnar());
+}
+
+TEST(DominanceBatchTest, MixedTypeDifferentialFuzzAcrossKernels) {
+  // Full-width coverage of the order-key transform: int32/int64/float64
+  // value lanes plus a dictionary-encoded string DIFF and an int64 DIFF,
+  // with special values at every cliff edge — NaN/±inf/-0.0 for the
+  // total-order float key, >2^53 magnitudes for the native int64 lanes.
+  auto schema_or = Schema::Make(
+      {ColumnDef::Int32("a"), ColumnDef::Float64("f"), ColumnDef::Int64("l"),
+       ColumnDef::FixedString("s", 8), ColumnDef::Float64("g")});
+  ASSERT_TRUE(schema_or.ok());
+  const Schema schema = std::move(schema_or).value();
+  auto spec_or = SkylineSpec::Make(schema, {{"s", Directive::kDiff},
+                                           {"a", Directive::kMax},
+                                           {"f", Directive::kMin},
+                                           {"l", Directive::kMax},
+                                           {"g", Directive::kMax}});
+  ASSERT_TRUE(spec_or.ok());
+  const SkylineSpec spec = std::move(spec_or).value();
+
+  Random rng(20260808);
+  const double kDoubles[] = {0.0,
+                             -0.0,
+                             1.5,
+                             -1.5,
+                             2.0,
+                             std::numeric_limits<double>::infinity(),
+                             -std::numeric_limits<double>::infinity(),
+                             std::numeric_limits<double>::quiet_NaN()};
+  // Includes pairs that collide when widened to double (differ only below
+  // 2^53 precision) — the native int64 lanes must still separate them.
+  const int64_t kInt64s[] = {0,
+                             -1,
+                             (int64_t{1} << 53) + 1,
+                             (int64_t{1} << 53) + 2,
+                             -((int64_t{1} << 53) + 1),
+                             int64_t{1} << 62};
+  const char* kStrings[] = {"ansel", "brill", "cove"};
+
+  auto make_row = [&](RowBuffer* row) {
+    row->SetInt32(0, rng.UniformInt32(0, 3));
+    row->SetFloat64(1, kDoubles[rng.Uniform(8)]);
+    row->SetInt64(2, kInt64s[rng.Uniform(6)]);
+    row->SetString(3, kStrings[rng.Uniform(3)]);
+    row->SetFloat64(4, kDoubles[rng.Uniform(8)]);
+  };
+
+  const size_t kCounts[] = {1, 63, 64, 65, 130};
+  for (size_t count : kCounts) {
+    std::vector<std::vector<char>> rows;
+    RowBuffer buffer(&schema);
+    for (size_t i = 0; i < count; ++i) {
+      make_row(&buffer);
+      rows.emplace_back(buffer.data(), buffer.data() + buffer.size());
+    }
+    for (const DominanceKernel* kernel : AvailableDominanceKernels()) {
+      DominanceIndex index(&spec, kernel);
+      ASSERT_TRUE(index.columnar());
+      for (const auto& row : rows) index.Append(row.data());
+      for (int p = 0; p < 12; ++p) {
+        make_row(&buffer);
+        CheckAgainstScalar(spec, index, rows, buffer.data(),
+                           std::string("mixed/") + kernel->name +
+                               " count=" + std::to_string(count));
+      }
+      // A probe whose string was never appended has no dictionary code:
+      // it must compare unrelated-and-unequal to every entry.
+      buffer.SetString(3, "unseen");
+      DominanceIndex::Probe keys;
+      index.EncodeProbe(buffer.data(), &keys);
+      for (size_t b = 0; b < DominanceIndex::BlockCountFor(rows.size()); ++b) {
+        const BlockMasks masks = index.TestBlock(keys, b, rows.size());
+        EXPECT_EQ(masks.dominates, 0u);
+        EXPECT_EQ(masks.dominated, 0u);
+        EXPECT_EQ(masks.equal, 0u);
+      }
+    }
   }
 }
 

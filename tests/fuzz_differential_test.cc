@@ -48,6 +48,23 @@ FuzzConfig DeriveConfig(uint64_t seed) {
   } else if (rng.OneIn(0.3)) {
     config.gen.skew_exponent = 1.0 + rng.UniformDouble() * 7.0;
   }
+  if (rng.OneIn(0.5)) {
+    // Mixed attribute types: the order-key transform must keep every
+    // algorithm oracle-exact across int32/int64/float64 lanes.
+    for (int i = 0; i < config.gen.num_attributes; ++i) {
+      switch (rng.Uniform(3)) {
+        case 0:
+          config.gen.attribute_types.push_back(ColumnType::kInt32);
+          break;
+        case 1:
+          config.gen.attribute_types.push_back(ColumnType::kInt64);
+          break;
+        default:
+          config.gen.attribute_types.push_back(ColumnType::kFloat64);
+          break;
+      }
+    }
+  }
 
   // Directives: mostly MAX/MIN; one DIFF column sometimes (only useful
   // with small domains, else every group is a singleton).
@@ -67,6 +84,13 @@ FuzzConfig DeriveConfig(uint64_t seed) {
   }
   if (value_criteria == 0) {
     config.criteria.back().directive = Directive::kMax;
+  }
+  if (rng.OneIn(0.25)) {
+    // Dictionary-encoded string DIFF: a bounded payload pool guarantees
+    // real duplicate groups.
+    if (config.gen.payload_bytes == 0) config.gen.payload_bytes = 8;
+    config.gen.payload_cardinality = 2 + rng.Uniform(4);
+    config.criteria.push_back({"payload", Directive::kDiff});
   }
   config.window_pages = 1 + rng.Uniform(4);
   config.projection = rng.OneIn(0.5);

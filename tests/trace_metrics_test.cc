@@ -29,6 +29,19 @@ __attribute__((noinline)) void* operator new(std::size_t size) {
 __attribute__((noinline)) void* operator new[](std::size_t size) {
   return ::operator new(size);
 }
+// The nothrow forms must be overridden too: the library's temporary
+// buffers (std::stable_sort) allocate through them, and a mixed set —
+// default nothrow new, custom delete below — is an alloc/dealloc
+// mismatch under ASan.
+__attribute__((noinline)) void* operator new(std::size_t size,
+                                             const std::nothrow_t&) noexcept {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size ? size : 1);
+}
+__attribute__((noinline)) void* operator new[](
+    std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
 __attribute__((noinline)) void operator delete(void* p) noexcept {
   std::free(p);
 }
@@ -41,6 +54,14 @@ __attribute__((noinline)) void operator delete[](void* p) noexcept {
 }
 __attribute__((noinline)) void operator delete[](void* p,
                                                  std::size_t) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete(
+    void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+__attribute__((noinline)) void operator delete[](
+    void* p, const std::nothrow_t&) noexcept {
   std::free(p);
 }
 

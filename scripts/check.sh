@@ -38,12 +38,13 @@ echo "== check: TSan build (trace/metrics/thread-pool concurrency) =="
 # single-threaded tests; scope it to the suites that exercise cross-thread
 # telemetry and the pool itself, plus the column-file/zone-cache suites
 # (the process-wide TableZoneCache and the shared merge dictionaries are
-# touched from pool threads).
+# touched from pool threads). Partition* covers the scheme-parallel scans,
+# the representative pre-prune, and the filtered-cascade merge levels.
 cmake -B "${prefix}-tsan" -S "$repo_root" \
   -DSKYLINE_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
 cmake --build "${prefix}-tsan" -j"$jobs" --target skyline_tests
 TSAN_OPTIONS="halt_on_error=1" \
   "${prefix}-tsan/tests/skyline_tests" \
-  --gtest_filter='Trace*:Metrics*:RunReport*:ExecContext*:ThreadPool*:SfsParallel*:ColumnFile*:TableZoneCache*:ZonePrefilter*'
+  --gtest_filter='Trace*:Metrics*:RunReport*:ExecContext*:ThreadPool*:Partition*:SfsParallel*:ColumnFile*:TableZoneCache*:ZonePrefilter*'
 
 echo "check.sh: all suites passed"

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <algorithm>
+#include <chrono>
 #include <exception>
 
 #include "common/logging.h"
@@ -50,7 +51,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    const auto start = std::chrono::steady_clock::now();
     task();  // packaged_task captures exceptions into its future
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    busy_nanos_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count(),
+        std::memory_order_relaxed);
+    tasks_executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

@@ -1,8 +1,10 @@
 #ifndef SKYLINE_COMMON_THREAD_POOL_H_
 #define SKYLINE_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -54,6 +56,20 @@ class ThreadPool {
   /// Tasks queued but not yet claimed by a worker (for tests/telemetry).
   size_t QueueDepth() const;
 
+  /// Cumulative busy-worker accounting since construction. Monotone;
+  /// sample before and after a phase and divide the busy-nanosecond delta
+  /// by the phase's wall time to get the phase's average busy workers
+  /// (pool workers only — a caller participating via ParallelFor adds up
+  /// to one more worker the totals do not see).
+  struct BusyTotals {
+    uint64_t busy_nanos = 0;
+    uint64_t tasks_executed = 0;
+  };
+  BusyTotals Totals() const {
+    return {busy_nanos_.load(std::memory_order_relaxed),
+            tasks_executed_.load(std::memory_order_relaxed)};
+  }
+
  private:
   void Enqueue(std::function<void()> fn);
   void WorkerLoop();
@@ -63,6 +79,8 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   std::vector<std::thread> threads_;
   bool shutting_down_ = false;
+  std::atomic<uint64_t> busy_nanos_{0};
+  std::atomic<uint64_t> tasks_executed_{0};
 };
 
 /// Number of workers to use for `threads` requested: 0 means "one per

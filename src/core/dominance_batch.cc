@@ -593,6 +593,31 @@ bool DominanceIndex::CanPruneBlock(const Probe& probe, size_t b) const {
   return false;
 }
 
+bool DominanceIndex::CanPruneBlockForDominators(const Probe& probe,
+                                                size_t b) const {
+  for (size_t d = 0; d < diffs32_.size(); ++d) {
+    if (probe.diffs32[d] < diff32_zmin_[d][b] ||
+        probe.diffs32[d] > diff32_zmax_[d][b]) {
+      return true;
+    }
+  }
+  for (size_t d = 0; d < diffs64_.size(); ++d) {
+    if (probe.diffs64[d] < diff64_zmin_[d][b] ||
+        probe.diffs64[d] > diff64_zmax_[d][b]) {
+      return true;
+    }
+  }
+  // A dominator must be >= the probe on every criterion; if even the
+  // block's best key loses somewhere, no entry qualifies.
+  for (size_t d = 0; d < values32_.size(); ++d) {
+    if (value32_zmax_[d][b] < probe.values32[d]) return true;
+  }
+  for (size_t d = 0; d < values64_.size(); ++d) {
+    if (value64_zmax_[d][b] < probe.values64[d]) return true;
+  }
+  return false;
+}
+
 BlockMasks DominanceIndex::TestBlock(const Probe& probe, size_t b,
                                      size_t limit) const {
   const size_t base = b * kBlockEntries;

@@ -191,6 +191,14 @@ class DominanceIndex {
   /// promises nothing.
   bool CanPruneBlock(const Probe& probe, size_t b) const;
 
+  /// One-sided zone-map test for callers that only ask "can anything in
+  /// this block dominate the probe?" (the cascade merge): true when the
+  /// block's per-criterion best key is strictly worse than the probe on
+  /// some criterion, or a DIFF lane's range misses the probe's group.
+  /// Strictly weaker precondition than CanPruneBlock, so it prunes a
+  /// superset of the blocks for dominator-only probes.
+  bool CanPruneBlockForDominators(const Probe& probe, size_t b) const;
+
   /// Relates the probe to block `b`'s entries with index < limit.
   BlockMasks TestBlock(const Probe& probe, size_t b, size_t limit) const;
 

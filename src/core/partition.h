@@ -1,0 +1,91 @@
+#ifndef SKYLINE_CORE_PARTITION_H_
+#define SKYLINE_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "core/skyline_spec.h"
+#include "env/env.h"
+
+namespace skyline {
+
+/// How the block-parallel SFS filter assigns rows of the presorted stream
+/// to partitions. Every scheme yields, per partition, a *subsequence* of
+/// the sorted stream — subsequences stay monotone-sorted and keep DIFF
+/// groups contiguous, so each partition is independently filterable with
+/// the standard window machinery and the choice of scheme can never change
+/// the computed skyline, only the work distribution.
+enum class PartitionSchemeKind {
+  /// Page-aligned round-robin chunks by position. Every partition samples
+  /// the whole stream, so each sees its share of the strong early
+  /// eliminators (best local-skyline sizes on anti-correlated data).
+  kStride,
+  /// Grid over the leading one or two MIN/MAX criteria: equi-depth cell
+  /// boundaries from a deterministic sample of the sorted file. Tuples of
+  /// a cell are spatially close, so local windows prune densely and
+  /// cross-partition dominance concentrates in neighboring cells.
+  kGrid,
+  /// Angular partitioning (Ciaccia & Martinenghi): tuples are mapped to
+  /// hyperspherical angles of the min-oriented value space and sliced by
+  /// equi-depth angle buckets. Every slice spans the full best-to-worst
+  /// radial range, which keeps local skylines representative of the
+  /// global one (the property grid cells lack on correlated data).
+  kAngular,
+};
+
+/// Static name for stats/bench attribution: "stride", "grid", "angular".
+const char* PartitionSchemeName(PartitionSchemeKind kind);
+
+/// Inverse of PartitionSchemeName; InvalidArgument on unknown names.
+Result<PartitionSchemeKind> ParsePartitionScheme(std::string_view name);
+
+/// A fitted partition assignment over one presorted stream. Construction
+/// is deterministic in (file contents, partition count, options), so two
+/// fits of the same input agree row for row — required for reproducible
+/// counters; the skyline itself is scheme-independent regardless.
+class PartitionScheme {
+ public:
+  virtual ~PartitionScheme() = default;
+
+  virtual PartitionSchemeKind kind() const = 0;
+  const char* name() const { return PartitionSchemeName(kind()); }
+
+  /// True when ownership depends only on the record position: workers can
+  /// seek straight to their chunks instead of scanning the whole stream.
+  virtual bool position_based() const { return false; }
+
+  /// Partition owning the record at global position `pos` with row bytes
+  /// `row` (a full spec schema row). Always < partitions().
+  virtual size_t OwnerOf(const char* row, uint64_t pos) const = 0;
+
+  size_t partitions() const { return partitions_; }
+
+ protected:
+  explicit PartitionScheme(size_t partitions) : partitions_(partitions) {}
+
+ private:
+  size_t partitions_;
+};
+
+struct PartitionSchemeOptions {
+  PartitionSchemeKind kind = PartitionSchemeKind::kStride;
+  /// Stride only: rows per round-robin chunk (must be > 0).
+  uint64_t stride_chunk_rows = 1;
+  /// Grid/angular: rows sampled (evenly spaced) to fit cell boundaries.
+  size_t sample_rows = 4096;
+};
+
+/// Fits a scheme of `options.kind` for `partitions` partitions over the
+/// presorted heap file at `sorted_path` (spec.schema() rows). Grid and
+/// angular schemes read an evenly spaced row sample to place equi-depth
+/// boundaries; stride reads nothing. `spec` must outlive the scheme.
+Result<std::unique_ptr<PartitionScheme>> MakePartitionScheme(
+    Env* env, const std::string& sorted_path, const SkylineSpec& spec,
+    size_t partitions, const PartitionSchemeOptions& options);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_PARTITION_H_

@@ -1,0 +1,92 @@
+#include "core/representatives.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+namespace skyline {
+namespace {
+
+double CriterionValue(const SkylineSpec::DomColumn& col, const char* row) {
+  double v = 0;
+  switch (col.type) {
+    case ColumnType::kInt32: {
+      int32_t raw;
+      std::memcpy(&raw, row + col.offset, sizeof(raw));
+      v = static_cast<double>(raw);
+      break;
+    }
+    case ColumnType::kInt64: {
+      int64_t raw;
+      std::memcpy(&raw, row + col.offset, sizeof(raw));
+      v = static_cast<double>(raw);
+      break;
+    }
+    case ColumnType::kFloat64: {
+      std::memcpy(&v, row + col.offset, sizeof(v));
+      break;
+    }
+    case ColumnType::kFixedString:
+      break;  // MIN/MAX criteria are numeric by spec validation
+  }
+  return col.max ? v : -v;
+}
+
+}  // namespace
+
+std::vector<uint32_t> SelectRepresentatives(
+    const SkylineSpec& spec, const char* rows,
+    const std::vector<uint64_t>& pos, size_t count) {
+  const size_t n = pos.size();
+  if (n == 0 || count == 0) return {};
+  const size_t width = spec.schema().row_width();
+  const auto& cols = spec.dom_value_columns();
+
+  // Normalization bounds over the candidate set (oriented larger=better).
+  std::vector<double> lo(cols.size(), std::numeric_limits<double>::max());
+  std::vector<double> inv_span(cols.size(), 0.0);
+  {
+    std::vector<double> hi(cols.size(),
+                           std::numeric_limits<double>::lowest());
+    for (size_t i = 0; i < n; ++i) {
+      const char* row = rows + i * width;
+      for (size_t d = 0; d < cols.size(); ++d) {
+        const double v = CriterionValue(cols[d], row);
+        lo[d] = std::min(lo[d], v);
+        hi[d] = std::max(hi[d], v);
+      }
+    }
+    for (size_t d = 0; d < cols.size(); ++d) {
+      const double span = hi[d] - lo[d];
+      if (span > 0) inv_span[d] = 1.0 / span;
+    }
+  }
+
+  std::vector<double> score(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    const char* row = rows + i * width;
+    double e = 0;
+    for (size_t d = 0; d < cols.size(); ++d) {
+      const double x = (CriterionValue(cols[d], row) - lo[d]) * inv_span[d];
+      e += std::log1p(x);
+    }
+    score[i] = e;
+  }
+
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const size_t take = std::min(count, n);
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&](uint32_t a, uint32_t b) {
+                      if (score[a] != score[b]) return score[a] > score[b];
+                      return pos[a] < pos[b];
+                    });
+  order.resize(take);
+  std::sort(order.begin(), order.end(),
+            [&pos](uint32_t a, uint32_t b) { return pos[a] < pos[b]; });
+  return order;
+}
+
+}  // namespace skyline

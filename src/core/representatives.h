@@ -1,0 +1,35 @@
+#ifndef SKYLINE_CORE_REPRESENTATIVES_H_
+#define SKYLINE_CORE_REPRESENTATIVES_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/skyline_spec.h"
+
+namespace skyline {
+
+/// Cross-partition representative filtering (Ciaccia & Martinenghi): after
+/// the local-skyline scans, each partition broadcasts a small set of its
+/// strongest eliminators; every other partition pre-prunes its candidates
+/// against the pooled representatives before any block-to-block probing.
+/// A handful of high-entropy points eliminates the bulk of the non-skyline
+/// candidates, so the expensive cascade only sees the survivors.
+///
+/// Selection uses the paper's entropy heuristic: E(t) = sum_i ln(1 + x_i)
+/// with x_i the i-th criterion normalized into [0,1] (1 = best, flipped
+/// for MIN). The highest-entropy tuples of a local skyline are the ones
+/// most likely to dominate arbitrary other tuples. Normalization bounds
+/// come from the candidate set itself, so selection is deterministic in
+/// the candidate rows alone (no table statistics required).
+///
+/// Returns the indices (into `pos`/rows) of up to `count` representatives,
+/// in ascending position order. Ties on the score break toward the earlier
+/// position, keeping selection deterministic.
+std::vector<uint32_t> SelectRepresentatives(
+    const SkylineSpec& spec, const char* rows,
+    const std::vector<uint64_t>& pos, size_t count);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_REPRESENTATIVES_H_

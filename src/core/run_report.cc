@@ -77,16 +77,27 @@ void AppendRunStatsObject(JsonWriter* json, const SkylineRunStats& stats) {
   json->KeyValue("window_blocks_pruned", stats.window_blocks_pruned);
   json->KeyValue("merge_blocks_pruned", stats.merge_blocks_pruned);
   json->KeyValue("window_replacements", stats.window_replacements);
+  json->KeyValue("partition_scheme",
+                 std::string_view(stats.partition_scheme));
+  json->KeyValue("merge_candidates", stats.merge_candidates);
+  json->KeyValue("representative_prunes", stats.representative_prunes);
+  json->KeyValue("cascade_levels", stats.cascade_levels);
   json->KeyValue("table_zone_blocks_pruned", stats.table_zone_blocks_pruned);
   json->KeyValue("column_file_blocks_read", stats.column_file_blocks_read);
   json->KeyValue("dict_probe_hits", stats.dict_probe_hits);
   json->KeyValue("zone_map_source", std::string_view(stats.zone_map_source));
   json->KeyValue("dominance_kernel", std::string_view(stats.dominance_kernel));
   json->KeyValue("threads_used", stats.threads_used);
+  json->KeyValue("threads_requested", stats.threads_requested);
+  json->KeyValue("degraded_parallelism", stats.DegradedParallelism());
   json->KeyValue("sort_seconds", stats.sort_seconds);
   json->KeyValue("filter_seconds", stats.filter_seconds);
   json->KeyValue("block_scan_seconds", stats.block_scan_seconds);
   json->KeyValue("block_merge_seconds", stats.block_merge_seconds);
+  json->KeyValue("scan_avg_busy_workers", stats.scan_avg_busy_workers);
+  json->KeyValue("merge_avg_busy_workers", stats.merge_avg_busy_workers);
+  json->KeyValue("scan_merge_overlap_seconds",
+                 stats.scan_merge_overlap_seconds);
   json->KeyValue("total_seconds", stats.total_seconds());
   json->Key("sort");
   json->BeginObject();
@@ -168,6 +179,28 @@ std::string RenderRunReportText(const RunReport& report) {
                 s.dominance_kernel,
                 static_cast<unsigned long long>(s.threads_used));
   add();
+  if (s.merge_candidates > 0) {
+    std::snprintf(
+        line, sizeof(line),
+        "merge: scheme %s  candidates %llu  rep-pruned %llu  "
+        "cascade levels %llu  busy scan/merge %.2f/%.2f  overlap %.4fs\n",
+        s.partition_scheme,
+        static_cast<unsigned long long>(s.merge_candidates),
+        static_cast<unsigned long long>(s.representative_prunes),
+        static_cast<unsigned long long>(s.cascade_levels),
+        s.scan_avg_busy_workers, s.merge_avg_busy_workers,
+        s.scan_merge_overlap_seconds);
+    add();
+  }
+  if (s.DegradedParallelism()) {
+    std::snprintf(line, sizeof(line),
+                  "WARNING: degraded parallelism — %llu threads requested "
+                  "but only %llu used; timings are not a scaling "
+                  "measurement\n",
+                  static_cast<unsigned long long>(s.threads_requested),
+                  static_cast<unsigned long long>(s.threads_used));
+    add();
+  }
   std::snprintf(line, sizeof(line),
                 "time: sort %.4fs  filter %.4fs  total %.4fs  wall %.4fs\n",
                 s.sort_seconds, s.filter_seconds, s.total_seconds(),
@@ -243,6 +276,10 @@ void PublishRunStats(MetricsRegistry* metrics, std::string_view prefix,
   counter("table_zone_blocks_pruned", stats.table_zone_blocks_pruned);
   counter("column_file_blocks_read", stats.column_file_blocks_read);
   counter("dict_probe_hits", stats.dict_probe_hits);
+  counter("merge_candidates", stats.merge_candidates);
+  counter("representative_prunes", stats.representative_prunes);
+  counter("cascade_levels", stats.cascade_levels);
+  counter("degraded_parallelism_runs", stats.DegradedParallelism() ? 1 : 0);
   counter("sort_runs_generated", stats.sort_stats.runs_generated);
   counter("sort_merge_levels", stats.sort_stats.merge_levels);
   counter("sort_records_filtered", stats.sort_stats.records_filtered);

@@ -59,8 +59,27 @@ struct SkylineRunStats {
   const char* zone_map_source = "none";
   /// Worker threads the filter phase actually used (1 = sequential SFS).
   uint64_t threads_used = 1;
-  /// Block-parallel only: cross-block dominance tests of the merge phase.
+  /// Worker threads the caller asked for, after "0 = all hardware"
+  /// resolution but before any clamp or small-input block reduction.
+  /// 0 = not recorded (single-threaded entry points). threads_used <
+  /// threads_requested is the degraded-parallelism signal: a host or
+  /// input too small to honor the request must never masquerade as a
+  /// scaling measurement.
+  uint64_t threads_requested = 0;
+  /// Block-parallel only: cross-block dominance tests of the merge phase
+  /// (representative pre-prune probes included).
   uint64_t merge_comparisons = 0;
+  /// Block-parallel only: partitioning scheme of the filter phase
+  /// ("stride", "grid", "angular"; "none" = sequential). Static string.
+  const char* partition_scheme = "none";
+  /// Block-parallel only: local-skyline candidates entering the merge.
+  uint64_t merge_candidates = 0;
+  /// Candidates eliminated by the cross-partition representative
+  /// pre-filter before any block-to-block probing.
+  uint64_t representative_prunes = 0;
+  /// Pairwise merge rounds of the filtered cascade (0 = single partition
+  /// or the all-pairs merge path).
+  uint64_t cascade_levels = 0;
   double sort_seconds = 0.0;
   double filter_seconds = 0.0;
   /// Block-parallel only: wall time until the last block's local skyline
@@ -68,6 +87,23 @@ struct SkylineRunStats {
   /// are within filter_seconds).
   double block_scan_seconds = 0.0;
   double block_merge_seconds = 0.0;
+  /// Average pool workers busy during the scan / merge phases (pool
+  /// busy-nanoseconds over phase wall time; the caller participating in
+  /// the merge's ParallelFor adds up to one uncounted worker). Zero when
+  /// the phase did not run on a pool.
+  double scan_avg_busy_workers = 0.0;
+  double merge_avg_busy_workers = 0.0;
+  /// Merge-side work (candidate index building) that ran while block
+  /// scans were still in flight — real scan/merge phase overlap, not
+  /// attributable to either phase's exclusive wall time.
+  double scan_merge_overlap_seconds = 0.0;
+
+  /// True when the filter could not use as many workers as requested
+  /// (clamped to hardware, or the input was too small for the partition
+  /// floor). Meaningless when threads_requested was not recorded.
+  bool DegradedParallelism() const {
+    return threads_requested > 0 && threads_used < threads_requested;
+  }
 
   double total_seconds() const { return sort_seconds + filter_seconds; }
 

@@ -289,23 +289,34 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
   // side-output, the block-parallel filter replaces the sequential
   // iterator; a clamp of 1 falls back to the sequential algorithm.
   const size_t filter_threads = ctx.ResolveThreads(options.threads);
+  // The pre-clamp request (0 resolved to "all hardware"): threads_used
+  // falling short of it is the degraded-parallelism honesty signal.
+  const size_t threads_requested =
+      ResolveThreadCount(ctx.RequestedThreads(options.threads));
   if (filter_threads > 1 && options.residue_path.empty()) {
     Stopwatch filter_timer;
     ParallelSfsOptions popt;
     popt.window_pages = options.window_pages;
     popt.use_projection = options.use_projection;
     popt.threads = filter_threads;
+    popt.partition = options.partition;
+    popt.merge_mode = options.merge;
+    popt.representatives = options.merge_representatives;
     popt.exec = &ctx;
     TableBuilder builder(env, output_path, spec.schema());
     SKYLINE_RETURN_IF_ERROR(builder.Open());
     SKYLINE_RETURN_IF_ERROR(ParallelSfsFilter(
         env, sorted_path, spec, popt,
         [&builder](const char* row) { return builder.AppendRaw(row); }, s));
+    // The filter only knows its clamped thread count; restore the caller's
+    // actual request so the degraded flag survives the clamp.
+    s->threads_requested = threads_requested;
     s->filter_seconds = filter_timer.ElapsedSeconds();
     return builder.Finish();
   }
 
   Stopwatch filter_timer;
+  s->threads_requested = threads_requested;
   SfsIterator iter(env, &temp_files, sorted_path, &spec, options.window_pages,
                    options.use_projection, s);
   iter.set_exec_context(&ctx);

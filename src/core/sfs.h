@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/trace.h"
 #include "core/run_stats.h"
+#include "core/sfs_parallel.h"
 #include "core/skyline_spec.h"
 #include "core/window.h"
 #include "core/zone_prefilter.h"
@@ -56,6 +57,18 @@ struct SfsOptions {
   /// block's candidates in memory and does not support residue_path
   /// (residue_path forces the sequential filter).
   size_t threads = 1;
+  /// Partition scheme for the block-parallel filter (threads > 1): how
+  /// rows of the presorted stream are dealt to the workers (stride / grid
+  /// / angular; see core/partition.h). The skyline is byte-identical
+  /// across schemes; the choice only moves work between the local filters
+  /// and the merge. SQL sessions reach this through SqlOptions::sfs.
+  PartitionSchemeKind partition = PartitionSchemeKind::kStride;
+  /// How the block-parallel filter merges local skylines: the filtered
+  /// cascade (default) or the measured all-pairs baseline.
+  ParallelMergeMode merge = ParallelMergeMode::kFilteredCascade;
+  /// Representatives each partition broadcasts for the cascade's
+  /// cross-partition pre-prune; 0 disables the pre-prune.
+  size_t merge_representatives = 16;
   /// Buffer pages for the presort (the paper grants the sort 1,000 pages,
   /// separate from the filter window allocation).
   SortOptions sort_options;

@@ -7,11 +7,27 @@
 
 #include "common/exec_context.h"
 #include "common/status.h"
+#include "core/partition.h"
 #include "core/run_stats.h"
 #include "core/skyline_spec.h"
 #include "env/env.h"
 
 namespace skyline {
+
+/// How local skylines are combined into the global skyline.
+enum class ParallelMergeMode {
+  /// Filtered cascade (the default): candidates are pre-pruned against the
+  /// pooled cross-partition representatives, then partitions merge
+  /// pairwise in sorted-position order — each candidate is probed only
+  /// against blocks that can still dominate it (dominator-side zone-map
+  /// corner test first, SIMD batch probe second), and each level halves
+  /// the list count until one survivor list remains.
+  kFilteredCascade,
+  /// Every candidate against every other partition's local skyline — the
+  /// v1 merge, kept as the measured baseline for the cascade's
+  /// comparison-count savings.
+  kAllPairs,
+};
 
 /// Options for the block-parallel SFS filter.
 struct ParallelSfsOptions {
@@ -20,7 +36,10 @@ struct ParallelSfsOptions {
   size_t window_pages = 500;
   /// Store projected rows in the windows, with duplicate elimination.
   bool use_projection = true;
-  /// Worker threads; 0 means one per hardware thread.
+  /// Worker threads; 0 means one per hardware thread. Callers may pass
+  /// more workers than the machine has to *simulate* that many shards
+  /// (the CI harness validating pruning ratios on small hosts does);
+  /// production entry points clamp before getting here.
   size_t threads = 0;
   /// Blocks smaller than this are not worth a task; the block count is
   /// reduced until every block has at least this many rows.
@@ -30,44 +49,48 @@ struct ParallelSfsOptions {
   /// reads a page for another worker's rows.
   uint64_t chunk_rows = 0;
   static constexpr uint64_t kDefaultChunkPages = 4;
+  /// How rows of the sorted stream are assigned to partitions. Every
+  /// scheme yields the same skyline bytes; they differ in balance and in
+  /// how much cross-partition merge work survives the local filters.
+  PartitionSchemeKind partition = PartitionSchemeKind::kStride;
+  /// How local skylines merge into the global skyline.
+  ParallelMergeMode merge_mode = ParallelMergeMode::kFilteredCascade;
+  /// Representatives each partition broadcasts for the cross-partition
+  /// pre-prune (filtered-cascade mode only). 0 disables the pre-prune.
+  size_t representatives = 16;
+  /// Upper bound on the *pooled* representative set. Broadcasting from
+  /// many partitions inflates the pool (partitions x representatives) and
+  /// every candidate probes the whole pool, so past a point the pool costs
+  /// more than it saves; re-selecting the pooled rows down to a small
+  /// global top-K keeps the strongest eliminators (kill counts barely
+  /// move) while capping the per-candidate probe cost. 0 disables the cap.
+  size_t representative_pool_cap = 32;
   /// Execution context (trace sink for the "block-scan" / "block-merge"
-  /// spans, cancellation hook polled by the workers). Null uses
-  /// DefaultExecContext(); thread selection stays with `threads` above.
+  /// spans, cancellation hook polled by the workers and the merge
+  /// phases). Null uses DefaultExecContext(); thread selection stays
+  /// with `threads` above.
   const ExecContext* exec = nullptr;
 };
 
 /// Block-parallel SFS filter over a presorted heap file.
 ///
 /// The paper's presort guarantees (Theorems 6/7) that a tuple can only be
-/// dominated by tuples *earlier* in the sorted stream. Each of the P
-/// blocks samples the stream in page-aligned round-robin chunks; a sample
-/// is a subsequence of the sorted stream, so it is itself monotone-sorted
-/// and independently filterable with the standard window machinery. The
-/// stride layout (rather than P contiguous ranges) matters for balance:
-/// every block sees its share of the strong early eliminators, keeping
-/// each local skyline near the global skyline's size, where the trailing
-/// contiguous range — all mediocre tuples whose dominators sit in earlier
-/// ranges — can degenerate to keeping nearly everything (dramatically so
-/// on anti-correlated data).
+/// dominated by tuples *earlier* in the sorted stream. The configured
+/// PartitionScheme assigns every row to one of P partitions; a partition's
+/// rows form a subsequence of the sorted stream, so each is itself
+/// monotone-sorted (with DIFF groups contiguous) and independently
+/// filterable with the standard window machinery, whatever the scheme.
+/// Stride partitions are read with page-aligned seeks; value-based
+/// partitions (grid/angular) scan the stream and keep their rows.
 ///
 /// Block k's local skyline is a superset of the global skyline's
-/// restriction to block k. The merge phase tests each candidate against
-/// the *other* blocks' local skylines: a candidate survives iff none
-/// dominates it. That test is sound by transitivity — if any input tuple
-/// dominates the candidate, then some locally-surviving tuple does too
-/// (follow eliminator chains upward; they terminate at a local survivor) —
-/// and every candidate is testable independently, so the merge
-/// parallelizes as well. Survivors are exactly the global skyline and are
-/// emitted in global sorted order via a k-way position merge.
-///
-/// Emits exactly the rows sequential SFS emits, in the same (globally
-/// sorted) order, including DIFF-group handling and projection/dedup
-/// semantics; output is byte-identical to the sequential filter whenever
-/// the sequential filter completes in one pass. (If a worker's window
-/// overflows, the worker runs local multi-pass rounds in memory and
-/// restores position order afterwards, so the parallel output is always in
-/// sorted order — sequential SFS under overflow emits later passes after
-/// earlier ones instead.)
+/// restriction to block k. The merge removes the candidates some other
+/// partition dominates: in filtered-cascade mode via the representative
+/// pre-prune plus pairwise position-ordered merges (see ParallelMergeMode),
+/// in all-pairs mode by probing every other block. Either way survivors
+/// are exactly the global skyline, emitted in global sorted order —
+/// byte-identical across schemes, merge modes, and thread counts (and to
+/// the sequential filter whenever it completes in one pass).
 ///
 /// `sink` receives each confirmed skyline row (full schema() row) and may
 /// not be called again after returning an error. `stats` may be null.

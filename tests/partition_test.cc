@@ -1,0 +1,346 @@
+#include "core/partition.h"
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/thread_pool.h"
+#include "core/run_report.h"
+#include "core/sfs.h"
+#include "core/sfs_parallel.h"
+#include "gtest/gtest.h"
+#include "relation/generator.h"
+#include "sort/external_sort.h"
+#include "storage/heap_file.h"
+#include "storage/temp_file_manager.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::ReadAll;
+
+class PartitionTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Env> env_ = NewMemEnv();
+};
+
+SkylineSpec MixedSpec(const Table& t, int dims, bool with_diff) {
+  std::vector<Criterion> criteria;
+  for (int i = 0; i < dims; ++i) {
+    Directive d = (i % 2 == 0) ? Directive::kMax : Directive::kMin;
+    if (with_diff && i == 0) d = Directive::kDiff;
+    criteria.push_back({"a" + std::to_string(i), d});
+  }
+  auto result = SkylineSpec::Make(t.schema(), std::move(criteria));
+  SKYLINE_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+Result<Table> MakeTable(Env* env, const std::string& name, uint64_t rows,
+                        int dims, Distribution dist, uint64_t seed) {
+  GeneratorOptions gen;
+  gen.num_rows = rows;
+  gen.num_attributes = dims;
+  gen.payload_bytes = 12;
+  gen.distribution = dist;
+  gen.seed = seed;
+  return GenerateTable(env, name, gen);
+}
+
+std::string Presort(Env* env, TempFileManager* temp_files, const Table& t,
+                    const SkylineSpec& spec) {
+  std::unique_ptr<RowOrdering> ordering = MakeNestedSkylineOrdering(spec);
+  auto sorted = SortHeapFile(env, temp_files, t.path(),
+                             t.schema().row_width(), *ordering, SortOptions{},
+                             nullptr);
+  SKYLINE_CHECK(sorted.ok()) << sorted.status().ToString();
+  return std::move(sorted).value();
+}
+
+Result<std::vector<char>> RunParallel(Env* env, const std::string& sorted,
+                                      const SkylineSpec& spec,
+                                      const ParallelSfsOptions& options,
+                                      SkylineRunStats* stats = nullptr) {
+  std::vector<char> out;
+  const size_t width = spec.schema().row_width();
+  SKYLINE_RETURN_IF_ERROR(ParallelSfsFilter(
+      env, sorted, spec, options,
+      [&out, width](const char* row) {
+        out.insert(out.end(), row, row + width);
+        return Status::OK();
+      },
+      stats));
+  return out;
+}
+
+TEST_F(PartitionTest, NamesParseAndRoundTrip) {
+  for (PartitionSchemeKind kind :
+       {PartitionSchemeKind::kStride, PartitionSchemeKind::kGrid,
+        PartitionSchemeKind::kAngular}) {
+    ASSERT_OK_AND_ASSIGN(PartitionSchemeKind parsed,
+                         ParsePartitionScheme(PartitionSchemeName(kind)));
+    EXPECT_EQ(parsed, kind);
+  }
+  EXPECT_FALSE(ParsePartitionScheme("zigzag").ok());
+  EXPECT_FALSE(ParsePartitionScheme("").ok());
+}
+
+// Fitting the same scheme twice over the same file must assign every row
+// to the same partition (deterministic sampling/boundaries), and every
+// assignment must be a valid partition id. Determinism of the fit is what
+// makes the merge counters reproducible run to run.
+TEST_F(PartitionTest, OwnerAssignmentsDeterministicAndInRange) {
+  ASSERT_OK_AND_ASSIGN(Table t, MakeTable(env_.get(), "t", 6000, 4,
+                                          Distribution::kAntiCorrelated, 7));
+  SkylineSpec spec = MixedSpec(t, 4, /*with_diff=*/false);
+  TempFileManager temp_files(env_.get(), "psort");
+  const std::string sorted = Presort(env_.get(), &temp_files, t, spec);
+  const size_t width = spec.schema().row_width();
+  const size_t partitions = 5;
+
+  for (PartitionSchemeKind kind :
+       {PartitionSchemeKind::kStride, PartitionSchemeKind::kGrid,
+        PartitionSchemeKind::kAngular}) {
+    PartitionSchemeOptions popts;
+    popts.kind = kind;
+    popts.stride_chunk_rows = 64;
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<PartitionScheme> a,
+        MakePartitionScheme(env_.get(), sorted, spec, partitions, popts));
+    ASSERT_OK_AND_ASSIGN(
+        std::unique_ptr<PartitionScheme> b,
+        MakePartitionScheme(env_.get(), sorted, spec, partitions, popts));
+    EXPECT_EQ(a->kind(), kind);
+    EXPECT_EQ(a->partitions(), partitions);
+    EXPECT_EQ(a->position_based(), kind == PartitionSchemeKind::kStride);
+
+    HeapFileReader reader(env_.get(), sorted, width, nullptr);
+    ASSERT_OK(reader.Open());
+    std::vector<uint64_t> per_partition(partitions, 0);
+    for (uint64_t i = 0; i < reader.record_count(); ++i) {
+      const char* row = reader.Next();
+      ASSERT_NE(row, nullptr);
+      const size_t owner = a->OwnerOf(row, i);
+      ASSERT_LT(owner, partitions);
+      ASSERT_EQ(owner, b->OwnerOf(row, i)) << PartitionSchemeName(kind)
+                                           << " row " << i;
+      ++per_partition[owner];
+    }
+    // Equi-depth fitting should touch every partition on 6k smooth rows.
+    for (size_t p = 0; p < partitions; ++p) {
+      EXPECT_GT(per_partition[p], 0u) << PartitionSchemeName(kind) << " p=" << p;
+    }
+  }
+}
+
+// The non-negotiable guarantee: every scheme, merge mode, and thread count
+// emits byte-for-byte what sequential SFS emits.
+TEST_F(PartitionTest, ByteIdenticalAcrossSchemesAndThreadCounts) {
+  int config = 0;
+  for (Distribution dist :
+       {Distribution::kCorrelated, Distribution::kAntiCorrelated}) {
+    for (bool with_diff : {false, true}) {
+      const std::string tag = "cfg" + std::to_string(config++);
+      ASSERT_OK_AND_ASSIGN(
+          Table t, MakeTable(env_.get(), "t_" + tag, 4000, 5, dist,
+                             400 + config));
+      SkylineSpec spec = MixedSpec(t, 5, with_diff);
+
+      SfsOptions seq;
+      seq.presort = Presort::kNested;
+      ASSERT_OK_AND_ASSIGN(
+          Table baseline,
+          ComputeSkylineSfs(t, spec, seq, "seq_" + tag, nullptr));
+      const std::vector<char> expected = ReadAll(baseline);
+
+      TempFileManager temp_files(env_.get(), "psort_" + tag);
+      const std::string sorted = Presort(env_.get(), &temp_files, t, spec);
+      for (PartitionSchemeKind kind :
+           {PartitionSchemeKind::kStride, PartitionSchemeKind::kGrid,
+            PartitionSchemeKind::kAngular}) {
+        for (ParallelMergeMode mode : {ParallelMergeMode::kFilteredCascade,
+                                       ParallelMergeMode::kAllPairs}) {
+          for (size_t threads : {1u, 4u, 16u}) {
+            ParallelSfsOptions popt;
+            popt.threads = threads;
+            popt.min_block_rows = 1;
+            popt.chunk_rows = 97;
+            popt.partition = kind;
+            popt.merge_mode = mode;
+            SkylineRunStats stats;
+            ASSERT_OK_AND_ASSIGN(
+                std::vector<char> got,
+                RunParallel(env_.get(), sorted, spec, popt, &stats));
+            ASSERT_EQ(got.size(), expected.size())
+                << tag << " " << PartitionSchemeName(kind) << " mode="
+                << static_cast<int>(mode) << " threads=" << threads;
+            ASSERT_EQ(0, std::memcmp(got.data(), expected.data(), got.size()))
+                << tag << " " << PartitionSchemeName(kind) << " mode="
+                << static_cast<int>(mode) << " threads=" << threads;
+            EXPECT_EQ(stats.threads_used, threads);
+            if (threads > 1) {
+              EXPECT_STREQ(stats.partition_scheme, PartitionSchemeName(kind));
+              EXPECT_EQ(stats.merge_candidates > 0, stats.output_rows > 0);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// The CI-friendly simulated-shard harness: on a host of any core count,
+// forcing 16 single-threaded "shards" through the filter exercises the
+// full multi-partition merge. The filtered cascade plus representative
+// pre-prune must cut cross-block dominance tests by at least 5x against
+// the measured all-pairs baseline — the acceptance bar the bench records
+// at full scale — while emitting identical bytes.
+TEST_F(PartitionTest, SimulatedShardCascadeCutsMergeComparisons) {
+  ASSERT_OK_AND_ASSIGN(Table t, MakeTable(env_.get(), "t", 30'000, 5,
+                                          Distribution::kAntiCorrelated, 11));
+  SkylineSpec spec = MixedSpec(t, 5, /*with_diff=*/false);
+  TempFileManager temp_files(env_.get(), "psort");
+  const std::string sorted = Presort(env_.get(), &temp_files, t, spec);
+
+  ParallelSfsOptions base;
+  base.threads = 16;  // simulated shards, deliberately ignoring hardware
+  base.min_block_rows = 1;
+
+  ParallelSfsOptions all_pairs = base;
+  all_pairs.merge_mode = ParallelMergeMode::kAllPairs;
+  SkylineRunStats all_pairs_stats;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<char> baseline,
+      RunParallel(env_.get(), sorted, spec, all_pairs, &all_pairs_stats));
+
+  // The v2 full stack: angular partitioning (local skylines stay near the
+  // global skyline on anti-correlated data, so far fewer candidates reach
+  // the merge) + representative pre-prune + filtered cascade. The baseline
+  // above is the v1 configuration: stride partitions, all-pairs merge.
+  ParallelSfsOptions cascade = base;
+  cascade.partition = PartitionSchemeKind::kAngular;
+  cascade.merge_mode = ParallelMergeMode::kFilteredCascade;
+  cascade.representatives = 16;
+  SkylineRunStats cascade_stats;
+  ASSERT_OK_AND_ASSIGN(
+      std::vector<char> got,
+      RunParallel(env_.get(), sorted, spec, cascade, &cascade_stats));
+
+  ASSERT_EQ(got.size(), baseline.size());
+  ASSERT_EQ(0, std::memcmp(got.data(), baseline.data(), got.size()));
+  EXPECT_EQ(all_pairs_stats.threads_used, 16u);
+  EXPECT_EQ(cascade_stats.threads_used, 16u);
+  // Angular partitions admit far fewer false candidates than stride.
+  EXPECT_LT(cascade_stats.merge_candidates, all_pairs_stats.merge_candidates);
+  EXPECT_GT(cascade_stats.representative_prunes, 0u);
+  EXPECT_GE(cascade_stats.cascade_levels, 4u);  // 16 lists halve to 1
+
+  ASSERT_GT(all_pairs_stats.merge_comparisons, 0u);
+  ASSERT_GT(cascade_stats.merge_comparisons, 0u);
+  const double reduction =
+      static_cast<double>(all_pairs_stats.merge_comparisons) /
+      static_cast<double>(cascade_stats.merge_comparisons);
+  EXPECT_GE(reduction, 5.0)
+      << "all_pairs=" << all_pairs_stats.merge_comparisons
+      << " cascade=" << cascade_stats.merge_comparisons;
+
+  // Determinism of the counters themselves: a re-run reproduces them.
+  SkylineRunStats again;
+  ASSERT_OK_AND_ASSIGN(std::vector<char> rerun,
+                       RunParallel(env_.get(), sorted, spec, cascade, &again));
+  EXPECT_EQ(rerun, got);
+  EXPECT_EQ(again.merge_comparisons, cascade_stats.merge_comparisons);
+  EXPECT_EQ(again.representative_prunes, cascade_stats.representative_prunes);
+  EXPECT_EQ(again.merge_blocks_pruned, cascade_stats.merge_blocks_pruned);
+}
+
+// Cancellation raised while the merge phase runs must surface promptly as
+// kCancelled — and the pool must drain cleanly (the filter returns only
+// after its ParallelFor loops complete, so no work leaks past the call).
+// The input is sized so no scan worker ever reaches its 4096-row poll:
+// the first hook call after entry happens inside the merge.
+TEST_F(PartitionTest, CancelDuringMergeReturnsCancelled) {
+  ASSERT_OK_AND_ASSIGN(Table t, MakeTable(env_.get(), "t", 8000, 5,
+                                          Distribution::kAntiCorrelated, 3));
+  SkylineSpec spec = MixedSpec(t, 5, /*with_diff=*/false);
+  TempFileManager temp_files(env_.get(), "psort");
+  const std::string sorted = Presort(env_.get(), &temp_files, t, spec);
+
+  for (ParallelMergeMode mode : {ParallelMergeMode::kFilteredCascade,
+                                 ParallelMergeMode::kAllPairs}) {
+    auto calls = std::make_shared<std::atomic<uint64_t>>(0);
+    ExecContext ctx;
+    ctx.cancelled = [calls]() {
+      // Call #1 is the entry check; every later call (the merge polls)
+      // reports cancellation.
+      return calls->fetch_add(1, std::memory_order_relaxed) >= 1;
+    };
+    ParallelSfsOptions popt;
+    popt.threads = 4;
+    popt.min_block_rows = 1;
+    popt.merge_mode = mode;
+    popt.exec = &ctx;
+    size_t emitted = 0;
+    const Status st = ParallelSfsFilter(
+        env_.get(), sorted, spec, popt,
+        [&emitted](const char*) {
+          ++emitted;
+          return Status::OK();
+        },
+        nullptr);
+    EXPECT_TRUE(st.IsCancelled()) << "mode=" << static_cast<int>(mode) << " "
+                                  << st.ToString();
+    EXPECT_EQ(emitted, 0u) << "rows emitted after cancellation";
+    EXPECT_GE(calls->load(), 2u) << "merge phase never polled the hook";
+  }
+}
+
+// Degraded-parallelism honesty: an input too small for the requested
+// shard count must raise the flag, render the report warning, and record
+// the JSON keys the bench consumers read.
+TEST_F(PartitionTest, DegradedParallelismIsReported) {
+  ASSERT_OK_AND_ASSIGN(Table t, MakeTable(env_.get(), "t", 6000, 4,
+                                          Distribution::kIndependent, 5));
+  SkylineSpec spec = MixedSpec(t, 4, /*with_diff=*/false);
+  TempFileManager temp_files(env_.get(), "psort");
+  const std::string sorted = Presort(env_.get(), &temp_files, t, spec);
+
+  ParallelSfsOptions popt;
+  popt.threads = 16;
+  popt.min_block_rows = 4096;  // 6000 rows -> 1 block despite 16 requested
+  SkylineRunStats stats;
+  ASSERT_OK_AND_ASSIGN(std::vector<char> got,
+                       RunParallel(env_.get(), sorted, spec, popt, &stats));
+  ASSERT_FALSE(got.empty());
+  EXPECT_EQ(stats.threads_requested, 16u);
+  EXPECT_EQ(stats.threads_used, 1u);
+  EXPECT_TRUE(stats.DegradedParallelism());
+
+  RunReport report;
+  report.tool = "test";
+  report.stats = stats;
+  const std::string text = RenderRunReportText(report);
+  EXPECT_NE(text.find("degraded parallelism"), std::string::npos) << text;
+  const std::string json = RenderRunReportJson(report);
+  EXPECT_NE(json.find("\"degraded_parallelism\": true"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"threads_requested\": 16"), std::string::npos) << json;
+
+  // An honored request must not warn.
+  SkylineRunStats honored;
+  honored.threads_requested = 2;
+  honored.threads_used = 2;
+  EXPECT_FALSE(honored.DegradedParallelism());
+  RunReport ok_report;
+  ok_report.tool = "test";
+  ok_report.stats = honored;
+  EXPECT_EQ(RenderRunReportText(ok_report).find("degraded parallelism"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace skyline

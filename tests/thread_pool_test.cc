@@ -1,8 +1,10 @@
 #include "common/thread_pool.h"
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
@@ -101,6 +103,44 @@ TEST(ParallelForTest, NullPoolRunsInline) {
   size_t sum = 0;
   ParallelFor(nullptr, 100, [&sum](size_t i) { sum += i; });
   EXPECT_EQ(sum, 4950u);
+}
+
+TEST(ThreadPoolTest, BusyTotalsAccumulateAcrossTasks) {
+  ThreadPool pool(2);
+  const ThreadPool::BusyTotals before = pool.Totals();
+  EXPECT_EQ(before.busy_nanos, 0u);
+  EXPECT_EQ(before.tasks_executed, 0u);
+
+  std::vector<std::future<void>> futures;
+  for (int t = 0; t < 8; ++t) {
+    futures.push_back(pool.Submit([]() {
+      // Busy-spin a little so the timed section is visibly non-zero even
+      // on coarse clocks.
+      volatile uint64_t x = 0;
+      for (int i = 0; i < 50'000; ++i) x = x + i;
+    }));
+  }
+  for (auto& f : futures) f.get();
+
+  // The worker stamps the totals after the task's future resolves, so
+  // allow the final increment a moment to land.
+  auto settle = [&pool](uint64_t tasks) {
+    ThreadPool::BusyTotals t = pool.Totals();
+    for (int i = 0; i < 2000 && t.tasks_executed < tasks; ++i) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      t = pool.Totals();
+    }
+    return t;
+  };
+  const ThreadPool::BusyTotals after = settle(8);
+  EXPECT_EQ(after.tasks_executed, 8u);
+  EXPECT_GT(after.busy_nanos, before.busy_nanos);
+
+  // Monotone: more work never decreases the totals.
+  pool.Submit([]() {}).get();
+  const ThreadPool::BusyTotals more = settle(9);
+  EXPECT_EQ(more.tasks_executed, 9u);
+  EXPECT_GE(more.busy_nanos, after.busy_nanos);
 }
 
 TEST(ParallelForTest, PropagatesFirstException) {

@@ -138,6 +138,11 @@ Status RunFiles(const std::vector<std::string>& args, StatsMode stats_mode) {
     if (Status cols = WriteTableColumnFile(table); !cols.ok()) {
       std::fprintf(stderr, "note: no column sidecar for '%s': %s\n",
                    name.c_str(), cols.ToString().c_str());
+    } else if (Status idx = WriteTableBlockIndex(table); !idx.ok()) {
+      // The z-order index sidecar unlocks the BBS access path for kAuto;
+      // without it every query still runs (scan algorithms).
+      std::fprintf(stderr, "note: no block index for '%s': %s\n",
+                   name.c_str(), idx.ToString().c_str());
     }
     std::fprintf(stderr, "loaded table '%s' (%llu rows) from %s\n",
                  name.c_str(),

@@ -40,11 +40,13 @@ echo "== check: TSan build (trace/metrics/thread-pool concurrency) =="
 # (the process-wide TableZoneCache and the shared merge dictionaries are
 # touched from pool threads). Partition* covers the scheme-parallel scans,
 # the representative pre-prune, and the filtered-cascade merge levels.
+# BlockIndex*/Bbs* exercise the z-order index sidecar through the shared
+# zone cache and the BBS access path that consumes it.
 cmake -B "${prefix}-tsan" -S "$repo_root" \
   -DSKYLINE_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
 cmake --build "${prefix}-tsan" -j"$jobs" --target skyline_tests
 TSAN_OPTIONS="halt_on_error=1" \
   "${prefix}-tsan/tests/skyline_tests" \
-  --gtest_filter='Trace*:Metrics*:RunReport*:ExecContext*:ThreadPool*:Partition*:SfsParallel*:ColumnFile*:TableZoneCache*:ZonePrefilter*'
+  --gtest_filter='Trace*:Metrics*:RunReport*:ExecContext*:ThreadPool*:Partition*:SfsParallel*:ColumnFile*:TableZoneCache*:ZonePrefilter*:BlockIndex*:Bbs*'
 
 echo "check.sh: all suites passed"

@@ -2,10 +2,13 @@
 # Builds (Release) and runs the parallel-SFS benchmark, leaving a
 # machine-readable BENCH_sfs.json at the repository root.
 #
-# Usage: scripts/run_bench.sh [--schemes] [build-dir]
+# Usage: scripts/run_bench.sh [--schemes] [--index] [build-dir]
 #   --schemes                   add the partition-scheme sweep (simulated
 #                               shards; emits the "partition_schemes"
 #                               section into BENCH_sfs.json)
+#   --index                     add the z-order index sweep (correlated
+#                               table, sidecar build time, BBS vs SFS with
+#                               index_blocks_skipped; "index" JSON section)
 #   SKYLINE_BENCH_SCALE=10      run at the paper's 1M-row scale
 #   SKYLINE_BENCH_THREADS=...   comma-separated thread counts (default 1,2,4,8)
 #   SKYLINE_BENCH_REPS=N        repetitions per config (default 3)
@@ -14,10 +17,12 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 
 schemes=0
+index=0
 args=()
 for arg in "$@"; do
   case "$arg" in
     --schemes) schemes=1 ;;
+    --index) index=1 ;;
     *) args+=("$arg") ;;
   esac
 done
@@ -28,5 +33,8 @@ cmake --build "$build_dir" --target parallel_sfs_bench -j"$(nproc)"
 
 if [[ "$schemes" -eq 1 ]]; then
   export SKYLINE_BENCH_SCHEMES=1
+fi
+if [[ "$index" -eq 1 ]]; then
+  export SKYLINE_BENCH_INDEX=1
 fi
 "$build_dir/bench/parallel_sfs_bench" "$repo_root/BENCH_sfs.json"

@@ -1,0 +1,68 @@
+#ifndef SKYLINE_CORE_BBS_H_
+#define SKYLINE_CORE_BBS_H_
+
+#include <memory>
+#include <string>
+
+#include "common/exec_context.h"
+#include "common/status.h"
+#include "core/run_stats.h"
+#include "core/sfs.h"
+#include "core/skyline_constraint.h"
+#include "core/skyline_spec.h"
+#include "relation/column_store.h"
+#include "relation/table.h"
+
+namespace skyline {
+
+/// Options for the branch-and-bound (BBS) skyline scan. The presort knobs
+/// do not change what BBS reads — the scan order is driven by mindist over
+/// the block index — they pin the *output order*: the emitted skyline is
+/// re-sorted by the same monotone ordering SFS would have presorted with,
+/// so BBS output is byte-identical to SFS output for the same options.
+struct BbsOptions {
+  Presort presort = Presort::kEntropy;
+  /// Ordering used when presort == Presort::kCustom (must outlive the
+  /// call); kNone keeps the rows in input-file order.
+  const RowOrdering* custom_ordering = nullptr;
+  /// Constrained skyline: only rows inside the box participate. Applied
+  /// natively — the box is intersected against node corners before
+  /// enqueue, so subtrees outside it are never read.
+  SkylineConstraint constraint;
+};
+
+/// Cheap pre-gate, safe before loading any zones: true when `input` might
+/// have a usable block index for `spec` — the index sidecar file exists,
+/// the spec has no DIFF columns (one global branch-and-bound heap cannot
+/// interleave per-group skylines), and the spec lowers to the columnar
+/// dominance kernel (the corner probes are zone tests against it). A
+/// false return means callers should not bother loading zones for BBS.
+bool BbsCandidate(const Table& input, const SkylineSpec& spec);
+
+/// Full readiness check once zones are loaded: the zones carry a validated
+/// block index at the dominance-kernel block granularity and cover every
+/// schema column. Implies nothing about profitability — that is the cost
+/// model's job (ChooseSkylineAccess).
+bool BbsUsable(const SkylineSpec& spec, const TableColumnZones* zones);
+
+/// Branch-and-bound skyline over `input`'s persistent z-order block index
+/// (the paper-adjacent BBS algorithm, adapted from R-tree entries to
+/// column-file blocks): a min-heap on exact integer mindist over index
+/// entries; every popped entry is first probed against the skyline found
+/// so far — a dominated node's whole subtree is provably dominated and is
+/// never read from disk. Requires BbsUsable(spec, zones.get()).
+///
+/// Writes the skyline (full rows, in the presort's monotone order — byte
+/// identical to SFS with the same presort) to a new table at
+/// `output_path`. Fills stats' index_nodes_visited / index_blocks_skipped
+/// / heap_peak counters; `stats` may be null.
+Result<Table> ComputeSkylineBbs(const Table& input, const SkylineSpec& spec,
+                                std::shared_ptr<const TableColumnZones> zones,
+                                const BbsOptions& options,
+                                const ExecContext& ctx,
+                                const std::string& output_path,
+                                SkylineRunStats* stats);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_BBS_H_

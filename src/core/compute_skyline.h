@@ -9,6 +9,7 @@
 #include "core/run_stats.h"
 #include "core/sfs.h"
 #include "core/skyline_algorithm.h"
+#include "core/skyline_constraint.h"
 #include "core/skyline_spec.h"
 #include "relation/table.h"
 
@@ -19,6 +20,13 @@ namespace skyline {
 struct SkylineComputeOptions {
   SfsOptions sfs;
   BnlOptions bnl;
+  /// Constrained skyline: only rows inside the box participate (skyline
+  /// *of the filtered set*). BBS applies the box natively against index
+  /// node corners before enqueueing subtrees; every scan algorithm stages
+  /// the filtered subset first (attached with the base table's stats, so
+  /// stats-derived presort orders — and therefore the output bytes —
+  /// agree with BBS's).
+  SkylineConstraint constraint;
 };
 
 /// True when kAuto routes `spec` through a special-case scan: exactly 2 or
@@ -27,10 +35,12 @@ bool SkylineAutoUsesSpecialScan(const SkylineSpec& spec);
 
 /// The one skyline entry point: dispatches `algorithm` over the
 /// specialized implementations (kAuto routes 2-/3-criterion specs through
-/// the windowless special-case scans, everything else through SFS) with
-/// the ExecContext's threads / temp prefix / telemetry / cancellation
-/// applied uniformly — so benches, examples, the Volcano operator, and the
-/// SQL executor stop hand-rolling the same switch.
+/// the windowless special-case scans, index-equipped small-skyline inputs
+/// through BBS per the cost model, everything else through SFS; kBbs
+/// degrades to SFS when no usable index exists) with the ExecContext's
+/// threads / temp prefix / telemetry / cancellation applied uniformly —
+/// so benches, examples, the Volcano operator, and the SQL executor stop
+/// hand-rolling the same switch.
 ///
 /// Writes the result table to `output_path` and returns it. `stats` may be
 /// null. Records a top-level "skyline" trace span and publishes the run's

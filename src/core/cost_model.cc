@@ -2,12 +2,41 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "common/logging.h"
 #include "core/cardinality.h"
+#include "core/dominance.h"
 #include "storage/page.h"
 
 namespace skyline {
+namespace {
+
+/// Rows sampled to measure a skyline cardinality for kAuto. The quadratic
+/// in-memory skyline over it is ~4M dominance tests worst case —
+/// microseconds-scale against the scan it stands to save.
+constexpr uint64_t kAccessSampleRows = 2048;
+
+/// In-memory skyline cardinality of `count` rows (quadratic, sample-sized
+/// inputs only). Counts distinct-position skyline members: duplicates all
+/// count, matching what SFS emits.
+uint64_t SampleSkylineCount(const SkylineSpec& spec, const char* rows,
+                            uint64_t count) {
+  const size_t width = spec.schema().row_width();
+  uint64_t skyline = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    bool dominated = false;
+    for (uint64_t j = 0; j < count && !dominated; ++j) {
+      if (j == i) continue;
+      dominated = Dominates(spec, rows + j * width, rows + i * width);
+    }
+    if (!dominated) ++skyline;
+  }
+  return skyline;
+}
+
+}  // namespace
 
 uint64_t SfsPassesForSkyline(uint64_t skyline_count,
                              uint64_t window_capacity) {
@@ -59,6 +88,52 @@ SfsCostEstimate EstimateSfsCost(uint64_t n, const SkylineSpec& spec,
   return EstimateSfsCost(n, static_cast<int>(spec.num_dimensions()),
                          spec.schema().row_width(),
                          spec.projected_schema().row_width(), options);
+}
+
+SkylineAccessChoice ChooseSkylineAccess(const Table& input,
+                                        const SkylineSpec& spec,
+                                        bool index_available) {
+  SkylineAccessChoice choice;
+  if (spec.value_columns().size() == 2) {
+    choice.path = SkylineAccessPath::kSpecial2d;
+    return choice;
+  }
+  if (spec.value_columns().size() == 3) {
+    choice.path = SkylineAccessPath::kSpecial3d;
+    return choice;
+  }
+  choice.path = SkylineAccessPath::kSfs;
+  const uint64_t n = input.row_count();
+  if (!index_available || spec.has_diff() || n < 2) return choice;
+
+  const uint64_t sample_n = std::min<uint64_t>(kAccessSampleRows, n);
+  const size_t width = spec.schema().row_width();
+  std::vector<char> rows(static_cast<size_t>(sample_n) * width);
+  {
+    // Stride across the whole file rather than reading a prefix: a prefix
+    // is unrepresentative whenever the table is presorted or z-order
+    // clustered — it then covers one corner of key space, and that
+    // corner's local skyline wildly over- or under-states the global one.
+    auto reader = input.NewReader(nullptr);
+    if (!reader->Open().ok()) return choice;
+    const uint64_t stride = n / sample_n;  // >= 1
+    for (uint64_t i = 0; i < sample_n; ++i) {
+      if (!reader->SeekToRecord(i * stride).ok()) return choice;
+      const char* row = reader->Next();
+      if (row == nullptr) return choice;
+      std::memcpy(rows.data() + i * width, row, width);
+    }
+  }
+  choice.sample_rows = sample_n;
+  choice.sample_skyline = SampleSkylineCount(spec, rows.data(), sample_n);
+  choice.estimated_skyline = ExtrapolateSkylineSize(
+      static_cast<double>(choice.sample_skyline), sample_n, n,
+      static_cast<int>(spec.num_dimensions()));
+  choice.bbs_threshold = std::max(64.0, static_cast<double>(n) / 2000.0);
+  if (choice.estimated_skyline <= choice.bbs_threshold) {
+    choice.path = SkylineAccessPath::kBbs;
+  }
+  return choice;
 }
 
 }  // namespace skyline

@@ -5,6 +5,7 @@
 
 #include "core/sfs.h"
 #include "core/skyline_spec.h"
+#include "relation/table.h"
 
 namespace skyline {
 
@@ -52,6 +53,42 @@ SfsCostEstimate EstimateSfsCost(uint64_t n, const SkylineSpec& spec,
 
 /// Exact pass count given a known skyline cardinality (fact 1 above).
 uint64_t SfsPassesForSkyline(uint64_t skyline_count, uint64_t window_capacity);
+
+/// The access paths kAuto chooses between.
+enum class SkylineAccessPath {
+  kSpecial2d,
+  kSpecial3d,
+  kSfs,
+  kBbs,
+};
+
+/// The kAuto decision plus the evidence it was made on (surfaced for
+/// plans/tests).
+struct SkylineAccessChoice {
+  SkylineAccessPath path = SkylineAccessPath::kSfs;
+  /// Rows sampled and the skyline cardinality measured on them (0 when no
+  /// sample was taken — special scans and index-less inputs skip it).
+  uint64_t sample_rows = 0;
+  uint64_t sample_skyline = 0;
+  /// Extrapolated full-table skyline estimate and the BBS cutoff it was
+  /// compared against.
+  double estimated_skyline = 0;
+  double bbs_threshold = 0;
+};
+
+/// Chooses the kAuto access path for `spec` over `input`:
+///  - 2/3 MIN/MAX criteria take the windowless special scans, always;
+///  - with an available index (`index_available`) and no DIFF columns,
+///    a strided sample's measured skyline is extrapolated by the
+///    (ln n)^{d-1} growth law (ExtrapolateSkylineSize); BBS wins when the
+///    estimate stays under max(64, n/2000) — the small-skyline regime
+///    where branch-and-bound's per-point index probes beat one linear
+///    scan — else SFS (anti-correlated data lands here: its skyline
+///    estimate is orders of magnitude past the cutoff);
+///  - everything else is SFS.
+SkylineAccessChoice ChooseSkylineAccess(const Table& input,
+                                        const SkylineSpec& spec,
+                                        bool index_available);
 
 }  // namespace skyline
 

@@ -85,6 +85,9 @@ void AppendRunStatsObject(JsonWriter* json, const SkylineRunStats& stats) {
   json->KeyValue("table_zone_blocks_pruned", stats.table_zone_blocks_pruned);
   json->KeyValue("column_file_blocks_read", stats.column_file_blocks_read);
   json->KeyValue("dict_probe_hits", stats.dict_probe_hits);
+  json->KeyValue("index_nodes_visited", stats.index_nodes_visited);
+  json->KeyValue("index_blocks_skipped", stats.index_blocks_skipped);
+  json->KeyValue("heap_peak", stats.heap_peak);
   json->KeyValue("zone_map_source", std::string_view(stats.zone_map_source));
   json->KeyValue("dominance_kernel", std::string_view(stats.dominance_kernel));
   json->KeyValue("threads_used", stats.threads_used);
@@ -192,6 +195,15 @@ std::string RenderRunReportText(const RunReport& report) {
         s.scan_merge_overlap_seconds);
     add();
   }
+  if (s.index_nodes_visited > 0 || s.index_blocks_skipped > 0) {
+    std::snprintf(line, sizeof(line),
+                  "index: nodes visited %llu  blocks skipped %llu  "
+                  "heap peak %llu\n",
+                  static_cast<unsigned long long>(s.index_nodes_visited),
+                  static_cast<unsigned long long>(s.index_blocks_skipped),
+                  static_cast<unsigned long long>(s.heap_peak));
+    add();
+  }
   if (s.DegradedParallelism()) {
     std::snprintf(line, sizeof(line),
                   "WARNING: degraded parallelism — %llu threads requested "
@@ -276,6 +288,9 @@ void PublishRunStats(MetricsRegistry* metrics, std::string_view prefix,
   counter("table_zone_blocks_pruned", stats.table_zone_blocks_pruned);
   counter("column_file_blocks_read", stats.column_file_blocks_read);
   counter("dict_probe_hits", stats.dict_probe_hits);
+  counter("index_nodes_visited", stats.index_nodes_visited);
+  counter("index_blocks_skipped", stats.index_blocks_skipped);
+  counter("heap_peak", stats.heap_peak);
   counter("merge_candidates", stats.merge_candidates);
   counter("representative_prunes", stats.representative_prunes);
   counter("cascade_levels", stats.cascade_levels);

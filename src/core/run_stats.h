@@ -57,6 +57,15 @@ struct SkylineRunStats {
   /// sidecar), "cache" (in-process TableZoneCache hit), "scan" (rebuilt
   /// this query), or "none" (prefilter not engaged). Static string.
   const char* zone_map_source = "none";
+  /// BBS only: index nodes (interior and leaf entries) popped from the
+  /// branch-and-bound heap and actually examined.
+  uint64_t index_nodes_visited = 0;
+  /// BBS only: column-file blocks the index proved dominated (or outside
+  /// the constraint box) and therefore never read from disk — out of
+  /// ceil(input_rows / 64) total.
+  uint64_t index_blocks_skipped = 0;
+  /// BBS only: high-water mark of the branch-and-bound heap.
+  uint64_t heap_peak = 0;
   /// Worker threads the filter phase actually used (1 = sequential SFS).
   uint64_t threads_used = 1;
   /// Worker threads the caller asked for, after "0 = all hardware"

@@ -4,9 +4,13 @@
 #include <cstring>
 #include <string_view>
 
+#include <limits>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/canonical_key.h"
+#include "core/dominance_batch.h"
 #include "core/scoring.h"
 #include "core/sfs_parallel.h"
 #include "relation/column_store.h"
@@ -26,6 +30,75 @@ SfsIterator::SfsIterator(Env* env, TempFileManager* temp_files,
       out_row_(spec->schema().row_width()),
       prev_row_(spec->schema().row_width()) {}
 
+void SfsIterator::SpillZoneTracker::Init(const SkylineSpec& spec) {
+  enabled = true;
+  num_schema_columns = spec.schema().num_columns();
+  const auto& value_cols = spec.value_columns();
+  const auto& dom_values = spec.dom_value_columns();
+  for (size_t i = 0; i < value_cols.size(); ++i) {
+    if (dom_values[i].type == ColumnType::kFixedString) {
+      enabled = false;
+      return;
+    }
+    columns.push_back(value_cols[i].column);
+    types.push_back(dom_values[i].type);
+    offsets.push_back(dom_values[i].offset);
+  }
+  const auto& diff_cols = spec.diff_columns();
+  const auto& dom_diffs = spec.dom_diff_columns();
+  for (size_t i = 0; i < diff_cols.size(); ++i) {
+    if (dom_diffs[i].type == ColumnType::kFixedString) {
+      enabled = false;
+      return;
+    }
+    columns.push_back(diff_cols[i]);
+    types.push_back(dom_diffs[i].type);
+    offsets.push_back(dom_diffs[i].offset);
+  }
+  const size_t n = columns.size();
+  cur_min.assign(n, std::numeric_limits<int64_t>::max());
+  cur_max.assign(n, std::numeric_limits<int64_t>::min());
+  zmin.resize(n);
+  zmax.resize(n);
+}
+
+void SfsIterator::SpillZoneTracker::Observe(const char* row) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    const int64_t key = CanonicalKeyOf(types[i], row + offsets[i]);
+    cur_min[i] = std::min(cur_min[i], key);
+    cur_max[i] = std::max(cur_max[i], key);
+  }
+  ++rows;
+  if (rows % DominanceIndex::kBlockEntries == 0) SealBlock();
+}
+
+void SfsIterator::SpillZoneTracker::SealBlock() {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    zmin[i].push_back(cur_min[i]);
+    zmax[i].push_back(cur_max[i]);
+    cur_min[i] = std::numeric_limits<int64_t>::max();
+    cur_max[i] = std::numeric_limits<int64_t>::min();
+  }
+}
+
+std::shared_ptr<const TableColumnZones>
+SfsIterator::SpillZoneTracker::Take() {
+  if (rows % DominanceIndex::kBlockEntries != 0) SealBlock();
+  auto zones = std::make_shared<TableColumnZones>();
+  zones->block_rows = DominanceIndex::kBlockEntries;
+  zones->row_count = rows;
+  zones->source = "spill";
+  zones->columns.resize(num_schema_columns);
+  for (size_t i = 0; i < columns.size(); ++i) {
+    zones->columns[columns[i]].zmin = std::move(zmin[i]);
+    zones->columns[columns[i]].zmax = std::move(zmax[i]);
+    zmin[i].clear();
+    zmax[i].clear();
+  }
+  rows = 0;
+  return zones;
+}
+
 Status SfsIterator::Open() {
   // The first pass reads the (sorted) input; per the paper's accounting
   // that scan is not part of the algorithm's "extra pages", so it does not
@@ -42,7 +115,10 @@ Status SfsIterator::Open() {
        prefilter_->row_count() != reader_->record_count())) {
     prefilter_.reset();
   }
-  if (prefilter_ != nullptr) {
+  // Spill-pass zone tracking is sound whenever skipped rows don't need to
+  // reach a residue side-output.
+  if (residue_writer_ == nullptr) spill_zones_.Init(*spec_);
+  if (prefilter_ != nullptr || spill_zones_.enabled) {
     corner_row_.resize(spec_->schema().row_width());
   }
   BeginPassSpan();
@@ -91,7 +167,7 @@ const char* SfsIterator::Next() {
   const bool poll_cancel = ctx_ != nullptr && ctx_->has_cancel_hook();
   const bool sample_probes = ctx_ != nullptr && ctx_->trace != nullptr;
   while (true) {
-    if (prefilter_ != nullptr && first_pass_) {
+    if (prefilter_ != nullptr) {
       MaybeSkipBlocks();
       if (!status_.ok()) return nullptr;
     }
@@ -166,6 +242,7 @@ const char* SfsIterator::Next() {
           status_ = st;
           return nullptr;
         }
+        if (spill_zones_.enabled) spill_zones_.Observe(row);
         ++stats_->spilled_tuples;
         break;
       }
@@ -210,6 +287,16 @@ bool SfsIterator::StartNextPass() {
     status_ = st;
     pass_span_.reset();
     return false;
+  }
+  // Swap in the zone maps tracked while writing this spill file; the next
+  // pass then skips spill blocks wholly dominated by its growing window.
+  // The first pass's input prefilter no longer describes the current file
+  // either way.
+  prefilter_.reset();
+  if (spill_zones_.enabled) {
+    auto corner = std::make_shared<BlockCornerBuilder>(spec_,
+                                                       spill_zones_.Take());
+    if (corner->usable()) prefilter_ = std::move(corner);
   }
   window_.Clear();
   have_prev_ = false;

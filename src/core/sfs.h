@@ -112,13 +112,15 @@ class SfsIterator {
 
   /// Attaches a zone-map block prefilter built over the *input file's* row
   /// blocks (only sound when the input is filtered unsorted-in-place, i.e.
-  /// Presort::kNone, so the file's blocks are the zone-map blocks). During
-  /// the first pass, at every block boundary the block's corner row is
-  /// tested against the window; if a confirmed entry dominates the corner
-  /// the whole block is skipped without reading its rows. Ignored on later
-  /// passes (spill files have different block alignment) and when a residue
-  /// writer is set (skipped rows must still reach the residue). Set before
-  /// Open; may be null.
+  /// Presort::kNone, so the file's blocks are the zone-map blocks). At
+  /// every block boundary the block's corner row is tested against the
+  /// window; if a confirmed entry dominates the corner the whole block is
+  /// skipped without reading its rows. Ignored when a residue writer is
+  /// set (skipped rows must still reach the residue). Set before Open; may
+  /// be null. Later passes do not reuse this prefilter (spill files have
+  /// different block alignment) — instead the iterator builds fresh zone
+  /// maps over each spill file as it is written, so every pass gets block
+  /// skipping regardless of how the first pass's input was produced.
   void set_block_prefilter(std::shared_ptr<const BlockCornerBuilder> p) {
     prefilter_ = std::move(p);
   }
@@ -158,6 +160,34 @@ class SfsIterator {
   /// Opens the "filter-pass-<passes>" span (closing any previous one).
   void BeginPassSpan();
 
+  /// Builds zone maps over the spill file as it is written, so the next
+  /// pass can skip wholly dominated 64-row spill blocks the same way the
+  /// first pass skips input blocks. Tracks only the spec's criterion
+  /// columns (the ones BlockCornerBuilder reads) and only when they are
+  /// all numeric — string criteria would need a cross-pass dictionary for
+  /// codes to stay comparable, and the win there is marginal.
+  struct SpillZoneTracker {
+    bool enabled = false;
+    /// Parallel arrays over the tracked criterion columns.
+    std::vector<size_t> columns;     // schema column index
+    std::vector<ColumnType> types;
+    std::vector<size_t> offsets;
+    size_t num_schema_columns = 0;
+    uint64_t rows = 0;
+    std::vector<int64_t> cur_min, cur_max;       // open block accumulators
+    std::vector<std::vector<int64_t>> zmin, zmax;  // sealed blocks
+
+    /// Configures the tracked columns from `spec`; disables itself when
+    /// any criterion column is non-numeric.
+    void Init(const SkylineSpec& spec);
+    /// Folds one spilled row into the open block (sealing it at 64 rows).
+    void Observe(const char* row);
+    void SealBlock();
+    /// Returns zones describing every observed row and restarts the
+    /// tracker for the next pass's spill.
+    std::shared_ptr<const TableColumnZones> Take();
+  };
+
   Env* env_;
   TempFileManager* temp_files_;
   std::string input_path_;  // current pass's input
@@ -170,6 +200,7 @@ class SfsIterator {
   std::unique_ptr<HeapFileWriter> spill_writer_;
   HeapFileWriter* residue_writer_ = nullptr;
   std::shared_ptr<const BlockCornerBuilder> prefilter_;
+  SpillZoneTracker spill_zones_;
   std::vector<char> corner_row_;
   uint64_t pass_rows_read_ = 0;
   const ExecContext* ctx_ = nullptr;

@@ -9,21 +9,30 @@ namespace skyline {
 enum class SkylineAlgorithm {
   kSfs,
   kBnl,
+  /// Branch-and-bound over the persistent z-order block index
+  /// (core/bbs.h). Sub-linear when the skyline is small; requires the
+  /// index sidecar and a DIFF-free columnar-capable spec, else the
+  /// dispatch degrades to SFS.
+  kBbs,
   /// Pick automatically: the 2-dim scan or 3-dim staircase sweep when the
   /// spec has exactly that many MIN/MAX criteria (no window needed, O(n)
-  /// dominance work), otherwise SFS. What a planner would do given the
-  /// paper's Section 6 note that low-dimensional special cases "could be
-  /// exploited".
+  /// dominance work); BBS when an index is available and the cost model
+  /// estimates a small skyline (core/cost_model.h); otherwise SFS. What a
+  /// planner would do given the paper's Section 6 note that
+  /// low-dimensional special cases "could be exploited".
   kAuto,
 };
 
-/// Stable lowercase name ("sfs", "bnl", "auto") for reports and plans.
+/// Stable lowercase name ("sfs", "bnl", "bbs", "auto") for reports and
+/// plans.
 inline const char* SkylineAlgorithmName(SkylineAlgorithm algorithm) {
   switch (algorithm) {
     case SkylineAlgorithm::kSfs:
       return "sfs";
     case SkylineAlgorithm::kBnl:
       return "bnl";
+    case SkylineAlgorithm::kBbs:
+      return "bbs";
     case SkylineAlgorithm::kAuto:
       return "auto";
   }

@@ -1,0 +1,40 @@
+#ifndef SKYLINE_CORE_SKYLINE_CONSTRAINT_H_
+#define SKYLINE_CORE_SKYLINE_CONSTRAINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "relation/schema.h"
+
+namespace skyline {
+
+/// A conjunction of per-column range bounds — the constrained-skyline box
+/// of BBS-style literature: the skyline is computed over only the rows
+/// whose listed numeric columns fall inside every [lo, hi] interval.
+/// Bounds live in the *canonical ascending key space* (raw int32/int64,
+/// float64 total-order bits), the same space as the zone maps and the
+/// block index corners, so the BBS scan can intersect a bound against a
+/// node corner with two integer compares before enqueueing the subtree.
+///
+/// The SQL binder builds these from pushable numeric WHERE range
+/// predicates; an empty lo>hi interval is a legal way to say "no row
+/// matches". Scan-based algorithms apply the box as a row filter; the
+/// semantics are identical either way (skyline *of the filtered set*).
+struct SkylineConstraint {
+  struct Bound {
+    size_t column = 0;  // schema column index (numeric)
+    int64_t lo = INT64_MIN;
+    int64_t hi = INT64_MAX;
+  };
+
+  std::vector<Bound> bounds;
+
+  bool empty() const { return bounds.empty(); }
+
+  /// True iff the row satisfies every bound.
+  bool Matches(const Schema& schema, const char* row) const;
+};
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_SKYLINE_CONSTRAINT_H_

@@ -2,33 +2,10 @@
 
 #include <cstring>
 
-#include "common/order_key.h"
+#include "core/canonical_key.h"
 #include "core/dominance_batch.h"
 
 namespace skyline {
-namespace {
-
-void WriteKeyAsRaw(ColumnType type, int64_t key, char* dst) {
-  switch (type) {
-    case ColumnType::kInt32: {
-      const int32_t v = static_cast<int32_t>(key);
-      std::memcpy(dst, &v, sizeof(v));
-      break;
-    }
-    case ColumnType::kInt64:
-      std::memcpy(dst, &key, sizeof(key));
-      break;
-    case ColumnType::kFloat64: {
-      const double v = DoubleFromTotalOrderKey(key);
-      std::memcpy(dst, &v, sizeof(v));
-      break;
-    }
-    case ColumnType::kFixedString:
-      break;  // dictionary path writes the bytes directly
-  }
-}
-
-}  // namespace
 
 BlockCornerBuilder::BlockCornerBuilder(
     const SkylineSpec* spec, std::shared_ptr<const TableColumnZones> zones)
@@ -66,7 +43,7 @@ bool BlockCornerBuilder::BuildCorner(size_t b, char* corner) const {
       std::memcpy(corner + dc.offset,
                   zcol.dict->Value(static_cast<int32_t>(code)), dc.length);
     } else {
-      WriteKeyAsRaw(dc.type, zcol.zmin[b], corner + dc.offset);
+      WriteCanonicalKeyAsRaw(dc.type, zcol.zmin[b], corner + dc.offset);
     }
   }
   // Value criteria: componentwise best over the block — zmax for MAX,
@@ -77,7 +54,7 @@ bool BlockCornerBuilder::BuildCorner(size_t b, char* corner) const {
     const auto& zcol = zones_->columns[value_cols[i].column];
     if (b >= zcol.zmin.size()) return false;
     const auto& dc = dom_values[i];
-    WriteKeyAsRaw(dc.type, dc.max ? zcol.zmax[b] : zcol.zmin[b],
+    WriteCanonicalKeyAsRaw(dc.type, dc.max ? zcol.zmax[b] : zcol.zmin[b],
                   corner + dc.offset);
   }
   return true;

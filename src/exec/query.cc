@@ -24,18 +24,20 @@ Query& Query::Where(RowPredicate predicate) {
 
 Query& Query::SkylineOf(std::vector<Criterion> criteria,
                         SkylineAlgorithm algorithm, SfsOptions sfs_options,
-                        BnlOptions bnl_options) {
+                        BnlOptions bnl_options, SkylineConstraint constraint) {
   const std::string prefix =
       temp_prefix_ + ".step" + std::to_string(next_step_id_++);
   steps_.push_back(
       [this, prefix, criteria = std::move(criteria), algorithm,
        sfs_options = std::move(sfs_options),
-       bnl_options = std::move(bnl_options)](std::unique_ptr<Operator> child)
+       bnl_options = std::move(bnl_options),
+       constraint = std::move(constraint)](std::unique_ptr<Operator> child)
           -> Result<std::unique_ptr<Operator>> {
         SKYLINE_ASSIGN_OR_RETURN(
             std::unique_ptr<SkylineOperator> op,
             SkylineOperator::Make(std::move(child), env_, prefix, criteria,
-                                  algorithm, sfs_options, bnl_options));
+                                  algorithm, sfs_options, bnl_options,
+                                  constraint));
         if (ctx_ != nullptr) op->set_exec_context(ctx_);
         return std::unique_ptr<Operator>(std::move(op));
       });

@@ -47,11 +47,15 @@ class Query {
   /// Filters rows by `predicate`.
   Query& Where(RowPredicate predicate);
 
-  /// Applies the skyline operator with the given criteria.
+  /// Applies the skyline operator with the given criteria. A non-empty
+  /// `constraint` computes the constrained skyline (skyline of the rows
+  /// inside the box; see core/skyline_constraint.h) — BBS probes it
+  /// against the index natively, scan algorithms pre-filter.
   Query& SkylineOf(std::vector<Criterion> criteria,
                    SkylineAlgorithm algorithm = SkylineAlgorithm::kSfs,
                    SfsOptions sfs_options = SfsOptions{},
-                   BnlOptions bnl_options = {});
+                   BnlOptions bnl_options = {},
+                   SkylineConstraint constraint = {});
 
   /// Keeps the rows not dominated under an arbitrary strict-partial-order
   /// preference (the winnow operator; blocking, BNL-style evaluation).

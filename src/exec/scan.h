@@ -20,6 +20,10 @@ class TableScanOperator : public Operator {
   const char* Next() override;
   const Status& status() const override { return status_; }
   const Schema& output_schema() const override { return table_->schema(); }
+  /// The scanned base table — lets a parent operator recognize a pure
+  /// table-scan child and work on the table directly (its persisted
+  /// sidecars included) instead of re-materializing the stream.
+  const Table* table() const { return table_; }
   std::string PlanNodeLabel() const override {
     return "TableScan " + table_->path() + " (" +
            std::to_string(table_->row_count()) + " rows)";

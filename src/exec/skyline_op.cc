@@ -4,61 +4,84 @@
 
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/bbs.h"
 #include "core/compute_skyline.h"
 #include "core/run_report.h"
 #include "core/scoring.h"
+#include "exec/scan.h"
 
 namespace skyline {
 
 Result<std::unique_ptr<SkylineOperator>> SkylineOperator::Make(
     std::unique_ptr<Operator> child, Env* env, std::string temp_prefix,
     std::vector<Criterion> criteria, SkylineAlgorithm algorithm,
-    SfsOptions sfs_options, BnlOptions bnl_options) {
+    SfsOptions sfs_options, BnlOptions bnl_options,
+    SkylineConstraint constraint) {
   SKYLINE_ASSIGN_OR_RETURN(
       SkylineSpec spec,
       SkylineSpec::Make(child->output_schema(), std::move(criteria)));
   return std::unique_ptr<SkylineOperator>(new SkylineOperator(
       std::move(child), env, std::move(temp_prefix), std::move(spec),
-      algorithm, std::move(sfs_options), std::move(bnl_options)));
+      algorithm, std::move(sfs_options), std::move(bnl_options),
+      std::move(constraint)));
 }
 
 SkylineOperator::SkylineOperator(std::unique_ptr<Operator> child, Env* env,
                                  std::string temp_prefix, SkylineSpec spec,
                                  SkylineAlgorithm algorithm,
                                  SfsOptions sfs_options,
-                                 BnlOptions bnl_options)
+                                 BnlOptions bnl_options,
+                                 SkylineConstraint constraint)
     : child_(std::move(child)),
       env_(env),
       temp_files_(env, std::move(temp_prefix)),
       spec_(std::move(spec)),
       algorithm_(algorithm),
       sfs_options_(std::move(sfs_options)),
-      bnl_options_(std::move(bnl_options)) {}
+      bnl_options_(std::move(bnl_options)),
+      constraint_(std::move(constraint)) {}
 
 Status SkylineOperator::Open() {
   const ExecContext& ctx = exec_ != nullptr ? *exec_ : DefaultExecContext();
   SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
-  SKYLINE_RETURN_IF_ERROR(child_->Open());
 
-  // Materialize the child into a temp table; TableBuilder collects the
-  // column statistics the entropy presort normalizes with.
-  const std::string staged = temp_files_.Allocate("skyline_input");
-  TableBuilder builder(env_, staged, child_->output_schema());
-  SKYLINE_RETURN_IF_ERROR(builder.Open());
-  while (const char* row = child_->Next()) {
-    SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(row));
+  // A pure table-scan child needs no staging: compute over the base table
+  // itself, keeping its persisted sidecars (column file, z-order index)
+  // reachable. BBS's whole point is *not* reading the table, so copying
+  // it through a temp file first would both defeat the index and pay the
+  // scan it avoids. Any other child is materialized into a temp table;
+  // TableBuilder collects the column statistics the entropy presort
+  // normalizes with.
+  const Table* input = nullptr;
+  if (const auto* scan = dynamic_cast<const TableScanOperator*>(child_.get())) {
+    input = scan->table();
+  } else {
+    SKYLINE_RETURN_IF_ERROR(child_->Open());
+    const std::string staged = temp_files_.Allocate("skyline_input");
+    TableBuilder builder(env_, staged, child_->output_schema());
+    SKYLINE_RETURN_IF_ERROR(builder.Open());
+    while (const char* row = child_->Next()) {
+      SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(row));
+    }
+    SKYLINE_RETURN_IF_ERROR(child_->status());
+    SKYLINE_ASSIGN_OR_RETURN(Table staged_table, builder.Finish());
+    input_table_.emplace(std::move(staged_table));
+    input = &*input_table_;
   }
-  SKYLINE_RETURN_IF_ERROR(child_->status());
-  SKYLINE_ASSIGN_OR_RETURN(Table staged_table, builder.Finish());
-  input_table_.emplace(std::move(staged_table));
 
   // Everything except pipelined sequential SFS produces a materialized
   // table: hand those paths to the unified dispatch (which also publishes
-  // run stats to the context's metrics sink) and stream the result.
+  // run stats to the context's metrics sink) and stream the result. A
+  // constraint, an explicit BBS request, or a kAuto query over an indexed
+  // table must also go through the dispatch — the pipelined shortcut
+  // would silently skip the index path and the constraint.
   const bool pipelined_sfs =
       algorithm_ != SkylineAlgorithm::kBnl &&
+      algorithm_ != SkylineAlgorithm::kBbs &&
       !(algorithm_ == SkylineAlgorithm::kAuto &&
         SkylineAutoUsesSpecialScan(spec_)) &&
+      !(algorithm_ == SkylineAlgorithm::kAuto && BbsCandidate(*input, spec_)) &&
+      constraint_.empty() &&
       (ctx.ResolveThreads(sfs_options_.threads) <= 1 ||
        !sfs_options_.residue_path.empty());
   if (!pipelined_sfs) {
@@ -66,9 +89,10 @@ Status SkylineOperator::Open() {
     SkylineComputeOptions compute_options;
     compute_options.sfs = sfs_options_;
     compute_options.bnl = bnl_options_;
+    compute_options.constraint = constraint_;
     SKYLINE_ASSIGN_OR_RETURN(
-        Table result, ComputeSkyline(algorithm_, *input_table_, spec_, ctx,
-                                     out, &stats_, compute_options));
+        Table result, ComputeSkyline(algorithm_, *input, spec_, ctx, out,
+                                     &stats_, compute_options));
     materialized_.emplace(std::move(result));
     materialized_reader_ = materialized_->NewReader(nullptr);
     return Status::OK();
@@ -76,7 +100,7 @@ Status SkylineOperator::Open() {
 
   // Sequential SFS: presort now (blocking), then stream the filter so rows
   // pipeline out as they are confirmed.
-  std::string sorted_path = input_table_->path();
+  std::string sorted_path = input->path();
   if (sfs_options_.presort != Presort::kNone) {
     std::unique_ptr<RowOrdering> owned;
     const RowOrdering* ordering = sfs_options_.custom_ordering;
@@ -84,7 +108,7 @@ Status SkylineOperator::Open() {
       owned = MakeNestedSkylineOrdering(spec_);
       ordering = owned.get();
     } else if (sfs_options_.presort == Presort::kEntropy) {
-      owned = std::make_unique<EntropyOrdering>(&spec_, *input_table_);
+      owned = std::make_unique<EntropyOrdering>(&spec_, *input);
       ordering = owned.get();
     } else if (ordering == nullptr) {
       return Status::InvalidArgument(
@@ -101,7 +125,7 @@ Status SkylineOperator::Open() {
     TraceSpan presort_span(ctx.trace, "presort");
     SKYLINE_ASSIGN_OR_RETURN(
         sorted_path,
-        SortHeapFile(env_, &temp_files_, input_table_->path(),
+        SortHeapFile(env_, &temp_files_, input->path(),
                      spec_.schema().row_width(), *ordering, sort_options, ctx,
                      &stats_.sort_stats));
     presort_span.End();

@@ -10,6 +10,7 @@
 #include "core/bnl.h"
 #include "core/sfs.h"
 #include "core/skyline_algorithm.h"
+#include "core/skyline_constraint.h"
 #include "core/skyline_spec.h"
 #include "exec/operator.h"
 #include "relation/table.h"
@@ -26,12 +27,16 @@ namespace skyline {
 class SkylineOperator : public Operator {
  public:
   /// Validates `criteria` against the child's schema. `env` must outlive
-  /// the operator; temp files live under `temp_prefix`.
+  /// the operator; temp files live under `temp_prefix`. A non-empty
+  /// `constraint` computes the constrained skyline (skyline of the rows
+  /// inside the box) — pushed down natively into BBS's index probe, or
+  /// applied by pre-filtering for the scan algorithms.
   static Result<std::unique_ptr<SkylineOperator>> Make(
       std::unique_ptr<Operator> child, Env* env, std::string temp_prefix,
       std::vector<Criterion> criteria,
       SkylineAlgorithm algorithm = SkylineAlgorithm::kSfs,
-      SfsOptions sfs_options = SfsOptions{}, BnlOptions bnl_options = {});
+      SfsOptions sfs_options = SfsOptions{}, BnlOptions bnl_options = {},
+      SkylineConstraint constraint = {});
 
   /// Attaches an execution context (must outlive the operator; set before
   /// Open). Supplies the thread override, telemetry sinks, and
@@ -46,10 +51,14 @@ class SkylineOperator : public Operator {
   }
 
   std::string PlanNodeLabel() const override {
-    const char* name = algorithm_ == SkylineAlgorithm::kBnl   ? "BNL"
+    const char* name = algorithm_ == SkylineAlgorithm::kBnl    ? "BNL"
                        : algorithm_ == SkylineAlgorithm::kAuto ? "auto"
-                                                                : "SFS";
-    return "Skyline[" + std::string(name) + "] " + spec_.ToString();
+                       : algorithm_ == SkylineAlgorithm::kBbs  ? "BBS"
+                                                               : "SFS";
+    std::string label = "Skyline[" + std::string(name) + "] " +
+                        spec_.ToString();
+    if (!constraint_.empty()) label += " constrained";
+    return label;
   }
   const Operator* PlanChild() const override { return child_.get(); }
 
@@ -61,7 +70,7 @@ class SkylineOperator : public Operator {
   SkylineOperator(std::unique_ptr<Operator> child, Env* env,
                   std::string temp_prefix, SkylineSpec spec,
                   SkylineAlgorithm algorithm, SfsOptions sfs_options,
-                  BnlOptions bnl_options);
+                  BnlOptions bnl_options, SkylineConstraint constraint);
 
   std::unique_ptr<Operator> child_;
   Env* env_;
@@ -70,9 +79,13 @@ class SkylineOperator : public Operator {
   SkylineAlgorithm algorithm_;
   SfsOptions sfs_options_;
   BnlOptions bnl_options_;
+  SkylineConstraint constraint_;
   const ExecContext* exec_ = nullptr;
   SkylineRunStats stats_;
 
+  /// Staged child output — only when the child is not a pure table scan
+  /// (a scan's base table is used directly, keeping its sidecars
+  /// reachable for the index path).
   std::optional<Table> input_table_;
   std::unique_ptr<SfsIterator> sfs_;
   /// Result table + reader for the materialized paths (BNL, the

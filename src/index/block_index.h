@@ -1,0 +1,103 @@
+#ifndef SKYLINE_INDEX_BLOCK_INDEX_H_
+#define SKYLINE_INDEX_BLOCK_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "env/env.h"
+
+namespace skyline {
+
+/// Persistent, bulk-loaded z-order block index over a table's per-block
+/// zone maps. The leaves are the existing 64-row column-file blocks; the
+/// bulk load sorts them by the Morton code of their quantized zone
+/// centers (numeric columns only — dictionary codes carry no spatial
+/// meaning) and packs fixed-fanout interior nodes bottom-up. Every node,
+/// leaf group or interior, stores the per-column aggregate [zmin, zmax]
+/// corner of its subtree in the canonical ascending key space, so a
+/// branch-and-bound scan can (a) lower-bound the best row a subtree could
+/// contain and (b) discard the subtree with one dominance test against
+/// the skyline found so far. The index is spec-independent: corners cover
+/// *all* schema columns and a skyline spec applies its MIN/MAX flips at
+/// query time, exactly like the zone maps themselves.
+///
+/// On-disk sidecar layout (little-endian, versioned, checksummed), at
+/// BlockIndexPathFor(table_path) = table_path + ".zidx":
+///   magic   "SKYZIDX1"
+///   u32     version (1)
+///   u32     block_rows
+///   u64     row_count
+///   u32     num_columns
+///   u32     fanout
+///   u32     leaf_count
+///   u32     num_levels
+///   leaf_blocks, leaf_count u32 block ids in z-order
+///   per level: u32 node_count,
+///              node_count*num_columns i64 zmin corners,
+///              node_count*num_columns i64 zmax corners
+///   u64     FNV-1a checksum of everything above
+struct BlockSkylineIndex {
+  static constexpr uint32_t kDefaultFanout = 16;
+
+  /// One packed level of interior nodes. Node n of level L covers child
+  /// slots [n*fanout, (n+1)*fanout) of the level below (level 0 covers
+  /// leaf_blocks slots). Corners are stored SoA-by-node: the [zmin, zmax]
+  /// of node n, column c sit at index n * num_columns + c.
+  struct Level {
+    std::vector<int64_t> zmin, zmax;
+  };
+
+  uint32_t block_rows = 0;
+  uint64_t row_count = 0;
+  uint32_t num_columns = 0;
+  uint32_t fanout = kDefaultFanout;
+  /// Block ids (row range [id*block_rows, ...)) in z-order.
+  std::vector<uint32_t> leaf_blocks;
+  /// levels[0] groups leaves; levels.back() is the root level (at most
+  /// `fanout` nodes, enumerated directly as scan roots). Empty for an
+  /// empty table.
+  std::vector<Level> levels;
+
+  size_t leaf_count() const { return leaf_blocks.size(); }
+  size_t LevelNodeCount(size_t level) const {
+    return num_columns == 0 ? 0 : levels[level].zmin.size() / num_columns;
+  }
+  /// Number of child slots of node `node` at `level` that actually exist
+  /// (the last node of each level may be partially filled).
+  size_t ChildCount(size_t level, size_t node) const;
+};
+
+/// Zone-map view of one column for the bulk load; `numeric` is false for
+/// dictionary-coded columns, which are excluded from the Morton key (codes
+/// order lexicographically but adjacent codes are not spatially adjacent).
+struct BlockIndexColumnZones {
+  const std::vector<int64_t>* zmin = nullptr;
+  const std::vector<int64_t>* zmax = nullptr;
+  bool numeric = true;
+};
+
+/// Bulk-loads the index from per-block zone maps (one entry per column,
+/// each vector holding ceil(row_count / block_rows) corners).
+Result<BlockSkylineIndex> BuildBlockIndex(
+    uint32_t block_rows, uint64_t row_count,
+    const std::vector<BlockIndexColumnZones>& columns,
+    uint32_t fanout = BlockSkylineIndex::kDefaultFanout);
+
+/// Path of the index sidecar for a heap file at `table_path`.
+std::string BlockIndexPathFor(const std::string& table_path);
+
+/// Serializes `index` to `path` (see layout above).
+Status WriteBlockIndexFile(Env* env, const std::string& path,
+                           const BlockSkylineIndex& index);
+
+/// Reads and validates an index sidecar: magic, version, checksum, level
+/// shape (each level must pack the one below at `fanout`), and that
+/// leaf_blocks is a permutation of [0, leaf_count).
+Result<BlockSkylineIndex> ReadBlockIndexFile(Env* env,
+                                             const std::string& path);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_INDEX_BLOCK_INDEX_H_

@@ -50,12 +50,43 @@ ColumnFileKind KindFor(ColumnType type) {
   return ColumnFileKind::kKeyInt32;
 }
 
+/// Size of a sidecar file, 0 when absent — a cheap content stamp that
+/// changes whenever the sidecar is written or removed.
+uint64_t SidecarStamp(Env* env, const std::string& path) {
+  if (!env->FileExists(path)) return 0;
+  auto size = env->FileSize(path);
+  return size.ok() ? *size : 0;
+}
+
 std::string CacheKey(const Table& table) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%p|%llu|",
-                static_cast<const void*>(table.env()),
-                static_cast<unsigned long long>(table.row_count()));
+  char buf[128];
+  std::snprintf(
+      buf, sizeof(buf), "%p|%llu|c%llu|i%llu|",
+      static_cast<const void*>(table.env()),
+      static_cast<unsigned long long>(table.row_count()),
+      static_cast<unsigned long long>(
+          SidecarStamp(table.env(), ColumnFilePathFor(table.path()))),
+      static_cast<unsigned long long>(
+          SidecarStamp(table.env(), BlockIndexPathFor(table.path()))));
   return std::string(buf) + table.path();
+}
+
+/// Loads and validates the index sidecar against `zones`; null when the
+/// sidecar is absent, corrupt, or shaped for a different table version —
+/// the caller then simply runs without an index.
+std::shared_ptr<const BlockSkylineIndex> TryLoadBlockIndex(
+    const Table& table, const TableColumnZones& zones) {
+  const std::string path = BlockIndexPathFor(table.path());
+  if (!table.env()->FileExists(path)) return nullptr;
+  auto loaded = ReadBlockIndexFile(table.env(), path);
+  if (!loaded.ok()) return nullptr;
+  auto index = std::make_shared<BlockSkylineIndex>(std::move(loaded).value());
+  if (index->block_rows != zones.block_rows ||
+      index->row_count != zones.row_count ||
+      index->num_columns != zones.columns.size()) {
+    return nullptr;
+  }
+  return index;
 }
 
 /// Scans the table once, producing canonical keys per column. When
@@ -166,6 +197,96 @@ Status WriteTableColumnFile(const Table& table) {
                          std::move(contents));
 }
 
+Status WriteTableBlockIndex(const Table& table) {
+  std::shared_ptr<const TableColumnZones> zones;
+  if (table.env()->FileExists(ColumnFilePathFor(table.path()))) {
+    auto loaded = LoadTableColumnZones(table);
+    if (loaded.ok()) zones = std::move(loaded).value();
+  }
+  if (zones == nullptr) {
+    SKYLINE_ASSIGN_OR_RETURN(zones, BuildTableColumnZones(table));
+  }
+  const Schema& schema = table.schema();
+  std::vector<BlockIndexColumnZones> columns(zones->columns.size());
+  for (size_t c = 0; c < zones->columns.size(); ++c) {
+    columns[c].zmin = &zones->columns[c].zmin;
+    columns[c].zmax = &zones->columns[c].zmax;
+    columns[c].numeric = schema.column(c).type != ColumnType::kFixedString;
+  }
+  SKYLINE_ASSIGN_OR_RETURN(
+      BlockSkylineIndex index,
+      BuildBlockIndex(zones->block_rows, zones->row_count, columns));
+  return WriteBlockIndexFile(table.env(), BlockIndexPathFor(table.path()),
+                             index);
+}
+
+Result<Table> ClusterTableZOrder(const Table& input,
+                                 const std::string& output_path) {
+  const Schema& schema = input.schema();
+  const size_t width = schema.row_width();
+  std::vector<char> rows;
+  SKYLINE_RETURN_IF_ERROR(input.ReadAllRows(&rows));
+  const size_t n = static_cast<size_t>(input.row_count());
+
+  // Numeric columns only — string payloads carry no spatial meaning and
+  // dictionary codes are assigned in discovery order.
+  std::vector<size_t> zcols;
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.column(c).type != ColumnType::kFixedString) zcols.push_back(c);
+  }
+
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  if (!zcols.empty() && n > 0) {
+    // Same Morton geometry as the index bulk load: per-column quantization
+    // into the global key range, MSB-first round-robin interleave.
+    const uint32_t bits = static_cast<uint32_t>(
+        std::min<size_t>(16, std::max<size_t>(1, 64 / zcols.size())));
+    const uint64_t maxq = (1ULL << bits) - 1;
+    std::vector<std::vector<int64_t>> keys(zcols.size());
+    std::vector<int64_t> gmin(zcols.size()), gmax(zcols.size());
+    for (size_t i = 0; i < zcols.size(); ++i) {
+      const size_t c = zcols[i];
+      const ColumnType type = schema.column(c).type;
+      const size_t offset = schema.offset(c);
+      keys[i].resize(n);
+      for (size_t r = 0; r < n; ++r) {
+        keys[i][r] = CanonicalKey(type, rows.data() + r * width + offset);
+      }
+      gmin[i] = *std::min_element(keys[i].begin(), keys[i].end());
+      gmax[i] = *std::max_element(keys[i].begin(), keys[i].end());
+    }
+    std::vector<uint64_t> code(n, 0);
+    for (size_t r = 0; r < n; ++r) {
+      uint64_t m = 0;
+      for (uint32_t bit = bits; bit-- > 0;) {
+        for (size_t i = 0; i < zcols.size(); ++i) {
+          uint64_t q = 0;
+          if (gmax[i] > gmin[i]) {
+            const __int128 off =
+                static_cast<__int128>(keys[i][r]) - gmin[i];
+            const __int128 range =
+                static_cast<__int128>(gmax[i]) - gmin[i];
+            q = static_cast<uint64_t>((off * maxq) / range);
+          }
+          m = (m << 1) | ((q >> bit) & 1);
+        }
+      }
+      code[r] = m;
+    }
+    std::sort(order.begin(), order.end(), [&code](size_t a, size_t b) {
+      return code[a] != code[b] ? code[a] < code[b] : a < b;
+    });
+  }
+
+  TableBuilder builder(input.env(), output_path, schema);
+  SKYLINE_RETURN_IF_ERROR(builder.Open());
+  for (size_t i : order) {
+    SKYLINE_RETURN_IF_ERROR(builder.AppendRaw(rows.data() + i * width));
+  }
+  return builder.Finish();
+}
+
 Result<std::shared_ptr<const TableColumnZones>> LoadTableColumnZones(
     const Table& table) {
   const std::string path = ColumnFilePathFor(table.path());
@@ -233,6 +354,13 @@ Result<std::shared_ptr<const TableColumnZones>> TableZoneCache::GetOrLoad(
   }
   if (zones == nullptr) {
     SKYLINE_ASSIGN_OR_RETURN(zones, BuildTableColumnZones(table));
+  }
+  if (auto index = TryLoadBlockIndex(table, *zones)) {
+    // Zones are shared immutable once cached; attach the index to a copy
+    // (vectors only — dictionaries are shared) rather than mutating.
+    auto with_index = std::make_shared<TableColumnZones>(*zones);
+    with_index->block_index = std::move(index);
+    zones = std::move(with_index);
   }
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& entry : entries_) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "index/block_index.h"
 #include "relation/dictionary.h"
 #include "relation/table.h"
 #include "storage/column_file.h"
@@ -33,6 +34,11 @@ struct TableColumnZones {
   /// rebuilt from the heap file.
   const char* source = "scan";
   std::vector<Column> columns;  // one per schema column, in schema order
+  /// Z-order block index over these zones, attached when a valid index
+  /// sidecar exists next to the table; null otherwise (BBS degrades to a
+  /// scan-based algorithm). Validated against block_rows / row_count /
+  /// column count at load time.
+  std::shared_ptr<const BlockSkylineIndex> block_index;
 };
 
 /// Path of the columnar sidecar for a heap file at `table_path`.
@@ -51,10 +57,30 @@ Status WriteTableColumnFile(const Table& table);
 Result<std::shared_ptr<const TableColumnZones>> LoadTableColumnZones(
     const Table& table);
 
+/// Bulk-loads the z-order block index from the table's zone maps
+/// (persisted column file preferred, else one scan) and persists it to
+/// BlockIndexPathFor(table.path()) in the table's Env.
+Status WriteTableBlockIndex(const Table& table);
+
+/// Rewrites `input`'s rows at `output_path` in z-order (Morton) of their
+/// numeric columns' canonical keys. Clustering is what gives the block
+/// index its pruning power: 64-row blocks of a z-ordered file are tight
+/// cells in key space, so their zone corners are dominated (and the blocks
+/// skipped) as soon as any better cell contributes a skyline point — over
+/// a randomly ordered file every block's corner compounds 64 unrelated
+/// rows and approaches the global maximum. The result is a row-multiset-
+/// identical table; build the column file and index sidecars against the
+/// clustered table, not the original. In-memory: intended for table load /
+/// maintenance time, alongside the sidecar writes.
+Result<Table> ClusterTableZOrder(const Table& input,
+                                 const std::string& output_path);
+
 /// Process-wide cache of TableColumnZones keyed by table identity
-/// (env instance, heap-file path, row count — the row count stands in for
-/// a version: tables are immutable once built, and a rebuilt table with
-/// the same path virtually always changes its size). Repeated queries on
+/// (env instance, heap-file path, row count, and the sizes of the column
+/// and index sidecars — the row count stands in for a version: tables are
+/// immutable once built, and a rebuilt table with the same path virtually
+/// always changes its size; the sidecar sizes ensure a table whose column
+/// file or index is (re)written never serves stale zones). Repeated queries on
 /// one table — the sql_shell session pattern — reuse the zones instead of
 /// rescanning; when a persisted column file exists it is preferred over a
 /// scan on first load. Thread-safe; holds at most a handful of tables

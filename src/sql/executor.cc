@@ -1,8 +1,12 @@
 #include "sql/executor.h"
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
+#include "common/order_key.h"
 #include "sql/parser.h"
 
 namespace skyline {
@@ -68,6 +72,121 @@ Result<BoundPredicate> BindPredicate(const Schema& schema,
   return bound;
 }
 
+// -2^63 and 2^63 are exactly representable as doubles; int64 max is not,
+// so range checks compare against 2^63 and exclude it.
+constexpr double kInt64LoD = -9223372036854775808.0;
+constexpr double kInt64HiD = 9223372036854775808.0;
+
+/// Tries to express one numeric `column <op> literal` predicate as an
+/// interval in the column's canonical key space, tightening [*lo, *hi]
+/// (caller initializes to the full range). Returns false when the
+/// predicate is not exactly representable as a key interval (kNe, string
+/// comparisons, NaN literals) and must stay a residual row filter.
+///
+/// A predicate that excludes every column value tightens the interval to
+/// an empty box (lo > hi) — the constrained skyline is then empty, which
+/// is exactly the predicate's meaning. A tautological predicate (e.g.
+/// `int_col <= 1e30`) is consumed without tightening anything.
+///
+/// Float bounds normalize ±0.0 (distinct total-order keys, equal SQL
+/// values) so the interval matches double comparison semantics. NaN
+/// *data* values sit beyond the infinities in key space and would not
+/// compare the same way, but NaN literals are never pushed and the
+/// generators produce no NaN data.
+bool TryPushPredicate(ColumnType type, CompareOp op, double v, int64_t* lo,
+                      int64_t* hi) {
+  if (std::isnan(v)) return false;
+  if (op == CompareOp::kNe) return false;
+
+  const auto make_empty = [lo, hi]() {
+    *lo = std::numeric_limits<int64_t>::max();
+    *hi = std::numeric_limits<int64_t>::min();
+    return true;
+  };
+
+  if (type == ColumnType::kFloat64) {
+    const bool zero = v == 0.0;
+    switch (op) {
+      case CompareOp::kGe:
+        *lo = std::max(*lo, Float64TotalOrderKey(zero ? -0.0 : v));
+        return true;
+      case CompareOp::kGt: {
+        const int64_t k = Float64TotalOrderKey(zero ? 0.0 : v);
+        if (k == std::numeric_limits<int64_t>::max()) return make_empty();
+        *lo = std::max(*lo, k + 1);
+        return true;
+      }
+      case CompareOp::kLe:
+        *hi = std::min(*hi, Float64TotalOrderKey(zero ? 0.0 : v));
+        return true;
+      case CompareOp::kLt: {
+        const int64_t k = Float64TotalOrderKey(zero ? -0.0 : v);
+        if (k == std::numeric_limits<int64_t>::min()) return make_empty();
+        *hi = std::min(*hi, k - 1);
+        return true;
+      }
+      case CompareOp::kEq:
+        *lo = std::max(*lo, Float64TotalOrderKey(zero ? -0.0 : v));
+        *hi = std::min(*hi, Float64TotalOrderKey(zero ? 0.0 : v));
+        return true;
+      case CompareOp::kNe:
+        return false;
+    }
+    return false;
+  }
+
+  // Integer columns: reduce every op to inclusive integer endpoints,
+  // staying in the exactly-representable double range before casting.
+  const int64_t col_min = type == ColumnType::kInt32
+                              ? std::numeric_limits<int32_t>::min()
+                              : std::numeric_limits<int64_t>::min();
+  const int64_t col_max = type == ColumnType::kInt32
+                              ? std::numeric_limits<int32_t>::max()
+                              : std::numeric_limits<int64_t>::max();
+  const bool integral = v == std::floor(v);
+  switch (op) {
+    case CompareOp::kLe:
+    case CompareOp::kLt: {
+      const double f = std::floor(v);
+      if (f >= kInt64HiD) return true;  // satisfied by every int64
+      if (f < kInt64LoD) return make_empty();
+      int64_t bound = static_cast<int64_t>(f);
+      if (op == CompareOp::kLt && integral) {
+        if (bound == std::numeric_limits<int64_t>::min()) return make_empty();
+        --bound;
+      }
+      if (bound < col_min) return make_empty();
+      if (bound < col_max) *hi = std::min(*hi, bound);
+      return true;
+    }
+    case CompareOp::kGe:
+    case CompareOp::kGt: {
+      const double c = std::ceil(v);
+      if (c < kInt64LoD) return true;  // satisfied by every int64
+      if (c >= kInt64HiD) return make_empty();
+      int64_t bound = static_cast<int64_t>(c);
+      if (op == CompareOp::kGt && integral) {
+        if (bound == std::numeric_limits<int64_t>::max()) return make_empty();
+        ++bound;
+      }
+      if (bound > col_max) return make_empty();
+      if (bound > col_min) *lo = std::max(*lo, bound);
+      return true;
+    }
+    case CompareOp::kEq: {
+      if (!integral || v < kInt64LoD || v >= kInt64HiD) return make_empty();
+      const int64_t value = static_cast<int64_t>(v);
+      if (value < col_min || value > col_max) return make_empty();
+      *lo = std::max(*lo, value);
+      *hi = std::min(*hi, value);
+      return true;
+    }
+    case CompareOp::kNe:
+      return false;
+  }
+  return false;
+}
+
 }  // namespace
 
 namespace {
@@ -120,11 +239,50 @@ Result<std::unique_ptr<Query>> BuildQueryFromStatement(
                                                        std::move(keys));
   }
 
+  // With a SKYLINE OF clause, push range predicates down into the skyline
+  // operator as a constrained-skyline box: WHERE-before-SKYLINE semantics
+  // *are* the constrained skyline, BBS probes the box against index node
+  // corners (pruning subtrees without reading them), and when every
+  // predicate pushes the operator sees a bare table scan and can use the
+  // base table's sidecars directly. Predicates that aren't exact key
+  // intervals (kNe, strings, NaN literals) stay behind as a row filter.
+  SkylineConstraint constraint;
+  std::vector<BoundPredicate> residual;
+  if (statement.skyline.empty()) {
+    residual = std::move(predicates);
+  } else {
+    std::vector<int64_t> lo(schema.num_columns(),
+                            std::numeric_limits<int64_t>::min());
+    std::vector<int64_t> hi(schema.num_columns(),
+                            std::numeric_limits<int64_t>::max());
+    std::vector<bool> touched(schema.num_columns(), false);
+    for (auto& predicate : predicates) {
+      const bool pushed =
+          !predicate.is_string &&
+          TryPushPredicate(schema.column(predicate.column).type, predicate.op,
+                           predicate.number, &lo[predicate.column],
+                           &hi[predicate.column]);
+      if (pushed) {
+        touched[predicate.column] = true;
+      } else {
+        residual.push_back(std::move(predicate));
+      }
+    }
+    for (size_t c = 0; c < schema.num_columns(); ++c) {
+      // Tautological intervals are dropped (their predicates are still
+      // consumed); everything else — including empty boxes — constrains.
+      if (touched[c] && (lo[c] != std::numeric_limits<int64_t>::min() ||
+                         hi[c] != std::numeric_limits<int64_t>::max())) {
+        constraint.bounds.push_back({c, lo[c], hi[c]});
+      }
+    }
+  }
+
   auto query = std::make_unique<Query>(catalog.env(), table,
                                        options.temp_prefix);
-  if (!predicates.empty()) {
-    query->Where([predicates](const RowView& row) {
-      for (const auto& predicate : predicates) {
+  if (!residual.empty()) {
+    query->Where([residual](const RowView& row) {
+      for (const auto& predicate : residual) {
         if (!predicate.Eval(row)) return false;
       }
       return true;
@@ -133,7 +291,8 @@ Result<std::unique_ptr<Query>> BuildQueryFromStatement(
   if (!statement.skyline.empty()) {
     // The legacy SqlOptions::threads override reaches the operators through
     // the execution context (see ResolveSqlContext), not by mutating sfs.
-    query->SkylineOf(statement.skyline, options.algorithm, options.sfs);
+    query->SkylineOf(statement.skyline, options.algorithm, options.sfs,
+                     BnlOptions{}, std::move(constraint));
   }
   if (order_by != nullptr) {
     // Before projection, so ORDER BY may reference non-selected columns;

@@ -1,0 +1,342 @@
+#include "core/bbs.h"
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "core/compute_skyline.h"
+#include "core/cost_model.h"
+#include "core/dominance_batch.h"
+#include "gtest/gtest.h"
+#include "index/block_index.h"
+#include "relation/column_store.h"
+#include "relation/generator.h"
+#include "sql/executor.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::OracleSkylineMultiset;
+using testing_util::ReadAll;
+using testing_util::RowMultiset;
+
+/// Generates a table, persists both sidecars (column file + z-order
+/// index), and registers it in the catalog.
+Result<Table> MakeIndexedTable(Env* env, const std::string& path,
+                               GeneratorOptions options) {
+  SKYLINE_ASSIGN_OR_RETURN(Table table, GenerateTable(env, path, options));
+  SKYLINE_RETURN_IF_ERROR(WriteTableColumnFile(table));
+  SKYLINE_RETURN_IF_ERROR(WriteTableBlockIndex(table));
+  return table;
+}
+
+/// Runs `sql` with the given algorithm and returns the raw output rows in
+/// emission order — byte-exact, so equality means byte-identical output.
+std::vector<std::string> RunRows(const Catalog& catalog, const std::string& sql,
+                                 SkylineAlgorithm algorithm) {
+  SqlOptions options;
+  options.algorithm = algorithm;
+  std::vector<std::string> rows;
+  Status st = ExecuteSql(catalog, sql, options, [&](const RowView& row) {
+    rows.emplace_back(row.data(), row.schema().row_width());
+    return Status::OK();
+  });
+  SKYLINE_CHECK(st.ok()) << st.ToString();
+  return rows;
+}
+
+class BbsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    env_ = NewMemEnv();
+    TableZoneCache::Instance().Clear();
+  }
+  void TearDown() override { TableZoneCache::Instance().Clear(); }
+
+  std::unique_ptr<Env> env_;
+};
+
+constexpr char kFiveDimSkyline[] =
+    "SKYLINE OF a0 MAX, a1 MIN, a2 MAX, a3 MIN, a4 MAX";
+
+TEST_F(BbsTest, SqlOutputByteIdenticalToSfsAcrossDistributions) {
+  const struct {
+    Distribution distribution;
+    const char* name;
+  } kCases[] = {
+      {Distribution::kIndependent, "ind"},
+      {Distribution::kCorrelated, "cor"},
+      {Distribution::kAntiCorrelated, "anti"},
+  };
+  for (const auto& c : kCases) {
+    GeneratorOptions options;
+    options.num_rows = 3000;
+    options.num_attributes = 5;
+    options.distribution = c.distribution;
+    options.seed = 101;
+    ASSERT_OK_AND_ASSIGN(
+        Table table,
+        MakeIndexedTable(env_.get(), std::string("t_") + c.name, options));
+    Catalog catalog(env_.get());
+    catalog.Register("T", &table);
+
+    const std::string sql = std::string("SELECT * FROM T ") + kFiveDimSkyline;
+    const auto sfs = RunRows(catalog, sql, SkylineAlgorithm::kSfs);
+    const auto bbs = RunRows(catalog, sql, SkylineAlgorithm::kBbs);
+    EXPECT_EQ(bbs, sfs) << c.name;
+    EXPECT_FALSE(bbs.empty()) << c.name;
+    TableZoneCache::Instance().Clear();
+  }
+}
+
+TEST_F(BbsTest, MixedTypeSpecMatchesSfs) {
+  GeneratorOptions options;
+  options.num_rows = 2000;
+  options.num_attributes = 5;
+  options.attribute_types = {ColumnType::kInt64, ColumnType::kFloat64,
+                             ColumnType::kInt32, ColumnType::kFloat64,
+                             ColumnType::kInt32};
+  options.seed = 77;
+  ASSERT_OK_AND_ASSIGN(Table table,
+                       MakeIndexedTable(env_.get(), "mixed", options));
+  Catalog catalog(env_.get());
+  catalog.Register("T", &table);
+
+  const std::string sql = std::string("SELECT * FROM T ") + kFiveDimSkyline;
+  EXPECT_EQ(RunRows(catalog, sql, SkylineAlgorithm::kBbs),
+            RunRows(catalog, sql, SkylineAlgorithm::kSfs));
+}
+
+TEST_F(BbsTest, FallsBackWhenColumnarKernelUnavailable) {
+  GeneratorOptions options;
+  options.num_rows = 1500;
+  options.num_attributes = 4;
+  options.seed = 5;
+  ASSERT_OK_AND_ASSIGN(Table table,
+                       MakeIndexedTable(env_.get(), "rowpath", options));
+  Catalog catalog(env_.get());
+  catalog.Register("T", &table);
+  const std::string sql =
+      "SELECT * FROM T SKYLINE OF a0 MAX, a1 MIN, a2 MAX, a3 MIN";
+
+  const auto expected = RunRows(catalog, sql, SkylineAlgorithm::kSfs);
+  SetForceRowDominancePath(true);
+  const auto forced = RunRows(catalog, sql, SkylineAlgorithm::kBbs);
+  SetForceRowDominancePath(false);
+  EXPECT_EQ(forced, expected);
+}
+
+TEST_F(BbsTest, DiffSpecDegradesToSfs) {
+  GeneratorOptions options;
+  options.num_rows = 1500;
+  options.num_attributes = 3;
+  options.payload_cardinality = 4;  // duplicates make payload DIFF-able
+  options.seed = 9;
+  ASSERT_OK_AND_ASSIGN(Table table,
+                       MakeIndexedTable(env_.get(), "diffed", options));
+  Catalog catalog(env_.get());
+  catalog.Register("T", &table);
+  const std::string sql =
+      "SELECT * FROM T SKYLINE OF a0 MAX, a1 MIN, payload DIFF";
+  EXPECT_EQ(RunRows(catalog, sql, SkylineAlgorithm::kBbs),
+            RunRows(catalog, sql, SkylineAlgorithm::kSfs));
+}
+
+TEST_F(BbsTest, ConstrainedSkylineMatchesSfsAndOracle) {
+  GeneratorOptions options;
+  options.num_rows = 4000;
+  options.num_attributes = 4;
+  options.seed = 23;
+  ASSERT_OK_AND_ASSIGN(Table table,
+                       MakeIndexedTable(env_.get(), "boxed", options));
+  Catalog catalog(env_.get());
+  catalog.Register("T", &table);
+
+  const std::string where = "WHERE a0 >= -500000000 AND a1 < 1200000000 ";
+  const std::string sql = "SELECT * FROM T " + where +
+                          "SKYLINE OF a0 MAX, a1 MIN, a2 MAX, a3 MIN";
+  const auto sfs = RunRows(catalog, sql, SkylineAlgorithm::kSfs);
+  const auto bbs = RunRows(catalog, sql, SkylineAlgorithm::kBbs);
+  EXPECT_EQ(bbs, sfs);
+  ASSERT_FALSE(bbs.empty());
+
+  // Independent oracle: materialize the WHERE-only rows (no skyline
+  // clause → the predicates run as a plain row filter, no pushdown) and
+  // take their naive skyline.
+  const auto filtered =
+      RunRows(catalog, "SELECT * FROM T " + where, SkylineAlgorithm::kSfs);
+  TableBuilder builder(env_.get(), "boxed_filtered", table.schema());
+  ASSERT_OK(builder.Open());
+  for (const auto& row : filtered) ASSERT_OK(builder.AppendRaw(row.data()));
+  ASSERT_OK_AND_ASSIGN(Table filtered_table, builder.Finish());
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table.schema(), {{"a0", Directive::kMax},
+                                         {"a1", Directive::kMin},
+                                         {"a2", Directive::kMax},
+                                         {"a3", Directive::kMin}}));
+  const auto oracle = OracleSkylineMultiset(filtered_table, spec);
+  std::multiset<std::string> got(bbs.begin(), bbs.end());
+  EXPECT_EQ(got, oracle);
+}
+
+TEST_F(BbsTest, EmptyConstraintBoxYieldsNoRows) {
+  GeneratorOptions options;
+  options.num_rows = 500;
+  options.num_attributes = 3;
+  options.seed = 3;
+  ASSERT_OK_AND_ASSIGN(Table table,
+                       MakeIndexedTable(env_.get(), "emptybox", options));
+  Catalog catalog(env_.get());
+  catalog.Register("T", &table);
+  // No int32 satisfies a0 < -3e9: the pushed box is empty.
+  const std::string sql = "SELECT * FROM T WHERE a0 < -3000000000 "
+                          "SKYLINE OF a0 MAX, a1 MIN, a2 MAX";
+  EXPECT_TRUE(RunRows(catalog, sql, SkylineAlgorithm::kBbs).empty());
+  EXPECT_TRUE(RunRows(catalog, sql, SkylineAlgorithm::kSfs).empty());
+}
+
+TEST_F(BbsTest, CorruptIndexSidecarDegradesToScan) {
+  GeneratorOptions options;
+  options.num_rows = 2000;
+  options.num_attributes = 4;
+  options.seed = 13;
+  ASSERT_OK_AND_ASSIGN(Table table,
+                       MakeIndexedTable(env_.get(), "corrupt", options));
+  Catalog catalog(env_.get());
+  catalog.Register("T", &table);
+  const std::string sql =
+      "SELECT * FROM T SKYLINE OF a0 MAX, a1 MIN, a2 MAX, a3 MIN";
+  const auto expected = RunRows(catalog, sql, SkylineAlgorithm::kSfs);
+
+  // Truncate the sidecar to garbage; kBbs must degrade to the scan path
+  // (the size stamp in the cache key also invalidates any cached zones).
+  const std::string index_path = BlockIndexPathFor(table.path());
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env_->NewWritableFile(index_path, &file).ok());
+  ASSERT_TRUE(file->Append("SKYZIDX1 not really", 19).ok());
+  ASSERT_TRUE(file->Close().ok());
+
+  EXPECT_EQ(RunRows(catalog, sql, SkylineAlgorithm::kBbs), expected);
+}
+
+TEST_F(BbsTest, ZOrderClusteringPreservesRowsAndOutput) {
+  GeneratorOptions options;
+  options.num_rows = 3000;
+  options.num_attributes = 4;
+  options.seed = 31;
+  ASSERT_OK_AND_ASSIGN(Table raw,
+                       GenerateTable(env_.get(), "precluster", options));
+  ASSERT_OK_AND_ASSIGN(Table table,
+                       ClusterTableZOrder(raw, "clustered"));
+  // Clustering is a permutation: same multiset of rows.
+  const auto raw_bytes = ReadAll(raw);
+  const auto clustered_bytes = ReadAll(table);
+  EXPECT_EQ(RowMultiset(clustered_bytes.data(), table.row_count(),
+                        table.schema().row_width()),
+            RowMultiset(raw_bytes.data(), raw.row_count(),
+                        raw.schema().row_width()));
+
+  // And the clustered table serves BBS byte-identically to SFS.
+  ASSERT_OK(WriteTableColumnFile(table));
+  ASSERT_OK(WriteTableBlockIndex(table));
+  Catalog catalog(env_.get());
+  catalog.Register("T", &table);
+  const std::string sql =
+      "SELECT * FROM T SKYLINE OF a0 MAX, a1 MIN, a2 MAX, a3 MIN";
+  EXPECT_EQ(RunRows(catalog, sql, SkylineAlgorithm::kBbs),
+            RunRows(catalog, sql, SkylineAlgorithm::kSfs));
+}
+
+TEST_F(BbsTest, CorrelatedMillionRowScanAvoidance) {
+  // The acceptance bar: on 1M x 5d correlated data, BBS over a z-order
+  // clustered table must read at most 10% of the column-file blocks
+  // (>= 90% skipped) and still produce byte-identical output to full-scan
+  // SFS over the same table.
+  GeneratorOptions options;
+  options.num_rows = 1'000'000;
+  options.num_attributes = 5;
+  options.payload_bytes = 0;
+  options.distribution = Distribution::kCorrelated;
+  options.seed = 4242;
+  ASSERT_OK_AND_ASSIGN(Table raw,
+                       GenerateTable(env_.get(), "million_raw", options));
+  ASSERT_OK_AND_ASSIGN(Table table, ClusterTableZOrder(raw, "million"));
+  ASSERT_OK(WriteTableColumnFile(table));
+  ASSERT_OK(WriteTableBlockIndex(table));
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table.schema(), {{"a0", Directive::kMax},
+                                         {"a1", Directive::kMax},
+                                         {"a2", Directive::kMax},
+                                         {"a3", Directive::kMax},
+                                         {"a4", Directive::kMax}}));
+
+  // The cost model must choose BBS here.
+  const SkylineAccessChoice choice = ChooseSkylineAccess(table, spec, true);
+  EXPECT_EQ(choice.path, SkylineAccessPath::kBbs)
+      << "estimated " << choice.estimated_skyline << " vs threshold "
+      << choice.bbs_threshold;
+
+  SkylineRunStats sfs_stats;
+  ASSERT_OK_AND_ASSIGN(
+      Table sfs_result,
+      ComputeSkyline(SkylineAlgorithm::kSfs, table, spec,
+                     DefaultExecContext(), "million_sfs", &sfs_stats));
+  SkylineRunStats bbs_stats;
+  ASSERT_OK_AND_ASSIGN(
+      Table bbs_result,
+      ComputeSkyline(SkylineAlgorithm::kAuto, table, spec,
+                     DefaultExecContext(), "million_bbs", &bbs_stats));
+
+  // kAuto actually took the index path...
+  EXPECT_GT(bbs_stats.index_nodes_visited, 0u);
+  EXPECT_GT(bbs_stats.heap_peak, 0u);
+  // ...read at most 10% of the blocks...
+  const uint64_t total_blocks = (table.row_count() + 63) / 64;
+  EXPECT_GE(bbs_stats.index_blocks_skipped,
+            (total_blocks * 9 + 9) / 10)
+      << "skipped " << bbs_stats.index_blocks_skipped << " of "
+      << total_blocks;
+  // ...and emitted byte-identical output.
+  EXPECT_EQ(ReadAll(bbs_result), ReadAll(sfs_result));
+  EXPECT_EQ(bbs_result.row_count(), sfs_result.row_count());
+}
+
+TEST_F(BbsTest, AntiCorrelatedDataKeepsSfs) {
+  GeneratorOptions options;
+  options.num_rows = 50'000;
+  options.num_attributes = 5;
+  options.payload_bytes = 0;
+  options.distribution = Distribution::kAntiCorrelated;
+  options.seed = 4242;
+  ASSERT_OK_AND_ASSIGN(Table table,
+                       MakeIndexedTable(env_.get(), "anti", options));
+  ASSERT_OK_AND_ASSIGN(
+      SkylineSpec spec,
+      SkylineSpec::Make(table.schema(), {{"a0", Directive::kMax},
+                                         {"a1", Directive::kMax},
+                                         {"a2", Directive::kMax},
+                                         {"a3", Directive::kMax},
+                                         {"a4", Directive::kMax}}));
+  const SkylineAccessChoice choice = ChooseSkylineAccess(table, spec, true);
+  EXPECT_EQ(choice.path, SkylineAccessPath::kSfs)
+      << "estimated " << choice.estimated_skyline << " vs threshold "
+      << choice.bbs_threshold;
+
+  // kAuto consequently runs the scan: no index counters move.
+  SkylineRunStats stats;
+  ASSERT_OK_AND_ASSIGN(
+      Table result, ComputeSkyline(SkylineAlgorithm::kAuto, table, spec,
+                                   DefaultExecContext(), "anti_out", &stats));
+  EXPECT_EQ(stats.index_nodes_visited, 0u);
+  EXPECT_EQ(RowMultiset(ReadAll(result).data(), result.row_count(),
+                        table.schema().row_width()),
+            OracleSkylineMultiset(table, spec));
+}
+
+}  // namespace
+}  // namespace skyline

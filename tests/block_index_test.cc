@@ -1,0 +1,205 @@
+#include "index/block_index.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "relation/column_store.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+using testing_util::MakeUniformTable;
+
+std::string ReadWholeFile(Env* env, const std::string& path) {
+  std::unique_ptr<RandomAccessFile> file;
+  EXPECT_TRUE(env->NewRandomAccessFile(path, &file).ok());
+  std::string bytes(file->Size(), '\0');
+  EXPECT_TRUE(file->Read(0, bytes.size(), bytes.data()).ok());
+  return bytes;
+}
+
+void WriteWholeFile(Env* env, const std::string& path,
+                    const std::string& bytes) {
+  std::unique_ptr<WritableFile> file;
+  ASSERT_TRUE(env->NewWritableFile(path, &file).ok());
+  ASSERT_TRUE(file->Append(bytes.data(), bytes.size()).ok());
+  ASSERT_TRUE(file->Close().ok());
+}
+
+/// Synthetic zone maps: `blocks` blocks over two numeric columns with
+/// easily recognizable corners (block b spans [b*10, b*10+9] on column 0
+/// and descends on column 1).
+struct SyntheticZones {
+  std::vector<int64_t> zmin0, zmax0, zmin1, zmax1;
+  std::vector<BlockIndexColumnZones> views;
+
+  explicit SyntheticZones(size_t blocks) {
+    for (size_t b = 0; b < blocks; ++b) {
+      zmin0.push_back(static_cast<int64_t>(b) * 10);
+      zmax0.push_back(static_cast<int64_t>(b) * 10 + 9);
+      zmin1.push_back(static_cast<int64_t>(blocks - b) * 100);
+      zmax1.push_back(static_cast<int64_t>(blocks - b) * 100 + 50);
+    }
+    views.push_back({&zmin0, &zmax0, true});
+    views.push_back({&zmin1, &zmax1, true});
+  }
+};
+
+TEST(BlockIndex, BuildAggregatesCornersBottomUp) {
+  constexpr size_t kBlocks = 100;
+  SyntheticZones zones(kBlocks);
+  ASSERT_OK_AND_ASSIGN(
+      BlockSkylineIndex index,
+      BuildBlockIndex(64, kBlocks * 64 - 3, zones.views, /*fanout=*/4));
+
+  EXPECT_EQ(index.leaf_count(), kBlocks);
+  ASSERT_FALSE(index.levels.empty());
+  // leaf_blocks is a permutation of every block id.
+  std::vector<uint32_t> sorted = index.leaf_blocks;
+  std::sort(sorted.begin(), sorted.end());
+  for (size_t b = 0; b < kBlocks; ++b) EXPECT_EQ(sorted[b], b);
+
+  // Level 0 nodes cover fanout-sized leaf slots; their corners must be
+  // the exact envelope of the covered blocks' zones.
+  const auto& level0 = index.levels[0];
+  const size_t nodes0 = index.LevelNodeCount(0);
+  ASSERT_EQ(nodes0, (kBlocks + 3) / 4);
+  for (size_t n = 0; n < nodes0; ++n) {
+    int64_t lo0 = std::numeric_limits<int64_t>::max();
+    int64_t hi0 = std::numeric_limits<int64_t>::min();
+    for (size_t slot = n * 4; slot < std::min<size_t>((n + 1) * 4, kBlocks);
+         ++slot) {
+      const uint32_t b = index.leaf_blocks[slot];
+      lo0 = std::min(lo0, zones.zmin0[b]);
+      hi0 = std::max(hi0, zones.zmax0[b]);
+    }
+    EXPECT_EQ(level0.zmin[n * 2 + 0], lo0) << n;
+    EXPECT_EQ(level0.zmax[n * 2 + 0], hi0) << n;
+  }
+
+  // The root level's envelope is the global one.
+  const auto& root = index.levels.back();
+  const size_t root_nodes = index.LevelNodeCount(index.levels.size() - 1);
+  ASSERT_LE(root_nodes, 4u);
+  int64_t root_min = std::numeric_limits<int64_t>::max();
+  int64_t root_max = std::numeric_limits<int64_t>::min();
+  for (size_t n = 0; n < root_nodes; ++n) {
+    root_min = std::min(root_min, root.zmin[n * 2 + 0]);
+    root_max = std::max(root_max, root.zmax[n * 2 + 0]);
+  }
+  EXPECT_EQ(root_min, 0);
+  EXPECT_EQ(root_max, static_cast<int64_t>(kBlocks - 1) * 10 + 9);
+}
+
+TEST(BlockIndex, BuildIsDeterministic) {
+  SyntheticZones zones(50);
+  ASSERT_OK_AND_ASSIGN(BlockSkylineIndex a,
+                       BuildBlockIndex(64, 50 * 64, zones.views));
+  ASSERT_OK_AND_ASSIGN(BlockSkylineIndex b,
+                       BuildBlockIndex(64, 50 * 64, zones.views));
+  EXPECT_EQ(a.leaf_blocks, b.leaf_blocks);
+  ASSERT_EQ(a.levels.size(), b.levels.size());
+  for (size_t l = 0; l < a.levels.size(); ++l) {
+    EXPECT_EQ(a.levels[l].zmin, b.levels[l].zmin);
+    EXPECT_EQ(a.levels[l].zmax, b.levels[l].zmax);
+  }
+}
+
+TEST(BlockIndex, RejectsMismatchedZoneVectors) {
+  SyntheticZones zones(10);
+  // Zone vectors shorter than the block count cannot index every block.
+  EXPECT_FALSE(BuildBlockIndex(64, 20 * 64, zones.views).ok());
+  EXPECT_FALSE(BuildBlockIndex(0, 64, zones.views).ok());
+  EXPECT_FALSE(BuildBlockIndex(64, 10 * 64, {}).ok());
+  EXPECT_FALSE(BuildBlockIndex(64, 10 * 64, zones.views, /*fanout=*/1).ok());
+}
+
+TEST(BlockIndex, FileRoundTrip) {
+  auto env = NewMemEnv();
+  SyntheticZones zones(33);
+  ASSERT_OK_AND_ASSIGN(BlockSkylineIndex index,
+                       BuildBlockIndex(64, 33 * 64 - 5, zones.views));
+  ASSERT_OK(WriteBlockIndexFile(env.get(), "t.zidx", index));
+  ASSERT_OK_AND_ASSIGN(BlockSkylineIndex read,
+                       ReadBlockIndexFile(env.get(), "t.zidx"));
+  EXPECT_EQ(read.block_rows, index.block_rows);
+  EXPECT_EQ(read.row_count, index.row_count);
+  EXPECT_EQ(read.num_columns, index.num_columns);
+  EXPECT_EQ(read.fanout, index.fanout);
+  EXPECT_EQ(read.leaf_blocks, index.leaf_blocks);
+  ASSERT_EQ(read.levels.size(), index.levels.size());
+  for (size_t l = 0; l < read.levels.size(); ++l) {
+    EXPECT_EQ(read.levels[l].zmin, index.levels[l].zmin);
+    EXPECT_EQ(read.levels[l].zmax, index.levels[l].zmax);
+  }
+}
+
+TEST(BlockIndex, ReadRejectsCorruptionTruncationAndBadPermutation) {
+  auto env = NewMemEnv();
+  SyntheticZones zones(20);
+  ASSERT_OK_AND_ASSIGN(BlockSkylineIndex index,
+                       BuildBlockIndex(64, 20 * 64, zones.views));
+  ASSERT_OK(WriteBlockIndexFile(env.get(), "t.zidx", index));
+  const std::string good = ReadWholeFile(env.get(), "t.zidx");
+
+  // Flip one byte anywhere: the checksum rejects it.
+  for (size_t pos : {size_t{0}, good.size() / 2, good.size() - 1}) {
+    std::string bad = good;
+    bad[pos] ^= 0x40;
+    WriteWholeFile(env.get(), "bad.zidx", bad);
+    EXPECT_FALSE(ReadBlockIndexFile(env.get(), "bad.zidx").ok()) << pos;
+  }
+
+  // Truncations at every structural boundary fail cleanly.
+  for (size_t keep : {size_t{0}, size_t{4}, size_t{30}, good.size() / 2,
+                      good.size() - 1}) {
+    WriteWholeFile(env.get(), "trunc.zidx", good.substr(0, keep));
+    EXPECT_FALSE(ReadBlockIndexFile(env.get(), "trunc.zidx").ok()) << keep;
+  }
+
+  // A structurally valid file whose leaf list is not a permutation is
+  // rejected even with a correct checksum.
+  BlockSkylineIndex dup = index;
+  dup.leaf_blocks[0] = dup.leaf_blocks[1];
+  ASSERT_OK(WriteBlockIndexFile(env.get(), "dup.zidx", dup));
+  EXPECT_FALSE(ReadBlockIndexFile(env.get(), "dup.zidx").ok());
+}
+
+TEST(BlockIndex, WriteTableBlockIndexAndCacheRefresh) {
+  auto env = NewMemEnv();
+  ASSERT_OK_AND_ASSIGN(Table table, MakeUniformTable(env.get(), "t", 1000, 4,
+                                                     /*seed=*/7));
+  ASSERT_OK(WriteTableColumnFile(table));
+  TableZoneCache::Instance().Clear();
+
+  // Before the index exists, cached zones carry no block index.
+  bool hit = false;
+  ASSERT_OK_AND_ASSIGN(std::shared_ptr<const TableColumnZones> zones,
+                       TableZoneCache::Instance().GetOrLoad(table, &hit));
+  EXPECT_EQ(zones->block_index, nullptr);
+
+  // Writing the sidecar changes the cache key (the .zidx size stamp), so
+  // the next load attaches the index instead of serving the stale entry.
+  ASSERT_OK(WriteTableBlockIndex(table));
+  ASSERT_OK_AND_ASSIGN(zones, TableZoneCache::Instance().GetOrLoad(table,
+                                                                   &hit));
+  EXPECT_FALSE(hit);
+  ASSERT_NE(zones->block_index, nullptr);
+  EXPECT_EQ(zones->block_index->leaf_count(), (1000 + 63) / 64);
+  EXPECT_EQ(zones->block_index->row_count, 1000u);
+  EXPECT_EQ(zones->block_index->num_columns, table.schema().num_columns());
+
+  // And the refreshed entry is served from cache on repeat.
+  ASSERT_OK_AND_ASSIGN(zones, TableZoneCache::Instance().GetOrLoad(table,
+                                                                   &hit));
+  EXPECT_TRUE(hit);
+  EXPECT_NE(zones->block_index, nullptr);
+  TableZoneCache::Instance().Clear();
+}
+
+}  // namespace
+}  // namespace skyline

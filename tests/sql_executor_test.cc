@@ -195,26 +195,35 @@ TEST_F(SqlExecutorTest, ExplainRendersPlan) {
       ExplainSql(*catalog_,
                  "SELECT restaurant FROM GoodEats WHERE price < 60 "
                  "SKYLINE OF S MAX, price MIN ORDER BY price LIMIT 3"));
-  // Root-first: Limit > Project > Sort > Skyline > Select > TableScan.
+  // Root-first: Limit > Project > Sort > Skyline > TableScan. The numeric
+  // WHERE predicate is pushed into the skyline operator as a constraint
+  // box (the "constrained" label), so no Select node remains.
   const size_t limit_pos = plan.find("Limit 3");
   const size_t project_pos = plan.find("Project");
   const size_t sort_pos = plan.find("Sort");
   const size_t skyline_pos = plan.find("Skyline[SFS]");
-  const size_t select_pos = plan.find("Select");
   const size_t scan_pos = plan.find("TableScan");
   ASSERT_NE(limit_pos, std::string::npos) << plan;
   ASSERT_NE(project_pos, std::string::npos) << plan;
   ASSERT_NE(sort_pos, std::string::npos) << plan;
   ASSERT_NE(skyline_pos, std::string::npos) << plan;
-  ASSERT_NE(select_pos, std::string::npos) << plan;
   ASSERT_NE(scan_pos, std::string::npos) << plan;
   EXPECT_LT(limit_pos, project_pos);
   EXPECT_LT(project_pos, sort_pos);
   EXPECT_LT(sort_pos, skyline_pos);
-  EXPECT_LT(skyline_pos, select_pos);
-  EXPECT_LT(select_pos, scan_pos);
-  EXPECT_NE(plan.find("skyline of S max, price min"), std::string::npos)
+  EXPECT_LT(skyline_pos, scan_pos);
+  EXPECT_EQ(plan.find("Select"), std::string::npos) << plan;
+  EXPECT_NE(plan.find("skyline of S max, price min constrained"),
+            std::string::npos)
       << plan;
+
+  // A string predicate cannot be pushed; it stays as a Select node.
+  ASSERT_OK_AND_ASSIGN(
+      std::string residual_plan,
+      ExplainSql(*catalog_,
+                 "SELECT restaurant FROM GoodEats WHERE restaurant != 'x' "
+                 "SKYLINE OF S MAX, price MIN"));
+  EXPECT_NE(residual_plan.find("Select"), std::string::npos) << residual_plan;
 }
 
 TEST_F(SqlExecutorTest, AutoAlgorithmViaSqlOptions) {

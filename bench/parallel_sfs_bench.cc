@@ -121,10 +121,12 @@ int Main(int argc, char** argv) {
       // Honesty over silence: a speedup chart from this host would flatten
       // not because the algorithm stopped scaling but because the host
       // could not grant the requested workers.
-      std::cerr << "WARNING: requested " << best.stats.threads_requested
-                << " threads but ran with " << best.stats.threads_used
-                << " (degraded parallelism; speedup figures at this point "
-                   "reflect the host, not the algorithm)\n";
+      LogWarning("requested " +
+                 std::to_string(best.stats.threads_requested) +
+                 " threads but ran with " +
+                 std::to_string(best.stats.threads_used) +
+                 " (degraded parallelism; speedup figures at this point "
+                 "reflect the host, not the algorithm)");
     }
     results.push_back(std::move(best));
   }

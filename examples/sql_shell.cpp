@@ -13,6 +13,10 @@
 // `--stats=json|text|off` (default off) attaches metrics + trace sinks to
 // the execution context and prints a per-query RunReport to stderr — the
 // versioned JSON observability document, or a human-readable summary.
+// `--trace=FILE` writes a Chrome/Perfetto trace.json of the recorded spans
+// after each query (load it in chrome://tracing or ui.perfetto.dev).
+// Prefix a query with EXPLAIN for the plan, or EXPLAIN ANALYZE to run it
+// and print the plan annotated with per-operator runtime stats.
 
 #include <chrono>
 #include <cstdio>
@@ -67,42 +71,60 @@ void PrintRow(const RowView& row) {
 }
 
 Status RunQuery(const Catalog& catalog, const std::string& sql,
-                StatsMode stats_mode) {
+                StatsMode stats_mode, const std::string& trace_path) {
   std::fprintf(stderr, "sql> %s\n", sql.c_str());
-  // `EXPLAIN <query>` prints the operator plan instead of executing.
-  if (sql.size() > 8 &&
-      (sql.rfind("EXPLAIN ", 0) == 0 || sql.rfind("explain ", 0) == 0)) {
-    SKYLINE_ASSIGN_OR_RETURN(std::string plan,
-                             ExplainSql(catalog, sql.substr(8)));
-    std::fputs(plan.c_str(), stdout);
-    std::fprintf(stderr, "\n");
-    return Status::OK();
-  }
   MetricsRegistry metrics;
   TraceSink trace;
   SqlOptions options;
   if (stats_mode != StatsMode::kOff) {
     options.exec.metrics = &metrics;
+  }
+  // The trace sink attaches whenever either consumer wants it: the
+  // RunReport span summary (--stats) or the Chrome trace file (--trace).
+  if (stats_mode != StatsMode::kOff || !trace_path.empty()) {
     options.exec.trace = &trace;
   }
   bool printed_header = false;
   int rows = 0;
+  SqlRunInfo info;
   const auto start = std::chrono::steady_clock::now();
   SKYLINE_RETURN_IF_ERROR(
-      ExecuteSql(catalog, sql, options, [&](const RowView& row) {
-        if (!printed_header) {
-          PrintHeader(row.schema());
-          printed_header = true;
-        }
-        PrintRow(row);
-        ++rows;
-        return Status::OK();
-      }));
+      ExecuteSql(catalog, sql, options,
+                 [&](const RowView& row) {
+                   if (!printed_header) {
+                     PrintHeader(row.schema());
+                     printed_header = true;
+                   }
+                   PrintRow(row);
+                   ++rows;
+                   return Status::OK();
+                 },
+                 &info));
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  std::fprintf(stderr, "(%d row%s)\n\n", rows, rows == 1 ? "" : "s");
-  if (stats_mode != StatsMode::kOff) {
+  if (info.explain != ExplainMode::kNone) {
+    // EXPLAIN / EXPLAIN ANALYZE print the (annotated) plan instead of rows.
+    std::fputs(info.plan_text.c_str(), stdout);
+    std::fprintf(stderr, "\n");
+  } else {
+    std::fprintf(stderr, "(%d row%s)\n\n", rows, rows == 1 ? "" : "s");
+  }
+  if (!trace_path.empty()) {
+    const std::string doc = trace.ExportChromeTrace();
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      return Status::IoError("cannot write trace file " + trace_path);
+    }
+    std::fwrite(doc.data(), 1, doc.size(), f);
+    std::fclose(f);
+    std::fprintf(stderr,
+                 "wrote trace to %s (%llu spans recorded, %llu dropped)\n",
+                 trace_path.c_str(),
+                 static_cast<unsigned long long>(trace.recorded()),
+                 static_cast<unsigned long long>(trace.dropped()));
+  }
+  if (stats_mode != StatsMode::kOff && info.explain != ExplainMode::kPlan) {
     // Per-run counters land in `metrics` under "skyline.<algorithm>.*"
     // when the skyline stream is exhausted; spans land in `trace`.
     RunReport report;
@@ -112,6 +134,7 @@ Status RunQuery(const Catalog& catalog, const std::string& sql,
     report.numbers.emplace_back("rows_printed", static_cast<double>(rows));
     report.metrics = &metrics;
     report.trace = &trace;
+    report.plan = std::move(info.plan);
     const std::string rendered = stats_mode == StatsMode::kJson
                                      ? RenderRunReportJson(report)
                                      : RenderRunReportText(report);
@@ -121,7 +144,8 @@ Status RunQuery(const Catalog& catalog, const std::string& sql,
   return Status::OK();
 }
 
-Status RunFiles(const std::vector<std::string>& args, StatsMode stats_mode) {
+Status RunFiles(const std::vector<std::string>& args, StatsMode stats_mode,
+                const std::string& trace_path) {
   Env* env = Env::Memory();
   Catalog catalog(env);
   std::vector<Table> tables;
@@ -152,10 +176,10 @@ Status RunFiles(const std::vector<std::string>& args, StatsMode stats_mode) {
     catalog.Register(name, &tables.back());
   }
   std::fprintf(stderr, "\n");
-  return RunQuery(catalog, args.back(), stats_mode);
+  return RunQuery(catalog, args.back(), stats_mode, trace_path);
 }
 
-Status RunDemo(StatsMode stats_mode) {
+Status RunDemo(StatsMode stats_mode, const std::string& trace_path) {
   std::fprintf(stderr, "no arguments: demo session over the paper's "
                        "GoodEats guide\n\n");
   Env* env = Env::Memory();
@@ -166,25 +190,32 @@ Status RunDemo(StatsMode stats_mode) {
   SKYLINE_RETURN_IF_ERROR(RunQuery(
       catalog,
       "select * from GoodEats skyline of S max, F max, D max, price min",
-      stats_mode));
+      stats_mode, trace_path));
   SKYLINE_RETURN_IF_ERROR(RunQuery(
       catalog,
       "SELECT restaurant, price FROM GoodEats WHERE price < 55 "
       "SKYLINE OF F MAX, price MIN",
-      stats_mode));
+      stats_mode, trace_path));
   SKYLINE_RETURN_IF_ERROR(RunQuery(
       catalog,
       "SELECT restaurant FROM GoodEats SKYLINE OF D DIFF, price MIN LIMIT 3",
-      stats_mode));
+      stats_mode, trace_path));
   SKYLINE_RETURN_IF_ERROR(RunQuery(
       catalog,
       "EXPLAIN SELECT restaurant FROM GoodEats WHERE price < 60 "
       "SKYLINE OF S MAX, price MIN ORDER BY price LIMIT 3",
-      stats_mode));
+      stats_mode, trace_path));
+  SKYLINE_RETURN_IF_ERROR(RunQuery(
+      catalog,
+      "EXPLAIN ANALYZE SELECT restaurant FROM GoodEats "
+      "SKYLINE OF S MAX, price MIN",
+      stats_mode, trace_path));
   std::fprintf(stderr,
-               "usage: sql_shell [--stats=json|text|off] <file.csv>... "
-               "\"<query>\"\n"
-               "       (each CSV becomes a table named after its stem)\n");
+               "usage: sql_shell [--stats=json|text|off] [--trace=FILE] "
+               "<file.csv>... \"<query>\"\n"
+               "       (each CSV becomes a table named after its stem;\n"
+               "        --trace writes a Chrome/Perfetto trace.json per "
+               "query)\n");
   return Status::OK();
 }
 
@@ -192,6 +223,7 @@ Status RunDemo(StatsMode stats_mode) {
 
 int main(int argc, char** argv) {
   StatsMode stats_mode = StatsMode::kOff;
+  std::string trace_path;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -209,12 +241,18 @@ int main(int argc, char** argv) {
                      value.c_str());
         return 2;
       }
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      trace_path = arg.substr(8);
+      if (trace_path.empty()) {
+        std::fprintf(stderr, "--trace needs a file path\n");
+        return 2;
+      }
     } else {
       args.push_back(arg);
     }
   }
-  Status st = args.size() >= 2 ? RunFiles(args, stats_mode)
-                               : RunDemo(stats_mode);
+  Status st = args.size() >= 2 ? RunFiles(args, stats_mode, trace_path)
+                               : RunDemo(stats_mode, trace_path);
   if (!st.ok()) {
     std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
     return 1;

@@ -8,8 +8,14 @@
 # (trace sink, metrics shards, thread pool, execution context) under
 # ThreadSanitizer (-DSKYLINE_SANITIZE=thread).
 #
+# A benchmark regression gate runs last: a fresh parallel_sfs_bench sweep
+# (2 repetitions) is compared against the committed BENCH_sfs.json by
+# scripts/bench_gate.py — throughput must stay above a generous floor and
+# the deterministic comparison counts must match within tolerance.
+#
 # Usage: scripts/check.sh [build-dir-prefix]
-#   SKYLINE_CHECK_JOBS=N   parallelism for build and ctest (default nproc)
+#   SKYLINE_CHECK_JOBS=N    parallelism for build and ctest (default nproc)
+#   SKYLINE_CHECK_BENCH=0   skip the benchmark regression gate (default 1)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
@@ -48,5 +54,17 @@ cmake --build "${prefix}-tsan" -j"$jobs" --target skyline_tests
 TSAN_OPTIONS="halt_on_error=1" \
   "${prefix}-tsan/tests/skyline_tests" \
   --gtest_filter='Trace*:Metrics*:RunReport*:ExecContext*:ThreadPool*:Partition*:SfsParallel*:ColumnFile*:TableZoneCache*:ZonePrefilter*:BlockIndex*:Bbs*'
+
+if [[ "${SKYLINE_CHECK_BENCH:-1}" -eq 1 ]]; then
+  echo "== check: benchmark regression gate =="
+  # Reuse the plain Release build; 2 repetitions keep the gate quick while
+  # letting the best-of wall time absorb one noisy run.
+  cmake --build "$prefix" -j"$jobs" --target parallel_sfs_bench
+  fresh_json="$(mktemp /tmp/bench_gate.XXXXXX.json)"
+  trap 'rm -f "$fresh_json"' EXIT
+  SKYLINE_BENCH_REPS=2 "$prefix/bench/parallel_sfs_bench" "$fresh_json"
+  python3 "$repo_root/scripts/bench_gate.py" \
+    --baseline "$repo_root/BENCH_sfs.json" --fresh "$fresh_json"
+fi
 
 echo "check.sh: all suites passed"

@@ -1,6 +1,59 @@
 #include "common/logging.h"
 
+#include <cstdio>
+#include <mutex>
+#include <utility>
+
 namespace skyline {
+namespace {
+
+std::mutex& HandlerMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+LogHandler& InstalledHandler() {
+  static LogHandler handler;  // empty = default stderr writer
+  return handler;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "INFO";
+}
+
+}  // namespace
+
+LogHandler SetLogHandler(LogHandler handler) {
+  std::lock_guard<std::mutex> lock(HandlerMutex());
+  LogHandler previous = std::move(InstalledHandler());
+  InstalledHandler() = std::move(handler);
+  return previous;
+}
+
+void LogMessage(LogLevel level, std::string_view message) {
+  LogHandler handler;
+  {
+    // Copy under the lock, call outside it: a handler that logs (or swaps
+    // handlers) must not deadlock.
+    std::lock_guard<std::mutex> lock(HandlerMutex());
+    handler = InstalledHandler();
+  }
+  if (handler) {
+    handler(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[skyline %s] %.*s\n", LevelName(level),
+               static_cast<int>(message.size()), message.data());
+}
+
 namespace logging_internal {
 
 void DieBecause(const char* file, int line, const std::string& message) {

@@ -2,11 +2,41 @@
 #define SKYLINE_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <functional>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace skyline {
+
+/// Severity of a non-fatal engine log message.
+enum class LogLevel { kInfo, kWarning, kError };
+
+/// Process-wide sink for non-fatal engine messages (degraded-parallelism
+/// warnings, kernel-override notices, ...). The handler runs on the
+/// emitting thread and must be thread-safe.
+using LogHandler = std::function<void(LogLevel, std::string_view)>;
+
+/// Installs `handler` as the process-wide log sink and returns the previous
+/// one. Pass nullptr to restore the default stderr writer. Server-style
+/// embedders use this to capture or silence warnings the library emits.
+LogHandler SetLogHandler(LogHandler handler);
+
+/// Emits one message through the installed handler (default: one stderr
+/// line, "[skyline WARNING] <message>").
+void LogMessage(LogLevel level, std::string_view message);
+
+inline void LogInfo(std::string_view message) {
+  LogMessage(LogLevel::kInfo, message);
+}
+inline void LogWarning(std::string_view message) {
+  LogMessage(LogLevel::kWarning, message);
+}
+inline void LogError(std::string_view message) {
+  LogMessage(LogLevel::kError, message);
+}
+
 namespace logging_internal {
 
 /// Terminates the process after printing `message` with source location.

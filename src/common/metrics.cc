@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <array>
+#include <cmath>
 #include <map>
 
 namespace skyline {
@@ -208,6 +209,34 @@ uint64_t HistogramSnapshot::QuantileNanos(double q) const {
       // Upper bound of bucket b, clamped into the observed range.
       const uint64_t bound = b >= 63 ? UINT64_MAX : (uint64_t{1} << (b + 1));
       return std::clamp(bound, min_ns, max_ns);
+    }
+  }
+  return max_ns;
+}
+
+uint64_t HistogramSnapshot::QuantileEstimateNanos(double q) const {
+  if (count == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(seen);
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= rank) {
+      // Bucket b spans (2^(b-1), 2^b] in the header's convention; the
+      // aggregation places a value with highest set bit b in bucket b, so
+      // the edges here are [2^b, 2^(b+1)).
+      const double lo = b == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(b));
+      const double hi =
+          b >= 63 ? static_cast<double>(max_ns)
+                  : std::ldexp(1.0, static_cast<int>(b) + 1);
+      const double fraction =
+          std::clamp((rank - before) / static_cast<double>(buckets[b]), 0.0, 1.0);
+      const double estimate = lo + fraction * (hi - lo);
+      const uint64_t nanos =
+          estimate <= 0 ? 0 : static_cast<uint64_t>(estimate);
+      return std::clamp(nanos, min_ns, max_ns);
     }
   }
   return max_ns;

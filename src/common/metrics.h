@@ -84,6 +84,13 @@ struct HistogramSnapshot {
 
   /// Upper-bound estimate of the q-quantile (q in [0,1]) from the buckets.
   uint64_t QuantileNanos(double q) const;
+
+  /// Interpolated estimate of the q-quantile: assumes observations are
+  /// spread uniformly inside their power-of-two bucket and interpolates
+  /// the rank linearly between the bucket edges, clamped to the observed
+  /// [min_ns, max_ns]. Tighter than QuantileNanos for wide buckets; the
+  /// renderers report this as p50/p90/p99.
+  uint64_t QuantileEstimateNanos(double q) const;
 };
 
 /// One coherent read of the registry.

@@ -1,8 +1,11 @@
 #include "common/trace.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+
+#include "common/json_writer.h"
 
 namespace skyline {
 namespace {
@@ -38,11 +41,15 @@ void TraceSink::Record(const char* name, int64_t suffix, uint32_t depth,
                        uint64_t start_ns, uint64_t end_ns) {
   if (!enabled()) return;
   TraceEvent event;
+  int wanted;
   if (suffix >= 0) {
-    std::snprintf(event.name, TraceEvent::kNameCapacity, "%s-%lld", name,
-                  static_cast<long long>(suffix));
+    wanted = std::snprintf(event.name, TraceEvent::kNameCapacity, "%s-%lld",
+                           name, static_cast<long long>(suffix));
   } else {
-    std::snprintf(event.name, TraceEvent::kNameCapacity, "%s", name);
+    wanted = std::snprintf(event.name, TraceEvent::kNameCapacity, "%s", name);
+  }
+  if (wanted >= static_cast<int>(TraceEvent::kNameCapacity)) {
+    truncated_.fetch_add(1, std::memory_order_relaxed);
   }
   event.thread_id = TraceThreadId();
   event.depth = depth;
@@ -87,6 +94,64 @@ void TraceSink::Clear() {
   next_ = 0;
   recorded_.store(0, std::memory_order_relaxed);
   dropped_.store(0, std::memory_order_relaxed);
+  truncated_.store(0, std::memory_order_relaxed);
+}
+
+std::string TraceSink::ExportChromeTrace() const {
+  const std::vector<TraceEvent> events = Snapshot();
+
+  std::vector<uint32_t> thread_ids;
+  thread_ids.reserve(events.size());
+  for (const TraceEvent& event : events) thread_ids.push_back(event.thread_id);
+  std::sort(thread_ids.begin(), thread_ids.end());
+  thread_ids.erase(std::unique(thread_ids.begin(), thread_ids.end()),
+                   thread_ids.end());
+
+  // Rebase timestamps to the earliest span: absolute monotonic nanoseconds
+  // overflow the writer's 9 significant digits once converted to µs, which
+  // would quantise every ts to the same value.
+  uint64_t epoch_ns = events.empty() ? 0 : events.front().start_ns;
+  for (const TraceEvent& event : events) {
+    epoch_ns = std::min(epoch_ns, event.start_ns);
+  }
+
+  JsonWriter json;
+  json.BeginObject();
+  json.KeyValue("displayTimeUnit", "ms");
+  json.Key("traceEvents");
+  json.BeginArray();
+  for (uint32_t tid : thread_ids) {
+    json.BeginObject();
+    json.KeyValue("name", "thread_name");
+    json.KeyValue("ph", "M");
+    json.KeyValue("pid", uint64_t{0});
+    json.KeyValue("tid", static_cast<uint64_t>(tid));
+    json.Key("args");
+    json.BeginObject();
+    json.KeyValue("name", "skyline-thread-" + std::to_string(tid));
+    json.EndObject();
+    json.EndObject();
+  }
+  for (const TraceEvent& event : events) {
+    json.BeginObject();
+    json.KeyValue("name", event.name_view());
+    json.KeyValue("cat", "skyline");
+    json.KeyValue("ph", "X");
+    // Trace-event timestamps are microseconds; keep sub-µs precision as
+    // fractional values (the viewers accept doubles).
+    json.KeyValue("ts", static_cast<double>(event.start_ns - epoch_ns) / 1e3);
+    json.KeyValue("dur", static_cast<double>(event.duration_ns) / 1e3);
+    json.KeyValue("pid", uint64_t{0});
+    json.KeyValue("tid", static_cast<uint64_t>(event.thread_id));
+    json.Key("args");
+    json.BeginObject();
+    json.KeyValue("depth", static_cast<uint64_t>(event.depth));
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.TakeString();
 }
 
 TraceSpan::TraceSpan(TraceSink* sink, const char* name, int64_t suffix)

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -70,8 +71,20 @@ class TraceSink {
   /// Spans whose name matches `name` exactly, across the held events.
   size_t CountSpans(std::string_view name) const;
 
+  /// Renders the held events as a Chrome/Perfetto trace document
+  /// (chrome://tracing "trace event format"): one complete-duration "X"
+  /// record per span with microsecond timestamps, `tid` = TraceThreadId,
+  /// and the nesting depth under `args`, plus one "M" thread_name record
+  /// per thread. Load the string into ui.perfetto.dev as trace.json.
+  std::string ExportChromeTrace() const;
+
   uint64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
   uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  /// Spans whose name did not fit TraceEvent::kNameCapacity and was cut
+  /// short; the event is still recorded with the truncated name.
+  uint64_t truncated() const {
+    return truncated_.load(std::memory_order_relaxed);
+  }
   size_t capacity() const { return capacity_; }
 
   void Clear();
@@ -81,6 +94,7 @@ class TraceSink {
   std::atomic<bool> enabled_{true};
   std::atomic<uint64_t> recorded_{0};
   std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> truncated_{0};
   mutable std::mutex mu_;
   std::vector<TraceEvent> ring_;
   size_t next_ = 0;  // ring_ write position once the buffer is full

@@ -81,9 +81,19 @@ Result<Table> ComputeSkyline(SkylineAlgorithm algorithm, const Table& input,
       auto loaded = std::move(zones_or).value();
       if (BbsUsable(spec, loaded.get()) &&
           loaded->row_count == input.row_count()) {
-        run_bbs = algorithm == SkylineAlgorithm::kBbs ||
-                  ChooseSkylineAccess(input, spec, true).path ==
-                      SkylineAccessPath::kBbs;
+        if (algorithm == SkylineAlgorithm::kBbs) {
+          run_bbs = true;
+        } else {
+          // Keep the routing evidence: EXPLAIN ANALYZE reports what kAuto
+          // sampled and which way the estimate fell.
+          const SkylineAccessChoice choice =
+              ChooseSkylineAccess(input, spec, true);
+          s->route_sample_rows = choice.sample_rows;
+          s->route_sample_skyline = choice.sample_skyline;
+          s->route_estimated_skyline = choice.estimated_skyline;
+          s->route_bbs_threshold = choice.bbs_threshold;
+          run_bbs = choice.path == SkylineAccessPath::kBbs;
+        }
         if (run_bbs) zones = std::move(loaded);
       }
     }
@@ -158,6 +168,7 @@ Result<Table> ComputeSkyline(SkylineAlgorithm algorithm, const Table& input,
     }
   }
   if (result.ok()) {
+    s->access_path = published_as;
     PublishRunStats(ctx.metrics, std::string("skyline.") + published_as, *s);
   }
   return result;

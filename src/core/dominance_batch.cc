@@ -3,7 +3,6 @@
 #include <atomic>
 #include <cstdlib>
 #include <cstring>
-#include <iostream>
 #include <string>
 
 #include "common/logging.h"
@@ -252,8 +251,8 @@ const DominanceKernel* ResolveActive() {
     for (const DominanceKernel* k : kernels) {
       if (std::string(want) == k->name) return k;
     }
-    std::cerr << "skyline: SKYLINE_DOMINANCE_KERNEL=" << want
-              << " is not available; using " << kernels.back()->name << "\n";
+    LogWarning(std::string("SKYLINE_DOMINANCE_KERNEL=") + want +
+               " is not available; using " + kernels.back()->name);
   }
   return kernels.back();
 }

@@ -1,0 +1,98 @@
+#include "core/plan_stats.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/json_writer.h"
+
+namespace skyline {
+namespace {
+
+void AppendMillis(std::string* out, const char* key, uint64_t nanos) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), " %s=%.3fms", key,
+                static_cast<double>(nanos) / 1e6);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string RenderPlanStatsText(const std::vector<PlanNodeStats>& plan) {
+  std::string out;
+  char buf[128];
+  for (const PlanNodeStats& node : plan) {
+    const std::string indent(2 * node.depth, ' ');
+    out += indent;
+    out += node.label;
+    std::snprintf(buf, sizeof(buf), "  (in=%" PRIu64 " out=%" PRIu64
+                  " next=%" PRIu64,
+                  node.rows_in, node.rows_out, node.next_calls);
+    out += buf;
+    AppendMillis(&out, "open", node.open_ns);
+    AppendMillis(&out, "total", node.total_ns);
+    AppendMillis(&out, "self", node.self_ns);
+    out += ")\n";
+    if (node.counters.empty() && node.notes.empty()) continue;
+    out += indent;
+    out += "  ";
+    if (!node.counters.empty()) {
+      out += "[";
+      for (size_t i = 0; i < node.counters.size(); ++i) {
+        if (i > 0) out += " ";
+        std::snprintf(buf, sizeof(buf), "%s=%" PRIu64,
+                      node.counters[i].first.c_str(), node.counters[i].second);
+        out += buf;
+      }
+      out += "]";
+    }
+    if (!node.notes.empty()) {
+      if (!node.counters.empty()) out += " ";
+      out += "{";
+      for (size_t i = 0; i < node.notes.size(); ++i) {
+        if (i > 0) out += " ";
+        out += node.notes[i].first;
+        out += "=";
+        out += node.notes[i].second;
+      }
+      out += "}";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+void AppendPlanStatsArray(JsonWriter* json,
+                          const std::vector<PlanNodeStats>& plan) {
+  json->BeginArray();
+  for (const PlanNodeStats& node : plan) {
+    json->BeginObject();
+    json->KeyValue("label", node.label);
+    json->KeyValue("depth", static_cast<uint64_t>(node.depth));
+    json->KeyValue("rows_in", node.rows_in);
+    json->KeyValue("rows_out", node.rows_out);
+    json->KeyValue("next_calls", node.next_calls);
+    json->KeyValue("open_ns", node.open_ns);
+    json->KeyValue("total_ns", node.total_ns);
+    json->KeyValue("self_ns", node.self_ns);
+    if (!node.counters.empty()) {
+      json->Key("counters");
+      json->BeginObject();
+      for (const auto& [key, value] : node.counters) {
+        json->KeyValue(key, value);
+      }
+      json->EndObject();
+    }
+    if (!node.notes.empty()) {
+      json->Key("notes");
+      json->BeginObject();
+      for (const auto& [key, value] : node.notes) {
+        json->KeyValue(key, value);
+      }
+      json->EndObject();
+    }
+    json->EndObject();
+  }
+  json->EndArray();
+}
+
+}  // namespace skyline

@@ -1,0 +1,57 @@
+#ifndef SKYLINE_CORE_PLAN_STATS_H_
+#define SKYLINE_CORE_PLAN_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace skyline {
+
+class JsonWriter;
+
+/// Profile of one operator in an executed plan, collected root-first (the
+/// same order ExplainPlan renders). `depth` reproduces the plan
+/// indentation; `rows_in` is the child's `rows_out` (0 for leaves and for
+/// operators that bypass their child, e.g. the skyline operator reading
+/// the base table directly).
+///
+/// Time fields are non-zero only when the tree ran with timing enabled
+/// (EXPLAIN ANALYZE / Query::RunProfiled): `open_ns` is wall time inside
+/// Open, `total_ns` adds the cumulative Next time, and `self_ns` subtracts
+/// the child's `total_ns` (clamped at 0) — approximate for operators that
+/// overlap with pool workers, exact for the pull pipeline itself.
+struct PlanNodeStats {
+  std::string label;
+  uint32_t depth = 0;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  uint64_t next_calls = 0;
+  uint64_t open_ns = 0;
+  uint64_t total_ns = 0;
+  uint64_t self_ns = 0;
+  /// Operator-specific counters (blocks pruned, heap peak, spill passes,
+  /// ...), in the operator's preferred display order. Zero-valued counters
+  /// are usually omitted by the producer.
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  /// Operator-specific annotations (access path, routing evidence, ...).
+  std::vector<std::pair<std::string, std::string>> notes;
+};
+
+/// Renders the profile as the indented EXPLAIN tree annotated per node:
+///
+///   Skyline[SFS] skyline of ...  (in=0 out=4 next=5 open=0.21ms total=0.23ms self=0.23ms)
+///     [input_rows=6 passes=1 window_comparisons=11] {access=sfs kernel=avx2}
+///
+/// The counter/note line is omitted when a node has neither.
+std::string RenderPlanStatsText(const std::vector<PlanNodeStats>& plan);
+
+/// Appends the profile as a JSON array of per-operator objects (the
+/// RunReport "plan" section). The writer must be positioned for a value
+/// (after Key("plan") or inside an array).
+void AppendPlanStatsArray(JsonWriter* json,
+                          const std::vector<PlanNodeStats>& plan);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_PLAN_STATS_H_

@@ -32,6 +32,9 @@ void AppendMetricsObject(JsonWriter* json, const MetricsRegistry& metrics) {
     json->KeyValue("p50_ns", h.QuantileNanos(0.50));
     json->KeyValue("p95_ns", h.QuantileNanos(0.95));
     json->KeyValue("p99_ns", h.QuantileNanos(0.99));
+    json->KeyValue("p50_est_ns", h.QuantileEstimateNanos(0.50));
+    json->KeyValue("p90_est_ns", h.QuantileEstimateNanos(0.90));
+    json->KeyValue("p99_est_ns", h.QuantileEstimateNanos(0.99));
     json->EndObject();
   }
   json->EndObject();
@@ -45,6 +48,7 @@ void AppendTraceObject(JsonWriter* json, const TraceSink& trace) {
   json->BeginObject();
   json->KeyValue("recorded", trace.recorded());
   json->KeyValue("dropped", trace.dropped());
+  json->KeyValue("truncated", trace.truncated());
   json->Key("spans");
   json->BeginArray();
   for (const TraceEvent& event : trace.Snapshot()) {
@@ -90,6 +94,11 @@ void AppendRunStatsObject(JsonWriter* json, const SkylineRunStats& stats) {
   json->KeyValue("heap_peak", stats.heap_peak);
   json->KeyValue("zone_map_source", std::string_view(stats.zone_map_source));
   json->KeyValue("dominance_kernel", std::string_view(stats.dominance_kernel));
+  json->KeyValue("access_path", std::string_view(stats.access_path));
+  json->KeyValue("route_sample_rows", stats.route_sample_rows);
+  json->KeyValue("route_sample_skyline", stats.route_sample_skyline);
+  json->KeyValue("route_estimated_skyline", stats.route_estimated_skyline);
+  json->KeyValue("route_bbs_threshold", stats.route_bbs_threshold);
   json->KeyValue("threads_used", stats.threads_used);
   json->KeyValue("threads_requested", stats.threads_requested);
   json->KeyValue("degraded_parallelism", stats.DegradedParallelism());
@@ -137,6 +146,10 @@ void AppendRunReportObject(JsonWriter* json, const RunReport& report) {
   }
   json->Key("stats");
   AppendRunStatsObject(json, report.stats);
+  if (!report.plan.empty()) {
+    json->Key("plan");
+    AppendPlanStatsArray(json, report.plan);
+  }
   if (report.metrics != nullptr) {
     json->Key("metrics");
     AppendMetricsObject(json, *report.metrics);
@@ -204,6 +217,16 @@ std::string RenderRunReportText(const RunReport& report) {
                   static_cast<unsigned long long>(s.heap_peak));
     add();
   }
+  if (s.route_sample_rows > 0) {
+    std::snprintf(line, sizeof(line),
+                  "route: %s — sampled %llu rows -> %llu skyline, "
+                  "est %.0f vs bbs cutoff %.0f\n",
+                  s.access_path[0] != '\0' ? s.access_path : "?",
+                  static_cast<unsigned long long>(s.route_sample_rows),
+                  static_cast<unsigned long long>(s.route_sample_skyline),
+                  s.route_estimated_skyline, s.route_bbs_threshold);
+    add();
+  }
   if (s.DegradedParallelism()) {
     std::snprintf(line, sizeof(line),
                   "WARNING: degraded parallelism — %llu threads requested "
@@ -218,6 +241,11 @@ std::string RenderRunReportText(const RunReport& report) {
                 s.sort_seconds, s.filter_seconds, s.total_seconds(),
                 report.wall_seconds);
   add();
+
+  if (!report.plan.empty()) {
+    out += "plan (per-operator):\n";
+    out += RenderPlanStatsText(report.plan);
+  }
 
   if (report.metrics != nullptr) {
     const MetricsSnapshot snapshot = report.metrics->Aggregate();
@@ -235,14 +263,18 @@ std::string RenderRunReportText(const RunReport& report) {
     }
     if (!snapshot.histograms.empty()) out += "latency histograms:\n";
     for (const auto& h : snapshot.histograms) {
-      std::snprintf(line, sizeof(line),
-                    "  %-40s n=%llu mean=%.3fms p95=%.3fms max=%.3fms\n",
-                    h.name.c_str(), static_cast<unsigned long long>(h.count),
-                    h.count > 0 ? static_cast<double>(h.sum_ns) /
-                                      static_cast<double>(h.count) / 1e6
-                                : 0.0,
-                    static_cast<double>(h.QuantileNanos(0.95)) / 1e6,
-                    static_cast<double>(h.max_ns) / 1e6);
+      std::snprintf(
+          line, sizeof(line),
+          "  %-40s n=%llu mean=%.3fms p50=%.3fms p90=%.3fms p99=%.3fms "
+          "max=%.3fms\n",
+          h.name.c_str(), static_cast<unsigned long long>(h.count),
+          h.count > 0 ? static_cast<double>(h.sum_ns) /
+                            static_cast<double>(h.count) / 1e6
+                      : 0.0,
+          static_cast<double>(h.QuantileEstimateNanos(0.50)) / 1e6,
+          static_cast<double>(h.QuantileEstimateNanos(0.90)) / 1e6,
+          static_cast<double>(h.QuantileEstimateNanos(0.99)) / 1e6,
+          static_cast<double>(h.max_ns) / 1e6);
       add();
     }
   }
@@ -259,6 +291,13 @@ std::string RenderRunReportText(const RunReport& report) {
       std::snprintf(line, sizeof(line),
                     "  (ring buffer dropped %llu earlier spans)\n",
                     static_cast<unsigned long long>(report.trace->dropped()));
+      add();
+    }
+    if (report.trace->truncated() > 0) {
+      std::snprintf(line, sizeof(line),
+                    "  (%llu span names were truncated to %zu chars)\n",
+                    static_cast<unsigned long long>(report.trace->truncated()),
+                    TraceEvent::kNameCapacity - 1);
       add();
     }
   }

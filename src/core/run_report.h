@@ -9,6 +9,7 @@
 #include "common/json_writer.h"
 #include "common/metrics.h"
 #include "common/trace.h"
+#include "core/plan_stats.h"
 #include "core/run_stats.h"
 
 namespace skyline {
@@ -26,14 +27,21 @@ namespace skyline {
 ///               window_comparisons, batch_comparisons, merge_comparisons,
 ///               window_blocks_pruned, merge_blocks_pruned,
 ///               window_replacements, dominance_kernel, threads_used,
+///               access_path, route_sample_rows, route_sample_skyline,
+///               route_estimated_skyline, route_bbs_threshold,
 ///               sort_seconds, filter_seconds, block_scan_seconds,
 ///               block_merge_seconds, total_seconds,
 ///               sort: {runs_generated, merge_levels, records_filtered,
 ///                      threads_used, pages_read, pages_written}},
+///     plan:    [{label, depth, rows_in, rows_out, next_calls, open_ns,
+///                total_ns, self_ns, counters: {...},
+///                notes: {...}}, ...],              // if collected
 ///     metrics: {counters: {...}, gauges: {...},
 ///               histograms: {name: {count, sum_ns, min_ns, max_ns,
-///                                   p50_ns, p95_ns, p99_ns}}},  // if set
-///     trace:   {recorded, dropped,
+///                                   p50_ns, p95_ns, p99_ns,   // bounds
+///                                   p50_est_ns, p90_est_ns,
+///                                   p99_est_ns}}},            // if set
+///     trace:   {recorded, dropped, truncated,
 ///               spans: [{name, thread, depth, start_ns,
 ///                        duration_ns}, ...]}}                   // if set
 /// New keys may be added within a version; existing keys only change
@@ -51,6 +59,10 @@ struct RunReport {
   /// Producer-specific extras rendered under "labels" / "numbers".
   std::vector<std::pair<std::string, std::string>> labels;
   std::vector<std::pair<std::string, double>> numbers;
+
+  /// Per-operator profile of the executed plan (CollectPlanStats); empty
+  /// omits the "plan" section.
+  std::vector<PlanNodeStats> plan;
 
   /// Borrowed sinks; null omits the corresponding section.
   const MetricsRegistry* metrics = nullptr;

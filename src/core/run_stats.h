@@ -66,6 +66,19 @@ struct SkylineRunStats {
   uint64_t index_blocks_skipped = 0;
   /// BBS only: high-water mark of the branch-and-bound heap.
   uint64_t heap_peak = 0;
+  /// Access path the computation actually ran ("sfs", "bnl", "less",
+  /// "bbs", "special2d", "special3d", ...; "" = not recorded). For kAuto
+  /// this is the routing outcome; for explicit algorithms it echoes the
+  /// request. Static string.
+  const char* access_path = "";
+  /// kAuto routing evidence (ChooseSkylineAccess): rows sampled, skyline
+  /// measured on the sample, the extrapolated full-table estimate, and the
+  /// BBS cutoff it was compared against. All zero when no sample was taken
+  /// (special scans, no index, explicit algorithm).
+  uint64_t route_sample_rows = 0;
+  uint64_t route_sample_skyline = 0;
+  double route_estimated_skyline = 0.0;
+  double route_bbs_threshold = 0.0;
   /// Worker threads the filter phase actually used (1 = sequential SFS).
   uint64_t threads_used = 1;
   /// Worker threads the caller asked for, after "0 = all hardware"

@@ -398,12 +398,25 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
     // The filter only knows its clamped thread count; restore the caller's
     // actual request so the degraded flag survives the clamp.
     s->threads_requested = threads_requested;
+    if (s->DegradedParallelism()) {
+      LogWarning("degraded parallelism: " +
+                 std::to_string(s->threads_requested) +
+                 " threads requested but only " +
+                 std::to_string(s->threads_used) +
+                 " used; timings are not a scaling measurement");
+    }
     s->filter_seconds = filter_timer.ElapsedSeconds();
     return builder.Finish();
   }
 
   Stopwatch filter_timer;
   s->threads_requested = threads_requested;
+  if (threads_requested > 1) {
+    // Sequential fallback despite a multi-thread request (hardware clamp
+    // or a residue path forcing the pipelined filter).
+    LogWarning("degraded parallelism: " + std::to_string(threads_requested) +
+               " threads requested but the filter is running sequentially");
+  }
   SfsIterator iter(env, &temp_files, sorted_path, &spec, options.window_pages,
                    options.use_projection, s);
   iter.set_exec_context(&ctx);

@@ -414,6 +414,11 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
     futures.push_back(pool.Submit([env, &sorted_path, &spec, &options, &ctx,
                                    total, chunk_rows, blocks, k, scheme_ptr,
                                    rep_count]() {
+      // Worker-side span: these are the only events recorded off the
+      // submitting thread, so an exported trace shows the per-block scans
+      // on their own timeline rows.
+      TraceSpan block_span(ctx.trace, "filter-block",
+                           static_cast<int64_t>(k));
       return FilterBlock(env, sorted_path, spec, options, ctx, total,
                          chunk_rows, blocks, k, scheme_ptr, rep_count);
     }));

@@ -16,15 +16,6 @@ class LimitOperator : public Operator {
   LimitOperator(std::unique_ptr<Operator> child, uint64_t limit)
       : child_(std::move(child)), limit_(limit) {}
 
-  Status Open() override { return child_->Open(); }
-
-  const char* Next() override {
-    if (emitted_ >= limit_) return nullptr;
-    const char* row = child_->Next();
-    if (row != nullptr) ++emitted_;
-    return row;
-  }
-
   const Status& status() const override { return child_->status(); }
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -34,8 +25,21 @@ class LimitOperator : public Operator {
     return "Limit " + std::to_string(limit_);
   }
   const Operator* PlanChild() const override { return child_.get(); }
+  void CollectOperatorDetail(PlanNodeStats* node) const override {
+    node->counters.emplace_back("limit", limit_);
+  }
 
   uint64_t emitted() const { return emitted_; }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+
+  const char* NextImpl() override {
+    if (emitted_ >= limit_) return nullptr;
+    const char* row = child_->Next();
+    if (row != nullptr) ++emitted_;
+    return row;
+  }
 
  private:
   std::unique_ptr<Operator> child_;

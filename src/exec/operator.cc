@@ -1,6 +1,39 @@
 #include "exec/operator.h"
 
+#include "common/trace.h"
+
 namespace skyline {
+
+Status Operator::Open() {
+  if (!timing_) return OpenImpl();
+  const uint64_t start = TraceClockNanos();
+  Status st = OpenImpl();
+  op_stats_.open_ns += TraceClockNanos() - start;
+  return st;
+}
+
+const char* Operator::Next() {
+  ++op_stats_.next_calls;
+  const char* row;
+  if (timing_) {
+    const uint64_t start = TraceClockNanos();
+    row = NextImpl();
+    op_stats_.next_ns += TraceClockNanos() - start;
+  } else {
+    row = NextImpl();
+  }
+  if (row != nullptr) ++op_stats_.rows_out;
+  return row;
+}
+
+void Operator::EnableTimingRecursive() {
+  for (Operator* op = this; op != nullptr;
+       // Plan children are only exposed const (for EXPLAIN); the timing
+       // flag is execution state on the same mutable tree we are part of.
+       op = const_cast<Operator*>(op->PlanChild())) {
+    op->timing_ = true;
+  }
+}
 
 std::string ExplainPlan(const Operator& root) {
   std::string out;
@@ -12,6 +45,34 @@ std::string ExplainPlan(const Operator& root) {
     ++depth;
   }
   return out;
+}
+
+std::vector<PlanNodeStats> CollectPlanStats(const Operator& root) {
+  std::vector<PlanNodeStats> plan;
+  uint32_t depth = 0;
+  for (const Operator* op = &root; op != nullptr; op = op->PlanChild()) {
+    const OperatorStats& stats = op->op_stats();
+    PlanNodeStats node;
+    node.label = op->PlanNodeLabel();
+    node.depth = depth++;
+    node.rows_out = stats.rows_out;
+    node.next_calls = stats.next_calls;
+    node.open_ns = stats.open_ns;
+    node.total_ns = stats.open_ns + stats.next_ns;
+    const Operator* child = op->PlanChild();
+    if (child != nullptr) {
+      const OperatorStats& child_stats = child->op_stats();
+      node.rows_in = child_stats.rows_out;
+      const uint64_t child_total = child_stats.open_ns + child_stats.next_ns;
+      node.self_ns =
+          node.total_ns > child_total ? node.total_ns - child_total : 0;
+    } else {
+      node.self_ns = node.total_ns;
+    }
+    op->CollectOperatorDetail(&node);
+    plan.push_back(std::move(node));
+  }
+  return plan;
 }
 
 }  // namespace skyline

@@ -1,12 +1,34 @@
 #ifndef SKYLINE_EXEC_OPERATOR_H_
 #define SKYLINE_EXEC_OPERATOR_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/status.h"
+#include "core/plan_stats.h"
 #include "relation/schema.h"
 
 namespace skyline {
+
+/// Always-on per-operator runtime counters, maintained by the Operator
+/// base class around every Open()/Next() call. Row and call counts are
+/// free (two increments per row); the time fields are populated only when
+/// timing was switched on for the tree (EnableTimingRecursive — the
+/// EXPLAIN ANALYZE path), so the plain execution path never reads the
+/// clock per row.
+struct OperatorStats {
+  /// Rows returned by Next() (excludes the terminating nullptr).
+  uint64_t rows_out = 0;
+  /// Next() calls, including the one that returned nullptr.
+  uint64_t next_calls = 0;
+  /// Wall nanoseconds inside Open() (timing enabled only). Blocking
+  /// operators (sort, non-pipelined skyline) do their work here.
+  uint64_t open_ns = 0;
+  /// Cumulative wall nanoseconds across all Next() calls (timing enabled
+  /// only). Includes time the operator spends pulling from its child.
+  uint64_t next_ns = 0;
+};
 
 /// Volcano-style pull operator. The exec layer demonstrates the paper's
 /// integration argument: SFS composes with ordinary relational operators
@@ -16,14 +38,20 @@ namespace skyline {
 /// Protocol: Open() once, then Next() until it returns nullptr; check
 /// status() to distinguish exhaustion from error. Returned row pointers are
 /// valid only until the next call on the same operator.
+///
+/// Open()/Next() are non-virtual wrappers that maintain OperatorStats
+/// around the protected OpenImpl()/NextImpl() an operator implements;
+/// parents pull from children through the public wrappers, so child stats
+/// stay accurate even when a blocking parent drains its input inside
+/// OpenImpl().
 class Operator {
  public:
   virtual ~Operator() = default;
 
-  virtual Status Open() = 0;
+  Status Open();
 
   /// Next output row (output_schema().row_width() bytes) or nullptr.
-  virtual const char* Next() = 0;
+  const char* Next();
 
   virtual const Status& status() const = 0;
 
@@ -36,6 +64,30 @@ class Operator {
   /// The input operator, or nullptr for leaves. All current operators are
   /// unary chains.
   virtual const Operator* PlanChild() const { return nullptr; }
+
+  /// Counters maintained by the Open()/Next() wrappers. Named op_stats()
+  /// because several operators expose an algorithm-level stats() of their
+  /// own (SkylineRunStats).
+  const OperatorStats& op_stats() const { return op_stats_; }
+
+  /// Switches on wall-clock timing for this operator and every operator
+  /// below it. Call before Open(); the EXPLAIN ANALYZE path does.
+  void EnableTimingRecursive();
+
+  /// Adds operator-specific counters ("window_comparisons", "heap_peak",
+  /// "pages_read", ...) and notes ("access", "kernel", ...) to an already
+  /// base-populated plan node. Called after execution by CollectPlanStats.
+  virtual void CollectOperatorDetail(PlanNodeStats* node) const {
+    (void)node;
+  }
+
+ protected:
+  virtual Status OpenImpl() = 0;
+  virtual const char* NextImpl() = 0;
+
+ private:
+  OperatorStats op_stats_;
+  bool timing_ = false;
 };
 
 /// Formats an operator tree as an indented EXPLAIN-style plan, root first:
@@ -45,6 +97,12 @@ class Operator {
 ///       Select <predicate>
 ///         TableScan hotels (50000 rows)
 std::string ExplainPlan(const Operator& root);
+
+/// Walks the (executed) tree root-first and builds one PlanNodeStats per
+/// operator: base counters from op_stats(), rows_in from the child's
+/// rows_out, self time as own total minus child total (clamped at 0), and
+/// operator detail via CollectOperatorDetail.
+std::vector<PlanNodeStats> CollectPlanStats(const Operator& root);
 
 }  // namespace skyline
 

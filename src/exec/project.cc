@@ -31,7 +31,7 @@ ProjectOperator::ProjectOperator(std::unique_ptr<Operator> child,
       source_columns_(std::move(source_columns)),
       out_row_(schema_.row_width()) {}
 
-const char* ProjectOperator::Next() {
+const char* ProjectOperator::NextImpl() {
   const char* row = child_->Next();
   if (row == nullptr) return nullptr;
   const Schema& in = child_->output_schema();

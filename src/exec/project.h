@@ -18,14 +18,16 @@ class ProjectOperator : public Operator {
   static Result<std::unique_ptr<ProjectOperator>> Make(
       std::unique_ptr<Operator> child, const std::vector<std::string>& columns);
 
-  Status Open() override { return child_->Open(); }
-  const char* Next() override;
   const Status& status() const override { return child_->status(); }
   const Schema& output_schema() const override { return schema_; }
   std::string PlanNodeLabel() const override {
     return "Project " + schema_.ToString();
   }
   const Operator* PlanChild() const override { return child_.get(); }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  const char* NextImpl() override;
 
  private:
   ProjectOperator(std::unique_ptr<Operator> child, Schema schema,

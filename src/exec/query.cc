@@ -112,4 +112,22 @@ Status Query::Run(const std::function<Status(const RowView&)>& visitor) {
   return root->status();
 }
 
+Status Query::RunProfiled(const std::function<Status(const RowView&)>& visitor,
+                          std::vector<PlanNodeStats>* plan) {
+  SKYLINE_ASSIGN_OR_RETURN(std::unique_ptr<Operator> root, Build());
+  root->EnableTimingRecursive();
+  Status st = root->Open();
+  if (st.ok()) {
+    while (const char* row = root->Next()) {
+      st = visitor(RowView(&root->output_schema(), row));
+      if (!st.ok()) break;
+    }
+    if (st.ok()) st = root->status();
+  }
+  // The profile is collected even for failed runs — partial counters are
+  // exactly what you want when diagnosing where a query died.
+  if (plan != nullptr) *plan = CollectPlanStats(*root);
+  return st;
+}
+
 }  // namespace skyline

@@ -81,6 +81,13 @@ class Query {
   /// Builds, opens, and drives the pipeline, calling `visitor` per row.
   Status Run(const std::function<Status(const RowView&)>& visitor);
 
+  /// Like Run(), but with per-operator wall-clock timing enabled on the
+  /// tree, and — on completion (even a failed one) — fills `plan` with the
+  /// collected per-operator profile (CollectPlanStats). Null `plan` just
+  /// runs with timing on. The EXPLAIN ANALYZE entry point.
+  Status RunProfiled(const std::function<Status(const RowView&)>& visitor,
+                     std::vector<PlanNodeStats>* plan);
+
  private:
   using Step = std::function<Result<std::unique_ptr<Operator>>(
       std::unique_ptr<Operator>)>;

@@ -3,19 +3,25 @@
 namespace skyline {
 
 TableScanOperator::TableScanOperator(const Table* table, IoStats* io)
-    : table_(table), io_(io) {}
+    : table_(table), io_(io == nullptr ? &own_io_ : io) {}
 
-Status TableScanOperator::Open() {
+Status TableScanOperator::OpenImpl() {
   reader_ = std::make_unique<HeapFileReader>(
       table_->env(), table_->path(), table_->schema().row_width(), io_);
   return reader_->Open();
 }
 
-const char* TableScanOperator::Next() {
+const char* TableScanOperator::NextImpl() {
   if (!status_.ok()) return nullptr;
   const char* row = reader_->Next();
   if (row == nullptr) status_ = reader_->status();
   return row;
+}
+
+void TableScanOperator::CollectOperatorDetail(PlanNodeStats* node) const {
+  if (io_->pages_read > 0) {
+    node->counters.emplace_back("pages_read", io_->pages_read);
+  }
 }
 
 }  // namespace skyline

@@ -16,8 +16,6 @@ class TableScanOperator : public Operator {
   /// `table` must outlive the operator.
   explicit TableScanOperator(const Table* table, IoStats* io = nullptr);
 
-  Status Open() override;
-  const char* Next() override;
   const Status& status() const override { return status_; }
   const Schema& output_schema() const override { return table_->schema(); }
   /// The scanned base table — lets a parent operator recognize a pure
@@ -28,10 +26,16 @@ class TableScanOperator : public Operator {
     return "TableScan " + table_->path() + " (" +
            std::to_string(table_->row_count()) + " rows)";
   }
+  void CollectOperatorDetail(PlanNodeStats* node) const override;
+
+ protected:
+  Status OpenImpl() override;
+  const char* NextImpl() override;
 
  private:
   const Table* table_;
   IoStats* io_;
+  IoStats own_io_;  // used when the caller did not supply a counter
   std::unique_ptr<HeapFileReader> reader_;
   Status status_;
 };

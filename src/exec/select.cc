@@ -8,7 +8,7 @@ SelectOperator::SelectOperator(std::unique_ptr<Operator> child,
                                RowPredicate predicate)
     : child_(std::move(child)), predicate_(std::move(predicate)) {}
 
-const char* SelectOperator::Next() {
+const char* SelectOperator::NextImpl() {
   while (const char* row = child_->Next()) {
     if (predicate_(RowView(&child_->output_schema(), row))) return row;
   }

@@ -19,14 +19,16 @@ class SelectOperator : public Operator {
  public:
   SelectOperator(std::unique_ptr<Operator> child, RowPredicate predicate);
 
-  Status Open() override { return child_->Open(); }
-  const char* Next() override;
   const Status& status() const override { return child_->status(); }
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
   std::string PlanNodeLabel() const override { return "Select <predicate>"; }
   const Operator* PlanChild() const override { return child_.get(); }
+
+ protected:
+  Status OpenImpl() override { return child_->Open(); }
+  const char* NextImpl() override;
 
  private:
   std::unique_ptr<Operator> child_;

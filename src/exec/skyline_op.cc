@@ -1,5 +1,7 @@
 #include "exec/skyline_op.h"
 
+#include <cstdio>
+#include <string_view>
 #include <utility>
 
 #include "common/stopwatch.h"
@@ -41,7 +43,7 @@ SkylineOperator::SkylineOperator(std::unique_ptr<Operator> child, Env* env,
       bnl_options_(std::move(bnl_options)),
       constraint_(std::move(constraint)) {}
 
-Status SkylineOperator::Open() {
+Status SkylineOperator::OpenImpl() {
   const ExecContext& ctx = exec_ != nullptr ? *exec_ : DefaultExecContext();
   SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
 
@@ -131,6 +133,7 @@ Status SkylineOperator::Open() {
     presort_span.End();
     stats_.sort_seconds = sort_timer.ElapsedSeconds();
   }
+  stats_.access_path = "sfs";
   sfs_ = std::make_unique<SfsIterator>(
       env_, &temp_files_, sorted_path, &spec_, sfs_options_.window_pages,
       sfs_options_.use_projection, &stats_);
@@ -138,7 +141,7 @@ Status SkylineOperator::Open() {
   return sfs_->Open();
 }
 
-const char* SkylineOperator::Next() {
+const char* SkylineOperator::NextImpl() {
   if (!status_.ok()) return nullptr;
   if (materialized_reader_ != nullptr) {
     // Materialized result (BNL, a special-case scan, or the parallel
@@ -159,6 +162,63 @@ const char* SkylineOperator::Next() {
     }
   }
   return row;
+}
+
+void SkylineOperator::CollectOperatorDetail(PlanNodeStats* node) const {
+  node->counters.emplace_back("input_rows", stats_.input_rows);
+  node->counters.emplace_back("passes", stats_.passes);
+  node->counters.emplace_back("window_comparisons", stats_.window_comparisons);
+  if (stats_.merge_comparisons > 0) {
+    node->counters.emplace_back("merge_comparisons", stats_.merge_comparisons);
+  }
+  if (stats_.window_blocks_pruned > 0) {
+    node->counters.emplace_back("window_blocks_pruned",
+                                stats_.window_blocks_pruned);
+  }
+  if (stats_.merge_blocks_pruned > 0) {
+    node->counters.emplace_back("merge_blocks_pruned",
+                                stats_.merge_blocks_pruned);
+  }
+  if (stats_.table_zone_blocks_pruned > 0) {
+    node->counters.emplace_back("table_zone_blocks_pruned",
+                                stats_.table_zone_blocks_pruned);
+  }
+  if (stats_.spilled_tuples > 0) {
+    node->counters.emplace_back("spilled_tuples", stats_.spilled_tuples);
+  }
+  if (stats_.index_nodes_visited > 0) {
+    node->counters.emplace_back("index_nodes_visited",
+                                stats_.index_nodes_visited);
+  }
+  if (stats_.index_blocks_skipped > 0) {
+    node->counters.emplace_back("index_blocks_skipped",
+                                stats_.index_blocks_skipped);
+  }
+  if (stats_.heap_peak > 0) {
+    node->counters.emplace_back("heap_peak", stats_.heap_peak);
+  }
+  node->counters.emplace_back("threads_used", stats_.threads_used);
+
+  if (stats_.access_path[0] != '\0') {
+    node->notes.emplace_back("access", stats_.access_path);
+  }
+  node->notes.emplace_back("kernel", stats_.dominance_kernel);
+  if (std::string_view(stats_.partition_scheme) != "none") {
+    node->notes.emplace_back("scheme", stats_.partition_scheme);
+  }
+  if (std::string_view(stats_.zone_map_source) != "none") {
+    node->notes.emplace_back("zones", stats_.zone_map_source);
+  }
+  if (stats_.route_sample_rows > 0) {
+    char route[160];
+    std::snprintf(route, sizeof(route),
+                  "sampled %llu rows -> %llu skyline, est %.0f vs bbs cutoff "
+                  "%.0f",
+                  static_cast<unsigned long long>(stats_.route_sample_rows),
+                  static_cast<unsigned long long>(stats_.route_sample_skyline),
+                  stats_.route_estimated_skyline, stats_.route_bbs_threshold);
+    node->notes.emplace_back("route", route);
+  }
 }
 
 }  // namespace skyline

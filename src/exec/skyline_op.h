@@ -43,8 +43,6 @@ class SkylineOperator : public Operator {
   /// cancellation for the skyline computation.
   void set_exec_context(const ExecContext* ctx) { exec_ = ctx; }
 
-  Status Open() override;
-  const char* Next() override;
   const Status& status() const override { return status_; }
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -61,10 +59,15 @@ class SkylineOperator : public Operator {
     return label;
   }
   const Operator* PlanChild() const override { return child_.get(); }
+  void CollectOperatorDetail(PlanNodeStats* node) const override;
 
   /// Run statistics (valid after the stream is exhausted; for SFS the pass
   /// counters update as the stream advances).
   const SkylineRunStats& stats() const { return stats_; }
+
+ protected:
+  Status OpenImpl() override;
+  const char* NextImpl() override;
 
  private:
   SkylineOperator(std::unique_ptr<Operator> child, Env* env,

@@ -13,7 +13,7 @@ SortOperator::SortOperator(std::unique_ptr<Operator> child, Env* env,
       ordering_(ordering),
       options_(options) {}
 
-Status SortOperator::Open() {
+Status SortOperator::OpenImpl() {
   SKYLINE_RETURN_IF_ERROR(child_->Open());
   const size_t width = child_->output_schema().row_width();
 
@@ -31,16 +31,29 @@ Status SortOperator::Open() {
   SKYLINE_ASSIGN_OR_RETURN(
       std::string sorted,
       SortHeapFile(env_, &temp_files_, staged, width, *ordering_, options_,
-                   ctx, nullptr));
+                   ctx, &sort_stats_));
   reader_ = std::make_unique<HeapFileReader>(env_, sorted, width, nullptr);
   return reader_->Open();
 }
 
-const char* SortOperator::Next() {
+const char* SortOperator::NextImpl() {
   if (!status_.ok() || reader_ == nullptr) return nullptr;
   const char* row = reader_->Next();
   if (row == nullptr) status_ = reader_->status();
   return row;
+}
+
+void SortOperator::CollectOperatorDetail(PlanNodeStats* node) const {
+  node->counters.emplace_back("runs_generated", sort_stats_.runs_generated);
+  node->counters.emplace_back("merge_levels", sort_stats_.merge_levels);
+  if (sort_stats_.records_filtered > 0) {
+    node->counters.emplace_back("records_filtered",
+                                sort_stats_.records_filtered);
+  }
+  node->counters.emplace_back("threads_used", sort_stats_.threads_used);
+  node->counters.emplace_back("temp_pages",
+                              sort_stats_.io.pages_read +
+                                  sort_stats_.io.pages_written);
 }
 
 }  // namespace skyline

@@ -27,14 +27,17 @@ class SortOperator : public Operator {
   /// Open): thread override, trace spans, and cancellation for the sort.
   void set_exec_context(const ExecContext* ctx) { exec_ = ctx; }
 
-  Status Open() override;
-  const char* Next() override;
   const Status& status() const override { return status_; }
   const Schema& output_schema() const override {
     return child_->output_schema();
   }
   std::string PlanNodeLabel() const override { return "Sort (external)"; }
   const Operator* PlanChild() const override { return child_.get(); }
+  void CollectOperatorDetail(PlanNodeStats* node) const override;
+
+ protected:
+  Status OpenImpl() override;
+  const char* NextImpl() override;
 
  private:
   std::unique_ptr<Operator> child_;
@@ -43,6 +46,7 @@ class SortOperator : public Operator {
   const RowOrdering* ordering_;
   SortOptions options_;
   const ExecContext* exec_ = nullptr;
+  SortStats sort_stats_;
   std::unique_ptr<HeapFileReader> reader_;
   Status status_;
 };

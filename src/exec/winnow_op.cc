@@ -14,7 +14,7 @@ WinnowOperator::WinnowOperator(std::unique_ptr<Operator> child, Env* env,
       prefers_(std::move(prefers)),
       options_(std::move(options)) {}
 
-Status WinnowOperator::Open() {
+Status WinnowOperator::OpenImpl() {
   SKYLINE_RETURN_IF_ERROR(child_->Open());
   const std::string staged = temp_files_.Allocate("winnow_input");
   TableBuilder builder(env_, staged, child_->output_schema());
@@ -34,11 +34,24 @@ Status WinnowOperator::Open() {
   return Status::OK();
 }
 
-const char* WinnowOperator::Next() {
+const char* WinnowOperator::NextImpl() {
   if (!status_.ok() || reader_ == nullptr) return nullptr;
   const char* row = reader_->Next();
   if (row == nullptr) status_ = reader_->status();
   return row;
+}
+
+void WinnowOperator::CollectOperatorDetail(PlanNodeStats* node) const {
+  node->counters.emplace_back("input_rows", stats_.input_rows);
+  node->counters.emplace_back("passes", stats_.passes);
+  node->counters.emplace_back("window_comparisons", stats_.window_comparisons);
+  if (stats_.window_replacements > 0) {
+    node->counters.emplace_back("window_replacements",
+                                stats_.window_replacements);
+  }
+  if (stats_.spilled_tuples > 0) {
+    node->counters.emplace_back("spilled_tuples", stats_.spilled_tuples);
+  }
 }
 
 }  // namespace skyline

@@ -23,8 +23,6 @@ class WinnowOperator : public Operator {
                  std::string temp_prefix, PreferenceRelation prefers,
                  WinnowOptions options = WinnowOptions{});
 
-  Status Open() override;
-  const char* Next() override;
   const Status& status() const override { return status_; }
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -32,9 +30,14 @@ class WinnowOperator : public Operator {
 
   std::string PlanNodeLabel() const override { return "Winnow <preference>"; }
   const Operator* PlanChild() const override { return child_.get(); }
+  void CollectOperatorDetail(PlanNodeStats* node) const override;
 
   /// Run statistics (valid after Open).
   const SkylineRunStats& stats() const { return stats_; }
+
+ protected:
+  Status OpenImpl() override;
+  const char* NextImpl() override;
 
  private:
   std::unique_ptr<Operator> child_;

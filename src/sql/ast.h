@@ -31,9 +31,15 @@ struct SqlOrderItem {
   bool descending = false;
 };
 
+/// How the statement should be evaluated: run it (kNone), render its plan
+/// without running (kPlan, `EXPLAIN ...`), or run it and render the plan
+/// annotated with per-operator stats (kAnalyze, `EXPLAIN ANALYZE ...`).
+enum class ExplainMode { kNone, kPlan, kAnalyze };
+
 /// Parsed form of the mini dialect's single statement shape — the paper's
 /// Figure 3 proposal:
 ///
+///   [EXPLAIN [ANALYZE]]
 ///   SELECT <* | col [, col ...]>
 ///   FROM <table>
 ///   [WHERE <col op literal> [AND ...]]
@@ -52,6 +58,7 @@ struct SelectStatement {
   std::vector<Criterion> skyline;
   std::vector<SqlOrderItem> order_by;
   std::optional<uint64_t> limit;
+  ExplainMode explain = ExplainMode::kNone;
 };
 
 /// Printable operator text ("<=" etc.), for diagnostics.

@@ -313,9 +313,11 @@ Result<std::unique_ptr<Query>> BuildQueryFromStatement(
 
 Status ExecuteSelect(const Catalog& catalog, const SelectStatement& statement,
                      const SqlOptions& options,
-                     const std::function<Status(const RowView&)>& visitor) {
+                     const std::function<Status(const RowView&)>& visitor,
+                     SqlRunInfo* info) {
   const ExecContext ctx = ResolveSqlContext(options);
   SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
+  if (info != nullptr) info->explain = statement.explain;
   TraceSpan bind_span(ctx.trace, "sql-bind");
   std::unique_ptr<LexicographicOrdering> order_by;
   SKYLINE_ASSIGN_OR_RETURN(
@@ -323,7 +325,32 @@ Status ExecuteSelect(const Catalog& catalog, const SelectStatement& statement,
       BuildQueryFromStatement(catalog, statement, options, &order_by));
   bind_span.End();
   query->WithContext(&ctx);
+
+  if (statement.explain == ExplainMode::kPlan) {
+    // Plan only — nothing runs, the visitor never fires.
+    SKYLINE_ASSIGN_OR_RETURN(std::string plan_text, query->Explain());
+    if (info != nullptr) info->plan_text = std::move(plan_text);
+    return Status::OK();
+  }
+
   TraceSpan execute_span(ctx.trace, "sql-execute");
+  if (statement.explain == ExplainMode::kAnalyze) {
+    // EXPLAIN ANALYZE: run the plan for real, but the deliverable is the
+    // annotated plan, not the rows.
+    std::vector<PlanNodeStats> plan;
+    SKYLINE_RETURN_IF_ERROR(query->RunProfiled(
+        [](const RowView&) { return Status::OK(); }, &plan));
+    if (info != nullptr) {
+      info->executed = true;
+      info->plan_text = RenderPlanStatsText(plan);
+      info->plan = std::move(plan);
+    }
+    return Status::OK();
+  }
+  if (info != nullptr) {
+    info->executed = true;
+    return query->RunProfiled(visitor, &info->plan);
+  }
   return query->Run(visitor);
 }
 
@@ -339,11 +366,12 @@ Result<std::string> ExplainSql(const Catalog& catalog, const std::string& sql,
 
 Status ExecuteSql(const Catalog& catalog, const std::string& sql,
                   const SqlOptions& options,
-                  const std::function<Status(const RowView&)>& visitor) {
+                  const std::function<Status(const RowView&)>& visitor,
+                  SqlRunInfo* info) {
   TraceSpan parse_span(options.exec.trace, "sql-parse");
   SKYLINE_ASSIGN_OR_RETURN(SelectStatement statement, ParseSql(sql));
   parse_span.End();
-  return ExecuteSelect(catalog, statement, options, visitor);
+  return ExecuteSelect(catalog, statement, options, visitor, info);
 }
 
 }  // namespace skyline

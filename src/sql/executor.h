@@ -68,17 +68,41 @@ struct SqlOptions {
 Result<std::string> ExplainSql(const Catalog& catalog, const std::string& sql,
                                const SqlOptions& options = SqlOptions{});
 
+/// Side-channel results of one statement execution, filled when the caller
+/// passes it to ExecuteSelect/ExecuteSql.
+///
+/// For a plain statement: `executed` is true and `plan` holds the
+/// per-operator profile (row counts always; wall times too, since profiled
+/// execution runs with timing on).
+///
+/// For `EXPLAIN <query>`: nothing runs, `executed` stays false, and
+/// `plan_text` holds the indented plan — the visitor never fires.
+///
+/// For `EXPLAIN ANALYZE <query>`: the statement runs to completion but
+/// rows are consumed internally (the visitor never fires); `plan` holds
+/// the profile and `plan_text` the annotated rendering.
+struct SqlRunInfo {
+  ExplainMode explain = ExplainMode::kNone;
+  bool executed = false;
+  std::string plan_text;
+  std::vector<PlanNodeStats> plan;
+};
+
 /// Binds and runs `statement` against `catalog`, invoking `visitor` per
 /// output row. Binding errors (unknown table/column, type-mismatched
-/// predicate) surface as NotFound / InvalidArgument.
+/// predicate) surface as NotFound / InvalidArgument. A non-null `info`
+/// collects the per-operator profile and makes the statement's EXPLAIN
+/// mode observable (see SqlRunInfo).
 Status ExecuteSelect(const Catalog& catalog, const SelectStatement& statement,
                      const SqlOptions& options,
-                     const std::function<Status(const RowView&)>& visitor);
+                     const std::function<Status(const RowView&)>& visitor,
+                     SqlRunInfo* info = nullptr);
 
 /// One-shot convenience: parse + execute.
 Status ExecuteSql(const Catalog& catalog, const std::string& sql,
                   const SqlOptions& options,
-                  const std::function<Status(const RowView&)>& visitor);
+                  const std::function<Status(const RowView&)>& visitor,
+                  SqlRunInfo* info = nullptr);
 
 }  // namespace skyline
 

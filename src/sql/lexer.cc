@@ -10,7 +10,7 @@ const std::set<std::string>& Keywords() {
   static const auto* const kKeywords = new std::set<std::string>{
       "SELECT", "FROM", "WHERE", "AND",  "SKYLINE", "OF",
       "MIN",    "MAX",  "DIFF",  "LIMIT", "ORDER",  "BY",
-      "ASC",    "DESC"};
+      "ASC",    "DESC",  "EXPLAIN", "ANALYZE"};
   return *kKeywords;
 }
 

@@ -13,7 +13,7 @@ namespace skyline {
 /// kKeyword with upper-cased text.
 enum class TokenKind {
   kKeyword,     // SELECT FROM WHERE AND SKYLINE OF MIN MAX DIFF
-                // LIMIT ORDER BY ASC DESC
+                // LIMIT ORDER BY ASC DESC EXPLAIN ANALYZE
   kIdentifier,  // column / table names
   kNumber,      // integer or decimal literal (optional sign handled here)
   kString,      // '...' single-quoted, '' escapes a quote

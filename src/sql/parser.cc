@@ -59,6 +59,10 @@ class Parser {
 
   Result<SelectStatement> Parse() {
     SelectStatement stmt;
+    if (AcceptKeyword("EXPLAIN")) {
+      stmt.explain = AcceptKeyword("ANALYZE") ? ExplainMode::kAnalyze
+                                              : ExplainMode::kPlan;
+    }
     SKYLINE_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
     SKYLINE_RETURN_IF_ERROR(ParseSelectList(&stmt));
     SKYLINE_RETURN_IF_ERROR(ExpectKeyword("FROM"));

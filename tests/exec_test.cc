@@ -254,5 +254,104 @@ TEST_F(ExecTest, AutoAlgorithmPicksSpecialCases) {
   }
 }
 
+TEST_F(ExecTest, OperatorStatsCountRowsAndNextCalls) {
+  ASSERT_OK_AND_ASSIGN(
+      Table t, MakeIntTable(env_.get(), "t", 2, {{1, 0}, {5, 0}, {9, 0}}));
+  SelectOperator select(
+      std::make_unique<TableScanOperator>(&t),
+      [](const RowView& row) { return row.GetInt32(0) >= 5; });
+  ASSERT_OK(select.Open());
+  while (select.Next() != nullptr) {
+  }
+  EXPECT_OK(select.status());
+  // Select emitted 2 of 3 rows; the call that returned nullptr counts too.
+  EXPECT_EQ(select.op_stats().rows_out, 2u);
+  EXPECT_EQ(select.op_stats().next_calls, 3u);
+  // The child was pulled through the public wrapper, so its stats are
+  // visible as well: all 3 rows plus the exhaustion call.
+  const Operator* child = select.PlanChild();
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->op_stats().rows_out, 3u);
+  EXPECT_EQ(child->op_stats().next_calls, 4u);
+  // Timing was never enabled: the plain path must not read the clock.
+  EXPECT_EQ(select.op_stats().open_ns, 0u);
+  EXPECT_EQ(select.op_stats().next_ns, 0u);
+}
+
+TEST_F(ExecTest, CollectPlanStatsAnnotatesExecutedTree) {
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env_.get(), "t", 500, 3, 77));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<SkylineOperator> skyline_op,
+      SkylineOperator::Make(std::make_unique<TableScanOperator>(&t),
+                            env_.get(), "tmp_plan",
+                            {{"a0", Directive::kMax},
+                             {"a1", Directive::kMax},
+                             {"a2", Directive::kMin}}));
+  LimitOperator limit(std::move(skyline_op), 4);
+  limit.EnableTimingRecursive();
+  ASSERT_OK(limit.Open());
+  uint64_t rows = 0;
+  while (limit.Next() != nullptr) ++rows;
+  EXPECT_OK(limit.status());
+  ASSERT_EQ(rows, 4u);
+
+  const std::vector<PlanNodeStats> plan = CollectPlanStats(limit);
+  ASSERT_EQ(plan.size(), 3u);
+  // Root-first with increasing depth: Limit, Skyline, TableScan.
+  EXPECT_NE(plan[0].label.find("Limit"), std::string::npos);
+  EXPECT_NE(plan[1].label.find("Skyline"), std::string::npos);
+  EXPECT_NE(plan[2].label.find("TableScan"), std::string::npos);
+  EXPECT_EQ(plan[0].depth, 0u);
+  EXPECT_EQ(plan[1].depth, 1u);
+  EXPECT_EQ(plan[2].depth, 2u);
+  // rows_in mirrors the child's rows_out.
+  EXPECT_EQ(plan[0].rows_out, 4u);
+  EXPECT_EQ(plan[0].rows_in, plan[1].rows_out);
+  EXPECT_EQ(plan[1].rows_in, plan[2].rows_out);
+  // Limit stopped the pipeline: the skyline stream was not drained.
+  EXPECT_EQ(plan[1].rows_out, 4u);
+  // Timing was enabled, so the blocking skyline operator shows open time,
+  // and self time never exceeds total.
+  EXPECT_GT(plan[1].open_ns, 0u);
+  for (const PlanNodeStats& node : plan) {
+    EXPECT_LE(node.self_ns, node.total_ns) << node.label;
+  }
+  // Operator detail: the skyline node carries its algorithm counters and
+  // a counters line renders in the text form.
+  const auto& counters = plan[1].counters;
+  const auto has = [&counters](const char* key) {
+    for (const auto& kv : counters) {
+      if (kv.first == key) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("input_rows"));
+  EXPECT_TRUE(has("window_comparisons"));
+  const std::string text = RenderPlanStatsText(plan);
+  EXPECT_NE(text.find("in="), std::string::npos);
+  EXPECT_NE(text.find("out="), std::string::npos);
+  EXPECT_NE(text.find("input_rows="), std::string::npos);
+  EXPECT_NE(text.find("limit=4"), std::string::npos);
+}
+
+TEST_F(ExecTest, PlainExecutionSkipsClockButCollectsCounts) {
+  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env_.get(), "t", 200, 3, 78));
+  ASSERT_OK_AND_ASSIGN(
+      std::unique_ptr<SkylineOperator> op,
+      SkylineOperator::Make(std::make_unique<TableScanOperator>(&t),
+                            env_.get(), "tmp_plain",
+                            {{"a0", Directive::kMax}, {"a1", Directive::kMax},
+                             {"a2", Directive::kMax}}));
+  ASSERT_OK(op->Open());
+  while (op->Next() != nullptr) {
+  }
+  EXPECT_OK(op->status());
+  const std::vector<PlanNodeStats> plan = CollectPlanStats(*op);
+  ASSERT_EQ(plan.size(), 2u);
+  EXPECT_GT(plan[0].rows_out, 0u);
+  EXPECT_EQ(plan[0].open_ns, 0u);
+  EXPECT_EQ(plan[0].total_ns, 0u);
+}
+
 }  // namespace
 }  // namespace skyline

@@ -255,5 +255,129 @@ TEST_F(SqlExecutorTest, AutoAlgorithmViaSqlOptions) {
   EXPECT_NE(plan.find("Skyline[auto]"), std::string::npos) << plan;
 }
 
+TEST_F(SqlExecutorTest, ExplainThroughSqlReturnsPlanWithoutRunning) {
+  SqlRunInfo info;
+  int visits = 0;
+  ASSERT_OK(ExecuteSql(*catalog_,
+                       "EXPLAIN SELECT restaurant FROM GoodEats "
+                       "SKYLINE OF S MAX, price MIN",
+                       SqlOptions{},
+                       [&](const RowView&) {
+                         ++visits;
+                         return Status::OK();
+                       },
+                       &info));
+  EXPECT_EQ(info.explain, ExplainMode::kPlan);
+  EXPECT_FALSE(info.executed);
+  EXPECT_EQ(visits, 0);
+  EXPECT_NE(info.plan_text.find("Skyline[SFS]"), std::string::npos)
+      << info.plan_text;
+  EXPECT_NE(info.plan_text.find("TableScan"), std::string::npos);
+  EXPECT_TRUE(info.plan.empty());
+}
+
+// The tentpole acceptance test: EXPLAIN ANALYZE runs the statement and the
+// annotated plan's row counts and skyline counters match what a plain run
+// of the same query reports.
+TEST_F(SqlExecutorTest, ExplainAnalyzeMatchesPlainRun) {
+  const std::string query =
+      "SELECT restaurant FROM GoodEats "
+      "SKYLINE OF S MAX, F MAX, D MAX, price MIN";
+
+  // Plain profiled run: 4 skyline rows (the paper's Figure 4 answer).
+  SqlRunInfo plain;
+  std::set<std::string> names;
+  ASSERT_OK(ExecuteSql(*catalog_, query, SqlOptions{},
+                       [&](const RowView& row) {
+                         names.insert(row.GetString(0));
+                         return Status::OK();
+                       },
+                       &plain));
+  EXPECT_EQ(plain.explain, ExplainMode::kNone);
+  EXPECT_TRUE(plain.executed);
+  EXPECT_EQ(names, (std::set<std::string>{"Summer Moon", "Zakopane",
+                                          "Yamanote", "Fenton & Pickle"}));
+
+  // EXPLAIN ANALYZE of the same query: rows are consumed internally.
+  SqlRunInfo analyzed;
+  int visits = 0;
+  ASSERT_OK(ExecuteSql(*catalog_, "EXPLAIN ANALYZE " + query, SqlOptions{},
+                       [&](const RowView&) {
+                         ++visits;
+                         return Status::OK();
+                       },
+                       &analyzed));
+  EXPECT_EQ(analyzed.explain, ExplainMode::kAnalyze);
+  EXPECT_TRUE(analyzed.executed);
+  EXPECT_EQ(visits, 0) << "EXPLAIN ANALYZE must not surface rows";
+
+  // Same plan shape, same per-operator row counts, same skyline counters.
+  ASSERT_EQ(analyzed.plan.size(), plain.plan.size());
+  ASSERT_FALSE(analyzed.plan.empty());
+  for (size_t i = 0; i < analyzed.plan.size(); ++i) {
+    EXPECT_EQ(analyzed.plan[i].label, plain.plan[i].label);
+    EXPECT_EQ(analyzed.plan[i].depth, plain.plan[i].depth);
+    EXPECT_EQ(analyzed.plan[i].rows_in, plain.plan[i].rows_in) << i;
+    EXPECT_EQ(analyzed.plan[i].rows_out, plain.plan[i].rows_out) << i;
+    EXPECT_EQ(analyzed.plan[i].counters, plain.plan[i].counters) << i;
+  }
+  // The root emits the 4 skyline rows in both runs.
+  EXPECT_EQ(analyzed.plan[0].rows_out, 4u);
+
+  // The annotated rendering carries the stats inline.
+  EXPECT_NE(analyzed.plan_text.find("out=4"), std::string::npos)
+      << analyzed.plan_text;
+  EXPECT_NE(analyzed.plan_text.find("input_rows=6"), std::string::npos)
+      << analyzed.plan_text;
+  // Timing ran for the analyze pass: the blocking skyline node has time.
+  uint64_t max_total = 0;
+  for (const PlanNodeStats& node : analyzed.plan) {
+    max_total = std::max(max_total, node.total_ns);
+  }
+  EXPECT_GT(max_total, 0u);
+}
+
+TEST_F(SqlExecutorTest, ExplainAnalyzeCarriesRoutingDecision) {
+  // Under kAuto the cost model samples the input and records its access
+  // path choice; EXPLAIN ANALYZE surfaces it as a plan note.
+  SqlOptions options;
+  options.algorithm = SkylineAlgorithm::kAuto;
+  SqlRunInfo info;
+  ASSERT_OK(ExecuteSql(*catalog_,
+                       "EXPLAIN ANALYZE SELECT restaurant FROM GoodEats "
+                       "SKYLINE OF S MAX, F MAX, D MAX, price MIN",
+                       options, [](const RowView&) { return Status::OK(); },
+                       &info));
+  ASSERT_FALSE(info.plan.empty());
+  const PlanNodeStats* skyline_node = nullptr;
+  for (const PlanNodeStats& node : info.plan) {
+    if (node.label.find("Skyline") != std::string::npos) skyline_node = &node;
+  }
+  ASSERT_NE(skyline_node, nullptr);
+  bool has_access = false;
+  for (const auto& kv : skyline_node->notes) {
+    if (kv.first == "access") has_access = true;
+  }
+  EXPECT_TRUE(has_access) << info.plan_text;
+}
+
+TEST_F(SqlExecutorTest, PlainRunWithInfoCollectsPlanAndVisitsRows) {
+  SqlRunInfo info;
+  int visits = 0;
+  ASSERT_OK(ExecuteSql(*catalog_,
+                       "SELECT restaurant FROM GoodEats "
+                       "SKYLINE OF S MAX, price MIN LIMIT 1",
+                       SqlOptions{},
+                       [&](const RowView&) {
+                         ++visits;
+                         return Status::OK();
+                       },
+                       &info));
+  EXPECT_EQ(visits, 1);
+  EXPECT_TRUE(info.executed);
+  ASSERT_FALSE(info.plan.empty());
+  EXPECT_EQ(info.plan[0].rows_out, 1u);
+}
+
 }  // namespace
 }  // namespace skyline

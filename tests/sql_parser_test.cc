@@ -137,5 +137,34 @@ TEST(SqlParser, OrderBySyntaxErrors) {
   EXPECT_TRUE(ParseSql("SELECT * FROM t ORDER BY").status().IsInvalidArgument());
 }
 
+TEST(SqlParser, ExplainPrefix) {
+  SelectStatement plain = MustParse("SELECT * FROM t SKYLINE OF a, b MIN");
+  EXPECT_EQ(plain.explain, ExplainMode::kNone);
+
+  SelectStatement explain =
+      MustParse("EXPLAIN SELECT * FROM t SKYLINE OF a, b MIN");
+  EXPECT_EQ(explain.explain, ExplainMode::kPlan);
+  EXPECT_EQ(explain.table, "t");
+  ASSERT_EQ(explain.skyline.size(), 2u);
+
+  SelectStatement analyze =
+      MustParse("explain analyze select p FROM t WHERE p < 9 "
+                "SKYLINE OF a MAX LIMIT 2");
+  EXPECT_EQ(analyze.explain, ExplainMode::kAnalyze);
+  EXPECT_EQ(analyze.table, "t");
+  EXPECT_EQ(analyze.predicates.size(), 1u);
+  ASSERT_TRUE(analyze.limit.has_value());
+  EXPECT_EQ(*analyze.limit, 2u);
+}
+
+TEST(SqlParser, ExplainErrors) {
+  // EXPLAIN must be followed by a (possibly ANALYZE-prefixed) SELECT.
+  EXPECT_TRUE(ParseSql("EXPLAIN").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("EXPLAIN ANALYZE").status().IsInvalidArgument());
+  // ANALYZE alone is not a statement: the prefix is EXPLAIN [ANALYZE].
+  EXPECT_TRUE(
+      ParseSql("ANALYZE SELECT * FROM t").status().IsInvalidArgument());
+}
+
 }  // namespace
 }  // namespace skyline

@@ -1,0 +1,425 @@
+// Chrome/Perfetto trace export: TraceSink::ExportChromeTrace must emit a
+// document chrome://tracing and ui.perfetto.dev can load. The tests parse
+// the export with a minimal JSON reader (no external dependency) and
+// validate the trace-event schema field by field, then drive a
+// multi-threaded 100k-row parallel-SFS run and require spans from at least
+// two distinct thread ids — the property that makes the export worth
+// opening in a viewer at all.
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/exec_context.h"
+#include "common/trace.h"
+#include "core/scoring.h"
+#include "core/sfs.h"
+#include "core/sfs_parallel.h"
+#include "gtest/gtest.h"
+#include "sort/external_sort.h"
+#include "relation/generator.h"
+#include "storage/temp_file_manager.h"
+#include "test_util.h"
+
+namespace skyline {
+namespace {
+
+// ---- Minimal JSON reader -------------------------------------------------
+// Just enough to schema-check the export: objects, arrays, strings,
+// numbers, booleans, null. Parse failures surface as test failures via
+// the `ok` flag and `error` message.
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_number() const { return kind == Kind::kNumber; }
+
+  const JsonValue* Find(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool Fail(const std::string& why) {
+    error_ = why + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return Fail("unexpected end");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't' || c == 'f') return ParseLiteral(out);
+    if (c == 'n') return ParseLiteral(out);
+    return ParseNumber(out);
+  }
+
+  bool ParseLiteral(JsonValue* out) {
+    static const struct {
+      const char* text;
+      JsonValue::Kind kind;
+      bool boolean;
+    } kLiterals[] = {{"true", JsonValue::Kind::kBool, true},
+                     {"false", JsonValue::Kind::kBool, false},
+                     {"null", JsonValue::Kind::kNull, false}};
+    for (const auto& lit : kLiterals) {
+      const size_t len = std::strlen(lit.text);
+      if (text_.compare(pos_, len, lit.text) == 0) {
+        out->kind = lit.kind;
+        out->boolean = lit.boolean;
+        pos_ += len;
+        return true;
+      }
+    }
+    return Fail("bad literal");
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Fail("bad number");
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = std::stod(text_.substr(start, pos_ - start));
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (text_[pos_] != '"') return Fail("expected string");
+    ++pos_;
+    out->clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return Fail("bad escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return Fail("bad \\u escape");
+            // Decoded code points don't matter for schema checks; keep the
+            // raw hex so the string is still comparable and non-empty.
+            out->append("\\u");
+            out->append(text_, pos_, 4);
+            pos_ += 4;
+            continue;
+          }
+          default:
+            return Fail("bad escape");
+        }
+      }
+      out->push_back(c);
+    }
+    if (pos_ >= text_.size()) return Fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool ParseObject(JsonValue* out) {
+    out->kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipSpace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return Fail("expected ':'");
+      }
+      ++pos_;
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->object.emplace(std::move(key), std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or '}'");
+    }
+  }
+
+  bool ParseArray(JsonValue* out) {
+    out->kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      JsonValue value;
+      if (!ParseValue(&value)) return false;
+      out->array.push_back(std::move(value));
+      SkipSpace();
+      if (pos_ >= text_.size()) return Fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected ',' or ']'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  std::string error_;
+};
+
+JsonValue ParseOrDie(const std::string& text) {
+  JsonValue doc;
+  JsonReader reader(text);
+  EXPECT_TRUE(reader.Parse(&doc)) << reader.error();
+  return doc;
+}
+
+// Asserts the trace-event schema on one export and fills `x_tids` with
+// the thread ids that recorded "X" (complete) events. Out-parameter form
+// because gtest's ASSERT_* macros require a void function.
+void ValidateChromeTrace(const JsonValue& doc, std::set<uint64_t>* x_tids) {
+  EXPECT_TRUE(doc.is_object());
+  const JsonValue* unit = doc.Find("displayTimeUnit");
+  ASSERT_NE(unit, nullptr) << "missing displayTimeUnit";
+  EXPECT_TRUE(unit->is_string());
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr) << "missing traceEvents";
+  EXPECT_TRUE(events->is_array());
+
+  std::set<uint64_t> metadata_tids;
+  for (const JsonValue& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    const JsonValue* ph = event.Find("ph");
+    ASSERT_NE(ph, nullptr);
+    ASSERT_TRUE(ph->is_string());
+    const JsonValue* name = event.Find("name");
+    ASSERT_NE(name, nullptr);
+    EXPECT_TRUE(name->is_string());
+    const JsonValue* pid = event.Find("pid");
+    ASSERT_NE(pid, nullptr);
+    EXPECT_TRUE(pid->is_number());
+    const JsonValue* tid = event.Find("tid");
+    ASSERT_NE(tid, nullptr);
+    ASSERT_TRUE(tid->is_number());
+    if (ph->string == "M") {
+      EXPECT_EQ(name->string, "thread_name");
+      const JsonValue* args = event.Find("args");
+      ASSERT_NE(args, nullptr);
+      const JsonValue* thread_name = args->Find("name");
+      ASSERT_NE(thread_name, nullptr);
+      EXPECT_TRUE(thread_name->is_string());
+      EXPECT_FALSE(thread_name->string.empty());
+      metadata_tids.insert(static_cast<uint64_t>(tid->number));
+      continue;
+    }
+    ASSERT_EQ(ph->string, "X") << "unexpected event phase";
+    EXPECT_FALSE(name->string.empty());
+    const JsonValue* cat = event.Find("cat");
+    ASSERT_NE(cat, nullptr);
+    EXPECT_EQ(cat->string, "skyline");
+    const JsonValue* ts = event.Find("ts");
+    ASSERT_NE(ts, nullptr);
+    ASSERT_TRUE(ts->is_number());
+    EXPECT_GE(ts->number, 0.0);
+    const JsonValue* dur = event.Find("dur");
+    ASSERT_NE(dur, nullptr);
+    ASSERT_TRUE(dur->is_number());
+    EXPECT_GE(dur->number, 0.0);
+    const JsonValue* args = event.Find("args");
+    ASSERT_NE(args, nullptr);
+    const JsonValue* depth = args->Find("depth");
+    ASSERT_NE(depth, nullptr);
+    EXPECT_TRUE(depth->is_number());
+    x_tids->insert(static_cast<uint64_t>(tid->number));
+  }
+  // Every span thread has a thread_name metadata record, so viewers label
+  // each timeline row.
+  for (const uint64_t tid : *x_tids) {
+    EXPECT_EQ(metadata_tids.count(tid), 1u) << "no thread_name for " << tid;
+  }
+}
+
+class TraceExportTest : public ::testing::Test {
+ protected:
+  std::unique_ptr<Env> env_ = NewMemEnv();
+};
+
+TEST_F(TraceExportTest, EmptySinkExportsValidEmptyDocument) {
+  TraceSink sink;
+  const JsonValue doc = ParseOrDie(sink.ExportChromeTrace());
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  EXPECT_TRUE(events->array.empty());
+}
+
+TEST_F(TraceExportTest, SingleThreadSpansRoundTrip) {
+  TraceSink sink;
+  {
+    TraceSpan outer(&sink, "outer");
+    TraceSpan inner(&sink, "inner", 7);
+  }
+  const std::string text = sink.ExportChromeTrace();
+  const JsonValue doc = ParseOrDie(text);
+  std::set<uint64_t> tids;
+  ValidateChromeTrace(doc, &tids);
+  EXPECT_EQ(tids.size(), 1u);
+
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  std::map<std::string, const JsonValue*> by_name;
+  for (const JsonValue& event : events->array) {
+    if (event.Find("ph")->string == "X") {
+      by_name[event.Find("name")->string] = &event;
+    }
+  }
+  ASSERT_EQ(by_name.size(), 2u);
+  ASSERT_EQ(by_name.count("outer"), 1u);
+  ASSERT_EQ(by_name.count("inner-7"), 1u) << "suffix lost in export";
+  // Nesting must survive: the inner span starts no earlier and carries
+  // depth 1 under the outer span's depth 0.
+  const JsonValue* outer = by_name["outer"];
+  const JsonValue* inner = by_name["inner-7"];
+  EXPECT_EQ(outer->Find("args")->Find("depth")->number, 0.0);
+  EXPECT_EQ(inner->Find("args")->Find("depth")->number, 1.0);
+  EXPECT_GE(inner->Find("ts")->number, outer->Find("ts")->number);
+}
+
+// The acceptance bar for the exporter: a 100k-row block-parallel SFS run
+// with 4 workers must export a valid Chrome trace whose spans come from at
+// least two distinct thread ids (the coordinating thread plus the pool
+// workers), including the per-block "filter-block-<k>" worker spans.
+TEST_F(TraceExportTest, ParallelRunExportsSpansFromMultipleThreads) {
+  GeneratorOptions gen;
+  gen.num_rows = 100000;
+  gen.num_attributes = 5;
+  gen.payload_bytes = 8;
+  gen.distribution = Distribution::kAntiCorrelated;
+  gen.seed = 20260808;
+  ASSERT_OK_AND_ASSIGN(Table t, GenerateTable(env_.get(), "trace_t", gen));
+
+  std::vector<Criterion> criteria;
+  for (int i = 0; i < 5; ++i) {
+    criteria.push_back({"a" + std::to_string(i),
+                        i % 2 == 0 ? Directive::kMax : Directive::kMin});
+  }
+  ASSERT_OK_AND_ASSIGN(SkylineSpec spec,
+                       SkylineSpec::Make(t.schema(), std::move(criteria)));
+
+  TempFileManager temp_files(env_.get(), "trace_export");
+  std::unique_ptr<RowOrdering> ordering = MakeNestedSkylineOrdering(spec);
+  ASSERT_OK_AND_ASSIGN(
+      std::string sorted,
+      SortHeapFile(env_.get(), &temp_files, t.path(),
+                   t.schema().row_width(), *ordering, SortOptions{},
+                   nullptr));
+
+  TraceSink sink;
+  ExecContext ctx;
+  ctx.trace = &sink;
+  ParallelSfsOptions popt;
+  popt.threads = 4;
+  popt.min_block_rows = 1;
+  popt.exec = &ctx;
+  uint64_t rows_out = 0;
+  SkylineRunStats stats;
+  ASSERT_OK(ParallelSfsFilter(
+      env_.get(), sorted, spec, popt,
+      [&rows_out](const char*) {
+        ++rows_out;
+        return Status::OK();
+      },
+      &stats));
+  ASSERT_GT(rows_out, 0u);
+  ASSERT_EQ(stats.threads_used, 4u);
+
+  const JsonValue doc = ParseOrDie(sink.ExportChromeTrace());
+  std::set<uint64_t> tids;
+  ValidateChromeTrace(doc, &tids);
+  EXPECT_GE(tids.size(), 2u)
+      << "expected spans from the coordinator and the pool workers";
+
+  size_t filter_block_spans = 0;
+  std::set<uint64_t> worker_tids;
+  const JsonValue* events = doc.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  for (const JsonValue& event : events->array) {
+    if (event.Find("ph")->string != "X") continue;
+    const std::string& name = event.Find("name")->string;
+    if (name.rfind("filter-block-", 0) == 0) {
+      ++filter_block_spans;
+      worker_tids.insert(
+          static_cast<uint64_t>(event.Find("tid")->number));
+    }
+  }
+  EXPECT_EQ(filter_block_spans, 4u) << "one span per scheduled block";
+  EXPECT_GE(worker_tids.size(), 2u)
+      << "worker spans should land on distinct pool threads";
+}
+
+}  // namespace
+}  // namespace skyline

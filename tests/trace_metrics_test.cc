@@ -3,8 +3,10 @@
 #include <new>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/metrics.h"
 #include "common/thread_pool.h"
 #include "common/trace.h"
@@ -322,5 +324,149 @@ TEST(RunReportTest, PublishRunStatsFeedsRegistry) {
   PublishRunStats(nullptr, "skyline.sfs", stats);
 }
 
+TEST(TraceTest, CountsNameTruncations) {
+  TraceSink sink;
+  const std::string long_name(2 * TraceEvent::kNameCapacity, 'x');
+  { TraceSpan span(&sink, long_name.c_str()); }
+  { TraceSpan span(&sink, "short"); }
+  // Suffix formatting can push an otherwise-fitting name past capacity.
+  { TraceSpan span(&sink, "twenty-nine-characters-name-x", 123456); }
+  EXPECT_EQ(sink.recorded(), 3u);
+  EXPECT_EQ(sink.truncated(), 2u);
+  // The events still land, clipped to capacity (incl. the NUL).
+  const std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name_view().size(), TraceEvent::kNameCapacity - 1);
+  EXPECT_EQ(events[1].name_view(), "short");
+
+  // The counter is part of the RunReport trace section, next to dropped.
+  RunReport report;
+  report.tool = "trace_metrics_test";
+  report.trace = &sink;
+  const std::string json = RenderRunReportJson(report);
+  EXPECT_NE(json.find("\"truncated\": 2"), std::string::npos) << json;
+  const std::string text = RenderRunReportText(report);
+  EXPECT_NE(text.find("truncated"), std::string::npos) << text;
+
+  sink.Clear();
+  EXPECT_EQ(sink.truncated(), 0u);
+}
+
+TEST(TraceTest, ConcurrentWraparoundKeepsAccounting) {
+  // Recorders racing past capacity: the ring keeps exactly `capacity`
+  // events and the books balance — recorded == kept + dropped.
+  constexpr size_t kCapacity = 64;
+  TraceSink sink(kCapacity);
+  ThreadPool pool(4);
+  constexpr size_t kTasks = 8;
+  constexpr size_t kSpansPerTask = 100;
+  std::vector<std::future<void>> futures;
+  for (size_t t = 0; t < kTasks; ++t) {
+    futures.push_back(pool.Submit([&sink, t] {
+      for (size_t i = 0; i < kSpansPerTask; ++i) {
+        TraceSpan span(&sink, "wrap", static_cast<int64_t>(t));
+      }
+    }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sink.recorded(), kTasks * kSpansPerTask);
+  const std::vector<TraceEvent> kept = sink.Snapshot();
+  EXPECT_EQ(kept.size(), kCapacity);
+  EXPECT_EQ(sink.recorded(), kept.size() + sink.dropped());
+
+  // Deterministic single-writer wraparound: Snapshot returns oldest-first
+  // record order, i.e. the newest `capacity` spans in the order recorded.
+  sink.Clear();
+  for (int i = 0; i < 150; ++i) {
+    TraceSpan span(&sink, "seq", i);
+  }
+  const std::vector<TraceEvent> events = sink.Snapshot();
+  ASSERT_EQ(events.size(), kCapacity);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].name_view(),
+              "seq-" + std::to_string(150 - kCapacity + i));
+  }
+}
+
+TEST(MetricsTest, QuantileEstimatesInterpolateWithinBuckets) {
+  MetricsRegistry registry;
+  LatencyHistogram histogram = registry.GetHistogram("test.latency");
+  // 100 observations spread across one power-of-two bucket [1024, 2048).
+  for (int i = 0; i < 100; ++i) {
+    histogram.ObserveNanos(1024 + i * 10);
+  }
+  const MetricsSnapshot snapshot = registry.Aggregate();
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  const HistogramSnapshot& h = snapshot.histograms[0];
+
+  // The coarse bound reports the bucket's upper edge for every quantile;
+  // the estimate interpolates inside the bucket instead.
+  const uint64_t p50 = h.QuantileEstimateNanos(0.5);
+  const uint64_t p90 = h.QuantileEstimateNanos(0.9);
+  const uint64_t p99 = h.QuantileEstimateNanos(0.99);
+  EXPECT_GE(p50, h.min_ns);
+  EXPECT_LE(p99, h.max_ns);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LT(p50, p90) << "interpolation should separate p50 from p90 "
+                         "within one bucket";
+  // Never above the conservative bucket-edge bound.
+  EXPECT_LE(p50, h.QuantileNanos(0.5));
+
+  // Degenerate one-observation histogram: the estimate collapses to the
+  // single recorded value.
+  MetricsRegistry one_reg;
+  one_reg.GetHistogram("test.single").ObserveNanos(777);
+  const MetricsSnapshot one = one_reg.Aggregate();
+  ASSERT_EQ(one.histograms.size(), 1u);
+  EXPECT_EQ(one.histograms[0].QuantileEstimateNanos(0.5), 777u);
+  EXPECT_EQ(one.histograms[0].QuantileEstimateNanos(0.99), 777u);
+}
+
+TEST(RunReportTest, JsonAndTextCarryQuantileEstimates) {
+  MetricsRegistry registry;
+  LatencyHistogram histogram = registry.GetHistogram("skyline.sfs.sort_seconds");
+  for (int i = 1; i <= 10; ++i) {
+    histogram.ObserveNanos(static_cast<uint64_t>(i) * 100000);
+  }
+  RunReport report;
+  report.tool = "trace_metrics_test";
+  report.metrics = &registry;
+  const std::string json = RenderRunReportJson(report);
+  for (const char* key : {"\"p50_est_ns\"", "\"p90_est_ns\"", "\"p99_est_ns\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+  const std::string text = RenderRunReportText(report);
+  EXPECT_NE(text.find("p50="), std::string::npos) << text;
+  EXPECT_NE(text.find("p90="), std::string::npos) << text;
+  EXPECT_NE(text.find("p99="), std::string::npos) << text;
+}
+
+TEST(LoggingTest, HandlerCapturesAndRestores) {
+  std::vector<std::pair<LogLevel, std::string>> captured;
+  LogHandler previous = SetLogHandler(
+      [&captured](LogLevel level, std::string_view message) {
+        captured.emplace_back(level, std::string(message));
+      });
+  LogWarning("degraded parallelism: test message");
+  LogInfo("info message");
+  ASSERT_EQ(captured.size(), 2u);
+  EXPECT_EQ(captured[0].first, LogLevel::kWarning);
+  EXPECT_EQ(captured[0].second, "degraded parallelism: test message");
+  EXPECT_EQ(captured[1].first, LogLevel::kInfo);
+  // Restoring the previous handler detaches the capture.
+  SetLogHandler(std::move(previous));
+  LogWarning("after restore");
+  EXPECT_EQ(captured.size(), 2u);
+}
+
+TEST(LoggingTest, HandlerMaySilenceEverything) {
+  LogHandler previous =
+      SetLogHandler([](LogLevel, std::string_view) { /* swallow */ });
+  LogError("this must not reach stderr");
+  SetLogHandler(std::move(previous));
+}
+
 }  // namespace
 }  // namespace skyline
+

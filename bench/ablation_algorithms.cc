@@ -37,7 +37,7 @@ void BM_Sfs(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, SfsOptions{}, "abl_algo_out", &stats);
+        ComputeSkylineSfs(table, spec, SfsOptions{}, ExecContext(), "abl_algo_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);
@@ -49,7 +49,7 @@ void BM_Bnl(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineBnl(table, spec, BnlOptions{}, "abl_algo_out", &stats);
+        ComputeSkylineBnl(table, spec, BnlOptions{}, ExecContext(), "abl_algo_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

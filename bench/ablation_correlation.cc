@@ -20,7 +20,7 @@ void RunDistribution(::benchmark::State& state, Distribution distribution) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, options, "abl_corr_out", &stats);
+        ComputeSkylineSfs(table, spec, options, ExecContext(), "abl_corr_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

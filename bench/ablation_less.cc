@@ -22,7 +22,7 @@ void BM_PlainSfs(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, options, "abl_less_sfs", &stats);
+        ComputeSkylineSfs(table, spec, options, ExecContext(), "abl_less_sfs", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);
@@ -39,7 +39,7 @@ void BM_Less(::benchmark::State& state) {
   LessStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineLess(table, spec, options, "abl_less_out", &stats);
+        ComputeSkylineLess(table, spec, options, ExecContext(), "abl_less_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats.run);

@@ -49,7 +49,7 @@ void BM_MinMaxEntropy(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, options, "abl_norm_out", &stats);
+        ComputeSkylineSfs(table, spec, options, ExecContext(), "abl_norm_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);
@@ -68,7 +68,7 @@ void BM_RankEntropy(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, options, "abl_norm_out", &stats);
+        ComputeSkylineSfs(table, spec, options, ExecContext(), "abl_norm_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

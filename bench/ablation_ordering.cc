@@ -24,7 +24,7 @@ void RunOrdering(::benchmark::State& state, Presort presort) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, options, "abl_order_out", &stats);
+        ComputeSkylineSfs(table, spec, options, ExecContext(), "abl_order_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

@@ -22,7 +22,7 @@ void RunProjection(::benchmark::State& state, bool projection) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, options, "abl_proj_out", &stats);
+        ComputeSkylineSfs(table, spec, options, ExecContext(), "abl_proj_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

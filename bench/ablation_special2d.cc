@@ -18,7 +18,7 @@ void BM_Special2D(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkyline2D(table, spec, SortOptions{}, "abl_2d_out", &stats);
+        ComputeSkyline2D(table, spec, SortOptions{}, ExecContext(), "abl_2d_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);
@@ -30,7 +30,7 @@ void BM_Special3D(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkyline3D(table, spec, SortOptions{}, "abl_3d_out", &stats);
+        ComputeSkyline3D(table, spec, SortOptions{}, ExecContext(), "abl_3d_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);
@@ -44,7 +44,7 @@ void BM_GeneralSfs2D(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, options, "abl_2d_sfs", &stats);
+        ComputeSkylineSfs(table, spec, options, ExecContext(), "abl_2d_sfs", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);
@@ -58,7 +58,7 @@ void BM_GeneralSfs3D(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, options, "abl_3d_sfs", &stats);
+        ComputeSkylineSfs(table, spec, options, ExecContext(), "abl_3d_sfs", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);
@@ -72,7 +72,7 @@ void BM_GeneralBnl2D(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineBnl(table, spec, options, "abl_2d_bnl", &stats);
+        ComputeSkylineBnl(table, spec, options, ExecContext(), "abl_2d_bnl", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

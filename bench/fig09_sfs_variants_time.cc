@@ -22,7 +22,7 @@ void RunSfs(::benchmark::State& state, Presort presort, bool projection) {
   options.use_projection = projection;
   SkylineRunStats stats;
   for (auto _ : state) {
-    auto result = ComputeSkylineSfs(table, spec, options, "fig09_out", &stats);
+    auto result = ComputeSkylineSfs(table, spec, options, ExecContext(), "fig09_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
     ::benchmark::DoNotOptimize(result->row_count());
   }

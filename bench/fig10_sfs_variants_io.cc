@@ -22,7 +22,7 @@ void RunSfsIo(::benchmark::State& state, Presort presort, bool projection) {
   options.use_projection = projection;
   SkylineRunStats stats;
   for (auto _ : state) {
-    auto result = ComputeSkylineSfs(table, spec, options, "fig10_out", &stats);
+    auto result = ComputeSkylineSfs(table, spec, options, ExecContext(), "fig10_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

@@ -23,7 +23,7 @@ void RunBnl(::benchmark::State& state, bool reverse_entropy) {
   if (reverse_entropy) options.input_ordering = &reversed;
   SkylineRunStats stats;
   for (auto _ : state) {
-    auto result = ComputeSkylineBnl(table, spec, options, "fig11_out", &stats);
+    auto result = ComputeSkylineBnl(table, spec, options, ExecContext(), "fig11_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

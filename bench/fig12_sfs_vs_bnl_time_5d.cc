@@ -19,7 +19,7 @@ void BM_SFS(::benchmark::State& state) {
   options.window_pages = static_cast<size_t>(state.range(0));
   SkylineRunStats stats;
   for (auto _ : state) {
-    auto result = ComputeSkylineSfs(table, spec, options, "fig12_out", &stats);
+    auto result = ComputeSkylineSfs(table, spec, options, ExecContext(), "fig12_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);
@@ -35,7 +35,7 @@ void RunBnl(::benchmark::State& state, bool reverse_entropy) {
   if (reverse_entropy) options.input_ordering = &reversed;
   SkylineRunStats stats;
   for (auto _ : state) {
-    auto result = ComputeSkylineBnl(table, spec, options, "fig12_out", &stats);
+    auto result = ComputeSkylineBnl(table, spec, options, ExecContext(), "fig12_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

@@ -20,7 +20,7 @@ void BM_IO_SFS(::benchmark::State& state) {
   options.window_pages = static_cast<size_t>(state.range(0));
   SkylineRunStats stats;
   for (auto _ : state) {
-    auto result = ComputeSkylineSfs(table, spec, options, "fig14_out", &stats);
+    auto result = ComputeSkylineSfs(table, spec, options, ExecContext(), "fig14_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);
@@ -36,7 +36,7 @@ void RunBnlIo(::benchmark::State& state, bool reverse_entropy) {
   if (reverse_entropy) options.input_ordering = &reversed;
   SkylineRunStats stats;
   for (auto _ : state) {
-    auto result = ComputeSkylineBnl(table, spec, options, "fig14_out", &stats);
+    auto result = ComputeSkylineBnl(table, spec, options, ExecContext(), "fig14_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

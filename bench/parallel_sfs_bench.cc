@@ -297,7 +297,7 @@ int Main(int argc, char** argv) {
     const auto ordering = MakeNestedSkylineOrdering(spec);
     auto sorted_or =
         SortHeapFile(env, &temp_files, table.path(), spec.schema().row_width(),
-                     *ordering, SortOptions{}, nullptr);
+                     *ordering, SortOptions{}, ExecContext(), nullptr);
     SKYLINE_CHECK(sorted_or.ok()) << sorted_or.status().ToString();
     const std::string sorted = std::move(sorted_or).value();
     const size_t width = spec.schema().row_width();

@@ -25,7 +25,7 @@ void BM_CostModelVsMeasured(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, options, "tbl_cost_out", &stats);
+        ComputeSkylineSfs(table, spec, options, ExecContext(), "tbl_cost_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

@@ -18,6 +18,7 @@ void BM_DimReduction(::benchmark::State& state) {
   DimReduceStats stats;
   for (auto _ : state) {
     auto result = DimensionalReduction(table, spec, SortOptions{},
+                                       ExecContext(),
                                        "tbl_dimred_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
@@ -33,6 +34,7 @@ void BM_SfsDirect(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result = ComputeSkylineSfs(table, spec, SfsOptions{},
+                                    ExecContext(),
                                     "tbl_dimred_direct", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
@@ -47,11 +49,13 @@ void BM_SfsAfterReduction(::benchmark::State& state) {
   DimReduceStats red_stats;
   for (auto _ : state) {
     auto reduced = DimensionalReduction(table, spec, SortOptions{},
+                                        ExecContext(),
                                         "tbl_dimred_red", &red_stats);
     SKYLINE_CHECK(reduced.ok()) << reduced.status().ToString();
     SfsOptions options;
     options.presort = Presort::kNone;  // reduction output is nested-sorted
     auto result = ComputeSkylineSfs(*reduced, spec, options,
+                                    ExecContext(),
                                     "tbl_dimred_sky", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }

@@ -18,7 +18,7 @@ void BM_SkylineSize(::benchmark::State& state) {
   SkylineRunStats stats;
   for (auto _ : state) {
     auto result =
-        ComputeSkylineSfs(table, spec, SfsOptions{}, "tbl_sizes_out", &stats);
+        ComputeSkylineSfs(table, spec, SfsOptions{}, ExecContext(), "tbl_sizes_out", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportRunStats(state, stats);

@@ -20,7 +20,7 @@ void RunSort(::benchmark::State& state, const RowOrdering& ordering) {
     SortOptions options;  // 1,000 buffer pages, as in the paper
     auto result =
         SortHeapFile(BenchEnv(), &temp_files, table.path(),
-                     table.schema().row_width(), ordering, options, &stats);
+                     table.schema().row_width(), ordering, options, ExecContext(), &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   state.counters["runs"] = static_cast<double>(stats.runs_generated);

@@ -32,7 +32,7 @@ void BM_StrataMultiWindow(::benchmark::State& state) {
   options.window_pages = 500;  // the paper's allocation
   StrataStats stats;
   for (auto _ : state) {
-    auto result = ComputeStrataSfs(table, spec, options, "tbl_strata", &stats);
+    auto result = ComputeStrataSfs(table, spec, options, ExecContext(), "tbl_strata", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }
   ReportStrata(state, stats);
@@ -46,7 +46,7 @@ void BM_StrataIterative(::benchmark::State& state) {
   sfs_options.window_pages = 500;
   StrataStats stats;
   for (auto _ : state) {
-    auto result = LabelStrataIterative(table, spec, sfs_options, 4,
+    auto result = LabelStrataIterative(table, spec, sfs_options, ExecContext(), 4,
                                        "tbl_strata_it", &stats);
     SKYLINE_CHECK(result.ok()) << result.status().ToString();
   }

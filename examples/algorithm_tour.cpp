@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
     options.use_projection = false;
     SkylineRunStats stats;
     Stopwatch timer;
-    auto sky = ComputeSkylineSfs(*table, spec, options, "tour_sfs0", &stats);
+    auto sky = ComputeSkylineSfs(*table, spec, options, ExecContext(), "tour_sfs0", &stats);
     SKYLINE_CHECK(sky.ok());
     Report("SFS (nested sort)", sky->row_count(), timer.ElapsedSeconds(),
            &stats);
@@ -81,7 +81,7 @@ int main(int argc, char** argv) {
     options.use_projection = false;
     SkylineRunStats stats;
     Stopwatch timer;
-    auto sky = ComputeSkylineSfs(*table, spec, options, "tour_sfs1", &stats);
+    auto sky = ComputeSkylineSfs(*table, spec, options, ExecContext(), "tour_sfs1", &stats);
     SKYLINE_CHECK(sky.ok());
     Report("SFS w/E (entropy sort)", sky->row_count(), timer.ElapsedSeconds(),
            &stats);
@@ -91,7 +91,7 @@ int main(int argc, char** argv) {
     options.window_pages = window_pages;
     SkylineRunStats stats;
     Stopwatch timer;
-    auto sky = ComputeSkylineSfs(*table, spec, options, "tour_sfs2", &stats);
+    auto sky = ComputeSkylineSfs(*table, spec, options, ExecContext(), "tour_sfs2", &stats);
     SKYLINE_CHECK(sky.ok());
     Report("SFS w/E,P (+ projection)", sky->row_count(),
            timer.ElapsedSeconds(), &stats);
@@ -101,7 +101,7 @@ int main(int argc, char** argv) {
     options.window_pages = window_pages;
     LessStats stats;
     Stopwatch timer;
-    auto sky = ComputeSkylineLess(*table, spec, options, "tour_less", &stats);
+    auto sky = ComputeSkylineLess(*table, spec, options, ExecContext(), "tour_less", &stats);
     SKYLINE_CHECK(sky.ok());
     Report("LESS (eliminate in sort)", sky->row_count(),
            timer.ElapsedSeconds(), &stats.run);
@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
     options.window_pages = window_pages;
     SkylineRunStats stats;
     Stopwatch timer;
-    auto sky = ComputeSkylineBnl(*table, spec, options, "tour_bnl", &stats);
+    auto sky = ComputeSkylineBnl(*table, spec, options, ExecContext(), "tour_bnl", &stats);
     SKYLINE_CHECK(sky.ok());
     Report("BNL (random input)", sky->row_count(), timer.ElapsedSeconds(),
            &stats);
@@ -124,7 +124,7 @@ int main(int argc, char** argv) {
     options.input_ordering = &reversed;
     SkylineRunStats stats;
     Stopwatch timer;
-    auto sky = ComputeSkylineBnl(*table, spec, options, "tour_bnlre", &stats);
+    auto sky = ComputeSkylineBnl(*table, spec, options, ExecContext(), "tour_bnlre", &stats);
     SKYLINE_CHECK(sky.ok());
     Report("BNL w/RE (worst-case input)", sky->row_count(),
            timer.ElapsedSeconds(), &stats);

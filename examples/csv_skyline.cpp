@@ -63,7 +63,7 @@ Status RunFile(const std::string& csv_path, const std::string& criteria_text) {
                            SkylineSpec::Make(table.schema(), criteria));
   SkylineRunStats stats;
   SKYLINE_ASSIGN_OR_RETURN(
-      Table sky, ComputeSkylineSfs(table, spec, SfsOptions{}, "csv_sky",
+      Table sky, ComputeSkylineSfs(table, spec, SfsOptions{}, ExecContext(), "csv_sky",
                                    &stats));
   SKYLINE_ASSIGN_OR_RETURN(std::string csv, TableToCsv(sky));
   std::fputs(csv.c_str(), stdout);
@@ -98,7 +98,7 @@ Status RunDemo() {
                                          {"price", Directive::kMin}}));
   SKYLINE_ASSIGN_OR_RETURN(
       Table sky,
-      ComputeSkylineSfs(table, spec, SfsOptions{}, "demo_sky", nullptr));
+      ComputeSkylineSfs(table, spec, SfsOptions{}, ExecContext(), "demo_sky", nullptr));
   SKYLINE_ASSIGN_OR_RETURN(std::string out, TableToCsv(sky));
   std::fputs(out.c_str(), stdout);
   std::fprintf(stderr, "\nusage: csv_skyline <file.csv> "

@@ -99,7 +99,7 @@ Status ShowStrataFallback(Env* env, const Table& hotels) {
   StrataStats stats;
   SKYLINE_ASSIGN_OR_RETURN(
       std::vector<Table> strata,
-      ComputeStrataSfs(hotels, spec, options, "hotel_strata", &stats));
+      ComputeStrataSfs(hotels, spec, options, ExecContext(), "hotel_strata", &stats));
   std::printf("Global rating/price strata (next-best layers):\n");
   for (size_t level = 0; level < strata.size(); ++level) {
     std::printf("  stratum s%zu: %llu hotels\n", level,

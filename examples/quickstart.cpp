@@ -58,7 +58,7 @@ int main() {
   std::printf("\nQuery: %s\n", spec->ToString().c_str());
 
   SkylineRunStats stats;
-  auto sky = ComputeSkylineSfs(*guide, *spec, SfsOptions{}, "sky", &stats);
+  auto sky = ComputeSkylineSfs(*guide, *spec, SfsOptions{}, ExecContext(), "sky", &stats);
   if (!sky.ok()) {
     std::fprintf(stderr, "skyline: %s\n", sky.status().ToString().c_str());
     return 1;

@@ -1,0 +1,124 @@
+// skyline_client: thin CLI for the skyline query server. Connects to
+// 127.0.0.1:<port>, sends one request frame (4-byte big-endian length +
+// JSON; see src/server/protocol.h), prints the JSON response to stdout,
+// and exits 0 iff the response says "ok": true.
+//
+//   ./skyline_client --port=7654 "SELECT * FROM hotels SKYLINE OF price MIN"
+//   ./skyline_client --port=7654 --timeout-ms=1000 "SELECT ..."
+//   ./skyline_client --port=7654 --op=ping
+//   ./skyline_client --port=7654 --op=stats
+//   ./skyline_client --port=7654 --op=shutdown
+//
+// --no-rows / --no-report trim the response (useful when only the
+// counters or only the rows matter).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/json_reader.h"
+#include "common/json_writer.h"
+#include "server/protocol.h"
+
+namespace {
+
+using namespace skyline;
+
+Result<int> Connect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot connect to 127.0.0.1:" +
+                           std::to_string(port));
+  }
+  return fd;
+}
+
+Status RunOnce(uint16_t port, const std::string& op, const std::string& sql,
+               long timeout_ms, bool include_rows, bool include_report,
+               bool* ok_out) {
+  JsonWriter request;
+  request.BeginObject();
+  request.KeyValue("op", op);
+  if (op == "query") {
+    request.KeyValue("sql", sql);
+    if (timeout_ms >= 0) {
+      request.KeyValue("timeout_ms", static_cast<int64_t>(timeout_ms));
+    }
+    request.KeyValue("include_rows", include_rows);
+    request.KeyValue("include_report", include_report);
+  }
+  request.EndObject();
+
+  SKYLINE_ASSIGN_OR_RETURN(int fd, Connect(port));
+  Status st = WriteFrame(fd, request.str());
+  std::string payload;
+  if (st.ok()) st = ReadFrame(fd, &payload);
+  ::close(fd);
+  SKYLINE_RETURN_IF_ERROR(st);
+
+  std::fwrite(payload.data(), 1, payload.size(), stdout);
+  if (payload.empty() || payload.back() != '\n') std::printf("\n");
+
+  // Exit status mirrors the response verdict so shell scripts can gate on
+  // it without parsing JSON.
+  auto parsed = ParseJson(payload);
+  *ok_out = parsed.ok() && parsed.value().GetBool("ok", false);
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7654;
+  std::string op = "query";
+  std::string sql;
+  long timeout_ms = -1;
+  bool include_rows = true;
+  bool include_report = true;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg.rfind("--op=", 0) == 0) {
+      op = arg.substr(5);
+    } else if (arg.rfind("--timeout-ms=", 0) == 0) {
+      timeout_ms = std::atol(arg.c_str() + 13);
+    } else if (arg == "--no-rows") {
+      include_rows = false;
+    } else if (arg == "--no-report") {
+      include_report = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: skyline_client [--port=N] [--op=query|ping|stats|"
+                   "shutdown]\n"
+                   "                      [--timeout-ms=N] [--no-rows] "
+                   "[--no-report] [\"SQL\"]\n");
+      return 2;
+    } else {
+      sql = arg;
+    }
+  }
+  if (op == "query" && sql.empty()) {
+    std::fprintf(stderr, "error: --op=query needs a SQL statement\n");
+    return 2;
+  }
+  bool response_ok = false;
+  Status st = RunOnce(port, op, sql, timeout_ms, include_rows, include_report,
+                      &response_ok);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return response_ok ? 0 : 3;
+}

@@ -1,0 +1,132 @@
+// skyline_server: the skyline-as-a-service daemon. Loads CSV files into a
+// process-wide Engine (tables, result cache, and maintenance state stay
+// resident), then serves the SQL dialect over a length-prefixed JSON TCP
+// protocol (src/server/protocol.h) until interrupted or — with
+// --allow-shutdown — until a client sends {"op": "shutdown"}.
+//
+//   ./skyline_server --port=7654 hotels.csv restaurants.csv
+//   ./skyline_server --port=0 --allow-shutdown      # demo GoodEats table,
+//                                                   # ephemeral port
+//
+// The bound port is printed as `listening on 127.0.0.1:<port>` so scripts
+// using --port=0 can scrape it. Pair with skyline_client:
+//
+//   ./skyline_client --port=7654 "SELECT * FROM hotels SKYLINE OF price MIN"
+//   ./skyline_client --port=7654 "INSERT INTO hotels VALUES (...)"
+//   ./skyline_client --port=7654 --op=stats
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "relation/csv.h"
+#include "relation/generator.h"
+#include "server/server.h"
+#include "sql/engine.h"
+
+namespace {
+
+using namespace skyline;
+
+std::sig_atomic_t g_interrupted = 0;
+void OnSignal(int) { g_interrupted = 1; }
+
+std::string FileStem(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string name = slash == std::string::npos ? path : path.substr(slash + 1);
+  const size_t dot = name.find_last_of('.');
+  if (dot != std::string::npos && dot > 0) name = name.substr(0, dot);
+  return name;
+}
+
+Status Run(uint16_t port, bool allow_shutdown,
+           const std::vector<std::string>& csv_files) {
+  Env* env = Env::Memory();
+  Engine::Options engine_options;
+  engine_options.env = env;
+  Engine engine(engine_options);
+
+  if (csv_files.empty()) {
+    // Demo table: the paper's GoodEats guide.
+    SKYLINE_ASSIGN_OR_RETURN(Table guide, MakeGoodEatsTable(env, "goodeats"));
+    SKYLINE_RETURN_IF_ERROR(engine.CreateTable("GoodEats", std::move(guide)));
+    std::fprintf(stderr, "no CSV files: serving the demo GoodEats table\n");
+  }
+  for (const std::string& path : csv_files) {
+    const std::string name = FileStem(path);
+    SKYLINE_ASSIGN_OR_RETURN(Table table,
+                             ReadCsvFile(env, path, "csv_" + name));
+    const uint64_t rows = table.row_count();
+    SKYLINE_RETURN_IF_ERROR(engine.CreateTable(name, std::move(table)));
+    std::fprintf(stderr, "loaded table '%s' (%llu rows) from %s\n",
+                 name.c_str(), static_cast<unsigned long long>(rows),
+                 path.c_str());
+  }
+
+  SkylineServer::Options server_options;
+  server_options.engine = &engine;
+  server_options.port = port;
+  server_options.allow_remote_shutdown = allow_shutdown;
+  SkylineServer server(server_options);
+  SKYLINE_RETURN_IF_ERROR(server.Start());
+  std::printf("listening on 127.0.0.1:%u\n", server.port());
+  std::fflush(stdout);
+
+  // A connection handler cannot join its own thread, so a remote shutdown
+  // only raises a flag; this owner loop is what actually stops the server.
+  while (!server.shutdown_requested() && g_interrupted == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Stop();
+
+  const SkylineServer::Counters c = server.counters();
+  const Engine::CacheCounters cc = engine.cache_counters();
+  std::fprintf(stderr,
+               "served %llu queries (%llu ok, %llu error, %llu rejected, "
+               "%llu timed out); cache %llu hits / %llu misses\n",
+               static_cast<unsigned long long>(c.queries_started),
+               static_cast<unsigned long long>(c.queries_ok),
+               static_cast<unsigned long long>(c.queries_error),
+               static_cast<unsigned long long>(c.admission_rejected),
+               static_cast<unsigned long long>(c.queries_timed_out),
+               static_cast<unsigned long long>(cc.hits),
+               static_cast<unsigned long long>(cc.misses));
+  return Status::OK();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint16_t port = 7654;
+  bool allow_shutdown = false;
+  std::vector<std::string> csv_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      port = static_cast<uint16_t>(std::atoi(arg.c_str() + 7));
+    } else if (arg == "--allow-shutdown") {
+      allow_shutdown = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: skyline_server [--port=N] [--allow-shutdown] "
+                   "[file.csv ...]\n"
+                   "       --port=0 binds an ephemeral port (printed on "
+                   "stdout)\n");
+      return 2;
+    } else {
+      csv_files.push_back(arg);
+    }
+  }
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  Status st = Run(port, allow_shutdown, csv_files);
+  if (!st.ok()) {
+    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}

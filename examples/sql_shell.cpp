@@ -6,9 +6,13 @@
 //       "SELECT name FROM b WHERE stars > 3 SKYLINE OF price MIN LIMIT 10"
 //   (shell line continuation elided; pass files then one query string)
 //
-// Each CSV becomes a table named after its file stem. With no arguments a
-// demo session over the GoodEats guide runs, including the paper's
-// Figure 4 query verbatim.
+// Each CSV becomes a table named after its file stem, registered in a
+// skyline::Engine; queries run through a skyline::Session — the same
+// Engine/Session stack the query server uses — so the full dialect works,
+// including INSERT INTO ... VALUES and DELETE FROM (which rewrite the
+// table to a new version and patch or repair any cached skylines). With no
+// arguments a demo session over the GoodEats guide runs, including the
+// paper's Figure 4 query verbatim.
 //
 // `--stats=json|text|off` (default off) attaches metrics + trace sinks to
 // the execution context and prints a per-query RunReport to stderr — the
@@ -25,7 +29,7 @@
 
 #include "core/skyline.h"
 #include "relation/column_store.h"
-#include "sql/executor.h"
+#include "sql/engine.h"
 
 namespace {
 
@@ -70,45 +74,51 @@ void PrintRow(const RowView& row) {
   std::printf("\n");
 }
 
-Status RunQuery(const Catalog& catalog, const std::string& sql,
-                StatsMode stats_mode, const std::string& trace_path) {
+Status RunQuery(Engine* engine, const std::string& sql, StatsMode stats_mode,
+                const std::string& trace_path) {
   std::fprintf(stderr, "sql> %s\n", sql.c_str());
   MetricsRegistry metrics;
   TraceSink trace;
-  SqlOptions options;
+  Session session(engine);
   if (stats_mode != StatsMode::kOff) {
-    options.exec.metrics = &metrics;
+    session.exec().metrics = &metrics;
   }
   // The trace sink attaches whenever either consumer wants it: the
   // RunReport span summary (--stats) or the Chrome trace file (--trace).
   if (stats_mode != StatsMode::kOff || !trace_path.empty()) {
-    options.exec.trace = &trace;
+    session.exec().trace = &trace;
   }
   bool printed_header = false;
   int rows = 0;
-  SqlRunInfo info;
+  Session::Outcome outcome;
   const auto start = std::chrono::steady_clock::now();
-  SKYLINE_RETURN_IF_ERROR(
-      ExecuteSql(catalog, sql, options,
-                 [&](const RowView& row) {
-                   if (!printed_header) {
-                     PrintHeader(row.schema());
-                     printed_header = true;
-                   }
-                   PrintRow(row);
-                   ++rows;
-                   return Status::OK();
-                 },
-                 &info));
+  SKYLINE_RETURN_IF_ERROR(session.Execute(
+      sql,
+      [&](const RowView& row) {
+        if (!printed_header) {
+          PrintHeader(row.schema());
+          printed_header = true;
+        }
+        PrintRow(row);
+        ++rows;
+        return Status::OK();
+      },
+      &outcome));
   const double wall =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  if (info.explain != ExplainMode::kNone) {
+  if (outcome.info.explain != ExplainMode::kNone) {
     // EXPLAIN / EXPLAIN ANALYZE print the (annotated) plan instead of rows.
-    std::fputs(info.plan_text.c_str(), stdout);
+    std::fputs(outcome.info.plan_text.c_str(), stdout);
     std::fprintf(stderr, "\n");
+  } else if (outcome.write) {
+    std::fprintf(stderr, "(%llu row%s affected; table at version %llu)\n\n",
+                 static_cast<unsigned long long>(outcome.rows_affected),
+                 outcome.rows_affected == 1 ? "" : "s",
+                 static_cast<unsigned long long>(outcome.mutation.version));
   } else {
-    std::fprintf(stderr, "(%d row%s)\n\n", rows, rows == 1 ? "" : "s");
+    std::fprintf(stderr, "(%d row%s%s)\n\n", rows, rows == 1 ? "" : "s",
+                 outcome.cache_hit ? ", cached" : "");
   }
   if (!trace_path.empty()) {
     const std::string doc = trace.ExportChromeTrace();
@@ -124,17 +134,22 @@ Status RunQuery(const Catalog& catalog, const std::string& sql,
                  static_cast<unsigned long long>(trace.recorded()),
                  static_cast<unsigned long long>(trace.dropped()));
   }
-  if (stats_mode != StatsMode::kOff && info.explain != ExplainMode::kPlan) {
+  if (stats_mode != StatsMode::kOff &&
+      outcome.info.explain != ExplainMode::kPlan) {
     // Per-run counters land in `metrics` under "skyline.<algorithm>.*"
     // when the skyline stream is exhausted; spans land in `trace`.
     RunReport report;
     report.tool = "sql_shell";
     report.wall_seconds = wall;
     report.labels.emplace_back("query", sql);
+    if (outcome.cache_eligible) {
+      report.labels.emplace_back("result_cache",
+                                 outcome.cache_hit ? "hit" : "miss");
+    }
     report.numbers.emplace_back("rows_printed", static_cast<double>(rows));
     report.metrics = &metrics;
     report.trace = &trace;
-    report.plan = std::move(info.plan);
+    report.plan = std::move(outcome.info.plan);
     const std::string rendered = stats_mode == StatsMode::kJson
                                      ? RenderRunReportJson(report)
                                      : RenderRunReportText(report);
@@ -147,66 +162,68 @@ Status RunQuery(const Catalog& catalog, const std::string& sql,
 Status RunFiles(const std::vector<std::string>& args, StatsMode stats_mode,
                 const std::string& trace_path) {
   Env* env = Env::Memory();
-  Catalog catalog(env);
-  std::vector<Table> tables;
-  tables.reserve(args.size());
+  Engine::Options engine_options;
+  engine_options.env = env;
+  // The engine writes the columnar + z-order index sidecars at load time
+  // (and again after every mutation): every query in this session then
+  // starts from ready-made zone maps instead of rescanning the heap file.
+  Engine engine(engine_options);
   // All arguments but the last are CSV files; the last is the query.
   for (size_t i = 0; i + 1 < args.size(); ++i) {
     const std::string& path = args[i];
     const std::string name = FileStem(path);
     SKYLINE_ASSIGN_OR_RETURN(Table table,
                              ReadCsvFile(env, path, "csv_" + name));
-    // Persist the columnar sidecar at load time: every query in this
-    // session (and the zone cache behind it) then starts from ready-made
-    // zone maps instead of rescanning the heap file. Best effort.
-    if (Status cols = WriteTableColumnFile(table); !cols.ok()) {
-      std::fprintf(stderr, "note: no column sidecar for '%s': %s\n",
-                   name.c_str(), cols.ToString().c_str());
-    } else if (Status idx = WriteTableBlockIndex(table); !idx.ok()) {
-      // The z-order index sidecar unlocks the BBS access path for kAuto;
-      // without it every query still runs (scan algorithms).
-      std::fprintf(stderr, "note: no block index for '%s': %s\n",
-                   name.c_str(), idx.ToString().c_str());
-    }
+    const uint64_t rows = table.row_count();
+    SKYLINE_RETURN_IF_ERROR(engine.CreateTable(name, std::move(table)));
     std::fprintf(stderr, "loaded table '%s' (%llu rows) from %s\n",
-                 name.c_str(),
-                 static_cast<unsigned long long>(table.row_count()),
+                 name.c_str(), static_cast<unsigned long long>(rows),
                  path.c_str());
-    tables.push_back(std::move(table));
-    catalog.Register(name, &tables.back());
   }
   std::fprintf(stderr, "\n");
-  return RunQuery(catalog, args.back(), stats_mode, trace_path);
+  return RunQuery(&engine, args.back(), stats_mode, trace_path);
 }
 
 Status RunDemo(StatsMode stats_mode, const std::string& trace_path) {
   std::fprintf(stderr, "no arguments: demo session over the paper's "
                        "GoodEats guide\n\n");
   Env* env = Env::Memory();
+  Engine::Options engine_options;
+  engine_options.env = env;
+  Engine engine(engine_options);
   SKYLINE_ASSIGN_OR_RETURN(Table guide, MakeGoodEatsTable(env, "goodeats"));
-  Catalog catalog(env);
-  catalog.Register("GoodEats", &guide);
+  SKYLINE_RETURN_IF_ERROR(engine.CreateTable("GoodEats", std::move(guide)));
   // Figure 4 of the paper, verbatim.
   SKYLINE_RETURN_IF_ERROR(RunQuery(
-      catalog,
+      &engine,
       "select * from GoodEats skyline of S max, F max, D max, price min",
       stats_mode, trace_path));
   SKYLINE_RETURN_IF_ERROR(RunQuery(
-      catalog,
+      &engine,
       "SELECT restaurant, price FROM GoodEats WHERE price < 55 "
       "SKYLINE OF F MAX, price MIN",
       stats_mode, trace_path));
   SKYLINE_RETURN_IF_ERROR(RunQuery(
-      catalog,
+      &engine,
       "SELECT restaurant FROM GoodEats SKYLINE OF D DIFF, price MIN LIMIT 3",
       stats_mode, trace_path));
+  // A write: the guide gains an entry, cached skylines are patched, and
+  // the re-run Figure 4 query reflects it.
   SKYLINE_RETURN_IF_ERROR(RunQuery(
-      catalog,
+      &engine,
+      "INSERT INTO GoodEats VALUES ('Summit Bistro', 25, 26, 22, 21.50)",
+      stats_mode, trace_path));
+  SKYLINE_RETURN_IF_ERROR(RunQuery(
+      &engine,
+      "select * from GoodEats skyline of S max, F max, D max, price min",
+      stats_mode, trace_path));
+  SKYLINE_RETURN_IF_ERROR(RunQuery(
+      &engine,
       "EXPLAIN SELECT restaurant FROM GoodEats WHERE price < 60 "
       "SKYLINE OF S MAX, price MIN ORDER BY price LIMIT 3",
       stats_mode, trace_path));
   SKYLINE_RETURN_IF_ERROR(RunQuery(
-      catalog,
+      &engine,
       "EXPLAIN ANALYZE SELECT restaurant FROM GoodEats "
       "SKYLINE OF S MAX, price MIN",
       stats_mode, trace_path));

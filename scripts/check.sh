@@ -47,13 +47,46 @@ echo "== check: TSan build (trace/metrics/thread-pool concurrency) =="
 # touched from pool threads). Partition* covers the scheme-parallel scans,
 # the representative pre-prune, and the filtered-cascade merge levels.
 # BlockIndex*/Bbs* exercise the z-order index sidecar through the shared
-# zone cache and the BBS access path that consumes it.
+# zone cache and the BBS access path that consumes it. EngineSession*/
+# Server*/Maintenance* cover the concurrent query server: the shared
+# result cache, the versioned-table swap under mixed read/write sessions,
+# and the thread-per-connection admission/shutdown paths.
 cmake -B "${prefix}-tsan" -S "$repo_root" \
   -DSKYLINE_SANITIZE=thread -DCMAKE_BUILD_TYPE=Debug
 cmake --build "${prefix}-tsan" -j"$jobs" --target skyline_tests
 TSAN_OPTIONS="halt_on_error=1" \
   "${prefix}-tsan/tests/skyline_tests" \
-  --gtest_filter='Trace*:Metrics*:RunReport*:ExecContext*:ThreadPool*:Partition*:SfsParallel*:ColumnFile*:TableZoneCache*:ZonePrefilter*:BlockIndex*:Bbs*'
+  --gtest_filter='Trace*:Metrics*:RunReport*:ExecContext*:ThreadPool*:Partition*:SfsParallel*:ColumnFile*:TableZoneCache*:ZonePrefilter*:BlockIndex*:Bbs*:EngineSession*:Server*:Maintenance*'
+
+echo "== check: server smoke test (ephemeral port, scripted client) =="
+# End-to-end over a real socket with the example binaries: start the
+# server on an ephemeral port, run a cold query, a cache-hit re-run, an
+# INSERT, a post-insert query, and stats, then shut it down cleanly.
+cmake --build "$prefix" -j"$jobs" --target skyline_server_bin skyline_client_bin
+smoke_out="$(mktemp /tmp/skyline_smoke.XXXXXX)"
+"$prefix/examples/skyline_server" --port=0 --allow-shutdown >"$smoke_out" 2>/dev/null &
+smoke_pid=$!
+trap 'kill "$smoke_pid" 2>/dev/null; rm -f "$smoke_out"' EXIT
+for _ in $(seq 50); do
+  smoke_port="$(sed -n 's/listening on 127.0.0.1:\([0-9]*\)/\1/p' "$smoke_out")"
+  [[ -n "$smoke_port" ]] && break
+  sleep 0.1
+done
+[[ -n "$smoke_port" ]] || { echo "server did not come up"; kill "$smoke_pid"; exit 1; }
+client="$prefix/examples/skyline_client"
+smoke_q="select * from GoodEats skyline of S max, F max, D max, price min"
+"$client" --port="$smoke_port" --no-report "$smoke_q" >/dev/null
+"$client" --port="$smoke_port" --no-rows "$smoke_q" | grep -q '"result_cache": "hit"'
+"$client" --port="$smoke_port" --no-rows --no-report \
+  "INSERT INTO GoodEats VALUES ('Smoke Test Cafe', 25, 26, 22, 21.50)" \
+  | grep -q '"table_version": 2'
+"$client" --port="$smoke_port" --no-report "$smoke_q" | grep -q "Smoke Test Cafe"
+"$client" --port="$smoke_port" --op=stats | grep -q '"patched": 1'
+"$client" --port="$smoke_port" --op=shutdown >/dev/null
+wait "$smoke_pid"
+rm -f "$smoke_out"
+trap - EXIT
+echo "server smoke test passed"
 
 if [[ "${SKYLINE_CHECK_BENCH:-1}" -eq 1 ]]; then
   echo "== check: benchmark regression gate =="

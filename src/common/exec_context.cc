@@ -8,9 +8,4 @@ size_t ExecContext::ResolveThreads(size_t option_threads) const {
   return ClampThreadsToHardware(RequestedThreads(option_threads));
 }
 
-const ExecContext& DefaultExecContext() {
-  static const ExecContext* kDefault = new ExecContext();
-  return *kDefault;
-}
-
 }  // namespace skyline

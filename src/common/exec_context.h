@@ -30,10 +30,10 @@ namespace skyline {
 ///    thread"; any other value is taken literally.
 ///  - The result is always clamped to the hardware concurrency
 ///    (oversubscription is a strict loss for the block-parallel filter).
-///  - `SqlOptions::threads` is the one exception inherited from the old
-///    API: there 0 means "unset — defer to sfs.threads", not "all
-///    hardware threads"; the SQL executor translates it into this
-///    struct's optional before anything else sees it.
+///  - User-facing thread selection lives in Session::Options::threads
+///    (sql/engine.h), which resolves into this struct's optional in
+///    exactly one place (Session::BuildSqlOptions); nothing else
+///    translates thread knobs.
 struct ExecContext {
   /// Worker threads for every phase run under this context. nullopt =
   /// defer to the per-call options; 0 = one per hardware thread.
@@ -82,10 +82,6 @@ struct ExecContext {
 
   bool has_cancel_hook() const { return static_cast<bool>(cancelled); }
 };
-
-/// Shared immutable default context for the deprecated entry-point shims
-/// (no sinks, threads deferred to the options).
-const ExecContext& DefaultExecContext();
 
 }  // namespace skyline
 

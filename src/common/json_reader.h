@@ -1,0 +1,70 @@
+#ifndef SKYLINE_COMMON_JSON_READER_H_
+#define SKYLINE_COMMON_JSON_READER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace skyline {
+
+/// Minimal JSON document model, the read-side counterpart of JsonWriter.
+/// Built for the server's length-prefixed request/response protocol: small
+/// documents, strict parsing (trailing garbage is an error), no streaming.
+/// Numbers are kept as doubles (the protocol's integers stay well inside
+/// the 2^53 exact range); object keys are unique — a repeated key is a
+/// parse error rather than a silent overwrite.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array() const { return array_; }
+  const std::map<std::string, JsonValue>& object() const { return object_; }
+
+  /// Object member lookup; null when absent or this is not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Typed member accessors with defaults, for tolerant request parsing.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback) const;
+  double GetNumber(const std::string& key, double fallback) const;
+  bool GetBool(const std::string& key, bool fallback) const;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double n);
+  static JsonValue String(std::string s);
+  static JsonValue Array(std::vector<JsonValue> items);
+  static JsonValue Object(std::map<std::string, JsonValue> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::map<std::string, JsonValue> object_;
+};
+
+/// Parses one complete JSON document. InvalidArgument (with offset
+/// context) on malformed input, trailing non-whitespace, duplicate object
+/// keys, or nesting deeper than an internal sanity bound.
+Result<JsonValue> ParseJson(const std::string& text);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_COMMON_JSON_READER_H_

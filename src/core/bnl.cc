@@ -285,12 +285,4 @@ Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
   return builder.Finish();
 }
 
-Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
-                                const BnlOptions& options,
-                                const std::string& output_path,
-                                SkylineRunStats* stats) {
-  return ComputeSkylineBnl(input, spec, options, DefaultExecContext(),
-                           output_path, stats);
-}
-
 }  // namespace skyline

@@ -46,12 +46,6 @@ Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
                                 const std::string& output_path,
                                 SkylineRunStats* stats);
 
-/// Deprecated shim: runs under DefaultExecContext().
-Result<Table> ComputeSkylineBnl(const Table& input, const SkylineSpec& spec,
-                                const BnlOptions& options,
-                                const std::string& output_path,
-                                SkylineRunStats* stats);
-
 }  // namespace skyline
 
 #endif  // SKYLINE_CORE_BNL_H_

@@ -1,0 +1,34 @@
+#ifndef SKYLINE_CORE_CANONICAL_ORDER_H_
+#define SKYLINE_CORE_CANONICAL_ORDER_H_
+
+#include <vector>
+
+#include "core/skyline_spec.h"
+
+namespace skyline {
+
+/// Deterministic, stats-independent serve order for skyline results.
+///
+/// The engines' presort orders (entropy in particular) depend on the
+/// table's ColumnStats min/max normalization, and mutations change those
+/// stats — so "recompute after an insert" and "patch the cached result"
+/// would emit the same row *set* in different row *orders*. The result
+/// cache instead serves every skyline in this canonical order, applied
+/// both when an entry is filled (cold compute) and when it is patched, so
+/// cached responses stay byte-identical to a from-scratch recompute.
+///
+/// The order: criteria in declaration order — numeric MIN ascending by
+/// canonical key, MAX descending ("best first"), DIFF ascending (strings
+/// bytewise) — then a full-row memcmp tiebreak so duplicate-key rows have
+/// a defined order too. Nothing here reads table statistics.
+void SortSkylineRowsCanonical(const SkylineSpec& spec,
+                              std::vector<char>* rows);
+
+/// Three-way canonical comparison of two rows of spec.schema() layout
+/// (negative / 0 / positive). Exposed for tests and merge paths.
+int CompareRowsCanonical(const SkylineSpec& spec, const char* a,
+                         const char* b);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_CORE_CANONICAL_ORDER_H_

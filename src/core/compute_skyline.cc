@@ -149,9 +149,9 @@ Result<Table> ComputeSkyline(SkylineAlgorithm algorithm, const Table& input,
           published_as = spec.value_columns().size() == 2 ? "special2d"
                                                           : "special3d";
           result = spec.value_columns().size() == 2
-                       ? ComputeSkyline2D(*effective, spec, sort_options,
+                       ? ComputeSkyline2D(*effective, spec, sort_options, ctx,
                                           output_path, s)
-                       : ComputeSkyline3D(*effective, spec, sort_options,
+                       : ComputeSkyline3D(*effective, spec, sort_options, ctx,
                                           output_path, s);
           break;
         }

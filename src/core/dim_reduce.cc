@@ -13,6 +13,7 @@ namespace skyline {
 
 Result<Table> DimensionalReduction(const Table& input, const SkylineSpec& spec,
                                    const SortOptions& sort_options,
+                                   const ExecContext& ctx,
                                    const std::string& output_path,
                                    DimReduceStats* stats) {
   if (!input.schema().Equals(spec.schema())) {
@@ -40,7 +41,7 @@ Result<Table> DimensionalReduction(const Table& input, const SkylineSpec& spec,
   SKYLINE_ASSIGN_OR_RETURN(
       std::string sorted_path,
       SortHeapFile(env, &temp_files, input.path(), width, *ordering,
-                   sort_options, &s->sort_stats));
+                   sort_options, ctx, &s->sort_stats));
 
   const size_t last_col = spec.value_columns().back().column;
   // Group key: all DIFF columns plus all value criteria except the last.

@@ -41,6 +41,7 @@ struct DimReduceStats {
 /// null.
 Result<Table> DimensionalReduction(const Table& input, const SkylineSpec& spec,
                                    const SortOptions& sort_options,
+                                   const ExecContext& ctx,
                                    const std::string& output_path,
                                    DimReduceStats* stats);
 

@@ -136,12 +136,4 @@ Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
   return builder.Finish();
 }
 
-Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
-                                 const LessOptions& options,
-                                 const std::string& output_path,
-                                 LessStats* stats) {
-  return ComputeSkylineLess(input, spec, options, DefaultExecContext(),
-                            output_path, stats);
-}
-
 }  // namespace skyline

@@ -85,12 +85,6 @@ Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
                                  const std::string& output_path,
                                  LessStats* stats);
 
-/// Deprecated shim: runs under DefaultExecContext().
-Result<Table> ComputeSkylineLess(const Table& input, const SkylineSpec& spec,
-                                 const LessOptions& options,
-                                 const std::string& output_path,
-                                 LessStats* stats);
-
 }  // namespace skyline
 
 #endif  // SKYLINE_CORE_LESS_H_

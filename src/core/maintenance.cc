@@ -10,6 +10,18 @@ namespace skyline {
 SkylineMaintainer::SkylineMaintainer(const SkylineSpec* spec)
     : spec_(spec), width_(spec->schema().row_width()) {}
 
+void SkylineMaintainer::Seed(const char* rows, size_t count) {
+  rows_.assign(rows, rows + count * width_);
+  count_ = count;
+}
+
+SkylineMaintainer SkylineMaintainer::FromComputedSkyline(
+    const SkylineSpec* spec, const char* rows, size_t count) {
+  SkylineMaintainer maintainer(spec);
+  maintainer.Seed(rows, count);
+  return maintainer;
+}
+
 const char* SkylineMaintainer::MemberAt(size_t i) const {
   SKYLINE_CHECK_LT(i, count_);
   return rows_.data() + i * width_;
@@ -52,20 +64,29 @@ SkylineMaintainer::InsertResult SkylineMaintainer::Insert(const char* row) {
 }
 
 SkylineMaintainer::RemoveResult SkylineMaintainer::Remove(const char* row) {
-  // Find a member equivalent to `row` on the skyline attributes.
+  // Find a member equivalent to `row` on the skyline attributes. Among
+  // equivalents, prefer the one whose full row bytes match: equivalence is
+  // criteria-only, and callers maintaining materialized results (the
+  // result cache) need the removed member to be the physically deleted
+  // row, not a payload-differing tie.
   size_t found = count_;
+  size_t exact = count_;
   size_t equivalents = 0;
   for (size_t i = 0; i < count_; ++i) {
-    if (CompareDominance(*spec_, rows_.data() + i * width_, row) ==
-        DomResult::kEquivalent) {
+    const char* member = rows_.data() + i * width_;
+    if (CompareDominance(*spec_, member, row) == DomResult::kEquivalent) {
       if (found == count_) found = i;
+      if (exact == count_ && std::memcmp(member, row, width_) == 0) {
+        exact = i;
+      }
       ++equivalents;
     }
   }
   if (found == count_) return RemoveResult::kNotMember;
+  const size_t target = exact != count_ ? exact : found;
   const size_t last = count_ - 1;
-  if (found != last) {
-    std::memcpy(rows_.data() + found * width_, rows_.data() + last * width_,
+  if (target != last) {
+    std::memcpy(rows_.data() + target * width_, rows_.data() + last * width_,
                 width_);
   }
   rows_.resize(last * width_);

@@ -44,8 +44,20 @@ class SkylineMaintainer {
   };
 
   /// `spec` must outlive the maintainer. Starts empty; seed with Insert()
-  /// over an existing skyline's rows (or all base rows).
+  /// over all base rows, or with Seed() when the rows are already a
+  /// skyline.
   explicit SkylineMaintainer(const SkylineSpec* spec);
+
+  /// Adopts `count` rows (spec->schema() layout, densely packed) that the
+  /// caller asserts are already mutually non-dominating — a previously
+  /// computed skyline. No dominance checks run: the cost is one memcpy,
+  /// not the O(n·|skyline|) of per-row Insert(). Replaces the current
+  /// members.
+  void Seed(const char* rows, size_t count);
+
+  /// Convenience: a maintainer pre-seeded with a computed skyline.
+  static SkylineMaintainer FromComputedSkyline(const SkylineSpec* spec,
+                                               const char* rows, size_t count);
 
   /// Offers one row (spec->schema() layout, copied in).
   InsertResult Insert(const char* row);

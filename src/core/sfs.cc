@@ -462,12 +462,4 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
   return builder.Finish();
 }
 
-Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
-                                const SfsOptions& options,
-                                const std::string& output_path,
-                                SkylineRunStats* stats) {
-  return ComputeSkylineSfs(input, spec, options, DefaultExecContext(),
-                           output_path, stats);
-}
-
 }  // namespace skyline

@@ -230,12 +230,6 @@ Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
                                 const std::string& output_path,
                                 SkylineRunStats* stats);
 
-/// Deprecated shim: runs under DefaultExecContext().
-Result<Table> ComputeSkylineSfs(const Table& input, const SkylineSpec& spec,
-                                const SfsOptions& options,
-                                const std::string& output_path,
-                                SkylineRunStats* stats);
-
 }  // namespace skyline
 
 #endif  // SKYLINE_CORE_SFS_H_

@@ -340,8 +340,8 @@ Status ParallelSfsFilter(Env* env, const std::string& sorted_path,
                          SkylineRunStats* stats) {
   SkylineRunStats local_stats;
   SkylineRunStats* s = stats != nullptr ? stats : &local_stats;
-  const ExecContext& ctx =
-      options.exec != nullptr ? *options.exec : DefaultExecContext();
+  static const ExecContext* const kNoContext = new ExecContext();
+  const ExecContext& ctx = options.exec != nullptr ? *options.exec : *kNoContext;
   SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
 
   const size_t width = spec.schema().row_width();

@@ -67,8 +67,8 @@ struct ParallelSfsOptions {
   size_t representative_pool_cap = 32;
   /// Execution context (trace sink for the "block-scan" / "block-merge"
   /// spans, cancellation hook polled by the workers and the merge
-  /// phases). Null uses DefaultExecContext(); thread selection stays
-  /// with `threads` above.
+  /// phases). Null means no sinks and no cancellation; thread selection
+  /// stays with `threads` above.
   const ExecContext* exec = nullptr;
 };
 

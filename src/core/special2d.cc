@@ -13,6 +13,7 @@ namespace skyline {
 
 Result<Table> ComputeSkyline2D(const Table& input, const SkylineSpec& spec,
                                const SortOptions& sort_options,
+                               const ExecContext& ctx,
                                const std::string& output_path,
                                SkylineRunStats* stats) {
   if (!input.schema().Equals(spec.schema())) {
@@ -39,7 +40,7 @@ Result<Table> ComputeSkyline2D(const Table& input, const SkylineSpec& spec,
   SKYLINE_ASSIGN_OR_RETURN(
       std::string sorted_path,
       SortHeapFile(env, &temp_files, input.path(), width, *ordering,
-                   sort_options, &s->sort_stats));
+                   sort_options, ctx, &s->sort_stats));
   s->sort_seconds = sort_timer.ElapsedSeconds();
 
   const auto& primary = spec.value_columns()[0];

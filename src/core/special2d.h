@@ -28,6 +28,7 @@ namespace skyline {
 /// be null) records sort cost and scan time.
 Result<Table> ComputeSkyline2D(const Table& input, const SkylineSpec& spec,
                                const SortOptions& sort_options,
+                               const ExecContext& ctx,
                                const std::string& output_path,
                                SkylineRunStats* stats);
 

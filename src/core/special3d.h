@@ -33,6 +33,7 @@ namespace skyline {
 /// skyline size, not the input). `stats` may be null.
 Result<Table> ComputeSkyline3D(const Table& input, const SkylineSpec& spec,
                                const SortOptions& sort_options,
+                               const ExecContext& ctx,
                                const std::string& output_path,
                                SkylineRunStats* stats);
 

@@ -194,20 +194,4 @@ Result<std::vector<Table>> LabelStrataIterative(
   return strata;
 }
 
-Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
-                                            const SkylineSpec& spec,
-                                            const StrataOptions& options,
-                                            const std::string& output_prefix,
-                                            StrataStats* stats) {
-  return ComputeStrataSfs(input, spec, options, DefaultExecContext(),
-                          output_prefix, stats);
-}
-
-Result<std::vector<Table>> LabelStrataIterative(
-    const Table& input, const SkylineSpec& spec, const SfsOptions& sfs_options,
-    size_t max_strata, const std::string& output_prefix, StrataStats* stats) {
-  return LabelStrataIterative(input, spec, sfs_options, DefaultExecContext(),
-                              max_strata, output_prefix, stats);
-}
-
 }  // namespace skyline

@@ -53,13 +53,6 @@ Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
                                             const std::string& output_prefix,
                                             StrataStats* stats);
 
-/// Deprecated shim: runs under DefaultExecContext().
-Result<std::vector<Table>> ComputeStrataSfs(const Table& input,
-                                            const SkylineSpec& spec,
-                                            const StrataOptions& options,
-                                            const std::string& output_prefix,
-                                            StrataStats* stats);
-
 /// Labels every tuple with its stratum by running full SFS repeatedly:
 /// compute the skyline, remove it, recurse on the residue (the paper's
 /// future-work "label each tuple with its stratum number"). Handles any
@@ -69,11 +62,6 @@ Result<std::vector<Table>> LabelStrataIterative(
     const Table& input, const SkylineSpec& spec, const SfsOptions& sfs_options,
     const ExecContext& ctx, size_t max_strata,
     const std::string& output_prefix, StrataStats* stats);
-
-/// Deprecated shim: runs under DefaultExecContext().
-Result<std::vector<Table>> LabelStrataIterative(
-    const Table& input, const SkylineSpec& spec, const SfsOptions& sfs_options,
-    size_t max_strata, const std::string& output_prefix, StrataStats* stats);
 
 }  // namespace skyline
 

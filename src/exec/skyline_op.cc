@@ -44,7 +44,8 @@ SkylineOperator::SkylineOperator(std::unique_ptr<Operator> child, Env* env,
       constraint_(std::move(constraint)) {}
 
 Status SkylineOperator::OpenImpl() {
-  const ExecContext& ctx = exec_ != nullptr ? *exec_ : DefaultExecContext();
+  static const ExecContext* const kNoContext = new ExecContext();
+  const ExecContext& ctx = exec_ != nullptr ? *exec_ : *kNoContext;
   SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
 
   // A pure table-scan child needs no staging: compute over the base table

@@ -27,7 +27,8 @@ Status SortOperator::OpenImpl() {
   SKYLINE_RETURN_IF_ERROR(child_->status());
   SKYLINE_RETURN_IF_ERROR(writer.Finish());
 
-  const ExecContext& ctx = exec_ != nullptr ? *exec_ : DefaultExecContext();
+  static const ExecContext* const kNoContext = new ExecContext();
+  const ExecContext& ctx = exec_ != nullptr ? *exec_ : *kNoContext;
   SKYLINE_ASSIGN_OR_RETURN(
       std::string sorted,
       SortHeapFile(env_, &temp_files_, staged, width, *ordering_, options_,

@@ -135,12 +135,6 @@ ExternalSorter::ExternalSorter(Env* env, TempFileManager* temp_files,
       << "external sort needs at least 3 buffer pages";
 }
 
-ExternalSorter::ExternalSorter(Env* env, TempFileManager* temp_files,
-                               const RowOrdering* ordering, size_t record_size,
-                               const SortOptions& options, SortStats* stats_out)
-    : ExternalSorter(env, temp_files, ordering, record_size, options,
-                     DefaultExecContext(), stats_out) {}
-
 Result<std::string> ExternalSorter::Sort(const std::string& input_path) {
   *stats_ = SortStats{};
   SKYLINE_RETURN_IF_ERROR(ctx_->CheckCancelled());
@@ -455,16 +449,6 @@ Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,
   ExternalSorter sorter(env, temp_files, &ordering, record_size, options, ctx,
                         stats);
   return sorter.Sort(input_path);
-}
-
-Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,
-                                 const std::string& input_path,
-                                 size_t record_size,
-                                 const RowOrdering& ordering,
-                                 const SortOptions& options,
-                                 SortStats* stats) {
-  return SortHeapFile(env, temp_files, input_path, record_size, ordering,
-                      options, DefaultExecContext(), stats);
 }
 
 }  // namespace skyline

@@ -83,11 +83,6 @@ class ExternalSorter {
                  const SortOptions& options, const ExecContext& ctx,
                  SortStats* stats_out);
 
-  /// Deprecated shim: sorts under DefaultExecContext().
-  ExternalSorter(Env* env, TempFileManager* temp_files,
-                 const RowOrdering* ordering, size_t record_size,
-                 const SortOptions& options, SortStats* stats_out);
-
   ExternalSorter(const ExternalSorter&) = delete;
   ExternalSorter& operator=(const ExternalSorter&) = delete;
 
@@ -132,13 +127,6 @@ Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,
                                  const RowOrdering& ordering,
                                  const SortOptions& options,
                                  const ExecContext& ctx, SortStats* stats);
-
-/// Deprecated shim: sorts under DefaultExecContext().
-Result<std::string> SortHeapFile(Env* env, TempFileManager* temp_files,
-                                 const std::string& input_path,
-                                 size_t record_size,
-                                 const RowOrdering& ordering,
-                                 const SortOptions& options, SortStats* stats);
 
 }  // namespace skyline
 

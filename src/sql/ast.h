@@ -61,6 +61,26 @@ struct SelectStatement {
   ExplainMode explain = ExplainMode::kNone;
 };
 
+/// Parsed form of `INSERT INTO <table> VALUES (<lit> [, ...]) [, (...)]`.
+/// Each row lists one literal per table column, in schema order; the
+/// binder coerces numbers to the column type and pads/truncates strings.
+struct InsertStatement {
+  std::string table;
+  std::vector<std::vector<SqlLiteral>> rows;
+};
+
+/// Parsed form of `DELETE FROM <table> [WHERE <col op literal> [AND ...]]`.
+/// No predicates means delete every row.
+struct DeleteStatement {
+  std::string table;
+  std::vector<SqlPredicate> predicates;
+};
+
+/// Any statement of the dialect. SELECT keeps its historical position 0 so
+/// read-only callers can `std::get<SelectStatement>` after a kind check.
+using SqlStatement =
+    std::variant<SelectStatement, InsertStatement, DeleteStatement>;
+
 /// Printable operator text ("<=" etc.), for diagnostics.
 std::string_view CompareOpText(CompareOp op);
 

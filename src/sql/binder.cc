@@ -1,0 +1,316 @@
+#include "sql/binder.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+#include "common/order_key.h"
+
+namespace skyline {
+
+bool BoundPredicate::Eval(const RowView& row) const {
+  int cmp;
+  if (is_string) {
+    const std::string value = row.GetString(column);
+    cmp = value.compare(text);
+  } else {
+    const double value = row.GetNumeric(column);
+    cmp = value < number ? -1 : (value > number ? 1 : 0);
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+Result<BoundPredicate> BindPredicate(const Schema& schema,
+                                     const SqlPredicate& predicate) {
+  BoundPredicate bound;
+  SKYLINE_ASSIGN_OR_RETURN(bound.column, schema.ColumnIndex(predicate.column));
+  bound.op = predicate.op;
+  const bool numeric_column = schema.IsNumeric(bound.column);
+  if (std::holds_alternative<double>(predicate.literal)) {
+    if (!numeric_column) {
+      return Status::InvalidArgument("column " + predicate.column +
+                                     " is a string; compare it to a quoted "
+                                     "string literal");
+    }
+    bound.is_string = false;
+    bound.number = std::get<double>(predicate.literal);
+  } else {
+    if (numeric_column) {
+      return Status::InvalidArgument("column " + predicate.column +
+                                     " is numeric; compare it to a number");
+    }
+    bound.is_string = true;
+    bound.text = std::get<std::string>(predicate.literal);
+  }
+  return bound;
+}
+
+Result<std::vector<BoundPredicate>> BindPredicates(
+    const Schema& schema, const std::vector<SqlPredicate>& predicates) {
+  std::vector<BoundPredicate> bound;
+  bound.reserve(predicates.size());
+  for (const auto& predicate : predicates) {
+    SKYLINE_ASSIGN_OR_RETURN(BoundPredicate b,
+                             BindPredicate(schema, predicate));
+    bound.push_back(std::move(b));
+  }
+  return bound;
+}
+
+bool EvalPredicates(const std::vector<BoundPredicate>& predicates,
+                    const RowView& row) {
+  for (const auto& predicate : predicates) {
+    if (!predicate.Eval(row)) return false;
+  }
+  return true;
+}
+
+namespace {
+
+// -2^63 and 2^63 are exactly representable as doubles; int64 max is not,
+// so range checks compare against 2^63 and exclude it.
+constexpr double kInt64LoD = -9223372036854775808.0;
+constexpr double kInt64HiD = 9223372036854775808.0;
+
+}  // namespace
+
+/// Float bounds normalize ±0.0 (distinct total-order keys, equal SQL
+/// values) so the interval matches double comparison semantics. NaN
+/// *data* values sit beyond the infinities in key space and would not
+/// compare the same way, but NaN literals are never pushed and the
+/// generators produce no NaN data.
+bool TryPushPredicate(ColumnType type, CompareOp op, double v, int64_t* lo,
+                      int64_t* hi) {
+  if (std::isnan(v)) return false;
+  if (op == CompareOp::kNe) return false;
+
+  const auto make_empty = [lo, hi]() {
+    *lo = std::numeric_limits<int64_t>::max();
+    *hi = std::numeric_limits<int64_t>::min();
+    return true;
+  };
+
+  if (type == ColumnType::kFloat64) {
+    const bool zero = v == 0.0;
+    switch (op) {
+      case CompareOp::kGe:
+        *lo = std::max(*lo, Float64TotalOrderKey(zero ? -0.0 : v));
+        return true;
+      case CompareOp::kGt: {
+        const int64_t k = Float64TotalOrderKey(zero ? 0.0 : v);
+        if (k == std::numeric_limits<int64_t>::max()) return make_empty();
+        *lo = std::max(*lo, k + 1);
+        return true;
+      }
+      case CompareOp::kLe:
+        *hi = std::min(*hi, Float64TotalOrderKey(zero ? 0.0 : v));
+        return true;
+      case CompareOp::kLt: {
+        const int64_t k = Float64TotalOrderKey(zero ? -0.0 : v);
+        if (k == std::numeric_limits<int64_t>::min()) return make_empty();
+        *hi = std::min(*hi, k - 1);
+        return true;
+      }
+      case CompareOp::kEq:
+        *lo = std::max(*lo, Float64TotalOrderKey(zero ? -0.0 : v));
+        *hi = std::min(*hi, Float64TotalOrderKey(zero ? 0.0 : v));
+        return true;
+      case CompareOp::kNe:
+        return false;
+    }
+    return false;
+  }
+
+  // Integer columns: reduce every op to inclusive integer endpoints,
+  // staying in the exactly-representable double range before casting.
+  const int64_t col_min = type == ColumnType::kInt32
+                              ? std::numeric_limits<int32_t>::min()
+                              : std::numeric_limits<int64_t>::min();
+  const int64_t col_max = type == ColumnType::kInt32
+                              ? std::numeric_limits<int32_t>::max()
+                              : std::numeric_limits<int64_t>::max();
+  const bool integral = v == std::floor(v);
+  switch (op) {
+    case CompareOp::kLe:
+    case CompareOp::kLt: {
+      const double f = std::floor(v);
+      if (f >= kInt64HiD) return true;  // satisfied by every int64
+      if (f < kInt64LoD) return make_empty();
+      int64_t bound = static_cast<int64_t>(f);
+      if (op == CompareOp::kLt && integral) {
+        if (bound == std::numeric_limits<int64_t>::min()) return make_empty();
+        --bound;
+      }
+      if (bound < col_min) return make_empty();
+      if (bound < col_max) *hi = std::min(*hi, bound);
+      return true;
+    }
+    case CompareOp::kGe:
+    case CompareOp::kGt: {
+      const double c = std::ceil(v);
+      if (c < kInt64LoD) return true;  // satisfied by every int64
+      if (c >= kInt64HiD) return make_empty();
+      int64_t bound = static_cast<int64_t>(c);
+      if (op == CompareOp::kGt && integral) {
+        if (bound == std::numeric_limits<int64_t>::max()) return make_empty();
+        ++bound;
+      }
+      if (bound > col_max) return make_empty();
+      if (bound > col_min) *lo = std::max(*lo, bound);
+      return true;
+    }
+    case CompareOp::kEq: {
+      if (!integral || v < kInt64LoD || v >= kInt64HiD) return make_empty();
+      const int64_t value = static_cast<int64_t>(v);
+      if (value < col_min || value > col_max) return make_empty();
+      *lo = std::max(*lo, value);
+      *hi = std::min(*hi, value);
+      return true;
+    }
+    case CompareOp::kNe:
+      return false;
+  }
+  return false;
+}
+
+Result<BoundSelect> BindSelect(const Table* table,
+                               const SelectStatement& statement) {
+  const Schema& schema = table->schema();
+  BoundSelect bound;
+  bound.table = table;
+
+  // Bind everything before splitting so errors carry context.
+  SKYLINE_ASSIGN_OR_RETURN(std::vector<BoundPredicate> predicates,
+                           BindPredicates(schema, statement.predicates));
+  for (const auto& criterion : statement.skyline) {
+    SKYLINE_RETURN_IF_ERROR(schema.ColumnIndex(criterion.column).status());
+  }
+  bound.projection.reserve(statement.columns.size());
+  for (const auto& column : statement.columns) {
+    SKYLINE_ASSIGN_OR_RETURN(size_t index, schema.ColumnIndex(column));
+    bound.projection.push_back(index);
+  }
+  bound.order_keys.reserve(statement.order_by.size());
+  for (const auto& item : statement.order_by) {
+    SKYLINE_ASSIGN_OR_RETURN(size_t column, schema.ColumnIndex(item.column));
+    bound.order_keys.push_back({column, item.descending});
+  }
+  bound.limit = statement.limit;
+
+  // With a SKYLINE OF clause, push range predicates down into the skyline
+  // operator as a constrained-skyline box: BBS probes the box against
+  // index node corners (pruning subtrees without reading them), and when
+  // every predicate pushes the operator sees a bare table scan and can use
+  // the base table's sidecars directly. Predicates that aren't exact key
+  // intervals (kNe, strings, NaN literals) stay behind as a row filter.
+  if (statement.skyline.empty()) {
+    bound.residual = std::move(predicates);
+    return bound;
+  }
+  std::vector<int64_t> lo(schema.num_columns(),
+                          std::numeric_limits<int64_t>::min());
+  std::vector<int64_t> hi(schema.num_columns(),
+                          std::numeric_limits<int64_t>::max());
+  std::vector<bool> touched(schema.num_columns(), false);
+  for (auto& predicate : predicates) {
+    const bool pushed =
+        !predicate.is_string &&
+        TryPushPredicate(schema.column(predicate.column).type, predicate.op,
+                         predicate.number, &lo[predicate.column],
+                         &hi[predicate.column]);
+    if (pushed) {
+      touched[predicate.column] = true;
+    } else {
+      bound.residual.push_back(std::move(predicate));
+    }
+  }
+  for (size_t c = 0; c < schema.num_columns(); ++c) {
+    // Tautological intervals are dropped (their predicates are still
+    // consumed); everything else — including empty boxes — constrains.
+    if (touched[c] && (lo[c] != std::numeric_limits<int64_t>::min() ||
+                       hi[c] != std::numeric_limits<int64_t>::max())) {
+      bound.constraint.bounds.push_back({c, lo[c], hi[c]});
+    }
+  }
+  return bound;
+}
+
+Result<std::vector<char>> BindInsertRows(
+    const Schema& schema, const std::vector<std::vector<SqlLiteral>>& rows) {
+  std::vector<char> buffer;
+  buffer.reserve(rows.size() * schema.row_width());
+  RowBuffer row(&schema);
+  for (size_t r = 0; r < rows.size(); ++r) {
+    const auto& literals = rows[r];
+    if (literals.size() != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "VALUES row " + std::to_string(r + 1) + " has " +
+          std::to_string(literals.size()) + " values; table needs " +
+          std::to_string(schema.num_columns()));
+    }
+    std::memset(row.mutable_data(), 0, row.size());
+    for (size_t c = 0; c < literals.size(); ++c) {
+      const ColumnDef& column = schema.column(c);
+      if (std::holds_alternative<std::string>(literals[c])) {
+        if (column.type != ColumnType::kFixedString) {
+          return Status::InvalidArgument("column " + column.name +
+                                         " is numeric; insert a number");
+        }
+        const std::string& text = std::get<std::string>(literals[c]);
+        if (text.size() > column.string_length) {
+          return Status::InvalidArgument(
+              "string '" + text + "' does not fit column " + column.name +
+              " (str[" + std::to_string(column.string_length) + "])");
+        }
+        row.SetString(c, text);
+        continue;
+      }
+      const double v = std::get<double>(literals[c]);
+      switch (column.type) {
+        case ColumnType::kInt32:
+          if (v != std::floor(v) ||
+              v < std::numeric_limits<int32_t>::min() ||
+              v > std::numeric_limits<int32_t>::max()) {
+            return Status::InvalidArgument("value out of range for int32 "
+                                           "column " + column.name);
+          }
+          row.SetInt32(c, static_cast<int32_t>(v));
+          break;
+        case ColumnType::kInt64:
+          // 2^63 is not representable in int64; the >= excludes it.
+          if (v != std::floor(v) || v < -9223372036854775808.0 ||
+              v >= 9223372036854775808.0) {
+            return Status::InvalidArgument("value out of range for int64 "
+                                           "column " + column.name);
+          }
+          row.SetInt64(c, static_cast<int64_t>(v));
+          break;
+        case ColumnType::kFloat64:
+          row.SetFloat64(c, v);
+          break;
+        case ColumnType::kFixedString:
+          return Status::InvalidArgument("column " + column.name +
+                                         " is a string; insert a quoted "
+                                         "string literal");
+      }
+    }
+    buffer.insert(buffer.end(), row.data(), row.data() + row.size());
+  }
+  return buffer;
+}
+
+}  // namespace skyline

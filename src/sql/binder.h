@@ -1,0 +1,100 @@
+#ifndef SKYLINE_SQL_BINDER_H_
+#define SKYLINE_SQL_BINDER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/skyline_constraint.h"
+#include "relation/row.h"
+#include "relation/table.h"
+#include "sort/comparator.h"
+#include "sql/ast.h"
+
+namespace skyline {
+
+/// Name resolution and typing for the mini dialect: statements arrive as
+/// column/table names and untyped literals, and leave bound to column
+/// indices, typed comparison closures, and canonical-key constraint boxes.
+/// Shared by the SQL executor (which assembles a Volcano pipeline from the
+/// bound form) and the Engine's cached skyline serve/maintenance paths
+/// (which consume the bound form directly).
+
+/// A predicate bound to a column index with a typed comparison closure.
+struct BoundPredicate {
+  size_t column;
+  CompareOp op;
+  bool is_string;
+  double number = 0;
+  std::string text;
+
+  bool Eval(const RowView& row) const;
+};
+
+/// Binds one `column <op> literal` predicate against `schema`. NotFound
+/// for unknown columns, InvalidArgument for type mismatches.
+Result<BoundPredicate> BindPredicate(const Schema& schema,
+                                     const SqlPredicate& predicate);
+
+/// Binds a predicate list; fails on the first bad predicate.
+Result<std::vector<BoundPredicate>> BindPredicates(
+    const Schema& schema, const std::vector<SqlPredicate>& predicates);
+
+/// True iff `row` satisfies every predicate (empty list = true).
+bool EvalPredicates(const std::vector<BoundPredicate>& predicates,
+                    const RowView& row);
+
+/// Tries to express one numeric `column <op> literal` predicate as an
+/// interval in the column's canonical key space, tightening [*lo, *hi]
+/// (caller initializes to the full range). Returns false when the
+/// predicate is not exactly representable as a key interval (kNe, string
+/// comparisons, NaN literals) and must stay a residual row filter.
+///
+/// A predicate that excludes every column value tightens the interval to
+/// an empty box (lo > hi) — the constrained skyline is then empty, which
+/// is exactly the predicate's meaning. A tautological predicate (e.g.
+/// `int_col <= 1e30`) is consumed without tightening anything.
+bool TryPushPredicate(ColumnType type, CompareOp op, double v, int64_t* lo,
+                      int64_t* hi);
+
+/// A SELECT statement resolved against a concrete table: predicates split
+/// into a pushed constraint box + residual row filters (the split only
+/// happens under a SKYLINE OF clause — see BindSelect), projection and
+/// ORDER BY columns resolved to indices.
+struct BoundSelect {
+  const Table* table = nullptr;
+  /// Row filters that could not be pushed into the constraint.
+  std::vector<BoundPredicate> residual;
+  /// Canonical-key box pushed into the skyline operator; empty without a
+  /// SKYLINE OF clause (all predicates stay residual then).
+  SkylineConstraint constraint;
+  /// Projection column indices in SELECT-list order; empty = `*`.
+  std::vector<size_t> projection;
+  /// ORDER BY keys resolved to column indices.
+  std::vector<SortKey> order_keys;
+  std::optional<uint64_t> limit;
+};
+
+/// Binds `statement` against `table` (already looked up by name): binds
+/// predicates, validates skyline/projection/ORDER BY columns, and — when
+/// the statement has a SKYLINE OF clause — pushes exact-range predicates
+/// down into a constrained-skyline box, leaving the rest as residual row
+/// filters. WHERE-before-SKYLINE semantics *are* the constrained skyline,
+/// so the split is lossless.
+Result<BoundSelect> BindSelect(const Table* table,
+                               const SelectStatement& statement);
+
+/// Coerces literal VALUES rows into raw rows of `schema`, one literal per
+/// column in schema order, returned as a dense buffer of
+/// rows.size() * schema.row_width() bytes. Numbers bind to numeric
+/// columns (integer columns require integral in-range values); strings
+/// bind to fixed-string columns, truncated or NUL-padded like
+/// RowBuffer::SetString.
+Result<std::vector<char>> BindInsertRows(
+    const Schema& schema, const std::vector<std::vector<SqlLiteral>>& rows);
+
+}  // namespace skyline
+
+#endif  // SKYLINE_SQL_BINDER_H_

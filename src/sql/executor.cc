@@ -1,207 +1,13 @@
 #include "sql/executor.h"
 
-#include <cmath>
-#include <cstdint>
-#include <limits>
 #include <memory>
 #include <vector>
 
-#include "common/order_key.h"
+#include "sql/binder.h"
 #include "sql/parser.h"
 
 namespace skyline {
 namespace {
-
-/// A predicate bound to a column index with a typed comparison closure.
-struct BoundPredicate {
-  size_t column;
-  CompareOp op;
-  bool is_string;
-  double number = 0;
-  std::string text;
-
-  bool Eval(const RowView& row) const {
-    int cmp;
-    if (is_string) {
-      const std::string value = row.GetString(column);
-      cmp = value.compare(text);
-    } else {
-      const double value = row.GetNumeric(column);
-      cmp = value < number ? -1 : (value > number ? 1 : 0);
-    }
-    switch (op) {
-      case CompareOp::kEq:
-        return cmp == 0;
-      case CompareOp::kNe:
-        return cmp != 0;
-      case CompareOp::kLt:
-        return cmp < 0;
-      case CompareOp::kLe:
-        return cmp <= 0;
-      case CompareOp::kGt:
-        return cmp > 0;
-      case CompareOp::kGe:
-        return cmp >= 0;
-    }
-    return false;
-  }
-};
-
-Result<BoundPredicate> BindPredicate(const Schema& schema,
-                                     const SqlPredicate& predicate) {
-  BoundPredicate bound;
-  SKYLINE_ASSIGN_OR_RETURN(bound.column, schema.ColumnIndex(predicate.column));
-  bound.op = predicate.op;
-  const bool numeric_column = schema.IsNumeric(bound.column);
-  if (std::holds_alternative<double>(predicate.literal)) {
-    if (!numeric_column) {
-      return Status::InvalidArgument("column " + predicate.column +
-                                     " is a string; compare it to a quoted "
-                                     "string literal");
-    }
-    bound.is_string = false;
-    bound.number = std::get<double>(predicate.literal);
-  } else {
-    if (numeric_column) {
-      return Status::InvalidArgument("column " + predicate.column +
-                                     " is numeric; compare it to a number");
-    }
-    bound.is_string = true;
-    bound.text = std::get<std::string>(predicate.literal);
-  }
-  return bound;
-}
-
-// -2^63 and 2^63 are exactly representable as doubles; int64 max is not,
-// so range checks compare against 2^63 and exclude it.
-constexpr double kInt64LoD = -9223372036854775808.0;
-constexpr double kInt64HiD = 9223372036854775808.0;
-
-/// Tries to express one numeric `column <op> literal` predicate as an
-/// interval in the column's canonical key space, tightening [*lo, *hi]
-/// (caller initializes to the full range). Returns false when the
-/// predicate is not exactly representable as a key interval (kNe, string
-/// comparisons, NaN literals) and must stay a residual row filter.
-///
-/// A predicate that excludes every column value tightens the interval to
-/// an empty box (lo > hi) — the constrained skyline is then empty, which
-/// is exactly the predicate's meaning. A tautological predicate (e.g.
-/// `int_col <= 1e30`) is consumed without tightening anything.
-///
-/// Float bounds normalize ±0.0 (distinct total-order keys, equal SQL
-/// values) so the interval matches double comparison semantics. NaN
-/// *data* values sit beyond the infinities in key space and would not
-/// compare the same way, but NaN literals are never pushed and the
-/// generators produce no NaN data.
-bool TryPushPredicate(ColumnType type, CompareOp op, double v, int64_t* lo,
-                      int64_t* hi) {
-  if (std::isnan(v)) return false;
-  if (op == CompareOp::kNe) return false;
-
-  const auto make_empty = [lo, hi]() {
-    *lo = std::numeric_limits<int64_t>::max();
-    *hi = std::numeric_limits<int64_t>::min();
-    return true;
-  };
-
-  if (type == ColumnType::kFloat64) {
-    const bool zero = v == 0.0;
-    switch (op) {
-      case CompareOp::kGe:
-        *lo = std::max(*lo, Float64TotalOrderKey(zero ? -0.0 : v));
-        return true;
-      case CompareOp::kGt: {
-        const int64_t k = Float64TotalOrderKey(zero ? 0.0 : v);
-        if (k == std::numeric_limits<int64_t>::max()) return make_empty();
-        *lo = std::max(*lo, k + 1);
-        return true;
-      }
-      case CompareOp::kLe:
-        *hi = std::min(*hi, Float64TotalOrderKey(zero ? 0.0 : v));
-        return true;
-      case CompareOp::kLt: {
-        const int64_t k = Float64TotalOrderKey(zero ? -0.0 : v);
-        if (k == std::numeric_limits<int64_t>::min()) return make_empty();
-        *hi = std::min(*hi, k - 1);
-        return true;
-      }
-      case CompareOp::kEq:
-        *lo = std::max(*lo, Float64TotalOrderKey(zero ? -0.0 : v));
-        *hi = std::min(*hi, Float64TotalOrderKey(zero ? 0.0 : v));
-        return true;
-      case CompareOp::kNe:
-        return false;
-    }
-    return false;
-  }
-
-  // Integer columns: reduce every op to inclusive integer endpoints,
-  // staying in the exactly-representable double range before casting.
-  const int64_t col_min = type == ColumnType::kInt32
-                              ? std::numeric_limits<int32_t>::min()
-                              : std::numeric_limits<int64_t>::min();
-  const int64_t col_max = type == ColumnType::kInt32
-                              ? std::numeric_limits<int32_t>::max()
-                              : std::numeric_limits<int64_t>::max();
-  const bool integral = v == std::floor(v);
-  switch (op) {
-    case CompareOp::kLe:
-    case CompareOp::kLt: {
-      const double f = std::floor(v);
-      if (f >= kInt64HiD) return true;  // satisfied by every int64
-      if (f < kInt64LoD) return make_empty();
-      int64_t bound = static_cast<int64_t>(f);
-      if (op == CompareOp::kLt && integral) {
-        if (bound == std::numeric_limits<int64_t>::min()) return make_empty();
-        --bound;
-      }
-      if (bound < col_min) return make_empty();
-      if (bound < col_max) *hi = std::min(*hi, bound);
-      return true;
-    }
-    case CompareOp::kGe:
-    case CompareOp::kGt: {
-      const double c = std::ceil(v);
-      if (c < kInt64LoD) return true;  // satisfied by every int64
-      if (c >= kInt64HiD) return make_empty();
-      int64_t bound = static_cast<int64_t>(c);
-      if (op == CompareOp::kGt && integral) {
-        if (bound == std::numeric_limits<int64_t>::max()) return make_empty();
-        ++bound;
-      }
-      if (bound > col_max) return make_empty();
-      if (bound > col_min) *lo = std::max(*lo, bound);
-      return true;
-    }
-    case CompareOp::kEq: {
-      if (!integral || v < kInt64LoD || v >= kInt64HiD) return make_empty();
-      const int64_t value = static_cast<int64_t>(v);
-      if (value < col_min || value > col_max) return make_empty();
-      *lo = std::max(*lo, value);
-      *hi = std::min(*hi, value);
-      return true;
-    }
-    case CompareOp::kNe:
-      return false;
-  }
-  return false;
-}
-
-}  // namespace
-
-namespace {
-
-/// Folds the legacy SqlOptions::threads knob into the context the
-/// operators actually consume: an explicitly set exec.threads wins;
-/// otherwise a non-zero legacy value becomes the override, and 0 keeps the
-/// context's "defer to the algorithm options" default.
-ExecContext ResolveSqlContext(const SqlOptions& options) {
-  ExecContext ctx = options.exec;
-  if (!ctx.threads.has_value() && options.threads != 0) {
-    ctx.threads = options.threads;
-  }
-  return ctx;
-}
 
 /// Binds `statement` and assembles the Query pipeline plus the owned
 /// ordering it may reference. Shared by execution and EXPLAIN.
@@ -211,88 +17,27 @@ Result<std::unique_ptr<Query>> BuildQueryFromStatement(
     std::unique_ptr<LexicographicOrdering>* order_by_out) {
   SKYLINE_ASSIGN_OR_RETURN(const Table* table,
                            catalog.Lookup(statement.table));
-  const Schema& schema = table->schema();
+  SKYLINE_ASSIGN_OR_RETURN(BoundSelect bound, BindSelect(table, statement));
 
-  // Bind everything before building the pipeline so errors carry context.
-  std::vector<BoundPredicate> predicates;
-  predicates.reserve(statement.predicates.size());
-  for (const auto& predicate : statement.predicates) {
-    SKYLINE_ASSIGN_OR_RETURN(BoundPredicate bound,
-                             BindPredicate(schema, predicate));
-    predicates.push_back(std::move(bound));
-  }
-  for (const auto& criterion : statement.skyline) {
-    SKYLINE_RETURN_IF_ERROR(schema.ColumnIndex(criterion.column).status());
-  }
-  for (const auto& column : statement.columns) {
-    SKYLINE_RETURN_IF_ERROR(schema.ColumnIndex(column).status());
-  }
   std::unique_ptr<LexicographicOrdering> order_by;
-  if (!statement.order_by.empty()) {
-    std::vector<SortKey> keys;
-    keys.reserve(statement.order_by.size());
-    for (const auto& item : statement.order_by) {
-      SKYLINE_ASSIGN_OR_RETURN(size_t column, schema.ColumnIndex(item.column));
-      keys.push_back({column, item.descending});
-    }
-    order_by = std::make_unique<LexicographicOrdering>(&schema,
-                                                       std::move(keys));
-  }
-
-  // With a SKYLINE OF clause, push range predicates down into the skyline
-  // operator as a constrained-skyline box: WHERE-before-SKYLINE semantics
-  // *are* the constrained skyline, BBS probes the box against index node
-  // corners (pruning subtrees without reading them), and when every
-  // predicate pushes the operator sees a bare table scan and can use the
-  // base table's sidecars directly. Predicates that aren't exact key
-  // intervals (kNe, strings, NaN literals) stay behind as a row filter.
-  SkylineConstraint constraint;
-  std::vector<BoundPredicate> residual;
-  if (statement.skyline.empty()) {
-    residual = std::move(predicates);
-  } else {
-    std::vector<int64_t> lo(schema.num_columns(),
-                            std::numeric_limits<int64_t>::min());
-    std::vector<int64_t> hi(schema.num_columns(),
-                            std::numeric_limits<int64_t>::max());
-    std::vector<bool> touched(schema.num_columns(), false);
-    for (auto& predicate : predicates) {
-      const bool pushed =
-          !predicate.is_string &&
-          TryPushPredicate(schema.column(predicate.column).type, predicate.op,
-                           predicate.number, &lo[predicate.column],
-                           &hi[predicate.column]);
-      if (pushed) {
-        touched[predicate.column] = true;
-      } else {
-        residual.push_back(std::move(predicate));
-      }
-    }
-    for (size_t c = 0; c < schema.num_columns(); ++c) {
-      // Tautological intervals are dropped (their predicates are still
-      // consumed); everything else — including empty boxes — constrains.
-      if (touched[c] && (lo[c] != std::numeric_limits<int64_t>::min() ||
-                         hi[c] != std::numeric_limits<int64_t>::max())) {
-        constraint.bounds.push_back({c, lo[c], hi[c]});
-      }
-    }
+  if (!bound.order_keys.empty()) {
+    order_by = std::make_unique<LexicographicOrdering>(
+        &table->schema(), std::move(bound.order_keys));
   }
 
   auto query = std::make_unique<Query>(catalog.env(), table,
                                        options.temp_prefix);
-  if (!residual.empty()) {
+  if (!bound.residual.empty()) {
+    auto residual =
+        std::make_shared<std::vector<BoundPredicate>>(
+            std::move(bound.residual));
     query->Where([residual](const RowView& row) {
-      for (const auto& predicate : residual) {
-        if (!predicate.Eval(row)) return false;
-      }
-      return true;
+      return EvalPredicates(*residual, row);
     });
   }
   if (!statement.skyline.empty()) {
-    // The legacy SqlOptions::threads override reaches the operators through
-    // the execution context (see ResolveSqlContext), not by mutating sfs.
     query->SkylineOf(statement.skyline, options.algorithm, options.sfs,
-                     BnlOptions{}, std::move(constraint));
+                     BnlOptions{}, std::move(bound.constraint));
   }
   if (order_by != nullptr) {
     // Before projection, so ORDER BY may reference non-selected columns;
@@ -315,7 +60,7 @@ Status ExecuteSelect(const Catalog& catalog, const SelectStatement& statement,
                      const SqlOptions& options,
                      const std::function<Status(const RowView&)>& visitor,
                      SqlRunInfo* info) {
-  const ExecContext ctx = ResolveSqlContext(options);
+  const ExecContext& ctx = options.exec;
   SKYLINE_RETURN_IF_ERROR(ctx.CheckCancelled());
   if (info != nullptr) info->explain = statement.explain;
   TraceSpan bind_span(ctx.trace, "sql-bind");
@@ -356,7 +101,7 @@ Status ExecuteSelect(const Catalog& catalog, const SelectStatement& statement,
 
 Result<std::string> ExplainSql(const Catalog& catalog, const std::string& sql,
                                const SqlOptions& options) {
-  SKYLINE_ASSIGN_OR_RETURN(SelectStatement statement, ParseSql(sql));
+  SKYLINE_ASSIGN_OR_RETURN(SelectStatement statement, ParseSelect(sql));
   std::unique_ptr<LexicographicOrdering> order_by;
   SKYLINE_ASSIGN_OR_RETURN(
       std::unique_ptr<Query> query,
@@ -369,9 +114,14 @@ Status ExecuteSql(const Catalog& catalog, const std::string& sql,
                   const std::function<Status(const RowView&)>& visitor,
                   SqlRunInfo* info) {
   TraceSpan parse_span(options.exec.trace, "sql-parse");
-  SKYLINE_ASSIGN_OR_RETURN(SelectStatement statement, ParseSql(sql));
+  SKYLINE_ASSIGN_OR_RETURN(SqlStatement statement, ParseSql(sql));
   parse_span.End();
-  return ExecuteSelect(catalog, statement, options, visitor, info);
+  if (!std::holds_alternative<SelectStatement>(statement)) {
+    return Status::InvalidArgument(
+        "write statements mutate tables; run them through skyline::Session");
+  }
+  return ExecuteSelect(catalog, std::get<SelectStatement>(statement), options,
+                       visitor, info);
 }
 
 }  // namespace skyline

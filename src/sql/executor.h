@@ -46,20 +46,14 @@ struct SqlOptions {
   /// Options for SFS-based evaluation (the kSfs and high-dim kAuto paths;
   /// sort_options also feed the special-case scans).
   SfsOptions sfs;
-  /// Worker threads for skyline evaluation and presorting — the
-  /// session-level knob a server would expose. This is the one legacy field
-  /// where 0 means "unset": 0 (the default) defers to whatever `sfs`
-  /// carries (and there 0 means "use all hardware threads"); any other
-  /// value overrides both sfs.threads and sfs.sort_options.threads, with 1
-  /// forcing sequential execution. The executor translates a non-zero value
-  /// into `exec.threads` before anything else sees it; an explicitly set
-  /// `exec.threads` wins over this field.
-  size_t threads = 0;
   /// Temp-file prefix for pipeline steps.
   std::string temp_prefix = "sql_query";
   /// Execution context threaded through every operator the statement
-  /// builds: resolved thread override, metrics/trace sinks, and the
-  /// cancellation hook.
+  /// builds: thread override, metrics/trace sinks, and the cancellation
+  /// hook. This is the *only* thread knob at the SQL layer — the legacy
+  /// `SqlOptions::threads` field is gone; user-facing thread selection
+  /// lives in Session::Options::threads (see sql/engine.h), which resolves
+  /// into `exec.threads` in exactly one place.
   ExecContext exec;
 };
 
@@ -98,7 +92,10 @@ Status ExecuteSelect(const Catalog& catalog, const SelectStatement& statement,
                      const std::function<Status(const RowView&)>& visitor,
                      SqlRunInfo* info = nullptr);
 
-/// One-shot convenience: parse + execute.
+/// One-shot convenience: parse + execute a SELECT. Write statements
+/// (INSERT/DELETE) are rejected here — they mutate tables and must go
+/// through the skyline::Session facade (sql/engine.h), which owns the
+/// table-version and result-cache protocol.
 Status ExecuteSql(const Catalog& catalog, const std::string& sql,
                   const SqlOptions& options,
                   const std::function<Status(const RowView&)>& visitor,

@@ -10,7 +10,8 @@ const std::set<std::string>& Keywords() {
   static const auto* const kKeywords = new std::set<std::string>{
       "SELECT", "FROM", "WHERE", "AND",  "SKYLINE", "OF",
       "MIN",    "MAX",  "DIFF",  "LIMIT", "ORDER",  "BY",
-      "ASC",    "DESC",  "EXPLAIN", "ANALYZE"};
+      "ASC",    "DESC",  "EXPLAIN", "ANALYZE",
+      "INSERT", "INTO", "VALUES", "DELETE"};
   return *kKeywords;
 }
 
@@ -108,6 +109,12 @@ Result<std::vector<Token>> LexSql(const std::string& sql) {
       ++i;
     } else if (c == '*') {
       tokens.push_back({TokenKind::kStar, "*", start});
+      ++i;
+    } else if (c == '(') {
+      tokens.push_back({TokenKind::kLParen, "(", start});
+      ++i;
+    } else if (c == ')') {
+      tokens.push_back({TokenKind::kRParen, ")", start});
       ++i;
     } else if (c == '=' ) {
       tokens.push_back({TokenKind::kOperator, "=", start});

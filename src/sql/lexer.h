@@ -14,11 +14,14 @@ namespace skyline {
 enum class TokenKind {
   kKeyword,     // SELECT FROM WHERE AND SKYLINE OF MIN MAX DIFF
                 // LIMIT ORDER BY ASC DESC EXPLAIN ANALYZE
+                // INSERT INTO VALUES DELETE
   kIdentifier,  // column / table names
   kNumber,      // integer or decimal literal (optional sign handled here)
   kString,      // '...' single-quoted, '' escapes a quote
   kComma,
   kStar,
+  kLParen,
+  kRParen,
   kOperator,    // = != < <= > >=
   kEnd,
 };

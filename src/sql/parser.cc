@@ -57,7 +57,18 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
-  Result<SelectStatement> Parse() {
+  Result<SqlStatement> Parse() {
+    if (Peek().kind == TokenKind::kKeyword && Peek().text == "INSERT") {
+      return ParseInsert();
+    }
+    if (Peek().kind == TokenKind::kKeyword && Peek().text == "DELETE") {
+      return ParseDelete();
+    }
+    SKYLINE_ASSIGN_OR_RETURN(SelectStatement stmt, ParseSelectStatement());
+    return SqlStatement(std::move(stmt));
+  }
+
+  Result<SelectStatement> ParseSelectStatement() {
     SelectStatement stmt;
     if (AcceptKeyword("EXPLAIN")) {
       stmt.explain = AcceptKeyword("ANALYZE") ? ExplainMode::kAnalyze
@@ -68,7 +79,7 @@ class Parser {
     SKYLINE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
     SKYLINE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
     if (AcceptKeyword("WHERE")) {
-      SKYLINE_RETURN_IF_ERROR(ParsePredicates(&stmt));
+      SKYLINE_RETURN_IF_ERROR(ParsePredicates(&stmt.predicates));
     }
     if (AcceptKeyword("SKYLINE")) {
       SKYLINE_RETURN_IF_ERROR(ExpectKeyword("OF"));
@@ -134,15 +145,62 @@ class Parser {
     return Status::OK();
   }
 
-  Status ParsePredicates(SelectStatement* stmt) {
+  Result<SqlStatement> ParseInsert() {
+    SKYLINE_RETURN_IF_ERROR(ExpectKeyword("INSERT"));
+    SKYLINE_RETURN_IF_ERROR(ExpectKeyword("INTO"));
+    InsertStatement stmt;
+    SKYLINE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    SKYLINE_RETURN_IF_ERROR(ExpectKeyword("VALUES"));
     while (true) {
-      SKYLINE_RETURN_IF_ERROR(ParseOnePredicate(stmt));
+      if (Peek().kind != TokenKind::kLParen) {
+        return Error("expected '(' before VALUES row");
+      }
+      Advance();
+      std::vector<SqlLiteral> row;
+      while (true) {
+        SqlLiteral literal;
+        SKYLINE_RETURN_IF_ERROR(ParseLiteral(&literal));
+        row.push_back(std::move(literal));
+        if (Peek().kind != TokenKind::kComma) break;
+        Advance();
+      }
+      if (Peek().kind != TokenKind::kRParen) {
+        return Error("expected ')' after VALUES row");
+      }
+      Advance();
+      stmt.rows.push_back(std::move(row));
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return SqlStatement(std::move(stmt));
+  }
+
+  Result<SqlStatement> ParseDelete() {
+    SKYLINE_RETURN_IF_ERROR(ExpectKeyword("DELETE"));
+    SKYLINE_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    DeleteStatement stmt;
+    SKYLINE_ASSIGN_OR_RETURN(stmt.table, ExpectIdentifier("table name"));
+    if (AcceptKeyword("WHERE")) {
+      SKYLINE_RETURN_IF_ERROR(ParsePredicates(&stmt.predicates));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("unexpected trailing input");
+    }
+    return SqlStatement(std::move(stmt));
+  }
+
+  Status ParsePredicates(std::vector<SqlPredicate>* out) {
+    while (true) {
+      SKYLINE_RETURN_IF_ERROR(ParseOnePredicate(out));
       if (!AcceptKeyword("AND")) break;
     }
     return Status::OK();
   }
 
-  Status ParseOnePredicate(SelectStatement* stmt) {
+  Status ParseOnePredicate(std::vector<SqlPredicate>* out) {
     SqlPredicate predicate;
     const bool literal_first = Peek().kind == TokenKind::kNumber ||
                                Peek().kind == TokenKind::kString;
@@ -163,7 +221,7 @@ class Parser {
     } else {
       SKYLINE_RETURN_IF_ERROR(ParseLiteral(&predicate.literal));
     }
-    stmt->predicates.push_back(std::move(predicate));
+    out->push_back(std::move(predicate));
     return Status::OK();
   }
 
@@ -234,10 +292,18 @@ class Parser {
 
 }  // namespace
 
-Result<SelectStatement> ParseSql(const std::string& sql) {
+Result<SqlStatement> ParseSql(const std::string& sql) {
   SKYLINE_ASSIGN_OR_RETURN(std::vector<Token> tokens, LexSql(sql));
   Parser parser(std::move(tokens));
   return parser.Parse();
+}
+
+Result<SelectStatement> ParseSelect(const std::string& sql) {
+  SKYLINE_ASSIGN_OR_RETURN(SqlStatement stmt, ParseSql(sql));
+  if (!std::holds_alternative<SelectStatement>(stmt)) {
+    return Status::InvalidArgument("expected a SELECT statement");
+  }
+  return std::get<SelectStatement>(std::move(stmt));
 }
 
 }  // namespace skyline

@@ -8,9 +8,13 @@
 
 namespace skyline {
 
-/// Parses one statement of the mini dialect (grammar in sql/ast.h).
-/// Returns InvalidArgument with offset context on syntax errors.
-Result<SelectStatement> ParseSql(const std::string& sql);
+/// Parses one statement of the mini dialect (grammar in sql/ast.h):
+/// SELECT, INSERT INTO ... VALUES, or DELETE FROM. Returns
+/// InvalidArgument with offset context on syntax errors.
+Result<SqlStatement> ParseSql(const std::string& sql);
+
+/// Convenience for read-only callers: parses and requires a SELECT.
+Result<SelectStatement> ParseSelect(const std::string& sql);
 
 }  // namespace skyline
 

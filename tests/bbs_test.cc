@@ -285,12 +285,12 @@ TEST_F(BbsTest, CorrelatedMillionRowScanAvoidance) {
   ASSERT_OK_AND_ASSIGN(
       Table sfs_result,
       ComputeSkyline(SkylineAlgorithm::kSfs, table, spec,
-                     DefaultExecContext(), "million_sfs", &sfs_stats));
+                     ExecContext(), "million_sfs", &sfs_stats));
   SkylineRunStats bbs_stats;
   ASSERT_OK_AND_ASSIGN(
       Table bbs_result,
       ComputeSkyline(SkylineAlgorithm::kAuto, table, spec,
-                     DefaultExecContext(), "million_bbs", &bbs_stats));
+                     ExecContext(), "million_bbs", &bbs_stats));
 
   // kAuto actually took the index path...
   EXPECT_GT(bbs_stats.index_nodes_visited, 0u);
@@ -331,7 +331,7 @@ TEST_F(BbsTest, AntiCorrelatedDataKeepsSfs) {
   SkylineRunStats stats;
   ASSERT_OK_AND_ASSIGN(
       Table result, ComputeSkyline(SkylineAlgorithm::kAuto, table, spec,
-                                   DefaultExecContext(), "anti_out", &stats));
+                                   ExecContext(), "anti_out", &stats));
   EXPECT_EQ(stats.index_nodes_visited, 0u);
   EXPECT_EQ(RowMultiset(ReadAll(result).data(), result.row_count(),
                         table.schema().row_width()),

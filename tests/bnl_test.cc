@@ -34,7 +34,7 @@ TEST_F(BnlTest, MatchesOracleOnRandomData) {
   SkylineSpec spec = MaxSpec(t, 4);
   SkylineRunStats stats;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineBnl(t, spec, BnlOptions{}, "out", &stats));
+                       ComputeSkylineBnl(t, spec, BnlOptions{}, ExecContext(), "out", &stats));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -48,7 +48,7 @@ TEST_F(BnlTest, MultiPassTinyWindowMatchesOracle) {
   BnlOptions opts;
   opts.window_pages = 1;  // 40 full tuples
   SkylineRunStats stats;
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineBnl(t, spec, opts, "out", &stats));
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineBnl(t, spec, opts, ExecContext(), "out", &stats));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -69,7 +69,7 @@ TEST_F(BnlTest, WindowReplacementHappens) {
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   SkylineRunStats stats;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineBnl(t, spec, BnlOptions{}, "out", &stats));
+                       ComputeSkylineBnl(t, spec, BnlOptions{}, ExecContext(), "out", &stats));
   EXPECT_EQ(sky.row_count(), 1u);
   EXPECT_EQ(stats.window_replacements, 99u);
   std::vector<char> out = ReadAll(sky);
@@ -85,7 +85,7 @@ TEST_F(BnlTest, EquivalentTuplesAllOutput) {
       SkylineSpec::Make(t.schema(),
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineBnl(t, spec, BnlOptions{}, "out", nullptr));
+                       ComputeSkylineBnl(t, spec, BnlOptions{}, ExecContext(), "out", nullptr));
   EXPECT_EQ(sky.row_count(), 2u);
 }
 
@@ -96,7 +96,7 @@ TEST_F(BnlTest, EmptyInput) {
       SkylineSpec::Make(t.schema(),
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineBnl(t, spec, BnlOptions{}, "out", nullptr));
+                       ComputeSkylineBnl(t, spec, BnlOptions{}, ExecContext(), "out", nullptr));
   EXPECT_EQ(sky.row_count(), 0u);
 }
 
@@ -110,7 +110,7 @@ TEST_F(BnlTest, ReverseEntropyInputMatchesOracle) {
   opts.window_pages = 2;
   opts.input_ordering = &reverse_entropy;
   SkylineRunStats stats;
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineBnl(t, spec, opts, "out", &stats));
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineBnl(t, spec, opts, ExecContext(), "out", &stats));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -123,13 +123,13 @@ TEST_F(BnlTest, ReverseEntropyCostsMoreThanRandom) {
   BnlOptions opts;
   opts.window_pages = 1;
   SkylineRunStats random_stats;
-  ASSERT_OK(ComputeSkylineBnl(t, spec, opts, "o1", &random_stats).status());
+  ASSERT_OK(ComputeSkylineBnl(t, spec, opts, ExecContext(), "o1", &random_stats).status());
 
   EntropyOrdering entropy(&spec, t);
   ReverseOrdering reverse_entropy(&entropy);
   opts.input_ordering = &reverse_entropy;
   SkylineRunStats re_stats;
-  ASSERT_OK(ComputeSkylineBnl(t, spec, opts, "o2", &re_stats).status());
+  ASSERT_OK(ComputeSkylineBnl(t, spec, opts, ExecContext(), "o2", &re_stats).status());
 
   // Reverse-entropy arrival destroys the replacement benefit: strictly more
   // spilled tuples and more passes (the paper's Figure 11/12 effect).
@@ -155,7 +155,7 @@ TEST_F(BnlTest, DiffDirectiveMatchesOracle) {
                                      {"a1", Directive::kMax},
                                      {"a2", Directive::kMin}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineBnl(t, spec, BnlOptions{}, "out", nullptr));
+                       ComputeSkylineBnl(t, spec, BnlOptions{}, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -166,7 +166,7 @@ TEST_F(BnlTest, AgreesWithSfsAcrossWindowSizes) {
   SkylineSpec spec = MaxSpec(t, 6);
   SfsOptions sfs_opts;
   ASSERT_OK_AND_ASSIGN(Table sfs_sky,
-                       ComputeSkylineSfs(t, spec, sfs_opts, "sfs", nullptr));
+                       ComputeSkylineSfs(t, spec, sfs_opts, ExecContext(), "sfs", nullptr));
   std::vector<char> sfs_rows = ReadAll(sfs_sky);
   const auto want = RowMultiset(sfs_rows.data(), sfs_sky.row_count(),
                                 t.schema().row_width());
@@ -175,6 +175,7 @@ TEST_F(BnlTest, AgreesWithSfsAcrossWindowSizes) {
     opts.window_pages = pages;
     ASSERT_OK_AND_ASSIGN(
         Table sky, ComputeSkylineBnl(t, spec, opts,
+                                     ExecContext(),
                                      "out" + std::to_string(pages), nullptr));
     std::vector<char> rows = ReadAll(sky);
     EXPECT_EQ(
@@ -189,7 +190,7 @@ TEST_F(BnlTest, SchemaMismatchRejected) {
   ASSERT_OK_AND_ASSIGN(Table o, MakeIntTable(env_.get(), "o", 3, {{1, 2, 3}}));
   ASSERT_OK_AND_ASSIGN(SkylineSpec spec,
                        SkylineSpec::Make(o.schema(), {{"a2", Directive::kMax}}));
-  EXPECT_TRUE(ComputeSkylineBnl(t, spec, BnlOptions{}, "out", nullptr)
+  EXPECT_TRUE(ComputeSkylineBnl(t, spec, BnlOptions{}, ExecContext(), "out", nullptr)
                   .status()
                   .IsInvalidArgument());
 }

@@ -234,7 +234,7 @@ TEST(ZonePrefilter, PresortedInputSkipsDominatedBlocksEndToEnd) {
   SfsOptions options;
   options.presort = Presort::kNone;
   SkylineRunStats stats;
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, options, "s1",
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, options, ExecContext(), "s1",
                                                     &stats));
   EXPECT_EQ(sky.row_count(), 1u);
   EXPECT_STREQ(stats.zone_map_source, "column_file");
@@ -245,7 +245,7 @@ TEST(ZonePrefilter, PresortedInputSkipsDominatedBlocksEndToEnd) {
 
   // Second query: zones come from the in-process cache, no file reads.
   SkylineRunStats again;
-  ASSERT_OK_AND_ASSIGN(Table sky2, ComputeSkylineSfs(t, spec, options, "s2",
+  ASSERT_OK_AND_ASSIGN(Table sky2, ComputeSkylineSfs(t, spec, options, ExecContext(), "s2",
                                                      &again));
   EXPECT_EQ(sky2.row_count(), 1u);
   EXPECT_STREQ(again.zone_map_source, "cache");
@@ -288,7 +288,7 @@ TEST(ZonePrefilter, PruningNeverChangesTheSkyline) {
 
   SkylineRunStats with_zones;
   ASSERT_OK_AND_ASSIGN(
-      Table pruned, ComputeSkylineSfs(t, spec, options, "p", &with_zones));
+      Table pruned, ComputeSkylineSfs(t, spec, options, ExecContext(), "p", &with_zones));
   EXPECT_STREQ(with_zones.zone_map_source, "scan");
   const std::vector<char> got = testing_util::ReadAll(pruned);
   EXPECT_EQ(testing_util::RowMultiset(got.data(), pruned.row_count(),

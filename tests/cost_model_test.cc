@@ -39,7 +39,7 @@ TEST(CostModel, PassFormulaIsExactAgainstMeasuredRuns) {
       opts.window_pages = pages;
       opts.use_projection = projection;
       SkylineRunStats stats;
-      auto sky = ComputeSkylineSfs(t, spec, opts, "out", &stats);
+      auto sky = ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", &stats);
       ASSERT_TRUE(sky.ok());
       const size_t entry_width = projection
                                      ? spec.projected_schema().row_width()
@@ -66,7 +66,7 @@ TEST(CostModel, EstimatePredictsMeasuredPassesWithinOne) {
     opts.use_projection = false;
     SfsCostEstimate estimate = EstimateSfsCost(t.row_count(), spec, opts);
     SkylineRunStats stats;
-    auto sky = ComputeSkylineSfs(t, spec, opts, "out", &stats);
+    auto sky = ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", &stats);
     ASSERT_TRUE(sky.ok());
     const int64_t diff = static_cast<int64_t>(estimate.passes) -
                          static_cast<int64_t>(stats.passes);
@@ -100,7 +100,7 @@ TEST(CostModel, SpillBoundCoversMeasurement) {
   opts.use_projection = false;
   SfsCostEstimate estimate = EstimateSfsCost(t.row_count(), spec, opts);
   SkylineRunStats stats;
-  auto sky = ComputeSkylineSfs(t, spec, opts, "out", &stats);
+  auto sky = ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", &stats);
   ASSERT_TRUE(sky.ok());
   EXPECT_GE(estimate.spilled_tuples_bound,
             static_cast<double>(stats.spilled_tuples));

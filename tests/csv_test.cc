@@ -151,7 +151,7 @@ TEST_F(CsvTableTest, StatsCollectedForSkyline) {
                                      {"D", Directive::kMax},
                                      {"price", Directive::kMin}}));
   ASSERT_OK_AND_ASSIGN(
-      Table sky, ComputeSkylineSfs(t, spec, SfsOptions{}, "sky", nullptr));
+      Table sky, ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "sky", nullptr));
   EXPECT_EQ(sky.row_count(), 4u);
 }
 

@@ -46,7 +46,7 @@ TEST_F(DimReduceTest, PreservesSkyline) {
   SkylineSpec spec = MaxSpec(t, 4);
   DimReduceStats stats;
   ASSERT_OK_AND_ASSIGN(
-      Table reduced, DimensionalReduction(t, spec, SortOptions{}, "red", &stats));
+      Table reduced, DimensionalReduction(t, spec, SortOptions{}, ExecContext(), "red", &stats));
   // The reduced table's skyline equals the original's (projected onto the
   // skyline attributes; surviving representative tuples may differ only in
   // non-criterion columns, of which this table has none).
@@ -65,7 +65,7 @@ TEST_F(DimReduceTest, ReducesSmallDomainsSubstantially) {
   SkylineSpec spec = MaxSpec(t, 4);
   DimReduceStats stats;
   ASSERT_OK_AND_ASSIGN(
-      Table reduced, DimensionalReduction(t, spec, SortOptions{}, "red", &stats));
+      Table reduced, DimensionalReduction(t, spec, SortOptions{}, ExecContext(), "red", &stats));
   EXPECT_EQ(stats.input_rows, 20000u);
   EXPECT_EQ(stats.output_rows, reduced.row_count());
   EXPECT_LT(stats.ReductionRatio(), 0.35);
@@ -77,11 +77,11 @@ TEST_F(DimReduceTest, OutputFeedsSfsWithoutResort) {
   ASSERT_OK_AND_ASSIGN(Table t, SmallDomainTable(8000, 4, 43));
   SkylineSpec spec = MaxSpec(t, 4);
   ASSERT_OK_AND_ASSIGN(
-      Table reduced, DimensionalReduction(t, spec, SortOptions{}, "red", nullptr));
+      Table reduced, DimensionalReduction(t, spec, SortOptions{}, ExecContext(), "red", nullptr));
   SfsOptions opts;
   opts.presort = Presort::kNone;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineSfs(reduced, spec, opts, "out", nullptr));
+                       ComputeSkylineSfs(reduced, spec, opts, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -95,7 +95,7 @@ TEST_F(DimReduceTest, TiesOnLastAttributeAllKept) {
   SkylineSpec spec = MaxSpec(t, 3);
   DimReduceStats stats;
   ASSERT_OK_AND_ASSIGN(
-      Table reduced, DimensionalReduction(t, spec, SortOptions{}, "red", &stats));
+      Table reduced, DimensionalReduction(t, spec, SortOptions{}, ExecContext(), "red", &stats));
   EXPECT_EQ(reduced.row_count(), 3u);  // two (1,1,5)s and (2,2,0)
 }
 
@@ -108,7 +108,7 @@ TEST_F(DimReduceTest, MinDirectiveOnLastAttribute) {
       SkylineSpec::Make(t.schema(),
                         {{"a0", Directive::kMax}, {"a1", Directive::kMin}}));
   ASSERT_OK_AND_ASSIGN(
-      Table reduced, DimensionalReduction(t, spec, SortOptions{}, "red", nullptr));
+      Table reduced, DimensionalReduction(t, spec, SortOptions{}, ExecContext(), "red", nullptr));
   // Group a0=1 keeps only a1=2; group a0=2 keeps a1=7.
   EXPECT_EQ(reduced.row_count(), 2u);
   ASSERT_OK_AND_ASSIGN(std::vector<char> sky_orig, NaiveSkylineRows(t, spec));
@@ -128,7 +128,7 @@ TEST_F(DimReduceTest, DiffColumnsPartOfGrouping) {
                                      {"a1", Directive::kMax},
                                      {"a2", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(
-      Table reduced, DimensionalReduction(t, spec, SortOptions{}, "red", nullptr));
+      Table reduced, DimensionalReduction(t, spec, SortOptions{}, ExecContext(), "red", nullptr));
   // One survivor per (diff group, a1) combination.
   EXPECT_EQ(reduced.row_count(), 2u);
   ASSERT_OK_AND_ASSIGN(std::vector<char> sky_orig, NaiveSkylineRows(t, spec));
@@ -142,7 +142,7 @@ TEST_F(DimReduceTest, RequiresTwoValueCriteria) {
   ASSERT_OK_AND_ASSIGN(Table t, MakeIntTable(env_.get(), "t", 2, {{1, 2}}));
   ASSERT_OK_AND_ASSIGN(SkylineSpec spec,
                        SkylineSpec::Make(t.schema(), {{"a0", Directive::kMax}}));
-  EXPECT_TRUE(DimensionalReduction(t, spec, SortOptions{}, "red", nullptr)
+  EXPECT_TRUE(DimensionalReduction(t, spec, SortOptions{}, ExecContext(), "red", nullptr)
                   .status()
                   .IsInvalidArgument());
 }
@@ -154,7 +154,7 @@ TEST_F(DimReduceTest, LargeDomainsReduceLittle) {
   SkylineSpec spec = MaxSpec(t, 3);
   DimReduceStats stats;
   ASSERT_OK_AND_ASSIGN(
-      Table reduced, DimensionalReduction(t, spec, SortOptions{}, "red", &stats));
+      Table reduced, DimensionalReduction(t, spec, SortOptions{}, ExecContext(), "red", &stats));
   EXPECT_GT(stats.ReductionRatio(), 0.99);
   (void)reduced;
 }

@@ -39,7 +39,7 @@ class ErrorInjectionTest : public ::testing::Test {
 
 TEST_F(ErrorInjectionTest, SfsSurvivesWithoutInjection) {
   ASSERT_OK_AND_ASSIGN(
-      Table sky, ComputeSkylineSfs(*table_, *spec_, SfsOptions{}, "ok", nullptr));
+      Table sky, ComputeSkylineSfs(*table_, *spec_, SfsOptions{}, ExecContext(), "ok", nullptr));
   EXPECT_GT(sky.row_count(), 0u);
 }
 
@@ -51,7 +51,7 @@ TEST_F(ErrorInjectionTest, SfsPropagatesWriteFailures) {
     opts.window_pages = 1;
     opts.use_projection = false;
     opts.sort_options.buffer_pages = 4;
-    auto result = ComputeSkylineSfs(*table_, *spec_, opts, "w", nullptr);
+    auto result = ComputeSkylineSfs(*table_, *spec_, opts, ExecContext(), "w", nullptr);
     ASSERT_FALSE(result.ok()) << "budget " << budget;
     EXPECT_TRUE(result.status().IsIoError()) << result.status().ToString();
     faulty_->set_fail_after_writes(-1);
@@ -65,7 +65,7 @@ TEST_F(ErrorInjectionTest, SfsPropagatesReadFailures) {
     opts.window_pages = 1;
     opts.use_projection = false;
     opts.sort_options.buffer_pages = 4;
-    auto result = ComputeSkylineSfs(*table_, *spec_, opts, "r", nullptr);
+    auto result = ComputeSkylineSfs(*table_, *spec_, opts, ExecContext(), "r", nullptr);
     ASSERT_FALSE(result.ok()) << "budget " << budget;
     EXPECT_TRUE(result.status().IsIoError()) << result.status().ToString();
     faulty_->set_fail_after_reads(-1);
@@ -77,7 +77,7 @@ TEST_F(ErrorInjectionTest, BnlPropagatesWriteFailures) {
     faulty_->set_fail_after_writes(budget);
     BnlOptions opts;
     opts.window_pages = 1;
-    auto result = ComputeSkylineBnl(*table_, *spec_, opts, "w", nullptr);
+    auto result = ComputeSkylineBnl(*table_, *spec_, opts, ExecContext(), "w", nullptr);
     ASSERT_FALSE(result.ok()) << "budget " << budget;
     EXPECT_TRUE(result.status().IsIoError());
     faulty_->set_fail_after_writes(-1);
@@ -88,7 +88,7 @@ TEST_F(ErrorInjectionTest, BnlPropagatesReadFailures) {
   faulty_->set_fail_after_reads(5);
   BnlOptions opts;
   opts.window_pages = 1;
-  auto result = ComputeSkylineBnl(*table_, *spec_, opts, "r", nullptr);
+  auto result = ComputeSkylineBnl(*table_, *spec_, opts, ExecContext(), "r", nullptr);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsIoError());
   faulty_->set_fail_after_reads(-1);
@@ -103,6 +103,7 @@ TEST_F(ErrorInjectionTest, ExternalSortPropagatesFailures) {
     opts.buffer_pages = 4;
     auto result = SortHeapFile(faulty_.get(), &tmp, table_->path(),
                                table_->schema().row_width(), *ordering, opts,
+                               ExecContext(),
                                nullptr);
     ASSERT_FALSE(result.ok()) << "budget " << budget;
     EXPECT_TRUE(result.status().IsIoError());
@@ -114,7 +115,7 @@ TEST_F(ErrorInjectionTest, StrataPropagateFailures) {
   faulty_->set_fail_after_writes(10);
   StrataOptions opts;
   opts.num_strata = 3;
-  auto result = ComputeStrataSfs(*table_, *spec_, opts, "st", nullptr);
+  auto result = ComputeStrataSfs(*table_, *spec_, opts, ExecContext(), "st", nullptr);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsIoError());
   faulty_->set_fail_after_writes(-1);
@@ -122,7 +123,7 @@ TEST_F(ErrorInjectionTest, StrataPropagateFailures) {
 
 TEST_F(ErrorInjectionTest, LessPropagatesFailures) {
   faulty_->set_fail_after_writes(2);
-  auto result = ComputeSkylineLess(*table_, *spec_, LessOptions{}, "l", nullptr);
+  auto result = ComputeSkylineLess(*table_, *spec_, LessOptions{}, ExecContext(), "l", nullptr);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsIoError());
   faulty_->set_fail_after_writes(-1);
@@ -136,10 +137,10 @@ TEST_F(ErrorInjectionTest, RecoveryAfterInjectionCleared) {
   opts.window_pages = 1;
   opts.use_projection = false;
   opts.sort_options.buffer_pages = 4;
-  ASSERT_FALSE(ComputeSkylineSfs(*table_, *spec_, opts, "x", nullptr).ok());
+  ASSERT_FALSE(ComputeSkylineSfs(*table_, *spec_, opts, ExecContext(), "x", nullptr).ok());
   faulty_->set_fail_after_writes(-1);
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineSfs(*table_, *spec_, opts, "y", nullptr));
+                       ComputeSkylineSfs(*table_, *spec_, opts, ExecContext(), "y", nullptr));
   EXPECT_GT(sky.row_count(), 0u);
 }
 

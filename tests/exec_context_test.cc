@@ -10,7 +10,7 @@
 #include "core/compute_skyline.h"
 #include "core/sfs.h"
 #include "gtest/gtest.h"
-#include "sql/executor.h"
+#include "sql/engine.h"
 #include "test_util.h"
 
 namespace skyline {
@@ -129,29 +129,6 @@ TEST_F(ExecContextSfsTest, ContextThreadsOverrideSfsOptions) {
       oracle);
 }
 
-TEST_F(ExecContextSfsTest, DeprecatedSignatureMatchesDefaultContext) {
-  ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env_.get(), "t", 500, 3, 9));
-  SkylineSpec spec = MaxSpec(t, 3);
-  SfsOptions options;
-  options.threads = 1;
-  SkylineRunStats old_stats;
-  ASSERT_OK_AND_ASSIGN(
-      Table old_sky, ComputeSkylineSfs(t, spec, options, "out_old",
-                                       &old_stats));
-  SkylineRunStats new_stats;
-  ASSERT_OK_AND_ASSIGN(Table new_sky,
-                       ComputeSkylineSfs(t, spec, options, DefaultExecContext(),
-                                         "out_new", &new_stats));
-  std::vector<char> old_rows = ReadAll(old_sky);
-  std::vector<char> new_rows = ReadAll(new_sky);
-  EXPECT_EQ(RowMultiset(old_rows.data(), old_sky.row_count(),
-                        t.schema().row_width()),
-            RowMultiset(new_rows.data(), new_sky.row_count(),
-                        t.schema().row_width()));
-  EXPECT_EQ(old_stats.threads_used, new_stats.threads_used);
-  EXPECT_EQ(old_stats.passes, new_stats.passes);
-}
-
 TEST_F(ExecContextSfsTest, CancellationHookAbortsTheRun) {
   ASSERT_OK_AND_ASSIGN(Table t, MakeUniformTable(env_.get(), "t", 2000, 4, 3));
   SkylineSpec spec = MaxSpec(t, 4);
@@ -173,7 +150,7 @@ TEST_F(ExecContextSfsTest, UnifiedDispatchMatchesDirectCalls) {
     SkylineRunStats stats;
     ASSERT_OK_AND_ASSIGN(
         Table sky,
-        ComputeSkyline(algorithm, t, spec, DefaultExecContext(),
+        ComputeSkyline(algorithm, t, spec, ExecContext(),
                        "out_unified" +
                            std::to_string(static_cast<int>(algorithm)),
                        &stats));
@@ -188,46 +165,54 @@ TEST_F(ExecContextSfsTest, UnifiedDispatchMatchesDirectCalls) {
   EXPECT_FALSE(SkylineAutoUsesSpecialScan(spec));
 }
 
-// ---- SqlOptions::threads: the documented legacy exception ----
+// ---- Session::Options::threads: the one user-facing thread knob ----
 
-class ExecContextSqlTest : public ::testing::Test {
+class ExecContextSessionTest : public ::testing::Test {
  protected:
   void SetUp() override {
     env_ = NewMemEnv();
+    Engine::Options engine_options;
+    engine_options.env = env_.get();
+    engine_options.write_sidecars = false;
+    engine_ = std::make_unique<Engine>(engine_options);
     ASSERT_OK_AND_ASSIGN(Table t,
                          MakeUniformTable(env_.get(), "sqlt", 600, 3, 11));
-    table_.emplace(std::move(t));
-    catalog_ = std::make_unique<Catalog>(env_.get());
-    catalog_->Register("T", &*table_);
+    ASSERT_TRUE(engine_->CreateTable("T", std::move(t)).ok());
   }
 
-  Status Run(const SqlOptions& options, int* rows_out) {
+  Status Run(const Session::Options& options, TraceSink* trace,
+             int* rows_out) {
+    Session::Options session_options = options;
+    // Force the Volcano pipeline: the cached-serve path never builds the
+    // operators whose spans these tests observe.
+    session_options.use_result_cache = false;
+    Session session(engine_.get(), session_options);
+    session.exec().trace = trace;
     int rows = 0;
-    Status st = ExecuteSql(*catalog_,
-                           "SELECT * FROM T SKYLINE OF a0 MAX, a1 MAX, a2 MAX",
-                           options, [&rows](const RowView&) {
-                             ++rows;
-                             return Status::OK();
-                           });
+    Status st = session.Execute(
+        "SELECT * FROM T SKYLINE OF a0 MAX, a1 MAX, a2 MAX",
+        [&rows](const RowView&) {
+          ++rows;
+          return Status::OK();
+        });
     if (rows_out != nullptr) *rows_out = rows;
     return st;
   }
 
   std::unique_ptr<Env> env_;
-  std::optional<Table> table_;
-  std::unique_ptr<Catalog> catalog_;
+  std::unique_ptr<Engine> engine_;
 };
 
-TEST_F(ExecContextSqlTest, ThreadsZeroDefersToSfsOptions) {
-  // threads=0 means "unset" at the SQL level: sfs.threads=1 keeps the run
-  // sequential, so the pipelined filter traces filter passes, not blocks.
+TEST_F(ExecContextSessionTest, ThreadsZeroDefersToSfsOptions) {
+  // threads=0 means "unset" at the session level: sfs.threads=1 keeps the
+  // run sequential, so the pipelined filter traces filter passes, not
+  // blocks.
   TraceSink trace;
-  SqlOptions options;
+  Session::Options options;
   options.threads = 0;
   options.sfs.threads = 1;
-  options.exec.trace = &trace;
   int rows = 0;
-  ASSERT_TRUE(Run(options, &rows).ok());
+  ASSERT_TRUE(Run(options, &trace, &rows).ok());
   EXPECT_GT(rows, 0);
   EXPECT_EQ(trace.CountSpans("block-scan"), 0u);
   EXPECT_EQ(trace.CountSpans("filter-pass-1"), 1u);
@@ -236,49 +221,66 @@ TEST_F(ExecContextSqlTest, ThreadsZeroDefersToSfsOptions) {
   EXPECT_EQ(trace.CountSpans("sql-execute"), 1u);
 }
 
-TEST_F(ExecContextSqlTest, NonZeroThreadsOverridesSfsOptions) {
+TEST_F(ExecContextSessionTest, NonZeroThreadsOverridesSfsOptions) {
   if (ClampThreadsToHardware(0) < 2) {
     GTEST_SKIP() << "needs >= 2 hardware threads";
   }
   TraceSink trace;
-  SqlOptions options;
+  Session::Options options;
   options.threads = 2;
-  options.sfs.threads = 1;  // overridden by the legacy session knob
-  options.exec.trace = &trace;
+  options.sfs.threads = 1;  // overridden by the session knob
   int rows = 0;
-  ASSERT_TRUE(Run(options, &rows).ok());
+  ASSERT_TRUE(Run(options, &trace, &rows).ok());
   EXPECT_GT(rows, 0);
   EXPECT_GT(trace.CountSpans("block-scan"), 0u);
 }
 
-TEST_F(ExecContextSqlTest, ExplicitExecThreadsWinsOverLegacyKnob) {
+TEST_F(ExecContextSessionTest, ExplicitExecThreadsWinsOverSessionKnob) {
   TraceSink trace;
-  SqlOptions options;
+  Session::Options options;
   options.threads = 4;
-  options.exec.threads = 1;  // the new API pins it back to sequential
-  options.exec.trace = &trace;
+  options.use_result_cache = false;
+  Session session(engine_.get(), options);
+  session.exec().trace = &trace;
+  session.exec().threads = 1;  // the context pins it back to sequential
   int rows = 0;
-  ASSERT_TRUE(Run(options, &rows).ok());
+  ASSERT_TRUE(session
+                  .Execute("SELECT * FROM T SKYLINE OF a0 MAX, a1 MAX, a2 MAX",
+                           [&rows](const RowView&) {
+                             ++rows;
+                             return Status::OK();
+                           })
+                  .ok());
   EXPECT_GT(rows, 0);
   EXPECT_EQ(trace.CountSpans("block-scan"), 0u);
   EXPECT_EQ(trace.CountSpans("filter-pass-1"), 1u);
 }
 
-TEST_F(ExecContextSqlTest, CancellationSurfacesThroughSql) {
-  SqlOptions options;
-  options.exec.cancelled = [] { return true; };
-  Status st = Run(options, nullptr);
+TEST_F(ExecContextSessionTest, CancellationSurfacesThroughSession) {
+  Session session(engine_.get());
+  session.exec().cancelled = [] { return true; };
+  Status st = session.Execute(
+      "SELECT * FROM T SKYLINE OF a0 MAX, a1 MAX, a2 MAX",
+      [](const RowView&) { return Status::OK(); });
   ASSERT_FALSE(st.ok());
   EXPECT_TRUE(st.IsCancelled()) << st.ToString();
 }
 
-TEST_F(ExecContextSqlTest, MetricsPublishOnStreamExhaustion) {
+TEST_F(ExecContextSessionTest, MetricsPublishOnStreamExhaustion) {
   MetricsRegistry metrics;
-  SqlOptions options;
+  Session::Options options;
   options.sfs.threads = 1;
-  options.exec.metrics = &metrics;
+  options.use_result_cache = false;
+  Session session(engine_.get(), options);
+  session.exec().metrics = &metrics;
   int rows = 0;
-  ASSERT_TRUE(Run(options, &rows).ok());
+  ASSERT_TRUE(session
+                  .Execute("SELECT * FROM T SKYLINE OF a0 MAX, a1 MAX, a2 MAX",
+                           [&rows](const RowView&) {
+                             ++rows;
+                             return Status::OK();
+                           })
+                  .ok());
   const MetricsSnapshot snapshot = metrics.Aggregate();
   EXPECT_EQ(snapshot.CounterValue("skyline.sfs.runs"), 1u);
   EXPECT_EQ(snapshot.CounterValue("skyline.sfs.output_rows"),

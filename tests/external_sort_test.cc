@@ -41,7 +41,7 @@ TEST_F(ExternalSortTest, SingleRunFitsInBuffer) {
   SortStats stats;
   ASSERT_OK_AND_ASSIGN(std::string sorted,
                        SortHeapFile(env_.get(), &tmp, "t", 4, ord,
-                                    SortOptions{}, &stats));
+                                    SortOptions{}, ExecContext(), &stats));
   EXPECT_EQ(ReadInts(env_.get(), sorted),
             (std::vector<int32_t>{1, 2, 5, 7, 9}));
   EXPECT_EQ(stats.runs_generated, 1u);
@@ -63,7 +63,7 @@ TEST_F(ExternalSortTest, MultiRunMerge) {
   SortStats stats;
   ASSERT_OK_AND_ASSIGN(
       std::string sorted,
-      SortHeapFile(env_.get(), &tmp, "t", 4, ord, opts, &stats));
+      SortHeapFile(env_.get(), &tmp, "t", 4, ord, opts, ExecContext(), &stats));
   std::vector<int32_t> got = ReadInts(env_.get(), sorted);
   ASSERT_EQ(got.size(), 20000u);
   EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
@@ -90,7 +90,7 @@ TEST_F(ExternalSortTest, MultiLevelMergeWithTinyFanIn) {
   SortStats stats;
   ASSERT_OK_AND_ASSIGN(
       std::string sorted,
-      SortHeapFile(env_.get(), &tmp, "t", 4, ord, opts, &stats));
+      SortHeapFile(env_.get(), &tmp, "t", 4, ord, opts, ExecContext(), &stats));
   std::vector<int32_t> got = ReadInts(env_.get(), sorted);
   EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
   EXPECT_GT(stats.merge_levels, 1u);
@@ -103,7 +103,7 @@ TEST_F(ExternalSortTest, DescendingOrder) {
   TempFileManager tmp(env_.get(), "tmp");
   ASSERT_OK_AND_ASSIGN(
       std::string sorted,
-      SortHeapFile(env_.get(), &tmp, "t", 4, ord, SortOptions{}, nullptr));
+      SortHeapFile(env_.get(), &tmp, "t", 4, ord, SortOptions{}, ExecContext(), nullptr));
   EXPECT_EQ(ReadInts(env_.get(), sorted), (std::vector<int32_t>{3, 2, 1}));
 }
 
@@ -113,7 +113,7 @@ TEST_F(ExternalSortTest, EmptyInput) {
   TempFileManager tmp(env_.get(), "tmp");
   ASSERT_OK_AND_ASSIGN(
       std::string sorted,
-      SortHeapFile(env_.get(), &tmp, "t", 4, ord, SortOptions{}, nullptr));
+      SortHeapFile(env_.get(), &tmp, "t", 4, ord, SortOptions{}, ExecContext(), nullptr));
   EXPECT_TRUE(ReadInts(env_.get(), sorted).empty());
 }
 
@@ -124,7 +124,7 @@ TEST_F(ExternalSortTest, DuplicateKeysPreserved) {
   TempFileManager tmp(env_.get(), "tmp");
   ASSERT_OK_AND_ASSIGN(
       std::string sorted,
-      SortHeapFile(env_.get(), &tmp, "t", 4, ord, SortOptions{}, nullptr));
+      SortHeapFile(env_.get(), &tmp, "t", 4, ord, SortOptions{}, ExecContext(), nullptr));
   EXPECT_EQ(ReadInts(env_.get(), sorted),
             (std::vector<int32_t>{1, 1, 2, 2, 2}));
 }
@@ -147,12 +147,12 @@ TEST_F(ExternalSortTest, KeyFastPathMatchesComparatorPath) {
   SortOptions big;  // single run
   ASSERT_OK_AND_ASSIGN(std::string s1,
                        SortHeapFile(env_.get(), &tmp, "t",
-                                    t.schema().row_width(), ord, big, nullptr));
+                                    t.schema().row_width(), ord, big, ExecContext(), nullptr));
   SortOptions small;
   small.buffer_pages = 3;
   ASSERT_OK_AND_ASSIGN(
       std::string s2, SortHeapFile(env_.get(), &tmp, "t",
-                                   t.schema().row_width(), ord, small, nullptr));
+                                   t.schema().row_width(), ord, small, ExecContext(), nullptr));
 
   auto keys_of = [&](const std::string& path) {
     HeapFileReader reader(env_.get(), path, t.schema().row_width(), nullptr);
@@ -182,7 +182,7 @@ TEST_F(ExternalSortTest, SortIsTopologicalForDominance) {
   ASSERT_OK_AND_ASSIGN(
       std::string sorted,
       SortHeapFile(env_.get(), &tmp, "t", t.schema().row_width(), *ord,
-                   SortOptions{}, nullptr));
+                   SortOptions{}, ExecContext(), nullptr));
   HeapFileReader reader(env_.get(), sorted, t.schema().row_width(), nullptr);
   ASSERT_OK(reader.Open());
   std::vector<char> rows;

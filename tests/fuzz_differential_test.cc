@@ -122,7 +122,7 @@ TEST_P(FuzzDifferentialTest, AllAlgorithmsMatchOracle) {
     opts.window_pages = config.window_pages;
     opts.use_projection = config.projection;
     opts.presort = config.presort;
-    auto sky = ComputeSkylineSfs(t, spec, opts, "sfs", nullptr);
+    auto sky = ComputeSkylineSfs(t, spec, opts, ExecContext(), "sfs", nullptr);
     ASSERT_TRUE(sky.ok()) << ctx << ": " << sky.status().ToString();
     std::vector<char> rows = ReadAll(*sky);
     ASSERT_EQ(RowMultiset(rows.data(), sky->row_count(), w), oracle)
@@ -132,7 +132,7 @@ TEST_P(FuzzDifferentialTest, AllAlgorithmsMatchOracle) {
   {
     BnlOptions opts;
     opts.window_pages = config.window_pages;
-    auto sky = ComputeSkylineBnl(t, spec, opts, "bnl", nullptr);
+    auto sky = ComputeSkylineBnl(t, spec, opts, ExecContext(), "bnl", nullptr);
     ASSERT_TRUE(sky.ok()) << ctx << ": " << sky.status().ToString();
     std::vector<char> rows = ReadAll(*sky);
     ASSERT_EQ(RowMultiset(rows.data(), sky->row_count(), w), oracle)
@@ -144,7 +144,7 @@ TEST_P(FuzzDifferentialTest, AllAlgorithmsMatchOracle) {
     opts.ef_window_pages = 1;
     opts.window_pages = config.window_pages;
     opts.use_projection = config.projection;
-    auto sky = ComputeSkylineLess(t, spec, opts, "less", nullptr);
+    auto sky = ComputeSkylineLess(t, spec, opts, ExecContext(), "less", nullptr);
     ASSERT_TRUE(sky.ok()) << ctx << ": " << sky.status().ToString();
     std::vector<char> rows = ReadAll(*sky);
     ASSERT_EQ(RowMultiset(rows.data(), sky->row_count(), w), oracle)
@@ -159,14 +159,14 @@ TEST_P(FuzzDifferentialTest, AllAlgorithmsMatchOracle) {
   }
   // Specialized scans when the dimensionality matches.
   if (spec.value_columns().size() == 2) {
-    auto sky = ComputeSkyline2D(t, spec, SortOptions{}, "s2d", nullptr);
+    auto sky = ComputeSkyline2D(t, spec, SortOptions{}, ExecContext(), "s2d", nullptr);
     ASSERT_TRUE(sky.ok()) << ctx << ": " << sky.status().ToString();
     std::vector<char> rows = ReadAll(*sky);
     ASSERT_EQ(RowMultiset(rows.data(), sky->row_count(), w), oracle)
         << ctx << " [2D]";
   }
   if (spec.value_columns().size() == 3) {
-    auto sky = ComputeSkyline3D(t, spec, SortOptions{}, "s3d", nullptr);
+    auto sky = ComputeSkyline3D(t, spec, SortOptions{}, ExecContext(), "s3d", nullptr);
     ASSERT_TRUE(sky.ok()) << ctx << ": " << sky.status().ToString();
     std::vector<char> rows = ReadAll(*sky);
     ASSERT_EQ(RowMultiset(rows.data(), sky->row_count(), w), oracle)

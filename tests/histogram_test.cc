@@ -165,7 +165,7 @@ TEST_F(RankEntropyTest, SfsWithRankOrderingMatchesOracleOnSkewedData) {
   opts.presort = Presort::kCustom;
   opts.custom_ordering = &ord;
   opts.window_pages = 1;
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, "out", nullptr));
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -191,7 +191,7 @@ TEST_F(RankEntropyTest, RankAtLeastMatchesMinMaxOnSkewedData) {
   minmax.window_pages = 1;
   minmax.use_projection = false;
   SkylineRunStats minmax_stats;
-  ASSERT_OK(ComputeSkylineSfs(t, spec, minmax, "o1", &minmax_stats).status());
+  ASSERT_OK(ComputeSkylineSfs(t, spec, minmax, ExecContext(), "o1", &minmax_stats).status());
 
   ASSERT_OK_AND_ASSIGN(RankEntropyOrdering ord,
                        RankEntropyOrdering::Build(&spec, t, 64));
@@ -201,7 +201,7 @@ TEST_F(RankEntropyTest, RankAtLeastMatchesMinMaxOnSkewedData) {
   rank.window_pages = 1;
   rank.use_projection = false;
   SkylineRunStats rank_stats;
-  ASSERT_OK(ComputeSkylineSfs(t, spec, rank, "o2", &rank_stats).status());
+  ASSERT_OK(ComputeSkylineSfs(t, spec, rank, ExecContext(), "o2", &rank_stats).status());
 
   EXPECT_EQ(rank_stats.output_rows, minmax_stats.output_rows);
   EXPECT_LE(rank_stats.spilled_tuples, minmax_stats.spilled_tuples);
@@ -216,7 +216,7 @@ TEST_F(RankEntropyTest, EqualsEntropyOnUniformData) {
   minmax.window_pages = 1;
   minmax.use_projection = false;
   SkylineRunStats minmax_stats;
-  ASSERT_OK(ComputeSkylineSfs(t, spec, minmax, "o1", &minmax_stats).status());
+  ASSERT_OK(ComputeSkylineSfs(t, spec, minmax, ExecContext(), "o1", &minmax_stats).status());
   ASSERT_OK_AND_ASSIGN(RankEntropyOrdering ord,
                        RankEntropyOrdering::Build(&spec, t, 64));
   SfsOptions rank;
@@ -225,7 +225,7 @@ TEST_F(RankEntropyTest, EqualsEntropyOnUniformData) {
   rank.window_pages = 1;
   rank.use_projection = false;
   SkylineRunStats rank_stats;
-  ASSERT_OK(ComputeSkylineSfs(t, spec, rank, "o2", &rank_stats).status());
+  ASSERT_OK(ComputeSkylineSfs(t, spec, rank, ExecContext(), "o2", &rank_stats).status());
   EXPECT_LT(rank_stats.spilled_tuples, minmax_stats.spilled_tuples * 2 + 100);
   EXPECT_LT(minmax_stats.spilled_tuples, rank_stats.spilled_tuples * 2 + 100);
 }

@@ -41,13 +41,13 @@ TEST(Integration, PaperShapedWorkloadEndToEnd) {
   sfs_opts.sort_options.buffer_pages = 50;
   SkylineRunStats sfs_stats;
   ASSERT_OK_AND_ASSIGN(Table sfs_sky,
-                       ComputeSkylineSfs(t, spec, sfs_opts, "sfs", &sfs_stats));
+                       ComputeSkylineSfs(t, spec, sfs_opts, ExecContext(), "sfs", &sfs_stats));
 
   BnlOptions bnl_opts;
   bnl_opts.window_pages = 2;
   SkylineRunStats bnl_stats;
   ASSERT_OK_AND_ASSIGN(Table bnl_sky,
-                       ComputeSkylineBnl(t, spec, bnl_opts, "bnl", &bnl_stats));
+                       ComputeSkylineBnl(t, spec, bnl_opts, ExecContext(), "bnl", &bnl_stats));
 
   const size_t w = t.schema().row_width();
   std::vector<char> a = ReadAll(sfs_sky);
@@ -74,11 +74,11 @@ TEST(Integration, EntropyOrderingSpillsNoMoreThanNested) {
 
   opts.presort = Presort::kNested;
   SkylineRunStats nested;
-  ASSERT_OK(ComputeSkylineSfs(t, spec, opts, "o1", &nested).status());
+  ASSERT_OK(ComputeSkylineSfs(t, spec, opts, ExecContext(), "o1", &nested).status());
 
   opts.presort = Presort::kEntropy;
   SkylineRunStats entropy;
-  ASSERT_OK(ComputeSkylineSfs(t, spec, opts, "o2", &entropy).status());
+  ASSERT_OK(ComputeSkylineSfs(t, spec, opts, ExecContext(), "o2", &entropy).status());
 
   EXPECT_LT(entropy.spilled_tuples, nested.spilled_tuples);
   EXPECT_LE(entropy.ExtraPages(), nested.ExtraPages());
@@ -94,7 +94,7 @@ TEST(Integration, SfsIoNeverExceedsBnlWithReverseEntropyInput) {
   SfsOptions sfs_opts;
   sfs_opts.window_pages = 2;
   SkylineRunStats sfs_stats;
-  ASSERT_OK(ComputeSkylineSfs(t, spec, sfs_opts, "sfs", &sfs_stats).status());
+  ASSERT_OK(ComputeSkylineSfs(t, spec, sfs_opts, ExecContext(), "sfs", &sfs_stats).status());
 
   EntropyOrdering entropy(&spec, t);
   ReverseOrdering reverse(&entropy);
@@ -102,7 +102,7 @@ TEST(Integration, SfsIoNeverExceedsBnlWithReverseEntropyInput) {
   bnl_opts.window_pages = 2;
   bnl_opts.input_ordering = &reverse;
   SkylineRunStats bnl_stats;
-  ASSERT_OK(ComputeSkylineBnl(t, spec, bnl_opts, "bnl", &bnl_stats).status());
+  ASSERT_OK(ComputeSkylineBnl(t, spec, bnl_opts, ExecContext(), "bnl", &bnl_stats).status());
 
   EXPECT_LT(sfs_stats.ExtraPages(), bnl_stats.ExtraPages());
   EXPECT_LE(sfs_stats.passes, bnl_stats.passes);
@@ -129,10 +129,10 @@ TEST(Integration, AntiCorrelatedDegeneratesTowardManyPasses) {
   opts.use_projection = false;
   SkylineRunStats anti_stats, indep_stats;
   ASSERT_OK_AND_ASSIGN(Table anti_sky,
-                       ComputeSkylineSfs(anti, anti_spec, opts, "as", &anti_stats));
+                       ComputeSkylineSfs(anti, anti_spec, opts, ExecContext(), "as", &anti_stats));
   ASSERT_OK_AND_ASSIGN(
       Table indep_sky,
-      ComputeSkylineSfs(indep, indep_spec, opts, "is", &indep_stats));
+      ComputeSkylineSfs(indep, indep_spec, opts, ExecContext(), "is", &indep_stats));
 
   EXPECT_GT(anti_sky.row_count(), indep_sky.row_count() * 5);
   EXPECT_GT(anti_stats.passes, indep_stats.passes);
@@ -188,7 +188,7 @@ TEST(Integration, PosixEnvEndToEnd) {
   SfsOptions opts;
   opts.window_pages = 1;
   ASSERT_OK_AND_ASSIGN(
-      Table sky, ComputeSkylineSfs(t, spec, opts, dir + "sky_it_out", nullptr));
+      Table sky, ComputeSkylineSfs(t, spec, opts, ExecContext(), dir + "sky_it_out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -208,7 +208,7 @@ TEST(Integration, StrataPipelinePaperShaped) {
   opts.num_strata = 4;
   StrataStats stats;
   ASSERT_OK_AND_ASSIGN(std::vector<Table> strata,
-                       ComputeStrataSfs(t, spec, opts, "st", &stats));
+                       ComputeStrataSfs(t, spec, opts, ExecContext(), "st", &stats));
   ASSERT_EQ(strata.size(), 4u);
   // Strata sizes grow with depth on uniform data (paper: 460/1430/2766/4444).
   for (size_t i = 1; i < 4; ++i) {
@@ -235,16 +235,16 @@ TEST(Integration, DimensionalReductionThenSfsMatchesDirect) {
   DimReduceStats red_stats;
   ASSERT_OK_AND_ASSIGN(
       Table reduced,
-      DimensionalReduction(t, spec, SortOptions{}, "red", &red_stats));
+      DimensionalReduction(t, spec, SortOptions{}, ExecContext(), "red", &red_stats));
   EXPECT_LT(red_stats.ReductionRatio(), 0.5);
 
   SfsOptions opts;
   opts.presort = Presort::kNone;  // reduction output is nested-sorted
   ASSERT_OK_AND_ASSIGN(Table sky_reduced,
-                       ComputeSkylineSfs(reduced, spec, opts, "o1", nullptr));
+                       ComputeSkylineSfs(reduced, spec, opts, ExecContext(), "o1", nullptr));
   ASSERT_OK_AND_ASSIGN(
       Table sky_direct,
-      ComputeSkylineSfs(t, spec, SfsOptions{}, "o2", nullptr));
+      ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "o2", nullptr));
   // Identical skyline-attribute multisets (representatives may differ in
   // payload when tuples tie on all criteria).
   std::vector<char> a = ReadAll(sky_reduced);
@@ -274,7 +274,7 @@ TEST(Integration, LargeScaleSfsConsistencyAcrossWindows) {
     SkylineRunStats stats;
     ASSERT_OK_AND_ASSIGN(
         Table sky,
-        ComputeSkylineSfs(t, spec, opts, "o" + std::to_string(pages), &stats));
+        ComputeSkylineSfs(t, spec, opts, ExecContext(), "o" + std::to_string(pages), &stats));
     std::vector<char> rows = ReadAll(sky);
     auto got = RowMultiset(rows.data(), sky.row_count(), w);
     if (reference.empty()) {

@@ -33,7 +33,7 @@ TEST_F(LessTest, MatchesOracle) {
   SkylineSpec spec = MaxSpec(t, 4);
   LessStats stats;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineLess(t, spec, LessOptions{}, "out", &stats));
+                       ComputeSkylineLess(t, spec, LessOptions{}, ExecContext(), "out", &stats));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -48,9 +48,9 @@ TEST_F(LessTest, AgreesWithSfsAcrossSeeds) {
                                   6, seed));
     SkylineSpec spec = MaxSpec(t, 6);
     ASSERT_OK_AND_ASSIGN(Table less_sky,
-                         ComputeSkylineLess(t, spec, LessOptions{}, "l", nullptr));
+                         ComputeSkylineLess(t, spec, LessOptions{}, ExecContext(), "l", nullptr));
     ASSERT_OK_AND_ASSIGN(Table sfs_sky,
-                         ComputeSkylineSfs(t, spec, SfsOptions{}, "s", nullptr));
+                         ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "s", nullptr));
     const size_t w = t.schema().row_width();
     std::vector<char> a = ReadAll(less_sky);
     std::vector<char> b = ReadAll(sfs_sky);
@@ -70,12 +70,12 @@ TEST_F(LessTest, EliminationShrinksSortInput) {
   LessOptions less_opts;
   less_opts.sort_options.buffer_pages = 8;  // force external behaviour
   LessStats less_stats;
-  ASSERT_OK(ComputeSkylineLess(t, spec, less_opts, "l", &less_stats).status());
+  ASSERT_OK(ComputeSkylineLess(t, spec, less_opts, ExecContext(), "l", &less_stats).status());
 
   SfsOptions sfs_opts;
   sfs_opts.sort_options.buffer_pages = 8;
   SkylineRunStats sfs_stats;
-  ASSERT_OK(ComputeSkylineSfs(t, spec, sfs_opts, "s", &sfs_stats).status());
+  ASSERT_OK(ComputeSkylineSfs(t, spec, sfs_opts, ExecContext(), "s", &sfs_stats).status());
 
   EXPECT_GT(less_stats.ef_dropped, t.row_count() / 2);
   EXPECT_LT(less_stats.run.sort_stats.io.TotalPages(),
@@ -89,7 +89,7 @@ TEST_F(LessTest, TinyEfWindowStillCorrect) {
   opts.ef_window_pages = 1;
   opts.window_pages = 1;
   opts.use_projection = false;
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineLess(t, spec, opts, "out", nullptr));
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineLess(t, spec, opts, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -121,7 +121,7 @@ TEST_F(LessTest, EquivalentTuplesAllSurvive) {
       Table t, MakeIntTable(env_.get(), "t", 2, {{5, 5}, {5, 5}, {1, 1}}));
   SkylineSpec spec = MaxSpec(t, 2);
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineLess(t, spec, LessOptions{}, "out", nullptr));
+                       ComputeSkylineLess(t, spec, LessOptions{}, ExecContext(), "out", nullptr));
   EXPECT_EQ(sky.row_count(), 2u);
 }
 
@@ -129,7 +129,7 @@ TEST_F(LessTest, EmptyInput) {
   ASSERT_OK_AND_ASSIGN(Table t, MakeIntTable(env_.get(), "t", 2, {}));
   SkylineSpec spec = MaxSpec(t, 2);
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineLess(t, spec, LessOptions{}, "out", nullptr));
+                       ComputeSkylineLess(t, spec, LessOptions{}, ExecContext(), "out", nullptr));
   EXPECT_EQ(sky.row_count(), 0u);
 }
 
@@ -138,7 +138,7 @@ TEST_F(LessTest, SchemaMismatchRejected) {
   ASSERT_OK_AND_ASSIGN(Table o, MakeIntTable(env_.get(), "o", 3, {{1, 2, 3}}));
   ASSERT_OK_AND_ASSIGN(SkylineSpec spec,
                        SkylineSpec::Make(o.schema(), {{"a2", Directive::kMax}}));
-  EXPECT_TRUE(ComputeSkylineLess(t, spec, LessOptions{}, "out", nullptr)
+  EXPECT_TRUE(ComputeSkylineLess(t, spec, LessOptions{}, ExecContext(), "out", nullptr)
                   .status()
                   .IsInvalidArgument());
 }

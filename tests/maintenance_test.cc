@@ -137,6 +137,82 @@ TEST_F(MaintenanceTest, InsertAfterMemberRemovalStillSound) {
   }
 }
 
+TEST_F(MaintenanceTest, SeedAdoptsComputedSkylineVerbatim) {
+  // Seed() trusts the caller's rows (a previously computed skyline) and
+  // adopts them without dominance checks — the bulk path the engine's
+  // result cache uses when it patches an entry.
+  SkylineMaintainer m(&*spec_);
+  m.Insert(Row(1, 1).data());  // replaced by the seed below
+  std::vector<char> skyline;
+  for (const auto& row : {Row(9, 1), Row(5, 5), Row(1, 9)}) {
+    skyline.insert(skyline.end(), row.begin(), row.end());
+  }
+  m.Seed(skyline.data(), 3);
+  ASSERT_EQ(m.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(std::memcmp(m.MemberAt(i), skyline.data() + i * 8, 8), 0);
+  }
+  // The seeded set behaves: a dominating insert evicts, a dominated one
+  // bounces, membership removal is detected.
+  EXPECT_EQ(m.Insert(Row(6, 6).data()),
+            SkylineMaintainer::InsertResult::kAddedEvicted);
+  EXPECT_EQ(m.Insert(Row(2, 2).data()),
+            SkylineMaintainer::InsertResult::kDominated);
+  EXPECT_EQ(m.Remove(Row(9, 1).data()),
+            SkylineMaintainer::RemoveResult::kMemberRemovedRecomputeNeeded);
+}
+
+TEST_F(MaintenanceTest, SeedReplacesAndClearsPriorMembers) {
+  SkylineMaintainer m(&*spec_);
+  m.Insert(Row(9, 9).data());
+  m.Seed(nullptr, 0);  // empty seed: a fresh maintainer
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.Insert(Row(1, 1).data()),
+            SkylineMaintainer::InsertResult::kAdded);
+}
+
+TEST_F(MaintenanceTest, FromComputedSkylineMatchesInsertBuild) {
+  auto env = NewMemEnv();
+  auto t = MakeUniformTable(env.get(), "t", 800, 3, 811, 0);
+  ASSERT_TRUE(t.ok());
+  std::vector<Criterion> criteria;
+  for (int i = 0; i < 3; ++i) {
+    criteria.push_back({"a" + std::to_string(i), Directive::kMax});
+  }
+  auto spec = SkylineSpec::Make(t->schema(), criteria);
+  ASSERT_TRUE(spec.ok());
+  const size_t w = t->schema().row_width();
+
+  // Build one maintainer by streaming inserts, then adopt its members
+  // into a second via FromComputedSkyline: both must behave identically
+  // against the same follow-up mutation.
+  SkylineMaintainer streamed(&*spec);
+  std::vector<char> rows = ReadAll(*t);
+  for (uint64_t i = 0; i < t->row_count(); ++i) {
+    streamed.Insert(rows.data() + i * w);
+  }
+  std::vector<char> members;
+  for (size_t i = 0; i < streamed.size(); ++i) {
+    members.insert(members.end(), streamed.MemberAt(i),
+                   streamed.MemberAt(i) + w);
+  }
+  SkylineMaintainer adopted = SkylineMaintainer::FromComputedSkyline(
+      &*spec, members.data(), streamed.size());
+  ASSERT_EQ(adopted.size(), streamed.size());
+
+  std::vector<char> dominator(w, 0);
+  const int32_t big = INT32_MAX;
+  for (int i = 0; i < 3; ++i) {
+    std::memcpy(dominator.data() + i * 4, &big, 4);
+  }
+  EXPECT_EQ(streamed.Insert(dominator.data()),
+            SkylineMaintainer::InsertResult::kAddedEvicted);
+  EXPECT_EQ(adopted.Insert(dominator.data()),
+            SkylineMaintainer::InsertResult::kAddedEvicted);
+  EXPECT_EQ(streamed.size(), adopted.size());
+  EXPECT_EQ(streamed.size(), 1u);
+}
+
 TEST_F(MaintenanceTest, DiffGroupsMaintainedIndependently) {
   auto schema = Schema::Make({ColumnDef::Int32("g"), ColumnDef::Int32("v")});
   ASSERT_TRUE(schema.ok());

@@ -56,6 +56,7 @@ std::string Presort(Env* env, TempFileManager* temp_files, const Table& t,
   std::unique_ptr<RowOrdering> ordering = MakeNestedSkylineOrdering(spec);
   auto sorted = SortHeapFile(env, temp_files, t.path(),
                              t.schema().row_width(), *ordering, SortOptions{},
+                             ExecContext(),
                              nullptr);
   SKYLINE_CHECK(sorted.ok()) << sorted.status().ToString();
   return std::move(sorted).value();
@@ -154,7 +155,7 @@ TEST_F(PartitionTest, ByteIdenticalAcrossSchemesAndThreadCounts) {
       seq.presort = Presort::kNested;
       ASSERT_OK_AND_ASSIGN(
           Table baseline,
-          ComputeSkylineSfs(t, spec, seq, "seq_" + tag, nullptr));
+          ComputeSkylineSfs(t, spec, seq, ExecContext(), "seq_" + tag, nullptr));
       const std::vector<char> expected = ReadAll(baseline);
 
       TempFileManager temp_files(env_.get(), "psort_" + tag);

@@ -49,7 +49,7 @@ TEST_P(SfsPropertyTest, MatchesOracle) {
   opts.use_projection = p.projection;
   opts.presort = p.presort;
   SkylineRunStats stats;
-  auto sky_result = ComputeSkylineSfs(t, spec, opts, "out", &stats);
+  auto sky_result = ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", &stats);
   ASSERT_TRUE(sky_result.ok()) << sky_result.status().ToString();
   Table sky = std::move(sky_result).value();
   std::vector<char> rows = ReadAll(sky);
@@ -109,14 +109,14 @@ TEST_P(AlgorithmAgreementTest, AllAlgorithmsAgree) {
 
   const auto oracle = OracleSkylineMultiset(t, spec);
 
-  auto sfs = ComputeSkylineSfs(t, spec, SfsOptions{}, "sfs", nullptr);
+  auto sfs = ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "sfs", nullptr);
   ASSERT_TRUE(sfs.ok());
   std::vector<char> sfs_rows = ReadAll(*sfs);
   EXPECT_EQ(RowMultiset(sfs_rows.data(), sfs->row_count(), w), oracle);
 
   BnlOptions bnl_opts;
   bnl_opts.window_pages = 2;  // force multi-pass on anti-correlated data
-  auto bnl = ComputeSkylineBnl(t, spec, bnl_opts, "bnl", nullptr);
+  auto bnl = ComputeSkylineBnl(t, spec, bnl_opts, ExecContext(), "bnl", nullptr);
   ASSERT_TRUE(bnl.ok());
   std::vector<char> bnl_rows = ReadAll(*bnl);
   EXPECT_EQ(RowMultiset(bnl_rows.data(), bnl->row_count(), w), oracle);
@@ -128,7 +128,7 @@ TEST_P(AlgorithmAgreementTest, AllAlgorithmsAgree) {
   // LESS-style sort-phase elimination.
   LessOptions less_opts;
   less_opts.ef_window_pages = 1;
-  auto less = ComputeSkylineLess(t, spec, less_opts, "less", nullptr);
+  auto less = ComputeSkylineLess(t, spec, less_opts, ExecContext(), "less", nullptr);
   ASSERT_TRUE(less.ok());
   std::vector<char> less_rows = ReadAll(*less);
   EXPECT_EQ(RowMultiset(less_rows.data(), less->row_count(), w), oracle);
@@ -146,7 +146,7 @@ TEST_P(AlgorithmAgreementTest, AllAlgorithmsAgree) {
 
   // The 2-dim special case, when applicable.
   if (p.dims == 2) {
-    auto sky2d = ComputeSkyline2D(t, spec, SortOptions{}, "sky2d", nullptr);
+    auto sky2d = ComputeSkyline2D(t, spec, SortOptions{}, ExecContext(), "sky2d", nullptr);
     ASSERT_TRUE(sky2d.ok());
     std::vector<char> rows2d = ReadAll(*sky2d);
     EXPECT_EQ(RowMultiset(rows2d.data(), sky2d->row_count(), w), oracle);
@@ -180,7 +180,7 @@ TEST_P(SkylinePropertyTest, SkylineMembersAreMutuallyNonDominating) {
   ASSERT_TRUE(t_result.ok());
   Table t = std::move(t_result).value();
   SkylineSpec spec = MaxSpec(t, 4);
-  auto sky = ComputeSkylineSfs(t, spec, SfsOptions{}, "out", nullptr);
+  auto sky = ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "out", nullptr);
   ASSERT_TRUE(sky.ok());
   std::vector<char> rows = ReadAll(*sky);
   const size_t w = t.schema().row_width();
@@ -197,7 +197,7 @@ TEST_P(SkylinePropertyTest, EveryNonSkylineTupleIsDominatedBySkyline) {
   ASSERT_TRUE(t_result.ok());
   Table t = std::move(t_result).value();
   SkylineSpec spec = MaxSpec(t, 3);
-  auto sky = ComputeSkylineSfs(t, spec, SfsOptions{}, "out", nullptr);
+  auto sky = ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "out", nullptr);
   ASSERT_TRUE(sky.ok());
   std::vector<char> sky_rows = ReadAll(*sky);
   std::vector<char> all_rows = ReadAll(t);
@@ -222,9 +222,9 @@ TEST_P(SkylinePropertyTest, SkylineIsIdempotent) {
   ASSERT_TRUE(t_result.ok());
   Table t = std::move(t_result).value();
   SkylineSpec spec = MaxSpec(t, 4);
-  auto sky1 = ComputeSkylineSfs(t, spec, SfsOptions{}, "s1", nullptr);
+  auto sky1 = ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "s1", nullptr);
   ASSERT_TRUE(sky1.ok());
-  auto sky2 = ComputeSkylineSfs(*sky1, spec, SfsOptions{}, "s2", nullptr);
+  auto sky2 = ComputeSkylineSfs(*sky1, spec, SfsOptions{}, ExecContext(), "s2", nullptr);
   ASSERT_TRUE(sky2.ok());
   const size_t w = t.schema().row_width();
   std::vector<char> r1 = ReadAll(*sky1);
@@ -275,7 +275,7 @@ TEST_P(WindowMonotonicityTest, MorePagesNeverHurt) {
     opts.window_pages = pages;
     opts.use_projection = false;
     SkylineRunStats stats;
-    auto sky = ComputeSkylineSfs(t, spec, opts, "out", &stats);
+    auto sky = ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", &stats);
     ASSERT_TRUE(sky.ok());
     EXPECT_LE(stats.spilled_tuples, prev_spills) << pages;
     EXPECT_LE(stats.passes, prev_passes) << pages;

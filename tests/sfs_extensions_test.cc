@@ -62,7 +62,7 @@ TEST_F(CustomOrderingTest, MatchesOracle) {
   opts.presort = Presort::kCustom;
   opts.custom_ordering = &pref;
   SkylineRunStats stats;
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, "out", &stats));
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", &stats));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -79,7 +79,7 @@ TEST_F(CustomOrderingTest, OutputInPreferenceOrder) {
   SfsOptions opts;
   opts.presort = Presort::kCustom;
   opts.custom_ordering = &pref;
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, "out", nullptr));
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", nullptr));
   // Skyline rows come out best-preference-first: keys non-increasing.
   std::vector<char> rows = ReadAll(sky);
   const size_t w = t.schema().row_width();
@@ -105,7 +105,7 @@ TEST_F(CustomOrderingTest, MissingOrderingRejected) {
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   SfsOptions opts;
   opts.presort = Presort::kCustom;
-  EXPECT_TRUE(ComputeSkylineSfs(t, spec, opts, "out", nullptr)
+  EXPECT_TRUE(ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", nullptr)
                   .status()
                   .IsInvalidArgument());
 }
@@ -123,7 +123,7 @@ TEST_F(CustomOrderingTest, NonMonotoneOrderingDetected) {
   SfsOptions opts;
   opts.presort = Presort::kCustom;
   opts.custom_ordering = &ascending;
-  auto result = ComputeSkylineSfs(t, spec, opts, "out", nullptr);
+  auto result = ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", nullptr);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsInvalidArgument());
 }
@@ -145,6 +145,7 @@ TEST_F(CustomOrderingTest, DifferentWeightsSameSkylineDifferentOrder) {
     ASSERT_OK_AND_ASSIGN(
         Table sky,
         ComputeSkylineSfs(t, spec, opts,
+                          ExecContext(),
                           pref == &first_heavy ? "o1" : "o2", nullptr));
     std::vector<char> rows = ReadAll(sky);
     auto& order = pref == &first_heavy ? order_a : order_b;

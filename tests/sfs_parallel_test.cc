@@ -48,6 +48,7 @@ std::string Presort(Env* env, TempFileManager* temp_files, const Table& t,
   std::unique_ptr<RowOrdering> ordering = MakeNestedSkylineOrdering(spec);
   auto sorted = SortHeapFile(env, temp_files, t.path(),
                              t.schema().row_width(), *ordering, SortOptions{},
+                             ExecContext(),
                              nullptr);
   SKYLINE_CHECK(sorted.ok()) << sorted.status().ToString();
   return std::move(sorted).value();
@@ -99,7 +100,7 @@ TEST_F(SfsParallelTest, ByteIdenticalToSequentialAcrossThreadCounts) {
         seq.use_projection = (config % 2 == 0);  // cover both window modes
         ASSERT_OK_AND_ASSIGN(
             Table baseline,
-            ComputeSkylineSfs(t, spec, seq, "seq_" + tag, nullptr));
+            ComputeSkylineSfs(t, spec, seq, ExecContext(), "seq_" + tag, nullptr));
         const std::vector<char> expected = ReadAll(baseline);
 
         TempFileManager temp_files(env_.get(), "psort_" + tag);
@@ -143,7 +144,7 @@ TEST_F(SfsParallelTest, TinyWindowMultiPassMatchesSequential) {
   seq.use_projection = false;
   SkylineRunStats seq_stats;
   ASSERT_OK_AND_ASSIGN(Table baseline,
-                       ComputeSkylineSfs(t, spec, seq, "seq", &seq_stats));
+                       ComputeSkylineSfs(t, spec, seq, ExecContext(), "seq", &seq_stats));
   ASSERT_GT(seq_stats.passes, 1u) << "window too large to exercise spilling";
   std::vector<char> expected_rows = ReadAll(baseline);
 
@@ -172,14 +173,14 @@ TEST_F(SfsParallelTest, ComputeSkylineSfsThreadsKnob) {
                        MakeUniformTable(env_.get(), "t", 10'000, 5, 11));
   SkylineSpec spec = MixedSpec(t, 5, /*with_diff=*/false);
   ASSERT_OK_AND_ASSIGN(
-      Table baseline, ComputeSkylineSfs(t, spec, SfsOptions{}, "seq", nullptr));
+      Table baseline, ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "seq", nullptr));
   const std::vector<char> expected = ReadAll(baseline);
 
   SfsOptions par;
   par.threads = 4;
   SkylineRunStats stats;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineSfs(t, spec, par, "par", &stats));
+                       ComputeSkylineSfs(t, spec, par, ExecContext(), "par", &stats));
   std::vector<char> got = ReadAll(sky);
   ASSERT_EQ(got.size(), expected.size());
   EXPECT_TRUE(std::memcmp(got.data(), expected.data(), got.size()) == 0);
@@ -211,7 +212,7 @@ TEST_F(SfsParallelTest, SqlThreadsKnobMatchesSequential) {
 
   auto collect = [&](size_t threads, std::vector<std::string>* rows) {
     SqlOptions options;
-    options.threads = threads;
+    options.exec.threads = threads;
     options.temp_prefix = "sqlq_" + std::to_string(threads);
     return ExecuteSql(catalog, sql, options,
                       [rows](const RowView& row) {

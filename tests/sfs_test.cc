@@ -34,7 +34,7 @@ TEST_F(SfsTest, MatchesOracleOnRandomData) {
   SkylineSpec spec = MaxSpec(t, 4);
   SkylineRunStats stats;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineSfs(t, spec, SfsOptions{}, "out", &stats));
+                       ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "out", &stats));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -56,6 +56,7 @@ TEST_F(SfsTest, AllVariantsAgree) {
       opts.use_projection = projection;
       ASSERT_OK_AND_ASSIGN(
           Table sky, ComputeSkylineSfs(t, spec, opts,
+                                       ExecContext(),
                                        "out" + std::to_string(run++), nullptr));
       std::vector<char> rows = ReadAll(sky);
       EXPECT_EQ(
@@ -75,7 +76,7 @@ TEST_F(SfsTest, MultiPassWithTinyWindowMatchesOracle) {
   opts.use_projection = false;
   SkylineRunStats stats;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineSfs(t, spec, opts, "out", &stats));
+                       ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", &stats));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -122,11 +123,11 @@ TEST_F(SfsTest, ProjectionReducesPasses) {
   narrow.use_projection = false;
   SkylineRunStats no_proj;
   ASSERT_OK(
-      ComputeSkylineSfs(t, spec, narrow, "o1", &no_proj).status());
+      ComputeSkylineSfs(t, spec, narrow, ExecContext(), "o1", &no_proj).status());
   narrow.use_projection = true;
   SkylineRunStats with_proj;
   ASSERT_OK(
-      ComputeSkylineSfs(t, spec, narrow, "o2", &with_proj).status());
+      ComputeSkylineSfs(t, spec, narrow, ExecContext(), "o2", &with_proj).status());
   // Projected entries are 28 bytes vs 100-byte tuples: >3x window capacity,
   // so strictly fewer (or equal) passes and spills.
   EXPECT_LE(with_proj.passes, no_proj.passes);
@@ -142,7 +143,7 @@ TEST_F(SfsTest, PipelinedIteratorStopsEarly) {
   ASSERT_OK_AND_ASSIGN(
       std::string sorted,
       SortHeapFile(env_.get(), &tmp, t.path(), t.schema().row_width(), ord,
-                   SortOptions{}, nullptr));
+                   SortOptions{}, ExecContext(), nullptr));
   SfsIterator iter(env_.get(), &tmp, sorted, &spec, 100, true, nullptr);
   ASSERT_OK(iter.Open());
   std::vector<std::string> first3;
@@ -164,7 +165,7 @@ TEST_F(SfsTest, EmptyInput) {
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   SkylineRunStats stats;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineSfs(t, spec, SfsOptions{}, "out", &stats));
+                       ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "out", &stats));
   EXPECT_EQ(sky.row_count(), 0u);
 }
 
@@ -175,7 +176,7 @@ TEST_F(SfsTest, SingleRow) {
       SkylineSpec::Make(t.schema(),
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(
-      Table sky, ComputeSkylineSfs(t, spec, SfsOptions{}, "out", nullptr));
+      Table sky, ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "out", nullptr));
   EXPECT_EQ(sky.row_count(), 1u);
 }
 
@@ -187,7 +188,7 @@ TEST_F(SfsTest, AllTuplesEquivalent) {
       SkylineSpec::Make(t.schema(),
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(
-      Table sky, ComputeSkylineSfs(t, spec, SfsOptions{}, "out", nullptr));
+      Table sky, ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "out", nullptr));
   // All equivalent rows are skyline members.
   EXPECT_EQ(sky.row_count(), 3u);
 }
@@ -215,7 +216,7 @@ TEST_F(SfsTest, DiffDirectiveMatchesOracle) {
     opts.presort = presort;
     SkylineRunStats stats;
     ASSERT_OK_AND_ASSIGN(Table sky,
-                         ComputeSkylineSfs(t, spec, opts, "out", &stats));
+                         ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", &stats));
     std::vector<char> rows = ReadAll(sky);
     EXPECT_EQ(
         RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
@@ -245,7 +246,7 @@ TEST_F(SfsTest, DiffWithTinyWindowMultiPass) {
   opts.window_pages = 1;
   opts.use_projection = false;
   SkylineRunStats stats;
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, "out", &stats));
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", &stats));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -262,7 +263,7 @@ TEST_F(SfsTest, UnsortedInputRejectedWithPresortNone) {
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   SfsOptions opts;
   opts.presort = Presort::kNone;
-  auto result = ComputeSkylineSfs(t, spec, opts, "out", nullptr);
+  auto result = ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", nullptr);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsInvalidArgument());
 }
@@ -277,7 +278,7 @@ TEST_F(SfsTest, PresortNoneAcceptsProperlySortedInput) {
   ASSERT_OK_AND_ASSIGN(
       std::string sorted,
       SortHeapFile(env_.get(), &tmp, t.path(), t.schema().row_width(), *ord,
-                   SortOptions{}, nullptr));
+                   SortOptions{}, ExecContext(), nullptr));
   std::vector<ColumnStats> stats;
   for (size_t c = 0; c < t.schema().num_columns(); ++c)
     stats.push_back(t.stats(c));
@@ -286,7 +287,7 @@ TEST_F(SfsTest, PresortNoneAcceptsProperlySortedInput) {
   SfsOptions opts;
   opts.presort = Presort::kNone;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkylineSfs(sorted_table, spec, opts, "out", nullptr));
+                       ComputeSkylineSfs(sorted_table, spec, opts, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -299,7 +300,7 @@ TEST_F(SfsTest, OutputIsInMonotoneOrder) {
   SkylineSpec spec = MaxSpec(t, 4);
   SfsOptions opts;
   opts.presort = Presort::kEntropy;
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, "out", nullptr));
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", nullptr));
   EntropyScorer scorer(&spec, t);
   std::vector<char> rows = ReadAll(sky);
   const size_t w = t.schema().row_width();
@@ -314,7 +315,7 @@ TEST_F(SfsTest, ResiduePlusSkylineEqualsInput) {
   SkylineSpec spec = MaxSpec(t, 4);
   SfsOptions opts;
   opts.residue_path = "residue";
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, "out", nullptr));
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", nullptr));
   std::vector<ColumnStats> stats;
   for (size_t c = 0; c < t.schema().num_columns(); ++c)
     stats.push_back(t.stats(c));
@@ -339,7 +340,7 @@ TEST_F(SfsTest, SchemaMismatchRejected) {
   ASSERT_OK_AND_ASSIGN(Table o, MakeIntTable(env_.get(), "o", 3, {{1, 2, 3}}));
   ASSERT_OK_AND_ASSIGN(SkylineSpec spec,
                        SkylineSpec::Make(o.schema(), {{"a2", Directive::kMax}}));
-  EXPECT_TRUE(ComputeSkylineSfs(t, spec, SfsOptions{}, "out", nullptr)
+  EXPECT_TRUE(ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "out", nullptr)
                   .status()
                   .IsInvalidArgument());
 }
@@ -350,7 +351,7 @@ TEST_F(SfsTest, StatsAccounting) {
   SfsOptions opts;
   opts.window_pages = 1;
   SkylineRunStats stats;
-  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, "out", &stats));
+  ASSERT_OK_AND_ASSIGN(Table sky, ComputeSkylineSfs(t, spec, opts, ExecContext(), "out", &stats));
   EXPECT_EQ(stats.input_rows, 5000u);
   EXPECT_EQ(stats.output_rows, sky.row_count());
   EXPECT_GT(stats.window_comparisons, 0u);

@@ -18,7 +18,8 @@ TEST(Smoke, GoodEatsSkyline) {
                                          {"price", Directive::kMin}}));
   SkylineRunStats stats;
   ASSERT_OK_AND_ASSIGN(
-      Table sky, ComputeSkylineSfs(guide, spec, SfsOptions{}, "out", &stats));
+      Table sky, ComputeSkylineSfs(guide, spec, SfsOptions{}, ExecContext(),
+                                   "out", &stats));
   EXPECT_EQ(sky.row_count(), 4u);
   EXPECT_EQ(stats.output_rows, 4u);
 

@@ -27,7 +27,7 @@ TEST_F(Special2DTest, PaperProofExample) {
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   SkylineRunStats stats;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline2D(t, spec, SortOptions{}, "out", &stats));
+                       ComputeSkyline2D(t, spec, SortOptions{}, ExecContext(), "out", &stats));
   EXPECT_EQ(sky.row_count(), 3u);
   EXPECT_EQ(stats.passes, 1u);
   EXPECT_EQ(stats.ExtraPages(), 0u);  // no window, no spills, ever
@@ -43,7 +43,7 @@ TEST_F(Special2DTest, MatchesOracleOnRandomData) {
         SkylineSpec::Make(t.schema(),
                           {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
     ASSERT_OK_AND_ASSIGN(Table sky,
-                         ComputeSkyline2D(t, spec, SortOptions{}, "out", nullptr));
+                         ComputeSkyline2D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
     std::vector<char> rows = ReadAll(sky);
     EXPECT_EQ(
         RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
@@ -69,7 +69,7 @@ TEST_F(Special2DTest, TiesAndDuplicates) {
       SkylineSpec::Make(t.schema(),
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline2D(t, spec, SortOptions{}, "out", nullptr));
+                       ComputeSkyline2D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -82,7 +82,7 @@ TEST_F(Special2DTest, MinMaxMix) {
       SkylineSpec::Make(t.schema(),
                         {{"a0", Directive::kMin}, {"a1", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline2D(t, spec, SortOptions{}, "out", nullptr));
+                       ComputeSkyline2D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -105,7 +105,7 @@ TEST_F(Special2DTest, DiffGroupsSupported) {
                                      {"a1", Directive::kMax},
                                      {"a2", Directive::kMin}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline2D(t, spec, SortOptions{}, "out", nullptr));
+                       ComputeSkyline2D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -118,12 +118,12 @@ TEST_F(Special2DTest, RejectsWrongDimensionality) {
       SkylineSpec::Make(t.schema(), {{"a0", Directive::kMax},
                                      {"a1", Directive::kMax},
                                      {"a2", Directive::kMax}}));
-  EXPECT_TRUE(ComputeSkyline2D(t, spec3, SortOptions{}, "out", nullptr)
+  EXPECT_TRUE(ComputeSkyline2D(t, spec3, SortOptions{}, ExecContext(), "out", nullptr)
                   .status()
                   .IsInvalidArgument());
   ASSERT_OK_AND_ASSIGN(SkylineSpec spec1,
                        SkylineSpec::Make(t.schema(), {{"a0", Directive::kMax}}));
-  EXPECT_TRUE(ComputeSkyline2D(t, spec1, SortOptions{}, "out", nullptr)
+  EXPECT_TRUE(ComputeSkyline2D(t, spec1, SortOptions{}, ExecContext(), "out", nullptr)
                   .status()
                   .IsInvalidArgument());
 }
@@ -137,7 +137,7 @@ TEST_F(Special2DTest, DominatedChainKeepsOnlyHead) {
       SkylineSpec::Make(t.schema(),
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline2D(t, spec, SortOptions{}, "out", nullptr));
+                       ComputeSkyline2D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
   ASSERT_EQ(sky.row_count(), 1u);
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowView(&t.schema(), rows.data()).GetInt32(0), 4);
@@ -150,7 +150,7 @@ TEST_F(Special2DTest, EmptyInput) {
       SkylineSpec::Make(t.schema(),
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline2D(t, spec, SortOptions{}, "out", nullptr));
+                       ComputeSkyline2D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
   EXPECT_EQ(sky.row_count(), 0u);
 }
 

@@ -35,7 +35,7 @@ TEST_F(Special3DTest, HandCheckedExample) {
                                      {"a2", Directive::kMax}}));
   SkylineRunStats stats;
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline3D(t, spec, SortOptions{}, "out", &stats));
+                       ComputeSkyline3D(t, spec, SortOptions{}, ExecContext(), "out", &stats));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -54,7 +54,7 @@ TEST_F(Special3DTest, MatchesOracleOnRandomData) {
                                        {"a1", Directive::kMax},
                                        {"a2", Directive::kMax}}));
     ASSERT_OK_AND_ASSIGN(Table sky,
-                         ComputeSkyline3D(t, spec, SortOptions{}, "out", nullptr));
+                         ComputeSkyline3D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
     std::vector<char> rows = ReadAll(sky);
     EXPECT_EQ(
         RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
@@ -82,7 +82,7 @@ TEST_F(Special3DTest, SmallDomainManyTies) {
                                      {"a1", Directive::kMax},
                                      {"a2", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline3D(t, spec, SortOptions{}, "out", nullptr));
+                       ComputeSkyline3D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -99,7 +99,7 @@ TEST_F(Special3DTest, MixedDirections) {
                                        {"a1", Directive::kMax},
                                        {"a2", Directive::kMin}}));
     ASSERT_OK_AND_ASSIGN(Table sky,
-                         ComputeSkyline3D(t, spec, SortOptions{}, "out", nullptr));
+                         ComputeSkyline3D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
     std::vector<char> rows = ReadAll(sky);
     EXPECT_EQ(
         RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
@@ -125,7 +125,7 @@ TEST_F(Special3DTest, DiffGroups) {
                                      {"a2", Directive::kMax},
                                      {"a3", Directive::kMin}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline3D(t, spec, SortOptions{}, "out", nullptr));
+                       ComputeSkyline3D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(sky);
   EXPECT_EQ(RowMultiset(rows.data(), sky.row_count(), t.schema().row_width()),
             OracleSkylineMultiset(t, spec));
@@ -141,7 +141,7 @@ TEST_F(Special3DTest, EquivalentTuplesAllKept) {
                                      {"a1", Directive::kMax},
                                      {"a2", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline3D(t, spec, SortOptions{}, "out", nullptr));
+                       ComputeSkyline3D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
   EXPECT_EQ(sky.row_count(), 3u);
 }
 
@@ -151,7 +151,7 @@ TEST_F(Special3DTest, RejectsWrongDimensionality) {
       SkylineSpec spec,
       SkylineSpec::Make(t.schema(),
                         {{"a0", Directive::kMax}, {"a1", Directive::kMax}}));
-  EXPECT_TRUE(ComputeSkyline3D(t, spec, SortOptions{}, "out", nullptr)
+  EXPECT_TRUE(ComputeSkyline3D(t, spec, SortOptions{}, ExecContext(), "out", nullptr)
                   .status()
                   .IsInvalidArgument());
 }
@@ -164,7 +164,7 @@ TEST_F(Special3DTest, EmptyInput) {
                                      {"a1", Directive::kMax},
                                      {"a2", Directive::kMax}}));
   ASSERT_OK_AND_ASSIGN(Table sky,
-                       ComputeSkyline3D(t, spec, SortOptions{}, "out", nullptr));
+                       ComputeSkyline3D(t, spec, SortOptions{}, ExecContext(), "out", nullptr));
   EXPECT_EQ(sky.row_count(), 0u);
 }
 
@@ -179,9 +179,9 @@ TEST_F(Special3DTest, DominanceWorkIsLinearInInput) {
                                      {"a1", Directive::kMax},
                                      {"a2", Directive::kMax}}));
   SkylineRunStats sky3d_stats;
-  ASSERT_OK(ComputeSkyline3D(t, spec, SortOptions{}, "o1", &sky3d_stats).status());
+  ASSERT_OK(ComputeSkyline3D(t, spec, SortOptions{}, ExecContext(), "o1", &sky3d_stats).status());
   SkylineRunStats sfs_stats;
-  ASSERT_OK(ComputeSkylineSfs(t, spec, SfsOptions{}, "o2", &sfs_stats).status());
+  ASSERT_OK(ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "o2", &sfs_stats).status());
   EXPECT_EQ(sky3d_stats.output_rows, sfs_stats.output_rows);
   EXPECT_LE(sky3d_stats.window_comparisons, 2 * t.row_count());
 }

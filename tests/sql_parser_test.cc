@@ -7,7 +7,7 @@ namespace skyline {
 namespace {
 
 SelectStatement MustParse(const std::string& sql) {
-  auto result = ParseSql(sql);
+  auto result = ParseSelect(sql);
   SKYLINE_CHECK(result.ok()) << result.status().ToString();
   return std::move(result).value();
 }
@@ -155,6 +155,71 @@ TEST(SqlParser, ExplainPrefix) {
   EXPECT_EQ(analyze.predicates.size(), 1u);
   ASSERT_TRUE(analyze.limit.has_value());
   EXPECT_EQ(*analyze.limit, 2u);
+}
+
+TEST(SqlParser, InsertValues) {
+  auto result = ParseSql(
+      "INSERT INTO hotels VALUES ('Ritz', 5, 450.0), ('Hostel', 2, 25)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto* insert = std::get_if<InsertStatement>(&result.value());
+  ASSERT_NE(insert, nullptr);
+  EXPECT_EQ(insert->table, "hotels");
+  ASSERT_EQ(insert->rows.size(), 2u);
+  ASSERT_EQ(insert->rows[0].size(), 3u);
+  EXPECT_EQ(std::get<std::string>(insert->rows[0][0]), "Ritz");
+  EXPECT_EQ(std::get<double>(insert->rows[0][1]), 5.0);
+  EXPECT_EQ(std::get<double>(insert->rows[0][2]), 450.0);
+  EXPECT_EQ(std::get<double>(insert->rows[1][2]), 25.0);
+}
+
+TEST(SqlParser, InsertNegativeNumbers) {
+  auto result = ParseSql("insert into t values (-3, -2.5)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const auto& insert = std::get<InsertStatement>(result.value());
+  EXPECT_EQ(std::get<double>(insert.rows[0][0]), -3.0);
+  EXPECT_EQ(std::get<double>(insert.rows[0][1]), -2.5);
+}
+
+TEST(SqlParser, DeleteWithAndWithoutWhere) {
+  auto all = ParseSql("DELETE FROM stale");
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  const auto& del_all = std::get<DeleteStatement>(all.value());
+  EXPECT_EQ(del_all.table, "stale");
+  EXPECT_TRUE(del_all.predicates.empty());
+
+  auto some = ParseSql(
+      "DELETE FROM hotels WHERE price > 400 AND city = 'York'");
+  ASSERT_TRUE(some.ok()) << some.status().ToString();
+  const auto& del_some = std::get<DeleteStatement>(some.value());
+  ASSERT_EQ(del_some.predicates.size(), 2u);
+  EXPECT_EQ(del_some.predicates[0].column, "price");
+  EXPECT_EQ(del_some.predicates[0].op, CompareOp::kGt);
+  EXPECT_EQ(std::get<std::string>(del_some.predicates[1].literal), "York");
+}
+
+TEST(SqlParser, WriteStatementSyntaxErrors) {
+  EXPECT_TRUE(ParseSql("INSERT").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("INSERT INTO t").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("INSERT INTO t VALUES").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSql("INSERT INTO t VALUES ()").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSql("INSERT INTO t VALUES (1,)").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSql("INSERT INTO t VALUES (1) garbage").status()
+          .IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("DELETE").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("DELETE FROM").status().IsInvalidArgument());
+  EXPECT_TRUE(
+      ParseSql("DELETE FROM t WHERE").status().IsInvalidArgument());
+  EXPECT_TRUE(ParseSql("DELETE t").status().IsInvalidArgument());
+}
+
+TEST(SqlParser, ParseSelectRejectsWrites) {
+  auto result = ParseSelect("INSERT INTO t VALUES (1)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+  EXPECT_FALSE(ParseSelect("DELETE FROM t").ok());
 }
 
 TEST(SqlParser, ExplainErrors) {

@@ -64,7 +64,7 @@ TEST_F(StrataTest, ChainProducesOneStratumPerTuple) {
   opts.num_strata = 3;
   StrataStats stats;
   ASSERT_OK_AND_ASSIGN(std::vector<Table> strata,
-                       ComputeStrataSfs(t, spec, opts, "out", &stats));
+                       ComputeStrataSfs(t, spec, opts, ExecContext(), "out", &stats));
   ASSERT_EQ(strata.size(), 3u);
   EXPECT_EQ(strata[0].row_count(), 1u);
   EXPECT_EQ(strata[1].row_count(), 1u);
@@ -80,7 +80,7 @@ TEST_F(StrataTest, MatchesOracleOnRandomData) {
   StrataOptions opts;
   opts.num_strata = 4;
   ASSERT_OK_AND_ASSIGN(std::vector<Table> strata,
-                       ComputeStrataSfs(t, spec, opts, "out", nullptr));
+                       ComputeStrataSfs(t, spec, opts, ExecContext(), "out", nullptr));
   auto oracle = OracleStrata(t, spec, 4);
   ASSERT_EQ(strata.size(), 4u);
   for (size_t i = 0; i < 4; ++i) {
@@ -100,7 +100,7 @@ TEST_F(StrataTest, NestedPresortAgrees) {
   opts.presort = Presort::kNested;
   opts.use_projection = false;
   ASSERT_OK_AND_ASSIGN(std::vector<Table> strata,
-                       ComputeStrataSfs(t, spec, opts, "out", nullptr));
+                       ComputeStrataSfs(t, spec, opts, ExecContext(), "out", nullptr));
   auto oracle = OracleStrata(t, spec, 3);
   for (size_t i = 0; i < 3; ++i) {
     std::vector<char> rows = ReadAll(strata[i]);
@@ -116,7 +116,7 @@ TEST_F(StrataTest, StrataAreDisjointAndOrdered) {
   StrataOptions opts;
   opts.num_strata = 3;
   ASSERT_OK_AND_ASSIGN(std::vector<Table> strata,
-                       ComputeStrataSfs(t, spec, opts, "out", nullptr));
+                       ComputeStrataSfs(t, spec, opts, ExecContext(), "out", nullptr));
   // Every stratum-1 tuple must be dominated by some stratum-0 tuple and no
   // stratum-0 tuple is dominated by anything in the input.
   std::vector<char> s0 = ReadAll(strata[0]);
@@ -139,7 +139,7 @@ TEST_F(StrataTest, WindowOverflowReportsResourceExhausted) {
   opts.num_strata = 2;
   opts.window_pages = 1;
   opts.use_projection = false;  // 40 entries per window: will overflow
-  auto result = ComputeStrataSfs(t, spec, opts, "out", nullptr);
+  auto result = ComputeStrataSfs(t, spec, opts, ExecContext(), "out", nullptr);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsResourceExhausted());
 }
@@ -150,11 +150,11 @@ TEST_F(StrataTest, IterativeLabellerMatchesMultiWindow) {
   StrataOptions mw_opts;
   mw_opts.num_strata = 3;
   ASSERT_OK_AND_ASSIGN(std::vector<Table> mw,
-                       ComputeStrataSfs(t, spec, mw_opts, "mw", nullptr));
+                       ComputeStrataSfs(t, spec, mw_opts, ExecContext(), "mw", nullptr));
   StrataStats it_stats;
   ASSERT_OK_AND_ASSIGN(
       std::vector<Table> it,
-      LabelStrataIterative(t, spec, SfsOptions{}, 3, "it", &it_stats));
+      LabelStrataIterative(t, spec, SfsOptions{}, ExecContext(), 3, "it", &it_stats));
   ASSERT_EQ(it.size(), 3u);
   const size_t w = t.schema().row_width();
   for (size_t i = 0; i < 3; ++i) {
@@ -173,7 +173,7 @@ TEST_F(StrataTest, IterativeLabellerExhaustsInput) {
   SkylineSpec spec = MaxSpec(t, 2);
   ASSERT_OK_AND_ASSIGN(
       std::vector<Table> strata,
-      LabelStrataIterative(t, spec, SfsOptions{}, 0, "out", nullptr));
+      LabelStrataIterative(t, spec, SfsOptions{}, ExecContext(), 0, "out", nullptr));
   ASSERT_EQ(strata.size(), 3u);
   uint64_t total = 0;
   for (const auto& s : strata) total += s.row_count();
@@ -189,7 +189,8 @@ TEST_F(StrataTest, IterativeLabellerHandlesTinyWindows) {
   sfs.window_pages = 1;
   sfs.use_projection = false;
   ASSERT_OK_AND_ASSIGN(std::vector<Table> strata,
-                       LabelStrataIterative(t, spec, sfs, 2, "out", nullptr));
+                       LabelStrataIterative(t, spec, sfs, ExecContext(), 2,
+                                            "out", nullptr));
   auto oracle = OracleStrata(t, spec, 2);
   const size_t w = t.schema().row_width();
   for (size_t i = 0; i < 2; ++i) {
@@ -203,7 +204,7 @@ TEST_F(StrataTest, ZeroStrataRejected) {
   SkylineSpec spec = MaxSpec(t, 2);
   StrataOptions opts;
   opts.num_strata = 0;
-  EXPECT_TRUE(ComputeStrataSfs(t, spec, opts, "out", nullptr)
+  EXPECT_TRUE(ComputeStrataSfs(t, spec, opts, ExecContext(), "out", nullptr)
                   .status()
                   .IsInvalidArgument());
 }
@@ -214,7 +215,7 @@ TEST_F(StrataTest, StratumZeroEqualsSkyline) {
   StrataOptions opts;
   opts.num_strata = 1;
   ASSERT_OK_AND_ASSIGN(std::vector<Table> strata,
-                       ComputeStrataSfs(t, spec, opts, "out", nullptr));
+                       ComputeStrataSfs(t, spec, opts, ExecContext(), "out", nullptr));
   std::vector<char> rows = ReadAll(strata[0]);
   EXPECT_EQ(RowMultiset(rows.data(), strata[0].row_count(),
                         t.schema().row_width()),

@@ -43,10 +43,11 @@ TEST(TableIo, ReopenedTableRunsSkyline) {
   // Entropy presort needs the persisted stats; identical results prove
   // they survived.
   ASSERT_OK_AND_ASSIGN(
-      Table sky1, ComputeSkylineSfs(t, spec, SfsOptions{}, "s1", nullptr));
+      Table sky1, ComputeSkylineSfs(t, spec, SfsOptions{}, ExecContext(), "s1",
+                                    nullptr));
   ASSERT_OK_AND_ASSIGN(
-      Table sky2,
-      ComputeSkylineSfs(reopened, spec, SfsOptions{}, "s2", nullptr));
+      Table sky2, ComputeSkylineSfs(reopened, spec, SfsOptions{},
+                                    ExecContext(), "s2", nullptr));
   EXPECT_EQ(testing_util::ReadAll(sky1), testing_util::ReadAll(sky2));
 }
 

@@ -376,6 +376,7 @@ TEST_F(TraceExportTest, ParallelRunExportsSpansFromMultipleThreads) {
       std::string sorted,
       SortHeapFile(env_.get(), &temp_files, t.path(),
                    t.schema().row_width(), *ordering, SortOptions{},
+                   ExecContext(),
                    nullptr));
 
   TraceSink sink;
